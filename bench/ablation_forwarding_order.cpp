@@ -1,0 +1,52 @@
+// Ablation A: why lowest-dimension-first? Compare the buffer-dependency
+// structure of LDF against highest-dimension-first (also monotone) and
+// a scrambled per-node order (the "arbitrary forwarding" the paper
+// warns causes deadlock, Sec. IV-A).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/dependency_graph.hpp"
+#include "core/topology.hpp"
+
+using namespace vtopo;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::int64_t max_nodes = args.get_int("--max-nodes", 512);
+
+  bench::print_header("Ablation A", "forwarding order vs. deadlock freedom");
+  std::printf("%8s %-6s %-10s %10s %10s %8s\n", "nodes", "kind", "policy",
+              "resources", "deps", "cyclic");
+
+  const core::ForwardingPolicy policies[] = {
+      core::ForwardingPolicy::kLowestDimFirst,
+      core::ForwardingPolicy::kHighestDimFirst,
+      core::ForwardingPolicy::kScrambled};
+
+  int scrambled_cyclic = 0;
+  int scrambled_total = 0;
+  for (std::int64_t n = 16; n <= max_nodes; n *= 2) {
+    for (const auto kind :
+         {core::TopologyKind::kMfcg, core::TopologyKind::kCfcg}) {
+      for (const auto policy : policies) {
+        const auto topo = core::VirtualTopology::make(kind, n, policy);
+        const core::DependencyGraph g(topo);
+        const bool cyclic = !g.acyclic();
+        if (policy == core::ForwardingPolicy::kScrambled) {
+          ++scrambled_total;
+          if (cyclic) ++scrambled_cyclic;
+        }
+        std::printf("%8lld %-6s %-10s %10zu %10zu %8s\n",
+                    static_cast<long long>(n), core::to_string(kind),
+                    core::to_string(policy), g.num_resources(),
+                    g.num_dependencies(), cyclic ? "CYCLIC" : "ok");
+      }
+    }
+    bench::print_rule();
+  }
+  std::printf("# monotone orders (ldf/hdf) are always acyclic; scrambled "
+              "orders were cyclic\n# in %d of %d sampled configurations "
+              "=> deadlock-prone, as Sec. IV-A predicts.\n",
+              scrambled_cyclic, scrambled_total);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vtopo::bench {
+
+/// Minimal flag parser: --key value / --flag.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] bool has(const std::string& flag) const {
+    for (const auto& a : args_) {
+      if (a == flag) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == key) return std::stoll(args_[i + 1]);
+    }
+    return fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("# %s — %s\n", figure, what);
+  std::printf(
+      "# Reproduction of ICPP'11 \"Virtual Topologies for Scalable "
+      "Resource Management and Contention Attenuation\" (simulated Cray "
+      "XT5 substrate)\n");
+}
+
+inline void print_rule() {
+  std::printf(
+      "#------------------------------------------------------------\n");
+}
+
+}  // namespace vtopo::bench

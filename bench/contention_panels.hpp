@@ -1,0 +1,102 @@
+// Shared driver for Figures 6 and 7: per-rank operation time against
+// Rank 0 under 0% / 11% / 20% hot-spot contention, per topology.
+//
+// Panel layout follows the paper:
+//   (a) FCG & MFCG, no contention       (d) CFCG & Hypercube, none
+//   (b) FCG & MFCG, 11% contention      (e) CFCG, 11%
+//   (c) FCG & MFCG, 20% contention      (f) CFCG, 20%
+// Hypercube is excluded from contended panels, as in the paper ("it
+// takes too long to get a complete set of numbers").
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/stats.hpp"
+#include "workloads/contention.hpp"
+
+namespace vtopo::bench {
+
+struct PanelSpec {
+  core::TopologyKind kind;
+  int stride;  // 0 = none, 9 = 11%, 5 = 20%
+};
+
+inline const char* contention_name(int stride) {
+  switch (stride) {
+    case 0:
+      return "none";
+    case 9:
+      return "11%";
+    case 5:
+      return "20%";
+    default:
+      return "?";
+  }
+}
+
+inline void run_contention_figure(const char* figure,
+                                  work::ContentionConfig::Op op,
+                                  const Args& args) {
+  work::ClusterConfig cluster;
+  cluster.num_nodes = args.get_int("--nodes", 256);
+  cluster.procs_per_node =
+      static_cast<int>(args.get_int("--ppn", 4));
+
+  work::ContentionConfig cfg;
+  cfg.op = op;
+  cfg.iterations =
+      static_cast<int>(args.get_int("--iters", args.has("--quick") ? 5 : 20));
+
+  const std::vector<PanelSpec> panels = {
+      {core::TopologyKind::kFcg, 0},  {core::TopologyKind::kMfcg, 0},
+      {core::TopologyKind::kCfcg, 0}, {core::TopologyKind::kHypercube, 0},
+      {core::TopologyKind::kFcg, 9},  {core::TopologyKind::kMfcg, 9},
+      {core::TopologyKind::kCfcg, 9}, {core::TopologyKind::kFcg, 5},
+      {core::TopologyKind::kMfcg, 5}, {core::TopologyKind::kCfcg, 5},
+  };
+
+  print_header(figure, "per-rank op time vs. Rank 0 under contention");
+  std::printf("# %lld procs (%lld nodes x %d), %d iterations averaged\n",
+              static_cast<long long>(cluster.num_procs()),
+              static_cast<long long>(cluster.num_nodes),
+              cluster.procs_per_node, cfg.iterations);
+
+  struct Summary {
+    PanelSpec spec;
+    double min, med, p95, max;
+  };
+  std::vector<Summary> summaries;
+
+  for (const PanelSpec& panel : panels) {
+    cluster.topology = panel.kind;
+    cfg.contender_stride = panel.stride;
+    const auto res = work::run_contention(cluster, cfg);
+
+    std::printf("\n# series topology=%s contention=%s\n",
+                core::to_string(panel.kind),
+                contention_name(panel.stride));
+    std::printf("# rank time_us\n");
+    sim::Series series;
+    for (std::size_t rank = 0; rank < res.op_time_us.size(); ++rank) {
+      const double t = res.op_time_us[rank];
+      if (t < 0) continue;  // ranks sharing Rank 0's node are unmeasured
+      std::printf("%zu %.2f\n", rank, t);
+      series.add(t);
+    }
+    summaries.push_back(Summary{panel, series.min(), series.median(),
+                                series.percentile(95), series.max()});
+  }
+
+  print_rule();
+  std::printf("# summary (us): topology contention min median p95 max\n");
+  for (const auto& s : summaries) {
+    std::printf("# %-9s %-5s %10.1f %10.1f %10.1f %10.1f\n",
+                core::to_string(s.spec.kind),
+                contention_name(s.spec.stride), s.min, s.med, s.p95,
+                s.max);
+  }
+}
+
+}  // namespace vtopo::bench

@@ -1,0 +1,58 @@
+// Figure 5: master-process memory consumption vs. process count for
+// FCG / MFCG / CFCG / Hypercube (12 processes per node, 16 KB buffers,
+// 4 buffers per remote process, 612 MB base footprint).
+//
+// Prints the four curves the paper plots plus the headline reduction
+// factors of Sec. V-A.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/memory_model.hpp"
+#include "core/topology.hpp"
+
+using namespace vtopo;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::int64_t max_procs = args.get_int("--max-procs", 12288);
+
+  core::MemoryParams mp;
+  bench::print_header("Figure 5", "memory scalability of virtual topologies");
+  std::printf("# procs_per_node=%lld buffer=%lldB buffers/proc=%lld "
+              "base=%.0fMB\n",
+              static_cast<long long>(mp.procs_per_node),
+              static_cast<long long>(mp.buffer_bytes),
+              static_cast<long long>(mp.buffers_per_process), mp.base_mb);
+  std::printf("%10s %12s %12s %12s %12s\n", "processes", "FCG_MB",
+              "MFCG_MB", "CFCG_MB", "Hypercube_MB");
+
+  for (std::int64_t procs = 768; procs <= max_procs; procs *= 2) {
+    const std::int64_t nodes = procs / mp.procs_per_node;
+    std::printf("%10lld", static_cast<long long>(procs));
+    for (const auto kind : core::all_topology_kinds()) {
+      const auto topo = core::VirtualTopology::make(kind, nodes);
+      std::printf(" %12.1f", core::master_process_rss_mb(topo, 0, mp));
+    }
+    std::printf("\n");
+  }
+
+  bench::print_rule();
+  const std::int64_t nodes = max_procs / mp.procs_per_node;
+  const auto fcg = core::VirtualTopology::make(core::TopologyKind::kFcg,
+                                               nodes);
+  const double fcg_inc = core::master_process_rss_mb(fcg, 0, mp) - mp.base_mb;
+  std::printf("# At %lld processes (paper: FCG total 1424 MB, increment "
+              "812 MB):\n",
+              static_cast<long long>(max_procs));
+  std::printf("#   FCG increment: %.1f MB\n", fcg_inc);
+  std::printf("# Reduction factors over FCG (paper: MFCG 7.5x, CFCG "
+              "16.6x, Hypercube 45x):\n");
+  for (const auto kind : core::all_topology_kinds()) {
+    if (kind == core::TopologyKind::kFcg) continue;
+    const auto topo = core::VirtualTopology::make(kind, nodes);
+    const double inc = core::master_process_rss_mb(topo, 0, mp) - mp.base_mb;
+    std::printf("#   %-9s increment %7.1f MB  reduction %5.1fx\n",
+                core::to_string(kind), inc, fcg_inc / inc);
+  }
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 7: atomic fetch-&-add operations under varying levels of
+// hot-spot contention (1,024 processes on 256 nodes).
+#include "contention_panels.hpp"
+
+int main(int argc, char** argv) {
+  const vtopo::bench::Args args(argc, argv);
+  vtopo::bench::run_contention_figure(
+      "Figure 7", vtopo::work::ContentionConfig::Op::kFetchAdd, args);
+  return 0;
+}

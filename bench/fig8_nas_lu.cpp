@@ -1,0 +1,43 @@
+// Figure 8: NAS LU proxy execution time on 192..1536 processes under
+// all four virtual topologies. Expected shape: all topologies within a
+// few percent (neighbor-dominated traffic), strong scaling downward.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workloads/nas_lu.hpp"
+
+using namespace vtopo;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  work::LuConfig lu;
+  lu.iterations =
+      static_cast<int>(args.get_int("--iters", args.has("--quick") ? 4 : 8));
+
+  bench::print_header("Figure 8", "NAS LU proxy execution time");
+  std::printf("# %d SSOR sweeps, %dx%d global grid, 12 procs/node\n",
+              lu.iterations, lu.nx_global, lu.nx_global);
+  std::printf("%10s %12s %12s %12s %12s   %s\n", "processes", "FCG_s",
+              "MFCG_s", "CFCG_s", "Hypercube_s", "checksum");
+
+  for (const std::int64_t nodes : {16, 32, 64, 128}) {
+    work::ClusterConfig cluster;
+    cluster.num_nodes = nodes;
+    cluster.procs_per_node = 12;
+    std::printf("%10lld", static_cast<long long>(cluster.num_procs()));
+    double checksum = 0.0;
+    for (const auto kind : core::all_topology_kinds()) {
+      cluster.topology = kind;
+      const auto res = work::run_nas_lu(cluster, lu);
+      std::printf(" %12.4f", res.exec_time_sec);
+      checksum = res.checksum;
+    }
+    std::printf("   %.6g\n", checksum);
+  }
+  bench::print_rule();
+  std::printf("# Paper result: virtual topologies perform better than or "
+              "similar to FCG;\n"
+              "# LU is neighbor-dominated, so forwarding neither helps nor "
+              "hurts much.\n");
+  return 0;
+}

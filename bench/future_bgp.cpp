@@ -1,0 +1,73 @@
+// Future-work experiment (paper Sec. VIII): do virtual topologies still
+// pay off on a platform without the SeaStar stream-table cliff, i.e. a
+// BlueGene/P-class machine? Runs the Fig.-7 hot-spot experiment under
+// both machine profiles.
+//
+// Expected: on BG/P the FCG collapse is milder (pure queueing at a
+// slower NIC, no BEER penalty), so MFCG's win shrinks — virtual
+// topologies remain most valuable where per-connection hardware state
+// is scarce, exactly the paper's XT5 motivation.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "net/profiles.hpp"
+#include "sim/stats.hpp"
+#include "workloads/contention.hpp"
+
+using namespace vtopo;
+
+namespace {
+
+double median_at(const work::ClusterConfig& cluster, int stride,
+                 int iters) {
+  work::ContentionConfig cfg;
+  cfg.op = work::ContentionConfig::Op::kFetchAdd;
+  cfg.iterations = iters;
+  cfg.contender_stride = stride;
+  const auto res = work::run_contention(cluster, cfg);
+  sim::Series s;
+  for (const double t : res.op_time_us) {
+    if (t >= 0) s.add(t);
+  }
+  return s.median();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const int iters =
+      static_cast<int>(args.get_int("--iters", args.has("--quick") ? 3 : 8));
+
+  bench::print_header("Future work", "XT5 vs. BlueGene/P machine profiles");
+  std::printf("# fetch-&-add, 256 nodes x 4 procs, median us per op\n");
+  std::printf("%-8s %-10s %12s %12s %12s\n", "machine", "topology",
+              "none", "11%", "20%");
+
+  struct Machine {
+    const char* name;
+    net::NetworkParams params;
+  };
+  const Machine machines[] = {{"XT5", net::xt5_params()},
+                              {"BG/P", net::bgp_params()}};
+  for (const auto& m : machines) {
+    for (const auto kind :
+         {core::TopologyKind::kFcg, core::TopologyKind::kMfcg}) {
+      work::ClusterConfig cluster;
+      cluster.num_nodes = 256;
+      cluster.procs_per_node = 4;
+      cluster.topology = kind;
+      cluster.net = m.params;
+      std::printf("%-8s %-10s %12.1f %12.1f %12.1f\n", m.name,
+                  core::to_string(kind), median_at(cluster, 0, iters),
+                  median_at(cluster, 9, iters),
+                  median_at(cluster, 5, iters));
+    }
+  }
+  bench::print_rule();
+  std::printf("# Without a hardware stream limit (BG/P) the FCG hot-spot "
+              "degrades by\n# queueing only; MFCG's advantage shrinks "
+              "accordingly. Virtual topologies\n# matter most where "
+              "per-connection NIC state is scarce — the XT5 story.\n");
+  return 0;
+}

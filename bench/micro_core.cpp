@@ -1,0 +1,117 @@
+// google-benchmark microbenchmarks for the hot primitives: LDF next-hop
+// and route computation, event-engine throughput, torus routing, and
+// the NIC stream table.
+#include <benchmark/benchmark.h>
+
+#include "core/dependency_graph.hpp"
+#include "core/topology.hpp"
+#include "net/network.hpp"
+#include "net/torus.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/task.hpp"
+
+using namespace vtopo;
+
+static void BM_LdfNextHop(benchmark::State& state) {
+  const auto topo = core::VirtualTopology::make(
+      core::TopologyKind::kMfcg, state.range(0));
+  sim::Rng rng(1);
+  const auto n = static_cast<std::uint64_t>(topo.num_nodes());
+  for (auto _ : state) {
+    const auto s = static_cast<core::NodeId>(rng.uniform(n));
+    const auto t = static_cast<core::NodeId>(rng.uniform(n));
+    if (s == t) continue;
+    benchmark::DoNotOptimize(topo.next_hop(s, t));
+  }
+}
+BENCHMARK(BM_LdfNextHop)->Arg(64)->Arg(1024)->Arg(16384);
+
+static void BM_LdfRoute(benchmark::State& state) {
+  const auto topo = core::VirtualTopology::make(
+      core::TopologyKind::kCfcg, state.range(0));
+  sim::Rng rng(2);
+  const auto n = static_cast<std::uint64_t>(topo.num_nodes());
+  for (auto _ : state) {
+    const auto s = static_cast<core::NodeId>(rng.uniform(n));
+    const auto t = static_cast<core::NodeId>(rng.uniform(n));
+    if (s == t) continue;
+    benchmark::DoNotOptimize(topo.route(s, t));
+  }
+}
+BENCHMARK(BM_LdfRoute)->Arg(64)->Arg(1024)->Arg(16384);
+
+static void BM_HypercubeRoute(benchmark::State& state) {
+  const auto topo = core::VirtualTopology::make(
+      core::TopologyKind::kHypercube, state.range(0));
+  sim::Rng rng(3);
+  const auto n = static_cast<std::uint64_t>(topo.num_nodes());
+  for (auto _ : state) {
+    const auto s = static_cast<core::NodeId>(rng.uniform(n));
+    const auto t = static_cast<core::NodeId>(rng.uniform(n));
+    if (s == t) continue;
+    benchmark::DoNotOptimize(topo.route(s, t));
+  }
+}
+BENCHMARK(BM_HypercubeRoute)->Arg(1024)->Arg(4096);
+
+static void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(i, [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.events_executed());
+  }
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+static void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    auto body = [](sim::Engine& e) -> sim::Co<void> {
+      for (int i = 0; i < 500; ++i) co_await sim::Sleep(e, 1);
+    };
+    sim::spawn(body(eng));
+    eng.run();
+    benchmark::DoNotOptimize(eng.now());
+  }
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+static void BM_TorusRouteLinks(benchmark::State& state) {
+  const net::TorusGeometry torus(state.range(0));
+  sim::Rng rng(4);
+  const auto n = static_cast<std::uint64_t>(torus.num_slots());
+  for (auto _ : state) {
+    const auto a = static_cast<std::int64_t>(rng.uniform(n));
+    const auto b = static_cast<std::int64_t>(rng.uniform(n));
+    benchmark::DoNotOptimize(torus.route_links(a, b));
+  }
+}
+BENCHMARK(BM_TorusRouteLinks)->Arg(256)->Arg(4096);
+
+static void BM_NetworkSend(benchmark::State& state) {
+  sim::Engine eng;
+  net::Network net(eng, 256);
+  sim::Rng rng(5);
+  for (auto _ : state) {
+    const auto s = static_cast<core::NodeId>(rng.uniform(256));
+    const auto d = static_cast<core::NodeId>(rng.uniform(256));
+    benchmark::DoNotOptimize(net.send(s, d, 1024, s));
+  }
+}
+BENCHMARK(BM_NetworkSend);
+
+static void BM_DependencyGraphBuild(benchmark::State& state) {
+  const auto topo = core::VirtualTopology::make(
+      core::TopologyKind::kMfcg, state.range(0));
+  for (auto _ : state) {
+    const core::DependencyGraph g(topo);
+    benchmark::DoNotOptimize(g.acyclic());
+  }
+}
+BENCHMARK(BM_DependencyGraphBuild)->Arg(64)->Arg(144);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,11 @@
+# Render the paper-style contention panels from split series files.
+#   gnuplot -e "dir='out_dir'" bench/plot/contention.gp
+if (!exists("dir")) dir = "series"
+set terminal pngcairo size 1200,800
+set output dir."/contention.png"
+set logscale y
+set xlabel "Process Rank"
+set ylabel "Time (usec)"
+set key outside
+plot for [f in system("ls ".dir."/*.dat")] f using 1:2 \
+     with points pointsize 0.3 title system("basename ".f." .dat")

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Split a fig6/fig7 bench output into one data file per (topology,
+# contention) series, ready for gnuplot.
+#
+#   ./build/bench/fig6_vector_contention > fig6.txt
+#   bench/plot/split_series.sh fig6.txt out_dir
+#   gnuplot -e "dir='out_dir'" bench/plot/contention.gp
+set -euo pipefail
+input=${1:?usage: split_series.sh <bench_output> <out_dir>}
+outdir=${2:?usage: split_series.sh <bench_output> <out_dir>}
+mkdir -p "$outdir"
+awk -v dir="$outdir" '
+  /^# series/ {
+    topo=""; cont="";
+    for (i = 1; i <= NF; ++i) {
+      if ($i ~ /^topology=/)   { topo = substr($i, 10) }
+      if ($i ~ /^contention=/) { cont = substr($i, 12) }
+    }
+    gsub(/%/, "", cont);
+    file = dir "/" topo "_" cont ".dat";
+    next
+  }
+  /^#/ { next }
+  /^[0-9]+ / { if (file != "") print > file }
+' "$input"
+ls "$outdir"

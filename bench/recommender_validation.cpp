@@ -1,0 +1,74 @@
+// Closing the loop: does core::recommend_topology's advice agree with
+// the simulator? Sweep the synthetic workload's hot-spot fraction and
+// compare the measured-fastest topology against the heuristic's pick.
+#include <cstdio>
+#include <limits>
+
+#include "bench_util.hpp"
+#include "core/recommend.hpp"
+#include "workloads/synthetic.hpp"
+
+using namespace vtopo;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::int64_t nodes = args.get_int("--nodes", 128);
+  const std::int64_t ops =
+      args.get_int("--ops", args.has("--quick") ? 12 : 24);
+
+  bench::print_header("Recommender validation",
+                      "heuristic advice vs. measured winner");
+  std::printf("# synthetic workload, %lld nodes x 4 procs, %lld ops/proc\n",
+              static_cast<long long>(nodes), static_cast<long long>(ops));
+  std::printf("%10s %10s %10s %10s %10s   %-10s %-12s %s\n", "hotspot",
+              "FCG_ms", "MFCG_ms", "CFCG_ms", "HC_ms", "measured",
+              "recommended", "agree");
+
+  int agree = 0;
+  int total = 0;
+  for (const double hotspot : {0.0, 0.05, 0.15, 0.3, 0.6}) {
+    work::SyntheticConfig sc;
+    sc.ops_per_proc = ops;
+    sc.hotspot_fraction = hotspot;
+    double best_ms = std::numeric_limits<double>::infinity();
+    core::TopologyKind best = core::TopologyKind::kFcg;
+    double ms[4] = {0, 0, 0, 0};
+    const auto& kinds = core::all_topology_kinds();
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      work::ClusterConfig cl;
+      cl.num_nodes = nodes;
+      cl.procs_per_node = 4;
+      cl.topology = kinds[k];
+      const auto res = run_synthetic(cl, sc);
+      ms[k] = res.exec_time_sec * 1e3;
+      if (ms[k] < best_ms) {
+        best_ms = ms[k];
+        best = kinds[k];
+      }
+    }
+
+    core::WorkloadProfile prof;
+    prof.num_nodes = nodes;
+    prof.hotspot_fraction = hotspot;
+    prof.latency_sensitivity = 0.9;  // blocking fine-grained ops
+    prof.buffer_budget_mb = 1024;    // memory not the constraint here
+    const auto rec = core::recommend_topology(prof);
+
+    // "Agreement" = the heuristic's pick is within 5% of the fastest
+    // (ties between near-identical topologies are not disagreements).
+    const double rec_ms =
+        ms[static_cast<std::size_t>(rec.kind)];
+    const bool ok = rec_ms <= best_ms * 1.05;
+    ++total;
+    if (ok) ++agree;
+    std::printf("%10.2f %10.2f %10.2f %10.2f %10.2f   %-10s %-12s %s\n",
+                hotspot, ms[0], ms[1], ms[2], ms[3],
+                core::to_string(best), core::to_string(rec.kind),
+                ok ? "yes" : "NO");
+  }
+  bench::print_rule();
+  std::printf("# heuristic within 5%% of the measured winner in %d/%d "
+              "sweeps\n",
+              agree, total);
+  return 0;
+}

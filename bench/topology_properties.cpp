@@ -1,0 +1,43 @@
+// Section III analysis table: the structural properties the paper
+// derives for each virtual topology (edges per node, forwarding bound,
+// request-tree height and fanout — Figs. 2-4 in numbers).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/memory_model.hpp"
+#include "core/tree_analysis.hpp"
+
+using namespace vtopo;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::int64_t max_nodes = args.get_int("--max-nodes", 4096);
+
+  bench::print_header("Section III", "virtual topology structural analysis");
+  std::printf("%8s %-10s %-12s %7s %8s %7s %8s %10s %12s\n", "nodes",
+              "kind", "shape", "edges", "max_fwd", "height", "fanout",
+              "tot_fwds", "cht_buf_MB");
+
+  core::MemoryParams mp;
+  for (std::int64_t n = 16; n <= max_nodes; n *= 4) {
+    for (const auto kind : core::all_topology_kinds()) {
+      const auto topo = core::VirtualTopology::make(kind, n);
+      const auto tree = core::build_request_tree(topo, 0);
+      std::printf("%8lld %-10s %-12s %7lld %8d %7d %8lld %10lld %12.1f\n",
+                  static_cast<long long>(n), core::to_string(kind),
+                  topo.shape().to_string().c_str(),
+                  static_cast<long long>(topo.degree(0)),
+                  topo.max_forwards(), tree.height(),
+                  static_cast<long long>(tree.root_fanout()),
+                  static_cast<long long>(tree.total_forwards()),
+                  static_cast<double>(core::cht_buffer_bytes(topo, 0, mp)) /
+                      (1024.0 * 1024.0));
+    }
+    bench::print_rule();
+  }
+  std::printf("# edges: O(N) FCG, O(sqrt N) MFCG, O(cbrt N) CFCG, "
+              "O(log N) Hypercube\n");
+  std::printf("# fanout = direct contention pressure at a hot node "
+              "(paper Figs. 2 and 4)\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Topology explorer: inspect the core library without the simulator.
+//
+//   $ ./topology_explorer <nodes> [fcg|mfcg|cfcg|hypercube] [src dst]
+//
+// Prints the chosen topology's shape, node 0's buffer edges, the
+// request-path tree rooted at node 0, the Fig.-5 memory estimate, the
+// deadlock-freedom verdict of the dependency analysis — and, if src/dst
+// are given, the LDF forwarding route between them.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/dependency_graph.hpp"
+#include "core/dot_export.hpp"
+#include "core/memory_model.hpp"
+#include "core/tree_analysis.hpp"
+
+using namespace vtopo;
+
+namespace {
+
+core::TopologyKind parse_kind(const char* s) {
+  const std::string k(s);
+  if (k == "fcg") return core::TopologyKind::kFcg;
+  if (k == "mfcg") return core::TopologyKind::kMfcg;
+  if (k == "cfcg") return core::TopologyKind::kCfcg;
+  if (k == "hypercube") return core::TopologyKind::kHypercube;
+  std::fprintf(stderr, "unknown topology '%s'\n", s);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <nodes> [fcg|mfcg|cfcg|hypercube] [src dst]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::int64_t nodes = std::atoll(argv[1]);
+  const core::TopologyKind kind =
+      argc > 2 ? parse_kind(argv[2]) : core::TopologyKind::kMfcg;
+
+  const auto topo = core::VirtualTopology::make(kind, nodes);
+  std::printf("topology      %s, %lld nodes", topo.name().c_str(),
+              static_cast<long long>(nodes));
+  if (topo.shape().capacity() != nodes) {
+    std::printf(" (partially populated %s grid)",
+                topo.shape().to_string().c_str());
+  }
+  std::printf("\nmax forwards  %d\n", topo.max_forwards());
+
+  std::printf("node 0 edges  %lld:", static_cast<long long>(topo.degree(0)));
+  int shown = 0;
+  for (const auto v : topo.neighbors(0)) {
+    if (shown++ == 16) {
+      std::printf(" ...");
+      break;
+    }
+    std::printf(" %d", v);
+  }
+  std::printf("\n");
+
+  const auto tree = core::build_request_tree(topo, 0);
+  std::printf("request tree  height %d, root fanout %lld, depths:",
+              tree.height(), static_cast<long long>(tree.root_fanout()));
+  const auto hist = tree.depth_histogram();
+  for (std::size_t d = 1; d < hist.size(); ++d) {
+    std::printf(" d%zu=%lld", d, static_cast<long long>(hist[d]));
+  }
+  std::printf("\n");
+
+  const core::MemoryParams mp;
+  std::printf("CHT buffers   %.1f MB on node 0 (VmRSS estimate %.1f MB)\n",
+              static_cast<double>(core::cht_buffer_bytes(topo, 0, mp)) /
+                  (1024.0 * 1024.0),
+              core::master_process_rss_mb(topo, 0, mp));
+
+  if (nodes <= 512) {
+    const core::DependencyGraph dep(topo);
+    std::printf("forwarding    %zu buffer edges, %zu dependencies, %s\n",
+                dep.num_resources(), dep.num_dependencies(),
+                dep.acyclic() ? "deadlock-free (acyclic)" : "CYCLIC");
+  } else {
+    std::printf("forwarding    (dependency analysis skipped for N > 512)\n");
+  }
+
+  if (argc > 2 && std::string(argv[argc - 1]) == "--dot") {
+    std::printf("%s", core::to_dot(topo).c_str());
+    std::printf("%s", core::tree_to_dot(topo, 0).c_str());
+    return 0;
+  }
+
+  if (argc > 4) {
+    const auto src = static_cast<core::NodeId>(std::atoi(argv[3]));
+    const auto dst = static_cast<core::NodeId>(std::atoi(argv[4]));
+    std::printf("route %d -> %d:", src, dst);
+    core::NodeId cur = src;
+    for (const auto hop : topo.route(src, dst)) {
+      std::printf(" %d ->", cur);
+      cur = hop;
+    }
+    std::printf(" %d (%zu hops)\n", dst, topo.route(src, dst).size());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Request-buffer credit accounting (the resource the paper's directed
+// graph models).
+//
+// Edge E(i, j): node i dedicates buffers_per_process * ppn buffers to
+// senders on node j. We track the credits on the *sender* side: before
+// node j (a process or its CHT) may send a request to node i, it must
+// acquire one credit for edge (i <- j); the credit returns when i's
+// acknowledgment (or the response, for the first hop) arrives back at j.
+// Exhausted credits block the sender — for a forwarding CHT this is the
+// hold-and-wait that makes arbitrary forwarding orders deadlock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/coords.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace vtopo::armci {
+
+/// Sender-side credit pools on one node: one pool per out-neighbor.
+class CreditBank {
+ public:
+  CreditBank(sim::Engine& eng, std::int64_t credits_per_edge)
+      : eng_(&eng), credits_per_edge_(credits_per_edge) {}
+
+  /// Pool of credits for sending to `receiver` (lazily created; the
+  /// topology guarantees only direct neighbors are ever requested).
+  sim::Semaphore& pool(core::NodeId receiver) {
+    auto it = pools_.find(receiver);
+    if (it == pools_.end()) {
+      it = pools_
+               .emplace(receiver, std::make_unique<sim::Semaphore>(
+                                      *eng_, credits_per_edge_))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// Total time senders on this node spent blocked on exhausted credits.
+  [[nodiscard]] sim::TimeNs blocked_ns() const { return blocked_ns_; }
+  void add_blocked(sim::TimeNs d) { blocked_ns_ += d; }
+
+ private:
+  sim::Engine* eng_;
+  std::int64_t credits_per_edge_;
+  std::unordered_map<core::NodeId, std::unique_ptr<sim::Semaphore>> pools_;
+  sim::TimeNs blocked_ns_ = 0;
+};
+
+}  // namespace vtopo::armci

@@ -1,0 +1,292 @@
+#include "armci/cht.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "armci/runtime.hpp"
+
+namespace vtopo::armci {
+
+Cht::Cht(Runtime& rt, core::NodeId node)
+    : rt_(&rt), node_(node), queue_(rt.engine()) {}
+
+void Cht::start() { rt_->spawn_task(run_loop()); }
+
+void Cht::stop() { queue_.push(nullptr); }
+
+sim::Co<void> Cht::run_loop() {
+  for (;;) {
+    RequestPtr r = co_await queue_.pop();
+    if (!r) break;  // poison: shut down
+    // Polling model: a CHT that went idle longer than the polling window
+    // blocked in the network wait and pays a wake-up penalty; an actively
+    // busy/forwarding CHT is already polling and reacts immediately.
+    const ArmciParams& p = rt_->params();
+    if (rt_->engine().now() - last_active_ > p.cht_poll_window) {
+      ++rt_->stats().cht_wakeups;
+      co_await sim::Sleep(rt_->engine(), p.cht_wakeup);
+    }
+    co_await handle(std::move(r));
+    last_active_ = rt_->engine().now();
+  }
+}
+
+sim::TimeNs Cht::handle_cost(const Request& r) const {
+  const ArmciParams& p = rt_->params();
+  sim::TimeNs cost = p.cht_service;
+  const std::int64_t touched =
+      r.payload_bytes() + (r.target_node == node_
+                               ? r.response_data_bytes()
+                               : 0);
+  cost += static_cast<sim::TimeNs>(static_cast<double>(touched) * 1e9 /
+                                   p.cht_copy_bandwidth);
+  if (r.target_node == node_ &&
+      (r.op == OpCode::kFetchAdd || r.op == OpCode::kSwap)) {
+    cost += p.atomic_exec;
+  }
+  return cost;
+}
+
+sim::Co<void> Cht::handle(RequestPtr r) {
+  ++handled_;
+  const sim::TimeNs cost = handle_cost(*r);
+  busy_ns_ += cost;
+  co_await sim::Sleep(rt_->engine(), cost);
+  if (r->target_node == node_) {
+    execute(r);
+  } else {
+    // Forwarding may block on a downstream buffer credit. That wait
+    // must NOT stall the service loop: a serial CHT that blocks
+    // head-of-line couples otherwise-independent buffer classes and
+    // deadlocks even under LDF (the Dally–Seitz argument requires each
+    // resource class to drain independently). Park the forward as its
+    // own task; the receive buffer it occupies stays held until the
+    // forward actually goes out.
+    rt_->spawn_task(forward(std::move(r)));
+  }
+}
+
+sim::Co<void> Cht::forward(RequestPtr r) {
+  const ArmciParams& p = rt_->params();
+  const core::NodeId next = rt_->topology().next_hop(node_, r->target_node);
+  assert(next != node_);
+
+  // Acquire a buffer credit at the next hop. While blocked here the
+  // request still occupies this node's receive buffer (hold-and-wait).
+  CreditBank& bank = rt_->credits(node_);
+  const sim::TimeNs t0 = rt_->engine().now();
+  co_await bank.pool(next).acquire();
+  const sim::TimeNs blocked = rt_->engine().now() - t0;
+  bank.add_blocked(blocked);
+  rt_->stats().credit_blocked_ns += blocked;
+
+  co_await sim::Sleep(rt_->engine(), p.cht_forward_extra);
+
+  // The buffer here is free once the copy has been pushed out: ack the
+  // upstream node, then send the request onward.
+  release_upstream(*r);
+  r->upstream_node = node_;
+  r->upstream_is_cht = true;
+  r->hop_credit_taken = true;
+  ++r->forwards;
+  ++rt_->stats().forwards;
+
+  Cht& next_cht = rt_->cht(next);
+  RequestPtr rr = std::move(r);
+  const std::int64_t wire =
+      p.request_header_bytes + rr->payload_bytes();
+  rt_->network().deliver(node_, next, wire, rt_->cht_stream(node_),
+                         [&next_cht, rr]() mutable {
+    next_cht.enqueue(std::move(rr));
+  });
+}
+
+void Cht::release_upstream(const Request& r) {
+  if (!r.hop_credit_taken) return;  // intra-node delivery took no credit
+  const ArmciParams& p = rt_->params();
+  const core::NodeId upstream = r.upstream_node;
+  CreditBank& bank = rt_->credits(upstream);
+  const core::NodeId self = node_;
+  ++rt_->stats().acks;
+  rt_->network().deliver(node_, upstream, p.ack_bytes,
+                         rt_->cht_stream(node_),
+                         [&bank, self] { bank.pool(self).release(); });
+}
+
+void Cht::execute(const RequestPtr& r) {
+  GlobalMemory& mem = rt_->memory();
+  Response resp;
+  bool respond_now = true;
+
+  switch (r->op) {
+    case OpCode::kPutV: {
+      std::int64_t off = 0;
+      for (const auto& seg : r->segs) {
+        mem.write(GAddr{r->target_proc, seg.target_offset},
+                  std::span<const std::uint8_t>(r->data).subspan(
+                      static_cast<std::size_t>(off),
+                      static_cast<std::size_t>(seg.bytes)));
+        off += seg.bytes;
+      }
+      break;
+    }
+    case OpCode::kAcc: {
+      std::int64_t off = 0;
+      for (const auto& seg : r->segs) {
+        const GAddr dst{r->target_proc, seg.target_offset};
+        const auto* bytes = r->data.data() + off;
+        switch (r->acc_type) {
+          case AccType::kF64: {
+            const auto n = static_cast<std::size_t>(seg.bytes / 8);
+            std::vector<double> vals(n);
+            std::memcpy(vals.data(), bytes, n * sizeof(double));
+            mem.accumulate_f64(dst, vals, r->scale);
+            break;
+          }
+          case AccType::kI64: {
+            const auto n = static_cast<std::size_t>(seg.bytes / 8);
+            std::vector<std::int64_t> vals(n);
+            std::memcpy(vals.data(), bytes, n * sizeof(std::int64_t));
+            mem.accumulate_i64(dst, vals,
+                               static_cast<std::int64_t>(r->scale));
+            break;
+          }
+          case AccType::kF32: {
+            const auto n = static_cast<std::size_t>(seg.bytes / 4);
+            std::vector<float> vals(n);
+            std::memcpy(vals.data(), bytes, n * sizeof(float));
+            mem.accumulate_f32(dst, vals, static_cast<float>(r->scale));
+            break;
+          }
+        }
+        off += seg.bytes;
+      }
+      break;
+    }
+    case OpCode::kPutS: {
+      const StridedDesc& d = r->strided;
+      std::vector<std::int64_t> idx(static_cast<std::size_t>(d.levels), 0);
+      std::int64_t src_off = 0;
+      for (;;) {
+        std::int64_t remote = d.base_offset;
+        for (int l = 0; l < d.levels; ++l) {
+          remote += idx[static_cast<std::size_t>(l)] *
+                    d.strides[static_cast<std::size_t>(l)];
+        }
+        mem.write(GAddr{r->target_proc, remote},
+                  std::span<const std::uint8_t>(r->data).subspan(
+                      static_cast<std::size_t>(src_off),
+                      static_cast<std::size_t>(d.block_bytes)));
+        src_off += d.block_bytes;
+        int l = 0;
+        for (; l < d.levels; ++l) {
+          if (++idx[static_cast<std::size_t>(l)] <
+              d.counts[static_cast<std::size_t>(l)]) {
+            break;
+          }
+          idx[static_cast<std::size_t>(l)] = 0;
+        }
+        if (l == d.levels) break;
+      }
+      break;
+    }
+    case OpCode::kGetS: {
+      const StridedDesc& d = r->strided;
+      resp.data.resize(static_cast<std::size_t>(d.total_bytes()));
+      std::vector<std::int64_t> idx(static_cast<std::size_t>(d.levels), 0);
+      std::int64_t dst_off = 0;
+      for (;;) {
+        std::int64_t remote = d.base_offset;
+        for (int l = 0; l < d.levels; ++l) {
+          remote += idx[static_cast<std::size_t>(l)] *
+                    d.strides[static_cast<std::size_t>(l)];
+        }
+        mem.read(std::span<std::uint8_t>(resp.data)
+                     .subspan(static_cast<std::size_t>(dst_off),
+                              static_cast<std::size_t>(d.block_bytes)),
+                 GAddr{r->target_proc, remote});
+        dst_off += d.block_bytes;
+        int l = 0;
+        for (; l < d.levels; ++l) {
+          if (++idx[static_cast<std::size_t>(l)] <
+              d.counts[static_cast<std::size_t>(l)]) {
+            break;
+          }
+          idx[static_cast<std::size_t>(l)] = 0;
+        }
+        if (l == d.levels) break;
+      }
+      break;
+    }
+    case OpCode::kGetV: {
+      resp.data.resize(
+          static_cast<std::size_t>(r->response_data_bytes()));
+      std::int64_t off = 0;
+      for (const auto& seg : r->segs) {
+        mem.read(std::span<std::uint8_t>(resp.data)
+                     .subspan(static_cast<std::size_t>(off),
+                              static_cast<std::size_t>(seg.bytes)),
+                 GAddr{r->target_proc, seg.target_offset});
+        off += seg.bytes;
+      }
+      break;
+    }
+    case OpCode::kFetchAdd:
+      resp.value = mem.fetch_add_i64(r->addr, r->imm);
+      break;
+    case OpCode::kSwap:
+      resp.value = mem.swap_i64(r->addr, r->imm);
+      break;
+    case OpCode::kLock: {
+      LockState& ls = locks_[{r->target_proc, r->mutex_id}];
+      if (ls.held) {
+        // Absorb into the waiter queue; the buffer is still released
+        // below, and the grant response is sent at unlock time.
+        ls.waiters.push_back(r);
+        rt_->stats().lock_queue_max =
+            std::max<std::uint64_t>(rt_->stats().lock_queue_max,
+                                    ls.waiters.size());
+        respond_now = false;
+      } else {
+        ls.held = true;
+        ls.holder = r->origin_proc;
+      }
+      break;
+    }
+    case OpCode::kUnlock: {
+      LockState& ls = locks_[{r->target_proc, r->mutex_id}];
+      assert(ls.held && ls.holder == r->origin_proc &&
+             "unlock by non-holder");
+      if (!ls.waiters.empty()) {
+        RequestPtr next = std::move(ls.waiters.front());
+        ls.waiters.pop_front();
+        ls.holder = next->origin_proc;
+        send_response(next, Response{});  // grant to the next waiter
+      } else {
+        ls.held = false;
+        ls.holder = -1;
+      }
+      break;
+    }
+  }
+
+  release_upstream(*r);
+  if (respond_now) send_response(r, std::move(resp));
+}
+
+void Cht::send_response(const RequestPtr& r, Response resp) {
+  const ArmciParams& p = rt_->params();
+  const std::int64_t wire = p.response_header_bytes +
+                            static_cast<std::int64_t>(resp.data.size());
+  ++rt_->stats().responses;
+  auto payload = std::make_shared<Response>(std::move(resp));
+  RequestPtr req = r;
+  rt_->network().deliver(node_, r->origin_node, wire,
+                         rt_->cht_stream(node_), [req, payload] {
+    req->on_response(std::move(*payload));
+  });
+}
+
+}  // namespace vtopo::armci

@@ -1,0 +1,76 @@
+// Communication helper thread (CHT) actor.
+//
+// One CHT per node services CHT-mediated requests serially: it either
+// executes the operation (when this node hosts the target process) or
+// forwards the request one hop along the virtual topology. Handling a
+// request holds the receive buffer the request occupies; the buffer is
+// released — by acknowledging the upstream node — once the request has
+// been executed, absorbed (lock waiters), or forwarded onward. While a
+// forwarding CHT waits for a downstream buffer credit it therefore
+// blocks holding a buffer: the hold-and-wait edge that makes forwarding
+// order a deadlock question (see core/dependency_graph.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "armci/request.hpp"
+#include "sim/queue.hpp"
+#include "sim/task.hpp"
+
+namespace vtopo::armci {
+
+class Runtime;
+
+class Cht {
+ public:
+  Cht(Runtime& rt, core::NodeId node);
+
+  [[nodiscard]] core::NodeId node() const { return node_; }
+
+  /// Begin the service loop (spawned as a detached coroutine).
+  void start();
+  /// Push a poison request; the service loop exits after draining.
+  void stop();
+
+  /// Deliver a request to this CHT (called from network arrival events).
+  void enqueue(RequestPtr r) { queue_.push(std::move(r)); }
+
+  /// Queue depth right now (diagnostics).
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+  /// Requests this CHT has handled (executed or forwarded).
+  [[nodiscard]] std::uint64_t handled() const { return handled_; }
+  /// Total simulated time this CHT spent servicing requests.
+  [[nodiscard]] sim::TimeNs busy_ns() const { return busy_ns_; }
+
+ private:
+  sim::Co<void> run_loop();
+  sim::Co<void> handle(RequestPtr r);
+  sim::Co<void> forward(RequestPtr r);
+  void execute(const RequestPtr& r);
+  void send_response(const RequestPtr& r, Response resp);
+  /// Release the buffer credit the current hop consumed (if any).
+  void release_upstream(const Request& r);
+
+  /// CHT time to decode/copy one request (and gather its response).
+  [[nodiscard]] sim::TimeNs handle_cost(const Request& r) const;
+
+  struct LockState {
+    bool held = false;
+    ProcId holder = -1;
+    std::deque<RequestPtr> waiters;
+  };
+
+  Runtime* rt_;
+  core::NodeId node_;
+  sim::AsyncQueue<RequestPtr> queue_;
+  std::map<std::pair<ProcId, std::int32_t>, LockState> locks_;
+  sim::TimeNs last_active_ = std::numeric_limits<sim::TimeNs>::min() / 4;
+  std::uint64_t handled_ = 0;
+  sim::TimeNs busy_ns_ = 0;
+};
+
+}  // namespace vtopo::armci

@@ -1,0 +1,104 @@
+#include "armci/group.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "armci/runtime.hpp"
+
+namespace vtopo::armci {
+
+ProcGroup::ProcGroup(Runtime& rt, std::vector<ProcId> members)
+    : rt_(&rt), members_(std::move(members)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("ProcGroup: empty member list");
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const ProcId p = members_[i];
+    if (p < 0 || p >= rt.num_procs()) {
+      throw std::invalid_argument("ProcGroup: rank out of range");
+    }
+    const auto [it, inserted] =
+        rank_of_.emplace(p, static_cast<std::int64_t>(i));
+    if (!inserted) {
+      throw std::invalid_argument("ProcGroup: duplicate rank");
+    }
+  }
+}
+
+ProcGroup ProcGroup::range(Runtime& rt, ProcId first, std::int64_t count) {
+  std::vector<ProcId> members(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    members[static_cast<std::size_t>(i)] =
+        first + static_cast<ProcId>(i);
+  }
+  return ProcGroup(rt, std::move(members));
+}
+
+ProcGroup ProcGroup::node_group(Runtime& rt, core::NodeId node) {
+  std::vector<ProcId> members;
+  for (int i = 0; i < rt.procs_per_node(); ++i) {
+    members.push_back(
+        static_cast<ProcId>(node * rt.procs_per_node() + i));
+  }
+  return ProcGroup(rt, std::move(members));
+}
+
+std::int64_t ProcGroup::rank_of(ProcId p) const {
+  const auto it = rank_of_.find(p);
+  assert(it != rank_of_.end() && "rank_of on non-member");
+  return it->second;
+}
+
+sim::Co<void> ProcGroup::barrier(ProcId self) {
+  assert(contains(self) && "group barrier from non-member");
+  (void)self;
+  const ArmciParams& p = rt_->params();
+  sim::Engine& eng = rt_->engine();
+  barrier_futures_.emplace_back(eng);
+  sim::Future<int> fut = barrier_futures_.back();
+  if (++barrier_arrived_ == size()) {
+    const int levels = std::max(
+        1, static_cast<int>(
+               std::ceil(std::log2(static_cast<double>(size())))));
+    const sim::TimeNs latency =
+        p.barrier_base + p.barrier_per_level * levels;
+    std::vector<sim::Future<int>> futs = std::move(barrier_futures_);
+    barrier_futures_.clear();
+    barrier_arrived_ = 0;
+    for (auto& f : futs) {
+      eng.schedule_after(latency, [f]() mutable { f.set(0); });
+    }
+  }
+  co_await fut;
+}
+
+sim::Co<double> ProcGroup::allreduce_sum(ProcId self, double value) {
+  assert(contains(self) && "group allreduce from non-member");
+  (void)self;
+  const ArmciParams& p = rt_->params();
+  sim::Engine& eng = rt_->engine();
+  reduce_sum_ += value;
+  reduce_futures_.emplace_back(eng);
+  sim::Future<double> fut = reduce_futures_.back();
+  if (++reduce_arrived_ == size()) {
+    const int levels = std::max(
+        1, static_cast<int>(
+               std::ceil(std::log2(static_cast<double>(size())))));
+    const sim::TimeNs latency =
+        p.barrier_base + 2 * p.barrier_per_level * levels;
+    const double total = reduce_sum_;
+    std::vector<sim::Future<double>> futs = std::move(reduce_futures_);
+    reduce_futures_.clear();
+    reduce_arrived_ = 0;
+    reduce_sum_ = 0.0;
+    for (auto& f : futs) {
+      eng.schedule_after(latency, [f, total]() mutable { f.set(total); });
+    }
+  }
+  const double result = co_await fut;
+  co_return result;
+}
+
+}  // namespace vtopo::armci

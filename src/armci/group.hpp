@@ -1,0 +1,64 @@
+// Process groups (GA subgroups / ARMCI domains).
+//
+// NWChem partitions its processes into groups that run independent
+// subcalculations with their own barriers and reductions. A ProcGroup
+// is an ordered subset of the runtime's processes providing exactly
+// those collectives; one-sided operations need no group (any process
+// may target any other).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "armci/memory.hpp"
+#include "core/coords.hpp"
+#include "sim/task.hpp"
+
+namespace vtopo::armci {
+
+class Runtime;
+
+class ProcGroup {
+ public:
+  /// Build a group from an explicit member list (deduplicated ids are a
+  /// caller bug; ids must be valid ranks).
+  ProcGroup(Runtime& rt, std::vector<ProcId> members);
+
+  /// Convenience: the contiguous rank range [first, first+count).
+  static ProcGroup range(Runtime& rt, ProcId first, std::int64_t count);
+  /// Convenience: every process on the given node.
+  static ProcGroup node_group(Runtime& rt, core::NodeId node);
+
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(members_.size());
+  }
+  [[nodiscard]] const std::vector<ProcId>& members() const {
+    return members_;
+  }
+  [[nodiscard]] bool contains(ProcId p) const {
+    return rank_of_.count(p) != 0;
+  }
+  /// Rank of `p` within the group (asserts membership).
+  [[nodiscard]] std::int64_t rank_of(ProcId p) const;
+
+  /// Group barrier: releases all members once every member arrived.
+  [[nodiscard]] sim::Co<void> barrier(ProcId self);
+  /// Group sum-allreduce.
+  [[nodiscard]] sim::Co<double> allreduce_sum(ProcId self, double value);
+
+ private:
+  Runtime* rt_;
+  std::vector<ProcId> members_;
+  std::unordered_map<ProcId, std::int64_t> rank_of_;
+
+  // Collective state (one outstanding collective of each kind at a
+  // time, as with the global barrier).
+  std::int64_t barrier_arrived_ = 0;
+  std::vector<sim::Future<int>> barrier_futures_;
+  std::int64_t reduce_arrived_ = 0;
+  double reduce_sum_ = 0.0;
+  std::vector<sim::Future<double>> reduce_futures_;
+};
+
+}  // namespace vtopo::armci

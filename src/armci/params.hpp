@@ -1,0 +1,47 @@
+// Tunable parameters of the ARMCI-like runtime model.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace vtopo::armci {
+
+struct ArmciParams {
+  /// Request buffers dedicated to each remote process with a direct
+  /// edge ("the number of buffers per process is 4", Sec. V-A).
+  int buffers_per_process = 4;
+  /// Size of each request buffer ("16KB"); CHT-mediated requests whose
+  /// header+payload exceed this are split into multiple requests.
+  std::int64_t buffer_bytes = 16 * 1024;
+  /// Wire overhead of a request header / response header / credit ack.
+  std::int64_t request_header_bytes = 64;
+  std::int64_t response_header_bytes = 32;
+  std::int64_t ack_bytes = 32;
+  /// Wire overhead of a direct (RDMA) contiguous put/get descriptor.
+  std::int64_t rdma_header_bytes = 40;
+
+  /// CHT base cost to handle one request (dequeue, decode, dispatch).
+  sim::TimeNs cht_service = sim::us(0.6);
+  /// Extra CHT cost to forward a request to the next hop.
+  sim::TimeNs cht_forward_extra = sim::us(0.4);
+  /// CHT per-byte touch bandwidth (copy through shared memory).
+  double cht_copy_bandwidth = 5.0e9;
+  /// Wake-up penalty when a request reaches a CHT that has been idle
+  /// longer than `cht_poll_window` (blocked in the network wait instead
+  /// of actively polling). Actively-forwarding CHTs skip this — the
+  /// mechanism behind the paper's observation that middle-band MFCG
+  /// processes get *faster* under higher contention (Sec. V-B2).
+  sim::TimeNs cht_wakeup = sim::us(3.0);
+  sim::TimeNs cht_poll_window = sim::us(5.0);
+
+  /// Origin-side software cost to build and issue a one-sided op.
+  sim::TimeNs proc_op_overhead = sim::us(0.3);
+  /// Cost of executing an atomic (fetch-&-add / swap) at the target.
+  sim::TimeNs atomic_exec = sim::us(0.2);
+  /// Latency model of the (idealized tree) barrier: base + per-level.
+  sim::TimeNs barrier_base = sim::us(2.0);
+  sim::TimeNs barrier_per_level = sim::us(1.5);
+};
+
+}  // namespace vtopo::armci

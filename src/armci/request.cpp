@@ -1,0 +1,51 @@
+#include "armci/request.hpp"
+
+namespace vtopo::armci {
+
+const char* to_string(OpCode op) {
+  switch (op) {
+    case OpCode::kAcc:
+      return "acc";
+    case OpCode::kPutV:
+      return "put_v";
+    case OpCode::kGetV:
+      return "get_v";
+    case OpCode::kPutS:
+      return "put_s";
+    case OpCode::kGetS:
+      return "get_s";
+    case OpCode::kFetchAdd:
+      return "fetch_add";
+    case OpCode::kSwap:
+      return "swap";
+    case OpCode::kLock:
+      return "lock";
+    case OpCode::kUnlock:
+      return "unlock";
+  }
+  return "?";
+}
+
+std::int64_t Request::response_data_bytes() const {
+  switch (op) {
+    case OpCode::kGetV: {
+      std::int64_t total = 0;
+      for (const auto& s : segs) total += s.bytes;
+      return total;
+    }
+    case OpCode::kGetS:
+      return strided.total_bytes();
+    case OpCode::kFetchAdd:
+    case OpCode::kSwap:
+      return 8;
+    case OpCode::kAcc:
+    case OpCode::kPutV:
+    case OpCode::kPutS:
+    case OpCode::kLock:
+    case OpCode::kUnlock:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace vtopo::armci

@@ -1,0 +1,128 @@
+// One-sided request descriptors.
+//
+// Contiguous put/get are fully one-sided on the (simulated) NIC — they
+// never enter a CHT and never consume request buffers, mirroring ARMCI
+// on Portals. Everything else — accumulate, vectored/strided transfers,
+// read-modify-write atomics, lock/unlock — is a CHT-mediated request
+// that travels the *virtual topology* (possibly forwarded) and occupies
+// a request buffer at every hop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/coords.hpp"
+#include "armci/memory.hpp"
+
+namespace vtopo::armci {
+
+/// Element type of an accumulate (ARMCI_ACC_DBL / _LNG / _FLT).
+enum class AccType : std::uint8_t { kF64, kI64, kF32 };
+
+enum class OpCode : std::uint8_t {
+  kAcc,       ///< dst[i] += scale * src[i] (typed accumulate)
+  kPutV,      ///< vectored (noncontiguous) put
+  kGetV,      ///< vectored (noncontiguous) get
+  kPutS,      ///< strided put (compact descriptor, expanded at target)
+  kGetS,      ///< strided get (compact descriptor)
+  kFetchAdd,  ///< atomic int64 fetch-&-add
+  kSwap,      ///< atomic int64 swap
+  kLock,      ///< acquire a remote mutex
+  kUnlock,    ///< release a remote mutex
+};
+
+[[nodiscard]] const char* to_string(OpCode op);
+
+/// One segment of a vectored transfer, target side. Data for puts rides
+/// in Request::data in segment order; data for gets rides back in
+/// Response::data.
+struct VecSeg {
+  std::int64_t target_offset = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Compact N-level strided descriptor (ARMCI_PutS wire format): the
+/// target expands it instead of shipping one VecSeg per block, so the
+/// wire overhead is one fixed-size descriptor regardless of block count.
+struct StridedDesc {
+  std::int64_t base_offset = 0;
+  std::int64_t block_bytes = 0;               ///< contiguous bytes
+  int levels = 0;                             ///< 0..7
+  std::array<std::int64_t, 7> strides{};      ///< target-side strides
+  std::array<std::int64_t, 7> counts{};       ///< repetitions per level
+
+  [[nodiscard]] std::int64_t total_blocks() const {
+    std::int64_t n = 1;
+    for (int l = 0; l < levels; ++l) n *= counts[static_cast<std::size_t>(l)];
+    return n;
+  }
+  [[nodiscard]] std::int64_t total_bytes() const {
+    return total_blocks() * block_bytes;
+  }
+  /// Wire size of the descriptor itself.
+  static constexpr std::int64_t kWireBytes = 128;
+};
+
+/// What the target sends back to the origin process.
+struct Response {
+  std::int64_t value = 0;            ///< fetch-&-add / swap result
+  std::vector<std::uint8_t> data;    ///< gathered data for kGetV
+};
+
+/// A CHT-mediated request in flight. Owned via shared_ptr so the origin,
+/// the network events, and the servicing CHT can all reference it; the
+/// "wire" cost is modeled separately (wire_bytes).
+struct Request {
+  std::uint64_t id = 0;
+  OpCode op = OpCode::kFetchAdd;
+
+  ProcId origin_proc = 0;
+  core::NodeId origin_node = 0;
+  ProcId target_proc = 0;
+  core::NodeId target_node = 0;
+
+  /// Node the current copy of the request was sent from (the origin node
+  /// initially, then each intermediate). The handler acknowledges this
+  /// node to release the buffer credit the hop consumed.
+  core::NodeId upstream_node = 0;
+  /// False for the first hop (ack releases the origin process's credit),
+  /// true once an intermediate CHT has forwarded it.
+  bool upstream_is_cht = false;
+  /// True when the latest hop consumed a buffer credit (always, except
+  /// intra-node deliveries which bypass flow control).
+  bool hop_credit_taken = false;
+  /// Number of CHT forwarding steps taken so far (diagnostics).
+  int forwards = 0;
+
+  GAddr addr{};                      ///< target address (atomic/acc/lock id base)
+  AccType acc_type = AccType::kF64;  ///< accumulate element type
+  double scale = 1.0;                ///< accumulate scale factor
+  std::int64_t imm = 0;              ///< fetch-&-add delta / swap value
+  std::int32_t mutex_id = 0;         ///< lock/unlock mutex index
+  std::vector<VecSeg> segs;          ///< vectored segments
+  StridedDesc strided;               ///< kPutS/kGetS descriptor
+  std::vector<std::uint8_t> data;    ///< put/acc payload (real bytes)
+
+  /// Payload bytes carried by the request on the wire.
+  [[nodiscard]] std::int64_t payload_bytes() const {
+    std::int64_t desc =
+        static_cast<std::int64_t>(segs.size()) * 16;
+    if (op == OpCode::kPutS || op == OpCode::kGetS) {
+      desc = StridedDesc::kWireBytes;
+    }
+    return static_cast<std::int64_t>(data.size()) + desc;
+  }
+  /// Data bytes the response will carry back.
+  [[nodiscard]] std::int64_t response_data_bytes() const;
+
+  /// Fulfilled (via the event queue) when the response reaches origin.
+  std::function<void(Response)> on_response;
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace vtopo::armci

@@ -1,0 +1,136 @@
+#include "armci/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "armci/cht.hpp"
+#include "armci/proc.hpp"
+
+namespace vtopo::armci {
+
+Runtime::Runtime(sim::Engine& eng, Config cfg)
+    : eng_(&eng),
+      cfg_(cfg),
+      memory_(cfg.num_nodes * cfg.procs_per_node, cfg.segment_bytes),
+      topology_(cfg.custom_shape
+                    ? core::VirtualTopology::custom(
+                          cfg.topology, *cfg.custom_shape, cfg.num_nodes,
+                          cfg.policy)
+                    : core::VirtualTopology::make(cfg.topology,
+                                                  cfg.num_nodes,
+                                                  cfg.policy)),
+      network_(eng, cfg.num_nodes, cfg.net, cfg.placement, cfg.seed) {
+  chts_.reserve(static_cast<std::size_t>(cfg.num_nodes));
+  credit_banks_.reserve(static_cast<std::size_t>(cfg.num_nodes));
+  for (core::NodeId n = 0; n < cfg.num_nodes; ++n) {
+    chts_.push_back(std::make_unique<Cht>(*this, n));
+    credit_banks_.push_back(
+        std::make_unique<CreditBank>(eng, credits_per_edge()));
+  }
+  procs_.reserve(static_cast<std::size_t>(num_procs()));
+  for (ProcId p = 0; p < num_procs(); ++p) {
+    procs_.push_back(std::make_unique<Proc>(*this, p));
+  }
+  for (auto& cht : chts_) cht->start();
+}
+
+Runtime::~Runtime() {
+  // Let CHT loops exit so their coroutine frames are reclaimed; safe
+  // even after run_all() (stop is idempotent via the poison drain).
+  if (!chts_stopped_) {
+    stop_chts();
+  }
+}
+
+void Runtime::stop_chts() {
+  for (auto& cht : chts_) cht->stop();
+  eng_->run();
+  chts_stopped_ = true;
+}
+
+Proc& Runtime::proc(ProcId p) {
+  assert(p >= 0 && p < num_procs());
+  return *procs_[static_cast<std::size_t>(p)];
+}
+
+Cht& Runtime::cht(core::NodeId n) {
+  assert(n >= 0 && n < num_nodes());
+  return *chts_[static_cast<std::size_t>(n)];
+}
+
+CreditBank& Runtime::credits(core::NodeId n) {
+  assert(n >= 0 && n < num_nodes());
+  return *credit_banks_[static_cast<std::size_t>(n)];
+}
+
+void Runtime::spawn(ProcId p, std::function<sim::Co<void>(Proc&)> program) {
+  programs_.push_back(std::move(program));
+  sim::spawn(programs_.back()(proc(p)), &live_);
+}
+
+void Runtime::spawn_all(const std::function<sim::Co<void>(Proc&)>& program) {
+  for (ProcId p = 0; p < num_procs(); ++p) spawn(p, program);
+}
+
+void Runtime::spawn_task(sim::Co<void> task) {
+  sim::spawn(std::move(task), nullptr);
+}
+
+void Runtime::run_all() {
+  eng_->run();
+  if (live_ != 0) throw DeadlockError(live_);
+  stop_chts();
+}
+
+bool Runtime::run_for(sim::TimeNs deadline) {
+  eng_->run_until(deadline);
+  return live_ == 0;
+}
+
+sim::Co<void> Runtime::barrier_wait() {
+  const ArmciParams& p = cfg_.armci;
+  barrier_futures_.emplace_back(*eng_);
+  sim::Future<int> fut = barrier_futures_.back();
+  if (++barrier_arrived_ == num_procs()) {
+    const int levels = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(num_procs()))));
+    const sim::TimeNs latency =
+        p.barrier_base + p.barrier_per_level * std::max(levels, 1);
+    std::vector<sim::Future<int>> futs = std::move(barrier_futures_);
+    barrier_futures_.clear();
+    barrier_arrived_ = 0;
+    for (auto& f : futs) {
+      eng_->schedule_after(latency, [f]() mutable { f.set(0); });
+    }
+  }
+  co_await fut;
+}
+
+sim::Co<double> Runtime::allreduce_sum(double value) {
+  const ArmciParams& p = cfg_.armci;
+  reduce_sum_ += value;
+  reduce_futures_.emplace_back(*eng_);
+  sim::Future<double> fut = reduce_futures_.back();
+  if (++reduce_arrived_ == num_procs()) {
+    const int levels = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(num_procs()))));
+    // Reduction + broadcast: two tree traversals.
+    const sim::TimeNs latency =
+        p.barrier_base + 2 * p.barrier_per_level * std::max(levels, 1);
+    const double total = reduce_sum_;
+    std::vector<sim::Future<double>> futs = std::move(reduce_futures_);
+    reduce_futures_.clear();
+    reduce_arrived_ = 0;
+    reduce_sum_ = 0.0;
+    for (auto& f : futs) {
+      eng_->schedule_after(latency,
+                           [f, total]() mutable { f.set(total); });
+    }
+  }
+  const double result = co_await fut;
+  co_return result;
+}
+
+}  // namespace vtopo::armci

@@ -1,0 +1,183 @@
+// The ARMCI-like GAS runtime running on the simulated cluster.
+//
+// A Runtime wires together: the global memory, a virtual topology
+// (FCG/MFCG/CFCG/Hypercube) over the nodes, the physical torus network,
+// one CHT (communication helper thread) actor per node, and per-node
+// credit banks modelling the pre-allocated request buffers.
+//
+// Application code is written as coroutines against the Proc API
+// (armci/proc.hpp) and spawned with spawn()/spawn_all(); run_all()
+// drives the simulation to completion and reports stranded tasks
+// (i.e., deadlock) by throwing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "armci/buffers.hpp"
+#include "armci/memory.hpp"
+#include "armci/params.hpp"
+#include "armci/request.hpp"
+#include "armci/trace.hpp"
+#include "core/topology.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace vtopo::armci {
+
+class Cht;
+class Proc;
+
+/// Aggregate protocol counters for one run.
+struct RuntimeStats {
+  std::uint64_t requests = 0;        ///< CHT-mediated requests issued
+  std::uint64_t forwards = 0;        ///< intermediate-CHT forwardings
+  std::uint64_t acks = 0;            ///< buffer-credit acknowledgments
+  std::uint64_t responses = 0;       ///< responses delivered to origins
+  std::uint64_t direct_ops = 0;      ///< contiguous put/get (no CHT)
+  std::uint64_t cht_wakeups = 0;     ///< idle->active CHT transitions
+  std::uint64_t lock_queue_max = 0;  ///< deepest lock waiter queue seen
+  sim::TimeNs credit_blocked_ns = 0; ///< total sender time blocked on
+                                     ///< exhausted buffer credits
+};
+
+/// Thrown by run_all() when the simulation drained with coroutines still
+/// suspended — the runtime signature of a forwarding deadlock.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::int64_t stranded)
+      : std::runtime_error("simulation drained with " +
+                           std::to_string(stranded) +
+                           " task(s) still blocked (deadlock)"),
+        stranded_(stranded) {}
+  [[nodiscard]] std::int64_t stranded() const { return stranded_; }
+
+ private:
+  std::int64_t stranded_;
+};
+
+class Runtime {
+ public:
+  struct Config {
+    std::int64_t num_nodes = 16;
+    int procs_per_node = 4;
+    core::TopologyKind topology = core::TopologyKind::kFcg;
+    core::ForwardingPolicy policy = core::ForwardingPolicy::kLowestDimFirst;
+    /// Explicit grid shape (e.g. a skewed MFCG mesh); when unset the
+    /// canonical near-square/near-cubic shape for num_nodes is used.
+    std::optional<core::Shape> custom_shape;
+    ArmciParams armci{};
+    net::NetworkParams net{};
+    net::Placement placement = net::Placement::kLinear;
+    std::int64_t segment_bytes = std::int64_t{1} << 20;
+    std::uint64_t seed = 42;
+  };
+
+  Runtime(sim::Engine& eng, Config cfg);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return *eng_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const ArmciParams& params() const { return cfg_.armci; }
+  [[nodiscard]] GlobalMemory& memory() { return memory_; }
+  [[nodiscard]] const core::VirtualTopology& topology() const {
+    return topology_;
+  }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] RuntimeStats& stats() { return stats_; }
+  /// Latency tracer; call tracer().enable() before spawning programs.
+  [[nodiscard]] OpTracer& tracer() { return tracer_; }
+
+  [[nodiscard]] std::int64_t num_nodes() const { return cfg_.num_nodes; }
+  [[nodiscard]] int procs_per_node() const { return cfg_.procs_per_node; }
+  [[nodiscard]] std::int64_t num_procs() const {
+    return cfg_.num_nodes * cfg_.procs_per_node;
+  }
+  [[nodiscard]] core::NodeId node_of(ProcId p) const {
+    return static_cast<core::NodeId>(p / cfg_.procs_per_node);
+  }
+  /// Buffer credits per directed edge: buffers_per_process for every
+  /// process on the sending node.
+  [[nodiscard]] std::int64_t credits_per_edge() const {
+    return static_cast<std::int64_t>(cfg_.armci.buffers_per_process) *
+           cfg_.procs_per_node;
+  }
+
+  [[nodiscard]] Proc& proc(ProcId p);
+  [[nodiscard]] Cht& cht(core::NodeId n);
+  [[nodiscard]] CreditBank& credits(core::NodeId n);
+
+  /// Spawn `program` as the body of process `p`. The callable (and any
+  /// lambda captures) is kept alive by the Runtime until destruction —
+  /// coroutine lambdas reference their captures through the callable
+  /// object, which must outlive the coroutine.
+  void spawn(ProcId p, std::function<sim::Co<void>(Proc&)> program);
+  /// Spawn the same program on every process.
+  void spawn_all(const std::function<sim::Co<void>(Proc&)>& program);
+  /// Spawn an auxiliary task not tied to a process (helpers, monitors).
+  void spawn_task(sim::Co<void> task);
+
+  /// Run to completion. Throws DeadlockError if application tasks are
+  /// left suspended after the event queue drains.
+  void run_all();
+  /// Run until `deadline`; returns true when all application tasks
+  /// finished. Does not throw on deadlock (callers inspect live_tasks()).
+  bool run_for(sim::TimeNs deadline);
+  [[nodiscard]] std::int64_t live_tasks() const { return live_; }
+
+  /// Full-membership barrier support (used via Proc::barrier()).
+  [[nodiscard]] sim::Co<void> barrier_wait();
+  /// GA-style global sum (ga_dgop): every process contributes `value`
+  /// and receives the total. Modeled as an idealized binomial tree with
+  /// barrier-like latency; arithmetic is exact and host-side.
+  [[nodiscard]] sim::Co<double> allreduce_sum(double value);
+
+  [[nodiscard]] std::uint64_t next_request_id() { return ++request_id_; }
+
+  /// Stream-table identities at destination NICs: one per CHT and one
+  /// per process.
+  [[nodiscard]] net::Network::StreamKey cht_stream(core::NodeId n) const {
+    return n;
+  }
+  [[nodiscard]] net::Network::StreamKey proc_stream(ProcId p) const {
+    return num_nodes() + p;
+  }
+
+ private:
+  void stop_chts();
+
+  sim::Engine* eng_;
+  Config cfg_;
+  GlobalMemory memory_;
+  core::VirtualTopology topology_;
+  net::Network network_;
+  std::vector<std::unique_ptr<Cht>> chts_;
+  std::vector<std::unique_ptr<CreditBank>> credit_banks_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  RuntimeStats stats_;
+  OpTracer tracer_;
+  // Deque: growth must not move stored callables (coroutines hold
+  // references into them).
+  std::deque<std::function<sim::Co<void>(Proc&)>> programs_;
+  std::uint64_t request_id_ = 0;
+  std::int64_t live_ = 0;
+  bool chts_stopped_ = false;
+
+  // Barrier state.
+  std::int64_t barrier_arrived_ = 0;
+  std::vector<sim::Future<int>> barrier_futures_;
+  // Allreduce state.
+  std::int64_t reduce_arrived_ = 0;
+  double reduce_sum_ = 0.0;
+  std::vector<sim::Future<double>> reduce_futures_;
+};
+
+}  // namespace vtopo::armci

@@ -1,0 +1,55 @@
+#include "armci/trace.hpp"
+
+#include <sstream>
+
+namespace vtopo::armci {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kPut:
+      return "put";
+    case TraceKind::kGet:
+      return "get";
+    case TraceKind::kPutV:
+      return "put_v";
+    case TraceKind::kGetV:
+      return "get_v";
+    case TraceKind::kAcc:
+      return "acc";
+    case TraceKind::kFetchAdd:
+      return "fetch_add";
+    case TraceKind::kSwap:
+      return "swap";
+    case TraceKind::kLock:
+      return "lock";
+    case TraceKind::kUnlock:
+      return "unlock";
+    case TraceKind::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+std::string OpTracer::summary() const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < kNumTraceKinds; ++k) {
+    const sim::Series& s = series_[k];
+    if (s.empty()) continue;
+    os << to_string(static_cast<TraceKind>(k)) << " count=" << s.size()
+       << " mean_us=" << s.mean() << " p50=" << s.median()
+       << " p95=" << s.percentile(95) << " max=" << s.max() << "\n";
+  }
+  return os.str();
+}
+
+std::string OpTracer::events_csv() const {
+  std::ostringstream os;
+  os << "kind,proc,start_ns,latency_ns\n";
+  for (const TraceEvent& e : events_) {
+    os << to_string(e.kind) << "," << e.proc << "," << e.start << ","
+       << e.latency << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vtopo::armci

@@ -1,0 +1,88 @@
+// Operation-latency tracing.
+//
+// When enabled on a Runtime, every completed one-sided operation records
+// its (simulated) latency into a per-kind series, and optionally into a
+// bounded event log. This is how the repository's figures were
+// calibrated, and what a downstream user points gnuplot at.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::armci {
+
+/// Categories of traced operations.
+enum class TraceKind : std::uint8_t {
+  kPut,       ///< contiguous put (direct)
+  kGet,       ///< contiguous get (direct)
+  kPutV,      ///< vectored put (per chunked request group)
+  kGetV,      ///< vectored get
+  kAcc,       ///< accumulate
+  kFetchAdd,  ///< atomic fetch-&-add
+  kSwap,      ///< atomic swap
+  kLock,      ///< lock acquisition
+  kUnlock,    ///< lock release
+  kBarrier,   ///< barrier wait
+};
+inline constexpr std::size_t kNumTraceKinds = 10;
+
+[[nodiscard]] const char* to_string(TraceKind k);
+
+/// One recorded operation (only kept when event logging is on).
+struct TraceEvent {
+  TraceKind kind;
+  std::int32_t proc;
+  sim::TimeNs start;
+  sim::TimeNs latency;
+};
+
+class OpTracer {
+ public:
+  /// Tracing is off (zero overhead beyond a branch) until enabled.
+  void enable(bool keep_events = false, std::size_t max_events = 1 << 20) {
+    enabled_ = true;
+    keep_events_ = keep_events;
+    max_events_ = max_events;
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(TraceKind kind, std::int32_t proc, sim::TimeNs start,
+              sim::TimeNs latency) {
+    if (!enabled_) return;
+    series_[static_cast<std::size_t>(kind)].add(sim::to_us(latency));
+    if (keep_events_ && events_.size() < max_events_) {
+      events_.push_back(TraceEvent{kind, proc, start, latency});
+    }
+  }
+
+  [[nodiscard]] const sim::Series& series(TraceKind kind) const {
+    return series_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const auto& s : series_) n += s.size();
+    return n;
+  }
+
+  /// One line per kind: kind count mean_us p50 p95 max.
+  [[nodiscard]] std::string summary() const;
+  /// CSV: kind,proc,start_ns,latency_ns (needs keep_events).
+  [[nodiscard]] std::string events_csv() const;
+
+ private:
+  bool enabled_ = false;
+  bool keep_events_ = false;
+  std::size_t max_events_ = 0;
+  std::array<sim::Series, kNumTraceKinds> series_{};
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace vtopo::armci

@@ -1,0 +1,143 @@
+#include "coll/collectives.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace vtopo::coll {
+
+namespace {
+
+/// Largest power of two <= v (v > 0).
+std::int64_t pow2_floor(std::int64_t v) {
+  std::int64_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+Collectives::Collectives(armci::Runtime& rt, msg::TwoSided& channel,
+                         std::int32_t tag_base)
+    : rt_(&rt), channel_(&channel), tag_base_(tag_base) {
+  barrier_epochs_.assign(static_cast<std::size_t>(rt.num_procs()), 0);
+  bcast_epochs_.assign(static_cast<std::size_t>(rt.num_procs()), 0);
+  reduce_epochs_.assign(static_cast<std::size_t>(rt.num_procs()), 0);
+}
+
+std::vector<std::uint8_t> Collectives::pack(double v) {
+  std::vector<std::uint8_t> bytes(sizeof(double));
+  std::memcpy(bytes.data(), &v, sizeof(double));
+  return bytes;
+}
+
+double Collectives::unpack(std::span<const std::uint8_t> bytes) {
+  assert(bytes.size() >= sizeof(double));
+  double v;
+  std::memcpy(&v, bytes.data(), sizeof(double));
+  return v;
+}
+
+sim::Co<void> Collectives::barrier(armci::Proc& p) {
+  const std::int64_t n = rt_->num_procs();
+  const std::int32_t epoch =
+      barrier_epochs_[static_cast<std::size_t>(p.id())]++;
+  const std::int32_t base = tag(0, epoch);
+  if (n == 1) co_return;
+  // Dissemination: after round k every process has (transitively) heard
+  // from 2^(k+1) predecessors; ceil(log2 n) rounds synchronize all.
+  std::vector<std::uint8_t> token{1};
+  std::int32_t round = 0;
+  for (std::int64_t dist = 1; dist < n; dist *= 2, ++round) {
+    const auto to = static_cast<armci::ProcId>((p.id() + dist) % n);
+    const auto from =
+        static_cast<armci::ProcId>((p.id() - dist + n) % n);
+    co_await channel_->send(p, to, base + round, token);
+    co_await channel_->recv(p, from, base + round);
+  }
+}
+
+sim::Co<double> Collectives::broadcast(armci::Proc& p,
+                                       armci::ProcId root, double value) {
+  const std::int64_t n = rt_->num_procs();
+  const std::int32_t epoch =
+      bcast_epochs_[static_cast<std::size_t>(p.id())]++;
+  const std::int32_t base = tag(1, epoch);
+  const std::int64_t r = (p.id() - root + n) % n;  // relative rank
+  double payload = value;
+
+  // Tag per tree level: bit index of the mask (agreed by both ends).
+  auto level_tag = [&](std::int64_t mask) {
+    std::int32_t bit = 0;
+    while ((std::int64_t{1} << bit) < mask) ++bit;
+    return base + bit;
+  };
+  // Receive from the binomial parent (non-roots).
+  std::int64_t mask = 1;
+  while (mask < n) {
+    if ((r & mask) != 0) {
+      const auto parent =
+          static_cast<armci::ProcId>(((r - mask) + root) % n);
+      const msg::Message m =
+          co_await channel_->recv(p, parent, level_tag(mask));
+      payload = unpack(m.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to binomial children.
+  mask >>= 1;
+  while (mask > 0) {
+    if (r + mask < n) {
+      const auto child =
+          static_cast<armci::ProcId>(((r + mask) + root) % n);
+      co_await channel_->send(p, child, level_tag(mask), pack(payload));
+    }
+    mask >>= 1;
+  }
+  co_return payload;
+}
+
+sim::Co<double> Collectives::allreduce_sum(armci::Proc& p, double value) {
+  const std::int64_t n = rt_->num_procs();
+  const std::int32_t epoch =
+      reduce_epochs_[static_cast<std::size_t>(p.id())]++;
+  const std::int32_t base = tag(2, epoch);
+  if (n == 1) co_return value;
+
+  const std::int64_t core = pow2_floor(n);
+  double sum = value;
+
+  // Fold the remainder onto the power-of-two core (MPICH-style).
+  if (p.id() >= core) {
+    co_await channel_->send(p, static_cast<armci::ProcId>(p.id() - core),
+                            base + 40, pack(sum));
+    const msg::Message m =
+        co_await channel_->recv(p,
+                                static_cast<armci::ProcId>(p.id() - core),
+                                base + 41);
+    co_return unpack(m.payload);
+  }
+  if (p.id() + core < n) {
+    const msg::Message m = co_await channel_->recv(
+        p, static_cast<armci::ProcId>(p.id() + core), base + 40);
+    sum += unpack(m.payload);
+  }
+
+  // Recursive doubling within the core.
+  std::int32_t round = 0;
+  for (std::int64_t mask = 1; mask < core; mask *= 2, ++round) {
+    const auto partner = static_cast<armci::ProcId>(p.id() ^ mask);
+    co_await channel_->send(p, partner, base + round, pack(sum));
+    const msg::Message m = co_await channel_->recv(p, partner, base + round);
+    sum += unpack(m.payload);
+  }
+
+  // Hand the result back to the folded remainder.
+  if (p.id() + core < n) {
+    co_await channel_->send(p, static_cast<armci::ProcId>(p.id() + core),
+                            base + 41, pack(sum));
+  }
+  co_return sum;
+}
+
+}  // namespace vtopo::coll

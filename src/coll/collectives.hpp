@@ -1,0 +1,69 @@
+// Protocol-level collective algorithms over two-sided messages.
+//
+// Runtime::barrier()/allreduce_sum() are idealized (host-side state,
+// modeled latency) — right for microbenchmark drivers that should not
+// perturb the traffic under study. This library provides the real
+// thing for applications: textbook algorithms whose every hop is an
+// actual simulated message paying real network costs:
+//
+//   barrier    — dissemination (Hensgen et al.): ceil(log2 P) rounds,
+//                round k partner = (rank +- 2^k) mod P
+//   broadcast  — binomial tree from a root
+//   allreduce  — recursive doubling (power-of-two participant counts;
+//                general counts fold the remainder onto a power-of-two
+//                core first, as MPICH does)
+//
+// All operations take a distinct `tag_base`; concurrent collectives on
+// disjoint tags do not interfere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "msg/two_sided.hpp"
+
+namespace vtopo::coll {
+
+class Collectives {
+ public:
+  /// Uses (and shares) a two-sided channel; tags at or above
+  /// `tag_base` must be reserved for this object.
+  Collectives(armci::Runtime& rt, msg::TwoSided& channel,
+              std::int32_t tag_base = 1 << 20);
+
+  /// Dissemination barrier over all processes.
+  [[nodiscard]] sim::Co<void> barrier(armci::Proc& p);
+
+  /// Binomial-tree broadcast of `value` from `root`; every caller
+  /// returns the root's value.
+  [[nodiscard]] sim::Co<double> broadcast(armci::Proc& p,
+                                          armci::ProcId root,
+                                          double value);
+
+  /// Recursive-doubling sum-allreduce; every caller returns the total.
+  [[nodiscard]] sim::Co<double> allreduce_sum(armci::Proc& p,
+                                              double value);
+
+ private:
+  /// Tag block for (collective kind, epoch): 128 tags per epoch, 512
+  /// epochs per kind before wrap (far beyond any in-flight overlap).
+  [[nodiscard]] std::int32_t tag(std::int32_t phase,
+                                 std::int32_t epoch) const {
+    return tag_base_ + phase * (512 * 128) + (epoch % 512) * 128;
+  }
+  static std::vector<std::uint8_t> pack(double v);
+  static double unpack(std::span<const std::uint8_t> bytes);
+
+  armci::Runtime* rt_;
+  msg::TwoSided* channel_;
+  std::int32_t tag_base_;
+  /// Per-process collective epochs (each kind); members advance in
+  /// lock-step because every process joins every collective.
+  std::vector<std::int32_t> barrier_epochs_;
+  std::vector<std::int32_t> bcast_epochs_;
+  std::vector<std::int32_t> reduce_epochs_;
+};
+
+}  // namespace vtopo::coll

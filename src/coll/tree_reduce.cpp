@@ -1,0 +1,94 @@
+#include "coll/tree_reduce.hpp"
+
+#include <cstring>
+
+namespace vtopo::coll {
+
+namespace {
+
+std::vector<std::uint8_t> pack(double v) {
+  std::vector<std::uint8_t> bytes(sizeof(double));
+  std::memcpy(bytes.data(), &v, sizeof(double));
+  return bytes;
+}
+
+double unpack(const std::vector<std::uint8_t>& bytes) {
+  double v;
+  std::memcpy(&v, bytes.data(), sizeof(double));
+  return v;
+}
+
+}  // namespace
+
+TreeReduce::TreeReduce(armci::Runtime& rt, msg::TwoSided& channel,
+                       core::RequestTree tree, std::int32_t tag_base)
+    : rt_(&rt),
+      channel_(&channel),
+      tree_(std::move(tree)),
+      tag_base_(tag_base) {
+  children_.resize(tree_.parent.size());
+  for (std::size_t v = 0; v < tree_.parent.size(); ++v) {
+    if (static_cast<core::NodeId>(v) == tree_.root) continue;
+    children_[static_cast<std::size_t>(tree_.parent[v])].push_back(
+        static_cast<core::NodeId>(v));
+  }
+  epochs_.assign(static_cast<std::size_t>(rt.num_procs()), 0);
+}
+
+sim::Co<double> TreeReduce::allreduce_sum(armci::Proc& p, double value) {
+  const int ppn = rt_->procs_per_node();
+  const core::NodeId my_node = p.node();
+  const auto master =
+      static_cast<armci::ProcId>(my_node * ppn);
+  const auto master_of = [ppn](core::NodeId n) {
+    return static_cast<armci::ProcId>(n * ppn);
+  };
+  const std::int32_t epoch =
+      epochs_[static_cast<std::size_t>(p.id())]++;
+  // Tag plan per epoch (window 1024): +0 intra-node up, +1 tree up,
+  // +2 tree down, +3 intra-node down.
+  const std::int32_t base = tag_base_ + (epoch % 1024) * 4;
+
+  if (p.id() != master) {
+    // Leaf process: contribute up, wait for the result down.
+    co_await channel_->send(p, master, base + 0, pack(value));
+    const msg::Message m = co_await channel_->recv(p, master, base + 3);
+    co_return unpack(m.payload);
+  }
+
+  // Node master: gather local processes...
+  double sum = value;
+  for (int i = 1; i < ppn; ++i) {
+    const msg::Message m =
+        co_await channel_->recv(p, master + i, base + 0);
+    sum += unpack(m.payload);
+  }
+  // ...and child nodes along the topology tree.
+  const auto& kids = children_[static_cast<std::size_t>(my_node)];
+  for (const core::NodeId child : kids) {
+    const msg::Message m =
+        co_await channel_->recv(p, master_of(child), base + 1);
+    sum += unpack(m.payload);
+  }
+  if (my_node == tree_.root) {
+    root_in_messages_ =
+        static_cast<std::int64_t>(kids.size()) + (ppn - 1);
+  } else {
+    // Send the partial up; receive the total back.
+    const auto parent = master_of(
+        tree_.parent[static_cast<std::size_t>(my_node)]);
+    co_await channel_->send(p, parent, base + 1, pack(sum));
+    const msg::Message m = co_await channel_->recv(p, parent, base + 2);
+    sum = unpack(m.payload);
+  }
+  // Fan the total out: to child masters, then to local processes.
+  for (const core::NodeId child : kids) {
+    co_await channel_->send(p, master_of(child), base + 2, pack(sum));
+  }
+  for (int i = 1; i < ppn; ++i) {
+    co_await channel_->send(p, master + i, base + 3, pack(sum));
+  }
+  co_return sum;
+}
+
+}  // namespace vtopo::coll

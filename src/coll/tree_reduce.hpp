@@ -1,0 +1,49 @@
+// Topology-tree collectives: the paper's request-path tree, used as an
+// aggregation tree.
+//
+// Sec. III shows that a virtual topology turns the flat all-to-root
+// request tree into a k-nomial tree of depth 2 (MFCG) or 3 (CFCG).
+// The same tree works in reverse as a reduction/broadcast tree: the hot
+// root then receives O(sqrt N) messages instead of N-1 — contention
+// attenuation for collectives, a direct corollary the paper leaves on
+// the table. tree_allreduce_sum() implements it over two-sided
+// messages: processes combine on their node master, masters combine
+// along the request-tree edges toward the root node, and the total
+// flows back down the same tree.
+#pragma once
+
+#include "armci/proc.hpp"
+#include "core/tree_analysis.hpp"
+#include "msg/two_sided.hpp"
+
+namespace vtopo::coll {
+
+class TreeReduce {
+ public:
+  /// `tree` must be built over the runtime's own topology with the
+  /// desired root node; tags at or above `tag_base` are reserved.
+  TreeReduce(armci::Runtime& rt, msg::TwoSided& channel,
+             core::RequestTree tree, std::int32_t tag_base = 1 << 24);
+
+  /// Sum-allreduce along the topology tree; every caller returns the
+  /// global total. All processes must participate.
+  [[nodiscard]] sim::Co<double> allreduce_sum(armci::Proc& p,
+                                              double value);
+
+  /// Messages the root node's master received in the last collective —
+  /// the contention-attenuation measure (= root fanout + local procs).
+  [[nodiscard]] std::int64_t root_in_messages() const {
+    return root_in_messages_;
+  }
+
+ private:
+  armci::Runtime* rt_;
+  msg::TwoSided* channel_;
+  core::RequestTree tree_;
+  std::int32_t tag_base_;
+  std::vector<std::vector<core::NodeId>> children_;  ///< per node
+  std::vector<std::int32_t> epochs_;                 ///< per process
+  std::int64_t root_in_messages_ = 0;
+};
+
+}  // namespace vtopo::coll

@@ -1,0 +1,101 @@
+#include "core/dependency_graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vtopo::core {
+
+namespace {
+
+/// Dense interning of (receiver, sender) buffer edges.
+class EdgeInterner {
+ public:
+  explicit EdgeInterner(std::int64_t n) : n_(n) {}
+  std::uint32_t intern(NodeId receiver, NodeId sender) {
+    const std::int64_t key = static_cast<std::int64_t>(receiver) * n_ +
+                             static_cast<std::int64_t>(sender);
+    auto [it, inserted] =
+        ids_.emplace(key, static_cast<std::uint32_t>(ids_.size()));
+    return it->second;
+  }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+
+ private:
+  std::int64_t n_;
+  std::unordered_map<std::int64_t, std::uint32_t> ids_;
+};
+
+}  // namespace
+
+DependencyGraph::DependencyGraph(const VirtualTopology& topo) {
+  const std::int64_t n = topo.num_nodes();
+  EdgeInterner interner(n);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> deps;
+
+  for (NodeId src = 0; src < n; ++src) {
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const std::vector<NodeId> hops = topo.route(src, dst);
+      NodeId prev = src;
+      std::uint32_t prev_res = 0;
+      bool have_prev = false;
+      for (const NodeId hop : hops) {
+        const std::uint32_t res = interner.intern(hop, prev);
+        if (have_prev) deps.emplace_back(prev_res, res);
+        prev_res = res;
+        have_prev = true;
+        prev = hop;
+      }
+    }
+  }
+
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  num_deps_ = deps.size();
+  adjacency_.assign(interner.size(), {});
+  for (const auto& [from, to] : deps) adjacency_[from].push_back(to);
+}
+
+bool DependencyGraph::acyclic() const { return find_cycle().empty(); }
+
+std::vector<std::size_t> DependencyGraph::find_cycle() const {
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  const std::size_t n = adjacency_.size();
+  std::vector<std::uint8_t> color(n, kWhite);
+  // Iterative DFS; frame = (vertex, next child index).
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (color[start] != kWhite) continue;
+    stack.clear();
+    stack.emplace_back(static_cast<std::uint32_t>(start), 0);
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [v, child] = stack.back();
+      if (child < adjacency_[v].size()) {
+        const std::uint32_t w = adjacency_[v][child++];
+        if (color[w] == kGray) {
+          // Back edge: the gray path from w to v on the stack is a cycle.
+          std::vector<std::size_t> cycle;
+          bool collecting = false;
+          for (const auto& [sv, sc] : stack) {
+            if (sv == w) collecting = true;
+            if (collecting) cycle.push_back(sv);
+          }
+          cycle.push_back(w);
+          return cycle;
+        }
+        if (color[w] == kWhite) {
+          color[w] = kGray;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        color[v] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace vtopo::core

@@ -1,0 +1,39 @@
+#include "core/dot_export.hpp"
+
+#include <sstream>
+
+namespace vtopo::core {
+
+std::string to_dot(const VirtualTopology& topo) {
+  std::ostringstream os;
+  os << "graph \"" << topo.name() << "\" {\n";
+  os << "  layout=neato; node [shape=circle fontsize=10];\n";
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    os << "  n" << v << " [label=\"" << v << "\"];\n";
+  }
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    for (const NodeId w : topo.neighbors(v)) {
+      if (w > v) os << "  n" << v << " -- n" << w << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string tree_to_dot(const VirtualTopology& topo, NodeId root) {
+  const RequestTree tree = build_request_tree(topo, root);
+  std::ostringstream os;
+  os << "digraph \"requests to " << root << " on " << topo.name()
+     << "\" {\n";
+  os << "  rankdir=BT; node [shape=circle fontsize=10];\n";
+  os << "  n" << root << " [style=filled fillcolor=lightgray];\n";
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    if (v == root) continue;
+    os << "  n" << v << " -> n"
+       << tree.parent[static_cast<std::size_t>(v)] << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace vtopo::core

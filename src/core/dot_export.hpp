@@ -1,0 +1,20 @@
+// Graphviz DOT export of virtual topologies and request trees —
+// regenerates the paper's schematic figures (Figs. 1, 3, 4) as
+// renderable artifacts for any N.
+#pragma once
+
+#include <string>
+
+#include "core/tree_analysis.hpp"
+
+namespace vtopo::core {
+
+/// The buffer-dedication graph (paper Fig. 1 / Fig. 3): one node per
+/// vertex, one undirected edge per symmetric buffer-edge pair.
+[[nodiscard]] std::string to_dot(const VirtualTopology& topo);
+
+/// The request-path tree toward `root` (paper Figs. 2 and 4).
+[[nodiscard]] std::string tree_to_dot(const VirtualTopology& topo,
+                                      NodeId root);
+
+}  // namespace vtopo::core

@@ -1,0 +1,45 @@
+#include "core/memory_model.hpp"
+
+#include <algorithm>
+
+namespace vtopo::core {
+
+std::int64_t cht_buffer_bytes(const VirtualTopology& topo, NodeId node,
+                              const MemoryParams& p) {
+  // One buffer set (M buffers of B bytes) per remote process on every
+  // directly connected node; optionally doubled for the sender-side
+  // resources of the symmetric out-edges.
+  // FCG never forwards, so its CHT keeps no per-edge send-side state —
+  // only the forwarding topologies pay for both directions.
+  const std::int64_t direction_factor =
+      (p.count_both_directions && topo.max_forwards() > 0) ? 2 : 1;
+  const std::int64_t remote_procs = topo.degree(node) * p.procs_per_node;
+  return direction_factor * remote_procs * p.buffers_per_process *
+         p.buffer_bytes;
+}
+
+double master_process_rss_mb(const VirtualTopology& topo, NodeId node,
+                             const MemoryParams& p) {
+  const double buffers_mb =
+      static_cast<double>(cht_buffer_bytes(topo, node, p)) /
+      (1024.0 * 1024.0);
+  return p.base_mb + buffers_mb;
+}
+
+double max_master_process_rss_mb(const VirtualTopology& topo,
+                                 const MemoryParams& p) {
+  // Degree only depends on a node's coordinates relative to the partial
+  // top dimension; scanning all nodes is O(N * k * max_extent), cheap for
+  // the sizes Fig. 5 sweeps. For very large N we exploit that node 0 has
+  // the maximum degree (its row/column/... are the fully populated ones).
+  if (topo.num_nodes() > 65536) {
+    return master_process_rss_mb(topo, 0, p);
+  }
+  double best = 0.0;
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    best = std::max(best, master_process_rss_mb(topo, v, p));
+  }
+  return best;
+}
+
+}  // namespace vtopo::core

@@ -1,0 +1,105 @@
+#include "core/recommend.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace vtopo::core {
+
+namespace {
+
+/// Threshold above which hot-spot attenuation dominates the decision.
+/// Calibrated against the simulator (bench/recommender_validation): at
+/// scale, FCG's flat tree already loses with ~3% of operations aimed at
+/// one process.
+constexpr double kHotspotThreshold = 0.03;
+
+}  // namespace
+
+Recommendation recommend_topology(const WorkloadProfile& p) {
+  Recommendation rec;
+  std::ostringstream why;
+
+  const bool hc_possible = is_power_of_two(p.num_nodes);
+  double fcg_mb = 0;
+  double mfcg_mb = 0;
+  double cfcg_mb = 0;
+  double hc_mb = std::numeric_limits<double>::quiet_NaN();
+  {
+    const auto& kinds = all_topology_kinds();
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      if (kinds[k] == TopologyKind::kHypercube && !hc_possible) {
+        rec.buffer_mb[k] = std::numeric_limits<double>::quiet_NaN();
+        continue;
+      }
+      const auto topo = VirtualTopology::make(kinds[k], p.num_nodes);
+      rec.buffer_mb[k] =
+          static_cast<double>(cht_buffer_bytes(topo, 0, p.mem)) /
+          (1024.0 * 1024.0);
+    }
+    fcg_mb = rec.buffer_mb[0];
+    mfcg_mb = rec.buffer_mb[1];
+    cfcg_mb = rec.buffer_mb[2];
+    hc_mb = rec.buffer_mb[3];
+  }
+
+  const bool fcg_fits = fcg_mb <= p.buffer_budget_mb;
+  const bool mfcg_fits = mfcg_mb <= p.buffer_budget_mb;
+  const bool cfcg_fits = cfcg_mb <= p.buffer_budget_mb;
+  const bool hotspot = p.hotspot_fraction >= kHotspotThreshold;
+
+  why << "nodes=" << p.num_nodes << ", buffer MB: FCG=" << fcg_mb
+      << " MFCG=" << mfcg_mb << " CFCG=" << cfcg_mb;
+  if (hc_possible) why << " HC=" << hc_mb;
+  why << "; ";
+
+  if (hotspot) {
+    // Paper Sec. VI-B (DFT): hot-spot traffic -> MFCG attenuates at one
+    // forwarding hop; fall back to CFCG only if MFCG's buffers do not
+    // fit; Hypercube's log-N forwarding is never worth it (Fig. 9a).
+    if (mfcg_fits) {
+      rec.kind = TopologyKind::kMfcg;
+      why << "hot-spot traffic (" << p.hotspot_fraction
+          << ") -> MFCG: one-hop forwarding attenuates the flat tree "
+             "(paper: up to 48% faster for DFT)";
+    } else if (cfcg_fits) {
+      rec.kind = TopologyKind::kCfcg;
+      why << "hot-spot traffic but MFCG buffers over budget -> CFCG";
+    } else if (hc_possible) {
+      rec.kind = TopologyKind::kHypercube;
+      why << "hot-spot traffic and very tight memory -> Hypercube "
+             "(accepting log-N forwarding latency)";
+    } else {
+      rec.kind = TopologyKind::kCfcg;
+      why << "hot-spot traffic, nothing fits the stated budget -> CFCG "
+             "as the smallest partially-populatable option";
+    }
+  } else if (fcg_fits && p.latency_sensitivity >= 0.5) {
+    // Paper Sec. VI-B (CCSD(T)): evenly spread latency-bound traffic
+    // keeps FCG ahead when its buffers are affordable.
+    rec.kind = TopologyKind::kFcg;
+    why << "uniform latency-sensitive traffic and FCG buffers fit -> "
+           "FCG (paper: FCG generally beats MFCG for CCSD(T))";
+  } else if (mfcg_fits) {
+    rec.kind = TopologyKind::kMfcg;
+    why << (fcg_fits ? "uniform but bandwidth-bound traffic"
+                     : "FCG buffers over budget")
+        << " -> MFCG: near-FCG performance at O(sqrt N) memory "
+           "(the paper's overall recommendation)";
+  } else if (cfcg_fits) {
+    rec.kind = TopologyKind::kCfcg;
+    why << "tight memory -> CFCG";
+  } else if (hc_possible) {
+    rec.kind = TopologyKind::kHypercube;
+    why << "minimal memory -> Hypercube";
+  } else {
+    rec.kind = TopologyKind::kCfcg;
+    why << "nothing fits the stated budget -> CFCG as the smallest "
+           "partially-populatable option";
+  }
+
+  rec.rationale = why.str();
+  return rec;
+}
+
+}  // namespace vtopo::core

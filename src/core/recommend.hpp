@@ -1,0 +1,47 @@
+// Topology selection heuristic — the paper's conclusions as a library.
+//
+// Sec. VI's findings: MFCG is the best general choice (near-FCG latency,
+// O(sqrt N) memory, strong hot-spot attenuation); FCG still wins for
+// evenly-spread latency-critical traffic when its O(N) buffers fit;
+// CFCG buys more memory headroom for one more forwarding hop; Hypercube
+// minimizes memory but pays log-N forwarding on every operation. This
+// module turns those trade-offs into an explainable recommendation.
+#pragma once
+
+#include <string>
+
+#include "core/memory_model.hpp"
+#include "core/topology.hpp"
+
+namespace vtopo::core {
+
+/// What the application looks like, in the dimensions the paper shows
+/// matter.
+struct WorkloadProfile {
+  std::int64_t num_nodes = 1024;
+  /// Per-node memory the runtime may spend on request buffers (MB).
+  double buffer_budget_mb = 256.0;
+  /// Fraction of CHT-mediated traffic aimed at a single process
+  /// (0 = uniform like CCSD(T), ~0.5+ = counter-bound like DFT).
+  double hotspot_fraction = 0.0;
+  /// How much a single operation's latency matters (0 = fully
+  /// overlapped/bandwidth-bound, 1 = blocking fine-grained ops).
+  double latency_sensitivity = 0.5;
+  /// Buffer accounting parameters (defaults = the paper's).
+  MemoryParams mem{};
+};
+
+struct Recommendation {
+  TopologyKind kind = TopologyKind::kMfcg;
+  /// Buffer MB per node for each topology kind, in
+  /// all_topology_kinds() order (Hypercube entry is NaN when the node
+  /// count is not a power of two).
+  double buffer_mb[4] = {0, 0, 0, 0};
+  /// Human-readable reasoning chain.
+  std::string rationale;
+};
+
+/// Recommend a virtual topology for the given workload profile.
+[[nodiscard]] Recommendation recommend_topology(const WorkloadProfile& p);
+
+}  // namespace vtopo::core

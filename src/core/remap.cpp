@@ -1,0 +1,57 @@
+#include "core/remap.hpp"
+
+#include <algorithm>
+
+namespace vtopo::core {
+
+std::int64_t RemapPlan::bytes_to_allocate(const MemoryParams& p) const {
+  return edges_added * p.procs_per_node * p.buffers_per_process *
+         p.buffer_bytes;
+}
+
+std::int64_t RemapPlan::bytes_to_release(const MemoryParams& p) const {
+  return edges_removed * p.procs_per_node * p.buffers_per_process *
+         p.buffer_bytes;
+}
+
+double RemapPlan::churn() const {
+  const std::int64_t total = edges_added + edges_removed + edges_kept;
+  if (total == 0) return 0.0;
+  return static_cast<double>(edges_added + edges_removed) /
+         static_cast<double>(total);
+}
+
+RemapPlan plan_remap(const VirtualTopology& before,
+                     const VirtualTopology& after) {
+  RemapPlan plan;
+  const std::int64_t survivors =
+      std::min(before.num_nodes(), after.num_nodes());
+  plan.nodes.reserve(static_cast<std::size_t>(survivors));
+
+  for (NodeId v = 0; v < survivors; ++v) {
+    NodeRemap nr;
+    nr.node = v;
+    // neighbors() returns sorted lists: set-difference directly. Edges
+    // to departed nodes (id >= survivors) count as removed; edges to
+    // newly arrived nodes appear only in `after`.
+    const std::vector<NodeId> old_nbrs = before.neighbors(v);
+    const std::vector<NodeId> new_nbrs = after.neighbors(v);
+    std::set_difference(new_nbrs.begin(), new_nbrs.end(),
+                        old_nbrs.begin(), old_nbrs.end(),
+                        std::back_inserter(nr.added_edges));
+    std::set_difference(old_nbrs.begin(), old_nbrs.end(),
+                        new_nbrs.begin(), new_nbrs.end(),
+                        std::back_inserter(nr.removed_edges));
+    std::set_intersection(old_nbrs.begin(), old_nbrs.end(),
+                          new_nbrs.begin(), new_nbrs.end(),
+                          std::back_inserter(nr.kept_edges));
+    plan.edges_added += static_cast<std::int64_t>(nr.added_edges.size());
+    plan.edges_removed +=
+        static_cast<std::int64_t>(nr.removed_edges.size());
+    plan.edges_kept += static_cast<std::int64_t>(nr.kept_edges.size());
+    plan.nodes.push_back(std::move(nr));
+  }
+  return plan;
+}
+
+}  // namespace vtopo::core

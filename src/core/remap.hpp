@@ -1,0 +1,52 @@
+// Topology reconfiguration deltas (paper Sec. IV-B: "a virtual topology
+// is very dynamic and often partially populated. For this reason, each
+// node frequently changes its position from one topology to another").
+//
+// When the populated node count changes (processes join/leave a Global
+// Arrays group), every node must reconcile its buffer dedication: tear
+// down buffer sets for edges that disappeared and allocate sets for new
+// edges. This module computes that per-node delta and its byte cost, so
+// a runtime can budget reconfiguration instead of rebuilding from
+// scratch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memory_model.hpp"
+#include "core/topology.hpp"
+
+namespace vtopo::core {
+
+/// Edge changes at one node when moving from topology `before` to
+/// `after` (the node must exist in both).
+struct NodeRemap {
+  NodeId node = 0;
+  std::vector<NodeId> added_edges;    ///< neighbors gained
+  std::vector<NodeId> removed_edges;  ///< neighbors lost
+  std::vector<NodeId> kept_edges;     ///< neighbors unchanged
+};
+
+/// Whole-system reconfiguration summary.
+struct RemapPlan {
+  std::vector<NodeRemap> nodes;  ///< one entry per surviving node
+  std::int64_t edges_added = 0;
+  std::int64_t edges_removed = 0;
+  std::int64_t edges_kept = 0;
+
+  /// Buffer bytes that must be newly allocated across all nodes
+  /// (per-edge cost follows the Fig.-5 accounting).
+  [[nodiscard]] std::int64_t bytes_to_allocate(const MemoryParams& p) const;
+  /// Buffer bytes released across all nodes.
+  [[nodiscard]] std::int64_t bytes_to_release(const MemoryParams& p) const;
+  /// Fraction of surviving edges that had to change, in [0, 1].
+  [[nodiscard]] double churn() const;
+};
+
+/// Compute the reconfiguration plan between two topologies. Nodes with
+/// ids >= min(num_nodes) are treated as departed (all their edges count
+/// as removed on the surviving side).
+[[nodiscard]] RemapPlan plan_remap(const VirtualTopology& before,
+                                   const VirtualTopology& after);
+
+}  // namespace vtopo::core

@@ -1,0 +1,91 @@
+// Virtual topologies over the resource-dedication graph (Sec. III).
+//
+// A vertex is one physical node (its application processes plus its CHT).
+// A directed edge E(i, j) means node i dedicates a set of request buffers
+// to senders on node j; in all four topologies edges come in symmetric
+// pairs, so we expose an undirected `neighbors()` view and let the memory
+// model count the per-edge buffer sets.
+//
+// All four paper topologies are instances of one construction: place the
+// N nodes in a k-dimensional grid (lowest dimension fastest, highest
+// dimension possibly partial) and fully connect nodes that differ in
+// exactly one coordinate.
+//
+//   FCG        k=1, shape {N}        — every pair connected, 0 forwards
+//   MFCG       k=2, near-square mesh — O(sqrt N) edges, <=1 forward
+//   CFCG       k=3, near-cube        — O(cbrt N) edges, <=2 forwards
+//   Hypercube  k=log2 N, extent 2    — O(log N) edges, <=log2(N)-1 fwd
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coords.hpp"
+#include "core/forwarding.hpp"
+
+namespace vtopo::core {
+
+enum class TopologyKind { kFcg, kMfcg, kCfcg, kHypercube };
+
+[[nodiscard]] const char* to_string(TopologyKind k);
+
+/// All four kinds, in the order the paper's figures list them.
+[[nodiscard]] const std::vector<TopologyKind>& all_topology_kinds();
+
+/// A virtual topology instance: grid placement plus a forwarding router.
+class VirtualTopology {
+ public:
+  /// Build a topology of the given kind over `num_nodes` nodes.
+  /// Hypercube requires a power-of-two node count (paper Sec. IV);
+  /// MFCG/CFCG support any count via partial population.
+  static VirtualTopology make(
+      TopologyKind kind, std::int64_t num_nodes,
+      ForwardingPolicy policy = ForwardingPolicy::kLowestDimFirst);
+
+  /// Build a topology with an explicit grid shape (e.g. a skewed MFCG
+  /// mesh for aspect-ratio studies). `num_nodes` may be smaller than
+  /// the shape capacity (partial population of the highest dimension).
+  static VirtualTopology custom(
+      TopologyKind kind, Shape shape, std::int64_t num_nodes,
+      ForwardingPolicy policy = ForwardingPolicy::kLowestDimFirst);
+
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] std::int64_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] const Shape& shape() const { return router_.shape(); }
+  [[nodiscard]] const Router& router() const { return router_; }
+
+  /// Nodes sharing a direct buffer edge with `node`, ascending order.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node) const;
+  /// Number of direct buffer edges at `node` (== neighbors().size(),
+  /// computed without materializing the list).
+  [[nodiscard]] std::int64_t degree(NodeId node) const;
+  /// True if a and b are directly connected (differ in exactly one
+  /// grid dimension). connected(v, v) is false.
+  [[nodiscard]] bool connected(NodeId a, NodeId b) const;
+
+  /// Forwarding interface (delegates to the Router).
+  [[nodiscard]] NodeId next_hop(NodeId src, NodeId dst) const {
+    return router_.next_hop(src, dst);
+  }
+  [[nodiscard]] std::vector<NodeId> route(NodeId src, NodeId dst) const {
+    return router_.route(src, dst);
+  }
+  /// Upper bound on forwarding steps between any two nodes.
+  [[nodiscard]] int max_forwards() const { return router_.max_forwards(); }
+
+ private:
+  VirtualTopology(TopologyKind kind, Shape shape, std::int64_t num_nodes,
+                  ForwardingPolicy policy)
+      : kind_(kind),
+        num_nodes_(num_nodes),
+        router_(std::move(shape), num_nodes, policy) {}
+
+  TopologyKind kind_;
+  std::int64_t num_nodes_;
+  Router router_;
+};
+
+}  // namespace vtopo::core

@@ -1,0 +1,66 @@
+#include "core/tree_analysis.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vtopo::core {
+
+int RequestTree::height() const {
+  return depth.empty() ? 0 : *std::max_element(depth.begin(), depth.end());
+}
+
+std::vector<std::int64_t> RequestTree::children_counts() const {
+  std::vector<std::int64_t> counts(parent.size(), 0);
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (static_cast<NodeId>(v) == root) continue;
+    counts[static_cast<std::size_t>(parent[v])]++;
+  }
+  return counts;
+}
+
+std::int64_t RequestTree::root_fanout() const {
+  std::int64_t fanout = 0;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (static_cast<NodeId>(v) != root &&
+        parent[v] == root) {
+      ++fanout;
+    }
+  }
+  return fanout;
+}
+
+std::vector<std::int64_t> RequestTree::depth_histogram() const {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(height()) + 1, 0);
+  for (const int d : depth) hist[static_cast<std::size_t>(d)]++;
+  return hist;
+}
+
+std::int64_t RequestTree::total_forwards() const {
+  std::int64_t total = 0;
+  for (std::size_t v = 0; v < parent.size(); ++v) {
+    if (static_cast<NodeId>(v) == root) continue;
+    total += depth[v] - 1;
+  }
+  return total;
+}
+
+RequestTree build_request_tree(const VirtualTopology& topo, NodeId root) {
+  const auto n = static_cast<std::size_t>(topo.num_nodes());
+  RequestTree tree;
+  tree.root = root;
+  tree.parent.assign(n, kInvalidNode);
+  tree.depth.assign(n, 0);
+  tree.parent[static_cast<std::size_t>(root)] = root;
+
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) {
+    if (v == root) continue;
+    const std::vector<NodeId> hops = topo.route(v, root);
+    assert(!hops.empty() && hops.back() == root);
+    tree.parent[static_cast<std::size_t>(v)] = hops.front();
+    tree.depth[static_cast<std::size_t>(v)] =
+        static_cast<int>(hops.size());
+  }
+  return tree;
+}
+
+}  // namespace vtopo::core

@@ -1,0 +1,41 @@
+// Request-path tree analysis (paper Figs. 2 and 4, Sec. III).
+//
+// For a hot-spot node (the root), the union of every other node's route
+// to it forms a tree: flat (depth 1) for FCG, depth 2 for MFCG, a
+// k-nomial tree of depth 3 for CFCG, and a binomial tree of depth
+// log2(N) for the hypercube. The root's fanout is the number of nodes
+// whose requests arrive at the hot spot *directly* — the paper's measure
+// of contention pressure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace vtopo::core {
+
+/// The tree of request paths from all nodes toward `root`.
+struct RequestTree {
+  NodeId root = 0;
+  /// parent[v] = next hop of v toward the root (parent[root] = root).
+  std::vector<NodeId> parent;
+  /// depth[v] = hops from v to the root.
+  std::vector<int> depth;
+
+  [[nodiscard]] int height() const;
+  /// Children counts; fanout of the root = children[root].
+  [[nodiscard]] std::vector<std::int64_t> children_counts() const;
+  [[nodiscard]] std::int64_t root_fanout() const;
+  /// Histogram of depths: result[d] = number of nodes at distance d.
+  [[nodiscard]] std::vector<std::int64_t> depth_histogram() const;
+  /// Total forwarding work: sum over nodes of (depth - 1), i.e. the
+  /// number of intermediate-CHT handlings a full all-to-root burst costs.
+  [[nodiscard]] std::int64_t total_forwards() const;
+};
+
+/// Build the request tree of `topo` rooted at `root`.
+[[nodiscard]] RequestTree build_request_tree(const VirtualTopology& topo,
+                                             NodeId root);
+
+}  // namespace vtopo::core

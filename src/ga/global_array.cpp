@@ -1,0 +1,246 @@
+#include "ga/global_array.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace vtopo::ga {
+
+namespace {
+
+/// Exact-cover process grid: the most-square factorization px * py == P
+/// (GA's default block distribution; degenerates to 1 x P for primes).
+std::pair<std::int32_t, std::int32_t> pgrid_for(std::int64_t procs) {
+  std::int64_t py = core::isqrt(procs);
+  while (py > 1 && procs % py != 0) --py;
+  const std::int64_t px = procs / py;
+  return {static_cast<std::int32_t>(px), static_cast<std::int32_t>(py)};
+}
+
+}  // namespace
+
+GlobalArray2D::GlobalArray2D(armci::Runtime& rt, std::int64_t rows,
+                             std::int64_t cols)
+    : rt_(&rt), rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("GlobalArray2D: non-positive extent");
+  }
+  const auto [px, py] = pgrid_for(rt.num_procs());
+  px_ = px;
+  py_ = py;
+  block_rows_ = (rows + py_ - 1) / py_;
+  block_cols_ = (cols + px_ - 1) / px_;
+  base_off_ = rt.memory().alloc_all(block_rows_ * block_cols_ * 8);
+}
+
+GlobalArray2D::Block GlobalArray2D::block_of(armci::ProcId owner) const {
+  const std::int64_t bi = owner / px_;
+  const std::int64_t bj = owner % px_;
+  Block b;
+  b.row0 = std::min(bi * block_rows_, rows_);
+  b.col0 = std::min(bj * block_cols_, cols_);
+  b.rows = std::min(block_rows_, rows_ - b.row0);
+  b.cols = std::min(block_cols_, cols_ - b.col0);
+  b.rows = std::max<std::int64_t>(b.rows, 0);
+  b.cols = std::max<std::int64_t>(b.cols, 0);
+  return b;
+}
+
+armci::ProcId GlobalArray2D::owner_of(std::int64_t i,
+                                      std::int64_t j) const {
+  assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  const std::int64_t bi = i / block_rows_;
+  const std::int64_t bj = j / block_cols_;
+  return static_cast<armci::ProcId>(bi * px_ + bj);
+}
+
+armci::GAddr GlobalArray2D::element_addr(std::int64_t i,
+                                         std::int64_t j) const {
+  const armci::ProcId owner = owner_of(i, j);
+  const Block b = block_of(owner);
+  const std::int64_t local =
+      (i - b.row0) * block_cols_ + (j - b.col0);
+  return armci::GAddr{owner, base_off_ + local * 8};
+}
+
+std::vector<GlobalArray2D::Piece> GlobalArray2D::intersect(
+    std::int64_t ilo, std::int64_t ihi, std::int64_t jlo,
+    std::int64_t jhi) const {
+  assert(0 <= ilo && ilo <= ihi && ihi <= rows_);
+  assert(0 <= jlo && jlo <= jhi && jhi <= cols_);
+  std::vector<Piece> pieces;
+  if (ilo == ihi || jlo == jhi) return pieces;
+  const std::int64_t bi_lo = ilo / block_rows_;
+  const std::int64_t bi_hi = (ihi - 1) / block_rows_;
+  const std::int64_t bj_lo = jlo / block_cols_;
+  const std::int64_t bj_hi = (jhi - 1) / block_cols_;
+  for (std::int64_t bi = bi_lo; bi <= bi_hi; ++bi) {
+    for (std::int64_t bj = bj_lo; bj <= bj_hi; ++bj) {
+      const auto owner = static_cast<armci::ProcId>(bi * px_ + bj);
+      const Block b = block_of(owner);
+      Piece piece;
+      piece.owner = owner;
+      piece.inter.row0 = std::max(ilo, b.row0);
+      piece.inter.col0 = std::max(jlo, b.col0);
+      piece.inter.rows =
+          std::min(ihi, b.row0 + b.rows) - piece.inter.row0;
+      piece.inter.cols =
+          std::min(jhi, b.col0 + b.cols) - piece.inter.col0;
+      if (piece.inter.rows > 0 && piece.inter.cols > 0) {
+        pieces.push_back(piece);
+      }
+    }
+  }
+  return pieces;
+}
+
+sim::Co<void> GlobalArray2D::put(armci::Proc& p, std::int64_t ilo,
+                                 std::int64_t ihi, std::int64_t jlo,
+                                 std::int64_t jhi, const double* buf,
+                                 std::int64_t ld) {
+  for (const Piece& piece : intersect(ilo, ihi, jlo, jhi)) {
+    const armci::GAddr dst =
+        element_addr(piece.inter.row0, piece.inter.col0);
+    const double* src =
+        buf + (piece.inter.row0 - ilo) * ld + (piece.inter.col0 - jlo);
+    const std::int64_t dst_stride[] = {block_cols_ * 8};
+    const std::int64_t src_stride[] = {ld * 8};
+    const std::int64_t counts[] = {piece.inter.cols * 8,
+                                   piece.inter.rows};
+    co_await p.put_strided_n(
+        dst, dst_stride, reinterpret_cast<const std::uint8_t*>(src),
+        src_stride, counts);
+  }
+}
+
+sim::Co<void> GlobalArray2D::get(armci::Proc& p, std::int64_t ilo,
+                                 std::int64_t ihi, std::int64_t jlo,
+                                 std::int64_t jhi, double* buf,
+                                 std::int64_t ld) {
+  for (const Piece& piece : intersect(ilo, ihi, jlo, jhi)) {
+    const armci::GAddr src =
+        element_addr(piece.inter.row0, piece.inter.col0);
+    double* dst =
+        buf + (piece.inter.row0 - ilo) * ld + (piece.inter.col0 - jlo);
+    const std::int64_t src_stride[] = {block_cols_ * 8};
+    const std::int64_t dst_stride[] = {ld * 8};
+    const std::int64_t counts[] = {piece.inter.cols * 8,
+                                   piece.inter.rows};
+    co_await p.get_strided_n(reinterpret_cast<std::uint8_t*>(dst),
+                             dst_stride, src, src_stride, counts);
+  }
+}
+
+sim::Co<void> GlobalArray2D::acc(armci::Proc& p, std::int64_t ilo,
+                                 std::int64_t ihi, std::int64_t jlo,
+                                 std::int64_t jhi, const double* buf,
+                                 std::int64_t ld, double alpha) {
+  for (const Piece& piece : intersect(ilo, ihi, jlo, jhi)) {
+    const armci::GAddr dst =
+        element_addr(piece.inter.row0, piece.inter.col0);
+    const double* src =
+        buf + (piece.inter.row0 - ilo) * ld + (piece.inter.col0 - jlo);
+    const std::int64_t dst_stride[] = {block_cols_ * 8};
+    const std::int64_t src_stride[] = {ld * 8};
+    const std::int64_t counts[] = {piece.inter.cols * 8,
+                                   piece.inter.rows};
+    co_await p.acc_strided_f64(dst, dst_stride, src, src_stride, counts,
+                               alpha);
+  }
+}
+
+void GlobalArray2D::fill_local(armci::ProcId owner, double value) {
+  const Block b = block_of(owner);
+  for (std::int64_t r = 0; r < b.rows; ++r) {
+    for (std::int64_t c = 0; c < b.cols; ++c) {
+      rt_->memory().write_f64(
+          armci::GAddr{owner,
+                       base_off_ + (r * block_cols_ + c) * 8},
+          value);
+    }
+  }
+}
+
+void GlobalArray2D::scale_local(armci::ProcId owner, double alpha) {
+  const Block b = block_of(owner);
+  for (std::int64_t r = 0; r < b.rows; ++r) {
+    for (std::int64_t c = 0; c < b.cols; ++c) {
+      const armci::GAddr addr{owner,
+                              base_off_ + (r * block_cols_ + c) * 8};
+      rt_->memory().write_f64(addr, alpha * rt_->memory().read_f64(addr));
+    }
+  }
+}
+
+void GlobalArray2D::add_local(armci::ProcId owner, double alpha,
+                              const GlobalArray2D& a, double beta,
+                              const GlobalArray2D& b) {
+  if (a.rows_ != rows_ || a.cols_ != cols_ || b.rows_ != rows_ ||
+      b.cols_ != cols_) {
+    throw std::invalid_argument("GlobalArray2D::add_local: extent mismatch");
+  }
+  const Block blk = block_of(owner);
+  for (std::int64_t r = 0; r < blk.rows; ++r) {
+    for (std::int64_t c = 0; c < blk.cols; ++c) {
+      const std::int64_t i = blk.row0 + r;
+      const std::int64_t j = blk.col0 + c;
+      write_element(i, j, alpha * a.read_element(i, j) +
+                              beta * b.read_element(i, j));
+    }
+  }
+}
+
+sim::Co<void> GlobalArray2D::copy_patch_from(armci::Proc& p,
+                                             GlobalArray2D& src,
+                                             std::int64_t ilo,
+                                             std::int64_t ihi,
+                                             std::int64_t jlo,
+                                             std::int64_t jhi) {
+  const std::int64_t rows = ihi - ilo;
+  const std::int64_t cols = jhi - jlo;
+  if (rows <= 0 || cols <= 0) co_return;
+  std::vector<double> staging(
+      static_cast<std::size_t>(rows * cols));
+  co_await src.get(p, ilo, ihi, jlo, jhi, staging.data(), cols);
+  co_await put(p, ilo, ihi, jlo, jhi, staging.data(), cols);
+}
+
+double GlobalArray2D::local_sum(armci::ProcId owner) const {
+  const Block b = block_of(owner);
+  double sum = 0.0;
+  for (std::int64_t r = 0; r < b.rows; ++r) {
+    for (std::int64_t c = 0; c < b.cols; ++c) {
+      sum += rt_->memory().read_f64(
+          armci::GAddr{owner, base_off_ + (r * block_cols_ + c) * 8});
+    }
+  }
+  return sum;
+}
+
+double GlobalArray2D::read_element(std::int64_t i, std::int64_t j) const {
+  return rt_->memory().read_f64(element_addr(i, j));
+}
+
+void GlobalArray2D::write_element(std::int64_t i, std::int64_t j,
+                                  double value) {
+  rt_->memory().write_f64(element_addr(i, j), value);
+}
+
+SharedCounter::SharedCounter(armci::Runtime& rt, armci::ProcId host)
+    : rt_(&rt), cell_{host, rt.memory().alloc_all(8)} {}
+
+sim::Co<std::int64_t> SharedCounter::next(armci::Proc& p,
+                                          std::int64_t chunk) {
+  const std::int64_t first = co_await p.fetch_add(cell_, chunk);
+  co_return first;
+}
+
+void SharedCounter::reset(std::int64_t value) {
+  rt_->memory().write_i64(cell_, value);
+}
+
+std::int64_t SharedCounter::value() const {
+  return rt_->memory().read_i64(cell_);
+}
+
+}  // namespace vtopo::ga

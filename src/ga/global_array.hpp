@@ -1,0 +1,140 @@
+// A Global Arrays–style distributed 2-D array over the ARMCI runtime.
+//
+// This is the abstraction the paper's applications actually program
+// against: NWChem and the ARMCI-ported NAS benchmarks use the GA
+// Toolkit, whose every patch access turns into the ARMCI one-sided
+// operations this repository models (noncontiguous strided transfers
+// through the CHT + virtual topology, atomic counters for NXTVAL).
+//
+// Distribution: dense row-major blocks on a near-square process grid.
+// Patch coordinates use half-open ranges [ilo, ihi) x [jlo, jhi).
+// Elements are doubles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "core/coords.hpp"
+
+namespace vtopo::ga {
+
+/// Dense block-distributed rows x cols array of doubles.
+class GlobalArray2D {
+ public:
+  /// Collective creation: every process reserves its block in the
+  /// global address space. Call once, before spawning programs (or
+  /// uniformly from all of them).
+  GlobalArray2D(armci::Runtime& rt, std::int64_t rows, std::int64_t cols);
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  /// Process grid extents.
+  [[nodiscard]] std::int32_t pgrid_rows() const { return py_; }
+  [[nodiscard]] std::int32_t pgrid_cols() const { return px_; }
+
+  /// The block owned by `owner`: global [row0, row0+rows) x
+  /// [col0, col0+cols). Edge blocks may be smaller (or empty).
+  struct Block {
+    std::int64_t row0 = 0;
+    std::int64_t col0 = 0;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    [[nodiscard]] bool empty() const { return rows == 0 || cols == 0; }
+  };
+  [[nodiscard]] Block block_of(armci::ProcId owner) const;
+  /// Owner of element (i, j) (GA_Locate).
+  [[nodiscard]] armci::ProcId owner_of(std::int64_t i,
+                                       std::int64_t j) const;
+
+  // --- One-sided patch operations (GA_Put / GA_Get / GA_Acc) ---------
+  // `buf` is row-major with leading dimension `ld` (elements per row).
+  // A patch may span any number of owner blocks; one strided ARMCI op
+  // is issued per intersected owner.
+  [[nodiscard]] sim::Co<void> put(armci::Proc& p, std::int64_t ilo,
+                                  std::int64_t ihi, std::int64_t jlo,
+                                  std::int64_t jhi, const double* buf,
+                                  std::int64_t ld);
+  [[nodiscard]] sim::Co<void> get(armci::Proc& p, std::int64_t ilo,
+                                  std::int64_t ihi, std::int64_t jlo,
+                                  std::int64_t jhi, double* buf,
+                                  std::int64_t ld);
+  [[nodiscard]] sim::Co<void> acc(armci::Proc& p, std::int64_t ilo,
+                                  std::int64_t ihi, std::int64_t jlo,
+                                  std::int64_t jhi, const double* buf,
+                                  std::int64_t ld, double alpha = 1.0);
+
+  /// Collective fill (GA_Zero / GA_Fill): every process fills its own
+  /// block host-side; callers must barrier afterwards.
+  void fill_local(armci::ProcId owner, double value);
+
+  // --- Whole-array collectives (each process handles its own block;
+  // --- bracket with barriers, as in GA) -------------------------------
+  /// GA_Scale: this(block of owner) *= alpha.
+  void scale_local(armci::ProcId owner, double alpha);
+  /// GA_Add: this(block) = alpha*a(block) + beta*b(block). The three
+  /// arrays must share extents (and therefore distribution).
+  void add_local(armci::ProcId owner, double alpha,
+                 const GlobalArray2D& a, double beta,
+                 const GlobalArray2D& b);
+  /// GA_Copy via communication: pull the patch [ilo,ihi)x[jlo,jhi) from
+  /// `src` (same extents) into this array, through one-sided transfers
+  /// issued by the calling process.
+  [[nodiscard]] sim::Co<void> copy_patch_from(armci::Proc& p,
+                                              GlobalArray2D& src,
+                                              std::int64_t ilo,
+                                              std::int64_t ihi,
+                                              std::int64_t jlo,
+                                              std::int64_t jhi);
+  /// Sum of the owner's local block (combine with allreduce for a
+  /// global GA_Dot-style reduction).
+  [[nodiscard]] double local_sum(armci::ProcId owner) const;
+
+  // --- Host-side element access (tests / verification only) ----------
+  [[nodiscard]] double read_element(std::int64_t i, std::int64_t j) const;
+  void write_element(std::int64_t i, std::int64_t j, double value);
+
+ private:
+  struct Piece {
+    armci::ProcId owner;
+    Block inter;  ///< the intersection, in global coordinates
+  };
+  /// Owner blocks intersecting a patch.
+  [[nodiscard]] std::vector<Piece> intersect(std::int64_t ilo,
+                                             std::int64_t ihi,
+                                             std::int64_t jlo,
+                                             std::int64_t jhi) const;
+  /// Address of element (i, j) inside its owner's block.
+  [[nodiscard]] armci::GAddr element_addr(std::int64_t i,
+                                          std::int64_t j) const;
+
+  armci::Runtime* rt_;
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::int32_t px_;  ///< process-grid columns (j direction)
+  std::int32_t py_;  ///< process-grid rows (i direction)
+  std::int64_t block_rows_;  ///< nominal block extents (edges smaller)
+  std::int64_t block_cols_;
+  std::int64_t base_off_;    ///< block storage offset in every segment
+};
+
+/// GA NXTVAL: a shared task counter hosted by one process.
+class SharedCounter {
+ public:
+  /// Collective creation; `host` owns the cell.
+  SharedCounter(armci::Runtime& rt, armci::ProcId host = 0);
+
+  /// Atomically claim `chunk` tickets; returns the first.
+  [[nodiscard]] sim::Co<std::int64_t> next(armci::Proc& p,
+                                           std::int64_t chunk = 1);
+  /// Host-side reset (between phases; publish with a barrier).
+  void reset(std::int64_t value = 0);
+  [[nodiscard]] std::int64_t value() const;
+
+ private:
+  armci::Runtime* rt_;
+  armci::GAddr cell_;
+};
+
+}  // namespace vtopo::ga

@@ -1,0 +1,98 @@
+#include "ga/summa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vtopo::ga {
+
+namespace {
+
+sim::Co<void> summa_body(armci::Proc& p, GlobalArray2D& a,
+                         GlobalArray2D& b, GlobalArray2D& c, double alpha,
+                         double beta, std::int64_t panel,
+                         double compute_us_per_flop) {
+  const std::int64_t n = a.rows();
+
+  // This process owns C's block [row0, row0+rows) x [col0, col0+cols).
+  const GlobalArray2D::Block blk = c.block_of(p.id());
+  if (blk.empty()) {
+    co_await p.barrier();
+    co_return;
+  }
+
+  std::vector<double> acc(
+      static_cast<std::size_t>(blk.rows * blk.cols), 0.0);
+  std::vector<double> a_panel(
+      static_cast<std::size_t>(blk.rows * panel));
+  std::vector<double> b_panel(
+      static_cast<std::size_t>(panel * blk.cols));
+
+  // Everyone must see the input arrays complete before pulling panels.
+  co_await p.barrier();
+
+  for (std::int64_t k0 = 0; k0 < n; k0 += panel) {
+    const std::int64_t kw = std::min(panel, n - k0);
+    // One-sided pulls of the A row-panel and B column-panel this block
+    // needs — SUMMA without broadcasts, as GA implements it.
+    co_await a.get(p, blk.row0, blk.row0 + blk.rows, k0, k0 + kw,
+                   a_panel.data(), kw);
+    co_await b.get(p, k0, k0 + kw, blk.col0, blk.col0 + blk.cols,
+                   b_panel.data(), blk.cols);
+    for (std::int64_t i = 0; i < blk.rows; ++i) {
+      for (std::int64_t k = 0; k < kw; ++k) {
+        const double av = a_panel[static_cast<std::size_t>(i * kw + k)];
+        for (std::int64_t j = 0; j < blk.cols; ++j) {
+          acc[static_cast<std::size_t>(i * blk.cols + j)] +=
+              av * b_panel[static_cast<std::size_t>(k * blk.cols + j)];
+        }
+      }
+    }
+    if (compute_us_per_flop > 0.0) {
+      co_await p.compute(sim::us(compute_us_per_flop * 2.0 *
+                                 static_cast<double>(blk.rows) *
+                                 static_cast<double>(blk.cols) *
+                                 static_cast<double>(kw)));
+    }
+  }
+
+  // C_block = alpha * acc + beta * C_block, written with one local put.
+  std::vector<double> result(acc.size());
+  for (std::int64_t i = 0; i < blk.rows; ++i) {
+    for (std::int64_t j = 0; j < blk.cols; ++j) {
+      const auto idx = static_cast<std::size_t>(i * blk.cols + j);
+      const double old =
+          beta == 0.0 ? 0.0
+                      : c.read_element(blk.row0 + i, blk.col0 + j);
+      result[idx] = alpha * acc[idx] + beta * old;
+    }
+  }
+  co_await c.put(p, blk.row0, blk.row0 + blk.rows, blk.col0,
+                 blk.col0 + blk.cols, result.data(), blk.cols);
+  co_await p.barrier();
+}
+
+}  // namespace
+
+sim::Co<void> summa_multiply(armci::Proc& p, GlobalArray2D& a,
+                             GlobalArray2D& b, GlobalArray2D& c,
+                             double alpha, double beta,
+                             std::int64_t panel,
+                             double compute_us_per_flop) {
+  // Validate eagerly, outside the (lazy) coroutine: an exception thrown
+  // inside a simulated actor would terminate the run instead of
+  // propagating to the caller.
+  const std::int64_t n = a.rows();
+  if (a.cols() != n || b.rows() != n || b.cols() != n || c.rows() != n ||
+      c.cols() != n) {
+    throw std::invalid_argument("summa_multiply: square equal extents");
+  }
+  if (panel <= 0) {
+    throw std::invalid_argument("summa_multiply: panel must be positive");
+  }
+  return summa_body(p, a, b, c, alpha, beta, panel, compute_us_per_flop);
+}
+
+}  // namespace vtopo::ga

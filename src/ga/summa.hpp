@@ -1,0 +1,22 @@
+// SUMMA distributed matrix multiply over GlobalArray2D — the ga_dgemm
+// pattern: panel-wise one-sided gets of A and B blocks, local GEMM,
+// no hot spot (every process pulls from row/column peers).
+#pragma once
+
+#include <cstdint>
+
+#include "armci/proc.hpp"
+#include "ga/global_array.hpp"
+
+namespace vtopo::ga {
+
+/// C = alpha * A x B + beta * C for square rows x rows arrays, panel
+/// width `panel`. Collective: every process must call it (with its own
+/// Proc); returns when this process's C block is complete. Callers
+/// barrier before reading C.
+[[nodiscard]] sim::Co<void> summa_multiply(
+    armci::Proc& p, GlobalArray2D& a, GlobalArray2D& b, GlobalArray2D& c,
+    double alpha = 1.0, double beta = 0.0, std::int64_t panel = 16,
+    double compute_us_per_flop = 0.0);
+
+}  // namespace vtopo::ga

@@ -1,0 +1,108 @@
+#include "msg/two_sided.hpp"
+
+#include <cassert>
+
+namespace vtopo::msg {
+
+TwoSided::TwoSided(armci::Runtime& rt) : TwoSided(rt, Params{}) {}
+
+TwoSided::TwoSided(armci::Runtime& rt, Params params)
+    : rt_(&rt),
+      params_(params),
+      unexpected_(static_cast<std::size_t>(rt.num_procs())),
+      posted_(static_cast<std::size_t>(rt.num_procs())) {}
+
+sim::Co<void> TwoSided::send(armci::Proc& from, armci::ProcId to,
+                             std::int32_t tag,
+                             std::span<const std::uint8_t> data) {
+  sim::Engine& eng = rt_->engine();
+  ++messages_;
+
+  auto env = std::make_shared<Envelope>(eng);
+  env->source = from.id();
+  env->dest = to;
+  env->tag = tag;
+  env->payload = std::make_shared<std::vector<std::uint8_t>>(
+      data.begin(), data.end());
+  env->rendezvous =
+      static_cast<std::int64_t>(data.size()) > params_.eager_threshold;
+
+  const core::NodeId src_node = from.node();
+  const core::NodeId dst_node = rt_->node_of(to);
+  const std::int64_t envelope_wire =
+      params_.envelope_bytes +
+      (env->rendezvous ? 0 : static_cast<std::int64_t>(data.size()));
+
+  // Envelope (plus payload when eager) travels immediately.
+  TwoSided* self = this;
+  rt_->network().deliver(src_node, dst_node, envelope_wire,
+                         rt_->proc_stream(from.id()),
+                         [self, env] { self->on_envelope(env); });
+
+  if (!env->rendezvous) {
+    env->arrived.set(0);
+    co_return;  // eager: locally complete once the wire send is issued
+  }
+
+  // Rendezvous: wait for the receiver's match (clear-to-send), then
+  // stream the payload; the send completes at payload arrival.
+  co_await env->matched;
+  // CTS travels back to us...
+  co_await rt_->network().transfer(dst_node, src_node,
+                                   params_.envelope_bytes,
+                                   rt_->proc_stream(to));
+  // ...then the payload goes out.
+  const auto bytes = static_cast<std::int64_t>(env->payload->size());
+  const sim::TimeNs arrival = rt_->network().send(
+      src_node, dst_node, params_.envelope_bytes + bytes,
+      rt_->proc_stream(from.id()));
+  sim::Future<int> done = env->arrived;
+  eng.schedule_at(arrival, [done]() mutable { done.set(0); });
+  co_await sim::Sleep(eng, arrival - eng.now());
+}
+
+void TwoSided::on_envelope(const EnvelopePtr& env) {
+  auto& queue = posted_[static_cast<std::size_t>(env->dest)];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (matches(*env, it->src, it->tag)) {
+      sim::Future<EnvelopePtr> fut = it->fut;
+      queue.erase(it);
+      fut.set(env);
+      return;
+    }
+  }
+  unexpected_[static_cast<std::size_t>(env->dest)].push_back(env);
+}
+
+sim::Co<Message> TwoSided::recv(armci::Proc& self, std::int32_t src,
+                                std::int32_t tag) {
+  sim::Engine& eng = rt_->engine();
+  co_await sim::Sleep(eng, params_.match_overhead);
+
+  EnvelopePtr env;
+  auto& pending = unexpected_[static_cast<std::size_t>(self.id())];
+  for (auto it = pending.begin(); it != pending.end(); ++it) {
+    if (matches(**it, src, tag)) {
+      env = *it;
+      pending.erase(it);
+      break;
+    }
+  }
+  if (!env) {
+    sim::Future<EnvelopePtr> fut(eng);
+    posted_[static_cast<std::size_t>(self.id())].push_back(
+        PostedRecv{src, tag, fut});
+    env = co_await fut;
+  }
+
+  env->matched.set(0);
+  co_await env->arrived;  // eager: already set; rendezvous: data transfer
+
+  Message msg;
+  msg.source = env->source;
+  msg.tag = env->tag;
+  msg.payload = std::move(*env->payload);
+  co_return msg;
+}
+
+}  // namespace vtopo::msg

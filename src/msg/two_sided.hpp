@@ -1,0 +1,108 @@
+// Two-sided (MPI-style) message passing over the same simulated
+// network — a control substrate.
+//
+// The paper's background contrasts the GAS model with message passing.
+// Two-sided sends go process-to-process over the NIC and never touch a
+// CHT or a request buffer, so virtual topologies must have NO effect on
+// them. Workloads ported to this layer (workloads/nas_lu.cpp has a
+// two-sided mode) serve as a negative control for every topology
+// experiment: if a "virtual topology effect" shows up here, the model
+// is broken.
+//
+// Semantics: ordered per (sender, receiver) pair; matching by (source,
+// tag) with wildcards; eager payload delivery below a threshold and a
+// rendezvous round-trip above it, as in real MPI implementations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "sim/task.hpp"
+
+namespace vtopo::msg {
+
+inline constexpr std::int32_t kAnySource = -1;
+inline constexpr std::int32_t kAnyTag = -1;
+
+/// A received message.
+struct Message {
+  armci::ProcId source = 0;
+  std::int32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class TwoSided {
+ public:
+  struct Params {
+    /// Payloads up to this size travel with the envelope (eager); larger
+    /// ones pay a rendezvous round-trip before the data moves.
+    std::int64_t eager_threshold = 16 * 1024;
+    std::int64_t envelope_bytes = 48;
+    /// Receiver-side matching cost per message.
+    sim::TimeNs match_overhead = sim::us(0.3);
+  };
+
+  explicit TwoSided(armci::Runtime& rt);
+  TwoSided(armci::Runtime& rt, Params params);
+
+  /// Blocking-complete send (returns when the payload has left and, for
+  /// rendezvous, when the receiver has matched).
+  [[nodiscard]] sim::Co<void> send(armci::Proc& from, armci::ProcId to,
+                                   std::int32_t tag,
+                                   std::span<const std::uint8_t> data);
+
+  /// Receive the oldest message matching (src, tag); wildcards allowed.
+  /// One outstanding recv per (process, match) is supported — enough for
+  /// SPMD codes.
+  [[nodiscard]] sim::Co<Message> recv(armci::Proc& self,
+                                      std::int32_t src = kAnySource,
+                                      std::int32_t tag = kAnyTag);
+
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+
+ private:
+  struct Envelope {
+    armci::ProcId source;
+    armci::ProcId dest;
+    std::int32_t tag;
+    std::shared_ptr<std::vector<std::uint8_t>> payload;
+    bool rendezvous;
+    /// Set when the payload has fully arrived (eager: at envelope
+    /// arrival; rendezvous: after the data transfer).
+    sim::Future<int> arrived;
+    /// Fulfilled when the receiver matched (releases rendezvous sends).
+    sim::Future<int> matched;
+
+    Envelope(sim::Engine& eng)
+        : arrived(eng), matched(eng) {}
+  };
+  using EnvelopePtr = std::shared_ptr<Envelope>;
+
+  struct PostedRecv {
+    std::int32_t src;
+    std::int32_t tag;
+    sim::Future<EnvelopePtr> fut;
+  };
+
+  static bool matches(const Envelope& e, std::int32_t src,
+                      std::int32_t tag) {
+    return (src == kAnySource || e.source == src) &&
+           (tag == kAnyTag || e.tag == tag);
+  }
+
+  void on_envelope(const EnvelopePtr& env);
+
+  armci::Runtime* rt_;
+  Params params_;
+  /// Per destination process: unexpected messages and posted receives.
+  std::vector<std::deque<EnvelopePtr>> unexpected_;
+  std::vector<std::deque<PostedRecv>> posted_;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace vtopo::msg

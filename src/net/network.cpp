@@ -1,0 +1,116 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <utility>
+
+#include "sim/rng.hpp"
+
+namespace vtopo::net {
+
+Network::Network(sim::Engine& eng, std::int64_t num_nodes,
+                 NetworkParams params, Placement placement,
+                 std::uint64_t placement_seed)
+    : eng_(&eng), params_(params), torus_(num_nodes) {
+  slot_of_node_.resize(static_cast<std::size_t>(num_nodes));
+  std::iota(slot_of_node_.begin(), slot_of_node_.end(), 0);
+  if (placement == Placement::kRandom) {
+    // Choose num_nodes distinct slots out of the torus via a seeded
+    // Fisher-Yates over all slots.
+    std::vector<std::int64_t> slots(
+        static_cast<std::size_t>(torus_.num_slots()));
+    std::iota(slots.begin(), slots.end(), 0);
+    sim::Rng rng(placement_seed);
+    for (std::size_t i = slots.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng.uniform(i));
+      std::swap(slots[i - 1], slots[j]);
+    }
+    for (std::size_t v = 0; v < slot_of_node_.size(); ++v) {
+      slot_of_node_[v] = slots[v];
+    }
+  }
+  link_free_.assign(static_cast<std::size_t>(torus_.num_links()), 0);
+  streams_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+bool Network::stream_miss(core::NodeId dst, StreamKey stream) {
+  StreamTable& table = streams_[static_cast<std::size_t>(dst)];
+  auto it = table.index.find(stream);
+  if (it != table.index.end()) {
+    table.lru.splice(table.lru.begin(), table.lru, it->second);
+    return false;
+  }
+  bool miss = false;
+  if (static_cast<int>(table.lru.size()) >= params_.stream_table_size) {
+    // Tear down the coldest stream to make room (BEER flow control).
+    table.index.erase(table.lru.back());
+    table.lru.pop_back();
+    miss = true;
+    ++stream_misses_;
+  }
+  table.lru.push_front(stream);
+  table.index.emplace(stream, table.lru.begin());
+  return miss;
+}
+
+sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
+                          std::int64_t bytes, StreamKey stream) {
+  assert(bytes >= 0);
+  ++messages_;
+  bytes_total_ += static_cast<std::uint64_t>(bytes);
+
+  sim::TimeNs t = eng_->now() + params_.send_overhead;
+  if (src == dst) {
+    // Intra-node: shared-memory copy, no NIC involvement.
+    return t + params_.shmem_latency +
+           serialize_ns(bytes, params_.shmem_bandwidth);
+  }
+
+  const std::int64_t sslot = slot_of_node_[static_cast<std::size_t>(src)];
+  const std::int64_t dslot = slot_of_node_[static_cast<std::size_t>(dst)];
+  const sim::TimeNs nic_ser = serialize_ns(bytes, params_.nic_bandwidth);
+  const sim::TimeNs link_ser = serialize_ns(bytes, params_.link_bandwidth);
+
+  auto cross = [&](LinkId link, sim::TimeNs ser) {
+    auto& free_at = link_free_[static_cast<std::size_t>(link)];
+    t = std::max(t, free_at);
+    free_at = t + ser;
+    t += params_.hop_latency;
+  };
+
+  cross(torus_.injection_link(sslot), nic_ser);
+  for (const LinkId link : torus_.route_links(sslot, dslot)) {
+    cross(link, link_ser);
+  }
+  // Ejection: the message has fully arrived only after it serializes
+  // through the destination NIC. A stream-table miss adds the BEER
+  // flow-control penalty to the NIC's occupancy.
+  sim::TimeNs eject = nic_ser + params_.nic_message_overhead;
+  if (stream_miss(dst, stream)) eject += params_.stream_miss_penalty;
+  auto& ej = link_free_[static_cast<std::size_t>(
+      torus_.ejection_link(dslot))];
+  t = std::max(t, ej);
+  ej = t + eject;
+  return t + eject + params_.recv_overhead;
+}
+
+void Network::deliver(core::NodeId src, core::NodeId dst,
+                      std::int64_t bytes, StreamKey stream,
+                      std::function<void()> on_arrival) {
+  const sim::TimeNs arrival = send(src, dst, bytes, stream);
+  eng_->schedule_at(arrival, std::move(on_arrival));
+}
+
+sim::Sleep Network::transfer(core::NodeId src, core::NodeId dst,
+                             std::int64_t bytes, StreamKey stream) {
+  const sim::TimeNs arrival = send(src, dst, bytes, stream);
+  return sim::Sleep(*eng_, arrival - eng_->now());
+}
+
+int Network::hop_count(core::NodeId src, core::NodeId dst) const {
+  return torus_.hop_distance(slot_of_node_[static_cast<std::size_t>(src)],
+                             slot_of_node_[static_cast<std::size_t>(dst)]);
+}
+
+}  // namespace vtopo::net

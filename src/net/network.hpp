@@ -1,0 +1,94 @@
+// Simulated physical network: torus geometry + link occupancy.
+//
+// The model is a virtual cut-through approximation. A message's head
+// advances one hop_latency per link after waiting for the link to be
+// free; each crossed link is then occupied for the message's
+// serialization time. Queueing therefore appears exactly where it does
+// on the real machine under hot-spot traffic: at the victim node's NIC
+// ejection port and on the torus links feeding it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "core/coords.hpp"
+#include "net/params.hpp"
+#include "net/torus.hpp"
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+
+namespace vtopo::net {
+
+class Network {
+ public:
+  Network(sim::Engine& eng, std::int64_t num_nodes,
+          NetworkParams params = {}, Placement placement = Placement::kLinear,
+          std::uint64_t placement_seed = 0x9a17);
+
+  [[nodiscard]] sim::Engine& engine() const { return *eng_; }
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+  [[nodiscard]] const TorusGeometry& torus() const { return torus_; }
+  [[nodiscard]] std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(slot_of_node_.size());
+  }
+
+  /// Identity of the sending entity (process or CHT) for the purposes
+  /// of the destination NIC's message-stream table.
+  using StreamKey = std::int64_t;
+
+  /// Reserve link capacity for one `bytes`-long message src -> dst
+  /// starting now; returns the absolute simulated arrival time.
+  /// `stream` identifies the sender entity at the destination NIC.
+  sim::TimeNs send(core::NodeId src, core::NodeId dst, std::int64_t bytes,
+                   StreamKey stream);
+
+  /// send() plus scheduling `on_arrival` at the arrival time.
+  void deliver(core::NodeId src, core::NodeId dst, std::int64_t bytes,
+               StreamKey stream, std::function<void()> on_arrival);
+
+  /// Awaitable form: suspends the calling coroutine until arrival.
+  [[nodiscard]] sim::Sleep transfer(core::NodeId src, core::NodeId dst,
+                                    std::int64_t bytes, StreamKey stream);
+
+  /// Stream-table misses that paid the BEER penalty so far.
+  [[nodiscard]] std::uint64_t stream_misses() const {
+    return stream_misses_;
+  }
+
+  /// Torus hop distance between the slots hosting two nodes.
+  [[nodiscard]] int hop_count(core::NodeId src, core::NodeId dst) const;
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_total_; }
+
+ private:
+  [[nodiscard]] sim::TimeNs serialize_ns(std::int64_t bytes,
+                                         double bandwidth) const {
+    return static_cast<sim::TimeNs>(static_cast<double>(bytes) * 1e9 /
+                                    bandwidth);
+  }
+
+  /// LRU message-stream table of one NIC.
+  struct StreamTable {
+    std::list<StreamKey> lru;  // front = most recent
+    std::unordered_map<StreamKey, std::list<StreamKey>::iterator> index;
+  };
+  /// Touch `stream` at destination `dst`; true when the access missed a
+  /// full table (BEER penalty applies).
+  bool stream_miss(core::NodeId dst, StreamKey stream);
+
+  sim::Engine* eng_;
+  NetworkParams params_;
+  TorusGeometry torus_;
+  std::vector<std::int64_t> slot_of_node_;
+  std::vector<sim::TimeNs> link_free_;
+  std::vector<StreamTable> streams_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_total_ = 0;
+  std::uint64_t stream_misses_ = 0;
+};
+
+}  // namespace vtopo::net

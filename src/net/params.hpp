@@ -1,0 +1,57 @@
+// Tunable parameters of the simulated physical interconnect.
+//
+// Defaults approximate the Cray XT5 / SeaStar2+ generation: a 3-D torus,
+// sub-microsecond per-hop latency, a few GB/s per link, and software
+// (Portals) overheads that dominate small-message latency. Absolute
+// values are calibration knobs — the reproduced figures depend on the
+// *relative* costs (queueing at a hot ejection port vs. per-hop latency
+// vs. serialization), which these defaults preserve.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace vtopo::net {
+
+struct NetworkParams {
+  /// Sender-side software overhead per message (Portals descriptor
+  /// build, doorbell).
+  sim::TimeNs send_overhead = sim::us(0.5);
+  /// Receiver-side software overhead per message (event handling).
+  sim::TimeNs recv_overhead = sim::us(0.5);
+  /// Router latency per torus hop.
+  sim::TimeNs hop_latency = sim::us(0.2);
+  /// Per-direction torus link bandwidth (bytes/second).
+  double link_bandwidth = 3.0e9;
+  /// NIC injection/ejection bandwidth (bytes/second); the ejection port
+  /// of a hot-spot node is the first physical queueing point.
+  double nic_bandwidth = 2.0e9;
+  /// Intra-node transfer bandwidth (shared-memory copy).
+  double shmem_bandwidth = 8.0e9;
+  /// Intra-node fixed latency.
+  sim::TimeNs shmem_latency = sim::us(0.2);
+
+  /// Fixed NIC ejection cost per message (event processing).
+  sim::TimeNs nic_message_overhead = sim::us(0.3);
+  /// SeaStar2+-style simultaneous message-stream limit per NIC. Each
+  /// distinct sender entity (process or CHT) owns one stream slot at a
+  /// destination NIC; when a message arrives from a sender not in the
+  /// table and the table is full, the oldest stream is torn down and the
+  /// message pays the BEER (Basic End to End Reliability) flow-control
+  /// penalty. This is the paper's Sec.-II mechanism that punishes a
+  /// hot-spot receiving from thousands of distinct processes (FCG) but
+  /// not from a handful of neighbor CHTs (MFCG/CFCG).
+  int stream_table_size = 128;
+  sim::TimeNs stream_miss_penalty = sim::us(6.0);
+};
+
+/// How simulated nodes are laid out on the physical torus.
+enum class Placement {
+  kLinear,  ///< node id -> torus coordinates in row-major order
+            ///< (contiguous allocation; ranks far apart sit far apart).
+  kRandom,  ///< deterministic pseudo-random permutation (fragmented
+            ///< allocation, as on a busy machine).
+};
+
+}  // namespace vtopo::net

@@ -1,0 +1,38 @@
+// Machine profiles: parameter presets for the simulated interconnect.
+//
+// The paper's future work asks about "other petascale platforms with
+// different physical topologies, e.g., BlueGene/P". These presets let
+// every experiment in this repository run against either machine model;
+// bench/future_bgp.cpp does exactly that for the contention figures.
+#pragma once
+
+#include "net/params.hpp"
+
+namespace vtopo::net {
+
+/// Cray XT5 / SeaStar2+ (the paper's testbed): few fat links, a modest
+/// hardware message-stream table with BEER flow control past it.
+[[nodiscard]] constexpr NetworkParams xt5_params() {
+  return NetworkParams{};  // the defaults model the XT5
+}
+
+/// IBM Blue Gene/P: a denser 3-D torus of slower links (425 MB/s per
+/// direction), lower per-hop latency, slower cores (850 MHz PowerPC =>
+/// higher software overheads), and NO hardware stream limit — the
+/// messaging stack keeps per-connection state in main memory, so the
+/// BEER-style cliff does not exist; hot spots degrade by queueing only.
+[[nodiscard]] constexpr NetworkParams bgp_params() {
+  NetworkParams p;
+  p.send_overhead = sim::us(1.2);     // slower cores, deeper stack
+  p.recv_overhead = sim::us(1.2);
+  p.hop_latency = sim::us(0.1);       // ~100 ns/hop on the BG/P torus
+  p.link_bandwidth = 4.25e8;          // 425 MB/s per link direction
+  p.nic_bandwidth = 1.2e9;            // aggregate injection ~ 6 links
+  p.shmem_bandwidth = 3.0e9;
+  p.nic_message_overhead = sim::us(0.5);
+  p.stream_table_size = 1 << 20;      // effectively unlimited
+  p.stream_miss_penalty = 0;
+  return p;
+}
+
+}  // namespace vtopo::net

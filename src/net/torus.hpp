@@ -1,0 +1,69 @@
+// 3-D torus geometry with dimension-order (X then Y then Z) routing.
+//
+// Link identifiers are dense so the network can keep occupancy state in
+// one flat array: per torus slot, six directional links (+x,-x,+y,-y,+z,
+// -z) plus a NIC injection and a NIC ejection port.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/coords.hpp"
+
+namespace vtopo::net {
+
+/// Index of a directed physical link.
+using LinkId = std::int64_t;
+
+class TorusGeometry {
+ public:
+  /// Builds the smallest near-cubic torus holding `num_nodes` slots.
+  explicit TorusGeometry(std::int64_t num_nodes);
+  /// Builds a torus with explicit extents.
+  TorusGeometry(std::int32_t x, std::int32_t y, std::int32_t z);
+
+  [[nodiscard]] std::int64_t num_slots() const {
+    return static_cast<std::int64_t>(dims_[0]) * dims_[1] * dims_[2];
+  }
+  [[nodiscard]] const std::array<std::int32_t, 3>& dims() const {
+    return dims_;
+  }
+  /// Total number of directed links (6 torus directions + injection +
+  /// ejection per slot).
+  [[nodiscard]] std::int64_t num_links() const {
+    return num_slots() * kLinksPerSlot;
+  }
+
+  void slot_coords(std::int64_t slot, std::array<std::int32_t, 3>& c) const;
+  [[nodiscard]] std::int64_t slot_of(
+      const std::array<std::int32_t, 3>& c) const;
+
+  /// Minimal hop distance with wraparound.
+  [[nodiscard]] int hop_distance(std::int64_t a, std::int64_t b) const;
+
+  /// Directed torus links crossed by a dimension-order route a -> b
+  /// (excludes NIC ports). Empty when a == b.
+  [[nodiscard]] std::vector<LinkId> route_links(std::int64_t a,
+                                                std::int64_t b) const;
+
+  [[nodiscard]] LinkId injection_link(std::int64_t slot) const {
+    return slot * kLinksPerSlot + 6;
+  }
+  [[nodiscard]] LinkId ejection_link(std::int64_t slot) const {
+    return slot * kLinksPerSlot + 7;
+  }
+
+  static constexpr int kLinksPerSlot = 8;
+
+ private:
+  /// Directed link leaving `slot` in direction dir (0..5 = +x,-x,+y,-y,
+  /// +z,-z).
+  [[nodiscard]] LinkId directional_link(std::int64_t slot, int dir) const {
+    return slot * kLinksPerSlot + dir;
+  }
+
+  std::array<std::int32_t, 3> dims_{};
+};
+
+}  // namespace vtopo::net

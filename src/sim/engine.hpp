@@ -1,0 +1,93 @@
+// Deterministic discrete-event engine.
+//
+// The engine owns a time-ordered queue of callbacks. Ties are broken by
+// insertion sequence number, so two runs with identical inputs execute
+// events in exactly the same order. Coroutine-based actors (sim/task.hpp)
+// are resumed through this queue, never recursively, which bounds stack
+// depth regardless of how long dependency chains get.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vtopo::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing during run().
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t` (>= now()).
+  void schedule_at(TimeNs t, std::function<void()> fn) {
+    assert(t >= now_ && "cannot schedule into the simulated past");
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` after a relative delay (>= 0).
+  void schedule_after(TimeNs delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run until the event queue drains. Returns the final simulated time.
+  TimeNs run() {
+    while (!queue_.empty()) {
+      step();
+    }
+    return now_;
+  }
+
+  /// Run until the queue drains or simulated time would exceed `deadline`.
+  /// Returns true if the queue drained (all work finished).
+  bool run_until(TimeNs deadline) {
+    while (!queue_.empty()) {
+      if (queue_.top().time > deadline) return false;
+      step();
+    }
+    return true;
+  }
+
+  /// Number of events executed so far (diagnostic).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// True if no events are pending.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void step() {
+    // Move the event out before popping so `fn` may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+  }
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace vtopo::sim

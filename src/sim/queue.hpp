@@ -1,0 +1,57 @@
+// Unbounded awaitable FIFO queue for actor mailboxes.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace vtopo::sim {
+
+/// Single-consumer awaitable queue: producers push from event context,
+/// the consumer coroutine pops (suspending while empty). Hand-off goes
+/// through the event queue so producers never run consumer code inline.
+template <class T>
+class AsyncQueue {
+ public:
+  explicit AsyncQueue(Engine& eng) : eng_(&eng) {}
+
+  void push(T item) {
+    items_.push_back(std::move(item));
+    if (consumer_) {
+      auto h = std::exchange(consumer_, nullptr);
+      eng_->schedule_after(0, [h] { h.resume(); });
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+  /// Awaitable pop; at most one consumer may be suspended at a time.
+  auto pop() {
+    struct Awaiter {
+      AsyncQueue* q;
+      bool await_ready() const { return !q->items_.empty(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!q->consumer_ && "AsyncQueue: second concurrent consumer");
+        q->consumer_ = h;
+      }
+      T await_resume() {
+        assert(!q->items_.empty());
+        T item = std::move(q->items_.front());
+        q->items_.pop_front();
+        return item;
+      }
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Engine* eng_;
+  std::deque<T> items_;
+  std::coroutine_handle<> consumer_{};
+};
+
+}  // namespace vtopo::sim

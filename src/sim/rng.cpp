@@ -1,0 +1,14 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace vtopo::sim {
+
+double Rng::exponential(double mean) {
+  // Inverse-CDF; clamp away from 0 so log() stays finite.
+  double u = uniform01();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+}  // namespace vtopo::sim

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random numbers for workload generation.
+//
+// xoshiro256** seeded through splitmix64. We avoid <random> engines for
+// cross-platform bit-for-bit reproducibility of benches and tests.
+#pragma once
+
+#include <cstdint>
+
+namespace vtopo::sim {
+
+/// splitmix64 step; used for seeding and as a cheap hash.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator (Blackman & Vigna), deterministic across
+/// platforms and fast enough to sit on a hot simulation path.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Rejection-sampled
+  /// to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound) {
+    const std::uint64_t limit =
+        ~std::uint64_t{0} - (~std::uint64_t{0}) % bound;
+    std::uint64_t r = next_u64();
+    while (r >= limit) r = next_u64();
+    return r % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (>0).
+  double exponential(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Derive a stream-specific seed from a run seed and a stream id, so every
+/// simulated process gets an independent deterministic stream.
+constexpr std::uint64_t derive_seed(std::uint64_t run_seed,
+                                    std::uint64_t stream_id) {
+  std::uint64_t s = run_seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+}  // namespace vtopo::sim

@@ -1,0 +1,80 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace vtopo::sim {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Series::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Series::min() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Series::max() const {
+  return samples_.empty()
+             ? 0.0
+             : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Series::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double pos =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void Log2Histogram::add(std::int64_t v) {
+  int bucket = 0;
+  if (v > 1) {
+    bucket = 63 - __builtin_clzll(static_cast<unsigned long long>(v));
+  }
+  buckets_[static_cast<std::size_t>(bucket)]++;
+  ++total_;
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    os << "[2^" << i << ", 2^" << i + 1 << "): " << buckets_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vtopo::sim

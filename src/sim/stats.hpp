@@ -1,0 +1,70 @@
+// Measurement containers used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vtopo::sim {
+
+/// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// A stored sample series with percentile queries. Used for per-rank
+/// latency curves (Figs. 6 and 7 plot one point per process rank).
+class Series {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile, p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-bucket log2 histogram for latency distributions (ns scale).
+class Log2Histogram {
+ public:
+  void add(std::int64_t v);
+  [[nodiscard]] std::size_t count() const { return total_; }
+  /// Bucket i counts values in [2^i, 2^(i+1)); bucket 0 also holds <=1.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(64, 0);
+  std::size_t total_ = 0;
+};
+
+}  // namespace vtopo::sim

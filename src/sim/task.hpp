@@ -1,0 +1,289 @@
+// Coroutine actor layer on top of the event engine.
+//
+// Simulated processes are written as straight-line C++20 coroutines:
+//
+//   sim::Co<void> worker(Ctx& ctx) {
+//     co_await ctx.sleep(us(5));
+//     int v = co_await ctx.fetch_add(...);
+//   }
+//
+// `Co<T>` is a lazily-started coroutine that resumes its awaiter by
+// symmetric transfer when it finishes; `spawn()` detaches a root Co<void>
+// onto the engine. Suspension points never resume recursively through
+// arbitrary caller stacks: completion sources (Future, Semaphore, sleep)
+// schedule resumption as engine events at the current simulated time.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::sim {
+
+template <class T>
+class Co;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <class Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  // A simulated actor has no one to rethrow to; failing fast keeps the
+  // deterministic run debuggable.
+  [[noreturn]] void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace detail
+
+/// Lazily-started awaitable coroutine returning T.
+template <class T>
+class [[nodiscard]] Co {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Co get_return_object() {
+      return Co{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co& operator=(Co&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Co() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;  // start the child coroutine
+  }
+  T await_resume() {
+    assert(handle_.promise().value.has_value());
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  friend struct promise_type;
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+/// Co<void> specialization.
+template <>
+class [[nodiscard]] Co<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Co get_return_object() {
+      return Co{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co& operator=(Co&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Co() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {}
+
+ private:
+  friend struct promise_type;
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+namespace detail {
+
+/// Self-destroying root coroutine used by spawn().
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+};
+
+inline Detached drive(Co<void> co, std::int64_t* live_counter) {
+  co_await std::move(co);
+  if (live_counter != nullptr) --*live_counter;
+}
+
+}  // namespace detail
+
+/// Detach a root coroutine onto the engine. The coroutine starts running
+/// immediately (up to its first suspension point). If `live_counter` is
+/// given it is incremented now and decremented when the task finishes,
+/// letting callers assert that a run left no task stranded.
+inline void spawn(Co<void> co, std::int64_t* live_counter = nullptr) {
+  if (live_counter != nullptr) ++*live_counter;
+  detail::drive(std::move(co), live_counter);
+}
+
+/// Awaitable relative delay.
+class Sleep {
+ public:
+  Sleep(Engine& eng, TimeNs delay) : eng_(&eng), delay_(delay) {}
+  bool await_ready() const noexcept { return delay_ <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    eng_->schedule_after(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Engine* eng_;
+  TimeNs delay_;
+};
+
+inline Sleep sleep_for(Engine& eng, TimeNs delay) { return Sleep(eng, delay); }
+
+/// One-shot future: a value produced by one party and awaited by at most
+/// one coroutine. Copies share state (promise/future in one handle).
+template <class T>
+class Future {
+ public:
+  explicit Future(Engine& eng) : st_(std::make_shared<State>(&eng)) {}
+
+  /// Fulfil the future. Resumes the waiter (if any) via the event queue at
+  /// the current simulated time. Must be called exactly once.
+  void set(T v) {
+    assert(!st_->value.has_value() && "future set twice");
+    st_->value.emplace(std::move(v));
+    if (st_->waiter) {
+      auto st = st_;
+      st_->eng->schedule_after(0, [st] {
+        auto h = std::exchange(st->waiter, nullptr);
+        h.resume();
+      });
+    }
+  }
+
+  [[nodiscard]] bool ready() const { return st_->value.has_value(); }
+
+  /// Peek at the value (valid only when ready(); value must not have been
+  /// consumed by a co_await).
+  [[nodiscard]] const T& peek() const { return *st_->value; }
+
+  auto operator co_await() {
+    struct Awaiter {
+      std::shared_ptr<State> st;
+      bool await_ready() const { return st->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!st->waiter && "future awaited by two coroutines");
+        st->waiter = h;
+      }
+      T await_resume() { return std::move(*st->value); }
+    };
+    return Awaiter{st_};
+  }
+
+ private:
+  struct State {
+    explicit State(Engine* e) : eng(e) {}
+    Engine* eng;
+    std::optional<T> value;
+    std::coroutine_handle<> waiter;
+  };
+  std::shared_ptr<State> st_;
+};
+
+/// Counting semaphore with FIFO hand-off: release() while waiters queue is
+/// non-empty hands the token to the oldest waiter directly, so ordering is
+/// fair and deterministic. Models finite resource pools (request buffers).
+class Semaphore {
+ public:
+  Semaphore(Engine& eng, std::int64_t initial)
+      : eng_(&eng), count_(initial) {}
+
+  [[nodiscard]] std::int64_t available() const { return count_; }
+  [[nodiscard]] std::size_t waiters() const { return waiters_.size(); }
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const {
+        if (sem->count_ > 0) {
+          --sem->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        sem->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // Token is handed straight to the waiter; count_ stays unchanged.
+      eng_->schedule_after(0, [h] { h.resume(); });
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Engine* eng_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace vtopo::sim

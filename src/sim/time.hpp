@@ -1,0 +1,34 @@
+// Simulated time base for the vtopo discrete-event engine.
+//
+// All simulated clocks are 64-bit signed nanosecond counts. Integer time
+// keeps every run bit-for-bit deterministic (no float drift) while leaving
+// headroom for ~292 years of simulated time.
+#pragma once
+
+#include <cstdint>
+
+namespace vtopo::sim {
+
+/// Simulated time in nanoseconds since the start of the run.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+/// Convert microseconds to simulated nanoseconds.
+constexpr TimeNs us(double v) { return static_cast<TimeNs>(v * kNsPerUs); }
+/// Convert milliseconds to simulated nanoseconds.
+constexpr TimeNs ms(double v) { return static_cast<TimeNs>(v * kNsPerMs); }
+/// Convert seconds to simulated nanoseconds.
+constexpr TimeNs sec(double v) { return static_cast<TimeNs>(v * kNsPerSec); }
+
+/// Convert simulated nanoseconds to (floating) microseconds, the unit the
+/// paper's figures use.
+constexpr double to_us(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+/// Convert simulated nanoseconds to (floating) seconds.
+constexpr double to_sec(TimeNs t) {
+  return static_cast<double>(t) / kNsPerSec;
+}
+
+}  // namespace vtopo::sim

@@ -1,0 +1,52 @@
+// Shared configuration and result types for the workload drivers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "armci/runtime.hpp"
+#include "core/topology.hpp"
+
+namespace vtopo::work {
+
+/// Cluster-level knobs shared by every experiment.
+struct ClusterConfig {
+  std::int64_t num_nodes = 16;
+  int procs_per_node = 4;
+  core::TopologyKind topology = core::TopologyKind::kFcg;
+  core::ForwardingPolicy policy = core::ForwardingPolicy::kLowestDimFirst;
+  /// Optional explicit grid shape (see Runtime::Config::custom_shape).
+  std::optional<core::Shape> custom_shape;
+  std::uint64_t seed = 42;
+  armci::ArmciParams armci{};
+  net::NetworkParams net{};
+  net::Placement placement = net::Placement::kLinear;
+  std::int64_t segment_bytes = std::int64_t{8} << 20;
+
+  [[nodiscard]] std::int64_t num_procs() const {
+    return num_nodes * procs_per_node;
+  }
+  [[nodiscard]] armci::Runtime::Config runtime_config() const {
+    armci::Runtime::Config cfg;
+    cfg.num_nodes = num_nodes;
+    cfg.procs_per_node = procs_per_node;
+    cfg.topology = topology;
+    cfg.policy = policy;
+    cfg.custom_shape = custom_shape;
+    cfg.armci = armci;
+    cfg.net = net;
+    cfg.placement = placement;
+    cfg.segment_bytes = segment_bytes;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+/// Result of one application run.
+struct AppResult {
+  double exec_time_sec = 0.0;       ///< simulated wall time of the app
+  double checksum = 0.0;            ///< numeric check for correctness
+  armci::RuntimeStats stats{};      ///< protocol counters
+};
+
+}  // namespace vtopo::work

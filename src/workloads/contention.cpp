@@ -1,0 +1,132 @@
+#include "workloads/contention.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::work {
+
+namespace {
+
+using armci::GAddr;
+using armci::GetSeg;
+using armci::Proc;
+using armci::PutSeg;
+
+/// One operation against rank 0, as configured.
+sim::Co<void> do_op(Proc& p, const ContentionConfig& cfg,
+                    std::int64_t counter_off, std::int64_t region_off,
+                    std::vector<std::uint8_t>& scratch) {
+  switch (cfg.op) {
+    case ContentionConfig::Op::kVectorPut: {
+      std::vector<PutSeg> segs(static_cast<std::size_t>(cfg.vec_segments));
+      for (int s = 0; s < cfg.vec_segments; ++s) {
+        // Disjoint per-process strips so concurrent puts do not race.
+        const std::int64_t off =
+            region_off +
+            (static_cast<std::int64_t>(p.id()) % 64) * cfg.seg_bytes *
+                cfg.vec_segments +
+            s * cfg.seg_bytes;
+        segs[static_cast<std::size_t>(s)] = PutSeg{
+            std::span<const std::uint8_t>(
+                scratch.data() + s * cfg.seg_bytes,
+                static_cast<std::size_t>(cfg.seg_bytes)),
+            off};
+      }
+      co_await p.put_v(0, segs);
+      break;
+    }
+    case ContentionConfig::Op::kVectorGet: {
+      std::vector<GetSeg> segs(static_cast<std::size_t>(cfg.vec_segments));
+      for (int s = 0; s < cfg.vec_segments; ++s) {
+        const std::int64_t off = region_off + s * cfg.seg_bytes;
+        segs[static_cast<std::size_t>(s)] = GetSeg{
+            std::span<std::uint8_t>(scratch.data() + s * cfg.seg_bytes,
+                                    static_cast<std::size_t>(cfg.seg_bytes)),
+            off};
+      }
+      co_await p.get_v(0, segs);
+      break;
+    }
+    case ContentionConfig::Op::kFetchAdd: {
+      co_await p.fetch_add(GAddr{0, counter_off}, 1);
+      break;
+    }
+  }
+}
+
+struct Shared {
+  ContentionConfig cfg;
+  std::int64_t counter_off = 0;
+  std::int64_t region_off = 0;
+  std::vector<armci::ProcId> measured;
+  std::vector<char> turn_done;
+  std::vector<double> result_us;
+};
+
+sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
+  const ContentionConfig& cfg = st->cfg;
+  const bool on_node0 = p.node() == 0;
+  const bool contender =
+      cfg.contender_stride > 0 && !on_node0 &&
+      p.id() % cfg.contender_stride == 0;
+
+  std::vector<std::uint8_t> scratch(static_cast<std::size_t>(
+      cfg.vec_segments * cfg.seg_bytes));
+  for (std::size_t i = 0; i < scratch.size(); ++i) {
+    scratch[i] = static_cast<std::uint8_t>(p.id() + i);
+  }
+
+  sim::Engine& eng = p.runtime().engine();
+  for (std::size_t turn = 0; turn < st->measured.size(); ++turn) {
+    co_await p.barrier();
+    const armci::ProcId who = st->measured[turn];
+    if (p.id() == who) {
+      const sim::TimeNs t0 = eng.now();
+      for (int it = 0; it < cfg.iterations; ++it) {
+        co_await do_op(p, cfg, st->counter_off, st->region_off, scratch);
+      }
+      st->result_us[static_cast<std::size_t>(p.id())] =
+          sim::to_us(eng.now() - t0) / cfg.iterations;
+      st->turn_done[turn] = 1;
+    } else if (contender) {
+      while (!st->turn_done[turn]) {
+        co_await do_op(p, cfg, st->counter_off, st->region_off, scratch);
+      }
+    }
+  }
+  co_await p.barrier();
+}
+
+}  // namespace
+
+ContentionResult run_contention(const ClusterConfig& cluster,
+                                const ContentionConfig& cfg) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cluster.runtime_config());
+
+  auto st = std::make_shared<Shared>();
+  st->cfg = cfg;
+  st->counter_off = rt.memory().alloc_all(64);
+  // Disjoint strips for up to 64 concurrent writers.
+  st->region_off = rt.memory().alloc_all(
+      static_cast<std::int64_t>(cfg.vec_segments) * cfg.seg_bytes * 64);
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) {
+    if (rt.node_of(p) != 0) st->measured.push_back(p);
+  }
+  st->turn_done.assign(st->measured.size(), 0);
+  st->result_us.assign(static_cast<std::size_t>(rt.num_procs()), -1.0);
+
+  rt.spawn_all([st](Proc& p) { return body(p, st); });
+  rt.run_all();
+
+  ContentionResult out;
+  out.op_time_us = std::move(st->result_us);
+  out.stats = rt.stats();
+  out.total_sim_sec = sim::to_sec(eng.now());
+  return out;
+}
+
+}  // namespace vtopo::work

@@ -1,0 +1,46 @@
+// Hot-spot contention microbenchmark driver (paper Sec. V-B).
+//
+// Reproduces the measurement protocol behind Figs. 6 and 7: every
+// process (except those sharing Rank 0's node) takes a turn performing
+// `iterations` one-sided operations against Rank 0 while a fixed subset
+// of processes ("one in every nine" = 11%, "one in every five" = 20%)
+// hammers Rank 0 with the same operation concurrently. The per-rank
+// average operation time is the figure's y-value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/common.hpp"
+
+namespace vtopo::work {
+
+struct ContentionConfig {
+  enum class Op {
+    kVectorPut,  ///< ARMCI_PutV: noncontiguous data transfer (Fig. 6)
+    kVectorGet,  ///< ARMCI_GetV
+    kFetchAdd,   ///< atomic fetch-&-add (Fig. 7)
+  };
+  Op op = Op::kVectorPut;
+  /// Iterations averaged per measured process (paper: 20).
+  int iterations = 20;
+  /// Contender stride: 0 = no contention, 9 = 11%, 5 = 20%.
+  int contender_stride = 0;
+  /// Vectored op: segments per op and bytes per segment.
+  int vec_segments = 16;
+  std::int64_t seg_bytes = 512;
+};
+
+struct ContentionResult {
+  /// Mean op time in us per process rank; < 0 for unmeasured ranks
+  /// (Rank 0's node).
+  std::vector<double> op_time_us;
+  armci::RuntimeStats stats{};
+  double total_sim_sec = 0.0;
+};
+
+/// Run the Sec. V-B experiment on a fresh simulated cluster.
+[[nodiscard]] ContentionResult run_contention(const ClusterConfig& cluster,
+                                              const ContentionConfig& cfg);
+
+}  // namespace vtopo::work

@@ -1,0 +1,28 @@
+// NAS LU application proxy (paper Sec. VI-A, Fig. 8).
+//
+// Reproduces the communication signature of the ARMCI port of NAS LU:
+// an SSOR wavefront over a 2-D process grid. Each sweep, every process
+// waits for boundary pencils from its north and west neighbors
+// (noncontiguous vectored puts + an 8-byte notify), computes its
+// subdomain update, and pushes boundaries east and south; a small
+// accumulate-based global residual reduction closes each iteration.
+// Neighbor-dominated traffic means virtual topologies should neither
+// help nor hurt much — the paper's Fig. 8 result.
+#pragma once
+
+#include "workloads/common.hpp"
+
+namespace vtopo::work {
+
+struct LuConfig {
+  int iterations = 8;               ///< SSOR time steps
+  int nx_global = 408;              ///< global grid edge (class-C-like);
+                                    ///< fixed => strong scaling as in Fig. 8
+  int pencil_doubles = 5;           ///< doubles per boundary point (LU: 5)
+  double compute_us_per_cell = 1.5; ///< per-subdomain-cell update cost
+};
+
+[[nodiscard]] AppResult run_nas_lu(const ClusterConfig& cluster,
+                                   const LuConfig& cfg);
+
+}  // namespace vtopo::work

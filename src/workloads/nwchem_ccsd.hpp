@@ -1,0 +1,27 @@
+// NWChem CCSD(T) water proxy (paper Sec. VI-B, Fig. 9b).
+//
+// Communication signature of the coupled-cluster triples kernels: large
+// strided (noncontiguous) reads of integral/amplitude tiles from evenly
+// distributed owners, heavy local contractions, accumulates of result
+// tiles — and only coarse-grained task acquisition (large chunks), so no
+// single process becomes a hot spot. Bandwidth-dominated and evenly
+// spread: the workload where FCG's zero-forwarding generally beats MFCG
+// (Fig. 9b), and MFCG's value is the memory it frees instead.
+#pragma once
+
+#include "workloads/common.hpp"
+
+namespace vtopo::work {
+
+struct CcsdConfig {
+  int sweeps = 1;
+  std::int64_t total_tiles = 196608;  ///< fixed problem => strong scaling
+  std::int64_t tile_rows = 24;        ///< strided read: rows per tile
+  std::int64_t row_bytes = 512;       ///< contiguous bytes per row
+  double compute_us_per_tile = 300.0;
+};
+
+[[nodiscard]] AppResult run_nwchem_ccsd(const ClusterConfig& cluster,
+                                        const CcsdConfig& cfg);
+
+}  // namespace vtopo::work

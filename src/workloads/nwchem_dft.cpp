@@ -1,0 +1,101 @@
+#include "workloads/nwchem_dft.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "workloads/task_pool.hpp"
+
+namespace vtopo::work {
+
+namespace {
+
+using armci::GAddr;
+using armci::GetSeg;
+using armci::Proc;
+
+struct Shared {
+  DftConfig cfg;
+  std::int64_t counter_off = 0;   ///< NXTVAL cell, rank 0
+  std::int64_t matrix_off = 0;    ///< distributed density/Fock blocks
+  std::int64_t energy_off = 0;    ///< energy reduction cell, rank 0
+  std::int64_t nprocs = 0;
+};
+
+/// Owner of matrix block `b`: uniform hash over all processes.
+armci::ProcId owner_of(std::int64_t b, std::int64_t nprocs) {
+  std::uint64_t h = static_cast<std::uint64_t>(b) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return static_cast<armci::ProcId>(h % static_cast<std::uint64_t>(nprocs));
+}
+
+sim::Co<void> one_task(Proc& p, const std::shared_ptr<Shared>& st,
+                       std::int64_t task) {
+  const DftConfig& cfg = st->cfg;
+  const std::int64_t block_bytes = cfg.block_doubles * 8;
+
+  // Fetch one density block from its (uniformly distributed) owner.
+  std::vector<std::uint8_t> block(static_cast<std::size_t>(block_bytes));
+  const armci::ProcId src_owner = owner_of(task * 2 + 1, st->nprocs);
+  const GetSeg seg{std::span<std::uint8_t>(block), st->matrix_off};
+  co_await p.get_v(src_owner, {&seg, 1});
+
+  co_await p.compute(sim::us(cfg.compute_us_per_task));
+
+  // Accumulate the Fock contribution back to a (different) owner.
+  std::vector<double> contrib(static_cast<std::size_t>(cfg.block_doubles),
+                              1.0 / (task + 1.0));
+  const armci::ProcId dst_owner = owner_of(task * 2 + 2, st->nprocs);
+  co_await p.acc_f64(GAddr{dst_owner, st->matrix_off}, contrib, 0.5);
+}
+
+sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
+  const DftConfig& cfg = st->cfg;
+  const std::int64_t total_tasks = cfg.total_tasks;
+
+  for (int iter = 0; iter < cfg.scf_iterations; ++iter) {
+    if (p.id() == 0) {
+      // Reset the shared counter; the barrier below publishes it.
+      p.runtime().memory().write_i64(GAddr{0, st->counter_off}, 0);
+    }
+    co_await p.barrier();
+
+    TaskPool pool{GAddr{0, st->counter_off}, total_tasks, cfg.chunk};
+    co_await drain_task_pool(p, pool, [&](std::int64_t t) {
+      return one_task(p, st, t);
+    });
+
+    // Energy reduction: every process accumulates on rank 0.
+    const std::vector<double> e(4, 0.25);
+    co_await p.acc_f64(GAddr{0, st->energy_off}, e, 1.0);
+    co_await p.barrier();
+  }
+}
+
+}  // namespace
+
+AppResult run_nwchem_dft(const ClusterConfig& cluster,
+                         const DftConfig& cfg) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cluster.runtime_config());
+
+  auto st = std::make_shared<Shared>();
+  st->cfg = cfg;
+  st->nprocs = rt.num_procs();
+  st->counter_off = rt.memory().alloc_all(64);
+  st->matrix_off = rt.memory().alloc_all(cfg.block_doubles * 8);
+  st->energy_off = rt.memory().alloc_all(64);
+
+  rt.spawn_all([st](Proc& p) { return body(p, st); });
+  rt.run_all();
+
+  AppResult out;
+  out.exec_time_sec = sim::to_sec(eng.now());
+  out.checksum = rt.memory().read_f64(armci::GAddr{0, st->energy_off});
+  out.stats = rt.stats();
+  return out;
+}
+
+}  // namespace vtopo::work

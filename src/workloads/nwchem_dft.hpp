@@ -1,0 +1,27 @@
+// NWChem DFT (SiOSi3) proxy (paper Sec. VI-B, Fig. 9a).
+//
+// Communication signature of a Fock-matrix construction SCF loop in
+// Global Arrays: dynamic load balancing off ONE global counter hosted by
+// rank 0 (GA NXTVAL -> ARMCI_Rmw fetch-&-add), per-task block gets from
+// uniformly distributed owners, per-task accumulates back, and an
+// end-of-iteration energy reduction that accumulates on rank 0. The
+// counter and the reduction make rank 0 a hot spot: the workload the
+// paper reports MFCG helping by up to 48%.
+#pragma once
+
+#include "workloads/common.hpp"
+
+namespace vtopo::work {
+
+struct DftConfig {
+  int scf_iterations = 2;
+  std::int64_t total_tasks = 24576;  ///< fixed problem => strong scaling
+  std::int64_t block_doubles = 96;   ///< matrix block fetched per task
+  double compute_us_per_task = 70000.0;
+  std::int64_t chunk = 1;            ///< tasks claimed per counter access
+};
+
+[[nodiscard]] AppResult run_nwchem_dft(const ClusterConfig& cluster,
+                                       const DftConfig& cfg);
+
+}  // namespace vtopo::work

@@ -1,0 +1,27 @@
+// Synthetic workload with a tunable hot-spot fraction — the knob the
+// paper's two NWChem methods sit at opposite ends of (DFT ~ counter-
+// bound, CCSD(T) ~ uniform). Sweeping it maps out where each virtual
+// topology wins and cross-validates core::recommend_topology against
+// the simulator.
+#pragma once
+
+#include "workloads/common.hpp"
+
+namespace vtopo::work {
+
+struct SyntheticConfig {
+  /// Operations per process.
+  std::int64_t ops_per_proc = 24;
+  /// Probability that an operation targets the hot process (rank 0)
+  /// instead of a uniformly random peer.
+  double hotspot_fraction = 0.0;
+  /// Payload of each vectored operation.
+  std::int64_t op_bytes = 2048;
+  /// Local compute between operations.
+  double compute_us_per_op = 50.0;
+};
+
+[[nodiscard]] AppResult run_synthetic(const ClusterConfig& cluster,
+                                      const SyntheticConfig& cfg);
+
+}  // namespace vtopo::work

@@ -1,0 +1,20 @@
+#include "workloads/task_pool.hpp"
+
+namespace vtopo::work {
+
+sim::Co<void> drain_task_pool(
+    armci::Proc& p, const TaskPool& pool,
+    const std::function<sim::Co<void>(std::int64_t)>& task) {
+  for (;;) {
+    const std::int64_t first =
+        co_await p.fetch_add(pool.counter, pool.chunk);
+    if (first >= pool.num_tasks) break;
+    const std::int64_t last =
+        std::min(first + pool.chunk, pool.num_tasks);
+    for (std::int64_t t = first; t < last; ++t) {
+      co_await task(t);
+    }
+  }
+}
+
+}  // namespace vtopo::work

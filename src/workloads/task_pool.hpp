@@ -1,0 +1,27 @@
+// Dynamic load balancing off a single global counter — the Global
+// Arrays idiom (GA NXTVAL) behind NWChem's task distribution, and the
+// paper's canonical hot-spot generator: every task acquisition is an
+// atomic fetch-&-add on one cell owned by rank 0.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "armci/proc.hpp"
+#include "sim/task.hpp"
+
+namespace vtopo::work {
+
+struct TaskPool {
+  armci::GAddr counter;     ///< shared next-task cell (host: rank 0)
+  std::int64_t num_tasks = 0;
+  std::int64_t chunk = 1;   ///< tasks claimed per counter access
+};
+
+/// Repeatedly claim chunks from the pool and run `task(task_id)` until
+/// the pool drains. `task` is a coroutine (communication + compute).
+[[nodiscard]] sim::Co<void> drain_task_pool(
+    armci::Proc& p, const TaskPool& pool,
+    const std::function<sim::Co<void>(std::int64_t)>& task);
+
+}  // namespace vtopo::work

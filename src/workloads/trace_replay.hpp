@@ -1,0 +1,62 @@
+// Trace-driven workload: replay a textual operation trace through the
+// runtime. Lets users run custom communication patterns against any
+// topology/machine configuration without writing C++.
+//
+// Trace grammar — one op per line, '#' comments, blank lines ignored:
+//
+//   <proc> put      <target> <bytes>
+//   <proc> get      <target> <bytes>
+//   <proc> putv     <target> <bytes>          # vectored (CHT-mediated)
+//   <proc> getv     <target> <bytes>
+//   <proc> acc      <target> <doubles>
+//   <proc> fetchadd <target> <delta>
+//   <proc> lock     <target> <mutex>
+//   <proc> unlock   <target> <mutex>
+//   <proc> compute  <microseconds>
+//   <proc> barrier                             # all procs must barrier
+//
+// Each process executes its own lines in file order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/common.hpp"
+
+namespace vtopo::work {
+
+struct TraceOp {
+  enum class Kind {
+    kPut,
+    kGet,
+    kPutV,
+    kGetV,
+    kAcc,
+    kFetchAdd,
+    kLock,
+    kUnlock,
+    kCompute,
+    kBarrier,
+  };
+  Kind kind = Kind::kBarrier;
+  armci::ProcId proc = 0;
+  armci::ProcId target = 0;
+  std::int64_t arg = 0;  // bytes / doubles / delta / mutex / us
+};
+
+/// Parse a trace; throws std::invalid_argument with a line number on
+/// malformed input or out-of-range ranks (checked against num_procs).
+[[nodiscard]] std::vector<TraceOp> parse_trace(const std::string& text,
+                                               std::int64_t num_procs);
+
+struct TraceResult {
+  double exec_time_sec = 0.0;
+  armci::RuntimeStats stats{};
+  std::int64_t ops_executed = 0;
+};
+
+/// Replay a parsed trace on a fresh cluster.
+[[nodiscard]] TraceResult replay_trace(const ClusterConfig& cluster,
+                                       const std::vector<TraceOp>& ops);
+
+}  // namespace vtopo::work

@@ -1,0 +1,84 @@
+// Failure injection: misuse must fail loudly, not corrupt state.
+#include <gtest/gtest.h>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+
+namespace vtopo::armci {
+namespace {
+
+TEST(Failure, SegmentExhaustionThrows) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 1;
+  cfg.segment_bytes = 256;
+  Runtime rt(eng, cfg);
+  rt.memory().alloc_all(200);
+  EXPECT_THROW(rt.memory().alloc_all(100), std::runtime_error);
+}
+
+TEST(Failure, BadTopologyConfigThrows) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 12;  // not a power of two
+  cfg.topology = core::TopologyKind::kHypercube;
+  EXPECT_THROW(Runtime rt(eng, cfg), std::invalid_argument);
+}
+
+TEST(Failure, CustomShapeTooSmallThrows) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 20;
+  cfg.topology = core::TopologyKind::kMfcg;
+  cfg.custom_shape = core::Shape({4, 4});
+  EXPECT_THROW(Runtime rt(eng, cfg), std::invalid_argument);
+}
+
+#ifndef NDEBUG
+
+using FailureDeath = ::testing::Test;
+
+TEST(FailureDeath, UnlockByNonHolderAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::Engine eng;
+        Runtime::Config cfg;
+        cfg.num_nodes = 2;
+        cfg.procs_per_node = 1;
+        Runtime rt(eng, cfg);
+        rt.spawn(1, [](Proc& p) -> sim::Co<void> {
+          // Unlock a mutex this process never acquired.
+          co_await p.unlock(0, 0);
+        });
+        rt.run_all();
+      },
+      "unlock by non-holder");
+}
+
+TEST(FailureDeath, OutOfBoundsAccessAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        GlobalMemory mem(2, 64);
+        mem.write_i64(GAddr{0, 60}, 1);  // 60 + 8 > 64
+      },
+      "offset");
+}
+
+TEST(FailureDeath, ScheduleIntoThePastAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::Engine eng;
+        eng.schedule_at(100, [&eng] { eng.schedule_at(50, [] {}); });
+        eng.run();
+      },
+      "past");
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace vtopo::armci

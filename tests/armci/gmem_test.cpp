@@ -1,0 +1,123 @@
+#include "armci/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vtopo::armci {
+namespace {
+
+TEST(GlobalMemory, AllocAllReturnsAlignedMonotoneOffsets) {
+  GlobalMemory mem(4, 1 << 16);
+  const auto a = mem.alloc_all(10);
+  const auto b = mem.alloc_all(1);
+  const auto c = mem.alloc_all(8);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 16);  // 10 rounded up to 16
+  EXPECT_EQ(c, 24);
+  EXPECT_EQ(a % 8, 0);
+  EXPECT_EQ(b % 8, 0);
+}
+
+TEST(GlobalMemory, ExhaustionThrows) {
+  GlobalMemory mem(2, 64);
+  mem.alloc_all(48);
+  EXPECT_THROW(mem.alloc_all(32), std::runtime_error);
+}
+
+TEST(GlobalMemory, RejectsBadSizes) {
+  EXPECT_THROW(GlobalMemory(0, 64), std::invalid_argument);
+  EXPECT_THROW(GlobalMemory(2, 0), std::invalid_argument);
+}
+
+TEST(GlobalMemory, WriteReadRoundTrip) {
+  GlobalMemory mem(3, 4096);
+  const auto off = mem.alloc_all(16);
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  mem.write(GAddr{1, off}, data);
+  std::vector<std::uint8_t> back(5);
+  mem.read(back, GAddr{1, off});
+  EXPECT_EQ(back, data);
+}
+
+TEST(GlobalMemory, SegmentsAreIndependent) {
+  GlobalMemory mem(3, 4096);
+  const auto off = mem.alloc_all(8);
+  mem.write_i64(GAddr{0, off}, 111);
+  mem.write_i64(GAddr{1, off}, 222);
+  EXPECT_EQ(mem.read_i64(GAddr{0, off}), 111);
+  EXPECT_EQ(mem.read_i64(GAddr{1, off}), 222);
+  EXPECT_EQ(mem.read_i64(GAddr{2, off}), 0);  // untouched stays zeroed
+}
+
+TEST(GlobalMemory, Int64RoundTrip) {
+  GlobalMemory mem(1, 64);
+  const auto off = mem.alloc_all(8);
+  mem.write_i64(GAddr{0, off}, -123456789012345LL);
+  EXPECT_EQ(mem.read_i64(GAddr{0, off}), -123456789012345LL);
+}
+
+TEST(GlobalMemory, F64RoundTrip) {
+  GlobalMemory mem(1, 64);
+  const auto off = mem.alloc_all(8);
+  mem.write_f64(GAddr{0, off}, 3.25);
+  EXPECT_DOUBLE_EQ(mem.read_f64(GAddr{0, off}), 3.25);
+}
+
+TEST(GlobalMemory, FetchAddReturnsOldValue) {
+  GlobalMemory mem(1, 64);
+  const auto off = mem.alloc_all(8);
+  EXPECT_EQ(mem.fetch_add_i64(GAddr{0, off}, 5), 0);
+  EXPECT_EQ(mem.fetch_add_i64(GAddr{0, off}, 3), 5);
+  EXPECT_EQ(mem.read_i64(GAddr{0, off}), 8);
+  EXPECT_EQ(mem.fetch_add_i64(GAddr{0, off}, -10), 8);
+  EXPECT_EQ(mem.read_i64(GAddr{0, off}), -2);
+}
+
+TEST(GlobalMemory, SwapReturnsOldValue) {
+  GlobalMemory mem(1, 64);
+  const auto off = mem.alloc_all(8);
+  mem.write_i64(GAddr{0, off}, 7);
+  EXPECT_EQ(mem.swap_i64(GAddr{0, off}, 9), 7);
+  EXPECT_EQ(mem.read_i64(GAddr{0, off}), 9);
+}
+
+TEST(GlobalMemory, AccumulateScalesAndAdds) {
+  GlobalMemory mem(1, 256);
+  const auto off = mem.alloc_all(4 * 8);
+  for (int i = 0; i < 4; ++i) mem.write_f64(GAddr{0, off + i * 8}, 1.0);
+  const std::vector<double> src{1.0, 2.0, 3.0, 4.0};
+  mem.accumulate_f64(GAddr{0, off}, src, 0.5);
+  EXPECT_DOUBLE_EQ(mem.read_f64(GAddr{0, off}), 1.5);
+  EXPECT_DOUBLE_EQ(mem.read_f64(GAddr{0, off + 8}), 2.0);
+  EXPECT_DOUBLE_EQ(mem.read_f64(GAddr{0, off + 24}), 3.0);
+}
+
+TEST(GlobalMemory, AccumulateIsAdditive) {
+  GlobalMemory mem(1, 64);
+  const auto off = mem.alloc_all(8);
+  const std::vector<double> one{1.0};
+  for (int i = 0; i < 10; ++i) mem.accumulate_f64(GAddr{0, off}, one, 1.0);
+  EXPECT_DOUBLE_EQ(mem.read_f64(GAddr{0, off}), 10.0);
+}
+
+TEST(GlobalMemory, LazySegmentsMaterializeIndependently) {
+  GlobalMemory mem(1000, std::int64_t{1} << 30);  // 1 TB logical total
+  const auto off = mem.alloc_all(64);
+  // Touch only two segments; the rest must never materialize (this test
+  // would OOM otherwise).
+  mem.write_i64(GAddr{7, off}, 1);
+  mem.write_i64(GAddr{900, off}, 2);
+  EXPECT_EQ(mem.read_i64(GAddr{7, off}), 1);
+  EXPECT_EQ(mem.read_i64(GAddr{900, off}), 2);
+}
+
+TEST(GlobalMemory, SegmentViewCoversAllocations) {
+  GlobalMemory mem(2, 1 << 20);
+  const auto off = mem.alloc_all(100);
+  auto seg = mem.segment(1);
+  EXPECT_GE(static_cast<std::int64_t>(seg.size()), off + 100);
+}
+
+}  // namespace
+}  // namespace vtopo::armci

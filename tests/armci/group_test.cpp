@@ -1,0 +1,134 @@
+// Process groups: membership math and group-scoped collectives.
+#include "armci/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+
+namespace vtopo::armci {
+namespace {
+
+Runtime::Config cfg8() {
+  Runtime::Config cfg;
+  cfg.num_nodes = 8;
+  cfg.procs_per_node = 2;
+  cfg.topology = core::TopologyKind::kMfcg;
+  return cfg;
+}
+
+TEST(ProcGroup, MembershipAndRanks) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg8());
+  ProcGroup g(rt, {3, 7, 11});
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_TRUE(g.contains(7));
+  EXPECT_FALSE(g.contains(4));
+  EXPECT_EQ(g.rank_of(3), 0);
+  EXPECT_EQ(g.rank_of(11), 2);
+}
+
+TEST(ProcGroup, RangeAndNodeFactories) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg8());
+  const ProcGroup r = ProcGroup::range(rt, 4, 6);
+  EXPECT_EQ(r.size(), 6);
+  EXPECT_TRUE(r.contains(4));
+  EXPECT_TRUE(r.contains(9));
+  EXPECT_FALSE(r.contains(10));
+  const ProcGroup n = ProcGroup::node_group(rt, 3);
+  EXPECT_EQ(n.size(), 2);
+  EXPECT_TRUE(n.contains(6));
+  EXPECT_TRUE(n.contains(7));
+}
+
+TEST(ProcGroup, RejectsBadMembers) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg8());
+  EXPECT_THROW(ProcGroup(rt, {}), std::invalid_argument);
+  EXPECT_THROW(ProcGroup(rt, {0, 99}), std::invalid_argument);
+  EXPECT_THROW(ProcGroup(rt, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(ProcGroup(rt, {-1}), std::invalid_argument);
+}
+
+TEST(ProcGroup, GroupBarrierReleasesMembersTogether) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg8());
+  ProcGroup g = ProcGroup::range(rt, 2, 5);
+  std::vector<sim::TimeNs> released(5, 0);
+  // Group members barrier; non-members do unrelated work and must not
+  // be required for the group barrier to complete.
+  rt.spawn_all([&](Proc& p) -> sim::Co<void> {
+    if (!g.contains(p.id())) {
+      co_await p.compute(sim::ms(50));
+      co_return;
+    }
+    co_await p.compute(sim::us(10) * (p.id() + 1));
+    co_await g.barrier(p.id());
+    released[static_cast<std::size_t>(g.rank_of(p.id()))] =
+        p.runtime().engine().now();
+  });
+  rt.run_all();
+  for (const auto t : released) {
+    EXPECT_EQ(t, released[0]);
+    EXPECT_GT(t, 0);
+    EXPECT_LT(t, sim::ms(50));  // did not wait for non-members
+  }
+}
+
+TEST(ProcGroup, GroupAllreduceSumsOnlyMembers) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg8());
+  ProcGroup g(rt, {1, 5, 9, 13});
+  std::vector<double> results;
+  rt.spawn_all([&](Proc& p) -> sim::Co<void> {
+    if (!g.contains(p.id())) co_return;
+    results.push_back(
+        co_await g.allreduce_sum(p.id(), static_cast<double>(p.id())));
+  });
+  rt.run_all();
+  ASSERT_EQ(results.size(), 4u);
+  for (const double r : results) {
+    EXPECT_DOUBLE_EQ(r, 1 + 5 + 9 + 13);
+  }
+}
+
+TEST(ProcGroup, DisjointGroupsRunIndependently) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg8());
+  ProcGroup a = ProcGroup::range(rt, 0, 8);
+  ProcGroup b = ProcGroup::range(rt, 8, 8);
+  std::vector<double> sums(static_cast<std::size_t>(rt.num_procs()), 0);
+  rt.spawn_all([&](Proc& p) -> sim::Co<void> {
+    ProcGroup& mine = p.id() < 8 ? a : b;
+    for (int round = 0; round < 3; ++round) {
+      co_await mine.barrier(p.id());
+      sums[static_cast<std::size_t>(p.id())] =
+          co_await mine.allreduce_sum(p.id(), 1.0);
+    }
+  });
+  rt.run_all();
+  for (const double s : sums) EXPECT_DOUBLE_EQ(s, 8.0);
+}
+
+TEST(ProcGroup, GroupBarrierReusableAcrossRounds) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg8());
+  ProcGroup g = ProcGroup::range(rt, 0, 4);
+  int rounds = 0;
+  rt.spawn_all([&](Proc& p) -> sim::Co<void> {
+    if (!g.contains(p.id())) co_return;
+    for (int r = 0; r < 10; ++r) {
+      co_await p.compute(sim::us((p.id() * 13 + r) % 7 + 1));
+      co_await g.barrier(p.id());
+    }
+    if (p.id() == 0) rounds = 10;
+  });
+  rt.run_all();
+  EXPECT_EQ(rounds, 10);
+}
+
+}  // namespace
+}  // namespace vtopo::armci

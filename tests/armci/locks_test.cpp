@@ -1,0 +1,153 @@
+// ARMCI_Lock/Unlock semantics: mutual exclusion, fairness, and
+// independence of distinct mutexes — across topologies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+
+namespace vtopo::armci {
+namespace {
+
+using core::TopologyKind;
+
+class LocksAcrossTopologies
+    : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(LocksAcrossTopologies, MutualExclusionOnCriticalSection) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 2;
+  cfg.topology = GetParam();
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(16);
+  int in_section = 0;
+  int max_in_section = 0;
+  rt.spawn_all([&, off](Proc& p) -> sim::Co<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await p.lock(0, 0);
+      ++in_section;
+      max_in_section = std::max(max_in_section, in_section);
+      // Non-atomic read-modify-write protected by the mutex: correct
+      // iff mutual exclusion holds across the simulated critical
+      // section.
+      const std::int64_t v = p.runtime().memory().read_i64(GAddr{0, off});
+      co_await p.compute(sim::us(3));
+      p.runtime().memory().write_i64(GAddr{0, off}, v + 1);
+      --in_section;
+      co_await p.unlock(0, 0);
+    }
+  });
+  rt.run_all();
+  EXPECT_EQ(max_in_section, 1);
+  EXPECT_EQ(rt.memory().read_i64(GAddr{0, off}), rt.num_procs() * 3);
+}
+
+TEST_P(LocksAcrossTopologies, GrantOrderIsFifoAtHolderQueue) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 1;
+  cfg.topology = GetParam();
+  Runtime rt(eng, cfg);
+  std::vector<ProcId> grant_order;
+  // Proc 0 takes the lock first and holds it while the others queue in
+  // a staggered, deterministic order.
+  rt.spawn(0, [&](Proc& p) -> sim::Co<void> {
+    co_await p.lock(0, 1);
+    co_await p.compute(sim::ms(2));
+    grant_order.push_back(0);
+    co_await p.unlock(0, 1);
+  });
+  for (ProcId w = 1; w < 4; ++w) {
+    rt.spawn(w, [&, w](Proc& p) -> sim::Co<void> {
+      co_await p.compute(sim::us(100) * w);  // stagger arrivals
+      co_await p.lock(0, 1);
+      grant_order.push_back(w);
+      co_await p.unlock(0, 1);
+    });
+  }
+  rt.run_all();
+  EXPECT_EQ(grant_order, (std::vector<ProcId>{0, 1, 2, 3}));
+}
+
+TEST_P(LocksAcrossTopologies, DistinctMutexesDoNotInterfere) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 8;
+  cfg.procs_per_node = 2;
+  cfg.topology = GetParam();
+  Runtime rt(eng, cfg);
+  sim::TimeNs t_done_a = 0;
+  sim::TimeNs t_done_b = 0;
+  rt.spawn(1, [&](Proc& p) -> sim::Co<void> {
+    co_await p.lock(0, 7);
+    co_await p.compute(sim::ms(10));
+    co_await p.unlock(0, 7);
+    t_done_a = p.runtime().engine().now();
+  });
+  rt.spawn(2, [&](Proc& p) -> sim::Co<void> {
+    co_await p.lock(0, 8);  // different mutex: must not wait 10 ms
+    co_await p.unlock(0, 8);
+    t_done_b = p.runtime().engine().now();
+  });
+  rt.run_all();
+  EXPECT_LT(t_done_b, t_done_a);
+}
+
+TEST_P(LocksAcrossTopologies, MutexesHostedByDifferentProcs) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 8;
+  cfg.procs_per_node = 2;
+  cfg.topology = GetParam();
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8 * 16);
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    // Everyone cycles through mutex 0 of every proc on node 3.
+    for (ProcId owner = 6; owner < 8; ++owner) {
+      co_await p.lock(owner, 0);
+      const GAddr cell{owner, off};
+      const std::int64_t v = p.runtime().memory().read_i64(cell);
+      co_await p.compute(sim::us(1));
+      p.runtime().memory().write_i64(cell, v + 1);
+      co_await p.unlock(owner, 0);
+    }
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.memory().read_i64(GAddr{6, off}), rt.num_procs());
+  EXPECT_EQ(rt.memory().read_i64(GAddr{7, off}), rt.num_procs());
+}
+
+TEST_P(LocksAcrossTopologies, LockByLocalProcessWorks) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 2;
+  cfg.topology = GetParam();
+  Runtime rt(eng, cfg);
+  bool done = false;
+  rt.spawn(1, [&](Proc& p) -> sim::Co<void> {
+    co_await p.lock(0, 0);  // mutex hosted on own node
+    co_await p.unlock(0, 0);
+    co_await p.lock(1, 0);  // own mutex
+    co_await p.unlock(1, 0);
+    done = true;
+  });
+  rt.run_all();
+  EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, LocksAcrossTopologies,
+    ::testing::Values(TopologyKind::kFcg, TopologyKind::kMfcg,
+                      TopologyKind::kCfcg, TopologyKind::kHypercube),
+    [](const ::testing::TestParamInfo<TopologyKind>& info) {
+      return core::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace vtopo::armci

@@ -1,0 +1,281 @@
+// Value correctness of one-sided operations, across all virtual
+// topologies: whatever the routing, data must land intact.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+
+namespace vtopo::armci {
+namespace {
+
+using core::TopologyKind;
+
+Runtime::Config small_config(TopologyKind kind) {
+  Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 2;
+  cfg.topology = kind;
+  return cfg;
+}
+
+class OpsAcrossTopologies
+    : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(OpsAcrossTopologies, ContiguousPutLandsRemotely) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(256);
+  rt.spawn(3, [off](Proc& p) -> sim::Co<void> {
+    std::vector<std::uint8_t> data(100);
+    std::iota(data.begin(), data.end(), std::uint8_t{1});
+    co_await p.put(GAddr{20, off}, data);
+  });
+  rt.run_all();
+  std::vector<std::uint8_t> back(100);
+  rt.memory().read(back, GAddr{20, off});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(back[static_cast<std::size_t>(i)], i + 1);
+  }
+}
+
+TEST_P(OpsAcrossTopologies, ContiguousGetReadsRemote) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(64);
+  rt.memory().write_i64(GAddr{25, off}, 0x1122334455667788LL);
+  std::int64_t got = 0;
+  rt.spawn(1, [off, &got](Proc& p) -> sim::Co<void> {
+    std::vector<std::uint8_t> buf(8);
+    co_await p.get(buf, GAddr{25, off});
+    std::memcpy(&got, buf.data(), 8);
+  });
+  rt.run_all();
+  EXPECT_EQ(got, 0x1122334455667788LL);
+}
+
+TEST_P(OpsAcrossTopologies, VectoredPutScattersSegments) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(1024);
+  rt.spawn(7, [off](Proc& p) -> sim::Co<void> {
+    std::vector<std::uint8_t> a(10, 0xAA);
+    std::vector<std::uint8_t> b(20, 0xBB);
+    const PutSeg segs[] = {{a, off + 100}, {b, off + 500}};
+    co_await p.put_v(28, segs);
+  });
+  rt.run_all();
+  std::vector<std::uint8_t> back(20);
+  rt.memory().read(back, GAddr{28, off + 100});
+  EXPECT_EQ(back[0], 0xAA);
+  EXPECT_EQ(back[9], 0xAA);
+  EXPECT_EQ(back[10], 0x00);  // gap untouched
+  rt.memory().read(back, GAddr{28, off + 500});
+  EXPECT_EQ(back[0], 0xBB);
+  EXPECT_EQ(back[19], 0xBB);
+}
+
+TEST_P(OpsAcrossTopologies, VectoredGetGathersSegments) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(1024);
+  for (int i = 0; i < 64; ++i) {
+    rt.memory().segment(30)[static_cast<std::size_t>(off + i)] =
+        static_cast<std::uint8_t>(i);
+  }
+  std::vector<std::uint8_t> x(8, 0);
+  std::vector<std::uint8_t> y(16, 0);
+  rt.spawn(2, [&, off](Proc& p) -> sim::Co<void> {
+    const GetSeg segs[] = {{x, off + 8}, {y, off + 32}};
+    co_await p.get_v(30, segs);
+  });
+  rt.run_all();
+  EXPECT_EQ(x[0], 8);
+  EXPECT_EQ(x[7], 15);
+  EXPECT_EQ(y[0], 32);
+  EXPECT_EQ(y[15], 47);
+}
+
+TEST_P(OpsAcrossTopologies, LargeVectoredPutSplitsAcrossBuffers) {
+  sim::Engine eng;
+  auto cfg = small_config(GetParam());
+  cfg.segment_bytes = 1 << 22;
+  Runtime rt(eng, cfg);
+  // 100 KB >> 16 KB buffer: must split into multiple requests.
+  const std::int64_t big = 100 * 1024;
+  const auto off = rt.memory().alloc_all(big);
+  rt.spawn(5, [off, big](Proc& p) -> sim::Co<void> {
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(big));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 7);
+    }
+    const PutSeg seg{data, off};
+    co_await p.put_v(31, {&seg, 1});
+  });
+  rt.run_all();
+  EXPECT_GT(rt.stats().requests, 6u);  // split into >= 7 chunks
+  std::vector<std::uint8_t> back(static_cast<std::size_t>(big));
+  rt.memory().read(back, GAddr{31, off});
+  for (std::size_t i = 0; i < back.size(); i += 997) {
+    ASSERT_EQ(back[i], static_cast<std::uint8_t>(i * 7)) << i;
+  }
+}
+
+TEST_P(OpsAcrossTopologies, LargeVectoredGetSplitsAndReassembles) {
+  sim::Engine eng;
+  auto cfg = small_config(GetParam());
+  cfg.segment_bytes = 1 << 22;
+  Runtime rt(eng, cfg);
+  const std::int64_t big = 80 * 1024;
+  const auto off = rt.memory().alloc_all(big);
+  auto seg30 = rt.memory().segment(30);
+  for (std::int64_t i = 0; i < big; ++i) {
+    seg30[static_cast<std::size_t>(off + i)] =
+        static_cast<std::uint8_t>(i * 13);
+  }
+  std::vector<std::uint8_t> dst(static_cast<std::size_t>(big), 0);
+  rt.spawn(4, [&, off](Proc& p) -> sim::Co<void> {
+    const GetSeg seg{dst, off};
+    co_await p.get_v(30, {&seg, 1});
+  });
+  rt.run_all();
+  for (std::size_t i = 0; i < dst.size(); i += 991) {
+    ASSERT_EQ(dst[i], static_cast<std::uint8_t>(i * 13)) << i;
+  }
+}
+
+TEST_P(OpsAcrossTopologies, StridedPutGetRoundTrip) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(4096);
+  std::vector<std::uint8_t> received(256, 0);
+  rt.spawn(9, [&, off](Proc& p) -> sim::Co<void> {
+    // 4 rows of 64 bytes, source stride 64, target stride 128.
+    std::vector<std::uint8_t> src(256);
+    std::iota(src.begin(), src.end(), std::uint8_t{0});
+    co_await p.put_strided(GAddr{22, off}, 128, src.data(), 64, 64, 4);
+    co_await p.get_strided(received.data(), 64, GAddr{22, off}, 128, 64,
+                           4);
+  });
+  rt.run_all();
+  for (int row = 0; row < 4; ++row) {
+    for (int b = 0; b < 64; ++b) {
+      ASSERT_EQ(received[static_cast<std::size_t>(row * 64 + b)],
+                static_cast<std::uint8_t>(row * 64 + b));
+    }
+  }
+  // The inter-row gaps on the target must be untouched.
+  std::vector<std::uint8_t> gap(64);
+  rt.memory().read(gap, GAddr{22, off + 64});
+  for (const auto v : gap) EXPECT_EQ(v, 0);
+}
+
+TEST_P(OpsAcrossTopologies, AccumulateAddsAtTarget) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(8 * 8);
+  for (int i = 0; i < 8; ++i) {
+    rt.memory().write_f64(GAddr{17, off + i * 8}, 100.0);
+  }
+  rt.spawn(2, [off](Proc& p) -> sim::Co<void> {
+    std::vector<double> v(8, 2.0);
+    co_await p.acc_f64(GAddr{17, off}, v, 3.0);
+  });
+  rt.run_all();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(rt.memory().read_f64(GAddr{17, off + i * 8}), 106.0);
+  }
+}
+
+TEST_P(OpsAcrossTopologies, ConcurrentAccumulatesAllApplied) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(8);
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    const std::vector<double> one{1.0};
+    for (int i = 0; i < 4; ++i) {
+      co_await p.acc_f64(GAddr{0, off}, one, 1.0);
+    }
+  });
+  rt.run_all();
+  EXPECT_DOUBLE_EQ(rt.memory().read_f64(GAddr{0, off}),
+                   static_cast<double>(rt.num_procs() * 4));
+}
+
+TEST_P(OpsAcrossTopologies, IntraNodeOpsWork) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(64);
+  rt.spawn(4, [off](Proc& p) -> sim::Co<void> {
+    // Target proc 5 is on the same node (2 procs per node).
+    const std::vector<double> v{2.5};
+    co_await p.acc_f64(GAddr{5, off}, v, 2.0);
+    std::vector<std::uint8_t> data{9, 9, 9};
+    co_await p.put(GAddr{5, off + 16}, data);
+  });
+  rt.run_all();
+  EXPECT_DOUBLE_EQ(rt.memory().read_f64(GAddr{5, off}), 5.0);
+  std::vector<std::uint8_t> back(3);
+  rt.memory().read(back, GAddr{5, off + 16});
+  EXPECT_EQ(back[2], 9);
+}
+
+TEST_P(OpsAcrossTopologies, NonBlockingPutVOverlaps) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(4096);
+  bool done_before_wait = false;
+  rt.spawn(6, [&, off](Proc& p) -> sim::Co<void> {
+    std::vector<std::uint8_t> data(512, 0x5A);
+    const PutSeg seg{data, off};
+    auto fut = p.nb_put_v(29, {&seg, 1});
+    done_before_wait = fut.ready();
+    co_await p.compute(sim::ms(1));  // overlap window
+    co_await fut;
+  });
+  rt.run_all();
+  EXPECT_FALSE(done_before_wait);
+  std::vector<std::uint8_t> back(512);
+  rt.memory().read(back, GAddr{29, off});
+  EXPECT_EQ(back[511], 0x5A);
+}
+
+TEST_P(OpsAcrossTopologies, NonBlockingAccCompletes) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  const auto off = rt.memory().alloc_all(8);
+  rt.spawn(6, [off](Proc& p) -> sim::Co<void> {
+    const std::vector<double> v{4.0};
+    auto fut = p.nb_acc_f64(GAddr{27, off}, v, 0.25);
+    co_await fut;
+  });
+  rt.run_all();
+  EXPECT_DOUBLE_EQ(rt.memory().read_f64(GAddr{27, off}), 1.0);
+}
+
+TEST_P(OpsAcrossTopologies, FenceAndComputeAdvanceTime) {
+  sim::Engine eng;
+  Runtime rt(eng, small_config(GetParam()));
+  sim::TimeNs end = 0;
+  rt.spawn(0, [&](Proc& p) -> sim::Co<void> {
+    co_await p.compute(sim::us(100));
+    co_await p.fence();
+    end = p.runtime().engine().now();
+  });
+  rt.run_all();
+  EXPECT_GE(end, sim::us(100));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, OpsAcrossTopologies,
+    ::testing::Values(TopologyKind::kFcg, TopologyKind::kMfcg,
+                      TopologyKind::kCfcg, TopologyKind::kHypercube),
+    [](const ::testing::TestParamInfo<TopologyKind>& info) {
+      return core::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace vtopo::armci

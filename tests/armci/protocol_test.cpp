@@ -1,0 +1,260 @@
+// Protocol accounting: forwarding hop counts, acknowledgment-driven
+// credit restoration, CHT wake-up modeling, and runtime statistics.
+#include <gtest/gtest.h>
+
+#include "armci/cht.hpp"
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+
+namespace vtopo::armci {
+namespace {
+
+using core::TopologyKind;
+
+TEST(Protocol, FcgNeverForwards) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 2;
+  cfg.topology = TopologyKind::kFcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    co_await p.fetch_add(GAddr{0, off}, 1);
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.stats().forwards, 0u);
+  EXPECT_GT(rt.stats().requests, 0u);
+  EXPECT_EQ(rt.stats().responses, rt.stats().requests);
+}
+
+TEST(Protocol, MfcgForwardsMatchTopologyDistance) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 9;  // 3x3 mesh
+  cfg.procs_per_node = 1;
+  cfg.topology = TopologyKind::kMfcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  // Node 4 (coords 1,1) -> node 0: exactly one forward via node 3.
+  rt.spawn(4, [off](Proc& p) -> sim::Co<void> {
+    co_await p.fetch_add(GAddr{0, off}, 1);
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.stats().forwards, 1u);
+  EXPECT_EQ(rt.stats().requests, 1u);
+}
+
+TEST(Protocol, ForwardCountsAcrossAllPairsMatchRoutes) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 27;
+  cfg.procs_per_node = 1;
+  cfg.topology = TopologyKind::kCfcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8 * 32);
+  // Every proc sends one atomic to every other proc; total forwards
+  // must equal the sum over pairs of (route length - 1).
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    for (ProcId t = 0; t < p.runtime().num_procs(); ++t) {
+      if (t == p.id()) continue;
+      co_await p.fetch_add(GAddr{t, off}, 1);
+    }
+  });
+  rt.run_all();
+  std::uint64_t expect = 0;
+  const auto& topo = rt.topology();
+  for (core::NodeId s = 0; s < 27; ++s) {
+    for (core::NodeId t = 0; t < 27; ++t) {
+      if (s == t) continue;
+      expect += topo.route(s, t).size() - 1;
+    }
+  }
+  EXPECT_EQ(rt.stats().forwards, expect);
+}
+
+TEST(Protocol, CreditsRestoredAfterQuiescence) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 9;
+  cfg.procs_per_node = 2;
+  cfg.topology = TopologyKind::kMfcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    for (int i = 0; i < 8; ++i) {
+      co_await p.fetch_add(GAddr{0, off}, 1);
+    }
+  });
+  rt.run_all();
+  // Every credit pool must be full again: each ack returned its token.
+  for (core::NodeId v = 0; v < rt.num_nodes(); ++v) {
+    for (const core::NodeId w : rt.topology().neighbors(v)) {
+      EXPECT_EQ(rt.credits(v).pool(w).available(), rt.credits_per_edge())
+          << "edge " << v << "->" << w;
+      EXPECT_EQ(rt.credits(v).pool(w).waiters(), 0u);
+    }
+  }
+  EXPECT_GT(rt.stats().acks, 0u);
+}
+
+TEST(Protocol, AcksCoverEveryCreditedHop) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 1;
+  cfg.topology = TopologyKind::kHypercube;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    co_await p.fetch_add(GAddr{0, off}, 1);
+  });
+  rt.run_all();
+  // Inter-node hops = requests from remote nodes (first hop) + all
+  // forwards; each took one credit and must have been acked.
+  const std::uint64_t inter_node_requests = 15;  // all but proc 0
+  EXPECT_EQ(rt.stats().acks, inter_node_requests + rt.stats().forwards);
+}
+
+TEST(Protocol, IntraNodeRequestsTakeNoCredits) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 4;
+  cfg.topology = TopologyKind::kFcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  // Procs 0..3 all live on node 0 with the counter: no credits, no acks.
+  for (ProcId p = 0; p < 4; ++p) {
+    rt.spawn(p, [off](Proc& pp) -> sim::Co<void> {
+      co_await pp.fetch_add(GAddr{0, off}, 1);
+    });
+  }
+  rt.run_all();
+  EXPECT_EQ(rt.stats().acks, 0u);
+  EXPECT_EQ(rt.memory().read_i64(GAddr{0, off}), 4);
+}
+
+TEST(Protocol, ChtWakeupPenaltyAppliesWhenIdle) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 1;
+  cfg.topology = TopologyKind::kFcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  std::vector<sim::TimeNs> latencies;
+  rt.spawn(1, [off, &latencies](Proc& p) -> sim::Co<void> {
+    sim::Engine& e = p.runtime().engine();
+    // First op hits a cold CHT (wake-up); an immediate second op hits a
+    // warm one. A third after a long idle pays the wake-up again.
+    for (int i = 0; i < 3; ++i) {
+      const sim::TimeNs t0 = e.now();
+      co_await p.fetch_add(GAddr{0, off}, 1);
+      latencies.push_back(e.now() - t0);
+      if (i == 1) co_await p.compute(sim::ms(5));  // let CHT go idle
+    }
+  });
+  rt.run_all();
+  ASSERT_EQ(latencies.size(), 3u);
+  const sim::TimeNs wakeup = rt.params().cht_wakeup;
+  EXPECT_GE(latencies[0] - latencies[1], wakeup / 2);
+  EXPECT_GE(latencies[2] - latencies[1], wakeup / 2);
+  EXPECT_EQ(rt.stats().cht_wakeups, 2u);
+}
+
+TEST(Protocol, StatsCountDirectOpsSeparately) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 1;
+  cfg.topology = TopologyKind::kMfcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(256);
+  rt.spawn(1, [off](Proc& p) -> sim::Co<void> {
+    std::vector<std::uint8_t> buf(128);
+    co_await p.put(GAddr{2, off}, buf);   // direct
+    co_await p.get(buf, GAddr{2, off});   // direct
+    const PutSeg seg{buf, off};
+    co_await p.put_v(2, {&seg, 1});       // CHT-mediated
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.stats().direct_ops, 2u);
+  EXPECT_EQ(rt.stats().requests, 1u);
+}
+
+TEST(Protocol, DirectOpsBypassChtEntirely) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 9;
+  cfg.procs_per_node = 1;
+  cfg.topology = TopologyKind::kMfcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(1024);
+  rt.spawn(4, [off](Proc& p) -> sim::Co<void> {
+    // Node 4 -> node 0 is 2 virtual hops, but contiguous put is RDMA:
+    // no forwards, no requests, no buffer credits.
+    std::vector<std::uint8_t> buf(512, 1);
+    co_await p.put(GAddr{0, off}, buf);
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.stats().requests, 0u);
+  EXPECT_EQ(rt.stats().forwards, 0u);
+  EXPECT_EQ(rt.stats().acks, 0u);
+}
+
+TEST(Protocol, RunAllThrowsOnStrandedTask) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 1;
+  Runtime rt(eng, cfg);
+  rt.spawn(0, [](Proc& p) -> sim::Co<void> {
+    // Await a future nobody fulfills.
+    sim::Future<int> never(p.runtime().engine());
+    co_await never;
+  });
+  EXPECT_THROW(rt.run_all(), DeadlockError);
+}
+
+TEST(Protocol, BarrierSynchronizesAllProcs) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 8;
+  cfg.procs_per_node = 2;
+  Runtime rt(eng, cfg);
+  std::vector<sim::TimeNs> release(static_cast<std::size_t>(16));
+  rt.spawn_all([&release](Proc& p) -> sim::Co<void> {
+    co_await p.compute(sim::us(10) * (p.id() + 1));  // skewed arrivals
+    co_await p.barrier();
+    release[static_cast<std::size_t>(p.id())] =
+        p.runtime().engine().now();
+  });
+  rt.run_all();
+  // Everyone released at the same instant, after the slowest arrival.
+  for (const auto t : release) {
+    EXPECT_EQ(t, release[0]);
+    EXPECT_GE(t, sim::us(160));
+  }
+}
+
+TEST(Protocol, BarrierReusableAcrossRounds) {
+  sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 2;
+  Runtime rt(eng, cfg);
+  int rounds_done = 0;
+  rt.spawn_all([&rounds_done](Proc& p) -> sim::Co<void> {
+    for (int r = 0; r < 5; ++r) {
+      co_await p.compute(sim::us(1) * ((p.id() * 7 + r) % 5 + 1));
+      co_await p.barrier();
+    }
+    if (p.id() == 0) rounds_done = 5;
+  });
+  rt.run_all();
+  EXPECT_EQ(rounds_done, 5);
+}
+
+}  // namespace
+}  // namespace vtopo::armci

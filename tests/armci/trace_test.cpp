@@ -1,0 +1,131 @@
+// Operation-latency tracer.
+#include <gtest/gtest.h>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+
+namespace vtopo::armci {
+namespace {
+
+Runtime::Config cfg16() {
+  Runtime::Config cfg;
+  cfg.num_nodes = 8;
+  cfg.procs_per_node = 2;
+  cfg.topology = core::TopologyKind::kMfcg;
+  return cfg;
+}
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg16());
+  const auto off = rt.memory().alloc_all(64);
+  rt.spawn(1, [off](Proc& p) -> sim::Co<void> {
+    co_await p.fetch_add(GAddr{0, off}, 1);
+  });
+  rt.run_all();
+  EXPECT_FALSE(rt.tracer().enabled());
+  EXPECT_EQ(rt.tracer().total_ops(), 0u);
+}
+
+TEST(Tracer, RecordsPerKindSeries) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg16());
+  rt.tracer().enable();
+  const auto off = rt.memory().alloc_all(1024);
+  rt.spawn(1, [off](Proc& p) -> sim::Co<void> {
+    std::vector<std::uint8_t> buf(128, 1);
+    co_await p.put(GAddr{8, off}, buf);
+    co_await p.get(buf, GAddr{8, off});
+    const PutSeg seg{buf, off};
+    co_await p.put_v(8, {&seg, 1});
+    co_await p.fetch_add(GAddr{0, off + 512}, 1);
+    co_await p.lock(0, 0);
+    co_await p.unlock(0, 0);
+  });
+  rt.run_all();
+  const OpTracer& t = rt.tracer();
+  EXPECT_EQ(t.series(TraceKind::kPut).size(), 1u);
+  EXPECT_EQ(t.series(TraceKind::kGet).size(), 1u);
+  EXPECT_EQ(t.series(TraceKind::kPutV).size(), 1u);
+  EXPECT_EQ(t.series(TraceKind::kFetchAdd).size(), 1u);
+  EXPECT_EQ(t.series(TraceKind::kLock).size(), 1u);
+  EXPECT_EQ(t.series(TraceKind::kUnlock).size(), 1u);
+  EXPECT_EQ(t.series(TraceKind::kBarrier).size(), 0u);
+  // Latencies are positive microseconds.
+  EXPECT_GT(t.series(TraceKind::kPut).min(), 0.0);
+  EXPECT_GT(t.series(TraceKind::kFetchAdd).min(), 0.0);
+}
+
+TEST(Tracer, ForwardedOpsShowHigherLatency) {
+  // Node 4 (1,1) -> node 0 is forwarded under a 3x3 MFCG; node 1 is
+  // direct. The tracer should expose the difference.
+  auto run_once = [](ProcId origin) {
+    sim::Engine eng;
+    Runtime::Config cfg;
+    cfg.num_nodes = 9;
+    cfg.procs_per_node = 1;
+    cfg.topology = core::TopologyKind::kMfcg;
+    Runtime rt(eng, cfg);
+    rt.tracer().enable();
+    const auto off = rt.memory().alloc_all(8);
+    rt.spawn(origin, [off](Proc& p) -> sim::Co<void> {
+      co_await p.fetch_add(GAddr{0, off}, 1);
+    });
+    rt.run_all();
+    return rt.tracer().series(TraceKind::kFetchAdd).mean();
+  };
+  EXPECT_GT(run_once(4), run_once(1));
+}
+
+TEST(Tracer, EventLogAndCsv) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg16());
+  rt.tracer().enable(/*keep_events=*/true);
+  const auto off = rt.memory().alloc_all(64);
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    co_await p.fetch_add(GAddr{0, off}, 1);
+    co_await p.barrier();
+  });
+  rt.run_all();
+  const auto& events = rt.tracer().events();
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(rt.num_procs()) * 2);
+  const std::string csv = rt.tracer().events_csv();
+  EXPECT_NE(csv.find("kind,proc,start_ns,latency_ns"), std::string::npos);
+  EXPECT_NE(csv.find("fetch_add,"), std::string::npos);
+  EXPECT_NE(csv.find("barrier,"), std::string::npos);
+}
+
+TEST(Tracer, EventLogRespectsCap) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg16());
+  rt.tracer().enable(/*keep_events=*/true, /*max_events=*/5);
+  const auto off = rt.memory().alloc_all(64);
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    for (int i = 0; i < 10; ++i) {
+      co_await p.fetch_add(GAddr{0, off}, 1);
+    }
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.tracer().events().size(), 5u);
+  // Series still record everything.
+  EXPECT_EQ(rt.tracer().series(TraceKind::kFetchAdd).size(),
+            static_cast<std::size_t>(rt.num_procs()) * 10);
+}
+
+TEST(Tracer, SummaryListsActiveKinds) {
+  sim::Engine eng;
+  Runtime rt(eng, cfg16());
+  rt.tracer().enable();
+  const auto off = rt.memory().alloc_all(64);
+  rt.spawn(3, [off](Proc& p) -> sim::Co<void> {
+    co_await p.fetch_add(GAddr{0, off}, 1);
+  });
+  rt.run_all();
+  const std::string s = rt.tracer().summary();
+  EXPECT_NE(s.find("fetch_add count=1"), std::string::npos);
+  EXPECT_EQ(s.find("put_v"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vtopo::armci

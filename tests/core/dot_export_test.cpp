@@ -1,0 +1,58 @@
+#include "core/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vtopo::core {
+namespace {
+
+std::size_t count_occurrences(const std::string& s,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(DotExport, Fig1FcgSixNodes) {
+  // Paper Fig. 1: the 6-node FCG has 6*5/2 undirected edges.
+  const auto t = VirtualTopology::make(TopologyKind::kFcg, 6);
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("graph \"FCG(6)\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, " -- "), 15u);
+}
+
+TEST(DotExport, Fig3aMfcgNineNodes) {
+  const auto t = VirtualTopology::make(TopologyKind::kMfcg, 9);
+  const std::string dot = to_dot(t);
+  // 9 nodes x 4 edges / 2 = 18 undirected edges.
+  EXPECT_EQ(count_occurrences(dot, " -- "), 18u);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+}
+
+TEST(DotExport, TreeFig4aHasOneEdgePerNonRoot) {
+  const auto t = VirtualTopology::make(TopologyKind::kMfcg, 9);
+  const std::string dot = tree_to_dot(t, 0);
+  EXPECT_EQ(count_occurrences(dot, " -> "), 8u);
+  // Depth-2 nodes point at their forwarding intermediates, e.g. 4 -> 3.
+  EXPECT_NE(dot.find("n4 -> n3"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);
+}
+
+TEST(DotExport, HypercubeBinomialTree) {
+  const auto t = VirtualTopology::make(TopologyKind::kHypercube, 16);
+  const std::string dot = tree_to_dot(t, 0);
+  EXPECT_EQ(count_occurrences(dot, " -> "), 15u);
+}
+
+TEST(DotExport, ValidDotSyntaxBasics) {
+  const auto t = VirtualTopology::make(TopologyKind::kCfcg, 8);
+  const std::string dot = to_dot(t);
+  EXPECT_EQ(dot.front(), 'g');
+  EXPECT_EQ(count_occurrences(dot, "{"), 1u);
+  EXPECT_EQ(count_occurrences(dot, "}"), 1u);
+}
+
+}  // namespace
+}  // namespace vtopo::core

@@ -1,0 +1,130 @@
+// Figure 5 accounting: buffer memory per node under each topology.
+#include "core/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vtopo::core {
+namespace {
+
+MemoryParams paper_params() { return MemoryParams{}; }
+
+TEST(MemoryModel, FcgMatchesPaperFormula) {
+  // N*B*M over remote processes: degree (N_nodes-1) * ppn processes.
+  const MemoryParams p = paper_params();
+  const auto t = VirtualTopology::make(TopologyKind::kFcg, 1024);
+  const std::int64_t expect =
+      1023 * p.procs_per_node * p.buffers_per_process * p.buffer_bytes;
+  EXPECT_EQ(cht_buffer_bytes(t, 0, p), expect);
+}
+
+TEST(MemoryModel, PaperHeadlineFcgIncrement) {
+  // Paper Sec. V-A: at 12,288 processes FCG's increment over the base
+  // footprint is 812 MB (total 1,424 MB). Our edge-exact accounting
+  // gives 767 MB — within ~6%.
+  const MemoryParams p = paper_params();
+  const auto t = VirtualTopology::make(TopologyKind::kFcg, 1024);
+  const double inc = master_process_rss_mb(t, 0, p) - p.base_mb;
+  EXPECT_NEAR(inc, 812.0, 60.0);
+}
+
+TEST(MemoryModel, PaperReductionFactors) {
+  // Paper: MFCG/CFCG/Hypercube cut the increment by 7.5x / 16.6x / 45x.
+  const MemoryParams p = paper_params();
+  const auto fcg = VirtualTopology::make(TopologyKind::kFcg, 1024);
+  const double fcg_inc = master_process_rss_mb(fcg, 0, p) - p.base_mb;
+
+  const auto mfcg = VirtualTopology::make(TopologyKind::kMfcg, 1024);
+  const double r_mfcg =
+      fcg_inc / (master_process_rss_mb(mfcg, 0, p) - p.base_mb);
+  EXPECT_NEAR(r_mfcg, 7.5, 1.5);
+
+  const auto cfcg = VirtualTopology::make(TopologyKind::kCfcg, 1024);
+  const double r_cfcg =
+      fcg_inc / (master_process_rss_mb(cfcg, 0, p) - p.base_mb);
+  EXPECT_NEAR(r_cfcg, 16.6, 3.0);
+
+  const auto hc = VirtualTopology::make(TopologyKind::kHypercube, 1024);
+  const double r_hc =
+      fcg_inc / (master_process_rss_mb(hc, 0, p) - p.base_mb);
+  EXPECT_NEAR(r_hc, 45.0, 9.0);
+}
+
+TEST(MemoryModel, AsymptoticScaling) {
+  // FCG grows linearly; MFCG ~sqrt; CFCG ~cbrt; Hypercube ~log.
+  const MemoryParams p = paper_params();
+  auto inc = [&](TopologyKind k, std::int64_t nodes) {
+    const auto t = VirtualTopology::make(k, nodes);
+    return master_process_rss_mb(t, 0, p) - p.base_mb;
+  };
+  // Quadruple the nodes: FCG x4, MFCG x2, CFCG x~1.6, HC +const.
+  EXPECT_NEAR(inc(TopologyKind::kFcg, 4096) / inc(TopologyKind::kFcg, 1024),
+              4.0, 0.05);
+  EXPECT_NEAR(
+      inc(TopologyKind::kMfcg, 4096) / inc(TopologyKind::kMfcg, 1024), 2.0,
+      0.1);
+  EXPECT_NEAR(
+      inc(TopologyKind::kCfcg, 4096) / inc(TopologyKind::kCfcg, 1024),
+      std::pow(4.0, 1.0 / 3.0), 0.15);
+  EXPECT_NEAR(inc(TopologyKind::kHypercube, 4096) -
+                  inc(TopologyKind::kHypercube, 1024),
+              2.0 * 2 * p.procs_per_node * p.buffers_per_process *
+                  p.buffer_bytes / (1024.0 * 1024.0),
+              0.01);
+}
+
+TEST(MemoryModel, OrderingAtEveryScale) {
+  const MemoryParams p = paper_params();
+  for (std::int64_t nodes : {16, 64, 256, 1024, 4096}) {
+    const double fcg = master_process_rss_mb(
+        VirtualTopology::make(TopologyKind::kFcg, nodes), 0, p);
+    const double mfcg = master_process_rss_mb(
+        VirtualTopology::make(TopologyKind::kMfcg, nodes), 0, p);
+    const double cfcg = master_process_rss_mb(
+        VirtualTopology::make(TopologyKind::kCfcg, nodes), 0, p);
+    const double hc = master_process_rss_mb(
+        VirtualTopology::make(TopologyKind::kHypercube, nodes), 0, p);
+    EXPECT_GT(fcg, mfcg) << nodes;
+    EXPECT_GT(mfcg, cfcg) << nodes;
+    EXPECT_GT(cfcg, hc) << nodes;
+    EXPECT_GE(hc, p.base_mb) << nodes;
+  }
+}
+
+TEST(MemoryModel, MaxAcrossNodesAtLeastNodeZero) {
+  const MemoryParams p = paper_params();
+  for (std::int64_t nodes : {17, 40, 97}) {
+    const auto t = VirtualTopology::make(TopologyKind::kMfcg, nodes);
+    EXPECT_GE(max_master_process_rss_mb(t, p),
+              master_process_rss_mb(t, 0, p));
+  }
+}
+
+TEST(MemoryModel, SingleDirectionHalvesForwardingTopologies) {
+  MemoryParams p = paper_params();
+  const auto mfcg = VirtualTopology::make(TopologyKind::kMfcg, 1024);
+  const std::int64_t both = cht_buffer_bytes(mfcg, 0, p);
+  p.count_both_directions = false;
+  EXPECT_EQ(cht_buffer_bytes(mfcg, 0, p) * 2, both);
+
+  // FCG is unaffected: it has no forwarding send-side state either way.
+  p.count_both_directions = true;
+  const auto fcg = VirtualTopology::make(TopologyKind::kFcg, 64);
+  const std::int64_t a = cht_buffer_bytes(fcg, 0, p);
+  p.count_both_directions = false;
+  EXPECT_EQ(cht_buffer_bytes(fcg, 0, p), a);
+}
+
+TEST(MemoryModel, CustomParameters) {
+  MemoryParams p;
+  p.procs_per_node = 1;
+  p.buffers_per_process = 2;
+  p.buffer_bytes = 1024;
+  p.count_both_directions = false;
+  const auto t = VirtualTopology::make(TopologyKind::kFcg, 5);
+  EXPECT_EQ(cht_buffer_bytes(t, 0, p), 4 * 2 * 1024);
+}
+
+}  // namespace
+}  // namespace vtopo::core

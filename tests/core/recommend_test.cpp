@@ -1,0 +1,95 @@
+// The topology recommender must encode the paper's conclusions.
+#include "core/recommend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vtopo::core {
+namespace {
+
+TEST(Recommend, DftLikeHotspotPicksMfcg) {
+  WorkloadProfile p;
+  p.num_nodes = 1024;
+  p.hotspot_fraction = 0.5;  // NXTVAL-bound
+  p.buffer_budget_mb = 256;
+  const auto rec = recommend_topology(p);
+  EXPECT_EQ(rec.kind, TopologyKind::kMfcg);
+  EXPECT_NE(rec.rationale.find("hot-spot"), std::string::npos);
+}
+
+TEST(Recommend, CcsdLikeUniformLatencyPicksFcgWhenItFits) {
+  WorkloadProfile p;
+  p.num_nodes = 64;  // small machine: FCG buffers are affordable
+  p.hotspot_fraction = 0.0;
+  p.latency_sensitivity = 0.9;
+  p.buffer_budget_mb = 512;
+  const auto rec = recommend_topology(p);
+  EXPECT_EQ(rec.kind, TopologyKind::kFcg);
+}
+
+TEST(Recommend, FcgRejectedWhenBuffersExceedBudget) {
+  WorkloadProfile p;
+  p.num_nodes = 4096;  // FCG needs gigabytes per node here
+  p.hotspot_fraction = 0.0;
+  p.latency_sensitivity = 0.9;
+  p.buffer_budget_mb = 256;  // fits MFCG's ~190 MB, not FCG's ~12 GB
+  const auto rec = recommend_topology(p);
+  EXPECT_NE(rec.kind, TopologyKind::kFcg);
+  EXPECT_EQ(rec.kind, TopologyKind::kMfcg);
+}
+
+TEST(Recommend, BandwidthBoundUniformPrefersMfcg) {
+  WorkloadProfile p;
+  p.num_nodes = 256;
+  p.hotspot_fraction = 0.0;
+  p.latency_sensitivity = 0.1;  // fully overlapped
+  p.buffer_budget_mb = 1024;
+  const auto rec = recommend_topology(p);
+  EXPECT_EQ(rec.kind, TopologyKind::kMfcg);
+}
+
+TEST(Recommend, VeryTightMemoryFallsThroughToCfcgOrHypercube) {
+  WorkloadProfile p;
+  p.num_nodes = 4096;
+  p.hotspot_fraction = 0.3;
+  p.buffer_budget_mb = 10;  // MFCG at 4096 nodes needs ~47 MB
+  const auto rec = recommend_topology(p);
+  EXPECT_TRUE(rec.kind == TopologyKind::kCfcg ||
+              rec.kind == TopologyKind::kHypercube);
+}
+
+TEST(Recommend, HypercubeOnlyOfferedForPowersOfTwo) {
+  WorkloadProfile p;
+  p.num_nodes = 1000;  // not a power of two
+  p.hotspot_fraction = 0.5;
+  p.buffer_budget_mb = 0.001;  // nothing fits
+  const auto rec = recommend_topology(p);
+  EXPECT_EQ(rec.kind, TopologyKind::kCfcg);
+  EXPECT_TRUE(std::isnan(rec.buffer_mb[3]));
+}
+
+TEST(Recommend, BufferTableMatchesMemoryModel) {
+  WorkloadProfile p;
+  p.num_nodes = 1024;
+  const auto rec = recommend_topology(p);
+  const auto fcg = VirtualTopology::make(TopologyKind::kFcg, 1024);
+  EXPECT_DOUBLE_EQ(
+      rec.buffer_mb[0],
+      static_cast<double>(cht_buffer_bytes(fcg, 0, p.mem)) /
+          (1024.0 * 1024.0));
+  // Ordering: FCG > MFCG > CFCG > HC.
+  EXPECT_GT(rec.buffer_mb[0], rec.buffer_mb[1]);
+  EXPECT_GT(rec.buffer_mb[1], rec.buffer_mb[2]);
+  EXPECT_GT(rec.buffer_mb[2], rec.buffer_mb[3]);
+}
+
+TEST(Recommend, RationaleIsNonEmptyAndMentionsNodes) {
+  WorkloadProfile p;
+  p.num_nodes = 512;
+  const auto rec = recommend_topology(p);
+  EXPECT_NE(rec.rationale.find("nodes=512"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vtopo::core

@@ -1,0 +1,109 @@
+#include "core/remap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vtopo::core {
+namespace {
+
+TEST(Remap, IdenticalTopologiesNoChurn) {
+  const auto a = VirtualTopology::make(TopologyKind::kMfcg, 64);
+  const auto b = VirtualTopology::make(TopologyKind::kMfcg, 64);
+  const RemapPlan plan = plan_remap(a, b);
+  EXPECT_EQ(plan.edges_added, 0);
+  EXPECT_EQ(plan.edges_removed, 0);
+  EXPECT_GT(plan.edges_kept, 0);
+  EXPECT_DOUBLE_EQ(plan.churn(), 0.0);
+  EXPECT_EQ(plan.bytes_to_allocate(MemoryParams{}), 0);
+}
+
+TEST(Remap, GrowWithinSameShapeOnlyAdds) {
+  // 9 -> 10 nodes in a 3x4-capable mesh... mesh_shape_for(9)=3x3 and
+  // mesh_shape_for(10)=4x3, so shapes differ; instead grow inside one
+  // custom shape, where new nodes only add edges.
+  const auto a =
+      VirtualTopology::custom(TopologyKind::kMfcg, Shape({4, 3}), 10);
+  const auto b =
+      VirtualTopology::custom(TopologyKind::kMfcg, Shape({4, 3}), 12);
+  const RemapPlan plan = plan_remap(a, b);
+  EXPECT_EQ(plan.edges_removed, 0);
+  EXPECT_GT(plan.edges_added, 0);
+  // Every added edge points at one of the two new nodes.
+  for (const auto& nr : plan.nodes) {
+    for (const NodeId w : nr.added_edges) {
+      EXPECT_GE(w, 10);
+    }
+  }
+}
+
+TEST(Remap, ShrinkWithinSameShapeOnlyRemoves) {
+  const auto a =
+      VirtualTopology::custom(TopologyKind::kMfcg, Shape({4, 3}), 12);
+  const auto b =
+      VirtualTopology::custom(TopologyKind::kMfcg, Shape({4, 3}), 10);
+  const RemapPlan plan = plan_remap(a, b);
+  EXPECT_EQ(plan.edges_added, 0);
+  EXPECT_GT(plan.edges_removed, 0);
+}
+
+TEST(Remap, ShapeChangeCausesChurn) {
+  // Growing 16 -> 17 nodes forces a reshape (4x4 -> 5x4): existing
+  // nodes change rows/columns and must re-dedicate buffers.
+  const auto a = VirtualTopology::make(TopologyKind::kMfcg, 16);
+  const auto b = VirtualTopology::make(TopologyKind::kMfcg, 17);
+  const RemapPlan plan = plan_remap(a, b);
+  EXPECT_GT(plan.churn(), 0.0);
+  EXPECT_GT(plan.edges_added, 0);
+  EXPECT_GT(plan.edges_removed, 0);
+}
+
+TEST(Remap, CrossTopologyMigration) {
+  // FCG -> MFCG at the same node count: the motivating migration. All
+  // non-mesh edges are torn down; kept edges are exactly the MFCG ones.
+  const auto fcg = VirtualTopology::make(TopologyKind::kFcg, 64);
+  const auto mfcg = VirtualTopology::make(TopologyKind::kMfcg, 64);
+  const RemapPlan plan = plan_remap(fcg, mfcg);
+  EXPECT_EQ(plan.edges_added, 0);  // every mesh edge existed in FCG
+  const std::int64_t fcg_edges = 64 * 63;
+  std::int64_t mfcg_edges = 0;
+  for (NodeId v = 0; v < 64; ++v) mfcg_edges += mfcg.degree(v);
+  EXPECT_EQ(plan.edges_kept, mfcg_edges);
+  EXPECT_EQ(plan.edges_removed, fcg_edges - mfcg_edges);
+  // The released memory matches the Fig.-5 gap.
+  const MemoryParams p;
+  EXPECT_EQ(plan.bytes_to_release(p),
+            plan.edges_removed * p.procs_per_node *
+                p.buffers_per_process * p.buffer_bytes);
+}
+
+TEST(Remap, DeltasAreConsistentPerNode) {
+  const auto a = VirtualTopology::make(TopologyKind::kCfcg, 30);
+  const auto b = VirtualTopology::make(TopologyKind::kCfcg, 40);
+  const RemapPlan plan = plan_remap(a, b);
+  ASSERT_EQ(plan.nodes.size(), 30u);
+  for (const auto& nr : plan.nodes) {
+    // kept + added == after-neighbors; kept + removed == before-nbrs.
+    std::set<NodeId> after_set(nr.kept_edges.begin(),
+                               nr.kept_edges.end());
+    after_set.insert(nr.added_edges.begin(), nr.added_edges.end());
+    const auto expect = b.neighbors(nr.node);
+    EXPECT_EQ(after_set.size(), expect.size());
+    std::set<NodeId> before_set(nr.kept_edges.begin(),
+                                nr.kept_edges.end());
+    before_set.insert(nr.removed_edges.begin(), nr.removed_edges.end());
+    EXPECT_EQ(before_set.size(), a.neighbors(nr.node).size());
+  }
+}
+
+TEST(Remap, ChurnBoundedByOne) {
+  const auto a = VirtualTopology::make(TopologyKind::kMfcg, 50);
+  const auto b = VirtualTopology::make(TopologyKind::kHypercube, 32);
+  const RemapPlan plan = plan_remap(a, b);
+  EXPECT_GE(plan.churn(), 0.0);
+  EXPECT_LE(plan.churn(), 1.0);
+  EXPECT_EQ(plan.nodes.size(), 32u);
+}
+
+}  // namespace
+}  // namespace vtopo::core

@@ -1,0 +1,170 @@
+#include "core/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace vtopo::core {
+namespace {
+
+TEST(Topology, FcgIsFullyConnected) {
+  const auto t = VirtualTopology::make(TopologyKind::kFcg, 8);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(t.degree(v), 7);
+    for (NodeId w = 0; w < 8; ++w) {
+      EXPECT_EQ(t.connected(v, w), v != w);
+    }
+  }
+  EXPECT_EQ(t.max_forwards(), 0);
+}
+
+TEST(Topology, FcgRoutesAreSingleHop) {
+  const auto t = VirtualTopology::make(TopologyKind::kFcg, 12);
+  for (NodeId v = 0; v < 12; ++v) {
+    for (NodeId w = 0; w < 12; ++w) {
+      if (v == w) continue;
+      EXPECT_EQ(t.next_hop(v, w), w);
+      EXPECT_EQ(t.route(v, w), std::vector<NodeId>{w});
+    }
+  }
+}
+
+TEST(Topology, MfcgNineNodesMatchesPaperFigure3a) {
+  // 3x3 mesh: node 0 is connected to its row {1,2} and column {3,6}.
+  const auto t = VirtualTopology::make(TopologyKind::kMfcg, 9);
+  EXPECT_EQ(t.shape().to_string(), "3x3");
+  EXPECT_EQ(t.neighbors(0), (std::vector<NodeId>{1, 2, 3, 6}));
+  EXPECT_EQ(t.neighbors(4), (std::vector<NodeId>{1, 3, 5, 7}));
+  EXPECT_EQ(t.degree(8), 4);
+  EXPECT_EQ(t.max_forwards(), 1);
+}
+
+TEST(Topology, CfcgTwentySevenNodesDegree) {
+  // 3x3x3 cube: (X-1)+(Y-1)+(Z-1) = 6 edges per node.
+  const auto t = VirtualTopology::make(TopologyKind::kCfcg, 27);
+  EXPECT_EQ(t.shape().to_string(), "3x3x3");
+  for (NodeId v = 0; v < 27; ++v) EXPECT_EQ(t.degree(v), 6);
+  EXPECT_EQ(t.max_forwards(), 2);
+}
+
+TEST(Topology, HypercubeSixteenNodesMatchesPaperFigure3c) {
+  const auto t = VirtualTopology::make(TopologyKind::kHypercube, 16);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(t.degree(v), 4);
+  // Neighbors of 0 are the single-bit nodes.
+  EXPECT_EQ(t.neighbors(0), (std::vector<NodeId>{1, 2, 4, 8}));
+  EXPECT_EQ(t.max_forwards(), 3);
+}
+
+TEST(Topology, HypercubeRejectsNonPowerOfTwo) {
+  EXPECT_THROW(VirtualTopology::make(TopologyKind::kHypercube, 12),
+               std::invalid_argument);
+}
+
+TEST(Topology, RejectsNonPositiveNodeCount) {
+  EXPECT_THROW(VirtualTopology::make(TopologyKind::kFcg, 0),
+               std::invalid_argument);
+  EXPECT_THROW(VirtualTopology::make(TopologyKind::kMfcg, -3),
+               std::invalid_argument);
+}
+
+TEST(Topology, NamesIncludeShape) {
+  EXPECT_EQ(VirtualTopology::make(TopologyKind::kMfcg, 9).name(),
+            "MFCG(3x3)");
+  EXPECT_EQ(VirtualTopology::make(TopologyKind::kFcg, 5).name(), "FCG(5)");
+}
+
+TEST(Topology, SingleNodeHasNoNeighbors) {
+  for (auto kind : all_topology_kinds()) {
+    const auto t = VirtualTopology::make(kind, 1);
+    EXPECT_EQ(t.degree(0), 0) << to_string(kind);
+    EXPECT_TRUE(t.neighbors(0).empty());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parameterized structural properties over (kind, node count).
+// ---------------------------------------------------------------------
+
+using KindAndN = std::tuple<TopologyKind, std::int64_t>;
+
+class TopologyProperties : public ::testing::TestWithParam<KindAndN> {};
+
+TEST_P(TopologyProperties, NeighborsAreSymmetricAndValid) {
+  const auto [kind, n] = GetParam();
+  const auto t = VirtualTopology::make(kind, n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = t.neighbors(v);
+    EXPECT_EQ(static_cast<std::int64_t>(nbrs.size()), t.degree(v));
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (const NodeId w : nbrs) {
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, n);
+      ASSERT_NE(w, v);
+      EXPECT_TRUE(t.connected(v, w));
+      EXPECT_TRUE(t.connected(w, v));  // symmetry
+      const auto back = t.neighbors(w);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), v));
+    }
+  }
+}
+
+TEST_P(TopologyProperties, ConnectedMatchesNeighborList) {
+  const auto [kind, n] = GetParam();
+  const auto t = VirtualTopology::make(kind, n);
+  for (NodeId v = 0; v < n; ++v) {
+    std::set<NodeId> nbrs;
+    for (const NodeId w : t.neighbors(v)) nbrs.insert(w);
+    for (NodeId w = 0; w < n; ++w) {
+      EXPECT_EQ(t.connected(v, w), nbrs.count(w) == 1) << v << "," << w;
+    }
+    EXPECT_FALSE(t.connected(v, v));
+  }
+}
+
+TEST_P(TopologyProperties, DegreeMatchesAnalyticBound) {
+  const auto [kind, n] = GetParam();
+  const auto t = VirtualTopology::make(kind, n);
+  // Sum over dims of (extent-1) bounds the degree from above; node 0
+  // meets it exactly whenever every dimension's full extent exists below
+  // the partial frontier.
+  std::int64_t bound = 0;
+  for (int d = 0; d < t.shape().rank(); ++d) bound += t.shape().dim(d) - 1;
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_LE(t.degree(v), bound);
+    EXPECT_GE(t.degree(v), n > 1 ? 1 : 0);
+  }
+}
+
+TEST_P(TopologyProperties, FullGridsHaveUniformDegree) {
+  const auto [kind, n] = GetParam();
+  const auto t = VirtualTopology::make(kind, n);
+  if (t.shape().capacity() != n) GTEST_SKIP() << "partially populated";
+  const std::int64_t d0 = t.degree(0);
+  for (NodeId v = 1; v < n; ++v) EXPECT_EQ(t.degree(v), d0);
+}
+
+std::vector<KindAndN> property_cases() {
+  std::vector<KindAndN> cases;
+  for (std::int64_t n : {1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 25, 26, 27,
+                         31, 32, 36, 50, 64, 100, 128}) {
+    cases.emplace_back(TopologyKind::kFcg, n);
+    cases.emplace_back(TopologyKind::kMfcg, n);
+    cases.emplace_back(TopologyKind::kCfcg, n);
+    if (is_power_of_two(n)) {
+      cases.emplace_back(TopologyKind::kHypercube, n);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopologyProperties, ::testing::ValuesIn(property_cases()),
+    [](const ::testing::TestParamInfo<KindAndN>& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace vtopo::core

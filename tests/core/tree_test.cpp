@@ -1,0 +1,133 @@
+// Request-path tree shapes (paper Figs. 2 and 4).
+#include "core/tree_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace vtopo::core {
+namespace {
+
+TEST(RequestTree, FcgIsFlatDepthOne) {
+  // Paper Fig. 2: all N-1 nodes are direct children of the hot spot.
+  const auto t = VirtualTopology::make(TopologyKind::kFcg, 16);
+  const RequestTree tree = build_request_tree(t, 0);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.root_fanout(), 15);
+  EXPECT_EQ(tree.total_forwards(), 0);
+}
+
+TEST(RequestTree, Mfcg3x3MatchesPaperFigure4a) {
+  // Height 2; the root's children are its 4 direct neighbors; 4 nodes
+  // sit at depth 2.
+  const auto t = VirtualTopology::make(TopologyKind::kMfcg, 9);
+  const RequestTree tree = build_request_tree(t, 0);
+  EXPECT_EQ(tree.height(), 2);
+  EXPECT_EQ(tree.root_fanout(), 4);
+  const auto hist = tree.depth_histogram();
+  EXPECT_EQ(hist[0], 1);  // the root
+  EXPECT_EQ(hist[1], 4);
+  EXPECT_EQ(hist[2], 4);
+  EXPECT_EQ(tree.total_forwards(), 4);
+}
+
+TEST(RequestTree, Cfcg3x3x3MatchesPaperFigure4b) {
+  // Trinomial tree of height 3 rooted at node 0: 6 direct neighbors,
+  // 12 at depth 2, 8 at depth 3.
+  const auto t = VirtualTopology::make(TopologyKind::kCfcg, 27);
+  const RequestTree tree = build_request_tree(t, 0);
+  EXPECT_EQ(tree.height(), 3);
+  EXPECT_EQ(tree.root_fanout(), 6);
+  const auto hist = tree.depth_histogram();
+  EXPECT_EQ(hist[1], 6);
+  EXPECT_EQ(hist[2], 12);
+  EXPECT_EQ(hist[3], 8);
+}
+
+TEST(RequestTree, Hypercube16IsBinomial) {
+  // Paper Fig. 4c: binomial tree of depth log2(16)=4 with depth
+  // histogram C(4,d) = 1,4,6,4,1.
+  const auto t = VirtualTopology::make(TopologyKind::kHypercube, 16);
+  const RequestTree tree = build_request_tree(t, 0);
+  EXPECT_EQ(tree.height(), 4);
+  EXPECT_EQ(tree.root_fanout(), 4);
+  const auto hist = tree.depth_histogram();
+  EXPECT_EQ(hist, (std::vector<std::int64_t>{1, 4, 6, 4, 1}));
+}
+
+TEST(RequestTree, KNomialFanoutScalesAsCbrtForCfcg) {
+  // For N nodes the tree rooted anywhere is k-nomial with k ~ cbrt(N).
+  const auto t = VirtualTopology::make(TopologyKind::kCfcg, 512);  // 8^3
+  const RequestTree tree = build_request_tree(t, 0);
+  EXPECT_EQ(tree.root_fanout(), 3 * 7);  // (X-1)+(Y-1)+(Z-1)
+  EXPECT_EQ(tree.height(), 3);
+}
+
+TEST(RequestTree, ParentsFollowRoutes) {
+  for (auto kind : all_topology_kinds()) {
+    const std::int64_t n = kind == TopologyKind::kHypercube ? 32 : 40;
+    const auto t = VirtualTopology::make(kind, n);
+    const RequestTree tree = build_request_tree(t, 5);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == 5) {
+        EXPECT_EQ(tree.parent[static_cast<std::size_t>(v)], 5);
+        continue;
+      }
+      EXPECT_EQ(tree.parent[static_cast<std::size_t>(v)],
+                t.next_hop(v, 5));
+      EXPECT_EQ(tree.depth[static_cast<std::size_t>(v)],
+                static_cast<int>(t.route(v, 5).size()));
+    }
+  }
+}
+
+TEST(RequestTree, ChildrenCountsSumToNodesMinusOne) {
+  for (auto kind : all_topology_kinds()) {
+    const std::int64_t n = kind == TopologyKind::kHypercube ? 64 : 77;
+    const auto t = VirtualTopology::make(kind, n);
+    const RequestTree tree = build_request_tree(t, 0);
+    const auto counts = tree.children_counts();
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(),
+                              std::int64_t{0}),
+              n - 1);
+  }
+}
+
+TEST(RequestTree, DepthHistogramSumsToN) {
+  for (std::int64_t n : {9, 25, 27, 64, 100}) {
+    const auto t = VirtualTopology::make(TopologyKind::kMfcg, n);
+    const RequestTree tree = build_request_tree(t, 0);
+    const auto hist = tree.depth_histogram();
+    EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), std::int64_t{0}),
+              n);
+  }
+}
+
+TEST(RequestTree, RootedAtArbitraryNode) {
+  const auto t = VirtualTopology::make(TopologyKind::kMfcg, 25);
+  for (NodeId root : {0, 7, 12, 24}) {
+    const RequestTree tree = build_request_tree(t, root);
+    EXPECT_EQ(tree.root, root);
+    EXPECT_LE(tree.height(), 2);
+    EXPECT_EQ(tree.depth[static_cast<std::size_t>(root)], 0);
+  }
+}
+
+TEST(RequestTree, ContentionReductionOrdering) {
+  // Root fanout (direct contention pressure) strictly drops from FCG to
+  // MFCG to CFCG to Hypercube at equal N (paper Sec. III).
+  const std::int64_t n = 4096;
+  std::vector<std::int64_t> fanouts;
+  for (auto kind : all_topology_kinds()) {
+    const auto t = VirtualTopology::make(kind, n);
+    fanouts.push_back(build_request_tree(t, 0).root_fanout());
+  }
+  EXPECT_EQ(fanouts[0], n - 1);
+  for (std::size_t i = 1; i < fanouts.size(); ++i) {
+    EXPECT_LT(fanouts[i], fanouts[i - 1]);
+  }
+  EXPECT_EQ(fanouts[3], 12);  // log2(4096)
+}
+
+}  // namespace
+}  // namespace vtopo::core

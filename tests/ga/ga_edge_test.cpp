@@ -1,0 +1,155 @@
+// Global Arrays edge cases: empty patches, single elements, edge
+// blocks, full-array ops, and degenerate distributions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "ga/global_array.hpp"
+
+namespace vtopo::ga {
+namespace {
+
+using armci::Proc;
+
+armci::Runtime::Config cfg8() {
+  armci::Runtime::Config c;
+  c.num_nodes = 8;
+  c.procs_per_node = 2;
+  c.topology = core::TopologyKind::kMfcg;
+  return c;
+}
+
+TEST(GaEdge, EmptyPatchIsANoOp) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg8());
+  GlobalArray2D a(rt, 16, 16);
+  rt.spawn(0, [&](Proc& p) -> sim::Co<void> {
+    double dummy = 7.0;
+    co_await a.put(p, 4, 4, 0, 8, &dummy, 8);   // zero rows
+    co_await a.get(p, 0, 8, 4, 4, &dummy, 8);   // zero cols
+    co_await a.acc(p, 2, 2, 2, 2, &dummy, 1);   // zero both
+  });
+  rt.run_all();
+  EXPECT_EQ(rt.stats().requests, 0u);
+  for (std::int64_t i = 0; i < 16; i += 5) {
+    EXPECT_DOUBLE_EQ(a.read_element(i, i), 0.0);
+  }
+}
+
+TEST(GaEdge, SingleElementPatch) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg8());
+  GlobalArray2D a(rt, 16, 16);
+  double got = 0.0;
+  rt.spawn(5, [&](Proc& p) -> sim::Co<void> {
+    const double v = 42.5;
+    co_await a.put(p, 9, 10, 13, 14, &v, 1);
+    co_await a.get(p, 9, 10, 13, 14, &got, 1);
+  });
+  rt.run_all();
+  EXPECT_DOUBLE_EQ(got, 42.5);
+  EXPECT_DOUBLE_EQ(a.read_element(9, 13), 42.5);
+  EXPECT_DOUBLE_EQ(a.read_element(9, 12), 0.0);
+  EXPECT_DOUBLE_EQ(a.read_element(10, 13), 0.0);
+}
+
+TEST(GaEdge, FullArrayPatchTouchesEveryOwner) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg8());
+  GlobalArray2D a(rt, 20, 20);
+  rt.spawn(3, [&](Proc& p) -> sim::Co<void> {
+    std::vector<double> all(400);
+    for (std::size_t k = 0; k < all.size(); ++k) {
+      all[k] = static_cast<double>(k);
+    }
+    co_await a.put(p, 0, 20, 0, 20, all.data(), 20);
+  });
+  rt.run_all();
+  for (std::int64_t i = 0; i < 20; ++i) {
+    for (std::int64_t j = 0; j < 20; ++j) {
+      ASSERT_DOUBLE_EQ(a.read_element(i, j),
+                       static_cast<double>(i * 20 + j));
+    }
+  }
+}
+
+TEST(GaEdge, ArraySmallerThanProcessGrid) {
+  // 3x3 array over 16 procs: most blocks are empty.
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg8());
+  GlobalArray2D a(rt, 3, 3);
+  std::int64_t nonempty = 0;
+  std::int64_t covered = 0;
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) {
+    const auto b = a.block_of(p);
+    if (!b.empty()) {
+      ++nonempty;
+      covered += b.rows * b.cols;
+    }
+  }
+  EXPECT_EQ(covered, 9);
+  EXPECT_LE(nonempty, 9);
+  rt.spawn(7, [&](Proc& p) -> sim::Co<void> {
+    std::vector<double> v(9, 3.0);
+    co_await a.put(p, 0, 3, 0, 3, v.data(), 3);
+  });
+  rt.run_all();
+  EXPECT_DOUBLE_EQ(a.read_element(2, 2), 3.0);
+}
+
+TEST(GaEdge, TallAndWideArrays) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg8());
+  GlobalArray2D tall(rt, 64, 2);
+  GlobalArray2D wide(rt, 2, 64);
+  rt.spawn(1, [&](Proc& p) -> sim::Co<void> {
+    std::vector<double> col(64);
+    for (std::size_t k = 0; k < col.size(); ++k) {
+      col[k] = static_cast<double>(k);
+    }
+    co_await tall.put(p, 0, 64, 1, 2, col.data(), 1);
+    co_await wide.put(p, 1, 2, 0, 64, col.data(), 64);
+  });
+  rt.run_all();
+  EXPECT_DOUBLE_EQ(tall.read_element(63, 1), 63.0);
+  EXPECT_DOUBLE_EQ(tall.read_element(63, 0), 0.0);
+  EXPECT_DOUBLE_EQ(wide.read_element(1, 63), 63.0);
+  EXPECT_DOUBLE_EQ(wide.read_element(0, 63), 0.0);
+}
+
+TEST(GaEdge, RejectsBadExtents) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg8());
+  EXPECT_THROW(GlobalArray2D(rt, 0, 8), std::invalid_argument);
+  EXPECT_THROW(GlobalArray2D(rt, 8, -1), std::invalid_argument);
+}
+
+TEST(GaEdge, LdMayExceedPatchWidth) {
+  // Reading into the middle of a wider local buffer (ld > cols).
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg8());
+  GlobalArray2D a(rt, 8, 8);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    for (std::int64_t j = 0; j < 8; ++j) {
+      a.write_element(i, j, static_cast<double>(10 * i + j));
+    }
+  }
+  std::vector<double> buf(4 * 16, -1.0);  // ld = 16, patch 4x4
+  rt.spawn(2, [&](Proc& p) -> sim::Co<void> {
+    co_await a.get(p, 2, 6, 3, 7, buf.data(), 16);
+  });
+  rt.run_all();
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) {
+      ASSERT_DOUBLE_EQ(buf[static_cast<std::size_t>(r * 16 + c)],
+                       static_cast<double>(10 * (r + 2) + (c + 3)));
+    }
+    // Slack beyond the patch untouched.
+    EXPECT_DOUBLE_EQ(buf[static_cast<std::size_t>(r * 16 + 4)], -1.0);
+  }
+}
+
+}  // namespace
+}  // namespace vtopo::ga

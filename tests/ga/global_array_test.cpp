@@ -1,0 +1,292 @@
+// Global Arrays layer: distribution math and one-sided patch semantics
+// across all virtual topologies.
+#include "ga/global_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+
+namespace vtopo::ga {
+namespace {
+
+using armci::Proc;
+using core::TopologyKind;
+
+armci::Runtime::Config cfg_for(TopologyKind kind, std::int64_t nodes = 8,
+                               int ppn = 2) {
+  armci::Runtime::Config cfg;
+  cfg.num_nodes = nodes;
+  cfg.procs_per_node = ppn;
+  cfg.topology = kind;
+  return cfg;
+}
+
+TEST(GlobalArray, BlocksPartitionTheArray) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kFcg));
+  GlobalArray2D a(rt, 37, 53);  // deliberately awkward extents
+  // Every element belongs to exactly one owner and its block contains it.
+  std::int64_t covered = 0;
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) {
+    const auto b = a.block_of(p);
+    covered += b.rows * b.cols;
+    for (std::int64_t i = b.row0; i < b.row0 + b.rows; i += 5) {
+      for (std::int64_t j = b.col0; j < b.col0 + b.cols; j += 7) {
+        EXPECT_EQ(a.owner_of(i, j), p);
+      }
+    }
+  }
+  EXPECT_EQ(covered, 37 * 53);
+}
+
+TEST(GlobalArray, PrimeProcessCountDegeneratesGracefully) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kFcg, 13, 1));
+  GlobalArray2D a(rt, 26, 10);
+  std::int64_t covered = 0;
+  for (armci::ProcId p = 0; p < 13; ++p) {
+    const auto b = a.block_of(p);
+    covered += b.rows * b.cols;
+  }
+  EXPECT_EQ(covered, 260);
+}
+
+TEST(GlobalArray, ElementRoundTripHostSide) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kFcg));
+  GlobalArray2D a(rt, 20, 20);
+  a.write_element(13, 7, 3.5);
+  EXPECT_DOUBLE_EQ(a.read_element(13, 7), 3.5);
+  EXPECT_DOUBLE_EQ(a.read_element(7, 13), 0.0);
+}
+
+class GaAcrossTopologies : public ::testing::TestWithParam<TopologyKind> {
+};
+
+TEST_P(GaAcrossTopologies, PutPatchSpanningOwners) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(GetParam(), 8, 2));
+  GlobalArray2D a(rt, 32, 32);
+  // Patch [4,20) x [6,30): crosses block boundaries on a 4x4 grid.
+  rt.spawn(3, [&a](Proc& p) -> sim::Co<void> {
+    std::vector<double> buf(16 * 24);
+    for (std::int64_t r = 0; r < 16; ++r) {
+      for (std::int64_t c = 0; c < 24; ++c) {
+        buf[static_cast<std::size_t>(r * 24 + c)] =
+            static_cast<double>((r + 4) * 100 + (c + 6));
+      }
+    }
+    co_await a.put(p, 4, 20, 6, 30, buf.data(), 24);
+  });
+  rt.run_all();
+  for (std::int64_t i = 4; i < 20; ++i) {
+    for (std::int64_t j = 6; j < 30; ++j) {
+      ASSERT_DOUBLE_EQ(a.read_element(i, j),
+                       static_cast<double>(i * 100 + j))
+          << i << "," << j;
+    }
+  }
+  // Outside the patch untouched.
+  EXPECT_DOUBLE_EQ(a.read_element(3, 6), 0.0);
+  EXPECT_DOUBLE_EQ(a.read_element(4, 30), 0.0);
+}
+
+TEST_P(GaAcrossTopologies, GetPatchSpanningOwners) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(GetParam(), 8, 2));
+  GlobalArray2D a(rt, 24, 24);
+  for (std::int64_t i = 0; i < 24; ++i) {
+    for (std::int64_t j = 0; j < 24; ++j) {
+      a.write_element(i, j, static_cast<double>(i * 1000 + j));
+    }
+  }
+  std::vector<double> buf(10 * 18, -1.0);
+  rt.spawn(5, [&](Proc& p) -> sim::Co<void> {
+    co_await a.get(p, 7, 17, 3, 21, buf.data(), 18);
+  });
+  rt.run_all();
+  for (std::int64_t r = 0; r < 10; ++r) {
+    for (std::int64_t c = 0; c < 18; ++c) {
+      ASSERT_DOUBLE_EQ(buf[static_cast<std::size_t>(r * 18 + c)],
+                       static_cast<double>((r + 7) * 1000 + (c + 3)));
+    }
+  }
+}
+
+TEST_P(GaAcrossTopologies, ConcurrentAccPatchesSum) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(GetParam(), 8, 2));
+  GlobalArray2D a(rt, 16, 16);
+  // Every process accumulates +1 over the full array with alpha=0.5.
+  rt.spawn_all([&a](Proc& p) -> sim::Co<void> {
+    std::vector<double> ones(16 * 16, 1.0);
+    co_await a.acc(p, 0, 16, 0, 16, ones.data(), 16, 0.5);
+  });
+  rt.run_all();
+  const double expect = 0.5 * static_cast<double>(rt.num_procs());
+  for (std::int64_t i = 0; i < 16; i += 3) {
+    for (std::int64_t j = 0; j < 16; j += 3) {
+      ASSERT_DOUBLE_EQ(a.read_element(i, j), expect);
+    }
+  }
+}
+
+TEST_P(GaAcrossTopologies, PutThenGetRoundTripThroughRuntime) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(GetParam(), 8, 2));
+  GlobalArray2D a(rt, 20, 12);
+  std::vector<double> out(5 * 6, 0.0);
+  rt.spawn(1, [&](Proc& p) -> sim::Co<void> {
+    std::vector<double> in(5 * 6);
+    for (std::size_t k = 0; k < in.size(); ++k) {
+      in[k] = static_cast<double>(k) * 1.25;
+    }
+    co_await a.put(p, 10, 15, 6, 12, in.data(), 6);
+    co_await a.get(p, 10, 15, 6, 12, out.data(), 6);
+  });
+  rt.run_all();
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    ASSERT_DOUBLE_EQ(out[k], static_cast<double>(k) * 1.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, GaAcrossTopologies,
+    ::testing::Values(TopologyKind::kFcg, TopologyKind::kMfcg,
+                      TopologyKind::kCfcg, TopologyKind::kHypercube),
+    [](const ::testing::TestParamInfo<TopologyKind>& info) {
+      return core::to_string(info.param);
+    });
+
+TEST(SharedCounter, NxtvalSemantics) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kMfcg, 9, 2));
+  SharedCounter counter(rt);
+  std::set<std::int64_t> firsts;
+  rt.spawn_all([&](Proc& p) -> sim::Co<void> {
+    for (int i = 0; i < 3; ++i) {
+      firsts.insert(co_await counter.next(p, 5));
+    }
+  });
+  rt.run_all();
+  EXPECT_EQ(counter.value(), rt.num_procs() * 3 * 5);
+  // All chunk starts distinct and multiples of 5.
+  EXPECT_EQ(firsts.size(), static_cast<std::size_t>(rt.num_procs() * 3));
+  for (const auto f : firsts) EXPECT_EQ(f % 5, 0);
+}
+
+TEST(SharedCounter, ResetBetweenPhases) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kFcg, 4, 1));
+  SharedCounter counter(rt);
+  rt.spawn_all([&](Proc& p) -> sim::Co<void> {
+    co_await counter.next(p);
+    co_await p.barrier();
+    if (p.id() == 0) counter.reset();
+    co_await p.barrier();
+    co_await counter.next(p);
+  });
+  rt.run_all();
+  EXPECT_EQ(counter.value(), 4);
+}
+
+TEST(GlobalArray, ScaleLocalMultipliesOwnBlock) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kFcg));
+  GlobalArray2D a(rt, 12, 12);
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) a.fill_local(p, 2.0);
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) {
+    a.scale_local(p, 3.0);
+  }
+  for (std::int64_t i = 0; i < 12; ++i) {
+    for (std::int64_t j = 0; j < 12; ++j) {
+      EXPECT_DOUBLE_EQ(a.read_element(i, j), 6.0);
+    }
+  }
+}
+
+TEST(GlobalArray, AddLocalLinearCombination) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kFcg));
+  GlobalArray2D x(rt, 10, 10);
+  GlobalArray2D y(rt, 10, 10);
+  GlobalArray2D z(rt, 10, 10);
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) {
+    x.fill_local(p, 3.0);
+    y.fill_local(p, 5.0);
+  }
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) {
+    z.add_local(p, 2.0, x, -1.0, y);  // 2*3 - 5 = 1
+  }
+  for (std::int64_t i = 0; i < 10; i += 2) {
+    EXPECT_DOUBLE_EQ(z.read_element(i, 9 - i % 10), 1.0);
+  }
+}
+
+TEST(GlobalArray, AddLocalRejectsExtentMismatch) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kFcg));
+  GlobalArray2D a(rt, 10, 10);
+  GlobalArray2D b(rt, 10, 12);
+  GlobalArray2D c(rt, 10, 10);
+  EXPECT_THROW(a.add_local(0, 1.0, b, 1.0, c), std::invalid_argument);
+}
+
+TEST(GlobalArray, CopyPatchFromMovesData) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kMfcg));
+  GlobalArray2D src(rt, 16, 16);
+  GlobalArray2D dst(rt, 16, 16);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    for (std::int64_t j = 0; j < 16; ++j) {
+      src.write_element(i, j, static_cast<double>(i * 16 + j));
+    }
+  }
+  rt.spawn(2, [&](Proc& p) -> sim::Co<void> {
+    co_await dst.copy_patch_from(p, src, 4, 12, 2, 14);
+  });
+  rt.run_all();
+  for (std::int64_t i = 4; i < 12; ++i) {
+    for (std::int64_t j = 2; j < 14; ++j) {
+      ASSERT_DOUBLE_EQ(dst.read_element(i, j),
+                       static_cast<double>(i * 16 + j));
+    }
+  }
+  EXPECT_DOUBLE_EQ(dst.read_element(0, 0), 0.0);
+}
+
+TEST(GlobalArray, LocalSumPlusAllreduceIsGlobalDot) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kCfcg));
+  GlobalArray2D a(rt, 14, 14);
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) a.fill_local(p, 1.5);
+  double total = 0;
+  rt.spawn_all([&](Proc& p) -> sim::Co<void> {
+    const double local = a.local_sum(p.id());
+    const double sum = co_await p.runtime().allreduce_sum(local);
+    if (p.id() == 0) total = sum;
+  });
+  rt.run_all();
+  EXPECT_DOUBLE_EQ(total, 1.5 * 14 * 14);
+}
+
+TEST(GlobalArray, FillLocalCoversBlock) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg_for(TopologyKind::kFcg));
+  GlobalArray2D a(rt, 16, 16);
+  for (armci::ProcId p = 0; p < rt.num_procs(); ++p) {
+    a.fill_local(p, 7.0);
+  }
+  for (std::int64_t i = 0; i < 16; i += 2) {
+    for (std::int64_t j = 0; j < 16; j += 2) {
+      EXPECT_DOUBLE_EQ(a.read_element(i, j), 7.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vtopo::ga

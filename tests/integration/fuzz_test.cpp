@@ -1,0 +1,151 @@
+// Randomized operation fuzzing against a host-side oracle.
+//
+// Each process runs a random program of one-sided operations; a shadow
+// model tracks what the global memory must contain at quiescence
+// (commutative operations only, so ordering doesn't matter to the
+// oracle). Any divergence in any layer — chunking, forwarding, credit
+// accounting, CHT execution — shows up as a value mismatch. Swept over
+// seeds, topologies, and deliberately mean buffer configurations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "sim/rng.hpp"
+
+namespace vtopo {
+namespace {
+
+using armci::GAddr;
+using armci::GetSeg;
+using armci::Proc;
+using armci::PutSeg;
+using core::TopologyKind;
+
+struct FuzzCase {
+  TopologyKind kind;
+  std::uint64_t seed;
+  int buffers_per_process;
+};
+
+class FuzzedOps : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FuzzedOps, ShadowModelAgreesAtQuiescence) {
+  const auto [kind, seed, buffers] = GetParam();
+  sim::Engine eng;
+  armci::Runtime::Config cfg;
+  cfg.num_nodes = kind == TopologyKind::kHypercube ? 16 : 18;
+  cfg.procs_per_node = 2;
+  cfg.topology = kind;
+  cfg.seed = seed;
+  cfg.armci.buffers_per_process = buffers;
+  armci::Runtime rt(eng, cfg);
+  const std::int64_t n = rt.num_procs();
+
+  // Layout: per-proc exclusive strip (puts), one shared accumulate cell,
+  // one shared counter, per-proc fetch-add cells.
+  const auto strip = rt.memory().alloc_all(n * 256);
+  const auto acc_cell = rt.memory().alloc_all(8);
+  const auto counters = rt.memory().alloc_all(n * 8);
+
+  // Oracle state.
+  double expected_acc = 0.0;
+  std::vector<std::int64_t> expected_counters(
+      static_cast<std::size_t>(n), 0);
+  // expected bytes of each proc's strip region on each target.
+  std::map<std::pair<armci::ProcId, armci::ProcId>, std::uint8_t>
+      expected_strip;  // (target, writer) -> last byte value
+
+  rt.spawn_all([&](Proc& p) -> sim::Co<void> {
+    sim::Rng rng(sim::derive_seed(seed ^ 0xf00d, p.id()));
+    std::vector<std::uint8_t> buf(256);
+    for (int op = 0; op < 12; ++op) {
+      const auto target = static_cast<armci::ProcId>(
+          rng.uniform(static_cast<std::uint64_t>(n)));
+      switch (rng.uniform(5)) {
+        case 0: {  // exclusive-strip vectored put
+          const auto v = static_cast<std::uint8_t>(rng.uniform(250) + 1);
+          std::fill(buf.begin(), buf.end(), v);
+          const PutSeg seg{buf, strip + p.id() * 256};
+          expected_strip[{target, p.id()}] = v;  // last writer (me) wins
+          co_await p.put_v(target, {&seg, 1});
+          break;
+        }
+        case 1: {  // accumulate to the shared cell
+          const double x = static_cast<double>(rng.uniform(100));
+          const std::vector<double> vals{x};
+          expected_acc += 2.0 * x;
+          co_await p.acc_f64(GAddr{0, acc_cell}, vals, 2.0);
+          break;
+        }
+        case 2: {  // fetch-add on target's counter
+          const auto d = static_cast<std::int64_t>(rng.uniform(9) + 1);
+          expected_counters[static_cast<std::size_t>(target)] += d;
+          co_await p.fetch_add(GAddr{target, counters + target * 8}, d);
+          break;
+        }
+        case 3: {  // contiguous direct put to own strip on target
+          const auto v = static_cast<std::uint8_t>(rng.uniform(250) + 1);
+          std::fill(buf.begin(), buf.end(), v);
+          expected_strip[{target, p.id()}] = v;
+          co_await p.put(GAddr{target, strip + p.id() * 256}, buf);
+          break;
+        }
+        case 4: {  // get (no state change; value checked vs oracle later)
+          std::vector<std::uint8_t> tmp(64);
+          const GetSeg seg{tmp, strip + p.id() * 256};
+          co_await p.get_v(target, {&seg, 1});
+          break;
+        }
+      }
+    }
+    co_await p.barrier();
+  });
+  rt.run_all();
+
+  EXPECT_DOUBLE_EQ(rt.memory().read_f64(GAddr{0, acc_cell}),
+                   expected_acc);
+  for (armci::ProcId t = 0; t < n; ++t) {
+    EXPECT_EQ(rt.memory().read_i64(GAddr{t, counters + t * 8}),
+              expected_counters[static_cast<std::size_t>(t)])
+        << "counter " << t;
+  }
+  // Strips: each (target, writer) region holds the writer's LAST value.
+  // Writes from one writer to one target are ordered by the writer's
+  // own program order (it awaits each op), so last-written wins.
+  std::vector<std::uint8_t> back(256);
+  for (const auto& [key, v] : expected_strip) {
+    const auto [target, writer] = key;
+    rt.memory().read(back, GAddr{target, strip + writer * 256});
+    EXPECT_EQ(back[0], v) << "strip(" << target << "," << writer << ")";
+    EXPECT_EQ(back[255], v);
+  }
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  const TopologyKind kinds[] = {TopologyKind::kFcg, TopologyKind::kMfcg,
+                                TopologyKind::kCfcg,
+                                TopologyKind::kHypercube};
+  for (const auto kind : kinds) {
+    for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+      cases.push_back({kind, seed, 4});
+    }
+    cases.push_back({kind, 44ULL, 1});  // meanest credit pools
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FuzzedOps, ::testing::ValuesIn(fuzz_cases()),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return std::string(core::to_string(info.param.kind)) + "_s" +
+             std::to_string(info.param.seed) + "_b" +
+             std::to_string(info.param.buffers_per_process);
+    });
+
+}  // namespace
+}  // namespace vtopo

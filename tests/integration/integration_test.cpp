@@ -1,0 +1,218 @@
+// End-to-end integration: mixed operation workloads across the full
+// stack (topology -> forwarding -> CHT -> credits -> torus network),
+// plus small-scale replicas of the paper's qualitative claims so a
+// regression in any layer surfaces as a claim violation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "core/memory_model.hpp"
+#include "sim/stats.hpp"
+#include "workloads/contention.hpp"
+
+namespace vtopo {
+namespace {
+
+using armci::GAddr;
+using armci::GetSeg;
+using armci::Proc;
+using armci::PutSeg;
+using core::TopologyKind;
+
+class MixedWorkload : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(MixedWorkload, EverythingAtOnceStaysConsistent) {
+  sim::Engine eng;
+  armci::Runtime::Config cfg;
+  cfg.num_nodes = GetParam() == TopologyKind::kHypercube ? 16 : 21;
+  cfg.procs_per_node = 3;
+  cfg.topology = GetParam();
+  cfg.armci.buffers_per_process = 2;
+  armci::Runtime rt(eng, cfg);
+
+  const auto counter = rt.memory().alloc_all(8);
+  const auto acc_cell = rt.memory().alloc_all(8);
+  const auto lock_cell = rt.memory().alloc_all(8);
+  const auto scratch = rt.memory().alloc_all(64 * 512);
+  const std::int64_t nprocs = rt.num_procs();
+
+  rt.spawn_all([=](Proc& p) -> sim::Co<void> {
+    sim::Rng& rng = p.rng();
+    std::vector<std::uint8_t> buf(512);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = static_cast<std::uint8_t>(p.id());
+    }
+    for (int round = 0; round < 6; ++round) {
+      // 1. claim a ticket
+      co_await p.fetch_add(GAddr{0, counter}, 1);
+      // 2. one-sided data movement to a random peer's scratch strip
+      const auto peer = static_cast<armci::ProcId>(
+          rng.uniform(static_cast<std::uint64_t>(nprocs)));
+      const std::int64_t strip = scratch + p.id() * 512;
+      co_await p.put(GAddr{peer, strip}, buf);
+      const PutSeg seg{buf, strip};
+      co_await p.put_v(peer, {&seg, 1});
+      std::vector<std::uint8_t> back(128);
+      const GetSeg gseg{back, strip};
+      co_await p.get_v(peer, {&gseg, 1});
+      // put_v and get_v hit the same strip; data must match our put.
+      EXPECT_EQ(back[0], static_cast<std::uint8_t>(p.id()));
+      // 3. locked non-atomic update
+      co_await p.lock(0, 0);
+      const std::int64_t v =
+          p.runtime().memory().read_i64(GAddr{0, lock_cell});
+      co_await p.compute(sim::us(1));
+      p.runtime().memory().write_i64(GAddr{0, lock_cell}, v + 1);
+      co_await p.unlock(0, 0);
+      // 4. accumulate
+      const std::vector<double> one{1.0};
+      co_await p.acc_f64(GAddr{0, acc_cell}, one, 1.0);
+      // 5. rendezvous
+      co_await p.barrier();
+    }
+  });
+  rt.run_all();
+
+  EXPECT_EQ(rt.memory().read_i64(GAddr{0, counter}), nprocs * 6);
+  EXPECT_EQ(rt.memory().read_i64(GAddr{0, lock_cell}), nprocs * 6);
+  EXPECT_DOUBLE_EQ(rt.memory().read_f64(GAddr{0, acc_cell}),
+                   static_cast<double>(nprocs * 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MixedWorkload,
+    ::testing::Values(TopologyKind::kFcg, TopologyKind::kMfcg,
+                      TopologyKind::kCfcg, TopologyKind::kHypercube),
+    [](const ::testing::TestParamInfo<TopologyKind>& info) {
+      return core::to_string(info.param);
+    });
+
+// ---------------------------------------------------------------------
+// Small-scale replicas of the paper's claims.
+// ---------------------------------------------------------------------
+
+TEST(PaperClaims, MemoryOrderingFcgWorstHypercubeBest) {
+  const core::MemoryParams p;
+  double prev = 1e18;
+  for (auto kind : core::all_topology_kinds()) {
+    const auto t = core::VirtualTopology::make(kind, 256);
+    const double mb = core::max_master_process_rss_mb(t, p);
+    EXPECT_LT(mb, prev) << core::to_string(kind);
+    prev = mb;
+  }
+}
+
+TEST(PaperClaims, NoContentionLatencyOrderingFcgFastest) {
+  // Fig. 6(a)/(d): without contention, forwarding only costs — FCG's
+  // median per-op time is the lowest, Hypercube's the highest.
+  work::ClusterConfig cl;
+  cl.num_nodes = 32;
+  cl.procs_per_node = 2;
+  work::ContentionConfig cc;
+  cc.iterations = 2;
+  cc.vec_segments = 4;
+  cc.seg_bytes = 512;
+  auto median = [&](TopologyKind kind) {
+    cl.topology = kind;
+    const auto res = run_contention(cl, cc);
+    sim::Series s;
+    for (const double v : res.op_time_us) {
+      if (v >= 0) s.add(v);
+    }
+    return s.median();
+  };
+  const double fcg = median(TopologyKind::kFcg);
+  const double mfcg = median(TopologyKind::kMfcg);
+  const double hc = median(TopologyKind::kHypercube);
+  EXPECT_LT(fcg, mfcg);
+  EXPECT_LT(mfcg, hc);
+}
+
+TEST(PaperClaims, HotSpotContentionFavorsMfcg) {
+  // Fig. 7(c) in miniature: at heavy contention the MFCG median beats
+  // FCG despite the extra forwarding step. The machine is scaled down
+  // 4x from the paper's 256 nodes, so the SeaStar stream table is
+  // scaled down with it to keep contenders/table in the same regime.
+  work::ClusterConfig cl;
+  cl.num_nodes = 64;
+  cl.procs_per_node = 4;
+  cl.net.stream_table_size = 32;
+  work::ContentionConfig cc;
+  cc.op = work::ContentionConfig::Op::kFetchAdd;
+  cc.iterations = 3;
+  cc.contender_stride = 4;  // 25% of processes hammering rank 0
+  auto median = [&](TopologyKind kind) {
+    cl.topology = kind;
+    const auto res = run_contention(cl, cc);
+    sim::Series s;
+    for (const double v : res.op_time_us) {
+      if (v >= 0) s.add(v);
+    }
+    return s.median();
+  };
+  const double fcg = median(TopologyKind::kFcg);
+  const double mfcg = median(TopologyKind::kMfcg);
+  EXPECT_LT(mfcg, fcg);
+}
+
+TEST(PaperClaims, ContentionReducesMfcgVariance) {
+  // Sec. V-B2's counterintuitive observation: under contention the
+  // spread across MFCG ranks narrows (busy CHTs stay in polling mode,
+  // and queueing at the hot spot dwarfs the per-band latency gaps).
+  work::ClusterConfig cl;
+  cl.num_nodes = 64;
+  cl.procs_per_node = 4;
+  cl.net.stream_table_size = 32;
+  cl.topology = TopologyKind::kMfcg;
+  work::ContentionConfig cc;
+  cc.iterations = 2;
+  cc.vec_segments = 4;
+  cc.seg_bytes = 512;
+  auto spread = [&](int stride) {
+    cc.contender_stride = stride;
+    cc.op = work::ContentionConfig::Op::kFetchAdd;
+    const auto res = run_contention(cl, cc);
+    sim::Series s;
+    for (const double v : res.op_time_us) {
+      if (v >= 0) s.add(v);
+    }
+    return (s.percentile(90) - s.percentile(10)) / s.median();
+  };
+  EXPECT_LT(spread(4), spread(0));
+}
+
+TEST(PaperClaims, StreamMissesExplodeOnlyForFcgHotSpot) {
+  // The Sec.-II mechanism: a hot receiver sees per-process streams
+  // under FCG (table thrash) but only neighbor-CHT streams under MFCG.
+  work::ClusterConfig cl;
+  cl.num_nodes = 80;
+  cl.procs_per_node = 4;
+  cl.net.stream_table_size = 64;
+  work::ContentionConfig cc;
+  cc.op = work::ContentionConfig::Op::kFetchAdd;
+  cc.iterations = 2;
+  cc.contender_stride = 4;
+  cl.topology = TopologyKind::kFcg;
+  const auto fcg = run_contention(cl, cc);
+  cl.topology = TopologyKind::kMfcg;
+  const auto mfcg = run_contention(cl, cc);
+  (void)fcg;
+  (void)mfcg;
+  // Misses are tracked inside the network; compare via mean op time,
+  // the externally visible consequence.
+  double fcg_mean = 0;
+  double mfcg_mean = 0;
+  int n = 0;
+  for (std::size_t r = 0; r < fcg.op_time_us.size(); ++r) {
+    if (fcg.op_time_us[r] < 0) continue;
+    fcg_mean += fcg.op_time_us[r];
+    mfcg_mean += mfcg.op_time_us[r];
+    ++n;
+  }
+  EXPECT_GT(fcg_mean / n, mfcg_mean / n);
+}
+
+}  // namespace
+}  // namespace vtopo

@@ -1,0 +1,69 @@
+// Machine profiles (XT5 vs BlueGene/P future-work target).
+#include "net/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace vtopo::net {
+namespace {
+
+TEST(Profiles, Xt5IsTheDefault) {
+  const NetworkParams xt5 = xt5_params();
+  const NetworkParams dflt;
+  EXPECT_EQ(xt5.hop_latency, dflt.hop_latency);
+  EXPECT_EQ(xt5.stream_table_size, dflt.stream_table_size);
+  EXPECT_EQ(xt5.stream_miss_penalty, dflt.stream_miss_penalty);
+}
+
+TEST(Profiles, BgpHasNoStreamCliff) {
+  const NetworkParams bgp = bgp_params();
+  EXPECT_EQ(bgp.stream_miss_penalty, 0);
+  EXPECT_GT(bgp.stream_table_size, 1 << 16);
+}
+
+TEST(Profiles, BgpLinksSlowerButHopsCheaper) {
+  const NetworkParams xt5 = xt5_params();
+  const NetworkParams bgp = bgp_params();
+  EXPECT_LT(bgp.link_bandwidth, xt5.link_bandwidth);
+  EXPECT_LT(bgp.hop_latency, xt5.hop_latency);
+  EXPECT_GT(bgp.send_overhead, xt5.send_overhead);
+}
+
+TEST(Profiles, BgpNeverPaysMissPenalty) {
+  sim::Engine eng;
+  Network net(eng, 64, bgp_params());
+  // Hammer one NIC from 63 distinct streams; no misses can be charged.
+  for (int round = 0; round < 3; ++round) {
+    for (core::NodeId src = 1; src < 64; ++src) {
+      net.send(src, 0, 64, 1000 + src);
+    }
+  }
+  EXPECT_EQ(net.stream_misses(), 0u);
+}
+
+TEST(Profiles, Xt5ThrashesUnderTheSameLoad) {
+  sim::Engine eng;
+  Network net(eng, 256, xt5_params());
+  // 255 distinct streams > 128-entry table: steady-state misses.
+  for (int round = 0; round < 2; ++round) {
+    for (core::NodeId src = 1; src < 256; ++src) {
+      net.send(src, 0, 64, 1000 + src);
+    }
+  }
+  EXPECT_GT(net.stream_misses(), 200u);
+}
+
+TEST(Profiles, LargeTransferSlowerOnBgp) {
+  // 425 MB/s links vs 3 GB/s: a 1 MB transfer takes visibly longer.
+  sim::Engine xt5_eng;
+  Network xt5(xt5_eng, 27, xt5_params());
+  sim::Engine bgp_eng;
+  Network bgp(bgp_eng, 27, bgp_params());
+  const std::int64_t big = 1 << 20;
+  EXPECT_GT(bgp.send(0, 13, big, 0), xt5.send(0, 13, big, 0));
+}
+
+}  // namespace
+}  // namespace vtopo::net

@@ -1,0 +1,129 @@
+#include "net/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vtopo::net {
+namespace {
+
+TEST(Torus, NearCubicAutoShape) {
+  TorusGeometry t(27);
+  EXPECT_EQ(t.dims()[0] * t.dims()[1] * t.dims()[2], 27);
+  TorusGeometry t2(64);
+  EXPECT_EQ(t2.num_slots(), 64);
+}
+
+TEST(Torus, AutoShapeCoversNodeCount) {
+  for (std::int64_t n : {1, 2, 5, 17, 100, 256, 1000, 1024}) {
+    TorusGeometry t(n);
+    EXPECT_GE(t.num_slots(), n);
+  }
+}
+
+TEST(Torus, ExplicitShape) {
+  TorusGeometry t(4, 3, 2);
+  EXPECT_EQ(t.num_slots(), 24);
+  EXPECT_EQ(t.num_links(), 24 * TorusGeometry::kLinksPerSlot);
+}
+
+TEST(Torus, RejectsBadShapes) {
+  EXPECT_THROW(TorusGeometry(0), std::invalid_argument);
+  EXPECT_THROW(TorusGeometry(0, 3, 2), std::invalid_argument);
+}
+
+TEST(Torus, CoordsRoundTrip) {
+  TorusGeometry t(5, 4, 3);
+  std::array<std::int32_t, 3> c{};
+  for (std::int64_t s = 0; s < t.num_slots(); ++s) {
+    t.slot_coords(s, c);
+    EXPECT_EQ(t.slot_of(c), s);
+  }
+}
+
+TEST(Torus, HopDistanceIdentityAndSymmetry) {
+  TorusGeometry t(4, 4, 4);
+  for (std::int64_t a = 0; a < 64; a += 7) {
+    EXPECT_EQ(t.hop_distance(a, a), 0);
+    for (std::int64_t b = 0; b < 64; b += 5) {
+      EXPECT_EQ(t.hop_distance(a, b), t.hop_distance(b, a));
+    }
+  }
+}
+
+TEST(Torus, WraparoundShortensDistance) {
+  TorusGeometry t(8, 1, 1);
+  // 0 -> 7 is one hop via wraparound, not seven.
+  EXPECT_EQ(t.hop_distance(0, 7), 1);
+  EXPECT_EQ(t.hop_distance(0, 4), 4);  // diameter of the ring
+  EXPECT_EQ(t.hop_distance(0, 5), 3);
+}
+
+TEST(Torus, RouteLengthEqualsHopDistance) {
+  TorusGeometry t(5, 4, 3);
+  for (std::int64_t a = 0; a < t.num_slots(); a += 3) {
+    for (std::int64_t b = 0; b < t.num_slots(); b += 2) {
+      EXPECT_EQ(static_cast<int>(t.route_links(a, b).size()),
+                t.hop_distance(a, b));
+    }
+  }
+}
+
+TEST(Torus, RouteToSelfIsEmpty) {
+  TorusGeometry t(3, 3, 3);
+  EXPECT_TRUE(t.route_links(13, 13).empty());
+}
+
+TEST(Torus, LinkIdsAreDistinctPerRoute) {
+  TorusGeometry t(6, 5, 4);
+  for (std::int64_t a = 0; a < t.num_slots(); a += 11) {
+    for (std::int64_t b = 0; b < t.num_slots(); b += 7) {
+      const auto links = t.route_links(a, b);
+      std::set<LinkId> unique(links.begin(), links.end());
+      EXPECT_EQ(unique.size(), links.size()) << a << "->" << b;
+    }
+  }
+}
+
+TEST(Torus, NicLinksDisjointFromDirectionalLinks) {
+  TorusGeometry t(3, 3, 3);
+  std::set<LinkId> nic;
+  for (std::int64_t s = 0; s < t.num_slots(); ++s) {
+    nic.insert(t.injection_link(s));
+    nic.insert(t.ejection_link(s));
+  }
+  EXPECT_EQ(nic.size(), 2 * static_cast<std::size_t>(t.num_slots()));
+  for (std::int64_t a = 0; a < t.num_slots(); ++a) {
+    for (std::int64_t b = 0; b < t.num_slots(); ++b) {
+      for (const LinkId l : t.route_links(a, b)) {
+        EXPECT_EQ(nic.count(l), 0u);
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, t.num_links());
+      }
+    }
+  }
+}
+
+TEST(Torus, DimensionOrderXThenYThenZ) {
+  TorusGeometry t(4, 4, 4);
+  // 0 -> (1,1,1) = slot 21: first link leaves in X.
+  const auto links = t.route_links(0, 21);
+  ASSERT_EQ(links.size(), 3u);
+  // First link is slot 0's +x link (dir 0).
+  EXPECT_EQ(links[0], 0 * TorusGeometry::kLinksPerSlot + 0);
+  // Second link leaves slot (1,0,0)=1 in +y (dir 2).
+  EXPECT_EQ(links[1], 1 * TorusGeometry::kLinksPerSlot + 2);
+  // Third leaves slot (1,1,0)=5 in +z (dir 4).
+  EXPECT_EQ(links[2], 5 * TorusGeometry::kLinksPerSlot + 4);
+}
+
+TEST(Torus, NegativeDirectionUsedForShorterWay) {
+  TorusGeometry t(8, 1, 1);
+  const auto links = t.route_links(0, 7);
+  ASSERT_EQ(links.size(), 1u);
+  // Leaves slot 0 in -x (dir 1).
+  EXPECT_EQ(links[0], 0 * TorusGeometry::kLinksPerSlot + 1);
+}
+
+}  // namespace
+}  // namespace vtopo::net

@@ -1,0 +1,133 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vtopo::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), 0);
+  EXPECT_TRUE(eng.idle());
+  EXPECT_EQ(eng.events_executed(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TieBrokenByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    eng.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Engine, NowAdvancesToEventTime) {
+  Engine eng;
+  TimeNs seen = -1;
+  eng.schedule_at(1234, [&] { seen = eng.now(); });
+  eng.run();
+  EXPECT_EQ(seen, 1234);
+  EXPECT_EQ(eng.now(), 1234);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine eng;
+  TimeNs seen = -1;
+  eng.schedule_at(100, [&] {
+    eng.schedule_after(50, [&] { seen = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) eng.schedule_after(1, chain);
+  };
+  eng.schedule_at(0, chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eng.now(), 99);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] { ++fired; });
+  eng.schedule_at(20, [&] { ++fired; });
+  eng.schedule_at(30, [&] { ++fired; });
+  EXPECT_FALSE(eng.run_until(25));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 20);
+  EXPECT_TRUE(eng.run_until(100));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilInclusiveOfDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(25, [&] { ++fired; });
+  EXPECT_TRUE(eng.run_until(25));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.schedule_at(i, [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_executed(), 7u);
+}
+
+TEST(Engine, SameTimeChainedEventsRunSameTimestamp) {
+  Engine eng;
+  std::vector<TimeNs> stamps;
+  eng.schedule_at(5, [&] {
+    stamps.push_back(eng.now());
+    eng.schedule_after(0, [&] { stamps.push_back(eng.now()); });
+  });
+  eng.run();
+  EXPECT_EQ(stamps, (std::vector<TimeNs>{5, 5}));
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      eng.schedule_at((i * 37) % 11, [&order, i] { order.push_back(i); });
+    }
+    eng.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(us(1.0), 1000);
+  EXPECT_EQ(ms(1.0), 1000000);
+  EXPECT_EQ(sec(1.0), 1000000000);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_sec(2500000000LL), 2.5);
+}
+
+}  // namespace
+}  // namespace vtopo::sim

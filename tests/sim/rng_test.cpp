@@ -1,0 +1,108 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace vtopo::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBoundOneAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.uniform(1), 0u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialPositiveWithRoughMean) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.exponential(5.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, DeriveSeedDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    seeds.insert(derive_seed(42, s));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, DeriveSeedDependsOnRunSeed) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(Rng, Splitmix64KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(first, splitmix64(s2));
+  EXPECT_NE(splitmix64(s), first);  // state advanced
+}
+
+}  // namespace
+}  // namespace vtopo::sim

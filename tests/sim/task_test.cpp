@@ -1,0 +1,220 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+
+namespace vtopo::sim {
+namespace {
+
+TEST(Task, SpawnRunsToCompletion) {
+  Engine eng;
+  bool done = false;
+  std::int64_t live = 0;
+  auto body = [](Engine& e, bool& flag) -> Co<void> {
+    co_await Sleep(e, 100);
+    flag = true;
+  };
+  spawn(body(eng, done), &live);
+  EXPECT_EQ(live, 1);
+  EXPECT_FALSE(done);
+  eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(live, 0);
+}
+
+TEST(Task, SleepAdvancesSimTime) {
+  Engine eng;
+  TimeNs woke = -1;
+  auto body = [](Engine& e, TimeNs& out) -> Co<void> {
+    co_await Sleep(e, 250);
+    co_await Sleep(e, 250);
+    out = e.now();
+  };
+  spawn(body(eng, woke));
+  eng.run();
+  EXPECT_EQ(woke, 500);
+}
+
+TEST(Task, ZeroSleepDoesNotSuspend) {
+  Engine eng;
+  int steps = 0;
+  auto body = [](Engine& e, int& s) -> Co<void> {
+    co_await Sleep(e, 0);
+    ++s;
+    co_await Sleep(e, -5);
+    ++s;
+  };
+  spawn(body(eng, steps));
+  // Body ran to completion synchronously inside spawn.
+  EXPECT_EQ(steps, 2);
+  eng.run();
+}
+
+Co<int> add_later(Engine& eng, int a, int b) {
+  co_await Sleep(eng, 10);
+  co_return a + b;
+}
+
+TEST(Task, NestedCoroutinesReturnValues) {
+  Engine eng;
+  int result = 0;
+  auto body = [](Engine& e, int& out) -> Co<void> {
+    const int x = co_await add_later(e, 2, 3);
+    const int y = co_await add_later(e, x, 10);
+    out = y;
+  };
+  spawn(body(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 15);
+}
+
+Co<int> deep(Engine& eng, int n) {
+  if (n == 0) co_return 0;
+  co_await Sleep(eng, 1);
+  const int below = co_await deep(eng, n - 1);
+  co_return below + 1;
+}
+
+TEST(Task, DeeplyNestedAwaitChain) {
+  Engine eng;
+  int result = -1;
+  auto body = [](Engine& e, int& out) -> Co<void> {
+    out = co_await deep(e, 200);
+  };
+  spawn(body(eng, result));
+  eng.run();
+  EXPECT_EQ(result, 200);
+}
+
+TEST(Future, SetBeforeAwaitCompletesImmediately) {
+  Engine eng;
+  Future<int> fut(eng);
+  fut.set(42);
+  EXPECT_TRUE(fut.ready());
+  int got = 0;
+  auto body = [](Future<int> f, int& out) -> Co<void> {
+    out = co_await f;
+  };
+  spawn(body(fut, got));
+  eng.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Future, SetAfterAwaitResumesViaEventQueue) {
+  Engine eng;
+  Future<int> fut(eng);
+  int got = 0;
+  auto body = [](Future<int> f, int& out) -> Co<void> {
+    out = co_await f;
+  };
+  spawn(body(fut, got));
+  EXPECT_EQ(got, 0);
+  eng.schedule_at(500, [fut]() mutable { fut.set(7); });
+  eng.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Future, PeekDoesNotConsume) {
+  Engine eng;
+  Future<int> fut(eng);
+  fut.set(9);
+  EXPECT_EQ(fut.peek(), 9);
+  EXPECT_TRUE(fut.ready());
+}
+
+TEST(Semaphore, AcquireWithTokensIsImmediate) {
+  Engine eng;
+  Semaphore sem(eng, 2);
+  int acquired = 0;
+  auto body = [](Semaphore& s, int& n) -> Co<void> {
+    co_await s.acquire();
+    ++n;
+    co_await s.acquire();
+    ++n;
+  };
+  spawn(body(sem, acquired));
+  EXPECT_EQ(acquired, 2);
+  EXPECT_EQ(sem.available(), 0);
+  eng.run();
+}
+
+TEST(Semaphore, BlocksWhenExhaustedAndFifoHandsOff) {
+  Engine eng;
+  Semaphore sem(eng, 1);
+  std::vector<int> order;
+  auto worker = [](Engine& e, Semaphore& s, std::vector<int>& ord,
+                   int id) -> Co<void> {
+    co_await s.acquire();
+    ord.push_back(id);
+    co_await Sleep(e, 10);
+    s.release();
+  };
+  for (int i = 0; i < 5; ++i) spawn(worker(eng, sem, order, i));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sem.available(), 1);
+  EXPECT_EQ(sem.waiters(), 0u);
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersIncrementsCount) {
+  Engine eng;
+  Semaphore sem(eng, 0);
+  sem.release();
+  sem.release();
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(AsyncQueue, PopBlocksUntilPush) {
+  Engine eng;
+  AsyncQueue<int> q(eng);
+  std::vector<int> got;
+  auto consumer = [](AsyncQueue<int>& qq, std::vector<int>& out) -> Co<void> {
+    for (int i = 0; i < 3; ++i) out.push_back(co_await qq.pop());
+  };
+  spawn(consumer(q, got));
+  EXPECT_TRUE(got.empty());
+  eng.schedule_at(10, [&] { q.push(1); });
+  eng.schedule_at(20, [&] {
+    q.push(2);
+    q.push(3);
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AsyncQueue, PreloadedItemsPopImmediately) {
+  Engine eng;
+  AsyncQueue<int> q(eng);
+  q.push(5);
+  q.push(6);
+  EXPECT_EQ(q.size(), 2u);
+  std::vector<int> got;
+  auto consumer = [](AsyncQueue<int>& qq, std::vector<int>& out) -> Co<void> {
+    out.push_back(co_await qq.pop());
+    out.push_back(co_await qq.pop());
+  };
+  spawn(consumer(q, got));
+  EXPECT_EQ(got, (std::vector<int>{5, 6}));
+  eng.run();
+}
+
+TEST(Task, ManyConcurrentTasksAllFinish) {
+  Engine eng;
+  std::int64_t live = 0;
+  int finished = 0;
+  auto body = [](Engine& e, int delay, int& n) -> Co<void> {
+    co_await Sleep(e, delay);
+    ++n;
+  };
+  for (int i = 0; i < 1000; ++i) spawn(body(eng, i % 37, finished), &live);
+  eng.run();
+  EXPECT_EQ(finished, 1000);
+  EXPECT_EQ(live, 0);
+}
+
+}  // namespace
+}  // namespace vtopo::sim

@@ -1,0 +1,24 @@
+#include <gtest/gtest.h>
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+using namespace vtopo;
+TEST(Smoke, FetchAddAcrossTopologies) {
+  for (auto kind : core::all_topology_kinds()) {
+    sim::Engine eng;
+    armci::Runtime::Config cfg;
+    cfg.num_nodes = 16;
+    cfg.procs_per_node = 2;
+    cfg.topology = kind;
+    armci::Runtime rt(eng, cfg);
+    const std::int64_t off = rt.memory().alloc_all(64);
+    rt.spawn_all([off](armci::Proc& p) -> sim::Co<void> {
+      for (int i = 0; i < 3; ++i) {
+        co_await p.fetch_add(armci::GAddr{0, off}, 1);
+      }
+      co_await p.barrier();
+    });
+    rt.run_all();
+    EXPECT_EQ(rt.memory().read_i64(armci::GAddr{0, off}),
+              rt.num_procs() * 3) << core::to_string(kind);
+  }
+}

@@ -1,0 +1,72 @@
+// Synthetic tunable-hotspot workload.
+#include "workloads/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vtopo::work {
+namespace {
+
+using core::TopologyKind;
+
+ClusterConfig cluster(TopologyKind kind) {
+  ClusterConfig cl;
+  cl.num_nodes = 32;
+  cl.procs_per_node = 2;
+  cl.topology = kind;
+  return cl;
+}
+
+TEST(Synthetic, ChecksumCountsHotOps) {
+  SyntheticConfig sc;
+  sc.ops_per_proc = 10;
+  sc.hotspot_fraction = 1.0;  // every op from off-node procs is hot
+  const auto res = run_synthetic(cluster(TopologyKind::kFcg), sc);
+  // 62 off-node procs x 10 ops each bump the counter once per op.
+  EXPECT_DOUBLE_EQ(res.checksum, 62.0 * 10.0);
+}
+
+TEST(Synthetic, ZeroHotspotNeverTouchesCounter) {
+  SyntheticConfig sc;
+  sc.ops_per_proc = 8;
+  sc.hotspot_fraction = 0.0;
+  const auto res = run_synthetic(cluster(TopologyKind::kMfcg), sc);
+  EXPECT_DOUBLE_EQ(res.checksum, 0.0);
+}
+
+TEST(Synthetic, HotspotFractionMonotonicallySlowsFcg) {
+  SyntheticConfig sc;
+  sc.ops_per_proc = 10;
+  double prev = 0.0;
+  for (const double frac : {0.0, 0.3, 0.8}) {
+    sc.hotspot_fraction = frac;
+    const double t =
+        run_synthetic(cluster(TopologyKind::kFcg), sc).exec_time_sec;
+    EXPECT_GT(t, prev) << frac;
+    prev = t;
+  }
+}
+
+TEST(Synthetic, MfcgLessSensitiveToHotspotThanFcg) {
+  SyntheticConfig sc;
+  sc.ops_per_proc = 12;
+  sc.hotspot_fraction = 0.7;
+  ClusterConfig cl = cluster(TopologyKind::kFcg);
+  cl.net.stream_table_size = 32;  // keep the scaled machine in regime
+  const double fcg = run_synthetic(cl, sc).exec_time_sec;
+  cl.topology = TopologyKind::kMfcg;
+  const double mfcg = run_synthetic(cl, sc).exec_time_sec;
+  EXPECT_LT(mfcg, fcg);
+}
+
+TEST(Synthetic, DeterministicAcrossRuns) {
+  SyntheticConfig sc;
+  sc.ops_per_proc = 6;
+  sc.hotspot_fraction = 0.4;
+  const auto a = run_synthetic(cluster(TopologyKind::kCfcg), sc);
+  const auto b = run_synthetic(cluster(TopologyKind::kCfcg), sc);
+  EXPECT_EQ(a.exec_time_sec, b.exec_time_sec);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+}  // namespace
+}  // namespace vtopo::work

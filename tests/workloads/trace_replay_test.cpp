@@ -1,0 +1,114 @@
+// Trace parser and replay driver.
+#include "workloads/trace_replay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vtopo::work {
+namespace {
+
+ClusterConfig tiny() {
+  ClusterConfig cl;
+  cl.num_nodes = 4;
+  cl.procs_per_node = 2;
+  cl.topology = core::TopologyKind::kMfcg;
+  return cl;
+}
+
+TEST(TraceParse, ParsesAllOpKinds) {
+  const std::string text = R"(
+# a comment
+0 put 1 1024
+1 get 0 512
+2 putv 3 2048
+3 getv 2 256
+4 acc 0 16
+5 fetchadd 0 3
+6 lock 0 1
+6 unlock 0 1
+7 compute 250
+0 barrier
+1 barrier
+2 barrier
+3 barrier
+4 barrier
+5 barrier
+6 barrier
+7 barrier
+)";
+  const auto ops = parse_trace(text, 8);
+  ASSERT_EQ(ops.size(), 17u);
+  EXPECT_EQ(ops[0].kind, TraceOp::Kind::kPut);
+  EXPECT_EQ(ops[0].proc, 0);
+  EXPECT_EQ(ops[0].target, 1);
+  EXPECT_EQ(ops[0].arg, 1024);
+  EXPECT_EQ(ops[5].kind, TraceOp::Kind::kFetchAdd);
+  EXPECT_EQ(ops[8].kind, TraceOp::Kind::kCompute);
+  EXPECT_EQ(ops[8].arg, 250);
+  EXPECT_EQ(ops[9].kind, TraceOp::Kind::kBarrier);
+}
+
+TEST(TraceParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_trace("0 frobnicate 1 2", 4),
+               std::invalid_argument);
+  EXPECT_THROW(parse_trace("9 put 1 64", 4), std::invalid_argument);
+  EXPECT_THROW(parse_trace("0 put 9 64", 4), std::invalid_argument);
+  EXPECT_THROW(parse_trace("0 put 1", 4), std::invalid_argument);
+  EXPECT_THROW(parse_trace("0 put 1 -5", 4), std::invalid_argument);
+  EXPECT_THROW(parse_trace("0", 4), std::invalid_argument);
+}
+
+TEST(TraceParse, CommentsAndBlanksIgnored) {
+  const auto ops = parse_trace("\n# only comments\n\n  \n", 4);
+  EXPECT_TRUE(ops.empty());
+}
+
+TEST(TraceReplay, RunsAndCounts) {
+  const std::string text = R"(
+0 putv 7 4096
+1 fetchadd 0 1
+2 fetchadd 0 1
+3 compute 100
+)";
+  const auto ops = parse_trace(text, 8);
+  const auto res = replay_trace(tiny(), ops);
+  EXPECT_EQ(res.ops_executed, 4);
+  EXPECT_GT(res.exec_time_sec, 0.0);
+  EXPECT_EQ(res.stats.requests, 3u);  // putv + 2 fetchadd
+}
+
+TEST(TraceReplay, BarrierCountMismatchRejected) {
+  const auto ops = parse_trace("0 barrier", 8);
+  EXPECT_THROW((void)replay_trace(tiny(), ops),
+               std::invalid_argument);
+}
+
+TEST(TraceReplay, BarriersSequencePhases) {
+  // Phase 1: everyone bumps rank 0; barrier; phase 2: rank 0 computes.
+  std::string text;
+  for (int p = 0; p < 8; ++p) {
+    text += std::to_string(p) + " fetchadd 0 1\n";
+    text += std::to_string(p) + " barrier\n";
+  }
+  text += "0 compute 10\n";
+  const auto ops = parse_trace(text, 8);
+  const auto res = replay_trace(tiny(), ops);
+  EXPECT_EQ(res.stats.requests, 8u);
+}
+
+TEST(TraceReplay, DeterministicAcrossRuns) {
+  const std::string text = R"(
+0 putv 7 8192
+7 putv 0 8192
+1 acc 3 64
+5 lock 2 0
+5 compute 40
+5 unlock 2 0
+)";
+  const auto ops = parse_trace(text, 8);
+  const auto a = replay_trace(tiny(), ops);
+  const auto b = replay_trace(tiny(), ops);
+  EXPECT_EQ(a.exec_time_sec, b.exec_time_sec);
+}
+
+}  // namespace
+}  // namespace vtopo::work

@@ -1,0 +1,210 @@
+// Workload drivers: correctness invariants (topology-independent
+// results) and basic sanity of the measurement protocols, at small
+// scale so the whole suite stays fast.
+#include <gtest/gtest.h>
+
+#include "workloads/contention.hpp"
+#include "workloads/nas_lu.hpp"
+#include "workloads/nwchem_ccsd.hpp"
+#include "workloads/nwchem_dft.hpp"
+#include "workloads/task_pool.hpp"
+
+namespace vtopo::work {
+namespace {
+
+using core::TopologyKind;
+
+ClusterConfig tiny_cluster(TopologyKind kind) {
+  ClusterConfig cl;
+  cl.num_nodes = 16;
+  cl.procs_per_node = 2;
+  cl.topology = kind;
+  return cl;
+}
+
+TEST(TaskPool, DrainsExactlyOnceAcrossProcs) {
+  sim::Engine eng;
+  armci::Runtime::Config cfg;
+  cfg.num_nodes = 8;
+  cfg.procs_per_node = 2;
+  armci::Runtime rt(eng, cfg);
+  const auto counter = rt.memory().alloc_all(8);
+  const auto cells = rt.memory().alloc_all(64 * 8);
+  rt.spawn_all([&, counter, cells](armci::Proc& p) -> sim::Co<void> {
+    TaskPool pool{armci::GAddr{0, counter}, 64, 3};
+    co_await drain_task_pool(p, pool, [&](std::int64_t t) -> sim::Co<void> {
+      // Mark task t done exactly once (non-atomic increment would
+      // expose double execution).
+      const armci::GAddr cell{0, cells + t * 8};
+      co_await p.fetch_add(cell, 1);
+    });
+  });
+  rt.run_all();
+  for (std::int64_t t = 0; t < 64; ++t) {
+    EXPECT_EQ(rt.memory().read_i64(armci::GAddr{0, cells + t * 8}), 1)
+        << "task " << t;
+  }
+}
+
+TEST(TaskPool, EmptyPoolFinishesImmediately) {
+  sim::Engine eng;
+  armci::Runtime::Config cfg;
+  cfg.num_nodes = 2;
+  cfg.procs_per_node = 1;
+  armci::Runtime rt(eng, cfg);
+  const auto counter = rt.memory().alloc_all(8);
+  int ran = 0;
+  rt.spawn_all([&, counter](armci::Proc& p) -> sim::Co<void> {
+    TaskPool pool{armci::GAddr{0, counter}, 0, 1};
+    co_await drain_task_pool(p, pool, [&](std::int64_t) -> sim::Co<void> {
+      ++ran;
+      co_return;
+    });
+  });
+  rt.run_all();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(Contention, NoContentionMeasuresAllEligibleRanks) {
+  ContentionConfig cc;
+  cc.iterations = 2;
+  cc.vec_segments = 4;
+  cc.seg_bytes = 128;
+  const auto res = run_contention(tiny_cluster(TopologyKind::kFcg), cc);
+  ASSERT_EQ(res.op_time_us.size(), 32u);
+  for (std::size_t r = 0; r < res.op_time_us.size(); ++r) {
+    if (r < 2) {
+      EXPECT_LT(res.op_time_us[r], 0) << "node-0 rank measured";
+    } else {
+      EXPECT_GT(res.op_time_us[r], 0) << "rank " << r << " missing";
+    }
+  }
+}
+
+TEST(Contention, ContendersInflateMeasuredTimes) {
+  ContentionConfig cc;
+  cc.iterations = 2;
+  cc.vec_segments = 4;
+  cc.seg_bytes = 2048;  // 8 KB per op: enough to queue at the hot NIC
+  const auto quiet = run_contention(tiny_cluster(TopologyKind::kFcg), cc);
+  cc.contender_stride = 2;  // half the eligible processes contend
+  const auto noisy = run_contention(tiny_cluster(TopologyKind::kFcg), cc);
+  double quiet_mean = 0;
+  double noisy_mean = 0;
+  int n = 0;
+  for (std::size_t r = 0; r < quiet.op_time_us.size(); ++r) {
+    if (quiet.op_time_us[r] < 0) continue;
+    quiet_mean += quiet.op_time_us[r];
+    noisy_mean += noisy.op_time_us[r];
+    ++n;
+  }
+  quiet_mean /= n;
+  noisy_mean /= n;
+  EXPECT_GT(noisy_mean, quiet_mean * 1.5);
+}
+
+TEST(Contention, FetchAddOpSupported) {
+  ContentionConfig cc;
+  cc.op = ContentionConfig::Op::kFetchAdd;
+  cc.iterations = 3;
+  const auto res = run_contention(tiny_cluster(TopologyKind::kMfcg), cc);
+  for (std::size_t r = 2; r < res.op_time_us.size(); ++r) {
+    EXPECT_GT(res.op_time_us[r], 0);
+  }
+}
+
+TEST(Contention, VectorGetOpSupported) {
+  ContentionConfig cc;
+  cc.op = ContentionConfig::Op::kVectorGet;
+  cc.iterations = 2;
+  cc.vec_segments = 4;
+  const auto res = run_contention(tiny_cluster(TopologyKind::kCfcg), cc);
+  for (std::size_t r = 2; r < res.op_time_us.size(); ++r) {
+    EXPECT_GT(res.op_time_us[r], 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Application proxies: identical numeric results on every topology.
+// ---------------------------------------------------------------------
+
+class AppsAcrossTopologies
+    : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(AppsAcrossTopologies, LuChecksumTopologyInvariant) {
+  LuConfig lu;
+  lu.iterations = 3;
+  lu.nx_global = 64;
+  const auto ref = run_nas_lu(tiny_cluster(TopologyKind::kFcg), lu);
+  const auto got = run_nas_lu(tiny_cluster(GetParam()), lu);
+  EXPECT_DOUBLE_EQ(got.checksum, ref.checksum);
+  EXPECT_GT(got.exec_time_sec, 0.0);
+}
+
+TEST_P(AppsAcrossTopologies, DftChecksumTopologyInvariant) {
+  DftConfig dft;
+  dft.scf_iterations = 1;
+  dft.total_tasks = 128;
+  dft.compute_us_per_task = 50;
+  const auto ref = run_nwchem_dft(tiny_cluster(TopologyKind::kFcg), dft);
+  const auto got = run_nwchem_dft(tiny_cluster(GetParam()), dft);
+  EXPECT_DOUBLE_EQ(got.checksum, ref.checksum);
+}
+
+TEST_P(AppsAcrossTopologies, CcsdChecksumTopologyInvariant) {
+  CcsdConfig cc;
+  cc.sweeps = 1;
+  cc.total_tiles = 96;
+  cc.tile_rows = 4;
+  cc.row_bytes = 128;
+  cc.compute_us_per_tile = 20;
+  const auto ref = run_nwchem_ccsd(tiny_cluster(TopologyKind::kFcg), cc);
+  const auto got = run_nwchem_ccsd(tiny_cluster(GetParam()), cc);
+  EXPECT_DOUBLE_EQ(got.checksum, ref.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AppsAcrossTopologies,
+    ::testing::Values(TopologyKind::kFcg, TopologyKind::kMfcg,
+                      TopologyKind::kCfcg, TopologyKind::kHypercube),
+    [](const ::testing::TestParamInfo<TopologyKind>& info) {
+      return core::to_string(info.param);
+    });
+
+TEST(NasLu, ScalesDownWithMoreProcs) {
+  LuConfig lu;
+  lu.iterations = 2;
+  lu.nx_global = 128;
+  ClusterConfig small = tiny_cluster(TopologyKind::kFcg);
+  ClusterConfig big = small;
+  big.num_nodes = 64;
+  const auto t_small = run_nas_lu(small, lu).exec_time_sec;
+  const auto t_big = run_nas_lu(big, lu).exec_time_sec;
+  EXPECT_LT(t_big, t_small);
+}
+
+TEST(NwchemDft, StatsShowForwardingOnlyOnVirtualTopologies) {
+  DftConfig dft;
+  dft.scf_iterations = 1;
+  dft.total_tasks = 64;
+  dft.compute_us_per_task = 10;
+  const auto fcg = run_nwchem_dft(tiny_cluster(TopologyKind::kFcg), dft);
+  const auto mfcg = run_nwchem_dft(tiny_cluster(TopologyKind::kMfcg), dft);
+  EXPECT_EQ(fcg.stats.forwards, 0u);
+  EXPECT_GT(mfcg.stats.forwards, 0u);
+}
+
+TEST(NwchemCcsd, AccumulatesLandExactlyOnce) {
+  CcsdConfig cc;
+  cc.sweeps = 2;
+  cc.total_tiles = 64;
+  cc.tile_rows = 2;
+  cc.row_bytes = 64;
+  cc.compute_us_per_tile = 5;
+  const auto res = run_nwchem_ccsd(tiny_cluster(TopologyKind::kMfcg), cc);
+  EXPECT_GT(res.exec_time_sec, 0.0);
+  EXPECT_GT(res.stats.requests, 0u);
+}
+
+}  // namespace
+}  // namespace vtopo::work

@@ -1,0 +1,222 @@
+// vtopo_run — one-shot experiment driver.
+//
+// Runs any of the repository's workloads on any cluster/topology
+// configuration from the command line, printing the timing, protocol
+// counters, and (optionally) the per-op latency trace summary.
+//
+//   vtopo_run workload=contention topology=mfcg nodes=256 ppn=4
+//             contention=20 iters=5 op=fetchadd   (one line)
+//   vtopo_run workload=dft topology=fcg nodes=256 ppn=12
+//   vtopo_run workload=lu nodes=64 ppn=12 topology=hypercube trace=1
+//   vtopo_run workload=recommend nodes=1024 budget=256 hotspot=0.5
+//
+// Unknown keys are rejected; every key has a sensible default.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/recommend.hpp"
+#include "net/profiles.hpp"
+#include "sim/stats.hpp"
+#include "workloads/contention.hpp"
+#include "workloads/nas_lu.hpp"
+#include "workloads/nwchem_ccsd.hpp"
+#include "workloads/nwchem_dft.hpp"
+#include "workloads/trace_replay.hpp"
+
+using namespace vtopo;
+
+namespace {
+
+class KvArgs {
+ public:
+  KvArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad argument '%s' (expected key=value)\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+
+  std::string str(const std::string& key, const std::string& dflt) {
+    used_.insert(key);
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  std::int64_t num(const std::string& key, std::int64_t dflt) {
+    used_.insert(key);
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stoll(it->second);
+  }
+  double real(const std::string& key, double dflt) {
+    used_.insert(key);
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stod(it->second);
+  }
+  /// Call after all reads: any unread key is a typo.
+  void reject_unknown() const {
+    for (const auto& [k, v] : kv_) {
+      if (used_.count(k) == 0) {
+        std::fprintf(stderr, "unknown key '%s'\n", k.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::set<std::string> used_;
+};
+
+core::TopologyKind parse_topology(const std::string& s) {
+  if (s == "fcg") return core::TopologyKind::kFcg;
+  if (s == "mfcg") return core::TopologyKind::kMfcg;
+  if (s == "cfcg") return core::TopologyKind::kCfcg;
+  if (s == "hypercube" || s == "hc") return core::TopologyKind::kHypercube;
+  std::fprintf(stderr, "unknown topology '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+core::ForwardingPolicy parse_policy(const std::string& s) {
+  if (s == "ldf") return core::ForwardingPolicy::kLowestDimFirst;
+  if (s == "hdf") return core::ForwardingPolicy::kHighestDimFirst;
+  if (s == "scrambled") return core::ForwardingPolicy::kScrambled;
+  std::fprintf(stderr, "unknown policy '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+void print_stats(const armci::RuntimeStats& st) {
+  std::printf("requests=%llu forwards=%llu acks=%llu direct=%llu "
+              "wakeups=%llu credit_blocked_ms=%.3f\n",
+              static_cast<unsigned long long>(st.requests),
+              static_cast<unsigned long long>(st.forwards),
+              static_cast<unsigned long long>(st.acks),
+              static_cast<unsigned long long>(st.direct_ops),
+              static_cast<unsigned long long>(st.cht_wakeups),
+              static_cast<double>(st.credit_blocked_ns) / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  KvArgs args(argc, argv);
+  const std::string workload = args.str("workload", "contention");
+
+  if (workload == "recommend") {
+    core::WorkloadProfile prof;
+    prof.num_nodes = args.num("nodes", 1024);
+    prof.buffer_budget_mb = args.real("budget", 256.0);
+    prof.hotspot_fraction = args.real("hotspot", 0.0);
+    prof.latency_sensitivity = args.real("latency", 0.5);
+    args.reject_unknown();
+    const auto rec = core::recommend_topology(prof);
+    std::printf("recommendation: %s\n", core::to_string(rec.kind));
+    std::printf("rationale: %s\n", rec.rationale.c_str());
+    return 0;
+  }
+
+  work::ClusterConfig cl;
+  cl.num_nodes = args.num("nodes", 64);
+  cl.procs_per_node = static_cast<int>(args.num("ppn", 4));
+  cl.topology = parse_topology(args.str("topology", "mfcg"));
+  cl.policy = parse_policy(args.str("policy", "ldf"));
+  cl.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  if (args.str("machine", "xt5") == "bgp") cl.net = net::bgp_params();
+  cl.net.stream_table_size =
+      static_cast<int>(args.num("table", cl.net.stream_table_size));
+  cl.placement = args.str("placement", "linear") == "random"
+                     ? net::Placement::kRandom
+                     : net::Placement::kLinear;
+  const auto iters = static_cast<int>(args.num("iters", 5));
+
+  if (workload == "contention") {
+    work::ContentionConfig cc;
+    cc.iterations = iters;
+    const std::string op = args.str("op", "vput");
+    cc.op = op == "fetchadd" ? work::ContentionConfig::Op::kFetchAdd
+            : op == "vget"   ? work::ContentionConfig::Op::kVectorGet
+                             : work::ContentionConfig::Op::kVectorPut;
+    const std::int64_t pct = args.num("contention", 0);
+    cc.contender_stride = pct == 0 ? 0 : pct >= 20 ? 5 : 9;
+    args.reject_unknown();
+    const auto res = work::run_contention(cl, cc);
+    sim::Series s;
+    for (const double t : res.op_time_us) {
+      if (t >= 0) s.add(t);
+    }
+    std::printf("%s %s contention=%lld%%: median=%.1fus p95=%.1fus "
+                "max=%.1fus (simulated %.3fs)\n",
+                core::to_string(cl.topology), op.c_str(),
+                static_cast<long long>(pct), s.median(),
+                s.percentile(95), s.max(), res.total_sim_sec);
+    print_stats(res.stats);
+    return 0;
+  }
+
+  if (workload == "trace") {
+    const std::string path = args.str("file", "");
+    args.reject_unknown();
+    if (path.empty()) {
+      std::fprintf(stderr, "workload=trace requires file=<path>\n");
+      return 2;
+    }
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto ops = work::parse_trace(text.str(), cl.num_procs());
+    const auto res = work::replay_trace(cl, ops);
+    std::printf("trace %s: %lld ops in %.6f s on %s\n", path.c_str(),
+                static_cast<long long>(res.ops_executed),
+                res.exec_time_sec, core::to_string(cl.topology));
+    print_stats(res.stats);
+    return 0;
+  }
+
+  work::AppResult res;
+  if (workload == "lu") {
+    work::LuConfig lu;
+    lu.iterations = iters;
+    lu.nx_global = static_cast<int>(args.num("nx", 408));
+    args.reject_unknown();
+    res = work::run_nas_lu(cl, lu);
+  } else if (workload == "dft") {
+    work::DftConfig dft;
+    dft.total_tasks = args.num("tasks", 24576);
+    dft.compute_us_per_task = args.real("task_us", 70000.0);
+    args.reject_unknown();
+    res = work::run_nwchem_dft(cl, dft);
+  } else if (workload == "ccsd") {
+    work::CcsdConfig cc;
+    cc.total_tiles = args.num("tiles", 196608);
+    cc.compute_us_per_tile = args.real("tile_us", 300.0);
+    args.reject_unknown();
+    res = work::run_nwchem_ccsd(cl, cc);
+  } else {
+    std::fprintf(stderr,
+                 "unknown workload '%s' (contention|lu|dft|ccsd|"
+                 "trace|recommend)\n",
+                 workload.c_str());
+    return 2;
+  }
+
+  std::printf("%s %s on %lld procs: %.4f s (checksum %.6g)\n",
+              workload.c_str(), core::to_string(cl.topology),
+              static_cast<long long>(cl.num_procs()), res.exec_time_sec,
+              res.checksum);
+  print_stats(res.stats);
+  return 0;
+}
