@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_count.dir/ablation_buffer_count.cpp.o"
+  "CMakeFiles/ablation_buffer_count.dir/ablation_buffer_count.cpp.o.d"
+  "ablation_buffer_count"
+  "ablation_buffer_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

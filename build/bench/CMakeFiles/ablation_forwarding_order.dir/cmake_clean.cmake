@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_forwarding_order.dir/ablation_forwarding_order.cpp.o"
+  "CMakeFiles/ablation_forwarding_order.dir/ablation_forwarding_order.cpp.o.d"
+  "ablation_forwarding_order"
+  "ablation_forwarding_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forwarding_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

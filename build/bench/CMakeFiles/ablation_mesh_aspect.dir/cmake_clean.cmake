@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mesh_aspect.dir/ablation_mesh_aspect.cpp.o"
+  "CMakeFiles/ablation_mesh_aspect.dir/ablation_mesh_aspect.cpp.o.d"
+  "ablation_mesh_aspect"
+  "ablation_mesh_aspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mesh_aspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

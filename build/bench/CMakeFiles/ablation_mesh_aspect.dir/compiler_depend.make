@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_mesh_aspect.
+# This may be replaced when dependencies are built.

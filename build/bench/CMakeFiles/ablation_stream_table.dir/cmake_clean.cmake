@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stream_table.dir/ablation_stream_table.cpp.o"
+  "CMakeFiles/ablation_stream_table.dir/ablation_stream_table.cpp.o.d"
+  "ablation_stream_table"
+  "ablation_stream_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_two_sided.dir/control_two_sided.cpp.o"
+  "CMakeFiles/control_two_sided.dir/control_two_sided.cpp.o.d"
+  "control_two_sided"
+  "control_two_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_two_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vector_contention.dir/fig6_vector_contention.cpp.o"
+  "CMakeFiles/fig6_vector_contention.dir/fig6_vector_contention.cpp.o.d"
+  "fig6_vector_contention"
+  "fig6_vector_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vector_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

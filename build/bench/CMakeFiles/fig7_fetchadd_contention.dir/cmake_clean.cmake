@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fetchadd_contention.dir/fig7_fetchadd_contention.cpp.o"
+  "CMakeFiles/fig7_fetchadd_contention.dir/fig7_fetchadd_contention.cpp.o.d"
+  "fig7_fetchadd_contention"
+  "fig7_fetchadd_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fetchadd_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

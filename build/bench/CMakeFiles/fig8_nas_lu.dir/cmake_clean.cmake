@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_nas_lu.dir/fig8_nas_lu.cpp.o"
+  "CMakeFiles/fig8_nas_lu.dir/fig8_nas_lu.cpp.o.d"
+  "fig8_nas_lu"
+  "fig8_nas_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_nas_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

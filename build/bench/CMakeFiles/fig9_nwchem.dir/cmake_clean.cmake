@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_nwchem.dir/fig9_nwchem.cpp.o"
+  "CMakeFiles/fig9_nwchem.dir/fig9_nwchem.cpp.o.d"
+  "fig9_nwchem"
+  "fig9_nwchem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_nwchem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_bgp.dir/future_bgp.cpp.o"
+  "CMakeFiles/future_bgp.dir/future_bgp.cpp.o.d"
+  "future_bgp"
+  "future_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_patch_bench.dir/ga_patch_bench.cpp.o"
+  "CMakeFiles/ga_patch_bench.dir/ga_patch_bench.cpp.o.d"
+  "ga_patch_bench"
+  "ga_patch_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_patch_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

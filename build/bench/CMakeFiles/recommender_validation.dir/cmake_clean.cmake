@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_validation.dir/recommender_validation.cpp.o"
+  "CMakeFiles/recommender_validation.dir/recommender_validation.cpp.o.d"
+  "recommender_validation"
+  "recommender_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_reduce_bench.dir/tree_reduce_bench.cpp.o"
+  "CMakeFiles/tree_reduce_bench.dir/tree_reduce_bench.cpp.o.d"
+  "tree_reduce_bench"
+  "tree_reduce_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_reduce_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

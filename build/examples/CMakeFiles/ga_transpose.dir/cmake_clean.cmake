@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_transpose.dir/ga_transpose.cpp.o"
+  "CMakeFiles/ga_transpose.dir/ga_transpose.cpp.o.d"
+  "ga_transpose"
+  "ga_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

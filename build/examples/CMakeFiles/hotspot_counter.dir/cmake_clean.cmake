@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_counter.dir/hotspot_counter.cpp.o"
+  "CMakeFiles/hotspot_counter.dir/hotspot_counter.cpp.o.d"
+  "hotspot_counter"
+  "hotspot_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

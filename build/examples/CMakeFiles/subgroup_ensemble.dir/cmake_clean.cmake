@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgroup_ensemble.dir/subgroup_ensemble.cpp.o"
+  "CMakeFiles/subgroup_ensemble.dir/subgroup_ensemble.cpp.o.d"
+  "subgroup_ensemble"
+  "subgroup_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgroup_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

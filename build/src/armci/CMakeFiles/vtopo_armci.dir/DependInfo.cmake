@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/armci/cht.cpp" "src/armci/CMakeFiles/vtopo_armci.dir/cht.cpp.o" "gcc" "src/armci/CMakeFiles/vtopo_armci.dir/cht.cpp.o.d"
+  "/root/repo/src/armci/group.cpp" "src/armci/CMakeFiles/vtopo_armci.dir/group.cpp.o" "gcc" "src/armci/CMakeFiles/vtopo_armci.dir/group.cpp.o.d"
+  "/root/repo/src/armci/memory.cpp" "src/armci/CMakeFiles/vtopo_armci.dir/memory.cpp.o" "gcc" "src/armci/CMakeFiles/vtopo_armci.dir/memory.cpp.o.d"
+  "/root/repo/src/armci/proc.cpp" "src/armci/CMakeFiles/vtopo_armci.dir/proc.cpp.o" "gcc" "src/armci/CMakeFiles/vtopo_armci.dir/proc.cpp.o.d"
+  "/root/repo/src/armci/request.cpp" "src/armci/CMakeFiles/vtopo_armci.dir/request.cpp.o" "gcc" "src/armci/CMakeFiles/vtopo_armci.dir/request.cpp.o.d"
+  "/root/repo/src/armci/runtime.cpp" "src/armci/CMakeFiles/vtopo_armci.dir/runtime.cpp.o" "gcc" "src/armci/CMakeFiles/vtopo_armci.dir/runtime.cpp.o.d"
+  "/root/repo/src/armci/trace.cpp" "src/armci/CMakeFiles/vtopo_armci.dir/trace.cpp.o" "gcc" "src/armci/CMakeFiles/vtopo_armci.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vtopo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vtopo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vtopo_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_armci.dir/cht.cpp.o"
+  "CMakeFiles/vtopo_armci.dir/cht.cpp.o.d"
+  "CMakeFiles/vtopo_armci.dir/group.cpp.o"
+  "CMakeFiles/vtopo_armci.dir/group.cpp.o.d"
+  "CMakeFiles/vtopo_armci.dir/memory.cpp.o"
+  "CMakeFiles/vtopo_armci.dir/memory.cpp.o.d"
+  "CMakeFiles/vtopo_armci.dir/proc.cpp.o"
+  "CMakeFiles/vtopo_armci.dir/proc.cpp.o.d"
+  "CMakeFiles/vtopo_armci.dir/request.cpp.o"
+  "CMakeFiles/vtopo_armci.dir/request.cpp.o.d"
+  "CMakeFiles/vtopo_armci.dir/runtime.cpp.o"
+  "CMakeFiles/vtopo_armci.dir/runtime.cpp.o.d"
+  "CMakeFiles/vtopo_armci.dir/trace.cpp.o"
+  "CMakeFiles/vtopo_armci.dir/trace.cpp.o.d"
+  "libvtopo_armci.a"
+  "libvtopo_armci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_armci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

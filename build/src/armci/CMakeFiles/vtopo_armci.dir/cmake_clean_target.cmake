@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvtopo_armci.a"
+)

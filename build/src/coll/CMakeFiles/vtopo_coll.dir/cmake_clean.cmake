@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_coll.dir/collectives.cpp.o"
+  "CMakeFiles/vtopo_coll.dir/collectives.cpp.o.d"
+  "CMakeFiles/vtopo_coll.dir/tree_reduce.cpp.o"
+  "CMakeFiles/vtopo_coll.dir/tree_reduce.cpp.o.d"
+  "libvtopo_coll.a"
+  "libvtopo_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coords.cpp" "src/core/CMakeFiles/vtopo_core.dir/coords.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/coords.cpp.o.d"
+  "/root/repo/src/core/dependency_graph.cpp" "src/core/CMakeFiles/vtopo_core.dir/dependency_graph.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/core/dot_export.cpp" "src/core/CMakeFiles/vtopo_core.dir/dot_export.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/dot_export.cpp.o.d"
+  "/root/repo/src/core/forwarding.cpp" "src/core/CMakeFiles/vtopo_core.dir/forwarding.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/forwarding.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/vtopo_core.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/recommend.cpp" "src/core/CMakeFiles/vtopo_core.dir/recommend.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/recommend.cpp.o.d"
+  "/root/repo/src/core/remap.cpp" "src/core/CMakeFiles/vtopo_core.dir/remap.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/remap.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/vtopo_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/topology.cpp.o.d"
+  "/root/repo/src/core/tree_analysis.cpp" "src/core/CMakeFiles/vtopo_core.dir/tree_analysis.cpp.o" "gcc" "src/core/CMakeFiles/vtopo_core.dir/tree_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vtopo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_core.dir/coords.cpp.o"
+  "CMakeFiles/vtopo_core.dir/coords.cpp.o.d"
+  "CMakeFiles/vtopo_core.dir/dependency_graph.cpp.o"
+  "CMakeFiles/vtopo_core.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/vtopo_core.dir/dot_export.cpp.o"
+  "CMakeFiles/vtopo_core.dir/dot_export.cpp.o.d"
+  "CMakeFiles/vtopo_core.dir/forwarding.cpp.o"
+  "CMakeFiles/vtopo_core.dir/forwarding.cpp.o.d"
+  "CMakeFiles/vtopo_core.dir/memory_model.cpp.o"
+  "CMakeFiles/vtopo_core.dir/memory_model.cpp.o.d"
+  "CMakeFiles/vtopo_core.dir/recommend.cpp.o"
+  "CMakeFiles/vtopo_core.dir/recommend.cpp.o.d"
+  "CMakeFiles/vtopo_core.dir/remap.cpp.o"
+  "CMakeFiles/vtopo_core.dir/remap.cpp.o.d"
+  "CMakeFiles/vtopo_core.dir/topology.cpp.o"
+  "CMakeFiles/vtopo_core.dir/topology.cpp.o.d"
+  "CMakeFiles/vtopo_core.dir/tree_analysis.cpp.o"
+  "CMakeFiles/vtopo_core.dir/tree_analysis.cpp.o.d"
+  "libvtopo_core.a"
+  "libvtopo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_ga.dir/global_array.cpp.o"
+  "CMakeFiles/vtopo_ga.dir/global_array.cpp.o.d"
+  "CMakeFiles/vtopo_ga.dir/summa.cpp.o"
+  "CMakeFiles/vtopo_ga.dir/summa.cpp.o.d"
+  "libvtopo_ga.a"
+  "libvtopo_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

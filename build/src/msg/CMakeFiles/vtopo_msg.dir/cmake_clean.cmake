@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_msg.dir/two_sided.cpp.o"
+  "CMakeFiles/vtopo_msg.dir/two_sided.cpp.o.d"
+  "libvtopo_msg.a"
+  "libvtopo_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

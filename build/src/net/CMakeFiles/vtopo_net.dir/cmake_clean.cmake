@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_net.dir/network.cpp.o"
+  "CMakeFiles/vtopo_net.dir/network.cpp.o.d"
+  "CMakeFiles/vtopo_net.dir/torus.cpp.o"
+  "CMakeFiles/vtopo_net.dir/torus.cpp.o.d"
+  "libvtopo_net.a"
+  "libvtopo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

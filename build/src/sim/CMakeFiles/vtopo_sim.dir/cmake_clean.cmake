@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_sim.dir/rng.cpp.o"
+  "CMakeFiles/vtopo_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/vtopo_sim.dir/stats.cpp.o"
+  "CMakeFiles/vtopo_sim.dir/stats.cpp.o.d"
+  "libvtopo_sim.a"
+  "libvtopo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

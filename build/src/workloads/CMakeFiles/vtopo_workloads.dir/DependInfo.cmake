@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/contention.cpp" "src/workloads/CMakeFiles/vtopo_workloads.dir/contention.cpp.o" "gcc" "src/workloads/CMakeFiles/vtopo_workloads.dir/contention.cpp.o.d"
+  "/root/repo/src/workloads/nas_lu.cpp" "src/workloads/CMakeFiles/vtopo_workloads.dir/nas_lu.cpp.o" "gcc" "src/workloads/CMakeFiles/vtopo_workloads.dir/nas_lu.cpp.o.d"
+  "/root/repo/src/workloads/nwchem_ccsd.cpp" "src/workloads/CMakeFiles/vtopo_workloads.dir/nwchem_ccsd.cpp.o" "gcc" "src/workloads/CMakeFiles/vtopo_workloads.dir/nwchem_ccsd.cpp.o.d"
+  "/root/repo/src/workloads/nwchem_dft.cpp" "src/workloads/CMakeFiles/vtopo_workloads.dir/nwchem_dft.cpp.o" "gcc" "src/workloads/CMakeFiles/vtopo_workloads.dir/nwchem_dft.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/vtopo_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/vtopo_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/task_pool.cpp" "src/workloads/CMakeFiles/vtopo_workloads.dir/task_pool.cpp.o" "gcc" "src/workloads/CMakeFiles/vtopo_workloads.dir/task_pool.cpp.o.d"
+  "/root/repo/src/workloads/trace_replay.cpp" "src/workloads/CMakeFiles/vtopo_workloads.dir/trace_replay.cpp.o" "gcc" "src/workloads/CMakeFiles/vtopo_workloads.dir/trace_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/armci/CMakeFiles/vtopo_armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vtopo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vtopo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vtopo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_workloads.dir/contention.cpp.o"
+  "CMakeFiles/vtopo_workloads.dir/contention.cpp.o.d"
+  "CMakeFiles/vtopo_workloads.dir/nas_lu.cpp.o"
+  "CMakeFiles/vtopo_workloads.dir/nas_lu.cpp.o.d"
+  "CMakeFiles/vtopo_workloads.dir/nwchem_ccsd.cpp.o"
+  "CMakeFiles/vtopo_workloads.dir/nwchem_ccsd.cpp.o.d"
+  "CMakeFiles/vtopo_workloads.dir/nwchem_dft.cpp.o"
+  "CMakeFiles/vtopo_workloads.dir/nwchem_dft.cpp.o.d"
+  "CMakeFiles/vtopo_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/vtopo_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/vtopo_workloads.dir/task_pool.cpp.o"
+  "CMakeFiles/vtopo_workloads.dir/task_pool.cpp.o.d"
+  "CMakeFiles/vtopo_workloads.dir/trace_replay.cpp.o"
+  "CMakeFiles/vtopo_workloads.dir/trace_replay.cpp.o.d"
+  "libvtopo_workloads.a"
+  "libvtopo_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/coords_test.cpp" "tests/CMakeFiles/coords_test.dir/core/coords_test.cpp.o" "gcc" "tests/CMakeFiles/coords_test.dir/core/coords_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vtopo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vtopo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vtopo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/armci/CMakeFiles/vtopo_armci.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/vtopo_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/vtopo_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/coll/CMakeFiles/vtopo_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vtopo_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coords_test.dir/core/coords_test.cpp.o"
+  "CMakeFiles/coords_test.dir/core/coords_test.cpp.o.d"
+  "coords_test"
+  "coords_test.pdb"
+  "coords_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coords_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_grid_test.dir/core/custom_grid_test.cpp.o"
+  "CMakeFiles/custom_grid_test.dir/core/custom_grid_test.cpp.o.d"
+  "custom_grid_test"
+  "custom_grid_test.pdb"
+  "custom_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_edge_test.dir/ga/ga_edge_test.cpp.o"
+  "CMakeFiles/ga_edge_test.dir/ga/ga_edge_test.cpp.o.d"
+  "ga_edge_test"
+  "ga_edge_test.pdb"
+  "ga_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

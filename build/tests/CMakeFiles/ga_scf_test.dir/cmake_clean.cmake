@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ga_scf_test.dir/integration/ga_scf_test.cpp.o"
+  "CMakeFiles/ga_scf_test.dir/integration/ga_scf_test.cpp.o.d"
+  "ga_scf_test"
+  "ga_scf_test.pdb"
+  "ga_scf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ga_scf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_array_test.dir/ga/global_array_test.cpp.o"
+  "CMakeFiles/global_array_test.dir/ga/global_array_test.cpp.o.d"
+  "global_array_test"
+  "global_array_test.pdb"
+  "global_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmem_test.dir/armci/gmem_test.cpp.o"
+  "CMakeFiles/gmem_test.dir/armci/gmem_test.cpp.o.d"
+  "gmem_test"
+  "gmem_test.pdb"
+  "gmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

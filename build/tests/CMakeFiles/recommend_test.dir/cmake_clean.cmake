@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_test.dir/core/recommend_test.cpp.o"
+  "CMakeFiles/recommend_test.dir/core/recommend_test.cpp.o.d"
+  "recommend_test"
+  "recommend_test.pdb"
+  "recommend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

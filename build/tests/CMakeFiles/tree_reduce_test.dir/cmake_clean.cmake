@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_reduce_test.dir/coll/tree_reduce_test.cpp.o"
+  "CMakeFiles/tree_reduce_test.dir/coll/tree_reduce_test.cpp.o.d"
+  "tree_reduce_test"
+  "tree_reduce_test.pdb"
+  "tree_reduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

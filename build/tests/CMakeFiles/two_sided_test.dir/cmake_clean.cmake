@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_sided_test.dir/msg/two_sided_test.cpp.o"
+  "CMakeFiles/two_sided_test.dir/msg/two_sided_test.cpp.o.d"
+  "two_sided_test"
+  "two_sided_test.pdb"
+  "two_sided_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_sided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

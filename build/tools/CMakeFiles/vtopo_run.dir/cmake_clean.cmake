@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vtopo_run.dir/vtopo_run.cpp.o"
+  "CMakeFiles/vtopo_run.dir/vtopo_run.cpp.o.d"
+  "vtopo_run"
+  "vtopo_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vtopo_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
