@@ -7,6 +7,10 @@
 //   (c) FCG & MFCG, 20% contention      (f) CFCG, 20%
 // Hypercube is excluded from contended panels, as in the paper ("it
 // takes too long to get a complete set of numbers").
+//
+// Each panel is an independent simulation, so panels run on the sweep
+// harness's thread pool (--jobs N, default hardware_concurrency); the
+// printed output is byte-identical to a serial run (--jobs 1).
 #pragma once
 
 #include <cstdio>
@@ -14,6 +18,7 @@
 
 #include "bench_util.hpp"
 #include "sim/stats.hpp"
+#include "sweep.hpp"
 #include "workloads/contention.hpp"
 
 namespace vtopo::bench {
@@ -49,6 +54,9 @@ inline void run_contention_figure(const char* figure,
   cfg.iterations =
       static_cast<int>(args.get_int("--iters", args.has("--quick") ? 5 : 20));
 
+  const auto jobs = static_cast<unsigned>(
+      args.get_int("--jobs", default_jobs()));
+
   const std::vector<PanelSpec> panels = {
       {core::TopologyKind::kFcg, 0},  {core::TopologyKind::kMfcg, 0},
       {core::TopologyKind::kCfcg, 0}, {core::TopologyKind::kHypercube, 0},
@@ -63,39 +71,50 @@ inline void run_contention_figure(const char* figure,
               static_cast<long long>(cluster.num_nodes),
               cluster.procs_per_node, cfg.iterations);
 
-  struct Summary {
-    PanelSpec spec;
-    double min, med, p95, max;
+  struct PanelResult {
+    std::string text;
+    double min = 0, med = 0, p95 = 0, max = 0;
   };
-  std::vector<Summary> summaries;
 
-  for (const PanelSpec& panel : panels) {
-    cluster.topology = panel.kind;
-    cfg.contender_stride = panel.stride;
-    const auto res = work::run_contention(cluster, cfg);
+  const auto results = run_sweep(
+      panels.size(), jobs, [&](std::size_t i) -> PanelResult {
+        const PanelSpec& panel = panels[i];
+        work::ClusterConfig cl = cluster;
+        cl.topology = panel.kind;
+        work::ContentionConfig cc = cfg;
+        cc.contender_stride = panel.stride;
+        const auto res = work::run_contention(cl, cc);
 
-    std::printf("\n# series topology=%s contention=%s\n",
-                core::to_string(panel.kind),
-                contention_name(panel.stride));
-    std::printf("# rank time_us\n");
-    sim::Series series;
-    for (std::size_t rank = 0; rank < res.op_time_us.size(); ++rank) {
-      const double t = res.op_time_us[rank];
-      if (t < 0) continue;  // ranks sharing Rank 0's node are unmeasured
-      std::printf("%zu %.2f\n", rank, t);
-      series.add(t);
-    }
-    summaries.push_back(Summary{panel, series.min(), series.median(),
-                                series.percentile(95), series.max()});
+        PanelResult out;
+        append_format(out.text, "\n# series topology=%s contention=%s\n",
+                      core::to_string(panel.kind),
+                      contention_name(panel.stride));
+        append_format(out.text, "# rank time_us\n");
+        sim::Series series;
+        for (std::size_t rank = 0; rank < res.op_time_us.size(); ++rank) {
+          const double t = res.op_time_us[rank];
+          if (t < 0) continue;  // ranks sharing Rank 0's node are unmeasured
+          append_format(out.text, "%zu %.2f\n", rank, t);
+          series.add(t);
+        }
+        out.min = series.min();
+        out.med = series.median();
+        out.p95 = series.percentile(95);
+        out.max = series.max();
+        return out;
+      });
+
+  for (const auto& r : results) {
+    std::fputs(r.text.c_str(), stdout);
   }
 
   print_rule();
   std::printf("# summary (us): topology contention min median p95 max\n");
-  for (const auto& s : summaries) {
+  for (std::size_t i = 0; i < panels.size(); ++i) {
     std::printf("# %-9s %-5s %10.1f %10.1f %10.1f %10.1f\n",
-                core::to_string(s.spec.kind),
-                contention_name(s.spec.stride), s.min, s.med, s.p95,
-                s.max);
+                core::to_string(panels[i].kind),
+                contention_name(panels[i].stride), results[i].min,
+                results[i].med, results[i].p95, results[i].max);
   }
 }
 

@@ -5,16 +5,20 @@
 // Prints the four curves the paper plots plus the headline reduction
 // factors of Sec. V-A.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/memory_model.hpp"
 #include "core/topology.hpp"
+#include "sweep.hpp"
 
 using namespace vtopo;
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
   const std::int64_t max_procs = args.get_int("--max-procs", 12288);
+  const auto jobs = static_cast<unsigned>(
+      args.get_int("--jobs", bench::default_jobs()));
 
   core::MemoryParams mp;
   bench::print_header("Figure 5", "memory scalability of virtual topologies");
@@ -26,15 +30,27 @@ int main(int argc, char** argv) {
   std::printf("%10s %12s %12s %12s %12s\n", "processes", "FCG_MB",
               "MFCG_MB", "CFCG_MB", "Hypercube_MB");
 
+  std::vector<std::int64_t> proc_counts;
   for (std::int64_t procs = 768; procs <= max_procs; procs *= 2) {
-    const std::int64_t nodes = procs / mp.procs_per_node;
-    std::printf("%10lld", static_cast<long long>(procs));
-    for (const auto kind : core::all_topology_kinds()) {
-      const auto topo = core::VirtualTopology::make(kind, nodes);
-      std::printf(" %12.1f", core::master_process_rss_mb(topo, 0, mp));
-    }
-    std::printf("\n");
+    proc_counts.push_back(procs);
   }
+  // Each row builds four topologies from scratch — independent work, so
+  // rows run on the sweep pool and print in sweep order.
+  const auto rows = bench::run_sweep(
+      proc_counts.size(), jobs, [&](std::size_t i) {
+        const std::int64_t procs = proc_counts[i];
+        const std::int64_t nodes = procs / mp.procs_per_node;
+        std::string row;
+        bench::append_format(row, "%10lld", static_cast<long long>(procs));
+        for (const auto kind : core::all_topology_kinds()) {
+          const auto topo = core::VirtualTopology::make(kind, nodes);
+          bench::append_format(row, " %12.1f",
+                               core::master_process_rss_mb(topo, 0, mp));
+        }
+        bench::append_format(row, "\n");
+        return row;
+      });
+  for (const auto& row : rows) std::fputs(row.c_str(), stdout);
 
   bench::print_rule();
   const std::int64_t nodes = max_procs / mp.procs_per_node;

@@ -1,0 +1,201 @@
+// Hot-path throughput measurement: events/sec through the engine,
+// messages/sec through Network::send, and wall-clock for a Figure-7
+// style contention run. Writes BENCH_hotpath.json so later PRs have a
+// perf trajectory to regress against.
+//
+// The binary embeds a replica of the pre-overhaul engine (binary
+// std::priority_queue over events carrying std::function payloads) and
+// measures it alongside the current engine, so the speedup is computed
+// in one process on the same machine rather than across checkouts.
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "workloads/contention.hpp"
+
+namespace {
+
+using vtopo::sim::TimeNs;
+
+/// Pre-overhaul engine, verbatim from the seed tree (trimmed to the
+/// members the benchmark exercises).
+class LegacyEngine {
+ public:
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  void schedule_at(TimeNs t, std::function<void()> fn) {
+    assert(t >= now_ && "cannot schedule into the simulated past");
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  void schedule_after(TimeNs delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  TimeNs run() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+    }
+    return now_;
+  }
+
+ private:
+  struct Event {
+    TimeNs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// The measured event mix mirrors what the simulator actually generates:
+// timed events (network arrivals, sleeps) interleaved with zero-delay
+// hand-offs (coroutine resumptions — every AsyncQueue push, Future
+// fulfilment, and Semaphore release schedules at the current time).
+// Each timer firing spawns a two-deep resume chain and reschedules
+// itself, so two thirds of the executed events are same-time hand-offs.
+// Captures are three words, the size of a typical event callback.
+
+template <class EngineT>
+struct HandOff {
+  EngineT* eng;
+  std::int64_t* remaining;
+  std::int64_t chain;
+  void operator()() const {
+    if (--*remaining <= 0) return;
+    if (chain > 1) eng->schedule_after(0, HandOff{eng, remaining, chain - 1});
+  }
+};
+
+template <class EngineT>
+struct Timer {
+  EngineT* eng;
+  std::int64_t* remaining;
+  TimeNs delay;
+  void operator()() const {
+    if (--*remaining <= 0) return;
+    eng->schedule_after(0, HandOff<EngineT>{eng, remaining, 2});
+    eng->schedule_after(delay, *this);
+  }
+};
+
+/// Events/sec at a steady-state pending-timer population of `timers`.
+template <class EngineT>
+double measure_events_per_sec(std::int64_t total_events, int timers) {
+  EngineT eng;
+  std::int64_t remaining = total_events;
+  for (int i = 0; i < timers; ++i) {
+    // Co-prime-ish delays keep the heap genuinely unordered.
+    const auto delay = static_cast<TimeNs>(1 + (i * 2654435761u) % 97);
+    eng.schedule_after(delay, Timer<EngineT>{&eng, &remaining, delay});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  eng.run();
+  return static_cast<double>(total_events) / seconds_since(start);
+}
+
+double measure_msgs_per_sec(std::int64_t total_msgs) {
+  vtopo::sim::Engine eng;
+  vtopo::net::Network net(eng, 256);
+  vtopo::sim::Rng rng(7);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < total_msgs; ++i) {
+    const auto s = static_cast<vtopo::core::NodeId>(rng.uniform(256));
+    const auto d = static_cast<vtopo::core::NodeId>(rng.uniform(256));
+    net.send(s, d, 1024, s);
+  }
+  const double elapsed = seconds_since(start);
+  return static_cast<double>(total_msgs) / elapsed;
+}
+
+double measure_fig7_wallclock_ms(bool quick) {
+  vtopo::work::ClusterConfig cluster;
+  cluster.num_nodes = quick ? 16 : 64;
+  cluster.procs_per_node = 4;
+  cluster.topology = vtopo::core::TopologyKind::kMfcg;
+  vtopo::work::ContentionConfig cfg;
+  cfg.op = vtopo::work::ContentionConfig::Op::kFetchAdd;
+  cfg.iterations = quick ? 1 : 5;
+  cfg.contender_stride = 9;
+  const auto start = std::chrono::steady_clock::now();
+  const auto res = vtopo::work::run_contention(cluster, cfg);
+  const double ms = seconds_since(start) * 1e3;
+  if (res.op_time_us.empty()) std::fprintf(stderr, "empty fig7 result\n");
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vtopo::bench::Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const std::int64_t events =
+      args.get_int("--events", quick ? 400'000 : 8'000'000);
+  const std::int64_t msgs = args.get_int("--msgs", quick ? 100'000 : 2'000'000);
+  const int timers = static_cast<int>(args.get_int("--timers", 256));
+  const std::string out_path =
+      args.get_string("--out", "BENCH_hotpath.json");
+
+  vtopo::bench::print_header("hotpath_bench",
+                             "simulator hot-path throughput");
+
+  const double legacy_eps =
+      measure_events_per_sec<LegacyEngine>(events, timers);
+  const double eps =
+      measure_events_per_sec<vtopo::sim::Engine>(events, timers);
+  const double mps = measure_msgs_per_sec(msgs);
+  const double fig7_ms = measure_fig7_wallclock_ms(quick);
+
+  std::printf("events_per_sec        %.3e\n", eps);
+  std::printf("legacy_events_per_sec %.3e\n", legacy_eps);
+  std::printf("engine_speedup        %.2fx\n", eps / legacy_eps);
+  std::printf("msgs_per_sec          %.3e\n", mps);
+  std::printf("fig7_wallclock_ms     %.1f\n", fig7_ms);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"msgs_per_sec\": %.1f,\n"
+               "  \"fig7_wallclock_ms\": %.3f,\n"
+               "  \"legacy_events_per_sec\": %.1f,\n"
+               "  \"engine_speedup\": %.3f\n"
+               "}\n",
+               eps, mps, fig7_ms, legacy_eps, eps / legacy_eps);
+  std::fclose(f);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -6,10 +6,13 @@
 #include "core/dependency_graph.hpp"
 #include "core/topology.hpp"
 #include "net/network.hpp"
+#include "net/stream_lru.hpp"
 #include "net/torus.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/rng.hpp"
 #include "sim/task.hpp"
+#include "sweep.hpp"
 
 using namespace vtopo;
 
@@ -91,6 +94,67 @@ static void BM_TorusRouteLinks(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TorusRouteLinks)->Arg(256)->Arg(4096);
+
+static void BM_TorusForEachRouteLink(benchmark::State& state) {
+  const net::TorusGeometry torus(state.range(0));
+  sim::Rng rng(4);
+  const auto n = static_cast<std::uint64_t>(torus.num_slots());
+  for (auto _ : state) {
+    const auto a = static_cast<std::int64_t>(rng.uniform(n));
+    const auto b = static_cast<std::int64_t>(rng.uniform(n));
+    net::LinkId acc = 0;
+    torus.for_each_route_link(a, b, [&acc](net::LinkId l) { acc ^= l; });
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TorusForEachRouteLink)->Arg(256)->Arg(4096);
+
+static void BM_InlineFnScheduleRun(benchmark::State& state) {
+  // Same shape as BM_EngineScheduleRun but with a capture that fills the
+  // inline buffer, stressing the SBO path rather than empty lambdas.
+  struct Payload {
+    std::uint64_t a, b, c, d;
+  };
+  for (auto _ : state) {
+    sim::Engine eng;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      Payload p{static_cast<std::uint64_t>(i), 1, 2, 3};
+      eng.schedule_at(i, [p, &sink] { sink += p.a + p.b + p.c + p.d; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_InlineFnScheduleRun);
+
+static void BM_StreamLruTouch(benchmark::State& state) {
+  net::StreamLru lru;
+  lru.set_capacity(128);
+  sim::Rng rng(6);
+  // Twice the capacity of distinct streams => steady-state evictions.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lru.touch(static_cast<std::int64_t>(rng.uniform(256))));
+  }
+}
+BENCHMARK(BM_StreamLruTouch);
+
+static void BM_ParallelSweep(benchmark::State& state) {
+  // End-to-end harness cost: 16 independent mini-engines per sweep.
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const auto out = bench::run_sweep(16, jobs, [](std::size_t i) {
+      sim::Engine eng;
+      for (int e = 0; e < 200; ++e) {
+        eng.schedule_at(static_cast<sim::TimeNs>(e + i), [] {});
+      }
+      return eng.run();
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(4);
 
 static void BM_NetworkSend(benchmark::State& state) {
   sim::Engine eng;

@@ -1,0 +1,58 @@
+// Parallel deterministic sweep harness.
+//
+// Every figure is produced by sweeping the simulator over independent
+// configuration points (process counts, topologies, contention levels),
+// and each point builds its own Engine with its own seed — so points
+// can run on a thread pool with zero shared state. Workers format their
+// output into per-point buffers; the harness returns results indexed by
+// sweep point, so printing them in order yields byte-identical output
+// regardless of the job count.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vtopo::bench {
+
+/// Default parallelism for --jobs: one worker per hardware thread.
+inline unsigned default_jobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+/// Run `count` independent sweep points and return their results in
+/// sweep order. `point(i)` must depend only on `i` (no shared mutable
+/// state), which makes the result — and therefore any output printed
+/// from it — independent of `jobs`. With jobs <= 1 the sweep runs
+/// serially on the calling thread.
+template <class Fn>
+auto run_sweep(std::size_t count, unsigned jobs, Fn&& point)
+    -> std::vector<decltype(point(std::size_t{0}))> {
+  using Result = decltype(point(std::size_t{0}));
+  std::vector<Result> results(count);
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = point(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers =
+      jobs < count ? static_cast<std::size_t>(jobs) : count;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        results[i] = point(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+}  // namespace vtopo::bench

@@ -32,25 +32,14 @@ Network::Network(sim::Engine& eng, std::int64_t num_nodes,
   }
   link_free_.assign(static_cast<std::size_t>(torus_.num_links()), 0);
   streams_.resize(static_cast<std::size_t>(num_nodes));
+  for (auto& table : streams_) table.set_capacity(params_.stream_table_size);
 }
 
 bool Network::stream_miss(core::NodeId dst, StreamKey stream) {
-  StreamTable& table = streams_[static_cast<std::size_t>(dst)];
-  auto it = table.index.find(stream);
-  if (it != table.index.end()) {
-    table.lru.splice(table.lru.begin(), table.lru, it->second);
-    return false;
-  }
-  bool miss = false;
-  if (static_cast<int>(table.lru.size()) >= params_.stream_table_size) {
-    // Tear down the coldest stream to make room (BEER flow control).
-    table.index.erase(table.lru.back());
-    table.lru.pop_back();
-    miss = true;
-    ++stream_misses_;
-  }
-  table.lru.push_front(stream);
-  table.index.emplace(stream, table.lru.begin());
+  // A miss on a full table tears down the coldest stream (BEER flow
+  // control) and pays the penalty at the ejection port.
+  const bool miss = streams_[static_cast<std::size_t>(dst)].touch(stream);
+  if (miss) ++stream_misses_;
   return miss;
 }
 
@@ -80,9 +69,8 @@ sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
   };
 
   cross(torus_.injection_link(sslot), nic_ser);
-  for (const LinkId link : torus_.route_links(sslot, dslot)) {
-    cross(link, link_ser);
-  }
+  torus_.for_each_route_link(
+      sslot, dslot, [&](LinkId link) { cross(link, link_ser); });
   // Ejection: the message has fully arrived only after it serializes
   // through the destination NIC. A stream-table miss adds the BEER
   // flow-control penalty to the NIC's occupancy.
@@ -97,7 +85,7 @@ sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
 
 void Network::deliver(core::NodeId src, core::NodeId dst,
                       std::int64_t bytes, StreamKey stream,
-                      std::function<void()> on_arrival) {
+                      sim::InlineFn on_arrival) {
   const sim::TimeNs arrival = send(src, dst, bytes, stream);
   eng_->schedule_at(arrival, std::move(on_arrival));
 }

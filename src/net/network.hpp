@@ -9,15 +9,14 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "core/coords.hpp"
 #include "net/params.hpp"
+#include "net/stream_lru.hpp"
 #include "net/torus.hpp"
 #include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/task.hpp"
 
 namespace vtopo::net {
@@ -47,7 +46,7 @@ class Network {
 
   /// send() plus scheduling `on_arrival` at the arrival time.
   void deliver(core::NodeId src, core::NodeId dst, std::int64_t bytes,
-               StreamKey stream, std::function<void()> on_arrival);
+               StreamKey stream, sim::InlineFn on_arrival);
 
   /// Awaitable form: suspends the calling coroutine until arrival.
   [[nodiscard]] sim::Sleep transfer(core::NodeId src, core::NodeId dst,
@@ -71,11 +70,6 @@ class Network {
                                     bandwidth);
   }
 
-  /// LRU message-stream table of one NIC.
-  struct StreamTable {
-    std::list<StreamKey> lru;  // front = most recent
-    std::unordered_map<StreamKey, std::list<StreamKey>::iterator> index;
-  };
   /// Touch `stream` at destination `dst`; true when the access missed a
   /// full table (BEER penalty applies).
   bool stream_miss(core::NodeId dst, StreamKey stream);
@@ -85,7 +79,7 @@ class Network {
   TorusGeometry torus_;
   std::vector<std::int64_t> slot_of_node_;
   std::vector<sim::TimeNs> link_free_;
-  std::vector<StreamTable> streams_;
+  std::vector<StreamLru> streams_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_total_ = 0;
   std::uint64_t stream_misses_ = 0;

@@ -1,0 +1,162 @@
+// Flat-array LRU for the NIC message-stream table.
+//
+// The previous implementation kept recency order in a std::list with an
+// unordered_map of iterators, paying one node allocation per stream
+// insert on the send hot path. This version stores entries in fixed
+// flat arrays (intrusive doubly-linked recency list over entry indices)
+// with an open-addressing index, so a table at steady state performs no
+// allocations at all. Storage is allocated lazily on first touch, so
+// idle NICs in a large cluster cost only the empty struct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vtopo::net {
+
+class StreamLru {
+ public:
+  using Key = std::int64_t;
+
+  /// Set the capacity (SeaStar stream-table size). Resets the table.
+  void set_capacity(int capacity) {
+    cap_ = capacity;
+    keys_.clear();
+    prev_.clear();
+    next_.clear();
+    table_.clear();
+    head_ = tail_ = -1;
+    size_ = 0;
+  }
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int capacity() const { return cap_; }
+
+  /// Touch `key`, making it the most-recent stream. Returns true when
+  /// the key was absent and the table was full, i.e. an old stream had
+  /// to be torn down to make room (the BEER-penalty case).
+  bool touch(Key key) {
+    if (cap_ <= 0) return true;  // degenerate table: every access misses
+    if (table_.empty()) allocate();
+    const std::size_t mask = table_.size() - 1;
+    for (std::size_t h = hash(key) & mask; table_[h] != -1;
+         h = (h + 1) & mask) {
+      const std::int32_t e = table_[h];
+      if (keys_[static_cast<std::size_t>(e)] == key) {
+        move_to_front(e);
+        return false;
+      }
+    }
+    bool evicted = false;
+    std::int32_t e;
+    if (size_ < cap_) {
+      e = size_++;
+    } else {
+      // Tear down the coldest stream to make room.
+      e = tail_;
+      erase_index(e);
+      tail_ = prev_[static_cast<std::size_t>(e)];
+      if (tail_ != -1) {
+        next_[static_cast<std::size_t>(tail_)] = -1;
+      } else {
+        head_ = -1;
+      }
+      evicted = true;
+    }
+    keys_[static_cast<std::size_t>(e)] = key;
+    link_front(e);
+    insert_index(e);
+    return evicted;
+  }
+
+ private:
+  void allocate() {
+    const auto ucap = static_cast<std::size_t>(cap_);
+    keys_.assign(ucap, 0);
+    prev_.assign(ucap, -1);
+    next_.assign(ucap, -1);
+    // Power-of-two index sized for load factor <= 0.5, so linear-probe
+    // chains stay short and backward-shift deletion stays cheap.
+    std::size_t buckets = 4;
+    while (buckets < ucap * 2) buckets <<= 1;
+    table_.assign(buckets, -1);
+  }
+
+  static std::size_t hash(Key key) {
+    // splitmix64 finalizer: cheap and well-mixed for sequential ids.
+    auto x = static_cast<std::uint64_t>(key);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+
+  void link_front(std::int32_t e) {
+    prev_[static_cast<std::size_t>(e)] = -1;
+    next_[static_cast<std::size_t>(e)] = head_;
+    if (head_ != -1) prev_[static_cast<std::size_t>(head_)] = e;
+    head_ = e;
+    if (tail_ == -1) tail_ = e;
+  }
+
+  void move_to_front(std::int32_t e) {
+    if (head_ == e) return;
+    const auto ue = static_cast<std::size_t>(e);
+    const std::int32_t p = prev_[ue];
+    const std::int32_t n = next_[ue];
+    next_[static_cast<std::size_t>(p)] = n;
+    if (n != -1) {
+      prev_[static_cast<std::size_t>(n)] = p;
+    } else {
+      tail_ = p;
+    }
+    link_front(e);
+  }
+
+  void insert_index(std::int32_t e) {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t h = hash(keys_[static_cast<std::size_t>(e)]) & mask;
+    while (table_[h] != -1) h = (h + 1) & mask;
+    table_[h] = e;
+  }
+
+  /// Remove entry `e` from the open-addressing index with backward-shift
+  /// deletion (no tombstones, so probe chains never degrade).
+  void erase_index(std::int32_t e) {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(keys_[static_cast<std::size_t>(e)]) & mask;
+    while (table_[i] != e) i = (i + 1) & mask;
+    for (;;) {
+      table_[i] = -1;
+      std::size_t j = i;
+      for (;;) {
+        j = (j + 1) & mask;
+        if (table_[j] == -1) return;
+        const std::size_t home =
+            hash(keys_[static_cast<std::size_t>(table_[j])]) & mask;
+        // Shift table_[j] into the hole unless its home position lies in
+        // the cyclic interval (i, j] (in which case the hole does not
+        // break its probe chain).
+        const bool keep = (i < j) ? (home > i && home <= j)
+                                  : (home > i || home <= j);
+        if (!keep) {
+          table_[i] = table_[j];
+          i = j;
+          break;
+        }
+      }
+    }
+  }
+
+  int cap_ = 0;
+  int size_ = 0;
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+  std::vector<Key> keys_;
+  std::vector<std::int32_t> prev_;
+  std::vector<std::int32_t> next_;
+  std::vector<std::int32_t> table_;  // open-addressing: entry index or -1
+};
+
+}  // namespace vtopo::net

@@ -39,19 +39,6 @@ std::int64_t TorusGeometry::slot_of(
              (c[1] + static_cast<std::int64_t>(dims_[1]) * c[2]);
 }
 
-namespace {
-
-/// Signed shortest displacement from a to b on a ring of size n:
-/// result in (-n/2, n/2].
-std::int32_t ring_delta(std::int32_t a, std::int32_t b, std::int32_t n) {
-  std::int32_t d = (b - a) % n;
-  if (d < 0) d += n;
-  if (d > n / 2) d -= n;
-  return d;
-}
-
-}  // namespace
-
 int TorusGeometry::hop_distance(std::int64_t a, std::int64_t b) const {
   std::array<std::int32_t, 3> ca{};
   std::array<std::int32_t, 3> cb{};
@@ -59,9 +46,9 @@ int TorusGeometry::hop_distance(std::int64_t a, std::int64_t b) const {
   slot_coords(b, cb);
   int hops = 0;
   for (int i = 0; i < 3; ++i) {
-    hops += std::abs(ring_delta(ca[static_cast<std::size_t>(i)],
-                                cb[static_cast<std::size_t>(i)],
-                                dims_[static_cast<std::size_t>(i)]));
+    hops += std::abs(detail::ring_delta(ca[static_cast<std::size_t>(i)],
+                                        cb[static_cast<std::size_t>(i)],
+                                        dims_[static_cast<std::size_t>(i)]));
   }
   return hops;
 }
@@ -69,26 +56,7 @@ int TorusGeometry::hop_distance(std::int64_t a, std::int64_t b) const {
 std::vector<LinkId> TorusGeometry::route_links(std::int64_t a,
                                                std::int64_t b) const {
   std::vector<LinkId> links;
-  if (a == b) return links;
-  std::array<std::int32_t, 3> cur{};
-  std::array<std::int32_t, 3> dst{};
-  slot_coords(a, cur);
-  slot_coords(b, dst);
-  // Dimension-order: fully correct X, then Y, then Z, stepping one hop
-  // at a time in the shorter wraparound direction.
-  for (int dim = 0; dim < 3; ++dim) {
-    const auto ud = static_cast<std::size_t>(dim);
-    const std::int32_t n = dims_[ud];
-    std::int32_t delta = ring_delta(cur[ud], dst[ud], n);
-    while (delta != 0) {
-      const int step = delta > 0 ? 1 : -1;
-      const int dir = 2 * dim + (step > 0 ? 0 : 1);
-      links.push_back(directional_link(slot_of(cur), dir));
-      cur[ud] = (cur[ud] + step + n) % n;
-      delta -= step;
-    }
-  }
-  assert(slot_of(cur) == b);
+  for_each_route_link(a, b, [&links](LinkId link) { links.push_back(link); });
   return links;
 }
 

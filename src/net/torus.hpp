@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -15,6 +16,20 @@ namespace vtopo::net {
 
 /// Index of a directed physical link.
 using LinkId = std::int64_t;
+
+namespace detail {
+
+/// Signed shortest displacement from a to b on a ring of size n:
+/// result in (-n/2, n/2].
+inline std::int32_t ring_delta(std::int32_t a, std::int32_t b,
+                               std::int32_t n) {
+  std::int32_t d = (b - a) % n;
+  if (d < 0) d += n;
+  if (d > n / 2) d -= n;
+  return d;
+}
+
+}  // namespace detail
 
 class TorusGeometry {
  public:
@@ -44,8 +59,52 @@ class TorusGeometry {
 
   /// Directed torus links crossed by a dimension-order route a -> b
   /// (excludes NIC ports). Empty when a == b.
+  ///
+  /// Allocates a vector per call; the hot path (Network::send) uses
+  /// for_each_route_link instead. Kept as the convenient/testable form
+  /// and delegates to the callback walker so both stay equivalent.
   [[nodiscard]] std::vector<LinkId> route_links(std::int64_t a,
                                                 std::int64_t b) const;
+
+  /// Invoke `fn(LinkId)` for every directed torus link crossed by the
+  /// dimension-order route a -> b, in route order, without allocating.
+  /// The slot index is maintained incrementally (one add plus a wrap
+  /// fix-up per hop) instead of re-linearizing coordinates every hop.
+  template <class Fn>
+  void for_each_route_link(std::int64_t a, std::int64_t b, Fn&& fn) const {
+    if (a == b) return;
+    std::array<std::int32_t, 3> cur{};
+    std::array<std::int32_t, 3> dst{};
+    slot_coords(a, cur);
+    slot_coords(b, dst);
+    const std::int64_t stride[3] = {
+        1, dims_[0], static_cast<std::int64_t>(dims_[0]) * dims_[1]};
+    std::int64_t slot = a;
+    // Dimension-order: fully correct X, then Y, then Z, stepping one hop
+    // at a time in the shorter wraparound direction.
+    for (int dim = 0; dim < 3; ++dim) {
+      const auto ud = static_cast<std::size_t>(dim);
+      const std::int32_t n = dims_[ud];
+      std::int32_t delta = detail::ring_delta(cur[ud], dst[ud], n);
+      while (delta != 0) {
+        const int step = delta > 0 ? 1 : -1;
+        const int dir = 2 * dim + (step > 0 ? 0 : 1);
+        fn(directional_link(slot, dir));
+        std::int32_t c = cur[ud] + step;
+        slot += step * stride[ud];
+        if (c == n) {
+          c = 0;
+          slot -= static_cast<std::int64_t>(n) * stride[ud];
+        } else if (c < 0) {
+          c = n - 1;
+          slot += static_cast<std::int64_t>(n) * stride[ud];
+        }
+        cur[ud] = c;
+        delta -= step;
+      }
+    }
+    assert(slot == b && "dimension-order walk must land on destination");
+  }
 
   [[nodiscard]] LinkId injection_link(std::int64_t slot) const {
     return slot * kLinksPerSlot + 6;

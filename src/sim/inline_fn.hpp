@@ -1,0 +1,120 @@
+// Small-buffer-optimized move-only callable for the event hot path.
+//
+// `std::function` heap-allocates for captures beyond ~2 pointers and
+// double-dispatches through a type-erased manager. Event callbacks are
+// almost always tiny (a coroutine handle, a couple of pointers), so
+// InlineFn stores captures up to kInlineBytes in place and touches the
+// heap only for oversized captures. It is move-only, which also lets it
+// hold move-only captures (e.g. std::unique_ptr) that std::function
+// rejects.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vtopo::sim {
+
+class InlineFn {
+ public:
+  /// Captures up to this size (and max_align_t alignment) live in the
+  /// object itself; larger ones fall back to one heap allocation.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineFn() noexcept = default;
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking empty InlineFn");
+    ops_->invoke(storage_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct into dst from src, then destroy src's object.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <class D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*static_cast<D*>(s))(); },
+      [](void* src, void* dst) noexcept {
+        D* obj = static_cast<D*>(src);
+        ::new (dst) D(std::move(*obj));
+        obj->~D();
+      },
+      [](void* s) noexcept { static_cast<D*>(s)->~D(); },
+  };
+
+  template <class D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**static_cast<D**>(s))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* s) noexcept { delete *static_cast<D**>(s); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace vtopo::sim

@@ -22,6 +22,8 @@ class AsyncQueue {
     items_.push_back(std::move(item));
     if (consumer_) {
       auto h = std::exchange(consumer_, nullptr);
+      // The resume thunk fits InlineFn's inline storage, so waking the
+      // consumer costs no allocation per push.
       eng_->schedule_after(0, [h] { h.resume(); });
     }
   }

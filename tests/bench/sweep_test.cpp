@@ -1,0 +1,70 @@
+// The parallel sweep harness must produce output byte-identical to a
+// serial run: results return indexed by sweep point regardless of which
+// worker computed them or in what order they finished.
+#include "sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace vtopo::bench {
+namespace {
+
+/// A sweep point doing real simulator work: its own engine, its own
+/// seed, formatted output — the shape every figure bench uses.
+std::string simulate_point(std::size_t i) {
+  sim::Engine eng;
+  sim::Rng rng(0xabcdULL + i);
+  std::int64_t acc = 0;
+  for (int e = 0; e < 500; ++e) {
+    const auto t = static_cast<sim::TimeNs>(rng.uniform(1000));
+    eng.schedule_at(t, [&acc, e] { acc += e; });
+  }
+  eng.run();
+  std::string out;
+  append_format(out, "point %zu end=%lld acc=%lld events=%llu\n", i,
+                static_cast<long long>(eng.now()),
+                static_cast<long long>(acc),
+                static_cast<unsigned long long>(eng.events_executed()));
+  return out;
+}
+
+TEST(Sweep, ParallelOutputByteIdenticalToSerial) {
+  const auto serial = run_sweep(24, 1, simulate_point);
+  for (const unsigned jobs : {2u, 4u, 8u}) {
+    const auto parallel = run_sweep(24, jobs, simulate_point);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i]) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(Sweep, ResultsIndexedBySweepPoint) {
+  const auto out =
+      run_sweep(100, 8, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(Sweep, MoreJobsThanPointsIsFine) {
+  const auto out = run_sweep(3, 64, [](std::size_t i) { return i + 1; });
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(Sweep, ZeroPoints) {
+  const auto out = run_sweep(0, 4, [](std::size_t) { return 0; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Sweep, DefaultJobsPositive) { EXPECT_GE(default_jobs(), 1u); }
+
+}  // namespace
+}  // namespace vtopo::bench

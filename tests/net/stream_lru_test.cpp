@@ -1,0 +1,88 @@
+#include "net/stream_lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "sim/rng.hpp"
+
+namespace vtopo::net {
+namespace {
+
+/// Reference model: the pre-overhaul std::list + iterator-map LRU.
+class ModelLru {
+ public:
+  explicit ModelLru(int capacity) : cap_(capacity) {}
+
+  bool touch(std::int64_t key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return false;
+    }
+    bool miss = false;
+    if (static_cast<int>(lru_.size()) >= cap_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+      miss = true;
+    }
+    lru_.push_front(key);
+    index_.emplace(key, lru_.begin());
+    return miss;
+  }
+
+ private:
+  int cap_;
+  std::list<std::int64_t> lru_;
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator>
+      index_;
+};
+
+TEST(StreamLru, HitMissEvictMatchModelUnderRandomTraffic) {
+  for (const int cap : {1, 2, 3, 8, 32, 128}) {
+    StreamLru flat;
+    flat.set_capacity(cap);
+    ModelLru model(cap);
+    sim::Rng rng(0x5eedULL + static_cast<std::uint64_t>(cap));
+    // Key universe 3x capacity => steady mix of hits and evictions.
+    const auto universe = static_cast<std::uint64_t>(cap) * 3;
+    for (int i = 0; i < 20000; ++i) {
+      const auto key = static_cast<std::int64_t>(rng.uniform(universe));
+      ASSERT_EQ(flat.touch(key), model.touch(key))
+          << "cap=" << cap << " step=" << i << " key=" << key;
+    }
+  }
+}
+
+TEST(StreamLru, EvictsLeastRecentlyTouched) {
+  StreamLru lru;
+  lru.set_capacity(2);
+  EXPECT_FALSE(lru.touch(1));  // fills
+  EXPECT_FALSE(lru.touch(2));  // fills
+  EXPECT_FALSE(lru.touch(1));  // hit: 1 becomes most recent
+  EXPECT_TRUE(lru.touch(3));   // evicts 2
+  EXPECT_FALSE(lru.touch(1));  // 1 survived
+  EXPECT_TRUE(lru.touch(2));   // 2 was evicted
+}
+
+TEST(StreamLru, ZeroCapacityAlwaysMisses) {
+  StreamLru lru;
+  lru.set_capacity(0);
+  EXPECT_TRUE(lru.touch(1));
+  EXPECT_TRUE(lru.touch(1));
+}
+
+TEST(StreamLru, SizeTracksDistinctStreams) {
+  StreamLru lru;
+  lru.set_capacity(4);
+  for (std::int64_t k = 0; k < 3; ++k) lru.touch(k);
+  EXPECT_EQ(lru.size(), 3);
+  lru.touch(0);
+  EXPECT_EQ(lru.size(), 3);
+  for (std::int64_t k = 10; k < 20; ++k) lru.touch(k);
+  EXPECT_EQ(lru.size(), 4);
+}
+
+}  // namespace
+}  // namespace vtopo::net

@@ -3,9 +3,45 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
 
 namespace vtopo::net {
 namespace {
+
+/// Independent reference for dimension-order routing: re-linearizes the
+/// full coordinate vector on every hop (the pre-overhaul algorithm),
+/// against which the incremental-slot walker is checked.
+std::vector<LinkId> reference_route(const TorusGeometry& t, std::int64_t a,
+                                    std::int64_t b) {
+  std::vector<LinkId> links;
+  if (a == b) return links;
+  std::array<std::int32_t, 3> cur{};
+  std::array<std::int32_t, 3> dst{};
+  t.slot_coords(a, cur);
+  t.slot_coords(b, dst);
+  for (int dim = 0; dim < 3; ++dim) {
+    const auto ud = static_cast<std::size_t>(dim);
+    const std::int32_t n = t.dims()[ud];
+    std::int32_t delta = detail::ring_delta(cur[ud], dst[ud], n);
+    while (delta != 0) {
+      const int step = delta > 0 ? 1 : -1;
+      const int dir = 2 * dim + (step > 0 ? 0 : 1);
+      links.push_back(t.slot_of(cur) * TorusGeometry::kLinksPerSlot + dir);
+      cur[ud] = (cur[ud] + step + n) % n;
+      delta -= step;
+    }
+  }
+  return links;
+}
+
+std::vector<LinkId> collect_route(const TorusGeometry& t, std::int64_t a,
+                                  std::int64_t b) {
+  std::vector<LinkId> links;
+  t.for_each_route_link(a, b, [&links](LinkId l) { links.push_back(l); });
+  return links;
+}
 
 TEST(Torus, NearCubicAutoShape) {
   TorusGeometry t(27);
@@ -115,6 +151,57 @@ TEST(Torus, DimensionOrderXThenYThenZ) {
   EXPECT_EQ(links[1], 1 * TorusGeometry::kLinksPerSlot + 2);
   // Third leaves slot (1,1,0)=5 in +z (dir 4).
   EXPECT_EQ(links[2], 5 * TorusGeometry::kLinksPerSlot + 4);
+}
+
+TEST(Torus, ForEachRouteLinkMatchesReferenceExhaustiveSmallTori) {
+  const std::array<std::array<std::int32_t, 3>, 8> shapes = {{
+      {1, 1, 1},
+      {2, 1, 1},
+      {2, 2, 2},
+      {3, 2, 1},
+      {4, 3, 2},
+      {3, 3, 3},
+      {5, 2, 3},
+      {4, 4, 4},
+  }};
+  for (const auto& s : shapes) {
+    const TorusGeometry t(s[0], s[1], s[2]);
+    for (std::int64_t a = 0; a < t.num_slots(); ++a) {
+      for (std::int64_t b = 0; b < t.num_slots(); ++b) {
+        EXPECT_EQ(collect_route(t, a, b), reference_route(t, a, b))
+            << s[0] << "x" << s[1] << "x" << s[2] << ": " << a << "->"
+            << b;
+      }
+    }
+  }
+}
+
+TEST(Torus, ForEachRouteLinkMatchesReferenceSampledLargeTori) {
+  sim::Rng rng(0x70f5ULL);
+  for (const auto& s : {std::array<std::int32_t, 3>{16, 16, 8},
+                        std::array<std::int32_t, 3>{24, 17, 11},
+                        std::array<std::int32_t, 3>{32, 1, 9}}) {
+    const TorusGeometry t(s[0], s[1], s[2]);
+    const auto n = static_cast<std::uint64_t>(t.num_slots());
+    for (int i = 0; i < 2000; ++i) {
+      const auto a = static_cast<std::int64_t>(rng.uniform(n));
+      const auto b = static_cast<std::int64_t>(rng.uniform(n));
+      ASSERT_EQ(collect_route(t, a, b), reference_route(t, a, b))
+          << a << "->" << b;
+    }
+  }
+}
+
+TEST(Torus, RouteLinksDelegatesToForEach) {
+  const TorusGeometry t(6, 5, 4);
+  sim::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto a =
+        static_cast<std::int64_t>(rng.uniform(120));
+    const auto b =
+        static_cast<std::int64_t>(rng.uniform(120));
+    EXPECT_EQ(t.route_links(a, b), collect_route(t, a, b));
+  }
 }
 
 TEST(Torus, NegativeDirectionUsedForShorterWay) {

@@ -1,0 +1,96 @@
+#include "sim/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace vtopo::sim {
+namespace {
+
+TEST(InlineFn, DefaultIsEmpty) {
+  InlineFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFn, InvokesSmallCapture) {
+  int hits = 0;
+  InlineFn fn([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, MoveTransfersAndEmptiesSource) {
+  int hits = 0;
+  InlineFn a([&hits] { ++hits; });
+  InlineFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousTarget) {
+  auto tracker = std::make_shared<int>(0);
+  InlineFn a([tracker] { ++*tracker; });
+  EXPECT_EQ(tracker.use_count(), 2);
+  a = InlineFn([] {});
+  EXPECT_EQ(tracker.use_count(), 1);  // old capture destroyed
+}
+
+TEST(InlineFn, DestructorReleasesCapture) {
+  auto tracker = std::make_shared<int>(0);
+  {
+    InlineFn fn([tracker] { ++*tracker; });
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InlineFn, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(41);
+  int seen = 0;
+  InlineFn fn([p = std::move(p), &seen] { seen = ++*p; });
+  fn();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToHeap) {
+  // > kInlineBytes of capture: must still work (heap path) and destroy
+  // the capture exactly once.
+  std::array<std::uint64_t, 16> big{};
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i;
+  static_assert(sizeof(big) > InlineFn::kInlineBytes);
+  auto tracker = std::make_shared<int>(0);
+  std::uint64_t sum = 0;
+  {
+    InlineFn fn([big, tracker, &sum] {
+      for (const auto v : big) sum += v;
+    });
+    EXPECT_EQ(tracker.use_count(), 2);
+    fn();
+    // Moving the heap-backed callable moves the pointer, not the object.
+    InlineFn moved(std::move(fn));
+    moved();
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+  EXPECT_EQ(sum, 240u);  // 2 * (0 + 1 + ... + 15)
+}
+
+TEST(InlineFn, AcceptsCopyableLvalueCallable) {
+  int hits = 0;
+  std::function<void()> original = [&hits] { ++hits; };
+  InlineFn fn(original);  // copies; original stays usable
+  fn();
+  original();
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace vtopo::sim
