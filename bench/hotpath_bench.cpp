@@ -7,6 +7,7 @@
 // std::priority_queue over events carrying std::function payloads) and
 // measures it alongside the current engine, so the speedup is computed
 // in one process on the same machine rather than across checkouts.
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdint>
@@ -18,8 +19,11 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "workloads/contention.hpp"
@@ -137,6 +141,48 @@ double measure_msgs_per_sec(std::int64_t total_msgs) {
   return static_cast<double>(total_msgs) / elapsed;
 }
 
+/// Runtime-path section: full ARMCI fetch-&-add round trips (request
+/// pool, coroutine frames, credit probe, CHT service, response future)
+/// on a 16-node MFCG cluster, with the pool counters that show the path
+/// running allocation-free once warm.
+struct RuntimePath {
+  double ops_per_sec = 0;
+  double request_reuse_frac = 0;
+  double frame_reuse_frac = 0;
+};
+
+RuntimePath measure_runtime_path(std::int64_t total_ops) {
+  vtopo::sim::Engine eng;
+  vtopo::armci::Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 4;
+  cfg.topology = vtopo::core::TopologyKind::kMfcg;
+  vtopo::armci::Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  const int per_proc = static_cast<int>(total_ops / rt.num_procs());
+  const std::uint64_t fc0 = vtopo::sim::FramePool::created();
+  const std::uint64_t fr0 = vtopo::sim::FramePool::reused();
+  const auto start = std::chrono::steady_clock::now();
+  rt.spawn_all([off, per_proc](vtopo::armci::Proc& p)
+                   -> vtopo::sim::Co<void> {
+    for (int k = 0; k < per_proc; ++k) {
+      co_await p.fetch_add(vtopo::armci::GAddr{0, off}, 1);
+    }
+  });
+  rt.run_all();
+  RuntimePath r;
+  r.ops_per_sec = static_cast<double>(per_proc * rt.num_procs()) /
+                  seconds_since(start);
+  const double req_created =
+      static_cast<double>(rt.request_pool().created());
+  const double req_reused = static_cast<double>(rt.request_pool().reused());
+  r.request_reuse_frac = req_reused / std::max(1.0, req_created + req_reused);
+  const double fc = static_cast<double>(vtopo::sim::FramePool::created() - fc0);
+  const double fr = static_cast<double>(vtopo::sim::FramePool::reused() - fr0);
+  r.frame_reuse_frac = fr / std::max(1.0, fc + fr);
+  return r;
+}
+
 double measure_fig7_wallclock_ms(bool quick) {
   vtopo::work::ClusterConfig cluster;
   cluster.num_nodes = quick ? 16 : 64;
@@ -173,12 +219,17 @@ int main(int argc, char** argv) {
   const double eps =
       measure_events_per_sec<vtopo::sim::Engine>(events, timers);
   const double mps = measure_msgs_per_sec(msgs);
+  const RuntimePath path =
+      measure_runtime_path(args.get_int("--path-ops", quick ? 6'400 : 64'000));
   const double fig7_ms = measure_fig7_wallclock_ms(quick);
 
   std::printf("events_per_sec        %.3e\n", eps);
   std::printf("legacy_events_per_sec %.3e\n", legacy_eps);
   std::printf("engine_speedup        %.2fx\n", eps / legacy_eps);
   std::printf("msgs_per_sec          %.3e\n", mps);
+  std::printf("fetchadd_ops_per_sec  %.3e\n", path.ops_per_sec);
+  std::printf("request_reuse_frac    %.4f\n", path.request_reuse_frac);
+  std::printf("frame_reuse_frac      %.4f\n", path.frame_reuse_frac);
   std::printf("fig7_wallclock_ms     %.1f\n", fig7_ms);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -192,9 +243,14 @@ int main(int argc, char** argv) {
                "  \"msgs_per_sec\": %.1f,\n"
                "  \"fig7_wallclock_ms\": %.3f,\n"
                "  \"legacy_events_per_sec\": %.1f,\n"
-               "  \"engine_speedup\": %.3f\n"
+               "  \"engine_speedup\": %.3f,\n"
+               "  \"fetchadd_ops_per_sec\": %.1f,\n"
+               "  \"request_reuse_frac\": %.4f,\n"
+               "  \"frame_reuse_frac\": %.4f\n"
                "}\n",
-               eps, mps, fig7_ms, legacy_eps, eps / legacy_eps);
+               eps, mps, fig7_ms, legacy_eps, eps / legacy_eps,
+               path.ops_per_sec, path.request_reuse_frac,
+               path.frame_reuse_frac);
   std::fclose(f);
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;

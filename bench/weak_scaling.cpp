@@ -1,0 +1,245 @@
+// Weak-scaling sweep of the Figure-7 hot-spot workload: N processes
+// (1k -> 64k) each issue K fetch-&-adds on one counter owned by rank 0,
+// across the four virtual topologies. Reports wall-clock, simulated
+// time, protocol counters, and peak RSS per point, plus the
+// allocation-free runtime-path throughput numbers, into
+// BENCH_runtime.json.
+//
+// Unlike the figure benches this is a *flood* (no turn-taking barrier
+// between ranks): host-side work is O(N * K), which is what makes the
+// 64k-process points tractable on one core. FCG is swept only to 4k
+// processes — its per-node credit state is O(N) (every node neighbors
+// every other), so the full-graph points would measure allocator
+// thrashing, exactly the scaling wall Figure 5 documents.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "core/topology.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using vtopo::armci::GAddr;
+using vtopo::armci::Proc;
+using vtopo::armci::Runtime;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KB -> MB
+}
+
+struct Point {
+  std::string topology;
+  std::int64_t procs = 0;
+  std::int64_t nodes = 0;
+  std::int64_t ops = 0;
+  double wallclock_ms = 0;
+  double sim_ms = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t forwards = 0;
+  std::uint64_t msgs = 0;
+  double rss_mb = 0;
+};
+
+/// One sweep point: `procs` ranks flooding fetch-&-adds at rank 0.
+Point run_point(vtopo::core::TopologyKind kind, std::int64_t procs,
+                int ops_per_proc) {
+  const auto start = std::chrono::steady_clock::now();
+  vtopo::sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.procs_per_node = 4;
+  cfg.num_nodes = procs / cfg.procs_per_node;
+  cfg.topology = kind;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  rt.spawn_all([off, ops_per_proc](Proc& p) -> vtopo::sim::Co<void> {
+    for (int k = 0; k < ops_per_proc; ++k) {
+      co_await p.fetch_add(GAddr{0, off}, 1);
+    }
+  });
+  rt.run_all();
+
+  Point pt;
+  pt.topology = vtopo::core::to_string(kind);
+  pt.procs = procs;
+  pt.nodes = cfg.num_nodes;
+  pt.ops = procs * ops_per_proc;
+  pt.wallclock_ms = seconds_since(start) * 1e3;
+  pt.sim_ms = static_cast<double>(eng.now()) / 1e6;
+  pt.requests = rt.stats().requests;
+  pt.forwards = rt.stats().forwards;
+  pt.msgs = rt.network().messages_sent();
+  pt.rss_mb = peak_rss_mb();
+  return pt;
+}
+
+/// Network::send throughput — the same loop hotpath_bench measures, so
+/// the number is directly comparable against BENCH_hotpath.json.
+double measure_msgs_per_sec(std::int64_t total_msgs) {
+  vtopo::sim::Engine eng;
+  vtopo::net::Network net(eng, 256);
+  vtopo::sim::Rng rng(7);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < total_msgs; ++i) {
+    const auto s = static_cast<vtopo::core::NodeId>(rng.uniform(256));
+    const auto d = static_cast<vtopo::core::NodeId>(rng.uniform(256));
+    net.send(s, d, 1024, s);
+  }
+  return static_cast<double>(total_msgs) / seconds_since(start);
+}
+
+struct RuntimePath {
+  double ops_per_sec = 0;
+  std::uint64_t req_created = 0;
+  std::uint64_t req_reused = 0;
+  std::uint64_t frames_created = 0;
+  std::uint64_t frames_reused = 0;
+};
+
+/// Full-ARMCI-path fetch-&-add throughput on a fixed 16-node MFCG
+/// cluster, with the pool hit counters that show the path running
+/// allocation-free once warm.
+RuntimePath measure_runtime_path(std::int64_t total_ops) {
+  vtopo::sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 4;
+  cfg.topology = vtopo::core::TopologyKind::kMfcg;
+  Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  const int per_proc =
+      static_cast<int>(total_ops / rt.num_procs());
+  const std::uint64_t frames_created0 = vtopo::sim::FramePool::created();
+  const std::uint64_t frames_reused0 = vtopo::sim::FramePool::reused();
+  const auto start = std::chrono::steady_clock::now();
+  rt.spawn_all([off, per_proc](Proc& p) -> vtopo::sim::Co<void> {
+    for (int k = 0; k < per_proc; ++k) {
+      co_await p.fetch_add(GAddr{0, off}, 1);
+    }
+  });
+  rt.run_all();
+  RuntimePath r;
+  r.ops_per_sec = static_cast<double>(per_proc * rt.num_procs()) /
+                  seconds_since(start);
+  r.req_created = rt.request_pool().created();
+  r.req_reused = rt.request_pool().reused();
+  r.frames_created = vtopo::sim::FramePool::created() - frames_created0;
+  r.frames_reused = vtopo::sim::FramePool::reused() - frames_reused0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vtopo::bench::Args args(argc, argv);
+  const bool quick = args.has("--quick");
+  const std::int64_t max_procs =
+      args.get_int("--max-procs", quick ? 1024 : 65536);
+  const int ops_per_proc =
+      static_cast<int>(args.get_int("--ops", quick ? 2 : 8));
+  const std::int64_t msgs =
+      args.get_int("--msgs", quick ? 100'000 : 2'000'000);
+  const std::int64_t path_ops =
+      args.get_int("--path-ops", quick ? 6'400 : 64'000);
+  const std::string out_path =
+      args.get_string("--out", "BENCH_runtime.json");
+
+  vtopo::bench::print_header(
+      "weak_scaling", "hot-spot fetch-add flood, 1k -> 64k processes");
+
+  const double mps = measure_msgs_per_sec(msgs);
+  const RuntimePath path = measure_runtime_path(path_ops);
+  std::printf("msgs_per_sec          %.3e\n", mps);
+  std::printf("fetchadd_ops_per_sec  %.3e\n", path.ops_per_sec);
+  std::printf("request_pool          created=%llu reused=%llu\n",
+              static_cast<unsigned long long>(path.req_created),
+              static_cast<unsigned long long>(path.req_reused));
+  std::printf("frame_pool            created=%llu reused=%llu\n",
+              static_cast<unsigned long long>(path.frames_created),
+              static_cast<unsigned long long>(path.frames_reused));
+  vtopo::bench::print_rule();
+
+  // Sweep ascending so each point's peak-RSS reading is dominated by its
+  // own footprint (ru_maxrss is monotone over the process lifetime).
+  const vtopo::core::TopologyKind kinds[] = {
+      vtopo::core::TopologyKind::kFcg, vtopo::core::TopologyKind::kMfcg,
+      vtopo::core::TopologyKind::kCfcg,
+      vtopo::core::TopologyKind::kHypercube};
+  constexpr std::int64_t kFcgMaxProcs = 4096;
+
+  std::vector<Point> points;
+  std::printf("# %-5s %8s %7s %9s %12s %12s %10s %9s\n", "topo", "procs",
+              "nodes", "ops", "wallclock_ms", "sim_ms", "requests",
+              "rss_mb");
+  for (std::int64_t procs = 1024; procs <= max_procs; procs *= 4) {
+    for (const auto kind : kinds) {
+      if (kind == vtopo::core::TopologyKind::kFcg &&
+          procs > kFcgMaxProcs) {
+        continue;  // O(N) credit state per node; see header comment
+      }
+      points.push_back(run_point(kind, procs, ops_per_proc));
+      const Point& pt = points.back();
+      std::printf("%-7s %8lld %7lld %9lld %12.1f %12.3f %10llu %9.1f\n",
+                  pt.topology.c_str(), static_cast<long long>(pt.procs),
+                  static_cast<long long>(pt.nodes),
+                  static_cast<long long>(pt.ops), pt.wallclock_ms,
+                  pt.sim_ms, static_cast<unsigned long long>(pt.requests),
+                  pt.rss_mb);
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"msgs_per_sec\": %.1f,\n"
+               "  \"fetchadd_ops_per_sec\": %.1f,\n"
+               "  \"request_pool\": {\"created\": %llu, \"reused\": %llu},\n"
+               "  \"frame_pool\": {\"created\": %llu, \"reused\": %llu},\n"
+               "  \"weak_scaling\": [\n",
+               mps, path.ops_per_sec,
+               static_cast<unsigned long long>(path.req_created),
+               static_cast<unsigned long long>(path.req_reused),
+               static_cast<unsigned long long>(path.frames_created),
+               static_cast<unsigned long long>(path.frames_reused));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    std::fprintf(f,
+                 "    {\"topology\": \"%s\", \"procs\": %lld, \"nodes\": "
+                 "%lld, \"ops\": %lld, \"wallclock_ms\": %.3f, "
+                 "\"sim_ms\": %.3f, \"requests\": %llu, \"forwards\": "
+                 "%llu, \"msgs\": %llu, \"peak_rss_mb\": %.1f}%s\n",
+                 pt.topology.c_str(), static_cast<long long>(pt.procs),
+                 static_cast<long long>(pt.nodes),
+                 static_cast<long long>(pt.ops), pt.wallclock_ms,
+                 pt.sim_ms, static_cast<unsigned long long>(pt.requests),
+                 static_cast<unsigned long long>(pt.forwards),
+                 static_cast<unsigned long long>(pt.msgs), pt.rss_mb,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Size-class payload arena for direct-transfer staging buffers.
+//
+// The direct put/get path stages real bytes in a buffer that must
+// outlive the issuing coroutine (data lands in GlobalMemory at the
+// simulated arrival instant, inside a network event). That used to be a
+// shared_ptr<std::vector<uint8_t>> per transfer — two allocations and an
+// atomic control block on every contiguous op. The arena hands out
+// recycled chunks from power-of-two size classes instead: a steady-state
+// workload reuses the same few chunks forever.
+//
+// Chunks are owned by a move-only Ref (InlineFn holds move-only
+// captures, so a Ref rides inside a network-arrival callback without
+// leaving inline storage). Oversized requests fall through to exact-size
+// heap chunks that are freed, not parked.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace vtopo::armci {
+
+class PayloadArena {
+  struct Chunk {
+    Chunk* next = nullptr;      ///< freelist link while parked
+    std::uint32_t cls = 0;      ///< size class; kUnpooled => exact-size
+    std::uint32_t pad = 0;
+    std::size_t size = 0;       ///< bytes handed out (<= class capacity)
+    // payload bytes follow the header
+  };
+
+ public:
+  static constexpr std::size_t kMinShift = 8;   // 256 B
+  static constexpr std::size_t kMaxShift = 20;  // 1 MB
+  static constexpr std::size_t kClasses = kMaxShift - kMinShift + 1;
+  static constexpr std::uint32_t kUnpooled = ~std::uint32_t{0};
+
+  PayloadArena() = default;
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+  ~PayloadArena() {
+    for (Chunk* head : free_) {
+      while (head != nullptr) {
+        Chunk* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  }
+
+  /// Move-only owning handle; releases its chunk back to the arena.
+  class Ref {
+   public:
+    Ref() noexcept = default;
+    Ref(Ref&& other) noexcept
+        : arena_(std::exchange(other.arena_, nullptr)),
+          c_(std::exchange(other.c_, nullptr)) {}
+    Ref& operator=(Ref&& other) noexcept {
+      if (this != &other) {
+        release();
+        arena_ = std::exchange(other.arena_, nullptr);
+        c_ = std::exchange(other.c_, nullptr);
+      }
+      return *this;
+    }
+    Ref(const Ref&) = delete;
+    Ref& operator=(const Ref&) = delete;
+    ~Ref() { release(); }
+
+    [[nodiscard]] std::uint8_t* data() const noexcept {
+      return reinterpret_cast<std::uint8_t*>(c_ + 1);
+    }
+    [[nodiscard]] std::size_t size() const noexcept {
+      return c_ == nullptr ? 0 : c_->size;
+    }
+    [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+      return {data(), size()};
+    }
+    [[nodiscard]] std::span<std::uint8_t> mutable_view() const noexcept {
+      return {data(), size()};
+    }
+    explicit operator bool() const noexcept { return c_ != nullptr; }
+
+   private:
+    friend class PayloadArena;
+    Ref(PayloadArena* a, Chunk* c) noexcept : arena_(a), c_(c) {}
+    void release() noexcept {
+      if (c_ != nullptr) {
+        arena_->recycle(c_);
+        arena_ = nullptr;
+        c_ = nullptr;
+      }
+    }
+    PayloadArena* arena_ = nullptr;
+    Chunk* c_ = nullptr;
+  };
+
+  /// A chunk holding exactly `bytes` writable bytes (uninitialized).
+  [[nodiscard]] Ref acquire(std::size_t bytes) {
+    Chunk* c;
+    if (bytes > (std::size_t{1} << kMaxShift)) {
+      c = new (::operator new(sizeof(Chunk) + bytes)) Chunk();
+      c->cls = kUnpooled;
+      ++created_;
+    } else {
+      const std::uint32_t cls = class_of(bytes);
+      if (free_[cls] != nullptr) {
+        c = free_[cls];
+        free_[cls] = c->next;
+        c->next = nullptr;
+        ++reused_;
+      } else {
+        c = new (::operator new(sizeof(Chunk) +
+                                (std::size_t{1} << (cls + kMinShift))))
+            Chunk();
+        c->cls = cls;
+        ++created_;
+      }
+    }
+    c->size = bytes;
+    return Ref(this, c);
+  }
+
+  [[nodiscard]] std::uint64_t created() const { return created_; }
+  [[nodiscard]] std::uint64_t reused() const { return reused_; }
+
+ private:
+  void recycle(Chunk* c) noexcept {
+    if (c->cls == kUnpooled) {
+      ::operator delete(c);
+      return;
+    }
+    c->next = free_[c->cls];
+    free_[c->cls] = c;
+  }
+
+  static std::uint32_t class_of(std::size_t bytes) {
+    std::uint32_t cls = 0;
+    while ((std::size_t{1} << (cls + kMinShift)) < bytes) ++cls;
+    return cls;
+  }
+
+  Chunk* free_[kClasses] = {};
+  std::uint64_t created_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+}  // namespace vtopo::armci

@@ -8,35 +8,104 @@
 // acknowledgment (or the response, for the first hop) arrives back at j.
 // Exhausted credits block the sender — for a forwarding CHT this is the
 // hold-and-wait that makes arbitrary forwarding orders deadlock.
+//
+// Storage is dense: one slot per topology out-neighbor, sized at
+// construction from the neighbor list, so the per-send credit probe is a
+// binary search over a sorted NodeId array plus an int decrement — no
+// hash, no per-pool Semaphore object, no double indirection. Waiting
+// coroutines queue FIFO through a waiter arena shared by all slots of
+// the bank; release() hands the credit straight to the oldest waiter
+// (count unchanged), preserving the exact fairness and event-scheduling
+// semantics of the Semaphore-based implementation.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <coroutine>
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/coords.hpp"
 #include "sim/engine.hpp"
-#include "sim/task.hpp"
 
 namespace vtopo::armci {
 
-/// Sender-side credit pools on one node: one pool per out-neighbor.
+/// Sender-side credit pools on one node: one dense slot per out-neighbor.
 class CreditBank {
- public:
-  CreditBank(sim::Engine& eng, std::int64_t credits_per_edge)
-      : eng_(&eng), credits_per_edge_(credits_per_edge) {}
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
 
-  /// Pool of credits for sending to `receiver` (lazily created; the
-  /// topology guarantees only direct neighbors are ever requested).
-  sim::Semaphore& pool(core::NodeId receiver) {
-    auto it = pools_.find(receiver);
-    if (it == pools_.end()) {
-      it = pools_
-               .emplace(receiver, std::make_unique<sim::Semaphore>(
-                                      *eng_, credits_per_edge_))
-               .first;
+  struct Pool {
+    std::int64_t count = 0;
+    std::uint32_t head = kNil;   ///< oldest waiter (arena index)
+    std::uint32_t tail = kNil;   ///< newest waiter
+    std::uint32_t nwait = 0;
+  };
+
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::uint32_t next = kNil;
+  };
+
+ public:
+  /// `neighbors` must be the node's direct-edge peers in ascending order
+  /// (core::VirtualTopology::neighbors() order).
+  CreditBank(sim::Engine& eng, std::int64_t credits_per_edge,
+             std::vector<core::NodeId> neighbors)
+      : eng_(&eng),
+        neighbors_(std::move(neighbors)),
+        pools_(neighbors_.size()) {
+    assert(std::is_sorted(neighbors_.begin(), neighbors_.end()));
+    for (Pool& p : pools_) p.count = credits_per_edge;
+  }
+
+  struct [[nodiscard]] Acquire {
+    CreditBank* bank;
+    std::size_t idx;
+    bool await_ready() const {
+      Pool& p = bank->pools_[idx];
+      if (p.count > 0) {
+        --p.count;
+        return true;
+      }
+      return false;
     }
-    return *it->second;
+    void await_suspend(std::coroutine_handle<> h) {
+      bank->park(idx, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Take one credit for sending to `receiver`; suspends FIFO when the
+  /// edge is exhausted.
+  [[nodiscard]] Acquire acquire(core::NodeId receiver) {
+    return Acquire{this, index_of(receiver)};
+  }
+
+  /// Return one credit for the edge to `receiver`. With waiters queued
+  /// the credit is handed straight to the oldest one (resumed via the
+  /// event queue at the current time); count stays unchanged.
+  void release(core::NodeId receiver) {
+    Pool& p = pools_[index_of(receiver)];
+    if (p.head != kNil) {
+      const std::uint32_t w = p.head;
+      p.head = arena_[w].next;
+      if (p.head == kNil) p.tail = kNil;
+      --p.nwait;
+      const std::coroutine_handle<> h = arena_[w].h;
+      arena_[w].next = free_;
+      free_ = w;
+      eng_->schedule_after(0, [h] { h.resume(); });
+    } else {
+      ++p.count;
+    }
+  }
+
+  [[nodiscard]] std::int64_t available(core::NodeId receiver) const {
+    return pools_[index_of(receiver)].count;
+  }
+  [[nodiscard]] std::size_t waiters(core::NodeId receiver) const {
+    return pools_[index_of(receiver)].nwait;
   }
 
   /// Total time senders on this node spent blocked on exhausted credits.
@@ -44,9 +113,40 @@ class CreditBank {
   void add_blocked(sim::TimeNs d) { blocked_ns_ += d; }
 
  private:
+  [[nodiscard]] std::size_t index_of(core::NodeId receiver) const {
+    const auto it =
+        std::lower_bound(neighbors_.begin(), neighbors_.end(), receiver);
+    assert(it != neighbors_.end() && *it == receiver &&
+           "credit requested for a non-neighbor");
+    return static_cast<std::size_t>(it - neighbors_.begin());
+  }
+
+  void park(std::size_t idx, std::coroutine_handle<> h) {
+    std::uint32_t w;
+    if (free_ != kNil) {
+      w = free_;
+      free_ = arena_[w].next;
+    } else {
+      w = static_cast<std::uint32_t>(arena_.size());
+      arena_.emplace_back();
+    }
+    arena_[w].h = h;
+    arena_[w].next = kNil;
+    Pool& p = pools_[idx];
+    if (p.tail == kNil) {
+      p.head = w;
+    } else {
+      arena_[p.tail].next = w;
+    }
+    p.tail = w;
+    ++p.nwait;
+  }
+
   sim::Engine* eng_;
-  std::int64_t credits_per_edge_;
-  std::unordered_map<core::NodeId, std::unique_ptr<sim::Semaphore>> pools_;
+  std::vector<core::NodeId> neighbors_;
+  std::vector<Pool> pools_;
+  std::vector<Waiter> arena_;   ///< shared by all slots of this bank
+  std::uint32_t free_ = kNil;   ///< head of recycled arena entries
   sim::TimeNs blocked_ns_ = 0;
 };
 

@@ -77,7 +77,7 @@ sim::Co<void> Cht::forward(RequestPtr r) {
   // request still occupies this node's receive buffer (hold-and-wait).
   CreditBank& bank = rt_->credits(node_);
   const sim::TimeNs t0 = rt_->engine().now();
-  co_await bank.pool(next).acquire();
+  co_await bank.acquire(next);
   const sim::TimeNs blocked = rt_->engine().now() - t0;
   bank.add_blocked(blocked);
   rt_->stats().credit_blocked_ns += blocked;
@@ -112,7 +112,7 @@ void Cht::release_upstream(const Request& r) {
   ++rt_->stats().acks;
   rt_->network().deliver(node_, upstream, p.ack_bytes,
                          rt_->cht_stream(node_),
-                         [&bank, self] { bank.pool(self).release(); });
+                         [&bank, self] { bank.release(self); });
 }
 
 void Cht::execute(const RequestPtr& r) {
@@ -240,7 +240,7 @@ void Cht::execute(const RequestPtr& r) {
       resp.value = mem.swap_i64(r->addr, r->imm);
       break;
     case OpCode::kLock: {
-      LockState& ls = locks_[{r->target_proc, r->mutex_id}];
+      LockState& ls = locks_.get(r->target_proc, r->mutex_id);
       if (ls.held) {
         // Absorb into the waiter queue; the buffer is still released
         // below, and the grant response is sent at unlock time.
@@ -256,7 +256,7 @@ void Cht::execute(const RequestPtr& r) {
       break;
     }
     case OpCode::kUnlock: {
-      LockState& ls = locks_[{r->target_proc, r->mutex_id}];
+      LockState& ls = locks_.get(r->target_proc, r->mutex_id);
       assert(ls.held && ls.holder == r->origin_proc &&
              "unlock by non-holder");
       if (!ls.waiters.empty()) {
@@ -281,11 +281,14 @@ void Cht::send_response(const RequestPtr& r, Response resp) {
   const std::int64_t wire = p.response_header_bytes +
                             static_cast<std::int64_t>(resp.data.size());
   ++rt_->stats().responses;
-  auto payload = std::make_shared<Response>(std::move(resp));
+  // Response rides inside the arrival callback by move (InlineFn holds
+  // move-only captures), and the future fulfilment is a typed member —
+  // no shared_ptr<Response>, no std::function allocation.
   RequestPtr req = r;
-  rt_->network().deliver(node_, r->origin_node, wire,
-                         rt_->cht_stream(node_), [req, payload] {
-    req->on_response(std::move(*payload));
+  rt_->network().deliver(node_, r->origin_node, wire, rt_->cht_stream(node_),
+                         [req = std::move(req),
+                          resp = std::move(resp)]() mutable {
+    req->response_future->set(std::move(resp));
   });
 }
 

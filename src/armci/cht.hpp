@@ -12,11 +12,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
-#include <map>
-#include <utility>
 
+#include "armci/lock_table.hpp"
 #include "armci/request.hpp"
 #include "sim/queue.hpp"
 #include "sim/task.hpp"
@@ -58,16 +56,10 @@ class Cht {
   /// CHT time to decode/copy one request (and gather its response).
   [[nodiscard]] sim::TimeNs handle_cost(const Request& r) const;
 
-  struct LockState {
-    bool held = false;
-    ProcId holder = -1;
-    std::deque<RequestPtr> waiters;
-  };
-
   Runtime* rt_;
   core::NodeId node_;
   sim::AsyncQueue<RequestPtr> queue_;
-  std::map<std::pair<ProcId, std::int32_t>, LockState> locks_;
+  LockTable locks_;
   sim::TimeNs last_active_ = std::numeric_limits<sim::TimeNs>::min() / 4;
   std::uint64_t handled_ = 0;
   sim::TimeNs busy_ns_ = 0;

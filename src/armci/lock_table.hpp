@@ -1,0 +1,98 @@
+// Flat open-addressing table of remote-mutex lock states.
+//
+// A CHT resolves (owner process, mutex id) -> LockState on every kLock /
+// kUnlock it executes. The red-black map this replaces paid a pointer
+// chase per tree level plus a node allocation per new mutex; the flat
+// table does one mixed-hash probe into a contiguous slot array. Lock
+// handling never erases entries (a mutex that existed once keeps its
+// slot), so the table only needs insert-or-find and grow.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "armci/request.hpp"
+
+namespace vtopo::armci {
+
+/// State of one simulated ARMCI mutex.
+struct LockState {
+  bool held = false;
+  ProcId holder = -1;
+  std::deque<RequestPtr> waiters;
+};
+
+class LockTable {
+ public:
+  /// State for mutex `mutex_id` owned by process `proc`, default-created
+  /// on first touch. The reference is valid until the next get().
+  [[nodiscard]] LockState& get(ProcId proc, std::int32_t mutex_id) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      grow();
+    }
+    const std::uint64_t key = make_key(proc, mutex_id);
+    Slot& s = probe(slots_, key);
+    if (!s.used) {
+      s.used = true;
+      s.key = key;
+      ++size_;
+    }
+    return s.state;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    bool used = false;
+    LockState state;
+  };
+
+  static std::uint64_t make_key(ProcId proc, std::int32_t mutex_id) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(proc))
+            << 32) |
+           static_cast<std::uint32_t>(mutex_id);
+  }
+
+  /// splitmix64 finalizer: full-avalanche spread of the packed key.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Linear probe for `key`'s slot (its entry, or the first empty slot).
+  static Slot& probe(std::vector<Slot>& slots, std::uint64_t key) {
+    const std::size_t mask = slots.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+    while (slots[i].used && slots[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return slots[i];
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> next(cap);
+    for (Slot& s : slots_) {
+      if (!s.used) continue;
+      Slot& dst = probe(next, s.key);
+      assert(!dst.used);
+      dst.used = true;
+      dst.key = s.key;
+      dst.state = std::move(s.state);
+    }
+    slots_ = std::move(next);
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vtopo::armci

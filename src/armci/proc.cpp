@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "armci/arena.hpp"
 #include "armci/cht.hpp"
 #include "armci/runtime.hpp"
 
@@ -35,15 +36,18 @@ sim::Co<void> Proc::put(GAddr dst, std::span<const std::uint8_t> src) {
 
   const core::NodeId tnode = rt_->node_of(dst.proc);
   // Data lands at the simulated arrival instant; the blocking call
-  // conservatively returns at remote completion.
-  auto data = std::make_shared<std::vector<std::uint8_t>>(src.begin(),
-                                                          src.end());
+  // conservatively returns at remote completion. The staging buffer is a
+  // recycled arena chunk moved into the arrival event.
+  PayloadArena::Ref data = rt_->payload_arena().acquire(src.size());
+  std::memcpy(data.data(), src.data(), src.size());
   const sim::TimeNs arrival = rt_->network().send(
       node_, tnode,
       p.rdma_header_bytes + static_cast<std::int64_t>(src.size()),
       rt_->proc_stream(id_));
   GlobalMemory& mem = rt_->memory();
-  eng.schedule_at(arrival, [&mem, dst, data] { mem.write(dst, *data); });
+  eng.schedule_at(arrival, [&mem, dst, data = std::move(data)]() mutable {
+    mem.write(dst, data.view());
+  });
   co_await sim::Sleep(eng, arrival - eng.now());
   rt_->tracer().record(TraceKind::kPut, id_, t0, eng.now() - t0);
 }
@@ -59,13 +63,13 @@ sim::Co<void> Proc::get(std::span<std::uint8_t> dst, GAddr src) {
   // RDMA read: descriptor travels to the target NIC, data streams back.
   co_await rt_->network().transfer(node_, tnode, p.rdma_header_bytes,
                                    rt_->proc_stream(id_));
-  auto data = std::make_shared<std::vector<std::uint8_t>>(dst.size());
-  rt_->memory().read(*data, src);
+  PayloadArena::Ref data = rt_->payload_arena().acquire(dst.size());
+  rt_->memory().read(data.mutable_view(), src);
   co_await rt_->network().transfer(
       tnode, node_,
       p.rdma_header_bytes + static_cast<std::int64_t>(dst.size()),
       rt_->proc_stream(id_));
-  std::memcpy(dst.data(), data->data(), dst.size());
+  std::memcpy(dst.data(), data.data(), dst.size());
   rt_->tracer().record(TraceKind::kGet, id_, t0, eng.now() - t0);
 }
 
@@ -74,7 +78,7 @@ sim::Co<void> Proc::get(std::span<std::uint8_t> dst, GAddr src) {
 // --------------------------------------------------------------------
 
 RequestPtr Proc::make_request(OpCode op, ProcId target) {
-  auto r = std::make_shared<Request>();
+  RequestPtr r = rt_->request_pool().acquire();
   r->id = rt_->next_request_id();
   r->op = op;
   r->origin_proc = id_;
@@ -86,9 +90,7 @@ RequestPtr Proc::make_request(OpCode op, ProcId target) {
 
 sim::Future<Response> Proc::make_future(const RequestPtr& r) {
   sim::Future<Response> fut(rt_->engine());
-  r->on_response = [fut](Response resp) mutable {
-    fut.set(std::move(resp));
-  };
+  r->response_future = fut;  // copies share the pooled state
   return fut;
 }
 
@@ -117,7 +119,7 @@ sim::Co<void> Proc::issue_send(RequestPtr r) {
   const core::NodeId hop = rt_->topology().next_hop(node_, r->target_node);
   CreditBank& bank = rt_->credits(node_);
   const sim::TimeNs t0 = eng.now();
-  co_await bank.pool(hop).acquire();
+  co_await bank.acquire(hop);
   const sim::TimeNs blocked = eng.now() - t0;
   bank.add_blocked(blocked);
   rt_->stats().credit_blocked_ns += blocked;

@@ -9,14 +9,16 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/coords.hpp"
 #include "armci/memory.hpp"
+#include "sim/task.hpp"
 
 namespace vtopo::armci {
 
@@ -73,9 +75,14 @@ struct Response {
   std::vector<std::uint8_t> data;    ///< gathered data for kGetV
 };
 
-/// A CHT-mediated request in flight. Owned via shared_ptr so the origin,
-/// the network events, and the servicing CHT can all reference it; the
-/// "wire" cost is modeled separately (wire_bytes).
+class RequestPool;
+
+/// A CHT-mediated request in flight. Intrusively refcounted (RequestPtr)
+/// so the origin, the network events, and the servicing CHT can all
+/// reference it without a control-block allocation; requests drawn from
+/// a RequestPool return there on last release, keeping their vector
+/// capacities for the next op. The "wire" cost is modeled separately
+/// (wire_bytes).
 struct Request {
   std::uint64_t id = 0;
   OpCode op = OpCode::kFetchAdd;
@@ -120,9 +127,146 @@ struct Request {
   [[nodiscard]] std::int64_t response_data_bytes() const;
 
   /// Fulfilled (via the event queue) when the response reaches origin.
-  std::function<void(Response)> on_response;
+  /// Typed future instead of a type-erased callback: attaching a
+  /// completion no longer risks a std::function heap allocation, and the
+  /// future's shared state itself is pooled (sim::RecycleAlloc).
+  std::optional<sim::Future<Response>> response_future;
+
+ private:
+  friend class RequestPtr;
+  friend class RequestPool;
+  std::uint32_t refs_ = 0;
+  RequestPool* pool_ = nullptr;   ///< owner; null => plain heap object
+  Request* free_next_ = nullptr;  ///< freelist link while parked
 };
 
-using RequestPtr = std::shared_ptr<Request>;
+/// Intrusive refcounted handle to a Request. One pointer wide, so event
+/// callbacks holding one stay inside InlineFn's inline storage, and
+/// copy/release touch only the object's own counter — no atomic control
+/// block, no allocator. Single-threaded by design, like the engine.
+class RequestPtr {
+ public:
+  RequestPtr() noexcept = default;
+  RequestPtr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+  /// Adopts a reference (the pool hands out refcount-0 objects).
+  explicit RequestPtr(Request* r) noexcept : p_(r) {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  RequestPtr(const RequestPtr& other) noexcept : p_(other.p_) {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  RequestPtr(RequestPtr&& other) noexcept
+      : p_(std::exchange(other.p_, nullptr)) {}
+  RequestPtr& operator=(const RequestPtr& other) noexcept {
+    RequestPtr tmp(other);
+    std::swap(p_, tmp.p_);
+    return *this;
+  }
+  RequestPtr& operator=(RequestPtr&& other) noexcept {
+    RequestPtr tmp(std::move(other));
+    std::swap(p_, tmp.p_);
+    return *this;
+  }
+  ~RequestPtr() { reset(); }
+
+  void reset() noexcept;
+
+  [[nodiscard]] Request* get() const noexcept { return p_; }
+  Request& operator*() const noexcept { return *p_; }
+  Request* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+  friend bool operator==(const RequestPtr& a, const RequestPtr& b) {
+    return a.p_ == b.p_;
+  }
+
+ private:
+  Request* p_ = nullptr;
+};
+
+/// Recycling pool of Request objects, one per Runtime. acquire() pops a
+/// parked request (vector capacities intact) or heap-allocates on a cold
+/// start; the last RequestPtr release scrubs the request back to its
+/// default-constructed field values and parks it. Steady state issues
+/// requests with zero allocator traffic.
+class RequestPool {
+ public:
+  RequestPool() = default;
+  RequestPool(const RequestPool&) = delete;
+  RequestPool& operator=(const RequestPool&) = delete;
+  ~RequestPool() {
+    Request* r = free_;
+    while (r != nullptr) {
+      Request* next = r->free_next_;
+      delete r;
+      r = next;
+    }
+  }
+
+  [[nodiscard]] RequestPtr acquire() {
+    Request* r = free_;
+    if (r != nullptr) {
+      free_ = r->free_next_;
+      r->free_next_ = nullptr;
+      --parked_;
+      ++reused_;
+    } else {
+      r = new Request();
+      r->pool_ = this;
+      ++created_;
+    }
+    return RequestPtr(r);
+  }
+
+  /// Requests currently parked on the freelist.
+  [[nodiscard]] std::size_t parked() const { return parked_; }
+  /// Heap constructions (cold starts) / freelist reuses so far.
+  [[nodiscard]] std::uint64_t created() const { return created_; }
+  [[nodiscard]] std::uint64_t reused() const { return reused_; }
+
+ private:
+  friend class RequestPtr;
+
+  void recycle(Request* r) noexcept {
+    assert(r->refs_ == 0 && r->pool_ == this);
+    r->id = 0;
+    r->op = OpCode::kFetchAdd;
+    r->origin_proc = 0;
+    r->origin_node = 0;
+    r->target_proc = 0;
+    r->target_node = 0;
+    r->upstream_node = 0;
+    r->upstream_is_cht = false;
+    r->hop_credit_taken = false;
+    r->forwards = 0;
+    r->addr = GAddr{};
+    r->acc_type = AccType::kF64;
+    r->scale = 1.0;
+    r->imm = 0;
+    r->mutex_id = 0;
+    r->segs.clear();       // keeps capacity
+    r->strided = StridedDesc{};
+    r->data.clear();       // keeps capacity
+    r->response_future.reset();
+    r->free_next_ = free_;
+    free_ = r;
+    ++parked_;
+  }
+
+  Request* free_ = nullptr;
+  std::size_t parked_ = 0;
+  std::uint64_t created_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+inline void RequestPtr::reset() noexcept {
+  if (p_ != nullptr && --p_->refs_ == 0) {
+    if (p_->pool_ != nullptr) {
+      p_->pool_->recycle(p_);
+    } else {
+      delete p_;
+    }
+  }
+  p_ = nullptr;
+}
 
 }  // namespace vtopo::armci

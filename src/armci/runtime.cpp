@@ -26,8 +26,8 @@ Runtime::Runtime(sim::Engine& eng, Config cfg)
   credit_banks_.reserve(static_cast<std::size_t>(cfg.num_nodes));
   for (core::NodeId n = 0; n < cfg.num_nodes; ++n) {
     chts_.push_back(std::make_unique<Cht>(*this, n));
-    credit_banks_.push_back(
-        std::make_unique<CreditBank>(eng, credits_per_edge()));
+    credit_banks_.push_back(std::make_unique<CreditBank>(
+        eng, credits_per_edge(), topology_.neighbors(n)));
   }
   procs_.reserve(static_cast<std::size_t>(num_procs()));
   for (ProcId p = 0; p < num_procs(); ++p) {

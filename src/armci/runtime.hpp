@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "armci/arena.hpp"
 #include "armci/buffers.hpp"
 #include "armci/memory.hpp"
 #include "armci/params.hpp"
@@ -114,6 +115,10 @@ class Runtime {
   [[nodiscard]] Proc& proc(ProcId p);
   [[nodiscard]] Cht& cht(core::NodeId n);
   [[nodiscard]] CreditBank& credits(core::NodeId n);
+  /// Recycling pool all CHT-mediated requests are drawn from.
+  [[nodiscard]] RequestPool& request_pool() { return request_pool_; }
+  /// Chunk arena staging direct put/get payload bytes.
+  [[nodiscard]] PayloadArena& payload_arena() { return payload_arena_; }
 
   /// Spawn `program` as the body of process `p`. The callable (and any
   /// lambda captures) is kept alive by the Runtime until destruction —
@@ -159,6 +164,10 @@ class Runtime {
   GlobalMemory memory_;
   core::VirtualTopology topology_;
   net::Network network_;
+  // Declared before the actors so the pools outlive every RequestPtr and
+  // arena Ref still parked in CHT lock queues at teardown.
+  RequestPool request_pool_;
+  PayloadArena payload_arena_;
   std::vector<std::unique_ptr<Cht>> chts_;
   std::vector<std::unique_ptr<CreditBank>> credit_banks_;
   std::vector<std::unique_ptr<Proc>> procs_;

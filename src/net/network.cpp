@@ -33,6 +33,27 @@ Network::Network(sim::Engine& eng, std::int64_t num_nodes,
   link_free_.assign(static_cast<std::size_t>(torus_.num_links()), 0);
   streams_.resize(static_cast<std::size_t>(num_nodes));
   for (auto& table : streams_) table.set_capacity(params_.stream_table_size);
+  if (num_nodes <= kRouteCacheMaxNodes) {
+    route_cache_.resize(static_cast<std::size_t>(num_nodes * num_nodes));
+  }
+}
+
+const Network::RouteEntry& Network::cache_route(core::NodeId src,
+                                                core::NodeId dst) {
+  RouteEntry& e = route_cache_[static_cast<std::size_t>(
+      src * num_nodes() + dst)];
+  if (!e.built) {
+    e.off = static_cast<std::uint32_t>(route_links_.size());
+    torus_.for_each_route_link(
+        slot_of_node_[static_cast<std::size_t>(src)],
+        slot_of_node_[static_cast<std::size_t>(dst)], [&](LinkId link) {
+          route_links_.push_back(static_cast<std::int32_t>(link));
+        });
+    e.len = static_cast<std::uint16_t>(route_links_.size() - e.off);
+    e.built = true;
+    ++routes_cached_;
+  }
+  return e;
 }
 
 bool Network::stream_miss(core::NodeId dst, StreamKey stream) {
@@ -69,8 +90,16 @@ sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
   };
 
   cross(torus_.injection_link(sslot), nic_ser);
-  torus_.for_each_route_link(
-      sslot, dslot, [&](LinkId link) { cross(link, link_ser); });
+  if (!route_cache_.empty()) {
+    const RouteEntry& e = cache_route(src, dst);
+    const std::int32_t* link = route_links_.data() + e.off;
+    for (const std::int32_t* end = link + e.len; link != end; ++link) {
+      cross(*link, link_ser);
+    }
+  } else {
+    torus_.for_each_route_link(
+        sslot, dslot, [&](LinkId link) { cross(link, link_ser); });
+  }
   // Ejection: the message has fully arrived only after it serializes
   // through the destination NIC. A stream-table miss adds the BEER
   // flow-control penalty to the NIC's occupancy.

@@ -57,6 +57,12 @@ class Network {
     return stream_misses_;
   }
 
+  /// (src,dst) pairs whose dimension-order link list has been memoized
+  /// (0 when the network is too large for the route cache).
+  [[nodiscard]] std::uint64_t routes_cached() const {
+    return routes_cached_;
+  }
+
   /// Torus hop distance between the slots hosting two nodes.
   [[nodiscard]] int hop_count(core::NodeId src, core::NodeId dst) const;
 
@@ -74,12 +80,31 @@ class Network {
   /// full table (BEER penalty applies).
   bool stream_miss(core::NodeId dst, StreamKey stream);
 
+  // Memoized dimension-order routes. Placement is fixed at construction,
+  // so the link list of a (src,dst) node pair never changes; caching it
+  // replaces the per-send coordinate walk (two slot_coords
+  // de-linearizations plus per-dim ring deltas) with a flat array scan
+  // in the exact same link order. Enabled only while the N^2 entry table
+  // stays small (kRouteCacheMaxNodes).
+  struct RouteEntry {
+    std::uint32_t off = 0;   ///< start index into route_links_
+    std::uint16_t len = 0;   ///< links on the route
+    bool built = false;
+  };
+  static constexpr std::int64_t kRouteCacheMaxNodes = 512;
+
+  /// Memoize src->dst (inter-node pairs only) and return its entry.
+  const RouteEntry& cache_route(core::NodeId src, core::NodeId dst);
+
   sim::Engine* eng_;
   NetworkParams params_;
   TorusGeometry torus_;
   std::vector<std::int64_t> slot_of_node_;
   std::vector<sim::TimeNs> link_free_;
   std::vector<StreamLru> streams_;
+  std::vector<RouteEntry> route_cache_;   ///< N^2; empty => disabled
+  std::vector<std::int32_t> route_links_; ///< concatenated cached links
+  std::uint64_t routes_cached_ = 0;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_total_ = 0;
   std::uint64_t stream_misses_ = 0;

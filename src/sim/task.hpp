@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/time.hpp"
 
 namespace vtopo::sim {
@@ -52,6 +53,12 @@ struct PromiseBase {
   // A simulated actor has no one to rethrow to; failing fast keeps the
   // deterministic run debuggable.
   [[noreturn]] void unhandled_exception() { std::terminate(); }
+
+  // Coroutine frames come from the size-class freelists: per-op
+  // coroutines (issue_send, roundtrip, CHT service loops) stop touching
+  // the allocator once the pool reaches its high-water mark.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
 };
 
 }  // namespace detail
@@ -154,6 +161,12 @@ struct Detached {
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() {}
     [[noreturn]] void unhandled_exception() { std::terminate(); }
+    static void* operator new(std::size_t n) {
+      return FramePool::allocate(n);
+    }
+    static void operator delete(void* p) noexcept {
+      FramePool::deallocate(p);
+    }
   };
 };
 
@@ -195,7 +208,8 @@ inline Sleep sleep_for(Engine& eng, TimeNs delay) { return Sleep(eng, delay); }
 template <class T>
 class Future {
  public:
-  explicit Future(Engine& eng) : st_(std::make_shared<State>(&eng)) {}
+  explicit Future(Engine& eng)
+      : st_(std::allocate_shared<State>(RecycleAlloc<State>{}, &eng)) {}
 
   /// Fulfil the future. Resumes the waiter (if any) via the event queue at
   /// the current simulated time. Must be called exactly once.

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Configure, build, and run the sim + armci test suites under
+# ASan+UBSan (the pooling/recycling layers are exactly where lifetime
+# bugs would hide). Any sanitizer report aborts the run
+# (-fno-sanitize-recover=all) and fails the script.
+#
+# Usage: tools/check_sanitize.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)" "$@"
