@@ -33,6 +33,7 @@ double run_two_sided_sweep(core::TopologyKind kind, int iterations) {
   const core::Shape grid = core::mesh_shape_for(rt.num_procs());
   const std::int32_t px = grid.dim(0);
 
+  // vtopo-lint: allow(coro-ref) -- closure copied into Runtime::programs_; captured locals outlive run_all()
   rt.spawn_all([&, px, iterations](armci::Proc& p) -> sim::Co<void> {
     const armci::ProcId me = p.id();
     const std::int32_t ix = me % px;

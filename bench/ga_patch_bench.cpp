@@ -33,6 +33,7 @@ Sample measure(core::TopologyKind kind, std::int64_t patch,
   sim::Series get_series;
   sim::Series acc_series;
   // One measuring process touching far-away patches; everyone else idle.
+  // vtopo-lint: allow(coro-ref) -- closure copied into Runtime::programs_; captured locals outlive run_all()
   rt.spawn(rt.num_procs() - 1, [&](armci::Proc& p) -> sim::Co<void> {
     std::vector<double> buf(static_cast<std::size_t>(patch * patch));
     sim::Engine& e = p.runtime().engine();

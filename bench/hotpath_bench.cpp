@@ -7,6 +7,8 @@
 // std::priority_queue over events carrying std::function payloads) and
 // measures it alongside the current engine, so the speedup is computed
 // in one process on the same machine rather than across checkouts.
+//
+// vtopo-lint: allow-file(nondeterminism) -- wall-clock throughput timing only; never feeds simulated results
 #include <algorithm>
 #include <cassert>
 #include <chrono>

@@ -11,6 +11,8 @@
 // processes — its per-node credit state is O(N) (every node neighbors
 // every other), so the full-graph points would measure allocator
 // thrashing, exactly the scaling wall Figure 5 documents.
+//
+// vtopo-lint: allow-file(nondeterminism) -- wall-clock throughput timing only; never feeds simulated results
 #include <sys/resource.h>
 
 #include <chrono>

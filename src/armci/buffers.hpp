@@ -28,6 +28,7 @@
 
 #include "core/coords.hpp"
 #include "sim/engine.hpp"
+#include "sim/validate.hpp"
 
 namespace vtopo::armci {
 
@@ -37,6 +38,7 @@ class CreditBank {
 
   struct Pool {
     std::int64_t count = 0;
+    std::int64_t in_use = 0;     ///< credits currently held by senders
     std::uint32_t head = kNil;   ///< oldest waiter (arena index)
     std::uint32_t tail = kNil;   ///< newest waiter
     std::uint32_t nwait = 0;
@@ -53,6 +55,7 @@ class CreditBank {
   CreditBank(sim::Engine& eng, std::int64_t credits_per_edge,
              std::vector<core::NodeId> neighbors)
       : eng_(&eng),
+        limit_(credits_per_edge),
         neighbors_(std::move(neighbors)),
         pools_(neighbors_.size()) {
     assert(std::is_sorted(neighbors_.begin(), neighbors_.end()));
@@ -66,6 +69,7 @@ class CreditBank {
       Pool& p = bank->pools_[idx];
       if (p.count > 0) {
         --p.count;
+        ++p.in_use;
         return true;
       }
       return false;
@@ -87,7 +91,12 @@ class CreditBank {
   /// event queue at the current time); count stays unchanged.
   void release(core::NodeId receiver) {
     Pool& p = pools_[index_of(receiver)];
+    VTOPO_CHECK(p.in_use > 0, "credit released that was never acquired");
     if (p.head != kNil) {
+      // Hand the credit straight to the oldest waiter: the releaser's
+      // in_use transfers to the waiter, so count and in_use are both
+      // unchanged (a waiter can only exist while count == 0).
+      VTOPO_CHECK(p.count == 0, "waiter parked while credits were free");
       const std::uint32_t w = p.head;
       p.head = arena_[w].next;
       if (p.head == kNil) p.tail = kNil;
@@ -98,6 +107,7 @@ class CreditBank {
       eng_->schedule_after(0, [h] { h.resume(); });
     } else {
       ++p.count;
+      --p.in_use;
     }
   }
 
@@ -106,6 +116,38 @@ class CreditBank {
   }
   [[nodiscard]] std::size_t waiters(core::NodeId receiver) const {
     return pools_[index_of(receiver)].nwait;
+  }
+  [[nodiscard]] std::int64_t in_use(core::NodeId receiver) const {
+    return pools_[index_of(receiver)].in_use;
+  }
+  [[nodiscard]] std::int64_t credits_per_edge() const { return limit_; }
+
+  /// Credit conservation: for every pool, free + in-use credits equal
+  /// the per-edge limit, neither is negative, and a waiter can only be
+  /// parked while the pool is exhausted.
+  [[nodiscard]] bool conserved() const {
+    for (const Pool& p : pools_) {
+      if (p.count < 0 || p.in_use < 0) return false;
+      if (p.count + p.in_use != limit_) return false;
+      if (p.nwait > 0 && p.count != 0) return false;
+    }
+    return true;
+  }
+
+  /// Abort (via validate_fail) unless conserved(). Compiled into every
+  /// build so the validate ctest can exercise it; `what` names the bank
+  /// in the failure message.
+  void check_conserved(const char* what) const {
+    VTOPO_CHECK_ALWAYS(conserved(), what);
+  }
+
+  /// Quiescence: conservation plus no credit held and no waiter parked —
+  /// the shutdown condition after a clean run_all().
+  void check_quiescent(const char* what) const {
+    check_conserved(what);
+    for (const Pool& p : pools_) {
+      VTOPO_CHECK_ALWAYS(p.in_use == 0 && p.nwait == 0, what);
+    }
   }
 
   /// Total time senders on this node spent blocked on exhausted credits.
@@ -143,6 +185,7 @@ class CreditBank {
   }
 
   sim::Engine* eng_;
+  std::int64_t limit_ = 0;      ///< credits_per_edge at construction
   std::vector<core::NodeId> neighbors_;
   std::vector<Pool> pools_;
   std::vector<Waiter> arena_;   ///< shared by all slots of this bank

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "armci/runtime.hpp"
+#include "sim/validate.hpp"
 
 namespace vtopo::armci {
 
@@ -91,7 +92,15 @@ sim::Co<void> Cht::forward(RequestPtr r) {
   r->upstream_is_cht = true;
   r->hop_credit_taken = true;
   ++r->forwards;
-  ++rt_->stats().forwards;
+  RuntimeStats& stats = rt_->stats();
+  ++stats.forwards;
+  stats.max_forwards_seen =
+      std::max(stats.max_forwards_seen,
+               static_cast<std::uint64_t>(r->forwards));
+  // Every hop fixes one more coordinate toward the target, so no route
+  // can exceed the topology's rank-1 forwarding bound (any policy).
+  VTOPO_CHECK(r->forwards <= rt_->topology().max_forwards(),
+              "request forwarded past the topology's max-forwards bound");
 
   Cht& next_cht = rt_->cht(next);
   RequestPtr rr = std::move(r);

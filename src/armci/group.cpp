@@ -14,16 +14,20 @@ ProcGroup::ProcGroup(Runtime& rt, std::vector<ProcId> members)
   if (members_.empty()) {
     throw std::invalid_argument("ProcGroup: empty member list");
   }
+  rank_of_.reserve(members_.size());
   for (std::size_t i = 0; i < members_.size(); ++i) {
     const ProcId p = members_[i];
     if (p < 0 || p >= rt.num_procs()) {
       throw std::invalid_argument("ProcGroup: rank out of range");
     }
-    const auto [it, inserted] =
-        rank_of_.emplace(p, static_cast<std::int64_t>(i));
-    if (!inserted) {
-      throw std::invalid_argument("ProcGroup: duplicate rank");
-    }
+    rank_of_.emplace_back(p, static_cast<std::int64_t>(i));
+  }
+  std::sort(rank_of_.begin(), rank_of_.end());
+  const auto dup = std::adjacent_find(
+      rank_of_.begin(), rank_of_.end(),
+      [](const auto& a, const auto& b) { return a.first == b.first; });
+  if (dup != rank_of_.end()) {
+    throw std::invalid_argument("ProcGroup: duplicate rank");
   }
 }
 
@@ -45,10 +49,18 @@ ProcGroup ProcGroup::node_group(Runtime& rt, core::NodeId node) {
   return ProcGroup(rt, std::move(members));
 }
 
-std::int64_t ProcGroup::rank_of(ProcId p) const {
-  const auto it = rank_of_.find(p);
-  assert(it != rank_of_.end() && "rank_of on non-member");
+std::int64_t ProcGroup::find_rank(ProcId p) const {
+  const auto it = std::lower_bound(
+      rank_of_.begin(), rank_of_.end(), p,
+      [](const auto& entry, ProcId id) { return entry.first < id; });
+  if (it == rank_of_.end() || it->first != p) return -1;
   return it->second;
+}
+
+std::int64_t ProcGroup::rank_of(ProcId p) const {
+  const std::int64_t r = find_rank(p);
+  assert(r >= 0 && "rank_of on non-member");
+  return r;
 }
 
 sim::Co<void> ProcGroup::barrier(ProcId self) {

@@ -8,7 +8,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "armci/memory.hpp"
@@ -37,7 +37,7 @@ class ProcGroup {
     return members_;
   }
   [[nodiscard]] bool contains(ProcId p) const {
-    return rank_of_.count(p) != 0;
+    return find_rank(p) >= 0;
   }
   /// Rank of `p` within the group (asserts membership).
   [[nodiscard]] std::int64_t rank_of(ProcId p) const;
@@ -48,9 +48,15 @@ class ProcGroup {
   [[nodiscard]] sim::Co<double> allreduce_sum(ProcId self, double value);
 
  private:
+  /// Group rank of `p`, or -1 for non-members (binary search).
+  [[nodiscard]] std::int64_t find_rank(ProcId p) const;
+
   Runtime* rt_;
   std::vector<ProcId> members_;
-  std::unordered_map<ProcId, std::int64_t> rank_of_;
+  /// (member id, group rank) sorted by id. A sorted vector instead of a
+  /// hash map keeps lookups cache-friendly and any future iteration
+  /// deterministic (lint rule D2).
+  std::vector<std::pair<ProcId, std::int64_t>> rank_of_;
 
   // Collective state (one outstanding collective of each kind at a
   // time, as with the global barrier).

@@ -19,6 +19,7 @@
 #include "core/coords.hpp"
 #include "armci/memory.hpp"
 #include "sim/task.hpp"
+#include "sim/validate.hpp"
 
 namespace vtopo::armci {
 
@@ -222,6 +223,19 @@ class RequestPool {
   /// Heap constructions (cold starts) / freelist reuses so far.
   [[nodiscard]] std::uint64_t created() const { return created_; }
   [[nodiscard]] std::uint64_t reused() const { return reused_; }
+
+  /// Requests handed out and not yet recycled. Every created request is
+  /// either parked or live, so after a clean run this is zero; a nonzero
+  /// value at quiescence means a RequestPtr cycle or a dropped response.
+  [[nodiscard]] std::uint64_t live() const {
+    return created_ - static_cast<std::uint64_t>(parked_);
+  }
+  /// Abort (via validate_fail) unless every request returned to the
+  /// pool. Compiled into every build; call only at quiescence — a
+  /// mid-run call would report in-flight requests as leaks.
+  void check_drained(const char* what) const {
+    VTOPO_CHECK_ALWAYS(live() == 0, what);
+  }
 
  private:
   friend class RequestPtr;

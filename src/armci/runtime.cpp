@@ -7,6 +7,7 @@
 
 #include "armci/cht.hpp"
 #include "armci/proc.hpp"
+#include "sim/validate.hpp"
 
 namespace vtopo::armci {
 
@@ -82,6 +83,20 @@ void Runtime::run_all() {
   eng_->run();
   if (live_ != 0) throw DeadlockError(live_);
   stop_chts();
+#if VTOPO_VALIDATE_ENABLED
+  validate_quiescent();
+#endif
+}
+
+void Runtime::validate_quiescent() {
+  for (const auto& bank : credit_banks_) {
+    bank->check_quiescent("credit bank not quiescent after run");
+  }
+  request_pool_.check_drained("request leaked past shutdown");
+  VTOPO_CHECK_ALWAYS(
+      stats_.max_forwards_seen <=
+          static_cast<std::uint64_t>(topology_.max_forwards()),
+      "request forwarded past the topology's max-forwards bound");
 }
 
 bool Runtime::run_for(sim::TimeNs deadline) {

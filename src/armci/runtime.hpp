@@ -39,6 +39,8 @@ class Proc;
 struct RuntimeStats {
   std::uint64_t requests = 0;        ///< CHT-mediated requests issued
   std::uint64_t forwards = 0;        ///< intermediate-CHT forwardings
+  std::uint64_t max_forwards_seen = 0;  ///< deepest forwarding chain of
+                                        ///< any single request
   std::uint64_t acks = 0;            ///< buffer-credit acknowledgments
   std::uint64_t responses = 0;       ///< responses delivered to origins
   std::uint64_t direct_ops = 0;      ///< contiguous put/get (no CHT)
@@ -137,6 +139,14 @@ class Runtime {
   /// finished. Does not throw on deadlock (callers inspect live_tasks()).
   bool run_for(sim::TimeNs deadline);
   [[nodiscard]] std::int64_t live_tasks() const { return live_; }
+
+  /// Quiescence invariants after a clean run: every credit bank has all
+  /// credits free and no parked waiter, every request returned to the
+  /// pool, and no request was ever forwarded past the topology's
+  /// max-forwards bound. Aborts (validate_fail) on violation. run_all()
+  /// calls this automatically when built with -DVTOPO_VALIDATE; the
+  /// validate ctest calls it explicitly in any build.
+  void validate_quiescent();
 
   /// Full-membership barrier support (used via Proc::barrier()).
   [[nodiscard]] sim::Co<void> barrier_wait();

@@ -7,7 +7,8 @@ namespace vtopo::core {
 
 namespace {
 
-/// Dense interning of (receiver, sender) buffer edges.
+/// Dense interning of (receiver, sender) buffer edges, with the reverse
+/// index -> edge map for diagnostics.
 class EdgeInterner {
  public:
   explicit EdgeInterner(std::int64_t n) : n_(n) {}
@@ -16,13 +17,18 @@ class EdgeInterner {
                              static_cast<std::int64_t>(sender);
     auto [it, inserted] =
         ids_.emplace(key, static_cast<std::uint32_t>(ids_.size()));
+    if (inserted) edges_.push_back({receiver, sender});
     return it->second;
   }
   [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  [[nodiscard]] std::vector<DependencyGraph::Resource> take_edges() {
+    return std::move(edges_);
+  }
 
  private:
   std::int64_t n_;
   std::unordered_map<std::int64_t, std::uint32_t> ids_;
+  std::vector<DependencyGraph::Resource> edges_;
 };
 
 }  // namespace
@@ -54,6 +60,14 @@ DependencyGraph::DependencyGraph(const VirtualTopology& topo) {
   num_deps_ = deps.size();
   adjacency_.assign(interner.size(), {});
   for (const auto& [from, to] : deps) adjacency_[from].push_back(to);
+  resources_ = interner.take_edges();
+}
+
+bool DependencyGraph::has_dependency(std::size_t from,
+                                     std::size_t to) const {
+  const auto& adj = adjacency_[from];
+  return std::binary_search(adj.begin(), adj.end(),
+                            static_cast<std::uint32_t>(to));
 }
 
 bool DependencyGraph::acyclic() const { return find_cycle().empty(); }

@@ -30,10 +30,26 @@ class DependencyGraph {
   /// O(N^2 * k); intended for verification, not the hot path.
   explicit DependencyGraph(const VirtualTopology& topo);
 
+  /// One buffer-edge resource: the pool node `receiver` dedicates to
+  /// requests arriving from `sender`.
+  struct Resource {
+    NodeId receiver = 0;
+    NodeId sender = 0;
+  };
+
   /// Number of distinct buffer-edge resources encountered.
   [[nodiscard]] std::size_t num_resources() const {
     return adjacency_.size();
   }
+  /// The buffer edge behind resource index `i` (as returned by
+  /// find_cycle); `i` must be < num_resources().
+  [[nodiscard]] Resource resource(std::size_t i) const {
+    return resources_[i];
+  }
+  /// True if holding resource `from` can block on resource `to`
+  /// (a dependency arc exists). Binary search over the sorted
+  /// adjacency list.
+  [[nodiscard]] bool has_dependency(std::size_t from, std::size_t to) const;
   /// Number of dependency arcs.
   [[nodiscard]] std::size_t num_dependencies() const { return num_deps_; }
 
@@ -46,8 +62,10 @@ class DependencyGraph {
   [[nodiscard]] std::vector<std::size_t> find_cycle() const;
 
  private:
-  // Resources are densely indexed; adjacency lists are deduplicated.
+  // Resources are densely indexed; adjacency lists are sorted and
+  // deduplicated.
   std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<Resource> resources_;  ///< index -> buffer edge
   std::size_t num_deps_ = 0;
 };
 

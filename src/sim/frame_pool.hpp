@@ -78,6 +78,22 @@ class FramePool {
   [[nodiscard]] static std::uint64_t reused() { return lists().reused; }
   [[nodiscard]] static std::uint64_t created() { return lists().created; }
 
+  /// Blocks currently parked on this thread's freelists.
+  [[nodiscard]] static std::uint64_t parked() {
+    const Lists& tl = lists();
+    std::uint64_t n = 0;
+    for (const auto& list : tl.free) {
+      n += static_cast<std::uint64_t>(list.size());
+    }
+    return n;
+  }
+  /// Pooled blocks handed out on this thread and not yet returned
+  /// (coroutine frames still alive). Zero once every frame completed;
+  /// trim() does not change it (trim only frees *parked* blocks).
+  [[nodiscard]] static std::uint64_t live() {
+    return lists().created - parked();
+  }
+
   /// Release every parked block back to the heap (tests that want to
   /// measure from a cold pool).
   static void trim() {

@@ -1,0 +1,16 @@
+#include "sim/validate.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vtopo::detail {
+
+void validate_fail(const char* file, int line, const char* cond,
+                   const char* msg) {
+  std::fprintf(stderr, "%s:%d: invariant violated: %s (%s)\n", file, line,
+               cond, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace vtopo::detail

@@ -1,0 +1,43 @@
+// Runtime invariant layer (the VTOPO_VALIDATE compile option).
+//
+// Two macro tiers:
+//   VTOPO_CHECK(cond, msg)        — compiled in only when the build sets
+//                                   -DVTOPO_VALIDATE (the `tsan` preset
+//                                   and `cmake -DVTOPO_VALIDATE=ON`).
+//                                   Use on hot paths.
+//   VTOPO_CHECK_ALWAYS(cond, msg) — compiled in unconditionally. Use in
+//                                   explicit check_*() entry points so
+//                                   the validate ctest can exercise the
+//                                   invariants in any build.
+//
+// VTOPO_VALIDATE must only ever be set build-wide (the CMake option does
+// this via add_compile_definitions): the guarded code lives in inline
+// header functions, and per-target definitions would create divergent
+// inline definitions across translation units (an ODR violation).
+//
+// A failed check prints `file:line: invariant violated: cond (msg)` to
+// stderr and aborts — deterministic, unskippable, and visible to death
+// tests.
+#pragma once
+
+namespace vtopo::detail {
+
+[[noreturn]] void validate_fail(const char* file, int line,
+                                const char* cond, const char* msg);
+
+}  // namespace vtopo::detail
+
+#define VTOPO_CHECK_ALWAYS(cond, msg)                                   \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::vtopo::detail::validate_fail(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                   \
+  } while (false)
+
+#if defined(VTOPO_VALIDATE)
+#define VTOPO_VALIDATE_ENABLED 1
+#define VTOPO_CHECK(cond, msg) VTOPO_CHECK_ALWAYS(cond, msg)
+#else
+#define VTOPO_VALIDATE_ENABLED 0
+#define VTOPO_CHECK(cond, msg) static_cast<void>(0)
+#endif

@@ -15,8 +15,9 @@ using armci::GetSeg;
 using armci::Proc;
 using armci::PutSeg;
 
-/// One operation against rank 0, as configured.
-sim::Co<void> do_op(Proc& p, const ContentionConfig& cfg,
+/// One operation against rank 0, as configured. `cfg` is a small value
+/// copy so the frame never references a caller-owned temporary.
+sim::Co<void> do_op(Proc& p, ContentionConfig cfg,
                     std::int64_t counter_off, std::int64_t region_off,
                     std::vector<std::uint8_t>& scratch) {
   switch (cfg.op) {

@@ -27,7 +27,7 @@ armci::ProcId owner_of(std::int64_t t, std::int64_t salt,
   return static_cast<armci::ProcId>(h % static_cast<std::uint64_t>(nprocs));
 }
 
-sim::Co<void> one_tile(Proc& p, const std::shared_ptr<Shared>& st,
+sim::Co<void> one_tile(Proc& p, std::shared_ptr<Shared> st,
                        std::int64_t tile) {
   const CcsdConfig& cfg = st->cfg;
   const std::int64_t tile_bytes = cfg.tile_rows * cfg.row_bytes;

@@ -31,7 +31,7 @@ armci::ProcId owner_of(std::int64_t b, std::int64_t nprocs) {
   return static_cast<armci::ProcId>(h % static_cast<std::uint64_t>(nprocs));
 }
 
-sim::Co<void> one_task(Proc& p, const std::shared_ptr<Shared>& st,
+sim::Co<void> one_task(Proc& p, std::shared_ptr<Shared> st,
                        std::int64_t task) {
   const DftConfig& cfg = st->cfg;
   const std::int64_t block_bytes = cfg.block_doubles * 8;

@@ -3,8 +3,8 @@
 namespace vtopo::work {
 
 sim::Co<void> drain_task_pool(
-    armci::Proc& p, const TaskPool& pool,
-    const std::function<sim::Co<void>(std::int64_t)>& task) {
+    armci::Proc& p, TaskPool pool,
+    std::function<sim::Co<void>(std::int64_t)> task) {
   for (;;) {
     const std::int64_t first =
         co_await p.fetch_add(pool.counter, pool.chunk);

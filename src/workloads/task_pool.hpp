@@ -20,8 +20,11 @@ struct TaskPool {
 
 /// Repeatedly claim chunks from the pool and run `task(task_id)` until
 /// the pool drains. `task` is a coroutine (communication + compute).
+/// `pool` and `task` are taken by value: callers routinely pass
+/// temporaries, and a reference parameter would dangle if the returned
+/// Co<> were stored and awaited after the full-expression ends.
 [[nodiscard]] sim::Co<void> drain_task_pool(
-    armci::Proc& p, const TaskPool& pool,
-    const std::function<sim::Co<void>(std::int64_t)>& task);
+    armci::Proc& p, TaskPool pool,
+    std::function<sim::Co<void>(std::int64_t)> task);
 
 }  // namespace vtopo::work

@@ -1,0 +1,244 @@
+// Seeded-violation fixtures for vtopo-lint: each rule must fire on a
+// minimal offending snippet, stay quiet on the idiomatic safe variant,
+// and honor the allow()/allow-file() escape hatches. The fixtures drive
+// the Linter library directly with in-memory files, so the expected
+// file:line of every diagnostic is exact.
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace vtopo::lint {
+namespace {
+
+std::vector<Diagnostic> lint_one(const std::string& path,
+                                 const std::string& code) {
+  Linter linter;
+  linter.add_file(path, code);
+  return linter.run();
+}
+
+bool has_rule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+TEST(LintD1, FiresOnRandomDevice) {
+  const auto diags = lint_one("src/sim/engine.cpp",
+                              "#include <random>\n"
+                              "int seed() { std::random_device rd; "
+                              "return (int)rd(); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "D1");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintD1, FiresOnWallClocksRandAndGetenv) {
+  const auto diags = lint_one(
+      "src/net/network.cpp",
+      "#include <chrono>\n"
+      "auto a() { return std::chrono::system_clock::now(); }\n"
+      "auto b() { return std::chrono::steady_clock::now(); }\n"
+      "int c() { return rand(); }\n"
+      "const char* d() { return getenv(\"VTOPO_SEED\"); }\n"
+      "long e() { return time(nullptr); }\n");
+  EXPECT_EQ(diags.size(), 5u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "D1");
+}
+
+TEST(LintD1, ExemptInsideRngModule) {
+  const auto diags = lint_one("src/sim/rng.cpp",
+                              "#include <random>\n"
+                              "unsigned s() { std::random_device rd; "
+                              "return rd(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintD1, NotFooledByCommentsOrStrings) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "// std::random_device in a comment is fine\n"
+      "const char* s = \"rand() inside a string literal\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintD2, FiresOnRangeForOverUnorderedMap) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> table;\n"
+      "int sum() { int s = 0; for (const auto& [k, v] : table) s += v;"
+      " return s; }\n");
+  ASSERT_TRUE(has_rule(diags, "D2"));
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintD2, FiresOnBeginIteratorLoop) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "#include <unordered_set>\n"
+      "std::unordered_set<long> seen;\n"
+      "void f() { for (auto it = seen.begin(); it != seen.end(); ++it) {} }\n");
+  EXPECT_TRUE(has_rule(diags, "D2"));
+}
+
+TEST(LintD2, TracksDeclarationAcrossFiles) {
+  // Member declared unordered in the header, iterated in the .cpp.
+  Linter linter;
+  linter.add_file("src/x/t.hpp",
+                  "#include <unordered_map>\n"
+                  "struct T { std::unordered_map<int, int> index_; };\n");
+  linter.add_file("src/x/t.cpp",
+                  "#include \"t.hpp\"\n"
+                  "int f(T& t) { int s = 0;\n"
+                  "for (auto& [k, v] : t.index_) s += v;\n"
+                  "return s; }\n");
+  const auto diags = linter.run();
+  ASSERT_TRUE(has_rule(diags, "D2"));
+  EXPECT_EQ(diags[0].file, "src/x/t.cpp");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintD2, LookupWithoutIterationIsClean) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> table;\n"
+      "bool has(int k) { return table.find(k) != table.end(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintD2, AnnotationSuppresses) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> table;\n"
+      "// vtopo-lint: allow(unordered-iter) -- order folded through a "
+      "commutative sum\n"
+      "int sum() { int s = 0; for (const auto& [k, v] : table) s += v;"
+      " return s; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintD3, FiresOnPointerKeyedOrdering) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "#include <set>\n"
+      "struct Node;\n"
+      "std::set<Node*> live;\n"
+      "std::less<const Node*> cmp;\n");
+  EXPECT_EQ(diags.size(), 2u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "D3");
+}
+
+TEST(LintD3, ValueKeyedOrderingIsClean) {
+  const auto diags = lint_one("src/a.cpp",
+                              "#include <set>\n"
+                              "std::set<int> ids;\n"
+                              "std::map<long, int> ranks;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintC1, FiresOnConstRefCoroutineParam) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "#include \"sim/task.hpp\"\n"
+      "struct Cfg { int n; };\n"
+      "sim::Co<void> run(const Cfg& cfg);\n"
+      "sim::Co<void> run(const Cfg& cfg) { co_return; }\n");
+  EXPECT_EQ(diags.size(), 2u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "C1");
+}
+
+TEST(LintC1, FiresOnRvalueRefAndDetached) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "sim::Co<int> eat(std::string&& s) { co_return 0; }\n"
+      "Detached watch(const Config& c) { co_return; }\n");
+  EXPECT_EQ(diags.size(), 2u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "C1");
+}
+
+TEST(LintC1, MutableLvalueRefIsClean) {
+  // Proc& / Engine& style parameters reference long-lived actors; only
+  // const-ref (binds temporaries) and rvalue-ref are hazards.
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "sim::Co<void> body(armci::Proc& p, std::int64_t n) { co_return; }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintC1, FiresOnRefCapturingCoroutineLambda) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "void f() {\n"
+      "  int x = 0;\n"
+      "  auto t = [&](int k) -> sim::Co<void> { co_return; };\n"
+      "}\n");
+  ASSERT_TRUE(has_rule(diags, "C1"));
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintC1, ValueCapturingCoroutineLambdaIsClean) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "void f() {\n"
+      "  int x = 0;\n"
+      "  auto t = [x](int k) -> sim::Co<void> { co_return; };\n"
+      "  auto plain = [&] { return x; };\n"  // not a coroutine
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintA0, MalformedAnnotationReported) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "// vtopo-lint: allow(unordered-iter)\n"          // missing reason
+      "// vtopo-lint: allow(no-such-rule) -- why\n");   // unknown rule
+  EXPECT_EQ(diags.size(), 2u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "A0");
+}
+
+TEST(LintFile, AllowFileSuppressesEveryHitOfThatRule) {
+  const auto diags = lint_one(
+      "bench/t.cpp",
+      "// vtopo-lint: allow-file(nondeterminism) -- wall-clock bench\n"
+      "#include <chrono>\n"
+      "auto t0() { return std::chrono::steady_clock::now(); }\n"
+      "auto t1() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintOutput, TextAndJsonFormats) {
+  const auto diags = lint_one("src/a.cpp", "int f() { return rand(); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string text = format_text(diags);
+  EXPECT_NE(text.find("src/a.cpp:1:"), std::string::npos);
+  EXPECT_NE(text.find("[D1]"), std::string::npos);
+  const std::string json = format_json(diags);
+  EXPECT_NE(json.find("\"rule\": \"D1\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+}
+
+TEST(LintOutput, DiagnosticsSortedByFileThenLine) {
+  Linter linter;
+  linter.add_file("src/b.cpp", "int f() { return rand(); }\n");
+  linter.add_file("src/a.cpp", "void g();\nint f() { return rand(); }\n");
+  const auto diags = linter.run();
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].file, "src/a.cpp");
+  EXPECT_EQ(diags[1].file, "src/b.cpp");
+}
+
+TEST(LintMeta, AnnotationNameMapping) {
+  EXPECT_EQ(annotation_name("D1"), "nondeterminism");
+  EXPECT_EQ(annotation_name("D2"), "unordered-iter");
+  EXPECT_EQ(annotation_name("D3"), "pointer-order");
+  EXPECT_EQ(annotation_name("C1"), "coro-ref");
+}
+
+}  // namespace
+}  // namespace vtopo::lint

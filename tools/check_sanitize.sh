@@ -1,14 +1,51 @@
 #!/usr/bin/env bash
-# Configure, build, and run the sim + armci test suites under
-# ASan+UBSan (the pooling/recycling layers are exactly where lifetime
-# bugs would hide). Any sanitizer report aborts the run
-# (-fno-sanitize-recover=all) and fails the script.
+# Sanitizer sweep over the suites where lifetime and threading bugs
+# would hide.
+#
+#   1. ASan+UBSan over the sim + armci suites (the pooling/recycling
+#      layers are exactly where lifetime bugs sit).
+#   2. TSan (+VTOPO_VALIDATE) over the parallel paths: the --jobs sweep
+#      harness and the hotpath bench worker threads, plus a byte-diff of
+#      --jobs 4 against --jobs 1 output — determinism under threads, not
+#      just race-freedom.
+#
+# Any sanitizer report aborts the run (-fno-sanitize-recover=all) and
+# fails the script.
 #
 # Usage: tools/check_sanitize.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== ASan+UBSan =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 ctest --preset asan -j "$(nproc)" "$@"
+
+echo "== TSan =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --test-dir build-tsan -j "$(nproc)" -L "sim|bench" \
+  --output-on-failure "$@"
+
+tsan_out=$(mktemp -d)
+trap 'rm -rf "$tsan_out"' EXIT
+
+# The figure drivers thread their sweeps with --jobs N; the parallel run
+# must be race-free AND byte-identical to the serial one.
+./build-tsan/bench/fig5_memory --max-procs 3072 --jobs 1 \
+  >"$tsan_out/fig5_serial.txt"
+./build-tsan/bench/fig5_memory --max-procs 3072 --jobs 4 \
+  >"$tsan_out/fig5_jobs4.txt"
+diff -u "$tsan_out/fig5_serial.txt" "$tsan_out/fig5_jobs4.txt"
+
+./build-tsan/bench/fig7_fetchadd_contention --quick --nodes 32 --ppn 2 \
+  --iters 2 --jobs 1 >"$tsan_out/fig7_serial.txt"
+./build-tsan/bench/fig7_fetchadd_contention --quick --nodes 32 --ppn 2 \
+  --iters 2 --jobs 4 >"$tsan_out/fig7_jobs4.txt"
+diff -u "$tsan_out/fig7_serial.txt" "$tsan_out/fig7_jobs4.txt"
+
+# Thread-pool startup/teardown in the hotpath bench.
+./build-tsan/bench/hotpath_bench --quick >/dev/null
+
+echo "sanitize: ASan+UBSan suites, TSan suites, and --jobs byte-diffs clean"

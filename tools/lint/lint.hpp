@@ -1,0 +1,80 @@
+// vtopo-lint: project-specific determinism & coroutine-safety checks.
+//
+// The reproduction's headline guarantee is bit-identical determinism:
+// figs 5/6/7 are locked behind FNV goldens and the --jobs sweep must be
+// byte-identical to a serial run. Nothing in the compiler stops a future
+// change from iterating an unordered_map into the event stream or
+// reading a wall clock inside the simulator — so this little analyzer
+// does. It is a tokenizer/AST-lite checker (no libclang): it blanks
+// comments and literals, tokenizes, and pattern-matches rule-specific
+// token shapes. That makes it fast, dependency-free, and deterministic,
+// at the cost of name-based (not type-based) resolution for rule D2 —
+// the annotation escape hatch covers the rare false positive.
+//
+// Rules (see docs/static_analysis.md for the full catalogue):
+//   D1 nondeterminism  — wall clocks, rand(), random_device, getenv
+//                        outside src/sim/rng.*
+//   D2 unordered-iter  — iteration over unordered_{map,set} (range-for
+//                        or .begin() family) anywhere in src/ or bench/
+//   D3 pointer-order   — ordering containers/comparators keyed on
+//                        pointer values (std::less<T*>, std::set<T*>, …)
+//   C1 coro-ref        — coroutine-frame lifetime hazards: Co<T>/
+//                        Detached functions with const-ref or rvalue-ref
+//                        parameters (can bind dead temporaries), and
+//                        coroutine lambdas capturing by reference
+//   A0 annotation      — malformed vtopo-lint annotation (missing
+//                        "-- reason", unknown rule name)
+//
+// Escape hatch, same line or the line directly above the violation:
+//   // vtopo-lint: allow(<rule>) -- <reason>
+// or once per file (anywhere in the file):
+//   // vtopo-lint: allow-file(<rule>) -- <reason>
+// where <rule> is one of: nondeterminism, unordered-iter, pointer-order,
+// coro-ref.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vtopo::lint {
+
+struct Diagnostic {
+  std::string rule;     ///< "D1", "D2", "D3", "C1", "A0"
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Stable rule-id -> annotation-name mapping ("D2" -> "unordered-iter").
+[[nodiscard]] std::string_view annotation_name(std::string_view rule_id);
+
+class Linter {
+ public:
+  /// Queue a file for analysis. `path` is used for diagnostics and for
+  /// the D1 exemption (paths containing "sim/rng." may use any source
+  /// of randomness — that is where determinism is implemented).
+  void add_file(std::string path, std::string content);
+
+  /// Run all rules over every added file. Two passes: the first collects
+  /// the names of variables/members declared with unordered container
+  /// types across *all* files (declaration in a header, iteration in a
+  /// .cpp), the second pattern-matches the rules. Diagnostics are sorted
+  /// by (file, line) and therefore deterministic.
+  [[nodiscard]] std::vector<Diagnostic> run();
+
+ private:
+  struct File {
+    std::string path;
+    std::string content;
+  };
+  std::vector<File> files_;
+};
+
+/// Render diagnostics as compiler-style text lines ("file:line: [Dn] …").
+[[nodiscard]] std::string format_text(const std::vector<Diagnostic>& diags);
+
+/// Render diagnostics as a JSON array (machine-readable --json mode).
+[[nodiscard]] std::string format_json(const std::vector<Diagnostic>& diags);
+
+}  // namespace vtopo::lint
