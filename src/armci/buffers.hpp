@@ -154,6 +154,75 @@ class CreditBank {
   [[nodiscard]] sim::TimeNs blocked_ns() const { return blocked_ns_; }
   void add_blocked(sim::TimeNs d) { blocked_ns_ += d; }
 
+  /// True when no credit is held and no waiter is parked on any pool —
+  /// the per-node drain condition of the reconfiguration quiesce loop.
+  [[nodiscard]] bool idle() const {
+    for (const Pool& p : pools_) {
+      if (p.in_use != 0 || p.nwait != 0) return false;
+    }
+    return true;
+  }
+
+  /// Pool-set delta of one remap at this bank.
+  struct RemapStats {
+    std::int64_t kept = 0;     ///< pools carried over (kept_edges)
+    std::int64_t added = 0;    ///< pools freshly allocated (added_edges)
+    std::int64_t removed = 0;  ///< pools torn down (removed_edges)
+  };
+
+  /// Incrementally remap the bank to a new sorted out-neighbor list:
+  /// pools for kept edges are moved over untouched (their buffer sets
+  /// are reused, not reallocated), pools for added edges start fresh at
+  /// the per-edge limit, pools for removed edges are dropped. The bank
+  /// must be idle() — the Runtime quiesces the request path first.
+  RemapStats apply_remap(const std::vector<core::NodeId>& new_neighbors) {
+    assert(std::is_sorted(new_neighbors.begin(), new_neighbors.end()));
+    VTOPO_CHECK_ALWAYS(idle(), "apply_remap on a non-idle credit bank");
+    RemapStats rs;
+    std::vector<core::NodeId> merged_n;
+    std::vector<Pool> merged_p;
+    merged_n.reserve(new_neighbors.size());
+    merged_p.reserve(new_neighbors.size());
+    std::size_t i = 0;
+    for (const core::NodeId nbr : new_neighbors) {
+      while (i < neighbors_.size() && neighbors_[i] < nbr) {
+        ++i;
+        ++rs.removed;
+      }
+      merged_n.push_back(nbr);
+      if (i < neighbors_.size() && neighbors_[i] == nbr) {
+        merged_p.push_back(pools_[i]);
+        ++i;
+        ++rs.kept;
+      } else {
+        Pool fresh;
+        fresh.count = limit_;
+        merged_p.push_back(fresh);
+        ++rs.added;
+      }
+    }
+    rs.removed += static_cast<std::int64_t>(neighbors_.size() - i);
+    neighbors_.swap(merged_n);
+    pools_.swap(merged_p);
+    return rs;
+  }
+
+  /// Rebuild-from-scratch alternative to apply_remap(): every pool of
+  /// the new neighbor list is reallocated, every old pool torn down,
+  /// regardless of overlap. Exists so the reconfiguration bench can
+  /// price the naive strategy against the incremental one.
+  RemapStats rebuild(const std::vector<core::NodeId>& new_neighbors) {
+    assert(std::is_sorted(new_neighbors.begin(), new_neighbors.end()));
+    VTOPO_CHECK_ALWAYS(idle(), "rebuild on a non-idle credit bank");
+    RemapStats rs;
+    rs.removed = static_cast<std::int64_t>(neighbors_.size());
+    rs.added = static_cast<std::int64_t>(new_neighbors.size());
+    neighbors_ = new_neighbors;
+    pools_.assign(new_neighbors.size(), Pool{});
+    for (Pool& p : pools_) p.count = limit_;
+    return rs;
+  }
+
  private:
   [[nodiscard]] std::size_t index_of(core::NodeId receiver) const {
     const auto it =

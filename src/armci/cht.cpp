@@ -294,9 +294,14 @@ void Cht::send_response(const RequestPtr& r, Response resp) {
   // move-only captures), and the future fulfilment is a typed member —
   // no shared_ptr<Response>, no std::function allocation.
   RequestPtr req = r;
+  Runtime* rt = rt_;
   rt_->network().deliver(node_, r->origin_node, wire, rt_->cht_stream(node_),
-                         [req = std::move(req),
+                         [rt, req = std::move(req),
                           resp = std::move(resp)]() mutable {
+    // Origin-side completion: the reconfigure quiesce may proceed once
+    // every issued request has reached this point and the credit acks
+    // have drained (CreditBank::idle()).
+    rt->note_request_completed();
     req->response_future->set(std::move(resp));
   });
 }

@@ -35,6 +35,14 @@ struct ArmciParams {
   sim::TimeNs cht_wakeup = sim::us(3.0);
   sim::TimeNs cht_poll_window = sim::us(5.0);
 
+  /// Live-reconfiguration cost model (Runtime::reconfigure): fixed
+  /// administrative cost per reconfiguration, per-buffer-set build and
+  /// teardown costs, and the polling interval of the quiesce loop.
+  sim::TimeNs reconfig_admin = sim::us(25.0);
+  sim::TimeNs reconfig_edge_build = sim::us(1.5);
+  sim::TimeNs reconfig_edge_teardown = sim::us(0.5);
+  sim::TimeNs reconfig_poll = sim::us(2.0);
+
   /// Origin-side software cost to build and issue a one-sided op.
   sim::TimeNs proc_op_overhead = sim::us(0.3);
   /// Cost of executing an atomic (fetch-&-add / swap) at the target.

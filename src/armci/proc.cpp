@@ -95,6 +95,14 @@ sim::Future<Response> Proc::make_future(const RequestPtr& r) {
 }
 
 sim::Co<void> Proc::issue_send(RequestPtr r) {
+  // Reconfiguration fence: new CHT-mediated ops park here while a live
+  // topology remap quiesces the request path. Unlock must bypass the
+  // fence — a parked lock waiter's request can only drain through its
+  // holder's unlock. Ready (zero events, zero time) when inactive.
+  while (rt_->reconfig_active() && r->op != OpCode::kUnlock) {
+    co_await rt_->reconfig_fence();
+  }
+  rt_->note_request_issued();
   sim::Engine& eng = rt_->engine();
   const ArmciParams& p = rt_->params();
   ++rt_->stats().requests;

@@ -7,6 +7,8 @@
 
 #include "armci/cht.hpp"
 #include "armci/proc.hpp"
+#include "core/coords.hpp"
+#include "core/remap.hpp"
 #include "sim/validate.hpp"
 
 namespace vtopo::armci {
@@ -15,7 +17,7 @@ Runtime::Runtime(sim::Engine& eng, Config cfg)
     : eng_(&eng),
       cfg_(cfg),
       memory_(cfg.num_nodes * cfg.procs_per_node, cfg.segment_bytes),
-      topology_(cfg.custom_shape
+      topo_mgr_(cfg.custom_shape
                     ? core::VirtualTopology::custom(
                           cfg.topology, *cfg.custom_shape, cfg.num_nodes,
                           cfg.policy)
@@ -28,7 +30,7 @@ Runtime::Runtime(sim::Engine& eng, Config cfg)
   for (core::NodeId n = 0; n < cfg.num_nodes; ++n) {
     chts_.push_back(std::make_unique<Cht>(*this, n));
     credit_banks_.push_back(std::make_unique<CreditBank>(
-        eng, credits_per_edge(), topology_.neighbors(n)));
+        eng, credits_per_edge(), topology().neighbors(n)));
   }
   procs_.reserve(static_cast<std::size_t>(num_procs()));
   for (ProcId p = 0; p < num_procs(); ++p) {
@@ -93,10 +95,125 @@ void Runtime::validate_quiescent() {
     bank->check_quiescent("credit bank not quiescent after run");
   }
   request_pool_.check_drained("request leaked past shutdown");
+  VTOPO_CHECK_ALWAYS(inflight_requests_ == 0,
+                     "issued request never completed at its origin");
+  // Check the cumulative forwarding depth against the loosest bound of
+  // any topology generation installed during the run: after a live
+  // reconfiguration to a shallower topology, hops that were legal under
+  // the earlier generation remain in the counter.
   VTOPO_CHECK_ALWAYS(
       stats_.max_forwards_seen <=
-          static_cast<std::uint64_t>(topology_.max_forwards()),
+          static_cast<std::uint64_t>(topo_mgr_.max_forwards_bound()),
       "request forwarded past the topology's max-forwards bound");
+}
+
+bool Runtime::request_path_quiescent() const {
+  if (inflight_requests_ != 0) return false;
+  for (const auto& bank : credit_banks_) {
+    if (!bank->idle()) return false;
+  }
+  return true;
+}
+
+sim::Co<bool> Runtime::reconfigure(core::TopologyKind to,
+                                   ReconfigMode mode) {
+  VTOPO_CHECK_ALWAYS(!reconfig_active_,
+                     "reentrant reconfigure(): one at a time");
+  if (to == topology().kind()) co_return false;
+  // Refuse instead of throwing: Co promises terminate on an escaped
+  // exception (sim actors have no one to rethrow to).
+  if (to == core::TopologyKind::kHypercube &&
+      !core::is_power_of_two(cfg_.num_nodes)) {
+    co_return false;
+  }
+  const ArmciParams& p = cfg_.armci;
+  const sim::TimeNs t0 = eng_->now();
+  ReconfigReport rep;
+  rep.from = topology().kind();
+  rep.to = to;
+  rep.mode = mode;
+
+  // ---- Quiesce: fence new CHT-mediated ops, drain in-flight ones
+  // (requests, forwards, credit acks, credit waiters). A bounded poll
+  // count turns the one pathological non-draining pattern (a lock
+  // holder parked at the fence while its waiter's request sits in the
+  // target's lock queue) into a diagnosable abort instead of a hang.
+  constexpr std::int64_t kMaxQuiescePolls = 10'000'000;
+  reconfig_active_ = true;
+  while (!request_path_quiescent()) {
+    ++rep.quiesce_polls;
+    VTOPO_CHECK_ALWAYS(rep.quiesce_polls <= kMaxQuiescePolls,
+                       "reconfigure quiesce did not drain (CHT-mediated "
+                       "op issued while holding a lock?)");
+    co_await sim::Sleep(*eng_, p.reconfig_poll);
+  }
+  for (const auto& bank : credit_banks_) {
+    bank->check_quiescent("credit bank not quiescent at reconfiguration");
+  }
+  VTOPO_CHECK_ALWAYS(inflight_requests_ == 0,
+                     "request in flight at reconfiguration");
+  const sim::TimeNs t_quiesced = eng_->now();
+
+  // ---- Plan the transition; under VTOPO_VALIDATE, verify the ordered
+  // build -> switch -> teardown schedule keeps every intermediate
+  // buffer-dependency graph acyclic before touching any bank.
+  core::VirtualTopology next =
+      core::VirtualTopology::make(to, cfg_.num_nodes, cfg_.policy);
+  const core::RemapPlan plan = core::plan_remap(topology(), next);
+  [[maybe_unused]] const core::RemapSchedule sched =
+      core::plan_schedule(plan);
+#if VTOPO_VALIDATE_ENABLED
+  {
+    const core::TransitionCheck check =
+        core::verify_transition(topology(), next, sched);
+    VTOPO_CHECK_ALWAYS(check.ok(), "unsafe topology transition schedule");
+  }
+#endif
+
+  // ---- Execute: remap every node's credit bank from the delta.
+  std::int64_t built = 0;
+  std::int64_t torn = 0;
+  for (core::NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    CreditBank& bank = *credit_banks_[static_cast<std::size_t>(n)];
+    const CreditBank::RemapStats rs =
+        mode == ReconfigMode::kIncremental
+            ? bank.apply_remap(next.neighbors(n))
+            : bank.rebuild(next.neighbors(n));
+    rep.pools_kept += rs.kept;
+    built += rs.added;
+    torn += rs.removed;
+  }
+  rep.pools_added = built;
+  rep.pools_removed = torn;
+  const std::int64_t bytes_per_pool = credits_per_edge() * p.buffer_bytes;
+  rep.bytes_allocated = built * bytes_per_pool;
+  rep.bytes_released = torn * bytes_per_pool;
+  co_await sim::Sleep(*eng_, p.reconfig_admin +
+                                 p.reconfig_edge_build * built +
+                                 p.reconfig_edge_teardown * torn);
+  topo_mgr_.install(std::move(next), eng_->now());
+
+  rep.epoch = topo_mgr_.epoch();
+  rep.quiesce_ns = t_quiesced - t0;
+  rep.remap_ns = eng_->now() - t_quiesced;
+  ++stats_.reconfigurations;
+  stats_.reconfig_quiesce_ns += rep.quiesce_ns;
+  stats_.reconfig_remap_ns += rep.remap_ns;
+  tracer_.record(TraceKind::kReconfigure, /*proc=*/-1, t0,
+                 eng_->now() - t0);
+
+  // ---- Resume ops parked at the fence, in FIFO issue order (via the
+  // event queue, which is FIFO at equal timestamps — deterministic).
+  reconfig_active_ = false;
+  rep.waiters_resumed =
+      static_cast<std::int64_t>(reconfig_waiters_.size());
+  std::vector<std::coroutine_handle<>> waiters;
+  waiters.swap(reconfig_waiters_);
+  for (const std::coroutine_handle<> h : waiters) {
+    eng_->schedule_after(0, [h] { h.resume(); });
+  }
+  last_reconfig_ = rep;
+  co_return true;
 }
 
 bool Runtime::run_for(sim::TimeNs deadline) {

@@ -11,6 +11,7 @@
 // (i.e., deadlock) by throwing.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -24,6 +25,7 @@
 #include "armci/memory.hpp"
 #include "armci/params.hpp"
 #include "armci/request.hpp"
+#include "armci/topology_manager.hpp"
 #include "armci/trace.hpp"
 #include "core/topology.hpp"
 #include "net/network.hpp"
@@ -48,6 +50,33 @@ struct RuntimeStats {
   std::uint64_t lock_queue_max = 0;  ///< deepest lock waiter queue seen
   sim::TimeNs credit_blocked_ns = 0; ///< total sender time blocked on
                                      ///< exhausted buffer credits
+  std::uint64_t reconfigurations = 0;   ///< completed reconfigure() calls
+  sim::TimeNs reconfig_quiesce_ns = 0;  ///< total time draining the
+                                        ///< request path before remaps
+  sim::TimeNs reconfig_remap_ns = 0;    ///< total simulated remap stall
+};
+
+/// How reconfigure() rebuilds the per-node credit banks.
+enum class ReconfigMode : std::uint8_t {
+  kIncremental,  ///< reuse kept-edge buffer sets, touch only the delta
+  kRebuild,      ///< tear everything down and reallocate (bench baseline)
+};
+
+/// Accounting of one completed live reconfiguration.
+struct ReconfigReport {
+  std::uint64_t epoch = 0;  ///< topology epoch after the switch
+  core::TopologyKind from = core::TopologyKind::kFcg;
+  core::TopologyKind to = core::TopologyKind::kFcg;
+  ReconfigMode mode = ReconfigMode::kIncremental;
+  std::int64_t pools_kept = 0;     ///< buffer sets reused across the remap
+  std::int64_t pools_added = 0;    ///< buffer sets newly allocated
+  std::int64_t pools_removed = 0;  ///< buffer sets torn down
+  std::int64_t bytes_allocated = 0;  ///< Fig.-5 bytes of pools_added
+  std::int64_t bytes_released = 0;   ///< Fig.-5 bytes of pools_removed
+  sim::TimeNs quiesce_ns = 0;  ///< time spent draining the request path
+  sim::TimeNs remap_ns = 0;    ///< simulated stall executing the remap
+  std::int64_t quiesce_polls = 0;    ///< drain-poll iterations
+  std::int64_t waiters_resumed = 0;  ///< ops parked at the fence
 };
 
 /// Thrown by run_all() when the simulation drained with coroutines still
@@ -91,8 +120,17 @@ class Runtime {
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const ArmciParams& params() const { return cfg_.armci; }
   [[nodiscard]] GlobalMemory& memory() { return memory_; }
+  /// The currently installed topology. Do not cache the reference
+  /// across a suspension point — a reconfiguration may swap it.
   [[nodiscard]] const core::VirtualTopology& topology() const {
-    return topology_;
+    return topo_mgr_.current();
+  }
+  /// Epoch-versioned topology holder (epoch 0 = construction-time).
+  [[nodiscard]] const TopologyManager& topology_manager() const {
+    return topo_mgr_;
+  }
+  [[nodiscard]] std::uint64_t topology_epoch() const {
+    return topo_mgr_.epoch();
   }
   [[nodiscard]] net::Network& network() { return network_; }
   [[nodiscard]] RuntimeStats& stats() { return stats_; }
@@ -148,6 +186,53 @@ class Runtime {
   /// validate ctest calls it explicitly in any build.
   void validate_quiescent();
 
+  /// Live topology reconfiguration (paper Sec. IV-B made executable).
+  /// Quiesces the request path — new CHT-mediated ops park at the
+  /// reconfiguration fence while in-flight requests, forwards, credit
+  /// acks, and credit waiters drain — then plans the remap, verifies the
+  /// transition schedule is deadlock-free at every intermediate state
+  /// (under VTOPO_VALIDATE), remaps every node's credit bank, installs
+  /// the new topology (epoch bump), and resumes parked ops in FIFO issue
+  /// order. Returns false (and does nothing) when `to` is already the
+  /// current kind, or when `to` is the hypercube on a non-power-of-two
+  /// node count. The remap stall is charged via the ArmciParams
+  /// reconfig_* cost model; see last_reconfig() for the accounting.
+  ///
+  /// Unlock ops bypass the fence, so reconfiguring concurrently with
+  /// held locks completes as long as holders eventually unlock without
+  /// first issuing other CHT-mediated ops.
+  [[nodiscard]] sim::Co<bool> reconfigure(
+      core::TopologyKind to, ReconfigMode mode = ReconfigMode::kIncremental);
+  /// Accounting of the most recent completed reconfiguration.
+  [[nodiscard]] const ReconfigReport& last_reconfig() const {
+    return last_reconfig_;
+  }
+  [[nodiscard]] bool reconfig_active() const { return reconfig_active_; }
+
+  /// Awaited at the top of every CHT-mediated issue path: no-op (ready)
+  /// while no reconfiguration is in progress, parks the op FIFO at the
+  /// fence otherwise.
+  struct [[nodiscard]] ReconfigFence {
+    Runtime* rt;
+    bool await_ready() const { return !rt->reconfig_active_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      rt->reconfig_waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] ReconfigFence reconfig_fence() { return ReconfigFence{this}; }
+
+  /// In-flight accounting of CHT-mediated requests: issued past the
+  /// fence -> response delivered back at the origin. This — not
+  /// RequestPool::live() — is the reconfigure drain condition, because
+  /// ops parked at the fence (and unissued chunks held in their frames)
+  /// legitimately hold pooled requests while the remap runs.
+  void note_request_issued() { ++inflight_requests_; }
+  void note_request_completed() { --inflight_requests_; }
+  [[nodiscard]] std::int64_t inflight_requests() const {
+    return inflight_requests_;
+  }
+
   /// Full-membership barrier support (used via Proc::barrier()).
   [[nodiscard]] sim::Co<void> barrier_wait();
   /// GA-style global sum (ga_dgop): every process contributes `value`
@@ -168,11 +253,12 @@ class Runtime {
 
  private:
   void stop_chts();
+  [[nodiscard]] bool request_path_quiescent() const;
 
   sim::Engine* eng_;
   Config cfg_;
   GlobalMemory memory_;
-  core::VirtualTopology topology_;
+  TopologyManager topo_mgr_;
   net::Network network_;
   // Declared before the actors so the pools outlive every RequestPtr and
   // arena Ref still parked in CHT lock queues at teardown.
@@ -189,6 +275,12 @@ class Runtime {
   std::uint64_t request_id_ = 0;
   std::int64_t live_ = 0;
   bool chts_stopped_ = false;
+
+  // Reconfiguration state.
+  bool reconfig_active_ = false;
+  std::int64_t inflight_requests_ = 0;
+  std::vector<std::coroutine_handle<>> reconfig_waiters_;  ///< FIFO
+  ReconfigReport last_reconfig_;
 
   // Barrier state.
   std::int64_t barrier_arrived_ = 0;

@@ -26,6 +26,8 @@ const char* to_string(TraceKind k) {
       return "unlock";
     case TraceKind::kBarrier:
       return "barrier";
+    case TraceKind::kReconfigure:
+      return "reconfigure";
   }
   return "?";
 }

@@ -25,11 +25,12 @@ enum class TraceKind : std::uint8_t {
   kAcc,       ///< accumulate
   kFetchAdd,  ///< atomic fetch-&-add
   kSwap,      ///< atomic swap
-  kLock,      ///< lock acquisition
-  kUnlock,    ///< lock release
-  kBarrier,   ///< barrier wait
+  kLock,         ///< lock acquisition
+  kUnlock,       ///< lock release
+  kBarrier,      ///< barrier wait
+  kReconfigure,  ///< live topology reconfiguration (quiesce + remap)
 };
-inline constexpr std::size_t kNumTraceKinds = 10;
+inline constexpr std::size_t kNumTraceKinds = 11;
 
 [[nodiscard]] const char* to_string(TraceKind k);
 

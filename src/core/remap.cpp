@@ -1,6 +1,11 @@
 #include "core/remap.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <set>
+#include <utility>
+
+#include "core/dependency_graph.hpp"
 
 namespace vtopo::core {
 
@@ -26,25 +31,40 @@ RemapPlan plan_remap(const VirtualTopology& before,
   RemapPlan plan;
   const std::int64_t survivors =
       std::min(before.num_nodes(), after.num_nodes());
-  plan.nodes.reserve(static_cast<std::size_t>(survivors));
+  const std::int64_t all =
+      std::max(before.num_nodes(), after.num_nodes());
+  plan.nodes.reserve(static_cast<std::size_t>(all));
 
-  for (NodeId v = 0; v < survivors; ++v) {
+  for (NodeId v = 0; v < all; ++v) {
     NodeRemap nr;
     nr.node = v;
-    // neighbors() returns sorted lists: set-difference directly. Edges
-    // to departed nodes (id >= survivors) count as removed; edges to
-    // newly arrived nodes appear only in `after`.
-    const std::vector<NodeId> old_nbrs = before.neighbors(v);
-    const std::vector<NodeId> new_nbrs = after.neighbors(v);
-    std::set_difference(new_nbrs.begin(), new_nbrs.end(),
-                        old_nbrs.begin(), old_nbrs.end(),
-                        std::back_inserter(nr.added_edges));
-    std::set_difference(old_nbrs.begin(), old_nbrs.end(),
-                        new_nbrs.begin(), new_nbrs.end(),
-                        std::back_inserter(nr.removed_edges));
-    std::set_intersection(old_nbrs.begin(), old_nbrs.end(),
+    if (v >= survivors) {
+      // Node exists in only one topology: an arriving node (only in
+      // `after`) builds its entire edge set, a departing node (only in
+      // `before`) tears its entire edge set down. Without these entries
+      // a growth plan undercounts edges_added by every arriving node's
+      // edge set — and bytes_to_allocate() with it.
+      if (after.num_nodes() > before.num_nodes()) {
+        nr.added_edges = after.neighbors(v);
+      } else {
+        nr.removed_edges = before.neighbors(v);
+      }
+    } else {
+      // neighbors() returns sorted lists: set-difference directly. Edges
+      // to departed nodes (id >= survivors) count as removed; edges to
+      // newly arrived nodes appear only in `after`.
+      const std::vector<NodeId> old_nbrs = before.neighbors(v);
+      const std::vector<NodeId> new_nbrs = after.neighbors(v);
+      std::set_difference(new_nbrs.begin(), new_nbrs.end(),
+                          old_nbrs.begin(), old_nbrs.end(),
+                          std::back_inserter(nr.added_edges));
+      std::set_difference(old_nbrs.begin(), old_nbrs.end(),
                           new_nbrs.begin(), new_nbrs.end(),
-                          std::back_inserter(nr.kept_edges));
+                          std::back_inserter(nr.removed_edges));
+      std::set_intersection(old_nbrs.begin(), old_nbrs.end(),
+                            new_nbrs.begin(), new_nbrs.end(),
+                            std::back_inserter(nr.kept_edges));
+    }
     plan.edges_added += static_cast<std::int64_t>(nr.added_edges.size());
     plan.edges_removed +=
         static_cast<std::int64_t>(nr.removed_edges.size());
@@ -52,6 +72,84 @@ RemapPlan plan_remap(const VirtualTopology& before,
     plan.nodes.push_back(std::move(nr));
   }
   return plan;
+}
+
+RemapSchedule plan_schedule(const RemapPlan& plan) {
+  RemapSchedule sched;
+  sched.steps.reserve(
+      static_cast<std::size_t>(plan.edges_added + plan.edges_removed) + 1);
+  // plan.nodes is ordered by node id and each edge list is sorted, so
+  // emitting in plan order already yields (node, peer) order per stage.
+  for (const NodeRemap& nr : plan.nodes) {
+    for (const NodeId peer : nr.added_edges) {
+      sched.steps.push_back(
+          RemapStep{RemapStepKind::kBuild, nr.node, peer});
+    }
+  }
+  sched.build_steps = static_cast<std::int64_t>(sched.steps.size());
+  sched.steps.push_back(RemapStep{RemapStepKind::kSwitchRouting, 0, 0});
+  for (const NodeRemap& nr : plan.nodes) {
+    for (const NodeId peer : nr.removed_edges) {
+      sched.steps.push_back(
+          RemapStep{RemapStepKind::kTeardown, nr.node, peer});
+    }
+  }
+  sched.teardown_steps = static_cast<std::int64_t>(sched.steps.size()) -
+                         sched.build_steps - 1;
+  return sched;
+}
+
+namespace {
+
+/// All (node, peer) buffer dedications of a topology, as a sorted set.
+std::set<std::pair<NodeId, NodeId>> edge_set(const VirtualTopology& t) {
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    for (const NodeId w : t.neighbors(v)) edges.insert({v, w});
+  }
+  return edges;
+}
+
+}  // namespace
+
+TransitionCheck verify_transition(const VirtualTopology& before,
+                                  const VirtualTopology& after,
+                                  const RemapSchedule& sched) {
+  TransitionCheck check;
+  check.before_acyclic = DependencyGraph(before).acyclic();
+  check.after_acyclic = DependencyGraph(after).acyclic();
+
+  // Replay the schedule over `before`'s edge set, enforcing the staging
+  // that makes the intermediate states safe: builds only before the
+  // (single) switch, teardowns only after it.
+  std::set<std::pair<NodeId, NodeId>> edges = edge_set(before);
+  const std::set<std::pair<NodeId, NodeId>> target = edge_set(after);
+  int switches_seen = 0;
+  bool ordered = true;
+  bool covers_after = false;
+  for (const RemapStep& step : sched.steps) {
+    switch (step.kind) {
+      case RemapStepKind::kBuild:
+        if (switches_seen != 0) ordered = false;
+        edges.insert({step.node, step.peer});
+        break;
+      case RemapStepKind::kSwitchRouting:
+        ++switches_seen;
+        // The new routing function becomes active here: every edge it
+        // may route over must already exist.
+        covers_after = std::includes(edges.begin(), edges.end(),
+                                     target.begin(), target.end());
+        break;
+      case RemapStepKind::kTeardown:
+        if (switches_seen != 1) ordered = false;
+        edges.erase({step.node, step.peer});
+        break;
+    }
+  }
+  check.ordered = ordered && switches_seen == 1;
+  check.covers_after = covers_after;
+  check.lands_on_after = edges == target;
+  return check;
 }
 
 }  // namespace vtopo::core

@@ -3,11 +3,13 @@
 // node frequently changes its position from one topology to another").
 //
 // When the populated node count changes (processes join/leave a Global
-// Arrays group), every node must reconcile its buffer dedication: tear
-// down buffer sets for edges that disappeared and allocate sets for new
-// edges. This module computes that per-node delta and its byte cost, so
-// a runtime can budget reconfiguration instead of rebuilding from
-// scratch.
+// Arrays group) or the topology kind is switched online, every node must
+// reconcile its buffer dedication: tear down buffer sets for edges that
+// disappeared and allocate sets for new edges. This module computes that
+// per-node delta and its byte cost, orders the delta into an executable
+// teardown/build schedule, and verifies that the transition is
+// deadlock-free at every intermediate state — so a runtime can execute
+// reconfiguration live instead of rebuilding from scratch.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +21,9 @@
 namespace vtopo::core {
 
 /// Edge changes at one node when moving from topology `before` to
-/// `after` (the node must exist in both).
+/// `after`. Nodes present only in `after` (arriving) list their whole
+/// edge set as added; nodes present only in `before` (departing) list
+/// their whole edge set as removed.
 struct NodeRemap {
   NodeId node = 0;
   std::vector<NodeId> added_edges;    ///< neighbors gained
@@ -29,7 +33,7 @@ struct NodeRemap {
 
 /// Whole-system reconfiguration summary.
 struct RemapPlan {
-  std::vector<NodeRemap> nodes;  ///< one entry per surviving node
+  std::vector<NodeRemap> nodes;  ///< one entry per node in either topology
   std::int64_t edges_added = 0;
   std::int64_t edges_removed = 0;
   std::int64_t edges_kept = 0;
@@ -39,14 +43,79 @@ struct RemapPlan {
   [[nodiscard]] std::int64_t bytes_to_allocate(const MemoryParams& p) const;
   /// Buffer bytes released across all nodes.
   [[nodiscard]] std::int64_t bytes_to_release(const MemoryParams& p) const;
-  /// Fraction of surviving edges that had to change, in [0, 1].
+  /// Fraction of edges that had to change, in [0, 1].
   [[nodiscard]] double churn() const;
 };
 
-/// Compute the reconfiguration plan between two topologies. Nodes with
-/// ids >= min(num_nodes) are treated as departed (all their edges count
-/// as removed on the surviving side).
+/// Compute the reconfiguration plan between two topologies. Every node
+/// of the larger topology gets a NodeRemap entry: survivors diff their
+/// neighbor lists, arriving nodes (id >= before.num_nodes()) count all
+/// their edges as added, departing nodes (id >= after.num_nodes()) count
+/// all their edges as removed.
 [[nodiscard]] RemapPlan plan_remap(const VirtualTopology& before,
                                    const VirtualTopology& after);
+
+// --------------------------------------------------------------------
+// Executable transition schedule.
+// --------------------------------------------------------------------
+
+/// One step of a live reconfiguration at one node.
+enum class RemapStepKind : std::uint8_t {
+  kBuild,          ///< allocate the buffer set node dedicates to peer
+  kSwitchRouting,  ///< atomically swap the routing function old -> new
+  kTeardown,       ///< release the buffer set node dedicated to peer
+};
+
+struct RemapStep {
+  RemapStepKind kind = RemapStepKind::kBuild;
+  NodeId node = 0;  ///< the node whose buffer dedication changes
+  NodeId peer = 0;  ///< the sender the buffer set serves (unused for switch)
+};
+
+/// Ordered teardown/build schedule executing a RemapPlan. The order is
+/// the transition-safety argument: all builds happen first (the edge set
+/// grows toward old ∪ new while routing still follows `before`), then
+/// routing switches atomically (a quiesced runtime has no request in
+/// flight at the switch), then teardowns shrink the edge set to exactly
+/// `after`'s. At every instant the edges required by the active routing
+/// function are present, so every intermediate buffer-dependency graph
+/// equals either DependencyGraph(before) or DependencyGraph(after) —
+/// the two graphs verify_transition() checks for cycles.
+struct RemapSchedule {
+  std::vector<RemapStep> steps;
+  std::int64_t build_steps = 0;
+  std::int64_t teardown_steps = 0;
+};
+
+/// Order a plan into the build -> switch -> teardown schedule. Steps are
+/// sorted by (node, peer) within each stage, so execution is
+/// deterministic.
+[[nodiscard]] RemapSchedule plan_schedule(const RemapPlan& plan);
+
+/// Result of checking a transition for deadlock-freedom at every
+/// intermediate state.
+struct TransitionCheck {
+  bool before_acyclic = false;  ///< DependencyGraph(before) has no cycle
+  bool after_acyclic = false;   ///< DependencyGraph(after) has no cycle
+  bool ordered = false;     ///< builds precede the switch, teardowns follow
+  bool covers_after = false;  ///< at the switch, every `after` edge exists
+  bool lands_on_after = false;  ///< final edge set == `after`'s edge set
+
+  [[nodiscard]] bool ok() const {
+    return before_acyclic && after_acyclic && ordered && covers_after &&
+           lands_on_after;
+  }
+};
+
+/// Replay `sched` over `before`'s edge set and verify the transition is
+/// deadlock-free in every intermediate state: the schedule is staged
+/// build -> switch -> teardown, the active routing function always has
+/// its full edge set available, the walk lands exactly on `after`'s
+/// edges, and both endpoint dependency graphs are acyclic (which, per
+/// the staging argument above, covers every intermediate state).
+/// O(N^2 * k) — verification cost, not hot-path cost.
+[[nodiscard]] TransitionCheck verify_transition(
+    const VirtualTopology& before, const VirtualTopology& after,
+    const RemapSchedule& sched);
 
 }  // namespace vtopo::core

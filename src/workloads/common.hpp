@@ -6,8 +6,19 @@
 
 #include "armci/runtime.hpp"
 #include "core/topology.hpp"
+#include "sim/task.hpp"
 
 namespace vtopo::work {
+
+/// Optional mid-run topology reconfiguration, armed by every workload
+/// driver (arm_reconfigure): at `at_ms` of simulated time a monitor task
+/// calls Runtime::reconfigure(to, mode) concurrently with the running
+/// application.
+struct ReconfigSpec {
+  core::TopologyKind to = core::TopologyKind::kMfcg;
+  double at_ms = 1.0;
+  armci::ReconfigMode mode = armci::ReconfigMode::kIncremental;
+};
 
 /// Cluster-level knobs shared by every experiment.
 struct ClusterConfig {
@@ -22,6 +33,8 @@ struct ClusterConfig {
   net::NetworkParams net{};
   net::Placement placement = net::Placement::kLinear;
   std::int64_t segment_bytes = std::int64_t{8} << 20;
+  /// When set, the workload reconfigures the live topology mid-run.
+  std::optional<ReconfigSpec> reconfigure;
 
   [[nodiscard]] std::int64_t num_procs() const {
     return num_nodes * procs_per_node;
@@ -48,5 +61,24 @@ struct AppResult {
   double checksum = 0.0;            ///< numeric check for correctness
   armci::RuntimeStats stats{};      ///< protocol counters
 };
+
+namespace detail {
+inline sim::Co<void> reconfig_monitor(armci::Runtime* rt,
+                                      ReconfigSpec spec) {
+  co_await sim::Sleep(rt->engine(), sim::ms(spec.at_ms));
+  const bool switched = co_await rt->reconfigure(spec.to, spec.mode);
+  (void)switched;  // no-op when the app already runs on `spec.to`
+}
+}  // namespace detail
+
+/// Arm the cluster's optional mid-run reconfiguration on `rt`. Every
+/// workload driver calls this right after constructing its Runtime, so
+/// `reconfigure=` works uniformly across experiments. The monitor is a
+/// detached task: if the application finishes first, the remap executes
+/// against an already-quiescent runtime (and still bumps the epoch).
+inline void arm_reconfigure(armci::Runtime& rt, const ClusterConfig& cl) {
+  if (!cl.reconfigure) return;
+  rt.spawn_task(detail::reconfig_monitor(&rt, *cl.reconfigure));
+}
 
 }  // namespace vtopo::work

@@ -107,6 +107,7 @@ ContentionResult run_contention(const ClusterConfig& cluster,
                                 const ContentionConfig& cfg) {
   sim::Engine eng;
   armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
 
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;

@@ -110,6 +110,7 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 AppResult run_nas_lu(const ClusterConfig& cluster, const LuConfig& cfg) {
   sim::Engine eng;
   armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
 
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;

@@ -69,6 +69,7 @@ AppResult run_nwchem_ccsd(const ClusterConfig& cluster,
                           const CcsdConfig& cfg) {
   sim::Engine eng;
   armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
 
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;

@@ -80,6 +80,7 @@ AppResult run_nwchem_dft(const ClusterConfig& cluster,
                          const DftConfig& cfg) {
   sim::Engine eng;
   armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
 
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;

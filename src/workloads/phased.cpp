@@ -1,0 +1,170 @@
+#include "workloads/phased.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "core/topology.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::work {
+
+namespace {
+
+using armci::GAddr;
+using armci::Proc;
+
+struct Shared {
+  PhasedConfig cfg;
+  std::int64_t nprocs = 0;
+  std::int64_t counter_off = 0;  ///< NXTVAL cell, rank 0
+  std::int64_t acc_off = 0;      ///< hot accumulate cell, rank 0
+  std::int64_t tile_off = 0;     ///< strided tile region, all ranks
+  std::unique_ptr<armci::AdaptiveController> ctrl;
+  // Phase bookkeeping, written by rank 0 only (inside barrier pairs).
+  sim::TimeNs phase_start = -1;
+  std::vector<sim::TimeNs> phase_ns;
+  std::vector<std::string> phase_topology;
+  // Phase-profile memory: measured hotspot fraction of the last phase of
+  // each parity, seeded with the app's static expectation. Feeding the
+  // *upcoming* phase's profile to the controller as a hint is what keeps
+  // the adaptation in phase — the just-closed window is exactly the
+  // wrong predictor when phases strictly alternate.
+  double hot_hotspot = 0.5;
+  double bw_hotspot = 0.0;
+  int next_phase_index = 0;
+};
+
+armci::ProcId owner_of(std::int64_t k, std::int64_t nprocs) {
+  std::uint64_t h = static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return static_cast<armci::ProcId>(h % static_cast<std::uint64_t>(nprocs));
+}
+
+/// Phase boundary: close the previous phase's timing, let the adaptive
+/// controller sample-and-switch while everyone else is parked in the
+/// second barrier, and stamp the topology the next phase runs on.
+sim::Co<void> boundary(Proc& p, std::shared_ptr<Shared> st,
+                       bool opens_phase) {
+  co_await p.barrier();
+  if (p.id() == 0) {
+    armci::Runtime& rt = p.runtime();
+    const sim::TimeNs now = rt.engine().now();
+    if (st->phase_start >= 0) {
+      st->phase_ns.push_back(now - st->phase_start);
+    }
+    if (st->ctrl) {
+      // Hint: the announced skew of the phase about to open, from the
+      // last same-parity phase's measurement (hot phases are even).
+      std::optional<double> hint;
+      if (opens_phase) {
+        hint = (st->next_phase_index % 2 == 0) ? st->hot_hotspot
+                                               : st->bw_hotspot;
+      }
+      (void)co_await st->ctrl->maybe_reconfigure(hint);
+      // Fold the just-closed phase's measured skew back into memory.
+      const int closed = st->next_phase_index - 1;
+      const auto& s = st->ctrl->last_sample();
+      if (closed >= 0 && s.window_requests > 0) {
+        (closed % 2 == 0 ? st->hot_hotspot : st->bw_hotspot) =
+            s.hotspot_fraction;
+      }
+    }
+    if (opens_phase) {
+      st->phase_topology.emplace_back(
+          core::to_string(rt.topology().kind()));
+      ++st->next_phase_index;
+    }
+    st->phase_start = rt.engine().now();
+  }
+  co_await p.barrier();
+}
+
+sim::Co<void> hot_phase(Proc& p, std::shared_ptr<Shared> st) {
+  const PhasedConfig& cfg = st->cfg;
+  const std::vector<double> contrib(
+      static_cast<std::size_t>(cfg.hot_block_doubles), 0.5);
+  for (std::int64_t i = 0; i < cfg.hot_ops_per_proc; ++i) {
+    const std::int64_t t =
+        co_await p.fetch_add(GAddr{0, st->counter_off}, 1);
+    (void)t;
+    co_await p.compute(sim::us(cfg.hot_compute_us));
+    co_await p.acc_f64(GAddr{0, st->acc_off}, contrib, 1.0);
+  }
+}
+
+sim::Co<void> bw_phase(Proc& p, std::shared_ptr<Shared> st) {
+  const PhasedConfig& cfg = st->cfg;
+  const std::int64_t row = cfg.bw_row_bytes;
+  std::vector<std::uint8_t> tile(
+      static_cast<std::size_t>(row * cfg.bw_tile_rows));
+  const std::vector<double> upd(static_cast<std::size_t>(row / 8), 0.25);
+  for (std::int64_t t = 0; t < cfg.bw_tiles_per_proc; ++t) {
+    const std::int64_t key = p.id() * 4096 + t * 2;
+    const armci::ProcId src = owner_of(key, st->nprocs);
+    co_await p.get_strided(tile.data(), row, GAddr{src, st->tile_off},
+                           2 * row, row, cfg.bw_tile_rows);
+    co_await p.compute(sim::us(cfg.bw_compute_us));
+    const armci::ProcId dst = owner_of(key + 1, st->nprocs);
+    co_await p.acc_f64(GAddr{dst, st->tile_off}, upd, 0.25);
+  }
+}
+
+sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
+  const int total = st->cfg.cycles * 2;
+  for (int ph = 0; ph < total; ++ph) {
+    co_await boundary(p, st, /*opens_phase=*/true);
+    if (ph % 2 == 0) {
+      co_await hot_phase(p, st);
+    } else {
+      co_await bw_phase(p, st);
+    }
+  }
+  // Final boundary closes the last phase's timing (no adaptation use,
+  // but it keeps the controller's decision log symmetric).
+  co_await boundary(p, st, /*opens_phase=*/false);
+}
+
+}  // namespace
+
+PhasedResult run_phased(const ClusterConfig& cluster,
+                        const PhasedConfig& cfg) {
+  sim::Engine eng;
+  armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
+
+  auto st = std::make_shared<Shared>();
+  st->cfg = cfg;
+  st->nprocs = rt.num_procs();
+  st->counter_off = rt.memory().alloc_all(64);
+  st->acc_off = rt.memory().alloc_all(cfg.hot_block_doubles * 8);
+  st->tile_off =
+      rt.memory().alloc_all(2 * cfg.bw_row_bytes * cfg.bw_tile_rows + 64);
+  if (cfg.adaptive) {
+    st->ctrl =
+        std::make_unique<armci::AdaptiveController>(rt, cfg.adaptive_cfg);
+  }
+
+  rt.spawn_all([st](Proc& p) { return body(p, st); });
+  rt.run_all();
+
+  PhasedResult out;
+  out.app.exec_time_sec = sim::to_sec(eng.now());
+  out.app.checksum =
+      static_cast<double>(
+          rt.memory().read_i64(GAddr{0, st->counter_off})) +
+      rt.memory().read_f64(GAddr{0, st->acc_off});
+  out.app.stats = rt.stats();
+  out.phase_sec.reserve(st->phase_ns.size());
+  for (const sim::TimeNs d : st->phase_ns) {
+    out.phase_sec.push_back(sim::to_sec(d));
+  }
+  out.phase_topology = std::move(st->phase_topology);
+  if (st->ctrl) out.decisions = st->ctrl->decisions();
+  out.reconfigurations = static_cast<int>(rt.stats().reconfigurations);
+  return out;
+}
+
+}  // namespace vtopo::work

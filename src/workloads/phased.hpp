@@ -1,0 +1,56 @@
+// Phase-switching workload: alternating DFT-like hot-counter phases and
+// CCSD-like bandwidth phases.
+//
+// The two phases prefer opposite topologies (the paper's Sec. VI
+// trade-off): the hot phase hammers a rank-0 NXTVAL counter and a rank-0
+// accumulate cell, the regime where MFCG's forwarding attenuates the hot
+// spot; the bandwidth phase moves uniform strided tiles, the regime
+// where FCG's direct buffers win on latency. That makes it the natural
+// testbed for the adaptive controller: at every phase boundary rank 0
+// may sample the window and reconfigure the live topology.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "armci/adaptive.hpp"
+#include "workloads/common.hpp"
+
+namespace vtopo::work {
+
+struct PhasedConfig {
+  int cycles = 2;  ///< hot+bandwidth phase pairs (2*cycles phases total)
+
+  // Hot-counter phase (DFT-like): fetch-&-add on rank 0's counter, then
+  // a small accumulate on rank 0's cell.
+  std::int64_t hot_ops_per_proc = 24;
+  std::int64_t hot_block_doubles = 16;
+  double hot_compute_us = 4.0;
+
+  // Bandwidth phase (CCSD-like): uniform strided tile gets + spread
+  // accumulates, with computation to overlap.
+  std::int64_t bw_tiles_per_proc = 6;
+  std::int64_t bw_tile_rows = 16;
+  std::int64_t bw_row_bytes = 512;
+  double bw_compute_us = 30.0;
+
+  /// Run the adaptive controller at phase boundaries.
+  bool adaptive = false;
+  armci::AdaptiveConfig adaptive_cfg{};
+};
+
+struct PhasedResult {
+  AppResult app;
+  std::vector<double> phase_sec;  ///< simulated duration of each phase
+                                  ///< (reconfiguration stalls excluded;
+                                  ///< they land in app.exec_time_sec)
+  std::vector<std::string> phase_topology;  ///< kind active per phase
+  std::vector<std::string> decisions;  ///< controller log, one/boundary
+  int reconfigurations = 0;
+};
+
+[[nodiscard]] PhasedResult run_phased(const ClusterConfig& cluster,
+                                      const PhasedConfig& cfg);
+
+}  // namespace vtopo::work

@@ -54,6 +54,7 @@ AppResult run_synthetic(const ClusterConfig& cluster,
                         const SyntheticConfig& cfg) {
   sim::Engine eng;
   armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;
   st->counter_off = rt.memory().alloc_all(64);

@@ -166,6 +166,7 @@ TraceResult replay_trace(const ClusterConfig& cluster,
 
   sim::Engine eng;
   armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
   auto st = std::make_shared<Shared>();
   st->per_proc.resize(static_cast<std::size_t>(rt.num_procs()));
   std::int64_t max_bytes = 4096;

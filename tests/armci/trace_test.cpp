@@ -1,6 +1,9 @@
 // Operation-latency tracer.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "armci/proc.hpp"
 #include "armci/runtime.hpp"
 
@@ -125,6 +128,20 @@ TEST(Tracer, SummaryListsActiveKinds) {
   const std::string s = rt.tracer().summary();
   EXPECT_NE(s.find("fetch_add count=1"), std::string::npos);
   EXPECT_EQ(s.find("put_v"), std::string::npos);
+}
+
+TEST(Tracer, ToStringCoversEveryKind) {
+  // Every TraceKind below kNumTraceKinds has a real, unique name — a
+  // kind added without a to_string case would fall through to "?".
+  std::set<std::string> names;
+  for (std::size_t k = 0; k < kNumTraceKinds; ++k) {
+    const std::string name = to_string(static_cast<TraceKind>(k));
+    EXPECT_NE(name, "?") << "TraceKind " << k << " lacks a name";
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kNumTraceKinds);
+  EXPECT_EQ(std::string(to_string(TraceKind::kReconfigure)),
+            "reconfigure");
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 namespace vtopo::core {
@@ -29,10 +30,17 @@ TEST(Remap, GrowWithinSameShapeOnlyAdds) {
   const RemapPlan plan = plan_remap(a, b);
   EXPECT_EQ(plan.edges_removed, 0);
   EXPECT_GT(plan.edges_added, 0);
-  // Every added edge points at one of the two new nodes.
   for (const auto& nr : plan.nodes) {
-    for (const NodeId w : nr.added_edges) {
-      EXPECT_GE(w, 10);
+    if (nr.node < 10) {
+      // Surviving nodes only gain edges toward the two new nodes.
+      for (const NodeId w : nr.added_edges) {
+        EXPECT_GE(w, 10);
+      }
+    } else {
+      // Arriving nodes list their entire edge set as added.
+      EXPECT_TRUE(nr.kept_edges.empty());
+      EXPECT_TRUE(nr.removed_edges.empty());
+      EXPECT_EQ(nr.added_edges, b.neighbors(nr.node));
     }
   }
 }
@@ -81,18 +89,20 @@ TEST(Remap, DeltasAreConsistentPerNode) {
   const auto a = VirtualTopology::make(TopologyKind::kCfcg, 30);
   const auto b = VirtualTopology::make(TopologyKind::kCfcg, 40);
   const RemapPlan plan = plan_remap(a, b);
-  ASSERT_EQ(plan.nodes.size(), 30u);
+  // One entry per node present in either topology, arriving included.
+  ASSERT_EQ(plan.nodes.size(), 40u);
   for (const auto& nr : plan.nodes) {
     // kept + added == after-neighbors; kept + removed == before-nbrs.
     std::set<NodeId> after_set(nr.kept_edges.begin(),
                                nr.kept_edges.end());
     after_set.insert(nr.added_edges.begin(), nr.added_edges.end());
-    const auto expect = b.neighbors(nr.node);
-    EXPECT_EQ(after_set.size(), expect.size());
+    EXPECT_EQ(after_set.size(), b.neighbors(nr.node).size());
     std::set<NodeId> before_set(nr.kept_edges.begin(),
                                 nr.kept_edges.end());
     before_set.insert(nr.removed_edges.begin(), nr.removed_edges.end());
-    EXPECT_EQ(before_set.size(), a.neighbors(nr.node).size());
+    const std::size_t before_deg =
+        nr.node < 30 ? a.neighbors(nr.node).size() : 0u;
+    EXPECT_EQ(before_set.size(), before_deg);
   }
 }
 
@@ -102,7 +112,143 @@ TEST(Remap, ChurnBoundedByOne) {
   const RemapPlan plan = plan_remap(a, b);
   EXPECT_GE(plan.churn(), 0.0);
   EXPECT_LE(plan.churn(), 1.0);
-  EXPECT_EQ(plan.nodes.size(), 32u);
+  EXPECT_EQ(plan.nodes.size(), 50u);
+}
+
+TEST(Remap, GrowCountsArrivingNodeEdges) {
+  // Regression: growing 8 -> 12 in a fixed shape used to undercount —
+  // arriving nodes got no NodeRemap entry, so their whole edge sets
+  // were missing from edges_added and bytes_to_allocate.
+  const auto a =
+      VirtualTopology::custom(TopologyKind::kMfcg, Shape({4, 3}), 8);
+  const auto b =
+      VirtualTopology::custom(TopologyKind::kMfcg, Shape({4, 3}), 12);
+  const RemapPlan grow = plan_remap(a, b);
+  ASSERT_EQ(grow.nodes.size(), 12u);
+  std::int64_t arriving_edges = 0;
+  for (NodeId v = 8; v < 12; ++v) {
+    arriving_edges += static_cast<std::int64_t>(b.neighbors(v).size());
+    EXPECT_EQ(grow.nodes[static_cast<std::size_t>(v)].added_edges,
+              b.neighbors(v));
+  }
+  EXPECT_GE(grow.edges_added, arriving_edges);
+  const MemoryParams p;
+  EXPECT_EQ(grow.bytes_to_allocate(p),
+            grow.edges_added * p.procs_per_node * p.buffers_per_process *
+                p.buffer_bytes);
+  // Symmetry: growth is exactly the mirror of the shrink.
+  const RemapPlan shrink = plan_remap(b, a);
+  EXPECT_EQ(grow.edges_added, shrink.edges_removed);
+  EXPECT_EQ(grow.edges_removed, shrink.edges_added);
+  EXPECT_EQ(grow.edges_kept, shrink.edges_kept);
+}
+
+TEST(Remap, AllPairsSymmetryAndChurnMedium) {
+  // Every kind pair at N=1000 (hypercube needs a power of two, so it
+  // joins at N=1024 below).
+  const TopologyKind kinds[] = {TopologyKind::kFcg, TopologyKind::kMfcg,
+                                TopologyKind::kCfcg};
+  for (const TopologyKind ka : kinds) {
+    const auto a = VirtualTopology::make(ka, 1000);
+    for (const TopologyKind kb : kinds) {
+      const auto b = VirtualTopology::make(kb, 1000);
+      const RemapPlan ab = plan_remap(a, b);
+      const RemapPlan ba = plan_remap(b, a);
+      EXPECT_EQ(ab.edges_added, ba.edges_removed)
+          << to_string(ka) << "->" << to_string(kb);
+      EXPECT_EQ(ab.edges_removed, ba.edges_added);
+      EXPECT_EQ(ab.edges_kept, ba.edges_kept);
+      EXPECT_GE(ab.churn(), 0.0);
+      EXPECT_LE(ab.churn(), 1.0);
+      if (ka == kb) {
+        EXPECT_DOUBLE_EQ(ab.churn(), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Remap, AllFourKindsAtPowerOfTwo) {
+  // All four kinds pairwise at N=1024.
+  std::vector<VirtualTopology> topos;
+  for (const TopologyKind k : all_topology_kinds()) {
+    topos.push_back(VirtualTopology::make(k, 1024));
+  }
+  for (const auto& a : topos) {
+    for (const auto& b : topos) {
+      const RemapPlan ab = plan_remap(a, b);
+      const RemapPlan ba = plan_remap(b, a);
+      EXPECT_EQ(ab.edges_added, ba.edges_removed);
+      EXPECT_EQ(ab.edges_kept, ba.edges_kept);
+      EXPECT_GE(ab.churn(), 0.0);
+      EXPECT_LE(ab.churn(), 1.0);
+    }
+  }
+}
+
+TEST(Remap, PaperScaleMfcgCfcg) {
+  // The paper's 12288-node Jaguar scale (not a power of two, so the
+  // mesh and cube kinds carry this one).
+  const auto mfcg = VirtualTopology::make(TopologyKind::kMfcg, 12288);
+  const auto cfcg = VirtualTopology::make(TopologyKind::kCfcg, 12288);
+  const RemapPlan ab = plan_remap(mfcg, cfcg);
+  const RemapPlan ba = plan_remap(cfcg, mfcg);
+  EXPECT_EQ(ab.edges_added, ba.edges_removed);
+  EXPECT_EQ(ab.edges_removed, ba.edges_added);
+  EXPECT_GE(ab.churn(), 0.0);
+  EXPECT_LE(ab.churn(), 1.0);
+  EXPECT_EQ(ab.nodes.size(), 12288u);
+}
+
+TEST(Remap, ScheduleIsStagedAndVerifies) {
+  const auto fcg = VirtualTopology::make(TopologyKind::kFcg, 64);
+  const auto mfcg = VirtualTopology::make(TopologyKind::kMfcg, 64);
+  const RemapPlan plan = plan_remap(fcg, mfcg);
+  const RemapSchedule sched = plan_schedule(plan);
+  EXPECT_EQ(sched.build_steps, plan.edges_added);
+  EXPECT_EQ(sched.teardown_steps, plan.edges_removed);
+  ASSERT_EQ(sched.steps.size(),
+            static_cast<std::size_t>(sched.build_steps +
+                                     sched.teardown_steps + 1));
+  // Stage order: builds, one routing switch, teardowns.
+  std::size_t i = 0;
+  for (; i < static_cast<std::size_t>(sched.build_steps); ++i) {
+    EXPECT_EQ(sched.steps[i].kind, RemapStepKind::kBuild);
+  }
+  EXPECT_EQ(sched.steps[i].kind, RemapStepKind::kSwitchRouting);
+  for (++i; i < sched.steps.size(); ++i) {
+    EXPECT_EQ(sched.steps[i].kind, RemapStepKind::kTeardown);
+  }
+  const TransitionCheck check = verify_transition(fcg, mfcg, sched);
+  EXPECT_TRUE(check.before_acyclic);
+  EXPECT_TRUE(check.after_acyclic);
+  EXPECT_TRUE(check.ordered);
+  EXPECT_TRUE(check.covers_after);
+  EXPECT_TRUE(check.lands_on_after);
+  EXPECT_TRUE(check.ok());
+}
+
+TEST(Remap, VerifyTransitionRejectsBrokenSchedules) {
+  const auto a = VirtualTopology::make(TopologyKind::kMfcg, 32);
+  const auto b = VirtualTopology::make(TopologyKind::kCfcg, 32);
+  const RemapPlan plan = plan_remap(a, b);
+  RemapSchedule sched = plan_schedule(plan);
+  ASSERT_TRUE(verify_transition(a, b, sched).ok());
+
+  // Dropping a build step leaves the post-switch edge set short.
+  RemapSchedule missing = sched;
+  if (missing.build_steps > 0) {
+    missing.steps.erase(missing.steps.begin());
+    --missing.build_steps;
+    EXPECT_FALSE(verify_transition(a, b, missing).ok());
+  }
+
+  // Moving a teardown before the switch breaks the staging order.
+  RemapSchedule reordered = sched;
+  if (reordered.teardown_steps > 0) {
+    std::rotate(reordered.steps.begin(),
+                reordered.steps.end() - 1, reordered.steps.end());
+    EXPECT_FALSE(verify_transition(a, b, reordered).ok());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+// Phase-switching workload and the adaptive controller riding on it.
+#include "workloads/phased.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vtopo::work {
+namespace {
+
+using core::TopologyKind;
+
+ClusterConfig cluster(TopologyKind kind) {
+  ClusterConfig cl;
+  cl.num_nodes = 16;
+  cl.procs_per_node = 2;
+  cl.topology = kind;
+  return cl;
+}
+
+TEST(Phased, RunsAndCountsPhases) {
+  PhasedConfig pc;
+  pc.cycles = 2;
+  const PhasedResult r = run_phased(cluster(TopologyKind::kMfcg), pc);
+  ASSERT_EQ(r.phase_sec.size(), 4u);
+  ASSERT_EQ(r.phase_topology.size(), 4u);
+  for (const double s : r.phase_sec) EXPECT_GT(s, 0.0);
+  // Static run: every phase executes on the configured topology.
+  for (const auto& k : r.phase_topology) EXPECT_EQ(k, "MFCG");
+  EXPECT_EQ(r.reconfigurations, 0);
+  EXPECT_GT(r.app.checksum, 0.0);
+}
+
+TEST(Phased, ChecksumIndependentOfTopology) {
+  PhasedConfig pc;
+  pc.cycles = 1;
+  const PhasedResult fcg = run_phased(cluster(TopologyKind::kFcg), pc);
+  const PhasedResult mfcg = run_phased(cluster(TopologyKind::kMfcg), pc);
+  EXPECT_DOUBLE_EQ(fcg.app.checksum, mfcg.app.checksum);
+}
+
+TEST(Phased, AdaptiveSwitchesWithThePhases) {
+  PhasedConfig pc;
+  pc.cycles = 2;
+  pc.adaptive = true;
+  // Start on the bandwidth-phase choice so the first hot phase forces a
+  // decision immediately.
+  const PhasedResult r = run_phased(cluster(TopologyKind::kFcg), pc);
+  EXPECT_GT(r.reconfigurations, 0);
+  ASSERT_EQ(r.phase_topology.size(), 4u);
+  // One decision per boundary (2*cycles opening + 1 closing).
+  EXPECT_EQ(r.decisions.size(), 5u);
+  // The phase-profile hint keeps the controller in phase: hot phases
+  // (even) run on the hot-spot topology, and both phases of a parity
+  // run on the same kind.
+  EXPECT_EQ(r.phase_topology[0], r.phase_topology[2]);
+  EXPECT_EQ(r.phase_topology[1], r.phase_topology[3]);
+  EXPECT_NE(r.phase_topology[0], r.phase_topology[1]);
+  // Work is unaffected by the switching.
+  PhasedConfig st = pc;
+  st.adaptive = false;
+  const PhasedResult fixed = run_phased(cluster(TopologyKind::kFcg), st);
+  EXPECT_DOUBLE_EQ(r.app.checksum, fixed.app.checksum);
+}
+
+TEST(Phased, AdaptiveIsDeterministic) {
+  PhasedConfig pc;
+  pc.cycles = 2;
+  pc.adaptive = true;
+  const PhasedResult a = run_phased(cluster(TopologyKind::kFcg), pc);
+  const PhasedResult b = run_phased(cluster(TopologyKind::kFcg), pc);
+  EXPECT_EQ(a.app.exec_time_sec, b.app.exec_time_sec);
+  EXPECT_EQ(a.phase_topology, b.phase_topology);
+  EXPECT_EQ(a.decisions, b.decisions);
+}
+
+TEST(Phased, StaticReconfigSpecSwitchesMidRun) {
+  PhasedConfig pc;
+  pc.cycles = 1;
+  ClusterConfig cl = cluster(TopologyKind::kFcg);
+  ReconfigSpec spec;
+  spec.to = TopologyKind::kCfcg;
+  spec.at_ms = 0.05;
+  cl.reconfigure = spec;
+  const PhasedResult r = run_phased(cl, pc);
+  EXPECT_EQ(r.reconfigurations, 1);
+  const PhasedResult base = run_phased(cluster(TopologyKind::kFcg), pc);
+  EXPECT_DOUBLE_EQ(r.app.checksum, base.app.checksum);
+}
+
+}  // namespace
+}  // namespace vtopo::work

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# One-shot merge gate: everything the CI story requires, in order.
+#
+#   1. Default-preset build + the full ctest suite (tier-1).
+#   2. vtopo-lint over src/ and bench/ (tools/check_lint.sh).
+#   3. Figure 5/6/7 identity: the FNV-golden guard binary, plus a
+#      byte-diff of two independent runs of each figure driver — the
+#      pipelines must be deterministic at the output-byte level, not
+#      just hash-stable.
+#   4. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
+#      TSan over the threaded paths, --jobs byte-diffs.
+#
+# The sanitizer sweep is the slow half; skip it with --fast when
+# iterating (the full gate is what CI runs).
+#
+# Usage: tools/check_all.sh [--fast]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+  fast=1
+  shift
+fi
+
+echo "== build + tier-1 ctest =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)" --output-on-failure
+
+echo "== lint =="
+tools/check_lint.sh
+
+echo "== figure identity =="
+# The golden guard compares figs 5/6/7 canonical output against FNV
+# hashes captured from the pre-pooling tree.
+./build/tests/fig_identity_test
+
+# Determinism at the byte level: each driver run twice must produce
+# identical bytes (quick/small configs keep this to seconds).
+fig_out=$(mktemp -d)
+trap 'rm -rf "$fig_out"' EXIT
+
+./build/bench/fig5_memory --max-procs 3072 --jobs 2 >"$fig_out/fig5_a.txt"
+./build/bench/fig5_memory --max-procs 3072 --jobs 2 >"$fig_out/fig5_b.txt"
+diff -u "$fig_out/fig5_a.txt" "$fig_out/fig5_b.txt"
+
+./build/bench/fig6_vector_contention --quick --nodes 16 --ppn 2 \
+  --iters 2 --jobs 2 >"$fig_out/fig6_a.txt"
+./build/bench/fig6_vector_contention --quick --nodes 16 --ppn 2 \
+  --iters 2 --jobs 2 >"$fig_out/fig6_b.txt"
+diff -u "$fig_out/fig6_a.txt" "$fig_out/fig6_b.txt"
+
+./build/bench/fig7_fetchadd_contention --quick --nodes 16 --ppn 2 \
+  --iters 2 --jobs 2 >"$fig_out/fig7_a.txt"
+./build/bench/fig7_fetchadd_contention --quick --nodes 16 --ppn 2 \
+  --iters 2 --jobs 2 >"$fig_out/fig7_b.txt"
+diff -u "$fig_out/fig7_a.txt" "$fig_out/fig7_b.txt"
+
+if [[ "$fast" -eq 1 ]]; then
+  echo "check_all (--fast): build, ctest, lint, figure identity clean"
+  exit 0
+fi
+
+echo "== sanitizers =="
+tools/check_sanitize.sh
+
+echo "check_all: build, ctest, lint, figure identity, sanitizers clean"

@@ -9,6 +9,12 @@
 //   vtopo_run workload=dft topology=fcg nodes=256 ppn=12
 //   vtopo_run workload=lu nodes=64 ppn=12 topology=hypercube trace=1
 //   vtopo_run workload=recommend nodes=1024 budget=256 hotspot=0.5
+//   vtopo_run workload=ccsd topology=auto nodes=256        (recommender
+//             picks the topology from the workload's profile)
+//   vtopo_run workload=dft reconfigure=fcg reconfigure_at=2.5
+//             (live-remap the topology mid-run, at 2.5 ms)
+//   vtopo_run workload=phased adaptive=1 cycles=3          (controller
+//             re-picks the topology at every phase boundary)
 //
 // Unknown keys are rejected; every key has a sensible default.
 #include <cstdio>
@@ -27,6 +33,7 @@
 #include "workloads/nas_lu.hpp"
 #include "workloads/nwchem_ccsd.hpp"
 #include "workloads/nwchem_dft.hpp"
+#include "workloads/phased.hpp"
 #include "workloads/trace_replay.hpp"
 
 using namespace vtopo;
@@ -104,6 +111,32 @@ void print_stats(const armci::RuntimeStats& st) {
               static_cast<unsigned long long>(st.direct_ops),
               static_cast<unsigned long long>(st.cht_wakeups),
               static_cast<double>(st.credit_blocked_ns) / 1e6);
+  if (st.reconfigurations > 0) {
+    std::printf("reconfigurations=%llu quiesce_ms=%.3f remap_ms=%.3f\n",
+                static_cast<unsigned long long>(st.reconfigurations),
+                static_cast<double>(st.reconfig_quiesce_ns) / 1e6,
+                static_cast<double>(st.reconfig_remap_ns) / 1e6);
+  }
+}
+
+/// topology=auto: pick the topology from the workload's profile via the
+/// paper's recommender, printing the reasoning chain.
+void resolve_auto_topology(work::ClusterConfig& cl, double budget_mb,
+                           double hotspot, double latency) {
+  core::WorkloadProfile prof;
+  prof.num_nodes = cl.num_nodes;
+  prof.buffer_budget_mb = budget_mb;
+  prof.hotspot_fraction = hotspot;
+  prof.latency_sensitivity = latency;
+  prof.mem.procs_per_node = cl.procs_per_node;
+  prof.mem.buffer_bytes = cl.armci.buffer_bytes;
+  prof.mem.buffers_per_process = cl.armci.buffers_per_process;
+  const core::Recommendation rec = core::recommend_topology(prof);
+  cl.topology = rec.kind;
+  std::printf("topology=auto (hotspot=%.2f latency=%.2f budget=%gMB) "
+              "-> %s\n",
+              hotspot, latency, budget_mb, core::to_string(rec.kind));
+  std::printf("rationale: %s\n", rec.rationale.c_str());
 }
 
 }  // namespace
@@ -128,7 +161,10 @@ int main(int argc, char** argv) {
   work::ClusterConfig cl;
   cl.num_nodes = args.num("nodes", 64);
   cl.procs_per_node = static_cast<int>(args.num("ppn", 4));
-  cl.topology = parse_topology(args.str("topology", "mfcg"));
+  const std::string topo_str = args.str("topology", "mfcg");
+  const bool auto_topology = topo_str == "auto";
+  if (!auto_topology) cl.topology = parse_topology(topo_str);
+  const double budget_mb = args.real("budget", 256.0);
   cl.policy = parse_policy(args.str("policy", "ldf"));
   cl.seed = static_cast<std::uint64_t>(args.num("seed", 42));
   if (args.str("machine", "xt5") == "bgp") cl.net = net::bgp_params();
@@ -138,6 +174,20 @@ int main(int argc, char** argv) {
                      ? net::Placement::kRandom
                      : net::Placement::kLinear;
   const auto iters = static_cast<int>(args.num("iters", 5));
+
+  // Optional mid-run live reconfiguration, armed for every workload.
+  const std::string reconf = args.str("reconfigure", "");
+  const double reconf_at = args.real("reconfigure_at", 1.0);
+  const std::string reconf_mode = args.str("reconfig_mode", "incremental");
+  if (!reconf.empty()) {
+    work::ReconfigSpec spec;
+    spec.to = parse_topology(reconf);
+    spec.at_ms = reconf_at;
+    spec.mode = reconf_mode == "rebuild"
+                    ? armci::ReconfigMode::kRebuild
+                    : armci::ReconfigMode::kIncremental;
+    cl.reconfigure = spec;
+  }
 
   if (workload == "contention") {
     work::ContentionConfig cc;
@@ -149,6 +199,13 @@ int main(int argc, char** argv) {
     const std::int64_t pct = args.num("contention", 0);
     cc.contender_stride = pct == 0 ? 0 : pct >= 20 ? 5 : 9;
     args.reject_unknown();
+    if (auto_topology) {
+      // Hot-spot skew is the contender fraction; single fetch-&-adds
+      // are the most latency-critical op in the suite.
+      resolve_auto_topology(cl, budget_mb,
+                            static_cast<double>(pct) / 100.0,
+                            op == "fetchadd" ? 0.9 : 0.5);
+    }
     const auto res = work::run_contention(cl, cc);
     sim::Series s;
     for (const double t : res.op_time_us) {
@@ -178,11 +235,49 @@ int main(int argc, char** argv) {
     std::ostringstream text;
     text << in.rdbuf();
     const auto ops = work::parse_trace(text.str(), cl.num_procs());
+    if (auto_topology) {
+      // Arbitrary replayed mixes: assume spread traffic, middling
+      // latency sensitivity.
+      resolve_auto_topology(cl, budget_mb, 0.0, 0.5);
+    }
     const auto res = work::replay_trace(cl, ops);
     std::printf("trace %s: %lld ops in %.6f s on %s\n", path.c_str(),
                 static_cast<long long>(res.ops_executed),
                 res.exec_time_sec, core::to_string(cl.topology));
     print_stats(res.stats);
+    return 0;
+  }
+
+  if (workload == "phased") {
+    work::PhasedConfig pc;
+    pc.cycles = static_cast<int>(args.num("cycles", 2));
+    pc.hot_ops_per_proc = args.num("hot_ops", pc.hot_ops_per_proc);
+    pc.bw_tiles_per_proc = args.num("bw_tiles", pc.bw_tiles_per_proc);
+    pc.adaptive = args.num("adaptive", 0) != 0;
+    pc.adaptive_cfg.buffer_budget_mb = budget_mb;
+    args.reject_unknown();
+    if (auto_topology) {
+      // The opening phase is the hot-counter one; with adaptive=1 the
+      // controller re-picks at every later boundary anyway.
+      resolve_auto_topology(cl, budget_mb, 0.4, 0.7);
+    }
+    const auto res = work::run_phased(cl, pc);
+    std::printf("phased %s on %lld procs: %.4f s (checksum %.6g)\n",
+                pc.adaptive ? "adaptive" : core::to_string(cl.topology),
+                static_cast<long long>(cl.num_procs()),
+                res.app.exec_time_sec, res.app.checksum);
+    for (std::size_t i = 0; i < res.phase_sec.size(); ++i) {
+      std::printf("  phase %zu (%s, %s): %.4f s\n", i,
+                  i % 2 == 0 ? "hot" : "bandwidth",
+                  i < res.phase_topology.size()
+                      ? res.phase_topology[i].c_str()
+                      : "?",
+                  res.phase_sec[i]);
+    }
+    for (const std::string& d : res.decisions) {
+      std::printf("  controller: %s\n", d.c_str());
+    }
+    print_stats(res.app.stats);
     return 0;
   }
 
@@ -192,23 +287,35 @@ int main(int argc, char** argv) {
     lu.iterations = iters;
     lu.nx_global = static_cast<int>(args.num("nx", 408));
     args.reject_unknown();
+    if (auto_topology) {
+      // Wavefront neighbor exchanges: spread traffic, overlapped.
+      resolve_auto_topology(cl, budget_mb, 0.0, 0.4);
+    }
     res = work::run_nas_lu(cl, lu);
   } else if (workload == "dft") {
     work::DftConfig dft;
     dft.total_tasks = args.num("tasks", 24576);
     dft.compute_us_per_task = args.real("task_us", 70000.0);
     args.reject_unknown();
+    if (auto_topology) {
+      // NXTVAL counter on rank 0 gives DFT its hot-spot signature.
+      resolve_auto_topology(cl, budget_mb, 0.4, 0.6);
+    }
     res = work::run_nwchem_dft(cl, dft);
   } else if (workload == "ccsd") {
     work::CcsdConfig cc;
     cc.total_tiles = args.num("tiles", 196608);
     cc.compute_us_per_tile = args.real("tile_us", 300.0);
     args.reject_unknown();
+    if (auto_topology) {
+      // Uniform tile traffic with blocking gets on the critical path.
+      resolve_auto_topology(cl, budget_mb, 0.0, 0.7);
+    }
     res = work::run_nwchem_ccsd(cl, cc);
   } else {
     std::fprintf(stderr,
                  "unknown workload '%s' (contention|lu|dft|ccsd|"
-                 "trace|recommend)\n",
+                 "trace|phased|recommend)\n",
                  workload.c_str());
     return 2;
   }
