@@ -38,10 +38,12 @@ AdaptiveController::Sample AdaptiveController::take_sample() {
     w.avg_forward_depth =
         static_cast<double>(fwd) / static_cast<double>(w.window_requests);
   }
+  w.window_retries = s.retries - prev_retries_;
   prev_requests_ = s.requests;
   prev_atomics_ = atomics;
   prev_forwards_ = s.forwards;
   prev_blocked_ = s.credit_blocked_ns;
+  prev_retries_ = s.retries;
   return w;
 }
 
@@ -55,6 +57,9 @@ sim::Co<bool> AdaptiveController::maybe_reconfigure(
            << " hotspot=" << w.hotspot_fraction
            << " fwd_depth=" << w.avg_forward_depth
            << " blocked_us=" << sim::to_us(w.credit_blocked_ns);
+  // Failure detection feed: retry pressure from the self-healing
+  // request path shows up in the boundary decision log.
+  if (w.window_retries > 0) decision << " retries=" << w.window_retries;
   if (next_hotspot) decision << " hint=" << *next_hotspot;
 
   // A hint describes the *upcoming* phase, so the just-closed window's

@@ -43,6 +43,8 @@ class AdaptiveController {
     double hotspot_fraction = 0.0;      ///< atomics / requests
     double avg_forward_depth = 0.0;     ///< forwards per request
     sim::TimeNs credit_blocked_ns = 0;  ///< sender stall in the window
+    std::uint64_t window_retries = 0;   ///< watchdog re-issues (failure
+                                        ///< detection feed)
   };
 
   /// Enables the runtime's OpTracer (per-kind series only) so per-kind
@@ -85,6 +87,7 @@ class AdaptiveController {
   std::uint64_t prev_forwards_ = 0;
   std::uint64_t prev_atomics_ = 0;
   sim::TimeNs prev_blocked_ = 0;
+  std::uint64_t prev_retries_ = 0;
   Sample last_sample_{};
   std::string rationale_;
   std::vector<std::string> decisions_;

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -205,6 +206,52 @@ class CreditBank {
     neighbors_.swap(merged_n);
     pools_.swap(merged_p);
     return rs;
+  }
+
+  /// Ensure a (possibly non-topology) out-edge pool toward `receiver`
+  /// exists, inserting a fresh full pool when missing. Safe on a live
+  /// bank: pools travel with their neighbor ids and waiter state lives
+  /// in the shared arena, so inserting a slot never invalidates a parked
+  /// waiter. Used by the self-healing overlay, which dedicates direct
+  /// buffers to a target when its dimension-order next hop is dead;
+  /// conservation holds per pool (the new pool starts at the limit).
+  /// Returns true when a pool was inserted.
+  bool ensure_edge(core::NodeId receiver) {
+    const auto it =
+        std::lower_bound(neighbors_.begin(), neighbors_.end(), receiver);
+    if (it != neighbors_.end() && *it == receiver) return false;
+    const auto at = static_cast<std::size_t>(it - neighbors_.begin());
+    neighbors_.insert(it, receiver);
+    Pool fresh;
+    fresh.count = limit_;
+    pools_.insert(pools_.begin() + static_cast<std::ptrdiff_t>(at), fresh);
+    return true;
+  }
+
+  /// True when the bank has a pool toward `receiver`.
+  [[nodiscard]] bool has_edge(core::NodeId receiver) const {
+    const auto it =
+        std::lower_bound(neighbors_.begin(), neighbors_.end(), receiver);
+    return it != neighbors_.end() && *it == receiver;
+  }
+
+  /// Buffer-exhaustion fault: move every currently free credit of the
+  /// edge toward `receiver` into in_use (as if a misbehaving sender held
+  /// them). Conservation still holds — the credits are held, not lost —
+  /// so validate checks stay meaningful during the outage. Returns the
+  /// number of credits seized.
+  std::int64_t seize(core::NodeId receiver) {
+    Pool& p = pools_[index_of(receiver)];
+    const std::int64_t taken = p.count;
+    p.in_use += taken;
+    p.count = 0;
+    return taken;
+  }
+
+  /// Release credits seized by a buffer-exhaustion fault, honoring the
+  /// FIFO waiter hand-off exactly like normal releases.
+  void restore(core::NodeId receiver, std::int64_t n) {
+    for (std::int64_t i = 0; i < n; ++i) release(receiver);
   }
 
   /// Rebuild-from-scratch alternative to apply_remap(): every pool of

@@ -52,7 +52,13 @@ sim::TimeNs Cht::handle_cost(const Request& r) const {
 
 sim::Co<void> Cht::handle(RequestPtr r) {
   ++handled_;
-  const sim::TimeNs cost = handle_cost(*r);
+  sim::TimeNs cost = handle_cost(*r);
+  if (rt_->faults_armed()) {
+    const double slow = rt_->node_slow_factor(node_);
+    if (slow > 1.0) {
+      cost = static_cast<sim::TimeNs>(static_cast<double>(cost) * slow);
+    }
+  }
   busy_ns_ += cost;
   co_await sim::Sleep(rt_->engine(), cost);
   if (r->target_node == node_) {
@@ -71,7 +77,7 @@ sim::Co<void> Cht::handle(RequestPtr r) {
 
 sim::Co<void> Cht::forward(RequestPtr r) {
   const ArmciParams& p = rt_->params();
-  const core::NodeId next = rt_->topology().next_hop(node_, r->target_node);
+  const core::NodeId next = rt_->next_hop_for(node_, r->target_node);
   assert(next != node_);
 
   // Acquire a buffer credit at the next hop. While blocked here the
@@ -102,32 +108,46 @@ sim::Co<void> Cht::forward(RequestPtr r) {
   VTOPO_CHECK(r->forwards <= rt_->topology().max_forwards(),
               "request forwarded past the topology's max-forwards bound");
 
-  Cht& next_cht = rt_->cht(next);
-  RequestPtr rr = std::move(r);
   const std::int64_t wire =
-      p.request_header_bytes + rr->payload_bytes();
-  rt_->network().deliver(node_, next, wire, rt_->cht_stream(node_),
-                         [&next_cht, rr]() mutable {
-    next_cht.enqueue(std::move(rr));
-  });
+      p.request_header_bytes + r->payload_bytes();
+  rt_->send_request_msg(std::move(r), node_, next, wire,
+                        rt_->cht_stream(node_));
 }
 
 void Cht::release_upstream(const Request& r) {
   if (!r.hop_credit_taken) return;  // intra-node delivery took no credit
-  const ArmciParams& p = rt_->params();
-  const core::NodeId upstream = r.upstream_node;
-  CreditBank& bank = rt_->credits(upstream);
-  const core::NodeId self = node_;
-  ++rt_->stats().acks;
-  rt_->network().deliver(node_, upstream, p.ack_bytes,
-                         rt_->cht_stream(node_),
-                         [&bank, self] { bank.release(self); });
+  rt_->send_ack_msg(node_, r.upstream_node);
 }
 
 void Cht::execute(const RequestPtr& r) {
   GlobalMemory& mem = rt_->memory();
   Response resp;
   bool respond_now = true;
+
+  // Idempotent sequence numbers: duplicates of a mutating request
+  // (retries of an op whose response was lost, or wire-duplicated
+  // copies) must not re-apply their side effect — accumulates and
+  // atomics would double-apply, and a late duplicate put could undo a
+  // newer write to the same location. The dedup cache remembers
+  // executed (origin, id) pairs with their result; a hit absorbs the
+  // effect and resends the remembered response. Reads (kGetV/kGetS)
+  // skip the cache: re-execution cannot disturb memory, and the
+  // origin-side gate discards the extra response.
+  const bool dedupable =
+      rt_->faults_armed() &&
+      (r->op == OpCode::kAcc || r->op == OpCode::kFetchAdd ||
+       r->op == OpCode::kSwap || r->op == OpCode::kPutV ||
+       r->op == OpCode::kPutS);
+  if (dedupable) {
+    if (const DedupEntry* e = find_dedup(r->origin_proc, r->id)) {
+      ++rt_->stats().dup_suppressed;
+      release_upstream(*r);
+      Response cached;
+      cached.value = e->value;
+      send_response(r, std::move(cached));
+      return;
+    }
+  }
 
   switch (r->op) {
     case OpCode::kPutV: {
@@ -281,6 +301,9 @@ void Cht::execute(const RequestPtr& r) {
     }
   }
 
+  if (dedupable && respond_now) {
+    remember_dedup(r->origin_proc, r->id, resp.value);
+  }
   release_upstream(*r);
   if (respond_now) send_response(r, std::move(resp));
 }
@@ -289,21 +312,34 @@ void Cht::send_response(const RequestPtr& r, Response resp) {
   const ArmciParams& p = rt_->params();
   const std::int64_t wire = p.response_header_bytes +
                             static_cast<std::int64_t>(resp.data.size());
-  ++rt_->stats().responses;
   // Response rides inside the arrival callback by move (InlineFn holds
   // move-only captures), and the future fulfilment is a typed member —
-  // no shared_ptr<Response>, no std::function allocation.
-  RequestPtr req = r;
-  Runtime* rt = rt_;
-  rt_->network().deliver(node_, r->origin_node, wire, rt_->cht_stream(node_),
-                         [rt, req = std::move(req),
-                          resp = std::move(resp)]() mutable {
-    // Origin-side completion: the reconfigure quiesce may proceed once
-    // every issued request has reached this point and the credit acks
-    // have drained (CreditBank::idle()).
-    rt->note_request_completed();
-    req->response_future->set(std::move(resp));
-  });
+  // no shared_ptr<Response>, no std::function allocation. The runtime
+  // wrapper gates completion at the origin (exactly-once under faults)
+  // and lets the reconfigure quiesce proceed once every issued request
+  // has completed and the credit acks have drained.
+  rt_->send_response_msg(r, std::move(resp), node_, wire);
+}
+
+const Cht::DedupEntry* Cht::find_dedup(ProcId origin,
+                                       std::uint64_t id) const {
+  for (const DedupEntry& e : dedup_) {
+    if (e.id == id && e.origin == origin) return &e;
+  }
+  return nullptr;
+}
+
+void Cht::remember_dedup(ProcId origin, std::uint64_t id,
+                         std::int64_t value) {
+  const std::size_t cap = rt_->params().dedup_cache_entries;
+  if (cap == 0) return;
+  if (dedup_.size() < cap) {
+    dedup_.push_back(DedupEntry{origin, id, value});
+  } else {
+    // FIFO ring: overwrite the oldest remembered completion.
+    dedup_[dedup_next_ % cap] = DedupEntry{origin, id, value};
+    ++dedup_next_;
+  }
 }
 
 }  // namespace vtopo::armci

@@ -11,8 +11,10 @@
 // order a deadlock question (see core/dependency_graph.hpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "armci/lock_table.hpp"
 #include "armci/request.hpp"
@@ -45,6 +47,14 @@ class Cht {
   [[nodiscard]] sim::TimeNs busy_ns() const { return busy_ns_; }
 
  private:
+  /// One remembered completion of a non-idempotent request, keyed by its
+  /// idempotent sequence number (origin process, request id).
+  struct DedupEntry {
+    ProcId origin = 0;
+    std::uint64_t id = 0;
+    std::int64_t value = 0;
+  };
+
   sim::Co<void> run_loop();
   sim::Co<void> handle(RequestPtr r);
   sim::Co<void> forward(RequestPtr r);
@@ -52,6 +62,9 @@ class Cht {
   void send_response(const RequestPtr& r, Response resp);
   /// Release the buffer credit the current hop consumed (if any).
   void release_upstream(const Request& r);
+  [[nodiscard]] const DedupEntry* find_dedup(ProcId origin,
+                                             std::uint64_t id) const;
+  void remember_dedup(ProcId origin, std::uint64_t id, std::int64_t value);
 
   /// CHT time to decode/copy one request (and gather its response).
   [[nodiscard]] sim::TimeNs handle_cost(const Request& r) const;
@@ -63,6 +76,8 @@ class Cht {
   sim::TimeNs last_active_ = std::numeric_limits<sim::TimeNs>::min() / 4;
   std::uint64_t handled_ = 0;
   sim::TimeNs busy_ns_ = 0;
+  std::vector<DedupEntry> dedup_;  ///< empty while faults are disarmed
+  std::size_t dedup_next_ = 0;     ///< ring cursor once at capacity
 };
 
 }  // namespace vtopo::armci

@@ -106,6 +106,16 @@ sim::Co<void> Proc::issue_send(RequestPtr r) {
   sim::Engine& eng = rt_->engine();
   const ArmciParams& p = rt_->params();
   ++rt_->stats().requests;
+  // Self-healing request path: arm the per-request timeout/retry
+  // watchdog before paying overhead or credits, so the timeout clock
+  // covers the whole issue path. Locks are exempt (lock traffic is
+  // modeled reliable — a replayed lock would re-queue), as are
+  // intra-node ops (shared memory, never on the wire).
+  if (rt_->faults_armed() && r->target_node != node_ &&
+      r->op != OpCode::kLock && r->op != OpCode::kUnlock &&
+      r->response_future.has_value()) {
+    rt_->arm_retry_watchdog(r);
+  }
   co_await sim::Sleep(eng, p.proc_op_overhead);
 
   const std::int64_t wire = p.request_header_bytes + r->payload_bytes();
@@ -115,16 +125,12 @@ sim::Co<void> Proc::issue_send(RequestPtr r) {
     r->upstream_node = node_;
     r->upstream_is_cht = false;
     r->hop_credit_taken = false;
-    Cht& cht = rt_->cht(node_);
-    RequestPtr rr = std::move(r);
-    rt_->network().deliver(node_, node_, wire, rt_->proc_stream(id_),
-                           [&cht, rr]() mutable {
-      cht.enqueue(std::move(rr));
-    });
+    rt_->send_request_msg(std::move(r), node_, node_, wire,
+                          rt_->proc_stream(id_));
     co_return;
   }
 
-  const core::NodeId hop = rt_->topology().next_hop(node_, r->target_node);
+  const core::NodeId hop = rt_->next_hop_for(node_, r->target_node);
   CreditBank& bank = rt_->credits(node_);
   const sim::TimeNs t0 = eng.now();
   co_await bank.acquire(hop);
@@ -135,12 +141,8 @@ sim::Co<void> Proc::issue_send(RequestPtr r) {
   r->upstream_node = node_;
   r->upstream_is_cht = false;
   r->hop_credit_taken = true;
-  Cht& cht = rt_->cht(hop);
-  RequestPtr rr = std::move(r);
-  rt_->network().deliver(node_, hop, wire, rt_->proc_stream(id_),
-                         [&cht, rr]() mutable {
-    cht.enqueue(std::move(rr));
-  });
+  rt_->send_request_msg(std::move(r), node_, hop, wire,
+                        rt_->proc_stream(id_));
 }
 
 sim::Co<Response> Proc::roundtrip(RequestPtr r) {

@@ -105,6 +105,10 @@ struct Request {
   bool hop_credit_taken = false;
   /// Number of CHT forwarding steps taken so far (diagnostics).
   int forwards = 0;
+  /// Retry attempt this copy belongs to: 0 for the original issue, n for
+  /// the n-th watchdog re-issue. All attempts share `id` — the sequence
+  /// number the target CHT dedups on — and the origin's response future.
+  int attempt = 0;
 
   GAddr addr{};                      ///< target address (atomic/acc/lock id base)
   AccType acc_type = AccType::kF64;  ///< accumulate element type
@@ -252,6 +256,7 @@ class RequestPool {
     r->upstream_is_cht = false;
     r->hop_credit_taken = false;
     r->forwards = 0;
+    r->attempt = 0;
     r->addr = GAddr{};
     r->acc_type = AccType::kF64;
     r->scale = 1.0;

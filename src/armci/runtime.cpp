@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <utility>
 
 #include "armci/cht.hpp"
@@ -37,6 +38,17 @@ Runtime::Runtime(sim::Engine& eng, Config cfg)
     procs_.push_back(std::make_unique<Proc>(*this, p));
   }
   for (auto& cht : chts_) cht->start();
+  if (cfg_.faults && cfg_.faults->armed()) {
+    injector_ = std::make_unique<sim::FaultInjector>(eng, *cfg_.faults);
+    const auto nn = static_cast<std::size_t>(cfg_.num_nodes);
+    node_down_.assign(nn, 0);
+    node_slow_.assign(nn, 1.0);
+    healed_.assign(nn, 0);
+    first_hop_timeouts_.assign(nn, 0);
+    injector_->arm([this](const sim::FaultEvent& e, bool begin) {
+      apply_fault(e, begin);
+    });
+  }
 }
 
 Runtime::~Runtime() {
@@ -113,6 +125,340 @@ bool Runtime::request_path_quiescent() const {
     if (!bank->idle()) return false;
   }
   return true;
+}
+
+// --------------------------------------------------------------------
+// Fault injection and the self-healing request path.
+//
+// Everything below is dormant unless a FaultPlan is armed: the message
+// wrappers then reduce to the exact Network::deliver calls the protocol
+// made before this subsystem existed, so fault-free runs schedule the
+// same events in the same order (byte-identical figures).
+// --------------------------------------------------------------------
+
+void Runtime::apply_fault(const sim::FaultEvent& e, bool begin) {
+  const auto a = static_cast<core::NodeId>(e.a);
+  const auto b = static_cast<core::NodeId>(e.b);
+  const bool a_ok = a >= 0 && a < num_nodes();
+  const bool b_ok = b >= 0 && b < num_nodes();
+  switch (e.kind) {
+    case sim::FaultKind::kLinkSever:
+    case sim::FaultKind::kLinkDegrade: {
+      if (!a_ok || !b_ok || a == b) return;
+      const bool sever = e.kind == sim::FaultKind::kLinkSever;
+      const double slow = sever ? 1.0 : e.magnitude;
+      if (begin) {
+        // A physical link outage hits both directions of the pair.
+        network_.fault_edge(a, b, sever, slow);
+        network_.fault_edge(b, a, sever, slow);
+      } else {
+        network_.clear_edge_fault(a, b);
+        network_.clear_edge_fault(b, a);
+      }
+      return;
+    }
+    case sim::FaultKind::kNodeCrash: {
+      if (!a_ok) return;
+      node_down_[static_cast<std::size_t>(a)] = begin ? 1 : 0;
+      if (begin) {
+        if (cfg_.armci.self_heal) heal_around(a);
+      } else {
+        unheal(a);
+      }
+      return;
+    }
+    case sim::FaultKind::kNodeSlow: {
+      if (!a_ok) return;
+      node_slow_[static_cast<std::size_t>(a)] =
+          begin ? std::max(1.0, e.magnitude) : 1.0;
+      return;
+    }
+    case sim::FaultKind::kBufferExhaust: {
+      if (!a_ok || !b_ok) return;
+      if (begin) {
+        if (!credits(a).has_edge(b)) return;
+        seized_.push_back(SeizedCredits{a, b, credits(a).seize(b)});
+      } else {
+        for (std::size_t i = 0; i < seized_.size(); ++i) {
+          if (seized_[i].bank == a && seized_[i].edge == b) {
+            const std::int64_t n = seized_[i].count;
+            seized_.erase(seized_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            credits(a).restore(b, n);
+            return;
+          }
+        }
+      }
+      return;
+    }
+  }
+}
+
+void Runtime::heal_around(core::NodeId dead) {
+  if (injector_ == nullptr || dead < 0 || dead >= num_nodes()) return;
+  char& flag = healed_[static_cast<std::size_t>(dead)];
+  if (flag != 0) return;
+  flag = 1;
+  any_healed_ = true;
+  ++stats_.heals;
+}
+
+void Runtime::unheal(core::NodeId node) {
+  if (injector_ == nullptr || node < 0 || node >= num_nodes()) return;
+  healed_[static_cast<std::size_t>(node)] = 0;
+  first_hop_timeouts_[static_cast<std::size_t>(node)] = 0;
+  any_healed_ = false;
+  for (const char h : healed_) {
+    if (h != 0) {
+      any_healed_ = true;
+      break;
+    }
+  }
+}
+
+core::NodeId Runtime::next_hop_for(core::NodeId src, core::NodeId dst) {
+  const core::NodeId hop = topology().next_hop(src, dst);
+  if (!any_healed_ || hop == dst ||
+      healed_[static_cast<std::size_t>(hop)] == 0) {
+    return hop;
+  }
+  // The dimension-order hop is routed around: dedicate direct buffers to
+  // the final target instead. The target executes without forwarding, so
+  // the overlay introduces no hold-and-wait edge (deadlock freedom) and
+  // strictly fewer forwards than the severed route (bound preserved).
+  credits(src).ensure_edge(dst);
+  ++stats_.healed_reroutes;
+  return dst;
+}
+
+void Runtime::note_first_hop_timeout(core::NodeId hop) {
+  if (hop < 0 || hop >= num_nodes()) return;
+  int& n = first_hop_timeouts_[static_cast<std::size_t>(hop)];
+  if (++n >= cfg_.armci.heal_timeout_threshold && cfg_.armci.self_heal) {
+    heal_around(hop);
+  }
+}
+
+void Runtime::note_first_hop_ok(core::NodeId hop) {
+  if (hop < 0 || hop >= num_nodes()) return;
+  first_hop_timeouts_[static_cast<std::size_t>(hop)] = 0;
+}
+
+void Runtime::reclaim_lease(core::NodeId holder, core::NodeId receiver) {
+  if (!cfg_.armci.lease_reclaim) return;  // chaos knob: leak instead
+  CreditBank* bank = credit_banks_[static_cast<std::size_t>(holder)].get();
+  eng_->schedule_after(cfg_.armci.lease_reclaim_delay,
+                       [this, bank, receiver] {
+    bank->release(receiver);
+    ++stats_.credits_reclaimed;
+  });
+}
+
+RequestPtr Runtime::clone_request(const Request& r) {
+  RequestPtr c = request_pool_.acquire();
+  c->id = r.id;  // shared sequence number: the dedup key
+  c->op = r.op;
+  c->origin_proc = r.origin_proc;
+  c->origin_node = r.origin_node;
+  c->target_proc = r.target_proc;
+  c->target_node = r.target_node;
+  c->attempt = r.attempt;
+  c->addr = r.addr;
+  c->acc_type = r.acc_type;
+  c->scale = r.scale;
+  c->imm = r.imm;
+  c->mutex_id = r.mutex_id;
+  c->segs = r.segs;
+  c->strided = r.strided;
+  c->data = r.data;
+  c->response_future = r.response_future;  // shared completion state
+  return c;
+}
+
+void Runtime::send_request_msg(RequestPtr r, core::NodeId src,
+                               core::NodeId dst, std::int64_t wire_bytes,
+                               net::Network::StreamKey stream) {
+  Cht& cht_dst = cht(dst);
+  // Locks are exempt from faults end to end (lock traffic is modeled
+  // reliable: a replayed grant would corrupt the waiter queue), as are
+  // intra-node deliveries (shared memory, not the wire).
+  if (!faults_armed() || src == dst || r->op == OpCode::kLock ||
+      r->op == OpCode::kUnlock) {
+    RequestPtr rr = std::move(r);
+    network_.deliver(src, dst, wire_bytes, stream,
+                     [&cht_dst, rr]() mutable {
+      cht_dst.enqueue(std::move(rr));
+    });
+    return;
+  }
+  const bool forced = network_.edge_severed(src, dst) || node_down(dst);
+  sim::FaultInjector::MsgFault f{};
+  if (!forced) {
+    f = injector_->sample_message(sim::FaultInjector::MsgClass::kRequest);
+  }
+  if (forced || f.drop) {
+    ++stats_.msgs_dropped;
+    // The hop's buffer-credit lease dies with the message; reclaim it so
+    // flow control recovers. The op itself is recovered by the origin's
+    // retry watchdog (its RequestPtr copy keeps the request alive).
+    if (r->hop_credit_taken) reclaim_lease(src, dst);
+    return;
+  }
+  if (f.duplicate) {
+    ++stats_.msgs_duplicated;
+    RequestPtr dup = clone_request(*r);
+    dup->upstream_node = r->upstream_node;
+    dup->upstream_is_cht = r->upstream_is_cht;
+    dup->forwards = r->forwards;
+    dup->hop_credit_taken = false;  // ghost copy holds no lease
+    RequestPtr dd = std::move(dup);
+    network_.deliver(src, dst, wire_bytes, stream,
+                     [&cht_dst, dd]() mutable {
+      cht_dst.enqueue(std::move(dd));
+    });
+  }
+  const sim::TimeNs arrival = network_.send(src, dst, wire_bytes, stream);
+  if (f.delay > 0) ++stats_.msgs_delayed;
+  RequestPtr rr = std::move(r);
+  eng_->schedule_at(arrival + f.delay, [&cht_dst, rr]() mutable {
+    cht_dst.enqueue(std::move(rr));
+  });
+}
+
+void Runtime::send_ack_msg(core::NodeId from, core::NodeId upstream) {
+  const ArmciParams& p = cfg_.armci;
+  CreditBank& bank = credits(upstream);
+  const core::NodeId self = from;
+  ++stats_.acks;
+  if (!faults_armed()) {
+    network_.deliver(from, upstream, p.ack_bytes, cht_stream(from),
+                     [&bank, self] { bank.release(self); });
+    return;
+  }
+  const bool forced =
+      network_.edge_severed(from, upstream) || node_down(upstream);
+  sim::FaultInjector::MsgFault f{};
+  if (!forced) {
+    f = injector_->sample_message(sim::FaultInjector::MsgClass::kAck);
+  }
+  if (forced || f.drop) {
+    ++stats_.msgs_dropped;
+    // A lost ack strands the lease at the upstream holder; reclaim it
+    // (or, with lease_reclaim off, leak it — the validate death test).
+    reclaim_lease(upstream, from);
+    return;
+  }
+  const sim::TimeNs arrival =
+      network_.send(from, upstream, p.ack_bytes, cht_stream(from));
+  if (f.delay > 0) ++stats_.msgs_delayed;
+  eng_->schedule_at(arrival + f.delay, [&bank, self] {
+    bank.release(self);
+  });
+}
+
+void Runtime::send_response_msg(RequestPtr req, Response resp,
+                                core::NodeId from,
+                                std::int64_t wire_bytes) {
+  ++stats_.responses;
+  const core::NodeId dst = req->origin_node;
+  const OpCode op = req->op;
+  Runtime* rt = this;
+  auto complete = [rt, req = std::move(req),
+                   resp = std::move(resp)]() mutable {
+    // Origin-side completion gate: the first response fulfils the op
+    // (and lets the reconfigure quiesce proceed); late duplicates —
+    // from retries or duplicated requests — are absorbed here.
+    if (req->response_future->ready()) {
+      ++rt->stats_.dup_suppressed;
+      return;
+    }
+    rt->note_request_completed();
+    req->response_future->set(std::move(resp));
+  };
+  if (!faults_armed() || from == dst || op == OpCode::kLock ||
+      op == OpCode::kUnlock) {
+    network_.deliver(from, dst, wire_bytes, cht_stream(from),
+                     std::move(complete));
+    return;
+  }
+  const bool forced = network_.edge_severed(from, dst) || node_down(dst);
+  sim::FaultInjector::MsgFault f{};
+  if (!forced) {
+    f = injector_->sample_message(sim::FaultInjector::MsgClass::kResponse);
+  }
+  if (forced || f.drop) {
+    ++stats_.msgs_dropped;  // the origin's watchdog re-issues
+    return;
+  }
+  const sim::TimeNs arrival =
+      network_.send(from, dst, wire_bytes, cht_stream(from));
+  if (f.delay > 0) ++stats_.msgs_delayed;
+  eng_->schedule_at(arrival + f.delay, std::move(complete));
+}
+
+void Runtime::arm_retry_watchdog(const RequestPtr& r) {
+  const core::NodeId first_hop =
+      next_hop_for(r->origin_node, r->target_node);
+  spawn_task(retry_watchdog(r, *r->response_future, first_hop));
+}
+
+sim::Co<void> Runtime::retry_watchdog(RequestPtr r,
+                                      sim::Future<Response> fut,
+                                      core::NodeId first_hop) {
+  const ArmciParams& p = cfg_.armci;
+  sim::TimeNs timeout = p.retry_timeout;
+  for (int attempt = 1; attempt <= p.retry_max_attempts; ++attempt) {
+    co_await sim::Sleep(*eng_, timeout);
+    if (fut.ready()) {
+      note_first_hop_ok(first_hop);
+      co_return;
+    }
+    ++stats_.retries;
+    tracer_.record(TraceKind::kRetry, r->origin_proc,
+                   eng_->now() - timeout, timeout);
+    note_first_hop_timeout(first_hop);
+    RequestPtr copy = clone_request(*r);
+    copy->attempt = attempt;
+    spawn_task(reissue(std::move(copy)));
+    timeout = std::min(
+        static_cast<sim::TimeNs>(static_cast<double>(timeout) *
+                                 p.retry_backoff),
+        p.retry_backoff_cap);
+  }
+  co_await sim::Sleep(*eng_, timeout);
+  if (fut.ready()) {
+    note_first_hop_ok(first_hop);
+    co_return;
+  }
+  VTOPO_CHECK_ALWAYS(false,
+                     "retry attempts exhausted: request completion lost");
+}
+
+sim::Co<void> Runtime::reissue(RequestPtr r) {
+  const ArmciParams& p = cfg_.armci;
+  // Note: no reconfiguration fence here. The logical op was admitted on
+  // its first issue and the quiesce loop is waiting for its completion;
+  // parking the retry at the fence would deadlock the quiesce.
+  co_await sim::Sleep(*eng_, p.proc_op_overhead);
+  if (r->response_future->ready()) co_return;  // completed while asleep
+  const core::NodeId origin = r->origin_node;
+  const net::Network::StreamKey stream = proc_stream(r->origin_proc);
+  const std::int64_t wire = p.request_header_bytes + r->payload_bytes();
+  const core::NodeId hop = next_hop_for(origin, r->target_node);
+  CreditBank& bank = credits(origin);
+  const sim::TimeNs t0 = eng_->now();
+  co_await bank.acquire(hop);
+  const sim::TimeNs blocked = eng_->now() - t0;
+  bank.add_blocked(blocked);
+  stats_.credit_blocked_ns += blocked;
+  if (r->response_future->ready()) {
+    bank.release(hop);  // raced with a late response: hand it back
+    co_return;
+  }
+  r->upstream_node = origin;
+  r->upstream_is_cht = false;
+  r->hop_credit_taken = true;
+  send_request_msg(std::move(r), origin, hop, wire, stream);
 }
 
 sim::Co<bool> Runtime::reconfigure(core::TopologyKind to,

@@ -30,6 +30,7 @@
 #include "core/topology.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/task.hpp"
 
 namespace vtopo::armci {
@@ -54,6 +55,17 @@ struct RuntimeStats {
   sim::TimeNs reconfig_quiesce_ns = 0;  ///< total time draining the
                                         ///< request path before remaps
   sim::TimeNs reconfig_remap_ns = 0;    ///< total simulated remap stall
+
+  // ---- Fault-path counters (all zero while faults are disarmed) ----
+  std::uint64_t retries = 0;           ///< watchdog re-issues
+  std::uint64_t msgs_dropped = 0;      ///< protocol messages lost
+  std::uint64_t msgs_duplicated = 0;   ///< request messages duplicated
+  std::uint64_t msgs_delayed = 0;      ///< protocol messages delayed
+  std::uint64_t dup_suppressed = 0;    ///< duplicate completions absorbed
+                                       ///< (origin gate + target cache)
+  std::uint64_t credits_reclaimed = 0; ///< leases reclaimed after losses
+  std::uint64_t heals = 0;             ///< heal-around overlays installed
+  std::uint64_t healed_reroutes = 0;   ///< hops redirected by an overlay
 };
 
 /// How reconfigure() rebuilds the per-node credit banks.
@@ -109,6 +121,14 @@ class Runtime {
     net::Placement placement = net::Placement::kLinear;
     std::int64_t segment_bytes = std::int64_t{1} << 20;
     std::uint64_t seed = 42;
+    /// Seeded chaos: when set and armed, the runtime schedules the
+    /// plan's outages on the event loop, injects its per-message faults
+    /// into the CHT protocol, and turns on the self-healing request
+    /// path (retry watchdogs, duplicate suppression, credit-lease
+    /// reclamation, heal-around overlays). Unset or disarmed, every
+    /// fault code path is dormant and runs are byte-identical to a
+    /// fault-free build.
+    std::optional<sim::FaultPlan> faults;
   };
 
   Runtime(sim::Engine& eng, Config cfg);
@@ -251,9 +271,94 @@ class Runtime {
     return num_nodes() + p;
   }
 
+  // ---------------------------------------------------------------- faults
+
+  /// True when a FaultPlan with any actual fault is installed. Every
+  /// fault/retry/heal code path below is behind this flag; when false,
+  /// the protocol schedules the exact same events as a build without the
+  /// fault subsystem (byte-identical figures).
+  [[nodiscard]] bool faults_armed() const { return injector_ != nullptr; }
+  /// The injector, or null when disarmed.
+  [[nodiscard]] sim::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+
+  /// Node currently crashed (its NIC drops arriving protocol messages)?
+  [[nodiscard]] bool node_down(core::NodeId n) const {
+    return injector_ != nullptr && node_down_[static_cast<std::size_t>(n)];
+  }
+  /// CHT service-time multiplier of a slowed node (1.0 = nominal).
+  [[nodiscard]] double node_slow_factor(core::NodeId n) const {
+    return injector_ == nullptr ? 1.0
+                                : node_slow_[static_cast<std::size_t>(n)];
+  }
+  /// Node currently routed around by the self-healing overlay?
+  [[nodiscard]] bool healed(core::NodeId n) const {
+    return injector_ != nullptr && healed_[static_cast<std::size_t>(n)];
+  }
+
+  /// Routing with the self-healing overlay applied: normally the
+  /// topology's next_hop, but when that intermediate hop is marked dead
+  /// the sender dedicates direct buffers to the final target
+  /// (CreditBank::ensure_edge) and bypasses the hop. Direct delivery
+  /// executes at the target without further forwarding, so the overlay
+  /// adds no hold-and-wait edge to the buffer dependency graph (LDF
+  /// deadlock freedom is preserved) and the per-request forwarding count
+  /// can only shrink (the max_forwards bound still holds).
+  [[nodiscard]] core::NodeId next_hop_for(core::NodeId src,
+                                          core::NodeId dst);
+
+  /// Install / clear the heal-around overlay for `dead`. Public so the
+  /// chaos tests can exercise the overlay deterministically; normally
+  /// driven by crash events and by consecutive first-hop timeouts.
+  void heal_around(core::NodeId dead);
+  void unheal(core::NodeId node);
+
+  /// Send one CHT-mediated request message src -> dst (fault-aware when
+  /// armed; plain Network::deliver otherwise). The request's upstream
+  /// fields must already describe this hop.
+  void send_request_msg(RequestPtr r, core::NodeId src, core::NodeId dst,
+                        std::int64_t wire_bytes,
+                        net::Network::StreamKey stream);
+  /// Send the buffer-credit ack `from` -> `upstream` releasing one
+  /// credit of edge (from <- upstream) on arrival.
+  void send_ack_msg(core::NodeId from, core::NodeId upstream);
+  /// Send the response for `req` back to its origin node. Completion is
+  /// gated on the origin's future: the first response to arrive
+  /// completes the op, later (duplicate) responses are absorbed.
+  void send_response_msg(RequestPtr req, Response resp, core::NodeId from,
+                         std::int64_t wire_bytes);
+  /// Spawn the per-request timeout/retry watchdog for an eligible op
+  /// (faults armed, inter-node, non-lock, response future attached).
+  /// The issue path checks eligibility and calls this once per op.
+  void arm_retry_watchdog(const RequestPtr& r);
+
  private:
   void stop_chts();
   [[nodiscard]] bool request_path_quiescent() const;
+
+  // Fault-path internals (all no-ops while disarmed).
+  void apply_fault(const sim::FaultEvent& e, bool begin);
+  /// Reclaim the buffer-credit lease a lost message would have returned:
+  /// after lease_reclaim_delay, release one credit of edge
+  /// (holder's bank, toward `receiver`).
+  void reclaim_lease(core::NodeId holder, core::NodeId receiver);
+  /// Deep copy of a request for duplication / retry. The clone shares
+  /// the original's id (the dedup sequence number) and response future;
+  /// hop bookkeeping is reset.
+  [[nodiscard]] RequestPtr clone_request(const Request& r);
+  /// Per-request watchdog: wakes every (backed-off) timeout and
+  /// re-issues the op until the shared response future is fulfilled.
+  /// Aborts via validate_fail after retry_max_attempts wasted attempts.
+  [[nodiscard]] sim::Co<void> retry_watchdog(RequestPtr r,
+                                             sim::Future<Response> fut,
+                                             core::NodeId first_hop);
+  /// Re-issue one retry copy from the origin (credit acquire + send).
+  /// Bypasses the reconfiguration fence: the logical op was already
+  /// admitted, and the quiesce loop is waiting for its completion.
+  [[nodiscard]] sim::Co<void> reissue(RequestPtr r);
+  void note_first_hop_timeout(core::NodeId hop);
+  void note_first_hop_ok(core::NodeId hop);
 
   sim::Engine* eng_;
   Config cfg_;
@@ -275,6 +380,20 @@ class Runtime {
   std::uint64_t request_id_ = 0;
   std::int64_t live_ = 0;
   bool chts_stopped_ = false;
+
+  // Fault-injection state (empty/null while disarmed).
+  std::unique_ptr<sim::FaultInjector> injector_;
+  std::vector<char> node_down_;
+  std::vector<double> node_slow_;
+  std::vector<char> healed_;
+  bool any_healed_ = false;
+  std::vector<int> first_hop_timeouts_;  ///< consecutive, per hop node
+  struct SeizedCredits {
+    core::NodeId bank;
+    core::NodeId edge;
+    std::int64_t count;
+  };
+  std::vector<SeizedCredits> seized_;  ///< active kBufferExhaust outages
 
   // Reconfiguration state.
   bool reconfig_active_ = false;

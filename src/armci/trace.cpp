@@ -28,6 +28,8 @@ const char* to_string(TraceKind k) {
       return "barrier";
     case TraceKind::kReconfigure:
       return "reconfigure";
+    case TraceKind::kRetry:
+      return "retry";
   }
   return "?";
 }

@@ -29,8 +29,9 @@ enum class TraceKind : std::uint8_t {
   kUnlock,       ///< lock release
   kBarrier,      ///< barrier wait
   kReconfigure,  ///< live topology reconfiguration (quiesce + remap)
+  kRetry,        ///< watchdog re-issue of a timed-out request
 };
-inline constexpr std::size_t kNumTraceKinds = 11;
+inline constexpr std::size_t kNumTraceKinds = 12;
 
 [[nodiscard]] const char* to_string(TraceKind k);
 

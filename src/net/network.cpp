@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <numeric>
 #include <utility>
 
@@ -64,6 +65,46 @@ bool Network::stream_miss(core::NodeId dst, StreamKey stream) {
   return miss;
 }
 
+const Network::EdgeFault* Network::find_fault(core::NodeId src,
+                                              core::NodeId dst) const {
+  for (const EdgeFault& f : edge_faults_) {
+    if (f.src == src && f.dst == dst) return &f;
+  }
+  return nullptr;
+}
+
+void Network::fault_edge(core::NodeId src, core::NodeId dst, bool severed,
+                         double degrade) {
+  for (EdgeFault& f : edge_faults_) {
+    if (f.src == src && f.dst == dst) {
+      f.severed = f.severed || severed;
+      f.degrade = std::max(f.degrade, degrade);
+      return;
+    }
+  }
+  edge_faults_.push_back(EdgeFault{src, dst, severed, degrade});
+}
+
+void Network::clear_edge_fault(core::NodeId src, core::NodeId dst) {
+  for (std::size_t i = 0; i < edge_faults_.size(); ++i) {
+    if (edge_faults_[i].src == src && edge_faults_[i].dst == dst) {
+      edge_faults_.erase(edge_faults_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+bool Network::edge_severed(core::NodeId src, core::NodeId dst) const {
+  const EdgeFault* f = find_fault(src, dst);
+  return f != nullptr && f->severed;
+}
+
+double Network::edge_degrade(core::NodeId src, core::NodeId dst) const {
+  const EdgeFault* f = find_fault(src, dst);
+  return f == nullptr ? 1.0 : f->degrade;
+}
+
 sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
                           std::int64_t bytes, StreamKey stream) {
   assert(bytes >= 0);
@@ -79,8 +120,17 @@ sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
 
   const std::int64_t sslot = slot_of_node_[static_cast<std::size_t>(src)];
   const std::int64_t dslot = slot_of_node_[static_cast<std::size_t>(dst)];
-  const sim::TimeNs nic_ser = serialize_ns(bytes, params_.nic_bandwidth);
-  const sim::TimeNs link_ser = serialize_ns(bytes, params_.link_bandwidth);
+  sim::TimeNs nic_ser = serialize_ns(bytes, params_.nic_bandwidth);
+  sim::TimeNs link_ser = serialize_ns(bytes, params_.link_bandwidth);
+  if (!edge_faults_.empty()) {
+    const double slow = edge_degrade(src, dst);
+    if (slow > 1.0) {
+      nic_ser = static_cast<sim::TimeNs>(
+          static_cast<double>(nic_ser) * slow);
+      link_ser = static_cast<sim::TimeNs>(
+          static_cast<double>(link_ser) * slow);
+    }
+  }
 
   auto cross = [&](LinkId link, sim::TimeNs ser) {
     auto& free_at = link_free_[static_cast<std::size_t>(link)];

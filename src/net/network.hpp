@@ -66,6 +66,34 @@ class Network {
   /// Torus hop distance between the slots hosting two nodes.
   [[nodiscard]] int hop_count(core::NodeId src, core::NodeId dst) const;
 
+  // ---- Fault state (sim/fault.hpp events, applied by the runtime) ----
+  //
+  // Faults are tracked per directed node pair: the routes of a fixed
+  // placement never change, so degrading or severing the (src, dst)
+  // pair is equivalent to faulting the torus links its dimension-order
+  // route crosses — without perturbing unrelated pairs that share a
+  // physical link (which keeps fault blast radius deterministic and
+  // byte-identical under replay). With no fault installed the send hot
+  // path is untouched beyond one empty-vector test.
+
+  /// Install (or update) a fault on the directed pair src -> dst.
+  /// `degrade` > 1 multiplies serialization time; `severed` marks the
+  /// pair lossy (the protocol layer queries and drops — the network
+  /// itself never destroys messages).
+  void fault_edge(core::NodeId src, core::NodeId dst, bool severed,
+                  double degrade);
+  /// Remove any fault on the directed pair.
+  void clear_edge_fault(core::NodeId src, core::NodeId dst);
+  /// True while src -> dst traffic is severed.
+  [[nodiscard]] bool edge_severed(core::NodeId src, core::NodeId dst) const;
+  /// Serialization multiplier for src -> dst (1.0 when unfaulted).
+  [[nodiscard]] double edge_degrade(core::NodeId src,
+                                    core::NodeId dst) const;
+  /// Number of faulted pairs right now.
+  [[nodiscard]] std::size_t faulted_edges() const {
+    return edge_faults_.size();
+  }
+
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_total_; }
 
@@ -96,9 +124,19 @@ class Network {
   /// Memoize src->dst (inter-node pairs only) and return its entry.
   const RouteEntry& cache_route(core::NodeId src, core::NodeId dst);
 
+  struct EdgeFault {
+    core::NodeId src = 0;
+    core::NodeId dst = 0;
+    bool severed = false;
+    double degrade = 1.0;
+  };
+  [[nodiscard]] const EdgeFault* find_fault(core::NodeId src,
+                                            core::NodeId dst) const;
+
   sim::Engine* eng_;
   NetworkParams params_;
   TorusGeometry torus_;
+  std::vector<EdgeFault> edge_faults_;  ///< tiny; linear scan
   std::vector<std::int64_t> slot_of_node_;
   std::vector<sim::TimeNs> link_free_;
   std::vector<StreamLru> streams_;

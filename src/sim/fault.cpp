@@ -1,0 +1,299 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace vtopo::sim {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkSever:
+      return "sever";
+    case FaultKind::kLinkDegrade:
+      return "degrade";
+    case FaultKind::kNodeCrash:
+      return "crash";
+    case FaultKind::kNodeSlow:
+      return "slow";
+    case FaultKind::kBufferExhaust:
+      return "exhaust";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_event(std::ostringstream& os, const FaultEvent& e) {
+  os << to_string(e.kind) << '=' << e.a;
+  if (e.kind == FaultKind::kLinkSever || e.kind == FaultKind::kLinkDegrade ||
+      e.kind == FaultKind::kBufferExhaust) {
+    os << '-' << e.b;
+  }
+  if (e.kind == FaultKind::kLinkDegrade || e.kind == FaultKind::kNodeSlow) {
+    os << '*' << e.magnitude;
+  }
+  os << '@' << to_us(e.at) << '+' << to_us(e.duration);
+}
+
+bool parse_double(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string tmp(s);
+  *out = std::strtod(tmp.c_str(), &end);
+  return end == tmp.c_str() + tmp.size();
+}
+
+bool parse_i64(std::string_view s, std::int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string tmp(s);
+  *out = std::strtoll(tmp.c_str(), &end, 10);
+  return end == tmp.c_str() + tmp.size();
+}
+
+/// Event value grammar: A[-B][*F]@T[+D] with T, D in microseconds.
+bool parse_event_value(std::string_view v, bool wants_b, bool wants_factor,
+                       FaultEvent* e) {
+  const auto at_pos = v.find('@');
+  if (at_pos == std::string_view::npos) return false;
+  std::string_view subject = v.substr(0, at_pos);
+  std::string_view when = v.substr(at_pos + 1);
+
+  if (wants_factor) {
+    const auto star = subject.find('*');
+    if (star == std::string_view::npos) return false;
+    if (!parse_double(subject.substr(star + 1), &e->magnitude)) return false;
+    if (e->magnitude <= 0) return false;
+    subject = subject.substr(0, star);
+  }
+  if (wants_b) {
+    const auto dash = subject.find('-');
+    if (dash == std::string_view::npos) return false;
+    if (!parse_i64(subject.substr(dash + 1), &e->b)) return false;
+    subject = subject.substr(0, dash);
+  }
+  if (!parse_i64(subject, &e->a)) return false;
+
+  double at_us = 0.0;
+  double dur_us = 0.0;
+  const auto plus = when.find('+');
+  if (plus == std::string_view::npos) {
+    if (!parse_double(when, &at_us)) return false;
+  } else {
+    if (!parse_double(when.substr(0, plus), &at_us)) return false;
+    if (!parse_double(when.substr(plus + 1), &dur_us)) return false;
+  }
+  if (at_us < 0 || dur_us < 0) return false;
+  e->at = us(at_us);
+  e->duration = us(dur_us);
+  return true;
+}
+
+}  // namespace
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  if (drop_requests > 0 && drop_requests == drop_acks &&
+      drop_requests == drop_responses) {
+    os << ";drop=" << drop_requests;
+  } else {
+    if (drop_requests > 0) os << ";drop_req=" << drop_requests;
+    if (drop_acks > 0) os << ";drop_ack=" << drop_acks;
+    if (drop_responses > 0) os << ";drop_resp=" << drop_responses;
+  }
+  if (duplicate_rate > 0) os << ";dup=" << duplicate_rate;
+  if (delay_rate > 0) {
+    os << ";delay=" << delay_rate << ";delay_max=" << to_us(delay_max);
+  }
+  for (const FaultEvent& e : events) {
+    os << ';';
+    append_event(os, e);
+  }
+  return os.str();
+}
+
+std::optional<FaultPlan> FaultPlan::parse(std::string_view spec,
+                                          std::string* err) {
+  FaultPlan plan;
+  auto fail = [&](const std::string& what) -> std::optional<FaultPlan> {
+    if (err != nullptr) *err = what;
+    return std::nullopt;
+  };
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto next = spec.find(';', pos);
+    std::string_view tok = spec.substr(
+        pos, next == std::string_view::npos ? spec.size() - pos : next - pos);
+    pos = next == std::string_view::npos ? spec.size() + 1 : next + 1;
+    if (tok.empty()) continue;
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("token without '=': " + std::string(tok));
+    }
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view val = tok.substr(eq + 1);
+    auto rate = [&](double* out) {
+      return parse_double(val, out) && *out >= 0 && *out <= 1;
+    };
+    if (key == "seed") {
+      std::int64_t s = 0;
+      if (!parse_i64(val, &s) || s < 0) return fail("bad seed");
+      plan.seed = static_cast<std::uint64_t>(s);
+    } else if (key == "drop") {
+      double r = 0;
+      if (!rate(&r)) return fail("bad drop rate");
+      plan.set_drop_rate(r);
+    } else if (key == "drop_req") {
+      if (!rate(&plan.drop_requests)) return fail("bad drop_req rate");
+    } else if (key == "drop_ack") {
+      if (!rate(&plan.drop_acks)) return fail("bad drop_ack rate");
+    } else if (key == "drop_resp") {
+      if (!rate(&plan.drop_responses)) return fail("bad drop_resp rate");
+    } else if (key == "dup") {
+      if (!rate(&plan.duplicate_rate)) return fail("bad dup rate");
+    } else if (key == "delay") {
+      if (!rate(&plan.delay_rate)) return fail("bad delay rate");
+    } else if (key == "delay_max") {
+      double d = 0;
+      if (!parse_double(val, &d) || d < 0) return fail("bad delay_max");
+      plan.delay_max = us(d);
+    } else {
+      FaultEvent e;
+      bool ok = false;
+      if (key == "sever") {
+        e.kind = FaultKind::kLinkSever;
+        ok = parse_event_value(val, /*wants_b=*/true, /*wants_factor=*/false,
+                               &e);
+      } else if (key == "degrade") {
+        e.kind = FaultKind::kLinkDegrade;
+        ok = parse_event_value(val, true, true, &e);
+      } else if (key == "crash") {
+        e.kind = FaultKind::kNodeCrash;
+        ok = parse_event_value(val, false, false, &e);
+      } else if (key == "slow") {
+        e.kind = FaultKind::kNodeSlow;
+        ok = parse_event_value(val, false, true, &e);
+      } else if (key == "exhaust") {
+        e.kind = FaultKind::kBufferExhaust;
+        ok = parse_event_value(val, true, false, &e);
+      } else {
+        return fail("unknown key: " + std::string(key));
+      }
+      if (!ok) return fail("malformed event: " + std::string(tok));
+      plan.events.push_back(e);
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::int64_t num_nodes,
+                            int outages, int crashes, double drop_rate,
+                            double dup_rate, double delay_rate,
+                            TimeNs horizon) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.set_drop_rate(drop_rate);
+  plan.duplicate_rate = dup_rate;
+  plan.delay_rate = delay_rate;
+  // Own derived stream: the schedule must not disturb message draws.
+  Rng rng(derive_seed(seed, 0x5eedf417));
+  const auto n = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      num_nodes, 2));
+  auto when = [&] {
+    return static_cast<TimeNs>(rng.uniform(
+        static_cast<std::uint64_t>(std::max<TimeNs>(horizon, 1))));
+  };
+  auto dur = [&] {
+    // Outages last 5-25% of the horizon: long enough to force retries,
+    // short enough that the retry budget outlives them.
+    const auto h = static_cast<double>(std::max<TimeNs>(horizon, 1));
+    return static_cast<TimeNs>(h * (0.05 + 0.20 * rng.uniform01()));
+  };
+  for (int i = 0; i < outages; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kLinkSever;
+    e.a = static_cast<std::int64_t>(rng.uniform(n));
+    do {
+      e.b = static_cast<std::int64_t>(rng.uniform(n));
+    } while (e.b == e.a);
+    e.at = when();
+    e.duration = dur();
+    plan.events.push_back(e);
+  }
+  for (int i = 0; i < crashes; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kNodeCrash;
+    // Spare node 0: most workloads anchor shared state (counters, lock
+    // masters) there, and a dead target only stalls until recovery.
+    e.a = 1 + static_cast<std::int64_t>(rng.uniform(n - 1));
+    e.at = when();
+    e.duration = dur();
+    plan.events.push_back(e);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  return plan;
+}
+
+FaultInjector::FaultInjector(Engine& eng, FaultPlan plan)
+    : eng_(&eng),
+      plan_(std::move(plan)),
+      rng_(derive_seed(plan_.seed, 0xfa'417)) {}
+
+void FaultInjector::arm(Handler handler) {
+  // One stored handler; per-event closures capture only two pointers,
+  // keeping them inside InlineFn's inline storage. The events vector is
+  // never mutated after arming, so the element pointers stay valid.
+  handler_ = std::move(handler);
+  FaultInjector* self = this;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent* e = &plan_.events[i];
+    const TimeNs begin_at = std::max<TimeNs>(e->at, eng_->now());
+    eng_->schedule_at(begin_at,
+                      [self, e] { self->handler_(*e, /*begin=*/true); });
+    if (e->duration > 0) {
+      eng_->schedule_at(begin_at + e->duration,
+                        [self, e] { self->handler_(*e, /*begin=*/false); });
+    }
+  }
+}
+
+FaultInjector::MsgFault FaultInjector::sample_message(MsgClass cls) {
+  MsgFault f;
+  double drop_rate = 0.0;
+  switch (cls) {
+    case MsgClass::kRequest:
+      drop_rate = plan_.drop_requests;
+      break;
+    case MsgClass::kAck:
+      drop_rate = plan_.drop_acks;
+      break;
+    case MsgClass::kResponse:
+      drop_rate = plan_.drop_responses;
+      break;
+  }
+  if (drop_rate > 0 && rng_.chance(drop_rate)) {
+    f.drop = true;
+    ++dropped_;
+    return f;
+  }
+  if (cls == MsgClass::kRequest && plan_.duplicate_rate > 0 &&
+      rng_.chance(plan_.duplicate_rate)) {
+    f.duplicate = true;
+    ++duplicated_;
+  }
+  if (plan_.delay_rate > 0 && rng_.chance(plan_.delay_rate)) {
+    f.delay = 1 + static_cast<TimeNs>(rng_.uniform(
+                      static_cast<std::uint64_t>(
+                          std::max<TimeNs>(plan_.delay_max, 1))));
+    ++delayed_;
+  }
+  return f;
+}
+
+}  // namespace vtopo::sim

@@ -1,0 +1,158 @@
+// Deterministic fault injection for the discrete-event simulator.
+//
+// A FaultPlan is a seeded description of everything that goes wrong in a
+// run: scheduled outages (severed or degraded links, crashed or slowed
+// nodes, exhausted buffer pools) plus stochastic per-message faults
+// (drop / duplicate / delay) sampled from a single Rng stream. Because
+// the simulator itself is deterministic, a plan replays byte-identically
+// from its seed: the same plan on the same workload produces the same
+// event sequence, the same message losses, and the same final state.
+//
+// The sim layer knows nothing about ARMCI or the torus; event subjects
+// are plain integer ids whose meaning is assigned by the layer that
+// registers the dispatch handler (armci::Runtime maps them onto nodes,
+// virtual-topology edges, and credit banks). A disarmed plan — no rates,
+// no events — injects nothing and consumes no randomness, so fault-free
+// runs stay byte-identical to a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::sim {
+
+/// What a scheduled fault event does. Transient faults carry a duration;
+/// the injector dispatches a begin at `at` and an end at `at + duration`.
+enum class FaultKind : std::uint8_t {
+  kLinkSever,      ///< messages a -> b are lost while active
+  kLinkDegrade,    ///< messages a -> b serialize `magnitude`x slower
+  kNodeCrash,      ///< arrivals at node `a` are lost while active
+  kNodeSlow,       ///< node `a` services requests `magnitude`x slower
+  kBufferExhaust,  ///< node `a` loses its free credits toward node `b`
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+/// One scheduled fault: begins at `at`, ends at `at + duration`.
+struct FaultEvent {
+  TimeNs at = 0;
+  FaultKind kind = FaultKind::kLinkSever;
+  std::int64_t a = 0;        ///< node / link source
+  std::int64_t b = 0;        ///< link destination (link & buffer faults)
+  double magnitude = 1.0;    ///< slowdown factor (degrade / slow)
+  TimeNs duration = 0;
+};
+
+/// A complete, replayable description of a run's faults.
+struct FaultPlan {
+  /// Seeds the message-fault stream (and nothing else: scheduled events
+  /// are listed explicitly so two layers never race for draws).
+  std::uint64_t seed = 1;
+
+  /// Per-message fault probabilities, sampled independently per eligible
+  /// message. Requests may be dropped, duplicated, or delayed; acks and
+  /// responses may be dropped or delayed (never duplicated at the wire —
+  /// duplication of their effect comes from request retries).
+  double drop_requests = 0.0;
+  double drop_acks = 0.0;
+  double drop_responses = 0.0;
+  double duplicate_rate = 0.0;
+  double delay_rate = 0.0;
+  /// Delayed messages arrive uniformly up to this much late.
+  TimeNs delay_max = us(50.0);
+
+  std::vector<FaultEvent> events;
+
+  /// True when the plan injects anything at all. A disarmed plan is
+  /// behaviorally invisible (no RNG draws, no scheduled events).
+  [[nodiscard]] bool armed() const {
+    return drop_requests > 0 || drop_acks > 0 || drop_responses > 0 ||
+           duplicate_rate > 0 || delay_rate > 0 || !events.empty();
+  }
+
+  /// Convenience: set all three drop rates at once.
+  void set_drop_rate(double r) {
+    drop_requests = drop_acks = drop_responses = r;
+  }
+
+  /// Canonical one-line form, parseable by parse(). Example:
+  ///   seed=7;drop=0.05;dup=0.01;sever=2-5@100+400;crash=3@250+200
+  [[nodiscard]] std::string describe() const;
+
+  /// Parse the describe() syntax. Tokens are ';'-separated key=value
+  /// pairs:
+  ///   seed=N           drop=R  drop_req=R  drop_ack=R  drop_resp=R
+  ///   dup=R            delay=R             delay_max=US
+  ///   sever=A-B@T+D    degrade=A-B*F@T+D   crash=A@T+D
+  ///   slow=A*F@T+D     exhaust=A-B@T+D
+  /// with T and D in simulated microseconds. Returns nullopt (and sets
+  /// *err) on malformed input.
+  static std::optional<FaultPlan> parse(std::string_view spec,
+                                        std::string* err = nullptr);
+
+  /// A seeded random plan: `outages` scheduled link severs plus
+  /// `crashes` node crashes over nodes [0, num_nodes), all inside
+  /// [0, horizon), with the given message-fault rates. Deterministic in
+  /// (seed, arguments); uses its own derived stream so it does not
+  /// disturb the message-fault draws.
+  static FaultPlan random(std::uint64_t seed, std::int64_t num_nodes,
+                          int outages, int crashes, double drop_rate,
+                          double dup_rate, double delay_rate,
+                          TimeNs horizon);
+};
+
+/// Runtime side of a FaultPlan: schedules the begin/end event pairs on
+/// the engine and samples per-message faults. The owner registers a
+/// dispatch handler that applies each event to the simulated hardware.
+class FaultInjector {
+ public:
+  /// Dispatch callback: `begin` is true at `at`, false at `at+duration`.
+  using Handler = std::function<void(const FaultEvent&, bool begin)>;
+
+  FaultInjector(Engine& eng, FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Schedule every event's begin/end on the engine. Call once, before
+  /// the simulation runs; events already in the past fire immediately.
+  void arm(Handler handler);
+
+  /// Per-message fault decision. At most one of drop/duplicate fires;
+  /// delay composes with either survival outcome.
+  struct MsgFault {
+    bool drop = false;
+    bool duplicate = false;
+    TimeNs delay = 0;
+  };
+
+  /// Message classes with distinct drop rates.
+  enum class MsgClass : std::uint8_t { kRequest, kAck, kResponse };
+
+  /// Sample the fate of one eligible message (consumes RNG draws; call
+  /// only while the plan is armed and only for fault-eligible traffic).
+  [[nodiscard]] MsgFault sample_message(MsgClass cls);
+
+  // Cumulative sampling outcomes (diagnostics / benches).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+
+ private:
+  Engine* eng_;
+  FaultPlan plan_;
+  Rng rng_;
+  Handler handler_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+}  // namespace vtopo::sim

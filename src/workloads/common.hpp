@@ -35,6 +35,10 @@ struct ClusterConfig {
   std::int64_t segment_bytes = std::int64_t{8} << 20;
   /// When set, the workload reconfigures the live topology mid-run.
   std::optional<ReconfigSpec> reconfigure;
+  /// Seeded chaos plan (see Runtime::Config::faults): injected faults
+  /// plus the self-healing request path. Disarmed/unset plans change
+  /// nothing (byte-identical runs).
+  std::optional<sim::FaultPlan> faults;
 
   [[nodiscard]] std::int64_t num_procs() const {
     return num_nodes * procs_per_node;
@@ -51,6 +55,7 @@ struct ClusterConfig {
     cfg.placement = placement;
     cfg.segment_bytes = segment_bytes;
     cfg.seed = seed;
+    cfg.faults = faults;
     return cfg;
   }
 };

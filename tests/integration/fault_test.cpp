@@ -1,0 +1,406 @@
+// Deterministic fault injection and the self-healing request path:
+// plan syntax, injector scheduling, retry/dedup/heal behavior, and the
+// acceptance sweep — every vtopo_run workload on every topology under
+// a seeded chaos plan, completing exactly-once and replaying
+// byte-identically.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "sim/fault.hpp"
+#include "workloads/contention.hpp"
+#include "workloads/nas_lu.hpp"
+#include "workloads/nwchem_ccsd.hpp"
+#include "workloads/nwchem_dft.hpp"
+#include "workloads/phased.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/trace_replay.hpp"
+
+namespace vtopo {
+namespace {
+
+using armci::GAddr;
+using armci::Proc;
+using core::TopologyKind;
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultPlan;
+
+TEST(FaultPlanSpec, DescribeParseRoundtrip) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_requests = 0.05;
+  plan.drop_acks = 0.02;
+  plan.drop_responses = 0.01;
+  plan.duplicate_rate = 0.03;
+  plan.delay_rate = 0.1;
+  plan.delay_max = sim::us(25.0);
+  plan.events.push_back(
+      {sim::us(100.0), FaultKind::kLinkSever, 2, 5, 1.0, sim::us(400.0)});
+  plan.events.push_back(
+      {sim::us(150.0), FaultKind::kLinkDegrade, 1, 3, 4.0, sim::us(200.0)});
+  plan.events.push_back(
+      {sim::us(250.0), FaultKind::kNodeCrash, 3, 0, 1.0, sim::us(200.0)});
+  plan.events.push_back(
+      {sim::us(300.0), FaultKind::kNodeSlow, 4, 0, 2.5, sim::us(100.0)});
+  plan.events.push_back(
+      {sim::us(350.0), FaultKind::kBufferExhaust, 6, 2, 1.0, sim::us(80.0)});
+
+  std::string err;
+  const auto back = FaultPlan::parse(plan.describe(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->describe(), plan.describe());
+  EXPECT_EQ(back->seed, plan.seed);
+  EXPECT_DOUBLE_EQ(back->drop_requests, plan.drop_requests);
+  ASSERT_EQ(back->events.size(), plan.events.size());
+  EXPECT_EQ(back->events[0].kind, FaultKind::kLinkSever);
+  EXPECT_EQ(back->events[0].a, 2);
+  EXPECT_EQ(back->events[0].b, 5);
+  EXPECT_EQ(back->events[0].at, sim::us(100.0));
+  EXPECT_EQ(back->events[0].duration, sim::us(400.0));
+}
+
+TEST(FaultPlanSpec, ParseRejectsMalformed) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("drop=x", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("sever=2@100+5", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("crash=1", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("bogus=1", &err).has_value());
+}
+
+TEST(FaultPlanSpec, DisarmedPlanInjectsNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.armed());
+  FaultPlan armed;
+  armed.set_drop_rate(0.01);
+  EXPECT_TRUE(armed.armed());
+}
+
+TEST(FaultPlanSpec, RandomPlanIsDeterministicAndSparesNodeZero) {
+  const auto a =
+      FaultPlan::random(99, 16, 3, 2, 0.05, 0.01, 0.02, sim::ms(1.0));
+  const auto b =
+      FaultPlan::random(99, 16, 3, 2, 0.05, 0.01, 0.02, sim::ms(1.0));
+  EXPECT_EQ(a.describe(), b.describe());
+  ASSERT_EQ(a.events.size(), 5u);
+  for (const FaultEvent& e : a.events) {
+    if (e.kind == FaultKind::kNodeCrash) {
+      EXPECT_NE(e.a, 0) << "crashes must spare node 0";
+    }
+    EXPECT_GE(e.at, 0);
+    EXPECT_LT(e.at, sim::ms(1.0));
+    EXPECT_GT(e.duration, 0);
+  }
+}
+
+TEST(FaultInjector, DispatchesBeginEndPairsInOrder) {
+  sim::Engine eng;
+  FaultPlan plan;
+  plan.events.push_back(
+      {sim::us(100.0), FaultKind::kLinkSever, 1, 2, 1.0, sim::us(50.0)});
+  plan.events.push_back(
+      {sim::us(120.0), FaultKind::kNodeCrash, 3, 0, 1.0, sim::us(10.0)});
+  sim::FaultInjector inj(eng, plan);
+  std::vector<std::tuple<sim::TimeNs, FaultKind, bool>> seen;
+  inj.arm([&](const FaultEvent& e, bool begin) {
+    seen.emplace_back(eng.now(), e.kind, begin);
+  });
+  eng.run();
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], std::make_tuple(sim::us(100.0), FaultKind::kLinkSever,
+                                     true));
+  EXPECT_EQ(seen[1], std::make_tuple(sim::us(120.0), FaultKind::kNodeCrash,
+                                     true));
+  EXPECT_EQ(seen[2], std::make_tuple(sim::us(130.0), FaultKind::kNodeCrash,
+                                     false));
+  EXPECT_EQ(seen[3], std::make_tuple(sim::us(150.0), FaultKind::kLinkSever,
+                                     false));
+}
+
+// ---------------------------------------------------------------------------
+// Request-path behavior under injected faults.
+
+struct FaultRun {
+  sim::TimeNs end_time = 0;
+  std::uint64_t events = 0;
+  std::int64_t counter = 0;
+  armci::RuntimeStats stats{};
+};
+
+/// All procs hammer one fetch-add cell on `target_node` of a hypercube
+/// (multi-hop routes, so forwarding and healing both engage).
+FaultRun run_counter_storm(std::optional<FaultPlan> faults,
+                           core::NodeId target_node = 0,
+                           int ops_per_proc = 4) {
+  sim::Engine eng;
+  armci::Runtime::Config cfg;
+  cfg.num_nodes = 8;
+  cfg.procs_per_node = 2;
+  cfg.topology = TopologyKind::kHypercube;
+  cfg.seed = 5;
+  cfg.faults = std::move(faults);
+  armci::Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  const GAddr cell{static_cast<armci::ProcId>(
+                       target_node * cfg.procs_per_node),
+                   off};
+  rt.spawn_all([cell, ops_per_proc](Proc& p) -> sim::Co<void> {
+    for (int i = 0; i < ops_per_proc; ++i) {
+      co_await p.fetch_add(cell, 1);
+    }
+  });
+  rt.run_all();
+  return FaultRun{eng.now(), eng.events_executed(),
+                  rt.memory().read_i64(cell), rt.stats()};
+}
+
+TEST(FaultPath, DisarmedPlanIsByteIdenticalToNoPlan) {
+  const FaultRun none = run_counter_storm(std::nullopt);
+  const FaultRun disarmed = run_counter_storm(FaultPlan{});
+  EXPECT_EQ(none.end_time, disarmed.end_time);
+  EXPECT_EQ(none.events, disarmed.events);
+  EXPECT_EQ(none.counter, disarmed.counter);
+  EXPECT_EQ(none.stats.requests, disarmed.stats.requests);
+  EXPECT_EQ(disarmed.stats.retries, 0u);
+  EXPECT_EQ(disarmed.stats.msgs_dropped, 0u);
+}
+
+TEST(FaultPath, DroppedRequestsRetryAndComplete) {
+  FaultPlan plan;
+  plan.seed = 21;
+  plan.drop_requests = 0.3;
+  const FaultRun r = run_counter_storm(plan);
+  EXPECT_EQ(r.counter, 8 * 2 * 4) << "every increment exactly once";
+  EXPECT_GT(r.stats.msgs_dropped, 0u);
+  EXPECT_GT(r.stats.retries, 0u);
+}
+
+TEST(FaultPath, DuplicatedRequestsAreSuppressedExactlyOnce) {
+  FaultPlan plan;
+  plan.seed = 22;
+  plan.duplicate_rate = 1.0;  // every eligible hop duplicates
+  const FaultRun r = run_counter_storm(plan);
+  EXPECT_EQ(r.counter, 8 * 2 * 4);
+  EXPECT_GT(r.stats.msgs_duplicated, 0u);
+  EXPECT_GT(r.stats.dup_suppressed, 0u);
+}
+
+TEST(FaultPath, DroppedAcksReclaimCreditLeases) {
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.drop_acks = 0.5;
+  const FaultRun r = run_counter_storm(plan);
+  EXPECT_EQ(r.counter, 8 * 2 * 4);
+  EXPECT_GT(r.stats.credits_reclaimed, 0u);
+}
+
+TEST(FaultPath, DroppedResponsesRecoverViaRetry) {
+  FaultPlan plan;
+  plan.seed = 24;
+  plan.drop_responses = 0.4;
+  const FaultRun r = run_counter_storm(plan);
+  EXPECT_EQ(r.counter, 8 * 2 * 4);
+  EXPECT_GT(r.stats.retries, 0u);
+  EXPECT_GT(r.stats.dup_suppressed, 0u)
+      << "the retried request re-executes nothing (dedup) but does "
+         "re-send the response";
+}
+
+TEST(FaultPath, NodeCrashHealsAroundAndRecovers) {
+  FaultPlan plan;
+  plan.seed = 25;
+  // Crash node 3 early, for long enough that forwarded traffic must
+  // route around it; target the far corner so LDF paths pass node 3.
+  plan.events.push_back(
+      {sim::us(5.0), FaultKind::kNodeCrash, 3, 0, 1.0, sim::us(500.0)});
+  const FaultRun r = run_counter_storm(plan, /*target_node=*/7);
+  EXPECT_EQ(r.counter, 8 * 2 * 4);
+  EXPECT_GE(r.stats.heals, 1u);
+  EXPECT_GT(r.stats.healed_reroutes, 0u)
+      << "buffer-dedication edges must remap around the dead neighbor";
+}
+
+TEST(FaultPath, SeveredLinkCompletesAfterRecovery) {
+  FaultPlan plan;
+  plan.seed = 26;
+  plan.events.push_back(
+      {0, FaultKind::kLinkSever, 0, 1, 1.0, sim::us(300.0)});
+  const FaultRun r = run_counter_storm(plan, /*target_node=*/1);
+  EXPECT_EQ(r.counter, 8 * 2 * 4);
+  EXPECT_GT(r.stats.msgs_dropped, 0u);
+  EXPECT_GT(r.stats.retries, 0u);
+}
+
+TEST(FaultPath, SlowNodeStretchesServiceButStaysCorrect) {
+  FaultPlan plan;
+  plan.seed = 27;
+  plan.events.push_back(
+      {0, FaultKind::kNodeSlow, 0, 0, 8.0, sim::ms(10.0)});
+  const FaultRun slow = run_counter_storm(plan);
+  const FaultRun fast = run_counter_storm(std::nullopt);
+  EXPECT_EQ(slow.counter, 8 * 2 * 4);
+  EXPECT_GT(slow.end_time, fast.end_time);
+}
+
+TEST(FaultPath, ExhaustedBuffersStallThenRecover) {
+  FaultPlan plan;
+  plan.seed = 28;
+  plan.events.push_back(
+      {0, FaultKind::kBufferExhaust, 0, 1, 1.0, sim::us(200.0)});
+  const FaultRun r = run_counter_storm(plan, /*target_node=*/1);
+  EXPECT_EQ(r.counter, 8 * 2 * 4);
+}
+
+TEST(FaultPath, ArmedRunReplaysByteIdentically) {
+  FaultPlan plan;
+  plan.seed = 29;
+  plan.set_drop_rate(0.05);
+  plan.duplicate_rate = 0.02;
+  plan.delay_rate = 0.1;
+  plan.events.push_back(
+      {sim::us(20.0), FaultKind::kNodeCrash, 2, 0, 1.0, sim::us(100.0)});
+  const FaultRun a = run_counter_storm(plan);
+  const FaultRun b = run_counter_storm(plan);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.counter, b.counter);
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_EQ(a.stats.msgs_dropped, b.stats.msgs_dropped);
+  EXPECT_EQ(a.stats.msgs_duplicated, b.stats.msgs_duplicated);
+  EXPECT_EQ(a.stats.msgs_delayed, b.stats.msgs_delayed);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance sweep: every vtopo_run workload on every topology under a
+// seeded chaos plan (5% drops + one link sever + one node crash) must
+// complete with exactly-once semantics and replay byte-identically.
+
+FaultPlan acceptance_plan(std::int64_t nodes) {
+  return FaultPlan::random(2026, nodes, /*outages=*/1, /*crashes=*/1,
+                           /*drop_rate=*/0.05, /*dup_rate=*/0.01,
+                           /*delay_rate=*/0.0, sim::ms(1.0));
+}
+
+work::ClusterConfig acceptance_cluster(TopologyKind kind, bool faulted) {
+  work::ClusterConfig cl;
+  cl.num_nodes = 8;
+  cl.procs_per_node = 2;
+  cl.topology = kind;
+  cl.seed = 1303;
+  if (faulted) cl.faults = acceptance_plan(cl.num_nodes);
+  return cl;
+}
+
+class FaultAcceptance : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(FaultAcceptance, WorkloadsCompleteExactlyOnceAndReplay) {
+  const TopologyKind kind = GetParam();
+
+  // Task-pool workloads: the checksum counts every task exactly once,
+  // so it must match the fault-free run bit-for-bit.
+  {
+    work::DftConfig dft;
+    dft.total_tasks = 48;
+    dft.compute_us_per_task = 20.0;
+    const auto clean = work::run_nwchem_dft(
+        acceptance_cluster(kind, false), dft);
+    const auto a = work::run_nwchem_dft(acceptance_cluster(kind, true), dft);
+    const auto b = work::run_nwchem_dft(acceptance_cluster(kind, true), dft);
+    EXPECT_EQ(a.checksum, clean.checksum) << "dft on " << core::to_string(kind);
+    EXPECT_EQ(a.exec_time_sec, b.exec_time_sec);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.stats.requests, b.stats.requests);
+    EXPECT_EQ(a.stats.retries, b.stats.retries);
+  }
+  {
+    work::CcsdConfig cc;
+    cc.total_tiles = 64;
+    cc.compute_us_per_tile = 10.0;
+    const auto clean = work::run_nwchem_ccsd(
+        acceptance_cluster(kind, false), cc);
+    const auto a = work::run_nwchem_ccsd(acceptance_cluster(kind, true), cc);
+    const auto b = work::run_nwchem_ccsd(acceptance_cluster(kind, true), cc);
+    EXPECT_EQ(a.checksum, clean.checksum)
+        << "ccsd on " << core::to_string(kind);
+    EXPECT_EQ(a.exec_time_sec, b.exec_time_sec);
+    EXPECT_EQ(a.checksum, b.checksum);
+  }
+  {
+    work::LuConfig lu;
+    lu.iterations = 1;
+    lu.nx_global = 64;
+    const auto clean = work::run_nas_lu(acceptance_cluster(kind, false), lu);
+    const auto a = work::run_nas_lu(acceptance_cluster(kind, true), lu);
+    const auto b = work::run_nas_lu(acceptance_cluster(kind, true), lu);
+    EXPECT_EQ(a.checksum, clean.checksum) << "lu on " << core::to_string(kind);
+    EXPECT_EQ(a.exec_time_sec, b.exec_time_sec);
+    EXPECT_EQ(a.checksum, b.checksum);
+  }
+  {
+    work::SyntheticConfig sc;
+    sc.ops_per_proc = 8;
+    sc.hotspot_fraction = 0.3;
+    sc.compute_us_per_op = 5.0;
+    const auto clean = work::run_synthetic(
+        acceptance_cluster(kind, false), sc);
+    const auto a = work::run_synthetic(acceptance_cluster(kind, true), sc);
+    const auto b = work::run_synthetic(acceptance_cluster(kind, true), sc);
+    EXPECT_EQ(a.checksum, clean.checksum)
+        << "synthetic on " << core::to_string(kind);
+    EXPECT_EQ(a.exec_time_sec, b.exec_time_sec);
+    EXPECT_EQ(a.checksum, b.checksum);
+  }
+  {
+    work::PhasedConfig pc;
+    pc.cycles = 1;
+    pc.hot_ops_per_proc = 6;
+    pc.bw_tiles_per_proc = 2;
+    const auto a = work::run_phased(acceptance_cluster(kind, true), pc);
+    const auto b = work::run_phased(acceptance_cluster(kind, true), pc);
+    EXPECT_EQ(a.app.exec_time_sec, b.app.exec_time_sec);
+    EXPECT_EQ(a.app.checksum, b.app.checksum);
+  }
+  {
+    work::ContentionConfig cc;
+    cc.iterations = 2;
+    cc.contender_stride = 5;
+    cc.op = work::ContentionConfig::Op::kFetchAdd;
+    const auto a = work::run_contention(acceptance_cluster(kind, true), cc);
+    const auto b = work::run_contention(acceptance_cluster(kind, true), cc);
+    ASSERT_EQ(a.op_time_us.size(), b.op_time_us.size());
+    for (std::size_t i = 0; i < a.op_time_us.size(); ++i) {
+      EXPECT_EQ(a.op_time_us[i], b.op_time_us[i]) << "rank " << i;
+    }
+  }
+  {
+    const auto cl = acceptance_cluster(kind, true);
+    std::string text =
+        "0 fetchadd 2 1\n"
+        "1 putv 3 1024\n"
+        "2 acc 0 8\n"
+        "3 getv 1 512\n";
+    for (std::int64_t p = 0; p < cl.num_procs(); ++p) {
+      text += std::to_string(p) + " barrier\n";
+    }
+    const auto ops = work::parse_trace(text, cl.num_procs());
+    const auto a = work::replay_trace(cl, ops);
+    const auto b = work::replay_trace(cl, ops);
+    EXPECT_EQ(a.ops_executed, b.ops_executed);
+    EXPECT_EQ(a.exec_time_sec, b.exec_time_sec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, FaultAcceptance,
+    ::testing::Values(TopologyKind::kFcg, TopologyKind::kMfcg,
+                      TopologyKind::kCfcg, TopologyKind::kHypercube),
+    [](const ::testing::TestParamInfo<TopologyKind>& info) {
+      return std::string(core::to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace vtopo

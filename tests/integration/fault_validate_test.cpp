@@ -1,0 +1,98 @@
+// Seeded fault scenarios that must trip the invariant layer: a lost
+// completion (retry budget exhausted) and a leaked credit lease after a
+// fault (lease reclamation disabled). Mirrors validate_test.cpp — the
+// point is proving the fault-path checks actually abort, so the happy
+// path's green runs mean something.
+#include <gtest/gtest.h>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "sim/fault.hpp"
+
+namespace vtopo {
+namespace {
+
+using armci::GAddr;
+using armci::Proc;
+using sim::FaultPlan;
+
+armci::Runtime::Config chaos_cfg() {
+  armci::Runtime::Config cfg;
+  cfg.num_nodes = 4;
+  cfg.procs_per_node = 1;
+  cfg.topology = core::TopologyKind::kHypercube;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(FaultValidateDeath, ExhaustedRetryBudgetAbortsOnLostCompletion) {
+  // Every request dropped, two attempts only: the watchdog must report
+  // the lost completion instead of hanging the run forever.
+  auto cfg = chaos_cfg();
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.drop_requests = 1.0;
+  cfg.faults = plan;
+  cfg.armci.retry_max_attempts = 2;
+  cfg.armci.retry_timeout = sim::us(100.0);
+  EXPECT_DEATH(
+      {
+        sim::Engine eng;
+        armci::Runtime rt(eng, cfg);
+        const auto off = rt.memory().alloc_all(8);
+        rt.spawn(0, [off](Proc& p) -> sim::Co<void> {
+          co_await p.fetch_add(GAddr{1, off}, 1);
+        });
+        rt.run_all();
+      },
+      "invariant violated");
+}
+
+TEST(FaultValidateDeath, LeakedLeaseAfterDropFailsQuiescence) {
+  // Acks always dropped and reclamation off: the upstream holder's
+  // lease is never returned, so the credit bank cannot be idle at
+  // quiescence and validate_quiescent must abort.
+  auto cfg = chaos_cfg();
+  FaultPlan plan;
+  plan.seed = 32;
+  plan.drop_acks = 1.0;
+  cfg.faults = plan;
+  cfg.armci.lease_reclaim = false;
+  EXPECT_DEATH(
+      {
+        sim::Engine eng;
+        armci::Runtime rt(eng, cfg);
+        const auto off = rt.memory().alloc_all(8);
+        rt.spawn(0, [off](Proc& p) -> sim::Co<void> {
+          co_await p.fetch_add(GAddr{1, off}, 1);
+        });
+        rt.run_all();
+        rt.validate_quiescent();
+      },
+      "invariant violated");
+}
+
+TEST(FaultValidate, LeaseReclaimKeepsBanksQuiescent) {
+  // Same ack storm with reclamation on (the default): the delayed
+  // reclaim returns every lease and quiescence validation passes.
+  auto cfg = chaos_cfg();
+  FaultPlan plan;
+  plan.seed = 33;
+  plan.drop_acks = 1.0;
+  cfg.faults = plan;
+  sim::Engine eng;
+  armci::Runtime rt(eng, cfg);
+  const auto off = rt.memory().alloc_all(8);
+  rt.spawn_all([off](Proc& p) -> sim::Co<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await p.fetch_add(GAddr{1, off}, 1);
+    }
+  });
+  rt.run_all();
+  EXPECT_GT(rt.stats().credits_reclaimed, 0u);
+  rt.validate_quiescent();
+  EXPECT_EQ(rt.memory().read_i64(GAddr{1, off}), 4 * 3);
+}
+
+}  // namespace
+}  // namespace vtopo

@@ -1,19 +1,25 @@
-// Randomized operation fuzzing against a host-side oracle.
+// Randomized operation fuzzing against a host-side oracle, expressed
+// as a proptest Property.
 //
 // Each process runs a random program of one-sided operations; a shadow
 // model tracks what the global memory must contain at quiescence
 // (commutative operations only, so ordering doesn't matter to the
 // oracle). Any divergence in any layer — chunking, forwarding, credit
-// accounting, CHT execution — shows up as a value mismatch. Swept over
-// seeds, topologies, and deliberately mean buffer configurations.
+// accounting, CHT execution, fault recovery — shows up as a value
+// mismatch. Two sweeps: the historical enumerated grid (fault-free,
+// byte-identical to the pre-harness suite), and a generated chaos grid
+// where the same oracle must hold under drops, duplicates, severs and
+// crashes. Failures print a one-line `--seed=`/`--case=` repro and the
+// generated sweep shrinks to a minimal counterexample.
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "armci/proc.hpp"
 #include "armci/runtime.hpp"
+#include "proptest/proptest.hpp"
 #include "sim/rng.hpp"
 
 namespace vtopo {
@@ -24,24 +30,21 @@ using armci::GetSeg;
 using armci::Proc;
 using armci::PutSeg;
 using core::TopologyKind;
+using proptest::CaseSpec;
+using proptest::PropResult;
 
-struct FuzzCase {
-  TopologyKind kind;
-  std::uint64_t seed;
-  int buffers_per_process;
-};
-
-class FuzzedOps : public ::testing::TestWithParam<FuzzCase> {};
-
-TEST_P(FuzzedOps, ShadowModelAgreesAtQuiescence) {
-  const auto [kind, seed, buffers] = GetParam();
+/// The shadow-oracle fuzz program as a property over a CaseSpec. The
+/// spec's fault plan is armed as-is: the all-zero specs of the
+/// enumerated grid stay on the historical fault-free path.
+PropResult fuzz_oracle(const CaseSpec& spec) {
   sim::Engine eng;
   armci::Runtime::Config cfg;
-  cfg.num_nodes = kind == TopologyKind::kHypercube ? 16 : 18;
-  cfg.procs_per_node = 2;
-  cfg.topology = kind;
-  cfg.seed = seed;
-  cfg.armci.buffers_per_process = buffers;
+  cfg.num_nodes = spec.nodes;
+  cfg.procs_per_node = spec.ppn;
+  cfg.topology = spec.kind;
+  cfg.seed = spec.seed;
+  cfg.armci.buffers_per_process = spec.buffers_per_process;
+  cfg.faults = spec.fault_plan();
   armci::Runtime rt(eng, cfg);
   const std::int64_t n = rt.num_procs();
 
@@ -60,9 +63,9 @@ TEST_P(FuzzedOps, ShadowModelAgreesAtQuiescence) {
       expected_strip;  // (target, writer) -> last byte value
 
   rt.spawn_all([&](Proc& p) -> sim::Co<void> {
-    sim::Rng rng(sim::derive_seed(seed ^ 0xf00d, p.id()));
+    sim::Rng rng(sim::derive_seed(spec.seed ^ 0xf00d, p.id()));
     std::vector<std::uint8_t> buf(256);
-    for (int op = 0; op < 12; ++op) {
+    for (int op = 0; op < spec.ops_per_proc; ++op) {
       const auto target = static_cast<armci::ProcId>(
           rng.uniform(static_cast<std::uint64_t>(n)));
       switch (rng.uniform(5)) {
@@ -104,48 +107,89 @@ TEST_P(FuzzedOps, ShadowModelAgreesAtQuiescence) {
     }
     co_await p.barrier();
   });
-  rt.run_all();
+  try {
+    rt.run_all();
+  } catch (const armci::DeadlockError& e) {
+    return PropResult::fail("deadlock: " + std::to_string(e.stranded()) +
+                            " task(s) stranded");
+  }
 
-  EXPECT_DOUBLE_EQ(rt.memory().read_f64(GAddr{0, acc_cell}),
-                   expected_acc);
+  std::ostringstream bad;
+  const double acc = rt.memory().read_f64(GAddr{0, acc_cell});
+  if (acc != expected_acc) {
+    bad << "acc cell=" << acc << " expected " << expected_acc << "; ";
+  }
   for (armci::ProcId t = 0; t < n; ++t) {
-    EXPECT_EQ(rt.memory().read_i64(GAddr{t, counters + t * 8}),
-              expected_counters[static_cast<std::size_t>(t)])
-        << "counter " << t;
+    const auto got = rt.memory().read_i64(GAddr{t, counters + t * 8});
+    if (got != expected_counters[static_cast<std::size_t>(t)]) {
+      bad << "counter " << t << "=" << got << " expected "
+          << expected_counters[static_cast<std::size_t>(t)] << "; ";
+    }
   }
   // Strips: each (target, writer) region holds the writer's LAST value.
   // Writes from one writer to one target are ordered by the writer's
-  // own program order (it awaits each op), so last-written wins.
+  // own program order (it awaits each op), so last-written wins — the
+  // dedup cache preserves this even when retries duplicate a put.
   std::vector<std::uint8_t> back(256);
   for (const auto& [key, v] : expected_strip) {
     const auto [target, writer] = key;
     rt.memory().read(back, GAddr{target, strip + writer * 256});
-    EXPECT_EQ(back[0], v) << "strip(" << target << "," << writer << ")";
-    EXPECT_EQ(back[255], v);
+    if (back[0] != v || back[255] != v) {
+      bad << "strip(" << target << "," << writer << ")=["
+          << int(back[0]) << ".." << int(back[255]) << "] expected "
+          << int(v) << "; ";
+    }
   }
+  const std::string msg = bad.str();
+  return msg.empty() ? PropResult::pass() : PropResult::fail(msg);
 }
 
-std::vector<FuzzCase> fuzz_cases() {
-  std::vector<FuzzCase> cases;
+/// The pre-harness enumerated sweep: seeds x topologies x deliberately
+/// mean buffer configurations, no faults.
+std::vector<CaseSpec> grid_cases() {
+  std::vector<CaseSpec> cases;
   const TopologyKind kinds[] = {TopologyKind::kFcg, TopologyKind::kMfcg,
                                 TopologyKind::kCfcg,
                                 TopologyKind::kHypercube};
   for (const auto kind : kinds) {
-    for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
-      cases.push_back({kind, seed, 4});
+    for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL, 44ULL}) {
+      CaseSpec c;
+      c.kind = kind;
+      c.nodes = kind == TopologyKind::kHypercube ? 16 : 18;
+      c.ppn = 2;
+      c.ops_per_proc = 12;
+      c.buffers_per_process = seed == 44 ? 1 : 4;  // meanest credit pools
+      c.seed = seed;
+      // drop/dup/delay/severs/crashes stay zero: fault-free grid.
+      cases.push_back(c);
     }
-    cases.push_back({kind, 44ULL, 1});  // meanest credit pools
   }
   return cases;
 }
 
+class FuzzedOps : public ::testing::TestWithParam<CaseSpec> {};
+
+TEST_P(FuzzedOps, ShadowModelAgreesAtQuiescence) {
+  const CaseSpec& spec = GetParam();
+  const PropResult r = fuzz_oracle(spec);
+  EXPECT_TRUE(r.ok) << r.message << "\n  replay: --case=\""
+                    << spec.to_string() << "\"";
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    Sweep, FuzzedOps, ::testing::ValuesIn(fuzz_cases()),
-    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+    Sweep, FuzzedOps, ::testing::ValuesIn(grid_cases()),
+    [](const ::testing::TestParamInfo<CaseSpec>& info) {
       return std::string(core::to_string(info.param.kind)) + "_s" +
              std::to_string(info.param.seed) + "_b" +
              std::to_string(info.param.buffers_per_process);
     });
+
+// The same oracle over generated chaos cases: faults armed, failures
+// shrink to a minimal counterexample and print a `--seed=` repro line.
+TEST(FuzzedOpsChaos, ShadowModelHoldsUnderGeneratedFaultSchedules) {
+  const auto out = proptest::check("fuzz_oracle", fuzz_oracle);
+  EXPECT_TRUE(out.ok) << out.repro;
+}
 
 }  // namespace
 }  // namespace vtopo

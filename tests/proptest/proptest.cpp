@@ -1,0 +1,268 @@
+#include "proptest.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace vtopo::proptest {
+
+namespace {
+
+const char* kind_token(core::TopologyKind k) {
+  switch (k) {
+    case core::TopologyKind::kFcg:
+      return "fcg";
+    case core::TopologyKind::kMfcg:
+      return "mfcg";
+    case core::TopologyKind::kCfcg:
+      return "cfcg";
+    case core::TopologyKind::kHypercube:
+      return "hcube";
+  }
+  return "?";
+}
+
+bool parse_kind(std::string_view t, core::TopologyKind* out) {
+  if (t == "fcg") {
+    *out = core::TopologyKind::kFcg;
+  } else if (t == "mfcg") {
+    *out = core::TopologyKind::kMfcg;
+  } else if (t == "cfcg") {
+    *out = core::TopologyKind::kCfcg;
+  } else if (t == "hcube" || t == "hypercube") {
+    *out = core::TopologyKind::kHypercube;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CaseSpec CaseSpec::from_seed(std::uint64_t case_seed) {
+  sim::Rng rng(sim::derive_seed(case_seed, 0x9e3779b9));
+  CaseSpec c;
+  static constexpr core::TopologyKind kKinds[] = {
+      core::TopologyKind::kFcg, core::TopologyKind::kMfcg,
+      core::TopologyKind::kCfcg, core::TopologyKind::kHypercube};
+  c.kind = kKinds[rng.uniform(4)];
+  static constexpr std::int64_t kNodes[] = {8, 12, 16};
+  c.nodes = kNodes[rng.uniform(3)];
+  if (c.kind == core::TopologyKind::kHypercube && c.nodes == 12) {
+    c.nodes = 16;  // hypercubes need a power of two
+  }
+  c.ppn = 1 + static_cast<int>(rng.uniform(2));
+  c.ops_per_proc = 3 + static_cast<int>(rng.uniform(6));
+  c.buffers_per_process = 1 + static_cast<int>(rng.uniform(2));
+  c.seed = case_seed;
+  static constexpr double kDrops[] = {0.0, 0.02, 0.05, 0.10};
+  c.drop = kDrops[rng.uniform(4)];
+  static constexpr double kDups[] = {0.0, 0.01, 0.05};
+  c.dup = kDups[rng.uniform(3)];
+  static constexpr double kDelays[] = {0.0, 0.05, 0.2};
+  c.delay = kDelays[rng.uniform(3)];
+  c.severs = static_cast<int>(rng.uniform(3));
+  c.crashes = static_cast<int>(rng.uniform(2));
+  return c;
+}
+
+std::string CaseSpec::to_string() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "kind=" << kind_token(kind) << ";nodes=" << nodes
+     << ";ppn=" << ppn << ";ops=" << ops_per_proc
+     << ";buf=" << buffers_per_process << ";seed=" << seed
+     << ";drop=" << drop << ";dup=" << dup << ";delay=" << delay
+     << ";severs=" << severs << ";crashes=" << crashes;
+  return os.str();
+}
+
+std::optional<CaseSpec> CaseSpec::parse(std::string_view spec,
+                                        std::string* err) {
+  auto fail = [&](const std::string& m) -> std::optional<CaseSpec> {
+    if (err != nullptr) *err = m;
+    return std::nullopt;
+  };
+  CaseSpec c;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view tok = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("token without '=': " + std::string(tok));
+    }
+    const std::string_view key = tok.substr(0, eq);
+    const std::string val(tok.substr(eq + 1));
+    char* endp = nullptr;
+    if (key == "kind") {
+      if (!parse_kind(val, &c.kind)) return fail("bad kind: " + val);
+      continue;
+    }
+    if (key == "seed") {  // full 64-bit: a double round-trip would clip
+      c.seed = std::strtoull(val.c_str(), &endp, 10);
+      if (endp == val.c_str() || *endp != '\0') {
+        return fail("bad value for seed: " + val);
+      }
+      continue;
+    }
+    const double num = std::strtod(val.c_str(), &endp);
+    if (endp == val.c_str() || *endp != '\0') {
+      return fail("bad value for " + std::string(key) + ": " + val);
+    }
+    if (key == "nodes") {
+      c.nodes = static_cast<std::int64_t>(num);
+    } else if (key == "ppn") {
+      c.ppn = static_cast<int>(num);
+    } else if (key == "ops") {
+      c.ops_per_proc = static_cast<int>(num);
+    } else if (key == "buf") {
+      c.buffers_per_process = static_cast<int>(num);
+    } else if (key == "drop") {
+      c.drop = num;
+    } else if (key == "dup") {
+      c.dup = num;
+    } else if (key == "delay") {
+      c.delay = num;
+    } else if (key == "severs") {
+      c.severs = static_cast<int>(num);
+    } else if (key == "crashes") {
+      c.crashes = static_cast<int>(num);
+    } else {
+      return fail("unknown key: " + std::string(key));
+    }
+  }
+  if (c.nodes < 2 || c.ppn < 1 || c.ops_per_proc < 0 ||
+      c.buffers_per_process < 1) {
+    return fail("out-of-range spec: " + c.to_string());
+  }
+  return c;
+}
+
+sim::FaultPlan CaseSpec::fault_plan(sim::TimeNs horizon) const {
+  return sim::FaultPlan::random(seed, nodes, severs, crashes, drop, dup,
+                                delay, horizon);
+}
+
+std::pair<CaseSpec, int> shrink(const Property& prop, CaseSpec failing,
+                                int max_steps) {
+  int steps = 0;
+  bool progressed = true;
+  while (progressed && steps < max_steps) {
+    progressed = false;
+    // Fixed-order candidate edits: shrink the workload first, then
+    // remove fault knobs one at a time, then simplify the topology.
+    // The first still-failing candidate is accepted and the scan
+    // restarts — deterministic, locked by a regression test.
+    std::vector<CaseSpec> candidates;
+    auto with = [&](auto&& edit) {
+      CaseSpec c = failing;
+      edit(c);
+      if (!(c == failing)) candidates.push_back(c);
+    };
+    with([](CaseSpec& c) {
+      c.ops_per_proc = std::max(1, c.ops_per_proc / 2);
+    });
+    with([](CaseSpec& c) { c.nodes = std::max<std::int64_t>(4, c.nodes / 2); });
+    with([](CaseSpec& c) { c.ppn = 1; });
+    with([](CaseSpec& c) { c.crashes = 0; });
+    with([](CaseSpec& c) { c.severs = 0; });
+    with([](CaseSpec& c) { c.dup = 0.0; });
+    with([](CaseSpec& c) { c.delay = 0.0; });
+    with([](CaseSpec& c) { c.drop = 0.0; });
+    with([](CaseSpec& c) { c.kind = core::TopologyKind::kFcg; });
+    for (const CaseSpec& cand : candidates) {
+      if (!prop(cand).ok) {
+        failing = cand;
+        ++steps;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return {failing, steps};
+}
+
+ReplayConfig& replay_config() {
+  static ReplayConfig rc;
+  return rc;
+}
+
+bool init_from_args(int argc, char** argv) {
+  ReplayConfig& rc = replay_config();
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    if (a.rfind("--seed=", 0) == 0) {
+      rc.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (a.rfind("--case=", 0) == 0) {
+      std::string err;
+      const auto spec = CaseSpec::parse(a.substr(7), &err);
+      if (!spec) {
+        std::cerr << "[proptest] bad --case: " << err << "\n";
+        return false;
+      }
+      rc.spec = *spec;
+    } else if (a.rfind("--cases=", 0) == 0) {
+      rc.cases = static_cast<int>(std::strtol(argv[i] + 8, nullptr, 10));
+    }
+    // Unknown flags belong to gtest; leave them alone.
+  }
+  return true;
+}
+
+CheckOutcome check(const std::string& name, const Property& prop,
+                   CheckOptions opts) {
+  const ReplayConfig& rc = replay_config();
+  CheckOutcome out;
+  std::vector<CaseSpec> specs;
+  if (rc.spec) {
+    specs.push_back(*rc.spec);
+  } else if (rc.seed) {
+    specs.push_back(CaseSpec::from_seed(*rc.seed));
+  } else {
+    const int n = rc.cases.value_or(opts.cases);
+    specs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      specs.push_back(CaseSpec::from_seed(sim::derive_seed(
+          opts.base_seed, static_cast<std::uint64_t>(i))));
+    }
+  }
+  for (const CaseSpec& spec : specs) {
+    ++out.cases_run;
+    const PropResult r = prop(spec);
+    if (r.ok) continue;
+    out.ok = false;
+    out.failing = spec;
+    out.message = r.message;
+    std::ostringstream repro;
+    repro << "[proptest] FAIL " << name << ": " << r.message << "\n"
+          << "[proptest]   replay: --seed=" << spec.seed << "\n"
+          << "[proptest]   case:   --case=\"" << spec.to_string() << "\"";
+    if (opts.shrink) {
+      auto [min_spec, steps] =
+          shrink(prop, spec, opts.max_shrink_steps);
+      out.minimal = min_spec;
+      out.shrink_steps = steps;
+      const PropResult mr = prop(min_spec);
+      if (!mr.ok) out.message = mr.message;
+      repro << "\n[proptest]   minimal (" << steps
+            << " shrink steps): --case=\"" << min_spec.to_string()
+            << "\"";
+    } else {
+      out.minimal = spec;
+    }
+    out.repro = repro.str();
+    std::cerr << out.repro << "\n";
+    return out;
+  }
+  return out;
+}
+
+}  // namespace vtopo::proptest

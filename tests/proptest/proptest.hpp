@@ -1,0 +1,125 @@
+// Property-based chaos-testing mini-framework.
+//
+// A Property is a predicate over a CaseSpec — one fully seeded chaos
+// scenario: virtual-topology kind x node count x workload size x fault
+// schedule. check() generates N cases from a base seed (each case is
+// regenerable from its single case seed), runs the property on each,
+// and on failure (a) prints a one-line `--seed=` repro and (b) shrinks
+// the failing spec to a minimal counterexample with a deterministic
+// greedy pass, printed as `--case=<canonical spec>`.
+//
+// Binaries link the vtopo_proptest library (which provides main());
+// replay flags understood by every such binary:
+//   --seed=N    re-run exactly the case generated from case seed N
+//   --case=SPEC re-run exactly the given canonical spec
+//   --cases=N   override the number of generated cases per check()
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/topology.hpp"
+#include "sim/fault.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::proptest {
+
+/// One chaos scenario, fully regenerable from `seed` (from_seed) and
+/// round-trippable through to_string()/parse().
+struct CaseSpec {
+  core::TopologyKind kind = core::TopologyKind::kFcg;
+  std::int64_t nodes = 16;
+  int ppn = 2;
+  int ops_per_proc = 8;
+  int buffers_per_process = 2;
+  std::uint64_t seed = 1;  ///< drives workload RNG and the fault plan
+  double drop = 0.0;
+  double dup = 0.0;
+  double delay = 0.0;
+  int severs = 0;
+  int crashes = 0;
+
+  /// Generate the whole spec from one case seed (deterministic).
+  [[nodiscard]] static CaseSpec from_seed(std::uint64_t case_seed);
+
+  /// Canonical one-line form, e.g.
+  ///   kind=mfcg;nodes=16;ppn=2;ops=8;buf=2;seed=7;drop=0.05;dup=0.01;
+  ///   delay=0.05;severs=1;crashes=1
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::optional<CaseSpec> parse(
+      std::string_view spec, std::string* err = nullptr);
+
+  /// The seeded fault plan this spec arms on its Runtime. `horizon`
+  /// bounds scheduled outage times (FaultPlan::random).
+  [[nodiscard]] sim::FaultPlan fault_plan(
+      sim::TimeNs horizon = sim::ms(2.0)) const;
+
+  [[nodiscard]] bool operator==(const CaseSpec&) const = default;
+};
+
+/// Verdict of one property evaluation.
+struct PropResult {
+  bool ok = true;
+  std::string message;
+
+  [[nodiscard]] static PropResult pass() { return PropResult{}; }
+  [[nodiscard]] static PropResult fail(std::string msg) {
+    return PropResult{false, std::move(msg)};
+  }
+};
+
+using Property = std::function<PropResult(const CaseSpec&)>;
+
+struct CheckOptions {
+  std::uint64_t base_seed = 0x70507e57;  ///< stream the case seeds derive from
+  int cases = 12;                        ///< generated cases per check()
+  bool shrink = true;                    ///< shrink the first failure
+  int max_shrink_steps = 200;
+};
+
+/// Everything check() learned; the gtest assertion wraps `ok`.
+struct CheckOutcome {
+  bool ok = true;
+  int cases_run = 0;
+  std::optional<CaseSpec> failing;  ///< first failing spec (pre-shrink)
+  std::optional<CaseSpec> minimal;  ///< after shrinking (== failing if
+                                    ///< no candidate survived)
+  int shrink_steps = 0;             ///< accepted shrink candidates
+  std::string message;              ///< property message of `minimal`
+  std::string repro;                ///< one-line replay instructions
+};
+
+/// Run `prop` over generated cases (honoring any --seed/--case/--cases
+/// replay override); on failure print the repro line(s) to stderr and
+/// shrink. Deterministic: same base seed, same cases, same minimal
+/// counterexample.
+[[nodiscard]] CheckOutcome check(const std::string& name,
+                                 const Property& prop,
+                                 CheckOptions opts = {});
+
+/// Deterministic greedy shrink of a failing spec: fixed-order candidate
+/// edits (shrink workload, then zero fault knobs, then simplify the
+/// topology), accepting the first edit that still fails, restarting
+/// until a fixpoint. Returns the minimal spec and the number of
+/// accepted steps.
+[[nodiscard]] std::pair<CaseSpec, int> shrink(const Property& prop,
+                                              CaseSpec failing,
+                                              int max_steps = 200);
+
+/// Replay overrides parsed from the command line by the library's
+/// main() (see proptest_main.cpp).
+struct ReplayConfig {
+  std::optional<std::uint64_t> seed;  ///< --seed=N
+  std::optional<CaseSpec> spec;       ///< --case=SPEC
+  std::optional<int> cases;           ///< --cases=N
+};
+[[nodiscard]] ReplayConfig& replay_config();
+
+/// Parse --seed=/--case=/--cases= out of argv (called by main()).
+/// Returns false (with a message on stderr) on a malformed flag.
+bool init_from_args(int argc, char** argv);
+
+}  // namespace vtopo::proptest

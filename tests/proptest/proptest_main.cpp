@@ -1,0 +1,13 @@
+// main() for every proptest binary: peel off the replay flags
+// (--seed=/--case=/--cases=), hand the rest to gtest.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "proptest.hpp"
+
+int main(int argc, char** argv) {
+  if (!vtopo::proptest::init_from_args(argc, argv)) return EXIT_FAILURE;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

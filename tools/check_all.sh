@@ -7,7 +7,10 @@
 #      byte-diff of two independent runs of each figure driver — the
 #      pipelines must be deterministic at the output-byte level, not
 #      just hash-stable.
-#   4. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
+#   4. Chaos gate: the fault-injection and property-based suites
+#      (ctest -L "fault|proptest") plus the 30-second fault_bench
+#      smoke (goodput retained + recovery latency, exactly-once).
+#   5. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
 #      TSan over the threaded paths, --jobs byte-diffs.
 #
 # The sanitizer sweep is the slow half; skip it with --fast when
@@ -58,8 +61,12 @@ diff -u "$fig_out/fig6_a.txt" "$fig_out/fig6_b.txt"
   --iters 2 --jobs 2 >"$fig_out/fig7_b.txt"
 diff -u "$fig_out/fig7_a.txt" "$fig_out/fig7_b.txt"
 
+echo "== chaos (fault + proptest) =="
+ctest --test-dir build -L "fault|proptest" -j "$(nproc)" --output-on-failure
+./build/bench/fault_bench --quick --out "$fig_out/BENCH_fault_smoke.json"
+
 if [[ "$fast" -eq 1 ]]; then
-  echo "check_all (--fast): build, ctest, lint, figure identity clean"
+  echo "check_all (--fast): build, ctest, lint, figure identity, chaos clean"
   exit 0
 fi
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the fault-injection / self-healing request
+# path (documented in docs/testing.md).
+#
+#   1. Build the `coverage` preset (Debug, --coverage -O0).
+#   2. Run the sim/armci/integration/proptest/fault test selection.
+#   3. Aggregate gcov line coverage over src/armci + src/sim (gcovr is
+#      used when installed; otherwise plain gcov output is parsed).
+#   4. Gate: the fault/retry code (src/sim/fault.cpp plus the fault
+#      sections compiled into src/armci) must be >= 80% covered.
+#
+# Usage: tools/check_coverage.sh [--skip-build]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo=$(pwd)
+build=build-coverage
+threshold=80
+
+if [[ "${1:-}" != "--skip-build" ]]; then
+  echo "== coverage build + tests =="
+  cmake --preset coverage
+  cmake --build --preset coverage -j "$(nproc)"
+  ctest --preset coverage -j "$(nproc)"
+fi
+
+if command -v gcovr >/dev/null 2>&1; then
+  echo "== gcovr (src/armci + src/sim) =="
+  gcovr -r "$repo" --filter 'src/(armci|sim)/' "$build" \
+    --fail-under-line "$threshold"
+  exit 0
+fi
+
+echo "== gcov fallback (src/armci + src/sim) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Run gcov once per instrumented object of the src/ libraries; stdout
+# reports every source file (headers included) each TU touched.
+find "$build/src" -name '*.gcda' | while read -r gcda; do
+  (cd "$tmp" && gcov -n "$repo/$gcda" 2>/dev/null) || true
+done >"$tmp/gcov.txt"
+
+# Aggregate: keep the best-observed coverage per file (a header's lines
+# count as covered if any TU executed them), then weight by line count.
+awk -v repo="$repo/" -v threshold="$threshold" '
+  /^File / {
+    file = $2
+    gsub(/\x27/, "", file)
+    sub(repo, "", file)
+    next
+  }
+  /^Lines executed:/ {
+    if (file !~ /^src\/(armci|sim)\//) { file = ""; next }
+    split($0, m, /[:%]| of /)
+    pct = m[2] + 0
+    lines = $NF + 0
+    if (pct > best[file]) { best[file] = pct; nlines[file] = lines }
+    seen[file] = 1
+    file = ""
+  }
+  END {
+    total = 0; covered = 0
+    fault_total = 0; fault_covered = 0
+    for (f in seen) {
+      total += nlines[f]
+      covered += nlines[f] * best[f] / 100.0
+      printf "%7.2f%%  %5d  %s\n", best[f], nlines[f], f
+      if (f ~ /fault/) {
+        fault_total += nlines[f]
+        fault_covered += nlines[f] * best[f] / 100.0
+      }
+    }
+    if (total == 0) { print "no coverage data found" > "/dev/stderr"; exit 1 }
+    printf "overall src/armci+src/sim: %.2f%% of %d lines\n",
+           100.0 * covered / total, total
+    if (fault_total == 0) {
+      print "no fault-path coverage data found" > "/dev/stderr"; exit 1
+    }
+    fault_pct = 100.0 * fault_covered / fault_total
+    printf "fault/retry code:          %.2f%% of %d lines (gate >= %d%%)\n",
+           fault_pct, fault_total, threshold
+    if (fault_pct < threshold) {
+      print "coverage gate FAILED" > "/dev/stderr"; exit 1
+    }
+  }
+' "$tmp/gcov.txt"
+
+echo "check_coverage: fault/retry coverage gate passed"

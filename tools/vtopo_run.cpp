@@ -15,8 +15,15 @@
 //             (live-remap the topology mid-run, at 2.5 ms)
 //   vtopo_run workload=phased adaptive=1 cycles=3          (controller
 //             re-picks the topology at every phase boundary)
+//   vtopo_run workload=dft faults="drop=0.05;crash=3@200+400"
+//             (seeded fault plan, FaultPlan::parse syntax; see
+//             docs/testing.md)
+//   vtopo_run workload=ccsd fault_drop=0.05 fault_severs=1
+//             fault_crashes=1 fault_seed=9   (random seeded plan)
 //
 // Unknown keys are rejected; every key has a sensible default.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -28,6 +35,7 @@
 
 #include "core/recommend.hpp"
 #include "net/profiles.hpp"
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 #include "workloads/contention.hpp"
 #include "workloads/nas_lu.hpp"
@@ -117,6 +125,20 @@ void print_stats(const armci::RuntimeStats& st) {
                 static_cast<double>(st.reconfig_quiesce_ns) / 1e6,
                 static_cast<double>(st.reconfig_remap_ns) / 1e6);
   }
+  if (st.msgs_dropped > 0 || st.retries > 0 || st.msgs_duplicated > 0 ||
+      st.msgs_delayed > 0 || st.heals > 0) {
+    std::printf("faults: dropped=%llu duplicated=%llu delayed=%llu "
+                "retries=%llu dedup=%llu reclaimed=%llu heals=%llu "
+                "reroutes=%llu\n",
+                static_cast<unsigned long long>(st.msgs_dropped),
+                static_cast<unsigned long long>(st.msgs_duplicated),
+                static_cast<unsigned long long>(st.msgs_delayed),
+                static_cast<unsigned long long>(st.retries),
+                static_cast<unsigned long long>(st.dup_suppressed),
+                static_cast<unsigned long long>(st.credits_reclaimed),
+                static_cast<unsigned long long>(st.heals),
+                static_cast<unsigned long long>(st.healed_reroutes));
+  }
 }
 
 /// topology=auto: pick the topology from the workload's profile via the
@@ -174,6 +196,50 @@ int main(int argc, char** argv) {
                      ? net::Placement::kRandom
                      : net::Placement::kLinear;
   const auto iters = static_cast<int>(args.num("iters", 5));
+
+  // Optional seeded fault plan, armed for every workload. `faults=` is
+  // the full FaultPlan::parse syntax; the fault_* keys build a random
+  // plan on top of it (or of an empty plan).
+  {
+    const std::string fspec = args.str("faults", "");
+    sim::FaultPlan plan;
+    if (!fspec.empty()) {
+      std::string err;
+      const auto parsed = sim::FaultPlan::parse(fspec, &err);
+      if (!parsed) {
+        std::fprintf(stderr, "bad faults= spec: %s\n", err.c_str());
+        return 2;
+      }
+      plan = *parsed;
+    }
+    const double fdrop = args.real("fault_drop", 0.0);
+    const double fdup = args.real("fault_dup", 0.0);
+    const double fdelay = args.real("fault_delay", 0.0);
+    const auto fsevers = static_cast<int>(args.num("fault_severs", 0));
+    const auto fcrashes = static_cast<int>(args.num("fault_crashes", 0));
+    const auto fseed =
+        static_cast<std::uint64_t>(args.num("fault_seed", 1));
+    const double fhorizon_ms = args.real("fault_horizon_ms", 2.0);
+    if (fdrop > 0 || fdup > 0 || fdelay > 0 || fsevers > 0 ||
+        fcrashes > 0) {
+      sim::FaultPlan rnd = sim::FaultPlan::random(
+          fseed, cl.num_nodes, fsevers, fcrashes, fdrop, fdup, fdelay,
+          sim::ms(fhorizon_ms));
+      plan.seed = rnd.seed;
+      plan.drop_requests = std::max(plan.drop_requests, rnd.drop_requests);
+      plan.drop_acks = std::max(plan.drop_acks, rnd.drop_acks);
+      plan.drop_responses =
+          std::max(plan.drop_responses, rnd.drop_responses);
+      plan.duplicate_rate = std::max(plan.duplicate_rate, rnd.duplicate_rate);
+      plan.delay_rate = std::max(plan.delay_rate, rnd.delay_rate);
+      plan.events.insert(plan.events.end(), rnd.events.begin(),
+                         rnd.events.end());
+    }
+    if (plan.armed()) {
+      cl.faults = plan;
+      std::printf("faults: %s\n", plan.describe().c_str());
+    }
+  }
 
   // Optional mid-run live reconfiguration, armed for every workload.
   const std::string reconf = args.str("reconfigure", "");
