@@ -48,6 +48,7 @@ inline void run_contention_figure(const char* figure,
   cluster.num_nodes = args.get_int("--nodes", 256);
   cluster.procs_per_node =
       static_cast<int>(args.get_int("--ppn", 4));
+  cluster.shards = static_cast<int>(args.get_int("--shards", default_shards()));
 
   work::ContentionConfig cfg;
   cfg.op = op;
@@ -70,6 +71,11 @@ inline void run_contention_figure(const char* figure,
               static_cast<long long>(cluster.num_procs()),
               static_cast<long long>(cluster.num_nodes),
               cluster.procs_per_node, cfg.iterations);
+  if (cluster.shards > 0) {
+    // Sharded runs are their own golden family; stamp the shard count
+    // so outputs from the two engines can never diff equal by accident.
+    std::printf("# engine sharded (--shards %d)\n", cluster.shards);
+  }
 
   struct PanelResult {
     std::string text;

@@ -185,6 +185,44 @@ RuntimePath measure_runtime_path(std::int64_t total_ops) {
   return r;
 }
 
+/// Same flood on the self-hosted sharded runtime: ops/sec through the
+/// windowed schedule plus the per-shard memory high-waters. On a host
+/// with fewer cores than shards the ratio against the legacy number is
+/// the cost of the window machinery, not a speedup measurement.
+struct ShardedPath {
+  double ops_per_sec = 0;
+  std::vector<vtopo::armci::ShardMemStats> shard_mem;
+};
+
+ShardedPath measure_sharded_path(std::int64_t total_ops, int shards,
+                                 bool force_threads) {
+  vtopo::armci::Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 4;
+  cfg.topology = vtopo::core::TopologyKind::kMfcg;
+  cfg.shards = shards;
+  // --shard-threads pins one host thread per shard even on small hosts:
+  // the TSan battery drives the real barrier/mailbox protocol this way.
+  cfg.thread_mode = force_threads ? vtopo::sim::ThreadMode::kThreads
+                                  : vtopo::sim::ThreadMode::kAuto;
+  vtopo::armci::Runtime rt(cfg);
+  const auto off = rt.memory().alloc_all(8);
+  const int per_proc = static_cast<int>(total_ops / rt.num_procs());
+  const auto start = std::chrono::steady_clock::now();
+  rt.spawn_all([off, per_proc](vtopo::armci::Proc& p)
+                   -> vtopo::sim::Co<void> {
+    for (int k = 0; k < per_proc; ++k) {
+      co_await p.fetch_add(vtopo::armci::GAddr{0, off}, 1);
+    }
+  });
+  rt.run_all();
+  ShardedPath r;
+  r.ops_per_sec = static_cast<double>(per_proc * rt.num_procs()) /
+                  seconds_since(start);
+  r.shard_mem = rt.stats().shard_mem;
+  return r;
+}
+
 double measure_fig7_wallclock_ms(bool quick) {
   vtopo::work::ClusterConfig cluster;
   cluster.num_nodes = quick ? 16 : 64;
@@ -221,8 +259,13 @@ int main(int argc, char** argv) {
   const double eps =
       measure_events_per_sec<vtopo::sim::Engine>(events, timers);
   const double mps = measure_msgs_per_sec(msgs);
-  const RuntimePath path =
-      measure_runtime_path(args.get_int("--path-ops", quick ? 6'400 : 64'000));
+  const std::int64_t path_ops =
+      args.get_int("--path-ops", quick ? 6'400 : 64'000);
+  const int shards = static_cast<int>(args.get_int("--shards", 4));
+  const bool shard_threads = args.has("--shard-threads");
+  const RuntimePath path = measure_runtime_path(path_ops);
+  const ShardedPath spath =
+      measure_sharded_path(path_ops, shards, shard_threads);
   const double fig7_ms = measure_fig7_wallclock_ms(quick);
 
   std::printf("events_per_sec        %.3e\n", eps);
@@ -230,6 +273,17 @@ int main(int argc, char** argv) {
   std::printf("engine_speedup        %.2fx\n", eps / legacy_eps);
   std::printf("msgs_per_sec          %.3e\n", mps);
   std::printf("fetchadd_ops_per_sec  %.3e\n", path.ops_per_sec);
+  std::printf("sharded_ops_per_sec   %.3e (%d shards)\n", spath.ops_per_sec,
+              shards);
+  for (std::size_t s = 0; s < spath.shard_mem.size(); ++s) {
+    const auto& m = spath.shard_mem[s];
+    std::printf(
+        "#   shard %zu: heap_slots=%zu heap_peak=%zu mailbox_peak=%zu "
+        "pool_created=%llu events=%llu\n",
+        s, m.heap_slots, m.heap_peak, m.mailbox_peak,
+        static_cast<unsigned long long>(m.pool_created),
+        static_cast<unsigned long long>(m.events));
+  }
   std::printf("request_reuse_frac    %.4f\n", path.request_reuse_frac);
   std::printf("frame_reuse_frac      %.4f\n", path.frame_reuse_frac);
   std::printf("fig7_wallclock_ms     %.1f\n", fig7_ms);
@@ -247,12 +301,14 @@ int main(int argc, char** argv) {
                "  \"legacy_events_per_sec\": %.1f,\n"
                "  \"engine_speedup\": %.3f,\n"
                "  \"fetchadd_ops_per_sec\": %.1f,\n"
+               "  \"sharded_ops_per_sec\": %.1f,\n"
+               "  \"sharded_shards\": %d,\n"
                "  \"request_reuse_frac\": %.4f,\n"
                "  \"frame_reuse_frac\": %.4f\n"
                "}\n",
                eps, mps, fig7_ms, legacy_eps, eps / legacy_eps,
-               path.ops_per_sec, path.request_reuse_frac,
-               path.frame_reuse_frac);
+               path.ops_per_sec, spath.ops_per_sec, shards,
+               path.request_reuse_frac, path.frame_reuse_frac);
   std::fclose(f);
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;

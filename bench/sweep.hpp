@@ -23,6 +23,15 @@ inline unsigned default_jobs() {
   return hc == 0 ? 1 : hc;
 }
 
+/// Default for --shards, the second parallelism axis: --jobs runs sweep
+/// points concurrently, --shards parallelizes *within* one point by
+/// running its simulation on sim::ShardedEngine with N spatial shards.
+/// 0 selects the legacy single-threaded engine, byte-compatible with
+/// the original goldens; N >= 1 is the sharded golden family, itself
+/// byte-identical across every N. The axes compose — keep jobs x shards
+/// near the host's core count.
+inline int default_shards() { return 0; }
+
 /// Run `count` independent sweep points and return their results in
 /// sweep order. `point(i)` must depend only on `i` (no shared mutable
 /// state), which makes the result — and therefore any output printed

@@ -1,16 +1,25 @@
 // Weak-scaling sweep of the Figure-7 hot-spot workload: N processes
-// (1k -> 64k) each issue K fetch-&-adds on one counter owned by rank 0,
-// across the four virtual topologies. Reports wall-clock, simulated
-// time, protocol counters, and peak RSS per point, plus the
-// allocation-free runtime-path throughput numbers, into
+// (1k -> 64k on the legacy engine, to 1M+ on the sharded engine) each
+// issue K fetch-&-adds on one counter owned by rank 0, across the four
+// virtual topologies. Reports wall-clock, simulated time, protocol
+// counters, and peak RSS per point, plus the allocation-free
+// runtime-path throughput numbers and a shard sweep, into
 // BENCH_runtime.json.
 //
 // Unlike the figure benches this is a *flood* (no turn-taking barrier
 // between ranks): host-side work is O(N * K), which is what makes the
-// 64k-process points tractable on one core. FCG is swept only to 4k
-// processes — its per-node credit state is O(N) (every node neighbors
-// every other), so the full-graph points would measure allocator
-// thrashing, exactly the scaling wall Figure 5 documents.
+// large points tractable. FCG is swept only to 4k processes — its
+// per-node credit state is O(N) (every node neighbors every other), so
+// the full-graph points would measure allocator thrashing, exactly the
+// scaling wall Figure 5 documents; those points print an explicit
+// "skipped" marker instead of silently vanishing from the table.
+//
+// The shard sweep runs the same flood on the sharded engine at 1/2/4/8
+// shards and reports wallclock speedup relative to 1 shard plus the
+// per-shard memory high-waters. Speedup is a *host* property: with
+// fewer cores than shards the conservative-window machinery is pure
+// overhead, so the JSON records host_cores alongside the ratios and
+// readers should interpret them together (see docs/performance.md).
 //
 // vtopo-lint: allow-file(nondeterminism) -- wall-clock throughput timing only; never feeds simulated results
 #include <sys/resource.h>
@@ -18,7 +27,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -29,6 +40,7 @@
 #include "sim/engine.hpp"
 #include "sim/frame_pool.hpp"
 #include "sim/rng.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace {
 
@@ -53,24 +65,31 @@ struct Point {
   std::int64_t procs = 0;
   std::int64_t nodes = 0;
   std::int64_t ops = 0;
+  int shards = 0;  ///< 0 = legacy single-threaded engine
   double wallclock_ms = 0;
   double sim_ms = 0;
   std::uint64_t requests = 0;
   std::uint64_t forwards = 0;
   std::uint64_t msgs = 0;
   double rss_mb = 0;
+  std::vector<vtopo::armci::ShardMemStats> shard_mem;
 };
 
 /// One sweep point: `procs` ranks flooding fetch-&-adds at rank 0.
+/// `shards` == 0 runs the legacy engine; >= 1 the sharded engine.
 Point run_point(vtopo::core::TopologyKind kind, std::int64_t procs,
-                int ops_per_proc) {
+                int ops_per_proc, int shards = 0) {
   const auto start = std::chrono::steady_clock::now();
   vtopo::sim::Engine eng;
   Runtime::Config cfg;
   cfg.procs_per_node = 4;
   cfg.num_nodes = procs / cfg.procs_per_node;
   cfg.topology = kind;
-  Runtime rt(eng, cfg);
+  cfg.shards = shards > 0 ? shards : 1;
+  std::unique_ptr<Runtime> rt_owner =
+      shards > 0 ? std::make_unique<Runtime>(cfg)
+                 : std::make_unique<Runtime>(eng, cfg);
+  Runtime& rt = *rt_owner;
   const auto off = rt.memory().alloc_all(8);
   rt.spawn_all([off, ops_per_proc](Proc& p) -> vtopo::sim::Co<void> {
     for (int k = 0; k < ops_per_proc; ++k) {
@@ -84,12 +103,14 @@ Point run_point(vtopo::core::TopologyKind kind, std::int64_t procs,
   pt.procs = procs;
   pt.nodes = cfg.num_nodes;
   pt.ops = procs * ops_per_proc;
+  pt.shards = shards;
   pt.wallclock_ms = seconds_since(start) * 1e3;
-  pt.sim_ms = static_cast<double>(eng.now()) / 1e6;
+  pt.sim_ms = static_cast<double>(rt.engine().now()) / 1e6;
   pt.requests = rt.stats().requests;
   pt.forwards = rt.stats().forwards;
   pt.msgs = rt.network().messages_sent();
   pt.rss_mb = peak_rss_mb();
+  pt.shard_mem = rt.stats().shard_mem;
   return pt;
 }
 
@@ -148,6 +169,26 @@ RuntimePath measure_runtime_path(std::int64_t total_ops) {
   return r;
 }
 
+void print_point(const Point& pt) {
+  std::printf("%-7s %8lld %7lld %9lld %12.1f %12.3f %10llu %9.1f\n",
+              pt.topology.c_str(), static_cast<long long>(pt.procs),
+              static_cast<long long>(pt.nodes),
+              static_cast<long long>(pt.ops), pt.wallclock_ms, pt.sim_ms,
+              static_cast<unsigned long long>(pt.requests), pt.rss_mb);
+}
+
+void print_shard_mem(const Point& pt) {
+  for (std::size_t s = 0; s < pt.shard_mem.size(); ++s) {
+    const auto& m = pt.shard_mem[s];
+    std::printf(
+        "#   shard %zu: heap_slots=%zu heap_peak=%zu mailbox_peak=%zu "
+        "pool_created=%llu events=%llu\n",
+        s, m.heap_slots, m.heap_peak, m.mailbox_peak,
+        static_cast<unsigned long long>(m.pool_created),
+        static_cast<unsigned long long>(m.events));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,14 +202,23 @@ int main(int argc, char** argv) {
       args.get_int("--msgs", quick ? 100'000 : 2'000'000);
   const std::int64_t path_ops =
       args.get_int("--path-ops", quick ? 6'400 : 64'000);
+  const std::int64_t shard_procs =
+      args.get_int("--shard-procs", quick ? 1024 : 65536);
+  const std::int64_t big_procs =
+      args.get_int("--big-procs", quick ? 16384 : 1048576);
+  const int big_ops =
+      static_cast<int>(args.get_int("--big-ops", quick ? 1 : 2));
   const std::string out_path =
       args.get_string("--out", "BENCH_runtime.json");
+  const unsigned host_cores = std::thread::hardware_concurrency();
 
   vtopo::bench::print_header(
-      "weak_scaling", "hot-spot fetch-add flood, 1k -> 64k processes");
+      "weak_scaling",
+      "hot-spot fetch-add flood, 1k -> 64k processes + sharded 1M");
 
   const double mps = measure_msgs_per_sec(msgs);
   const RuntimePath path = measure_runtime_path(path_ops);
+  std::printf("host_cores            %u\n", host_cores);
   std::printf("msgs_per_sec          %.3e\n", mps);
   std::printf("fetchadd_ops_per_sec  %.3e\n", path.ops_per_sec);
   std::printf("request_pool          created=%llu reused=%llu\n",
@@ -195,18 +245,42 @@ int main(int argc, char** argv) {
     for (const auto kind : kinds) {
       if (kind == vtopo::core::TopologyKind::kFcg &&
           procs > kFcgMaxProcs) {
-        continue;  // O(N) credit state per node; see header comment
+        std::printf("%-7s %8lld %7lld  skipped (O(N^2) memory: full-graph "
+                    "credit state)\n",
+                    "FCG", static_cast<long long>(procs),
+                    static_cast<long long>(procs / 4));
+        continue;
       }
       points.push_back(run_point(kind, procs, ops_per_proc));
-      const Point& pt = points.back();
-      std::printf("%-7s %8lld %7lld %9lld %12.1f %12.3f %10llu %9.1f\n",
-                  pt.topology.c_str(), static_cast<long long>(pt.procs),
-                  static_cast<long long>(pt.nodes),
-                  static_cast<long long>(pt.ops), pt.wallclock_ms,
-                  pt.sim_ms, static_cast<unsigned long long>(pt.requests),
-                  pt.rss_mb);
+      print_point(points.back());
     }
   }
+
+  // ---- Shard sweep: same flood, sharded engine, 1/2/4/8 shards ----
+  vtopo::bench::print_rule();
+  std::printf("# shard sweep: MFCG %lld procs, ThreadMode=auto "
+              "(host_cores=%u)\n",
+              static_cast<long long>(shard_procs), host_cores);
+  std::vector<Point> shard_points;
+  for (const int shards : {1, 2, 4, 8}) {
+    shard_points.push_back(run_point(vtopo::core::TopologyKind::kMfcg,
+                                     shard_procs, ops_per_proc, shards));
+    Point& pt = shard_points.back();
+    std::printf("# shards=%d wallclock_ms=%.1f sim_ms=%.3f rss_mb=%.1f "
+                "speedup=%.2f\n",
+                shards, pt.wallclock_ms, pt.sim_ms, pt.rss_mb,
+                shard_points.front().wallclock_ms / pt.wallclock_ms);
+    print_shard_mem(pt);
+  }
+
+  // ---- Scale ceiling: one completing sharded run at 1M+ processes ----
+  vtopo::bench::print_rule();
+  std::printf("# scale ceiling: MFCG %lld procs, 8 shards, %d ops/proc\n",
+              static_cast<long long>(big_procs), big_ops);
+  const Point big = run_point(vtopo::core::TopologyKind::kMfcg, big_procs,
+                              big_ops, 8);
+  print_point(big);
+  print_shard_mem(big);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -215,16 +289,19 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n"
+               "  \"host_cores\": %u,\n"
                "  \"msgs_per_sec\": %.1f,\n"
                "  \"fetchadd_ops_per_sec\": %.1f,\n"
                "  \"request_pool\": {\"created\": %llu, \"reused\": %llu},\n"
                "  \"frame_pool\": {\"created\": %llu, \"reused\": %llu},\n"
+               "  \"fcg_skipped_above_procs\": %lld,\n"
                "  \"weak_scaling\": [\n",
-               mps, path.ops_per_sec,
+               host_cores, mps, path.ops_per_sec,
                static_cast<unsigned long long>(path.req_created),
                static_cast<unsigned long long>(path.req_reused),
                static_cast<unsigned long long>(path.frames_created),
-               static_cast<unsigned long long>(path.frames_reused));
+               static_cast<unsigned long long>(path.frames_reused),
+               static_cast<long long>(kFcgMaxProcs));
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& pt = points[i];
     std::fprintf(f,
@@ -240,7 +317,35 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(pt.msgs), pt.rss_mb,
                  i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"shard_sweep\": [\n");
+  for (std::size_t i = 0; i < shard_points.size(); ++i) {
+    const Point& pt = shard_points[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %d, \"procs\": %lld, \"wallclock_ms\": %.3f, "
+        "\"sim_ms\": %.3f, \"peak_rss_mb\": %.1f, "
+        "\"speedup_vs_1shard\": %.3f}%s\n",
+        pt.shards, static_cast<long long>(pt.procs), pt.wallclock_ms,
+        pt.sim_ms, pt.rss_mb,
+        shard_points.front().wallclock_ms / pt.wallclock_ms,
+        i + 1 < shard_points.size() ? "," : "");
+  }
+  std::fprintf(
+      f,
+      "  ],\n"
+      "  \"shard_sweep_note\": \"speedup is a host property: with "
+      "host_cores < shards the window machinery is pure overhead and "
+      "ratios near/below 1.0 are expected; >= 3x at 8 shards requires "
+      ">= 8 cores\",\n"
+      "  \"scale_ceiling\": {\"topology\": \"%s\", \"procs\": %lld, "
+      "\"nodes\": %lld, \"ops\": %lld, \"shards\": %d, "
+      "\"wallclock_ms\": %.3f, \"sim_ms\": %.3f, \"requests\": %llu, "
+      "\"peak_rss_mb\": %.1f, \"completed\": true}\n",
+      big.topology.c_str(), static_cast<long long>(big.procs),
+      static_cast<long long>(big.nodes), static_cast<long long>(big.ops),
+      big.shards, big.wallclock_ms, big.sim_ms,
+      static_cast<unsigned long long>(big.requests), big.rss_mb);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("# wrote %s\n", out_path.c_str());
   return 0;

@@ -21,6 +21,8 @@
 #include <span>
 #include <utility>
 
+#include "sim/sharded_engine.hpp"
+
 namespace vtopo::armci {
 
 class PayloadArena {
@@ -127,12 +129,32 @@ class PayloadArena {
   [[nodiscard]] std::uint64_t created() const { return created_; }
   [[nodiscard]] std::uint64_t reused() const { return reused_; }
 
+  /// Declare this arena shard-homed: a Ref released on another shard's
+  /// worker (a put's payload dies at the target node) re-routes its
+  /// chunk through the serial phase instead of touching the freelist
+  /// concurrently (remote free).
+  void bind_shard(sim::ShardedEngine* sharded, int home_shard) {
+    sharded_ = sharded;
+    home_shard_ = home_shard;
+  }
+
  private:
   void recycle(Chunk* c) noexcept {
     if (c->cls == kUnpooled) {
-      ::operator delete(c);
+      ::operator delete(c);  // plain heap free: safe from any thread
       return;
     }
+    if (sharded_ != nullptr) {
+      const sim::ShardContext& ctx = sim::shard_context();
+      if (ctx.parallel && ctx.shard != home_shard_) {
+        sharded_->post_serial([this, c] { park(c); });
+        return;
+      }
+    }
+    park(c);
+  }
+
+  void park(Chunk* c) noexcept {
     c->next = free_[c->cls];
     free_[c->cls] = c;
   }
@@ -146,6 +168,8 @@ class PayloadArena {
   Chunk* free_[kClasses] = {};
   std::uint64_t created_ = 0;
   std::uint64_t reused_ = 0;
+  sim::ShardedEngine* sharded_ = nullptr;
+  int home_shard_ = -1;
 };
 
 }  // namespace vtopo::armci

@@ -40,15 +40,31 @@ sim::Co<void> Proc::put(GAddr dst, std::span<const std::uint8_t> src) {
   // recycled arena chunk moved into the arrival event.
   PayloadArena::Ref data = rt_->payload_arena().acquire(src.size());
   std::memcpy(data.data(), src.data(), src.size());
-  const sim::TimeNs arrival = rt_->network().send(
-      node_, tnode,
-      p.rdma_header_bytes + static_cast<std::int64_t>(src.size()),
-      rt_->proc_stream(id_));
+  const std::int64_t wire =
+      p.rdma_header_bytes + static_cast<std::int64_t>(src.size());
   GlobalMemory& mem = rt_->memory();
-  eng.schedule_at(arrival, [&mem, dst, data = std::move(data)]() mutable {
-    mem.write(dst, data.view());
-  });
-  co_await sim::Sleep(eng, arrival - eng.now());
+  if (rt_->is_sharded()) {
+    // Sharded: the write must execute on the *target* node's shard (the
+    // memory segment belongs to it), and the sender-side completion must
+    // resume here at the same arrival instant — exactly what
+    // deliver_notify provides.
+    sim::Future<int> done(eng);
+    rt_->network().deliver_notify(
+        node_, tnode, wire, rt_->proc_stream(id_),
+        [&mem, dst, data = std::move(data)]() mutable {
+          mem.write(dst, data.view());
+        },
+        [done]() mutable { done.set(0); });
+    co_await done;
+  } else {
+    const sim::TimeNs arrival =
+        rt_->network().send(node_, tnode, wire, rt_->proc_stream(id_));
+    eng.schedule_at(arrival,
+                    [&mem, dst, data = std::move(data)]() mutable {
+      mem.write(dst, data.view());
+    });
+    co_await sim::Sleep(eng, arrival - eng.now());
+  }
   rt_->tracer().record(TraceKind::kPut, id_, t0, eng.now() - t0);
 }
 
@@ -60,16 +76,48 @@ sim::Co<void> Proc::get(std::span<std::uint8_t> dst, GAddr src) {
   co_await sim::Sleep(eng, p.proc_op_overhead);
 
   const core::NodeId tnode = rt_->node_of(src.proc);
-  // RDMA read: descriptor travels to the target NIC, data streams back.
-  co_await rt_->network().transfer(node_, tnode, p.rdma_header_bytes,
-                                   rt_->proc_stream(id_));
-  PayloadArena::Ref data = rt_->payload_arena().acquire(dst.size());
-  rt_->memory().read(data.mutable_view(), src);
-  co_await rt_->network().transfer(
-      tnode, node_,
-      p.rdma_header_bytes + static_cast<std::int64_t>(dst.size()),
-      rt_->proc_stream(id_));
-  std::memcpy(dst.data(), data.data(), dst.size());
+  if (rt_->is_sharded()) {
+    // Sharded RDMA read: the descriptor leg lands on the target node's
+    // shard, which snapshots the bytes at the descriptor-arrival
+    // instant (the legacy path reads at the same simulated time, just
+    // on the origin's stack) and streams them back; the data leg lands
+    // here and completes the op. Wire costs match the legacy transfer
+    // pair exactly.
+    Runtime* rt = rt_;
+    const core::NodeId onode = node_;
+    const net::Network::StreamKey stream = rt_->proc_stream(id_);
+    const std::int64_t nbytes = static_cast<std::int64_t>(dst.size());
+    std::uint8_t* out = dst.data();
+    const std::int64_t hdr = p.rdma_header_bytes;
+    sim::Future<int> done(eng);
+    rt->network().deliver(
+        onode, tnode, hdr, stream,
+        [rt, src, onode, tnode, stream, nbytes, out, hdr, done]() mutable {
+          PayloadArena::Ref data =
+              rt->payload_arena().acquire(static_cast<std::size_t>(nbytes));
+          rt->memory().read(data.mutable_view(), src);
+          rt->network().deliver(
+              tnode, onode, hdr + nbytes, stream,
+              [out, nbytes, data = std::move(data), done]() mutable {
+                std::memcpy(out, data.data(),
+                            static_cast<std::size_t>(nbytes));
+                done.set(0);
+              });
+        });
+    co_await done;
+  } else {
+    // RDMA read: descriptor travels to the target NIC, data streams
+    // back.
+    co_await rt_->network().transfer(node_, tnode, p.rdma_header_bytes,
+                                     rt_->proc_stream(id_));
+    PayloadArena::Ref data = rt_->payload_arena().acquire(dst.size());
+    rt_->memory().read(data.mutable_view(), src);
+    co_await rt_->network().transfer(
+        tnode, node_,
+        p.rdma_header_bytes + static_cast<std::int64_t>(dst.size()),
+        rt_->proc_stream(id_));
+    std::memcpy(dst.data(), data.data(), dst.size());
+  }
   rt_->tracer().record(TraceKind::kGet, id_, t0, eng.now() - t0);
 }
 

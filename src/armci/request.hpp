@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <optional>
@@ -18,6 +19,7 @@
 
 #include "core/coords.hpp"
 #include "armci/memory.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/task.hpp"
 #include "sim/validate.hpp"
 
@@ -140,25 +142,29 @@ struct Request {
  private:
   friend class RequestPtr;
   friend class RequestPool;
-  std::uint32_t refs_ = 0;
+  /// Atomic: under the sharded engine the origin, an intermediate CHT,
+  /// and the target CHT may hold RequestPtr copies on different worker
+  /// threads. Contention is nil (a handful of refs per request), so the
+  /// relaxed increments cost what the plain ones did.
+  std::atomic<std::uint32_t> refs_{0};
   RequestPool* pool_ = nullptr;   ///< owner; null => plain heap object
   Request* free_next_ = nullptr;  ///< freelist link while parked
 };
 
 /// Intrusive refcounted handle to a Request. One pointer wide, so event
 /// callbacks holding one stay inside InlineFn's inline storage, and
-/// copy/release touch only the object's own counter — no atomic control
-/// block, no allocator. Single-threaded by design, like the engine.
+/// copy/release touch only the object's own counter — no control block,
+/// no allocator.
 class RequestPtr {
  public:
   RequestPtr() noexcept = default;
   RequestPtr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
   /// Adopts a reference (the pool hands out refcount-0 objects).
   explicit RequestPtr(Request* r) noexcept : p_(r) {
-    if (p_ != nullptr) ++p_->refs_;
+    if (p_ != nullptr) p_->refs_.fetch_add(1, std::memory_order_relaxed);
   }
   RequestPtr(const RequestPtr& other) noexcept : p_(other.p_) {
-    if (p_ != nullptr) ++p_->refs_;
+    if (p_ != nullptr) p_->refs_.fetch_add(1, std::memory_order_relaxed);
   }
   RequestPtr(RequestPtr&& other) noexcept
       : p_(std::exchange(other.p_, nullptr)) {}
@@ -198,6 +204,15 @@ class RequestPool {
   RequestPool() = default;
   RequestPool(const RequestPool&) = delete;
   RequestPool& operator=(const RequestPool&) = delete;
+
+  /// Declare this pool shard-homed: a last release observed on another
+  /// shard's worker thread re-routes the recycle through the serial
+  /// phase (main thread, shards quiescent) instead of touching the
+  /// freelist concurrently — the "remote free" of a per-shard allocator.
+  void bind_shard(sim::ShardedEngine* sharded, int home_shard) {
+    sharded_ = sharded;
+    home_shard_ = home_shard;
+  }
   ~RequestPool() {
     Request* r = free_;
     while (r != nullptr) {
@@ -245,7 +260,19 @@ class RequestPool {
   friend class RequestPtr;
 
   void recycle(Request* r) noexcept {
-    assert(r->refs_ == 0 && r->pool_ == this);
+    if (sharded_ != nullptr) {
+      const sim::ShardContext& ctx = sim::shard_context();
+      if (ctx.parallel && ctx.shard != home_shard_) {
+        sharded_->post_serial([this, r] { recycle_local(r); });
+        return;
+      }
+    }
+    recycle_local(r);
+  }
+
+  void recycle_local(Request* r) noexcept {
+    assert(r->refs_.load(std::memory_order_relaxed) == 0 &&
+           r->pool_ == this);
     r->id = 0;
     r->op = OpCode::kFetchAdd;
     r->origin_proc = 0;
@@ -275,10 +302,13 @@ class RequestPool {
   std::size_t parked_ = 0;
   std::uint64_t created_ = 0;
   std::uint64_t reused_ = 0;
+  sim::ShardedEngine* sharded_ = nullptr;
+  int home_shard_ = -1;
 };
 
 inline void RequestPtr::reset() noexcept {
-  if (p_ != nullptr && --p_->refs_ == 0) {
+  if (p_ != nullptr &&
+      p_->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     if (p_->pool_ != nullptr) {
       p_->pool_->recycle(p_);
     } else {

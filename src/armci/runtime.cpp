@@ -26,28 +26,89 @@ Runtime::Runtime(sim::Engine& eng, Config cfg)
                                                   cfg.num_nodes,
                                                   cfg.policy)),
       network_(eng, cfg.num_nodes, cfg.net, cfg.placement, cfg.seed) {
-  chts_.reserve(static_cast<std::size_t>(cfg.num_nodes));
-  credit_banks_.reserve(static_cast<std::size_t>(cfg.num_nodes));
-  for (core::NodeId n = 0; n < cfg.num_nodes; ++n) {
-    chts_.push_back(std::make_unique<Cht>(*this, n));
-    credit_banks_.push_back(std::make_unique<CreditBank>(
-        eng, credits_per_edge(), topology().neighbors(n)));
+  init();
+}
+
+Runtime::Runtime(Config cfg)
+    : sharded_(std::make_unique<sim::ShardedEngine>(
+          static_cast<int>(cfg.num_nodes), std::max(cfg.shards, 1),
+          cfg.net.min_remote_latency(), cfg.thread_mode)),
+      eng_(&sharded_->global_engine()),
+      cfg_(cfg),
+      memory_(cfg.num_nodes * cfg.procs_per_node, cfg.segment_bytes),
+      topo_mgr_(cfg.custom_shape
+                    ? core::VirtualTopology::custom(
+                          cfg.topology, *cfg.custom_shape, cfg.num_nodes,
+                          cfg.policy)
+                    : core::VirtualTopology::make(cfg.topology,
+                                                  cfg.num_nodes,
+                                                  cfg.policy)),
+      network_(sharded_->global_engine(), cfg.num_nodes, cfg.net,
+               cfg.placement, cfg.seed) {
+  network_.enable_sharding(sharded_.get());
+  init();
+}
+
+void Runtime::init() {
+  const auto nn = static_cast<std::size_t>(cfg_.num_nodes);
+  if (sharded_ != nullptr) {
+    for (int s = 0; s < sharded_->num_shards(); ++s) {
+      shard_slots_.emplace_back();
+      shard_slots_.back().pool.bind_shard(sharded_.get(), s);
+      shard_slots_.back().arena.bind_shard(sharded_.get(), s);
+    }
+    req_seq_.assign(nn, 0);
+  }
+  chts_.reserve(nn);
+  credit_banks_.reserve(nn);
+  for (core::NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    if (sharded_ != nullptr) {
+      // Construct each node's actors under its own node context so the
+      // engine references they capture (the CHT's queue, the credit
+      // bank's waiter resumes) are the owning shard's facade.
+      sim::NodeScope scope(*sharded_, static_cast<int>(n));
+      chts_.push_back(std::make_unique<Cht>(*this, n));
+      credit_banks_.push_back(std::make_unique<CreditBank>(
+          sharded_->engine_for_node(static_cast<int>(n)),
+          credits_per_edge(), topology().neighbors(n)));
+    } else {
+      chts_.push_back(std::make_unique<Cht>(*this, n));
+      credit_banks_.push_back(std::make_unique<CreditBank>(
+          *eng_, credits_per_edge(), topology().neighbors(n)));
+    }
   }
   procs_.reserve(static_cast<std::size_t>(num_procs()));
   for (ProcId p = 0; p < num_procs(); ++p) {
     procs_.push_back(std::make_unique<Proc>(*this, p));
   }
-  for (auto& cht : chts_) cht->start();
+  for (core::NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    if (sharded_ != nullptr) {
+      sim::NodeScope scope(*sharded_, static_cast<int>(n));
+      chts_[static_cast<std::size_t>(n)]->start();
+    } else {
+      chts_[static_cast<std::size_t>(n)]->start();
+    }
+  }
   if (cfg_.faults && cfg_.faults->armed()) {
-    injector_ = std::make_unique<sim::FaultInjector>(eng, *cfg_.faults);
-    const auto nn = static_cast<std::size_t>(cfg_.num_nodes);
+    injector_ = std::make_unique<sim::FaultInjector>(*eng_, *cfg_.faults);
     node_down_.assign(nn, 0);
     node_slow_.assign(nn, 1.0);
     healed_.assign(nn, 0);
     first_hop_timeouts_.assign(nn, 0);
-    injector_->arm([this](const sim::FaultEvent& e, bool begin) {
+    auto handler = [this](const sim::FaultEvent& e, bool begin) {
       apply_fault(e, begin);
-    });
+    };
+    if (sharded_ != nullptr) {
+      // Per-node RNG streams keep message-fault draws independent of
+      // host interleaving; arming under the global pseudo-node makes
+      // every outage a global event, which runs between windows where
+      // cross-shard state is safe to mutate.
+      injector_->shard_streams(static_cast<int>(cfg_.num_nodes));
+      sim::NodeScope scope(*sharded_, sharded_->global_node());
+      injector_->arm(handler);
+    } else {
+      injector_->arm(handler);
+    }
   }
 }
 
@@ -60,9 +121,82 @@ Runtime::~Runtime() {
 }
 
 void Runtime::stop_chts() {
-  for (auto& cht : chts_) cht->stop();
-  eng_->run();
+  for (core::NodeId n = 0; n < cfg_.num_nodes; ++n) {
+    if (sharded_ != nullptr) {
+      // stop() pushes the poison token into the CHT's queue, which may
+      // wake the parked consumer through its node facade — so push from
+      // that node's context.
+      sim::NodeScope scope(*sharded_, static_cast<int>(n));
+      chts_[static_cast<std::size_t>(n)]->stop();
+    } else {
+      chts_[static_cast<std::size_t>(n)]->stop();
+    }
+  }
+  run_engine();
   chts_stopped_ = true;
+}
+
+void Runtime::run_engine() {
+  if (sharded_ != nullptr) {
+    sync_slot_tracers();
+    sharded_->run();
+    fold_shard_state();
+  } else {
+    eng_->run();
+  }
+}
+
+void Runtime::sync_slot_tracers() {
+  for (ShardSlot& s : shard_slots_) s.tracer.configure_from(tracer_);
+}
+
+void Runtime::fold_shard_state() {
+  for (ShardSlot& s : shard_slots_) {
+    RuntimeStats& a = stats_;
+    const RuntimeStats& b = s.stats;
+    a.requests += b.requests;
+    a.forwards += b.forwards;
+    a.max_forwards_seen =
+        std::max(a.max_forwards_seen, b.max_forwards_seen);
+    a.acks += b.acks;
+    a.responses += b.responses;
+    a.direct_ops += b.direct_ops;
+    a.cht_wakeups += b.cht_wakeups;
+    a.lock_queue_max = std::max(a.lock_queue_max, b.lock_queue_max);
+    a.credit_blocked_ns += b.credit_blocked_ns;
+    a.reconfigurations += b.reconfigurations;
+    a.reconfig_quiesce_ns += b.reconfig_quiesce_ns;
+    a.reconfig_remap_ns += b.reconfig_remap_ns;
+    a.retries += b.retries;
+    a.msgs_dropped += b.msgs_dropped;
+    a.msgs_duplicated += b.msgs_duplicated;
+    a.msgs_delayed += b.msgs_delayed;
+    a.dup_suppressed += b.dup_suppressed;
+    a.credits_reclaimed += b.credits_reclaimed;
+    a.heals += b.heals;
+    a.healed_reroutes += b.healed_reroutes;
+    s.stats = RuntimeStats{};
+    tracer_.merge_from(s.tracer);
+  }
+  // Sorting restores an order that does not depend on which shard
+  // recorded which sample, so percentiles and float sums of the folded
+  // series compare bytewise across shard counts.
+  if (tracer_.enabled()) tracer_.canonicalize();
+
+  stats_.shard_mem.assign(
+      static_cast<std::size_t>(sharded_->num_shards()), ShardMemStats{});
+  for (int sh = 0; sh < sharded_->num_shards(); ++sh) {
+    const sim::ShardedEngine::ShardMem m = sharded_->shard_mem(sh);
+    ShardMemStats& d = stats_.shard_mem[static_cast<std::size_t>(sh)];
+    d.heap_slots = m.heap_slots;
+    d.heap_peak = m.heap_peak;
+    d.mailbox_peak = m.mailbox_peak;
+    d.events = m.executed;
+    const ShardSlot& slot = shard_slots_[static_cast<std::size_t>(sh)];
+    d.pool_parked = slot.pool.parked();
+    d.pool_created = slot.pool.created();
+    d.arena_chunks = static_cast<std::size_t>(slot.arena.created());
+  }
 }
 
 Proc& Runtime::proc(ProcId p) {
@@ -82,6 +216,19 @@ CreditBank& Runtime::credits(core::NodeId n) {
 
 void Runtime::spawn(ProcId p, std::function<sim::Co<void>(Proc&)> program) {
   programs_.push_back(std::move(program));
+  if (sharded_ != nullptr) {
+    // The program body runs on its node's shard from the first
+    // instruction, and a proc coroutine always resumes on its own node
+    // (futures resume at their owner, Sleep stays on the facade), so the
+    // live counter lives in that shard's slot and is decremented there.
+    const int node = static_cast<int>(node_of(p));
+    sim::NodeScope scope(*sharded_, node);
+    sim::spawn(programs_.back()(proc(p)),
+               &shard_slots_[static_cast<std::size_t>(
+                                 sharded_->shard_of(node))]
+                    .live);
+    return;
+  }
   sim::spawn(programs_.back()(proc(p)), &live_);
 }
 
@@ -90,12 +237,20 @@ void Runtime::spawn_all(const std::function<sim::Co<void>(Proc&)>& program) {
 }
 
 void Runtime::spawn_task(sim::Co<void> task) {
+  if (sharded_ != nullptr && sim::current_node() < 0) {
+    // Auxiliary tasks spawned from the main thread (reconfigure
+    // drivers, monitors) live on the global pseudo-node: their events
+    // run between windows, where cross-shard state is safe to touch.
+    sim::NodeScope scope(*sharded_, sharded_->global_node());
+    sim::spawn(std::move(task), nullptr);
+    return;
+  }
   sim::spawn(std::move(task), nullptr);
 }
 
 void Runtime::run_all() {
-  eng_->run();
-  if (live_ != 0) throw DeadlockError(live_);
+  run_engine();
+  if (live_tasks() != 0) throw DeadlockError(live_tasks());
   stop_chts();
 #if VTOPO_VALIDATE_ENABLED
   validate_quiescent();
@@ -107,7 +262,10 @@ void Runtime::validate_quiescent() {
     bank->check_quiescent("credit bank not quiescent after run");
   }
   request_pool_.check_drained("request leaked past shutdown");
-  VTOPO_CHECK_ALWAYS(inflight_requests_ == 0,
+  for (const ShardSlot& s : shard_slots_) {
+    s.pool.check_drained("request leaked past shutdown (shard pool)");
+  }
+  VTOPO_CHECK_ALWAYS(inflight_requests() == 0,
                      "issued request never completed at its origin");
   // Check the cumulative forwarding depth against the loosest bound of
   // any topology generation installed during the run: after a live
@@ -120,7 +278,7 @@ void Runtime::validate_quiescent() {
 }
 
 bool Runtime::request_path_quiescent() const {
-  if (inflight_requests_ != 0) return false;
+  if (inflight_requests() != 0) return false;
   for (const auto& bank : credit_banks_) {
     if (!bank->idle()) return false;
   }
@@ -175,6 +333,13 @@ void Runtime::apply_fault(const sim::FaultEvent& e, bool begin) {
     }
     case sim::FaultKind::kBufferExhaust: {
       if (!a_ok || !b_ok) return;
+      // Restore may resume parked credit waiters through the bank's
+      // engine; enter the bank's node context so those resumes land on
+      // its own shard (apply_fault itself runs between windows).
+      std::optional<sim::NodeScope> scope;
+      if (sharded_ != nullptr) {
+        scope.emplace(*sharded_, static_cast<int>(a));
+      }
       if (begin) {
         if (!credits(a).has_edge(b)) return;
         seized_.push_back(SeizedCredits{a, b, credits(a).seize(b)});
@@ -194,7 +359,24 @@ void Runtime::apply_fault(const sim::FaultEvent& e, bool begin) {
   }
 }
 
+// The heal overlay (healed_ / any_healed_ / first_hop_timeouts_) is
+// shared across every node. Sharded, the mutators run in the serial
+// phase — post_serial merges concurrent triggers in (time, stamp) order,
+// so the overlay evolves identically at every shard count; workers read
+// the flags race-free because writes happen only between windows.
+// post_serial from a non-parallel context runs inline, so the legacy
+// runtime and global-context callers (apply_fault) keep their old
+// immediate semantics.
+
 void Runtime::heal_around(core::NodeId dead) {
+  if (sharded_ != nullptr) {
+    sharded_->post_serial([this, dead] { apply_heal_around(dead); });
+    return;
+  }
+  apply_heal_around(dead);
+}
+
+void Runtime::apply_heal_around(core::NodeId dead) {
   if (injector_ == nullptr || dead < 0 || dead >= num_nodes()) return;
   char& flag = healed_[static_cast<std::size_t>(dead)];
   if (flag != 0) return;
@@ -204,6 +386,14 @@ void Runtime::heal_around(core::NodeId dead) {
 }
 
 void Runtime::unheal(core::NodeId node) {
+  if (sharded_ != nullptr) {
+    sharded_->post_serial([this, node] { apply_unheal(node); });
+    return;
+  }
+  apply_unheal(node);
+}
+
+void Runtime::apply_unheal(core::NodeId node) {
   if (injector_ == nullptr || node < 0 || node >= num_nodes()) return;
   healed_[static_cast<std::size_t>(node)] = 0;
   first_hop_timeouts_[static_cast<std::size_t>(node)] = 0;
@@ -227,35 +417,59 @@ core::NodeId Runtime::next_hop_for(core::NodeId src, core::NodeId dst) {
   // the overlay introduces no hold-and-wait edge (deadlock freedom) and
   // strictly fewer forwards than the severed route (bound preserved).
   credits(src).ensure_edge(dst);
-  ++stats_.healed_reroutes;
+  ++stats().healed_reroutes;
   return dst;
 }
 
 void Runtime::note_first_hop_timeout(core::NodeId hop) {
+  if (sharded_ != nullptr) {
+    sharded_->post_serial([this, hop] { apply_first_hop_timeout(hop); });
+    return;
+  }
+  apply_first_hop_timeout(hop);
+}
+
+void Runtime::apply_first_hop_timeout(core::NodeId hop) {
   if (hop < 0 || hop >= num_nodes()) return;
   int& n = first_hop_timeouts_[static_cast<std::size_t>(hop)];
   if (++n >= cfg_.armci.heal_timeout_threshold && cfg_.armci.self_heal) {
-    heal_around(hop);
+    apply_heal_around(hop);
   }
 }
 
 void Runtime::note_first_hop_ok(core::NodeId hop) {
   if (hop < 0 || hop >= num_nodes()) return;
+  if (sharded_ != nullptr) {
+    sharded_->post_serial([this, hop] {
+      first_hop_timeouts_[static_cast<std::size_t>(hop)] = 0;
+    });
+    return;
+  }
   first_hop_timeouts_[static_cast<std::size_t>(hop)] = 0;
 }
 
 void Runtime::reclaim_lease(core::NodeId holder, core::NodeId receiver) {
   if (!cfg_.armci.lease_reclaim) return;  // chaos knob: leak instead
   CreditBank* bank = credit_banks_[static_cast<std::size_t>(holder)].get();
-  eng_->schedule_after(cfg_.armci.lease_reclaim_delay,
-                       [this, bank, receiver] {
+  Runtime* rt = this;
+  auto release = [rt, bank, receiver] {
     bank->release(receiver);
-    ++stats_.credits_reclaimed;
-  });
+    ++rt->stats().credits_reclaimed;
+  };
+  if (sharded_ != nullptr) {
+    // The bank belongs to `holder`, which may live on another shard
+    // than the caller: route the release to its node.
+    sharded_->schedule_on_node(
+        static_cast<int>(holder),
+        sharded_->context_now() + cfg_.armci.lease_reclaim_delay,
+        std::move(release));
+    return;
+  }
+  eng_->schedule_after(cfg_.armci.lease_reclaim_delay, std::move(release));
 }
 
 RequestPtr Runtime::clone_request(const Request& r) {
-  RequestPtr c = request_pool_.acquire();
+  RequestPtr c = request_pool().acquire();
   c->id = r.id;  // shared sequence number: the dedup key
   c->op = r.op;
   c->origin_proc = r.origin_proc;
@@ -297,7 +511,7 @@ void Runtime::send_request_msg(RequestPtr r, core::NodeId src,
     f = injector_->sample_message(sim::FaultInjector::MsgClass::kRequest);
   }
   if (forced || f.drop) {
-    ++stats_.msgs_dropped;
+    ++stats().msgs_dropped;
     // The hop's buffer-credit lease dies with the message; reclaim it so
     // flow control recovers. The op itself is recovered by the origin's
     // retry watchdog (its RequestPtr copy keeps the request alive).
@@ -305,7 +519,7 @@ void Runtime::send_request_msg(RequestPtr r, core::NodeId src,
     return;
   }
   if (f.duplicate) {
-    ++stats_.msgs_duplicated;
+    ++stats().msgs_duplicated;
     RequestPtr dup = clone_request(*r);
     dup->upstream_node = r->upstream_node;
     dup->upstream_is_cht = r->upstream_is_cht;
@@ -317,10 +531,10 @@ void Runtime::send_request_msg(RequestPtr r, core::NodeId src,
       cht_dst.enqueue(std::move(dd));
     });
   }
-  const sim::TimeNs arrival = network_.send(src, dst, wire_bytes, stream);
-  if (f.delay > 0) ++stats_.msgs_delayed;
+  if (f.delay > 0) ++stats().msgs_delayed;
   RequestPtr rr = std::move(r);
-  eng_->schedule_at(arrival + f.delay, [&cht_dst, rr]() mutable {
+  network_.deliver_delayed(src, dst, wire_bytes, stream, f.delay,
+                           [&cht_dst, rr]() mutable {
     cht_dst.enqueue(std::move(rr));
   });
 }
@@ -329,7 +543,7 @@ void Runtime::send_ack_msg(core::NodeId from, core::NodeId upstream) {
   const ArmciParams& p = cfg_.armci;
   CreditBank& bank = credits(upstream);
   const core::NodeId self = from;
-  ++stats_.acks;
+  ++stats().acks;
   if (!faults_armed()) {
     network_.deliver(from, upstream, p.ack_bytes, cht_stream(from),
                      [&bank, self] { bank.release(self); });
@@ -342,24 +556,21 @@ void Runtime::send_ack_msg(core::NodeId from, core::NodeId upstream) {
     f = injector_->sample_message(sim::FaultInjector::MsgClass::kAck);
   }
   if (forced || f.drop) {
-    ++stats_.msgs_dropped;
+    ++stats().msgs_dropped;
     // A lost ack strands the lease at the upstream holder; reclaim it
     // (or, with lease_reclaim off, leak it — the validate death test).
     reclaim_lease(upstream, from);
     return;
   }
-  const sim::TimeNs arrival =
-      network_.send(from, upstream, p.ack_bytes, cht_stream(from));
-  if (f.delay > 0) ++stats_.msgs_delayed;
-  eng_->schedule_at(arrival + f.delay, [&bank, self] {
-    bank.release(self);
-  });
+  if (f.delay > 0) ++stats().msgs_delayed;
+  network_.deliver_delayed(from, upstream, p.ack_bytes, cht_stream(from),
+                           f.delay, [&bank, self] { bank.release(self); });
 }
 
 void Runtime::send_response_msg(RequestPtr req, Response resp,
                                 core::NodeId from,
                                 std::int64_t wire_bytes) {
-  ++stats_.responses;
+  ++stats().responses;
   const core::NodeId dst = req->origin_node;
   const OpCode op = req->op;
   Runtime* rt = this;
@@ -367,9 +578,11 @@ void Runtime::send_response_msg(RequestPtr req, Response resp,
                    resp = std::move(resp)]() mutable {
     // Origin-side completion gate: the first response fulfils the op
     // (and lets the reconfigure quiesce proceed); late duplicates —
-    // from retries or duplicated requests — are absorbed here.
+    // from retries or duplicated requests — are absorbed here. Runs at
+    // the origin node, the same context that issued the op, so the
+    // in-flight counter moves within one shard slot.
     if (req->response_future->ready()) {
-      ++rt->stats_.dup_suppressed;
+      ++rt->stats().dup_suppressed;
       return;
     }
     rt->note_request_completed();
@@ -387,13 +600,12 @@ void Runtime::send_response_msg(RequestPtr req, Response resp,
     f = injector_->sample_message(sim::FaultInjector::MsgClass::kResponse);
   }
   if (forced || f.drop) {
-    ++stats_.msgs_dropped;  // the origin's watchdog re-issues
+    ++stats().msgs_dropped;  // the origin's watchdog re-issues
     return;
   }
-  const sim::TimeNs arrival =
-      network_.send(from, dst, wire_bytes, cht_stream(from));
-  if (f.delay > 0) ++stats_.msgs_delayed;
-  eng_->schedule_at(arrival + f.delay, std::move(complete));
+  if (f.delay > 0) ++stats().msgs_delayed;
+  network_.deliver_delayed(from, dst, wire_bytes, cht_stream(from),
+                           f.delay, std::move(complete));
 }
 
 void Runtime::arm_retry_watchdog(const RequestPtr& r) {
@@ -408,14 +620,14 @@ sim::Co<void> Runtime::retry_watchdog(RequestPtr r,
   const ArmciParams& p = cfg_.armci;
   sim::TimeNs timeout = p.retry_timeout;
   for (int attempt = 1; attempt <= p.retry_max_attempts; ++attempt) {
-    co_await sim::Sleep(*eng_, timeout);
+    co_await sim::Sleep(engine(), timeout);
     if (fut.ready()) {
       note_first_hop_ok(first_hop);
       co_return;
     }
-    ++stats_.retries;
-    tracer_.record(TraceKind::kRetry, r->origin_proc,
-                   eng_->now() - timeout, timeout);
+    ++stats().retries;
+    tracer().record(TraceKind::kRetry, r->origin_proc,
+                    engine().now() - timeout, timeout);
     note_first_hop_timeout(first_hop);
     RequestPtr copy = clone_request(*r);
     copy->attempt = attempt;
@@ -425,7 +637,7 @@ sim::Co<void> Runtime::retry_watchdog(RequestPtr r,
                                  p.retry_backoff),
         p.retry_backoff_cap);
   }
-  co_await sim::Sleep(*eng_, timeout);
+  co_await sim::Sleep(engine(), timeout);
   if (fut.ready()) {
     note_first_hop_ok(first_hop);
     co_return;
@@ -439,18 +651,18 @@ sim::Co<void> Runtime::reissue(RequestPtr r) {
   // Note: no reconfiguration fence here. The logical op was admitted on
   // its first issue and the quiesce loop is waiting for its completion;
   // parking the retry at the fence would deadlock the quiesce.
-  co_await sim::Sleep(*eng_, p.proc_op_overhead);
+  co_await sim::Sleep(engine(), p.proc_op_overhead);
   if (r->response_future->ready()) co_return;  // completed while asleep
   const core::NodeId origin = r->origin_node;
   const net::Network::StreamKey stream = proc_stream(r->origin_proc);
   const std::int64_t wire = p.request_header_bytes + r->payload_bytes();
   const core::NodeId hop = next_hop_for(origin, r->target_node);
   CreditBank& bank = credits(origin);
-  const sim::TimeNs t0 = eng_->now();
+  const sim::TimeNs t0 = engine().now();
   co_await bank.acquire(hop);
-  const sim::TimeNs blocked = eng_->now() - t0;
+  const sim::TimeNs blocked = engine().now() - t0;
   bank.add_blocked(blocked);
-  stats_.credit_blocked_ns += blocked;
+  stats().credit_blocked_ns += blocked;
   if (r->response_future->ready()) {
     bank.release(hop);  // raced with a late response: hand it back
     co_return;
@@ -465,6 +677,10 @@ sim::Co<bool> Runtime::reconfigure(core::TopologyKind to,
                                    ReconfigMode mode) {
   VTOPO_CHECK_ALWAYS(!reconfig_active_,
                      "reentrant reconfigure(): one at a time");
+  // Sharded: the coroutine must live on the global pseudo-node (drive it
+  // with spawn_task() from the main thread) — it mutates every node's
+  // credit bank and the topology, which is only safe between windows.
+  assert(sharded_ == nullptr || !sim::shard_context().parallel);
   if (to == topology().kind()) co_return false;
   // Refuse instead of throwing: Co promises terminate on an escaped
   // exception (sim actors have no one to rethrow to).
@@ -496,7 +712,7 @@ sim::Co<bool> Runtime::reconfigure(core::TopologyKind to,
   for (const auto& bank : credit_banks_) {
     bank->check_quiescent("credit bank not quiescent at reconfiguration");
   }
-  VTOPO_CHECK_ALWAYS(inflight_requests_ == 0,
+  VTOPO_CHECK_ALWAYS(inflight_requests() == 0,
                      "request in flight at reconfiguration");
   const sim::TimeNs t_quiesced = eng_->now();
 
@@ -553,22 +769,82 @@ sim::Co<bool> Runtime::reconfigure(core::TopologyKind to,
   reconfig_active_ = false;
   rep.waiters_resumed =
       static_cast<std::int64_t>(reconfig_waiters_.size());
-  std::vector<std::coroutine_handle<>> waiters;
+  std::vector<FenceWaiter> waiters;
   waiters.swap(reconfig_waiters_);
-  for (const std::coroutine_handle<> h : waiters) {
-    eng_->schedule_after(0, [h] { h.resume(); });
+  for (const FenceWaiter& w : waiters) {
+    if (sharded_ != nullptr) {
+      // Resume on the node that parked: exact insert at the current
+      // global time (the coroutine is a proc body — it must continue on
+      // its own shard).
+      sharded_->schedule_on_node(w.node, eng_->now(),
+                                 [h = w.h] { h.resume(); });
+    } else {
+      eng_->schedule_after(0, [h = w.h] { h.resume(); });
+    }
   }
   last_reconfig_ = rep;
   co_return true;
 }
 
+void Runtime::park_at_fence(std::coroutine_handle<> h) {
+  if (sharded_ != nullptr) {
+    // Record through the serial phase: concurrent parks from several
+    // shards merge in (time, stamp) order, giving the same FIFO at
+    // every shard count.
+    const auto node = static_cast<std::int32_t>(sim::current_node());
+    sharded_->post_serial([this, h, node] {
+      reconfig_waiters_.push_back(FenceWaiter{h, node});
+    });
+    return;
+  }
+  reconfig_waiters_.push_back(FenceWaiter{h, -1});
+}
+
 bool Runtime::run_for(sim::TimeNs deadline) {
-  eng_->run_until(deadline);
-  return live_ == 0;
+  if (sharded_ != nullptr) {
+    sync_slot_tracers();
+    sharded_->run_until(deadline);
+    fold_shard_state();
+  } else {
+    eng_->run_until(deadline);
+  }
+  return live_tasks() == 0;
 }
 
 sim::Co<void> Runtime::barrier_wait() {
   const ArmciParams& p = cfg_.armci;
+  if (sharded_ != nullptr) {
+    // Sharded rendezvous: arrivals funnel through the serial phase in
+    // (time, stamp) order; the last arrival computes the same
+    // tree-latency the legacy path does from its own arrival instant
+    // and fulfils every future as one global event. Each future's
+    // owner is the arriving proc's node, so resumes land back on the
+    // right shards at the exact release time.
+    sim::Future<int> fut(engine());
+    const sim::TimeNs tc = sharded_->context_now();
+    sim::ShardedEngine* sh = sharded_.get();
+    Runtime* rt = this;
+    sh->post_serial([rt, sh, fut, tc]() mutable {
+      rt->barrier_futures_.push_back(std::move(fut));
+      if (++rt->barrier_arrived_ == rt->num_procs()) {
+        const int levels = static_cast<int>(std::ceil(
+            std::log2(static_cast<double>(rt->num_procs()))));
+        const sim::TimeNs latency =
+            rt->cfg_.armci.barrier_base +
+            rt->cfg_.armci.barrier_per_level * std::max(levels, 1);
+        std::vector<sim::Future<int>> futs =
+            std::move(rt->barrier_futures_);
+        rt->barrier_futures_.clear();
+        rt->barrier_arrived_ = 0;
+        sh->schedule_global_at(tc + latency,
+                               [futs = std::move(futs)]() mutable {
+          for (auto& f : futs) f.set(0);
+        });
+      }
+    });
+    co_await fut;
+    co_return;
+  }
   barrier_futures_.emplace_back(*eng_);
   sim::Future<int> fut = barrier_futures_.back();
   if (++barrier_arrived_ == num_procs()) {
@@ -588,6 +864,38 @@ sim::Co<void> Runtime::barrier_wait() {
 
 sim::Co<double> Runtime::allreduce_sum(double value) {
   const ArmciParams& p = cfg_.armci;
+  if (sharded_ != nullptr) {
+    // Like barrier_wait, but the serial-phase arrival order also fixes
+    // the floating-point summation order — (time, stamp), independent
+    // of shard count and host interleaving.
+    sim::Future<double> fut(engine());
+    const sim::TimeNs tc = sharded_->context_now();
+    sim::ShardedEngine* sh = sharded_.get();
+    Runtime* rt = this;
+    sh->post_serial([rt, sh, fut, tc, value]() mutable {
+      rt->reduce_sum_ += value;
+      rt->reduce_futures_.push_back(std::move(fut));
+      if (++rt->reduce_arrived_ == rt->num_procs()) {
+        const int levels = static_cast<int>(std::ceil(
+            std::log2(static_cast<double>(rt->num_procs()))));
+        const sim::TimeNs latency =
+            rt->cfg_.armci.barrier_base +
+            2 * rt->cfg_.armci.barrier_per_level * std::max(levels, 1);
+        const double total = rt->reduce_sum_;
+        std::vector<sim::Future<double>> futs =
+            std::move(rt->reduce_futures_);
+        rt->reduce_futures_.clear();
+        rt->reduce_arrived_ = 0;
+        rt->reduce_sum_ = 0.0;
+        sh->schedule_global_at(
+            tc + latency, [futs = std::move(futs), total]() mutable {
+              for (auto& f : futs) f.set(total);
+            });
+      }
+    });
+    const double res = co_await fut;
+    co_return res;
+  }
   reduce_sum_ += value;
   reduce_futures_.emplace_back(*eng_);
   sim::Future<double> fut = reduce_futures_.back();

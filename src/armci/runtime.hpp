@@ -31,12 +31,27 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/task.hpp"
 
 namespace vtopo::armci {
 
 class Cht;
 class Proc;
+
+/// Per-shard memory accounting, snapshotted when a sharded run folds.
+/// Deliberately outside any byte-identity golden: freelist hit rates
+/// depend on the shard partition (remote frees are deferred to the
+/// serial phase) even though the simulation itself does not.
+struct ShardMemStats {
+  std::size_t heap_slots = 0;     ///< event slot-pool high-water
+  std::size_t heap_peak = 0;      ///< max simultaneous heap entries
+  std::size_t mailbox_peak = 0;   ///< max cross-shard mail in one drain
+  std::size_t pool_parked = 0;    ///< requests parked in the shard pool
+  std::uint64_t pool_created = 0; ///< requests heap-built by the shard
+  std::size_t arena_chunks = 0;   ///< payload chunks built by the shard
+  std::uint64_t events = 0;       ///< events the shard executed
+};
 
 /// Aggregate protocol counters for one run.
 struct RuntimeStats {
@@ -66,6 +81,10 @@ struct RuntimeStats {
   std::uint64_t credits_reclaimed = 0; ///< leases reclaimed after losses
   std::uint64_t heals = 0;             ///< heal-around overlays installed
   std::uint64_t healed_reroutes = 0;   ///< hops redirected by an overlay
+
+  /// One entry per shard on the sharded runtime (empty on the legacy
+  /// engine); refreshed every time a run folds.
+  std::vector<ShardMemStats> shard_mem;
 };
 
 /// How reconfigure() rebuilds the per-node credit banks.
@@ -129,14 +148,35 @@ class Runtime {
     /// fault code path is dormant and runs are byte-identical to a
     /// fault-free build.
     std::optional<sim::FaultPlan> faults;
+    /// Spatial shards for the parallel engine (self-hosting constructor
+    /// only; the legacy external-engine constructor ignores it). Output
+    /// is byte-identical at every shard count by construction.
+    int shards = 1;
+    /// Host-thread policy for the sharded engine.
+    sim::ThreadMode thread_mode = sim::ThreadMode::kAuto;
   };
 
+  /// Legacy: run on a caller-owned single-threaded engine.
   Runtime(sim::Engine& eng, Config cfg);
+  /// Self-hosting: build a ShardedEngine with cfg.shards spatial shards
+  /// (lookahead = the network's minimum cross-node latency) and run the
+  /// cluster on it. cfg.shards == 1 still exercises the windowed
+  /// schedule, which is what the shard-invariance goldens compare
+  /// against.
+  explicit Runtime(Config cfg);
   ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  [[nodiscard]] sim::Engine& engine() { return *eng_; }
+  /// The engine of the calling context: on the sharded runtime a worker
+  /// gets its shard's facade and everything else the global facade, so
+  /// existing `rt.engine().now()` call sites stay correct unchanged.
+  [[nodiscard]] sim::Engine& engine() {
+    return sharded_ != nullptr ? sharded_->context_engine() : *eng_;
+  }
+  [[nodiscard]] bool is_sharded() const { return sharded_ != nullptr; }
+  /// The sharded engine, or null on a legacy runtime.
+  [[nodiscard]] sim::ShardedEngine* sharded() { return sharded_.get(); }
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const ArmciParams& params() const { return cfg_.armci; }
   [[nodiscard]] GlobalMemory& memory() { return memory_; }
@@ -153,9 +193,20 @@ class Runtime {
     return topo_mgr_.epoch();
   }
   [[nodiscard]] net::Network& network() { return network_; }
-  [[nodiscard]] RuntimeStats& stats() { return stats_; }
+  /// Protocol counters. On the sharded runtime a worker thread gets its
+  /// shard's private slot (folded into the main struct between runs);
+  /// reads from the main thread see the folded totals.
+  [[nodiscard]] RuntimeStats& stats() {
+    if (ShardSlot* s = context_slot()) return s->stats;
+    return stats_;
+  }
   /// Latency tracer; call tracer().enable() before spawning programs.
-  [[nodiscard]] OpTracer& tracer() { return tracer_; }
+  /// Sharded: workers record into per-shard slots, merged and sorted
+  /// into a canonical order when the run folds.
+  [[nodiscard]] OpTracer& tracer() {
+    if (ShardSlot* s = context_slot()) return s->tracer;
+    return tracer_;
+  }
 
   [[nodiscard]] std::int64_t num_nodes() const { return cfg_.num_nodes; }
   [[nodiscard]] int procs_per_node() const { return cfg_.procs_per_node; }
@@ -175,10 +226,19 @@ class Runtime {
   [[nodiscard]] Proc& proc(ProcId p);
   [[nodiscard]] Cht& cht(core::NodeId n);
   [[nodiscard]] CreditBank& credits(core::NodeId n);
-  /// Recycling pool all CHT-mediated requests are drawn from.
-  [[nodiscard]] RequestPool& request_pool() { return request_pool_; }
-  /// Chunk arena staging direct put/get payload bytes.
-  [[nodiscard]] PayloadArena& payload_arena() { return payload_arena_; }
+  /// Recycling pool all CHT-mediated requests are drawn from (the
+  /// calling shard's pool on the sharded runtime; remote frees route
+  /// home through the serial phase).
+  [[nodiscard]] RequestPool& request_pool() {
+    if (ShardSlot* s = context_slot()) return s->pool;
+    return request_pool_;
+  }
+  /// Chunk arena staging direct put/get payload bytes (shard-local,
+  /// like the request pool).
+  [[nodiscard]] PayloadArena& payload_arena() {
+    if (ShardSlot* s = context_slot()) return s->arena;
+    return payload_arena_;
+  }
 
   /// Spawn `program` as the body of process `p`. The callable (and any
   /// lambda captures) is kept alive by the Runtime until destruction —
@@ -196,7 +256,11 @@ class Runtime {
   /// Run until `deadline`; returns true when all application tasks
   /// finished. Does not throw on deadlock (callers inspect live_tasks()).
   bool run_for(sim::TimeNs deadline);
-  [[nodiscard]] std::int64_t live_tasks() const { return live_; }
+  [[nodiscard]] std::int64_t live_tasks() const {
+    std::int64_t n = live_;
+    for (const ShardSlot& s : shard_slots_) n += s.live;
+    return n;
+  }
 
   /// Quiescence invariants after a clean run: every credit bank has all
   /// credits free and no parked waiter, every request returned to the
@@ -235,9 +299,7 @@ class Runtime {
   struct [[nodiscard]] ReconfigFence {
     Runtime* rt;
     bool await_ready() const { return !rt->reconfig_active_; }
-    void await_suspend(std::coroutine_handle<> h) {
-      rt->reconfig_waiters_.push_back(h);
-    }
+    void await_suspend(std::coroutine_handle<> h) { rt->park_at_fence(h); }
     void await_resume() const noexcept {}
   };
   [[nodiscard]] ReconfigFence reconfig_fence() { return ReconfigFence{this}; }
@@ -247,10 +309,12 @@ class Runtime {
   /// RequestPool::live() — is the reconfigure drain condition, because
   /// ops parked at the fence (and unissued chunks held in their frames)
   /// legitimately hold pooled requests while the remap runs.
-  void note_request_issued() { ++inflight_requests_; }
-  void note_request_completed() { --inflight_requests_; }
+  void note_request_issued() { ++inflight_slot(); }
+  void note_request_completed() { --inflight_slot(); }
   [[nodiscard]] std::int64_t inflight_requests() const {
-    return inflight_requests_;
+    std::int64_t n = inflight_requests_;
+    for (const ShardSlot& s : shard_slots_) n += s.inflight;
+    return n;
   }
 
   /// Full-membership barrier support (used via Proc::barrier()).
@@ -260,7 +324,20 @@ class Runtime {
   /// barrier-like latency; arithmetic is exact and host-side.
   [[nodiscard]] sim::Co<double> allreduce_sum(double value);
 
-  [[nodiscard]] std::uint64_t next_request_id() { return ++request_id_; }
+  /// Request ids are the CHT dedup keys; they only need to be unique,
+  /// not dense. Sharded issue paths run concurrently, so each node draws
+  /// from its own (node-tagged) sequence — deterministic per node, no
+  /// shared counter.
+  [[nodiscard]] std::uint64_t next_request_id() {
+    if (sharded_ != nullptr) {
+      const int node = sim::current_node();
+      if (node >= 0 && node < cfg_.num_nodes) {
+        return (static_cast<std::uint64_t>(node + 1) << 40) |
+               ++req_seq_[static_cast<std::size_t>(node)];
+      }
+    }
+    return ++request_id_;
+  }
 
   /// Stream-table identities at destination NICs: one per CHT and one
   /// per process.
@@ -334,6 +411,45 @@ class Runtime {
   void arm_retry_watchdog(const RequestPtr& r);
 
  private:
+  /// Everything shard-local under the parallel engine, one per shard,
+  /// cache-line separated: counters and recyclers a worker thread
+  /// touches on its hot path without synchronization. Folded into the
+  /// main members between runs.
+  struct alignas(64) ShardSlot {
+    RuntimeStats stats;
+    OpTracer tracer;
+    RequestPool pool;
+    PayloadArena arena;
+    std::int64_t live = 0;
+    std::int64_t inflight = 0;
+  };
+  /// The calling worker's slot, or null outside the parallel phase.
+  [[nodiscard]] ShardSlot* context_slot() {
+    if (sharded_ == nullptr) return nullptr;
+    const sim::ShardContext& c = sim::shard_context();
+    if (!c.parallel) return nullptr;
+    return &shard_slots_[static_cast<std::size_t>(c.shard)];
+  }
+  [[nodiscard]] std::int64_t& inflight_slot() {
+    if (ShardSlot* s = context_slot()) return s->inflight;
+    return inflight_requests_;
+  }
+
+  /// An op parked at the reconfiguration fence (node -1 on the legacy
+  /// runtime; sharded resumes go back to the parking node's shard).
+  struct FenceWaiter {
+    std::coroutine_handle<> h;
+    std::int32_t node = -1;
+  };
+  void park_at_fence(std::coroutine_handle<> h);
+
+  void init();
+  /// Drive the underlying engine (sharded or legacy) until drained.
+  void run_engine();
+  /// Sum per-shard counters into the main stats/tracer and empty the
+  /// slots. Main thread, engine idle.
+  void fold_shard_state();
+  void sync_slot_tracers();
   void stop_chts();
   [[nodiscard]] bool request_path_quiescent() const;
 
@@ -359,16 +475,28 @@ class Runtime {
   [[nodiscard]] sim::Co<void> reissue(RequestPtr r);
   void note_first_hop_timeout(core::NodeId hop);
   void note_first_hop_ok(core::NodeId hop);
+  // Serial-phase bodies of the heal mutators (sharded calls route the
+  // shared-state writes through post_serial; legacy calls run inline).
+  void apply_first_hop_timeout(core::NodeId hop);
+  void apply_heal_around(core::NodeId dead);
+  void apply_unheal(core::NodeId node);
 
+  // Declared first so the engine (and every facade captured from it)
+  // outlives all other members during destruction. Null on the legacy
+  // external-engine runtime.
+  std::unique_ptr<sim::ShardedEngine> sharded_;
   sim::Engine* eng_;
   Config cfg_;
   GlobalMemory memory_;
   TopologyManager topo_mgr_;
   net::Network network_;
   // Declared before the actors so the pools outlive every RequestPtr and
-  // arena Ref still parked in CHT lock queues at teardown.
+  // arena Ref still parked in CHT lock queues at teardown. The per-shard
+  // slots (a deque: slots must not move under workers' references) live
+  // here for the same lifetime reason.
   RequestPool request_pool_;
   PayloadArena payload_arena_;
+  std::deque<ShardSlot> shard_slots_;
   std::vector<std::unique_ptr<Cht>> chts_;
   std::vector<std::unique_ptr<CreditBank>> credit_banks_;
   std::vector<std::unique_ptr<Proc>> procs_;
@@ -377,6 +505,7 @@ class Runtime {
   // Deque: growth must not move stored callables (coroutines hold
   // references into them).
   std::deque<std::function<sim::Co<void>(Proc&)>> programs_;
+  std::vector<std::uint64_t> req_seq_;  ///< per-node request-id streams
   std::uint64_t request_id_ = 0;
   std::int64_t live_ = 0;
   bool chts_stopped_ = false;
@@ -398,7 +527,7 @@ class Runtime {
   // Reconfiguration state.
   bool reconfig_active_ = false;
   std::int64_t inflight_requests_ = 0;
-  std::vector<std::coroutine_handle<>> reconfig_waiters_;  ///< FIFO
+  std::vector<FenceWaiter> reconfig_waiters_;  ///< FIFO
   ReconfigReport last_reconfig_;
 
   // Barrier state.

@@ -6,9 +6,11 @@
 // calibrated, and what a downstream user points gnuplot at.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/stats.hpp"
@@ -78,6 +80,43 @@ class OpTracer {
   [[nodiscard]] std::string summary() const;
   /// CSV: kind,proc,start_ns,latency_ns (needs keep_events).
   [[nodiscard]] std::string events_csv() const;
+
+  /// Mirror another tracer's enable/keep/max settings (per-shard slot
+  /// tracers follow the main tracer the workload configured).
+  void configure_from(const OpTracer& main) {
+    enabled_ = main.enabled_;
+    keep_events_ = main.keep_events_;
+    max_events_ = main.max_events_;
+  }
+
+  /// Steal `other`'s recordings into this tracer (sharded fold), leaving
+  /// `other` empty but still configured.
+  void merge_from(OpTracer& other) {
+    for (std::size_t k = 0; k < kNumTraceKinds; ++k) {
+      series_[k].append(other.series_[k]);
+      other.series_[k] = sim::Series{};
+    }
+    events_.insert(events_.end(),
+                   std::make_move_iterator(other.events_.begin()),
+                   std::make_move_iterator(other.events_.end()));
+    other.events_.clear();
+  }
+
+  /// Re-establish a shard-count-independent order after merging: samples
+  /// sort ascending (percentiles and float sums become order-free) and
+  /// events sort by (start, kind, proc, latency), truncated back to the
+  /// configured cap.
+  void canonicalize() {
+    for (auto& s : series_) s.sort_samples();
+    std::sort(events_.begin(), events_.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.start != b.start) return a.start < b.start;
+                if (a.kind != b.kind) return a.kind < b.kind;
+                if (a.proc != b.proc) return a.proc < b.proc;
+                return a.latency < b.latency;
+              });
+    if (events_.size() > max_events_) events_.resize(max_events_);
+  }
 
  private:
   bool enabled_ = false;

@@ -34,24 +34,34 @@ Network::Network(sim::Engine& eng, std::int64_t num_nodes,
   link_free_.assign(static_cast<std::size_t>(torus_.num_links()), 0);
   streams_.resize(static_cast<std::size_t>(num_nodes));
   for (auto& table : streams_) table.set_capacity(params_.stream_table_size);
-  if (num_nodes <= kRouteCacheMaxNodes) {
-    route_cache_.resize(static_cast<std::size_t>(num_nodes * num_nodes));
+  // ~4 slots per node, rounded up to a power of two, hard-capped: the
+  // cache covers every pair a small run can form and stays a few MB on
+  // a 262k-node run where a dense table could not exist.
+  std::size_t slots = kRouteCacheMinSlots;
+  while (slots < static_cast<std::size_t>(num_nodes) * 4 &&
+         slots < kRouteCacheMaxSlots) {
+    slots *= 2;
   }
+  route_cache_.resize(slots);
 }
 
-const Network::RouteEntry& Network::cache_route(core::NodeId src,
-                                                core::NodeId dst) {
-  RouteEntry& e = route_cache_[static_cast<std::size_t>(
-      src * num_nodes() + dst)];
-  if (!e.built) {
-    e.off = static_cast<std::uint32_t>(route_links_.size());
+const Network::RouteSlot& Network::cache_route(core::NodeId src,
+                                               core::NodeId dst) {
+  const std::uint64_t tag =
+      ((static_cast<std::uint64_t>(src) << 32) |
+       static_cast<std::uint64_t>(dst)) + 1;
+  // Fibonacci hash of the pair; table size is a power of two.
+  const std::size_t idx = static_cast<std::size_t>(
+      (tag * 0x9e3779b97f4a7c15ULL) >> 32) & (route_cache_.size() - 1);
+  RouteSlot& e = route_cache_[idx];
+  if (e.tag != tag) {
+    e.links.clear();  // keeps capacity: collision rebuilds stay cheap
     torus_.for_each_route_link(
         slot_of_node_[static_cast<std::size_t>(src)],
         slot_of_node_[static_cast<std::size_t>(dst)], [&](LinkId link) {
-          route_links_.push_back(static_cast<std::int32_t>(link));
+          e.links.push_back(static_cast<std::int32_t>(link));
         });
-    e.len = static_cast<std::uint16_t>(route_links_.size() - e.off);
-    e.built = true;
+    e.tag = tag;
     ++routes_cached_;
   }
   return e;
@@ -107,11 +117,17 @@ double Network::edge_degrade(core::NodeId src, core::NodeId dst) const {
 
 sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
                           std::int64_t bytes, StreamKey stream) {
+  return send_at(eng_->now(), src, dst, bytes, stream);
+}
+
+sim::TimeNs Network::send_at(sim::TimeNs start, core::NodeId src,
+                             core::NodeId dst, std::int64_t bytes,
+                             StreamKey stream) {
   assert(bytes >= 0);
   ++messages_;
   bytes_total_ += static_cast<std::uint64_t>(bytes);
 
-  sim::TimeNs t = eng_->now() + params_.send_overhead;
+  sim::TimeNs t = start + params_.send_overhead;
   if (src == dst) {
     // Intra-node: shared-memory copy, no NIC involvement.
     return t + params_.shmem_latency +
@@ -140,15 +156,9 @@ sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
   };
 
   cross(torus_.injection_link(sslot), nic_ser);
-  if (!route_cache_.empty()) {
-    const RouteEntry& e = cache_route(src, dst);
-    const std::int32_t* link = route_links_.data() + e.off;
-    for (const std::int32_t* end = link + e.len; link != end; ++link) {
-      cross(*link, link_ser);
-    }
-  } else {
-    torus_.for_each_route_link(
-        sslot, dslot, [&](LinkId link) { cross(link, link_ser); });
+  {
+    const RouteSlot& e = cache_route(src, dst);
+    for (const std::int32_t link : e.links) cross(link, link_ser);
   }
   // Ejection: the message has fully arrived only after it serializes
   // through the destination NIC. A stream-table miss adds the BEER
@@ -165,14 +175,88 @@ sim::TimeNs Network::send(core::NodeId src, core::NodeId dst,
 void Network::deliver(core::NodeId src, core::NodeId dst,
                       std::int64_t bytes, StreamKey stream,
                       sim::InlineFn on_arrival) {
-  const sim::TimeNs arrival = send(src, dst, bytes, stream);
-  eng_->schedule_at(arrival, std::move(on_arrival));
+  deliver_delayed(src, dst, bytes, stream, 0, std::move(on_arrival));
 }
 
-sim::Sleep Network::transfer(core::NodeId src, core::NodeId dst,
-                             std::int64_t bytes, StreamKey stream) {
+void Network::deliver_delayed(core::NodeId src, core::NodeId dst,
+                              std::int64_t bytes, StreamKey stream,
+                              sim::TimeNs extra_delay,
+                              sim::InlineFn on_arrival) {
+  if (sharded_ != nullptr) {
+    // Record the send; reserve link capacity in the serial phase, where
+    // posts from all shards merge in (time, stamp) order, then land the
+    // arrival on the destination node's shard. Arrival times are >= the
+    // send time + min_remote_latency >= the window boundary, so the
+    // serial-phase insert is exact (never clamped).
+    const sim::TimeNs tc = sharded_->context_now();
+    sim::ShardedEngine* sh = sharded_;
+    sh->post_serial([this, sh, tc, src, dst, bytes, stream, extra_delay,
+                     fn = std::move(on_arrival)]() mutable {
+      const sim::TimeNs arrival = send_at(tc, src, dst, bytes, stream);
+      sh->schedule_on_node(static_cast<int>(dst), arrival + extra_delay,
+                           std::move(fn));
+    });
+    return;
+  }
   const sim::TimeNs arrival = send(src, dst, bytes, stream);
-  return sim::Sleep(*eng_, arrival - eng_->now());
+  eng_->schedule_at(arrival + extra_delay, std::move(on_arrival));
+}
+
+void Network::deliver_notify(core::NodeId src, core::NodeId dst,
+                             std::int64_t bytes, StreamKey stream,
+                             sim::InlineFn at_dst, sim::InlineFn at_src) {
+  if (sharded_ != nullptr) {
+    const sim::TimeNs tc = sharded_->context_now();
+    const int home = sim::current_node();
+    sim::ShardedEngine* sh = sharded_;
+    sh->post_serial([this, sh, tc, home, src, dst, bytes, stream,
+                     fn_dst = std::move(at_dst),
+                     fn_src = std::move(at_src)]() mutable {
+      const sim::TimeNs arrival = send_at(tc, src, dst, bytes, stream);
+      sh->schedule_on_node(static_cast<int>(dst), arrival,
+                           std::move(fn_dst));
+      sh->schedule_on_node(home, arrival, std::move(fn_src));
+    });
+    return;
+  }
+  const sim::TimeNs arrival = send(src, dst, bytes, stream);
+  eng_->schedule_at(arrival, std::move(at_dst));
+  eng_->schedule_at(arrival, std::move(at_src));
+}
+
+Network::Transfer::Transfer(Network& net, core::NodeId src, core::NodeId dst,
+                            std::int64_t bytes, StreamKey stream)
+    : net_(&net), src_(src), dst_(dst), bytes_(bytes), stream_(stream) {
+  if (net_->sharded_ == nullptr) {
+    // Legacy: reserve capacity at construction, exactly like the
+    // historical Sleep-returning transfer().
+    legacy_delay_ =
+        net_->send(src, dst, bytes, stream) - net_->eng_->now();
+  }
+}
+
+void Network::Transfer::await_suspend(std::coroutine_handle<> h) {
+  if (net_->sharded_ == nullptr) {
+    net_->eng_->schedule_after(legacy_delay_, [h] { h.resume(); });
+    return;
+  }
+  sim::ShardedEngine* sh = net_->sharded_;
+  const int home = sim::current_node();
+  const sim::TimeNs tc = sh->context_now();
+  Network* net = net_;
+  const core::NodeId src = src_;
+  const core::NodeId dst = dst_;
+  const std::int64_t bytes = bytes_;
+  const StreamKey stream = stream_;
+  sh->post_serial([net, sh, home, tc, src, dst, bytes, stream, h] {
+    const sim::TimeNs arrival = net->send_at(tc, src, dst, bytes, stream);
+    sh->schedule_on_node(home, arrival, [h] { h.resume(); });
+  });
+}
+
+Network::Transfer Network::transfer(core::NodeId src, core::NodeId dst,
+                                    std::int64_t bytes, StreamKey stream) {
+  return Transfer(*this, src, dst, bytes, stream);
 }
 
 int Network::hop_count(core::NodeId src, core::NodeId dst) const {

@@ -44,23 +44,76 @@ class Network {
   sim::TimeNs send(core::NodeId src, core::NodeId dst, std::int64_t bytes,
                    StreamKey stream);
 
-  /// send() plus scheduling `on_arrival` at the arrival time.
+  /// send() with an explicit start time instead of engine().now(). The
+  /// sharded delivery path records sends during the parallel phase and
+  /// replays them against the shared link state between windows, using
+  /// the sender's timestamp at the moment of the call.
+  sim::TimeNs send_at(sim::TimeNs start, core::NodeId src, core::NodeId dst,
+                      std::int64_t bytes, StreamKey stream);
+
+  /// send() plus scheduling `on_arrival` at the arrival time (on the
+  /// destination node's shard when sharding is enabled).
   void deliver(core::NodeId src, core::NodeId dst, std::int64_t bytes,
                StreamKey stream, sim::InlineFn on_arrival);
 
-  /// Awaitable form: suspends the calling coroutine until arrival.
-  [[nodiscard]] sim::Sleep transfer(core::NodeId src, core::NodeId dst,
-                                    std::int64_t bytes, StreamKey stream);
+  /// deliver() with `extra_delay` added on top of the network arrival
+  /// time (fault-injected delivery delay).
+  void deliver_delayed(core::NodeId src, core::NodeId dst,
+                       std::int64_t bytes, StreamKey stream,
+                       sim::TimeNs extra_delay, sim::InlineFn on_arrival);
+
+  /// deliver() plus a sender-side completion: `at_src` runs on the
+  /// *calling* node at the same arrival time (one-sided put semantics —
+  /// the sender learns local completion without a round trip). Both
+  /// callbacks land at the exact arrival time on their own nodes.
+  void deliver_notify(core::NodeId src, core::NodeId dst,
+                      std::int64_t bytes, StreamKey stream,
+                      sim::InlineFn at_dst, sim::InlineFn at_src);
+
+  /// Awaitable message transfer: suspends the calling coroutine until
+  /// arrival, resuming it on the node that awaited (its home shard).
+  /// In legacy mode link capacity is reserved at construction, exactly
+  /// like the historical `sim::Sleep`-returning transfer(); in sharded
+  /// mode reservation happens in the serial phase in (time, stamp)
+  /// order.
+  class [[nodiscard]] Transfer {
+   public:
+    Transfer(Network& net, core::NodeId src, core::NodeId dst,
+             std::int64_t bytes, StreamKey stream);
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+
+   private:
+    Network* net_;
+    core::NodeId src_;
+    core::NodeId dst_;
+    std::int64_t bytes_;
+    StreamKey stream_;
+    sim::TimeNs legacy_delay_ = 0;
+  };
+  [[nodiscard]] Transfer transfer(core::NodeId src, core::NodeId dst,
+                                  std::int64_t bytes, StreamKey stream);
+
+  /// Route cross-shard deliveries through `sharded`'s serial phase and
+  /// destination-node scheduling. Must be set before any traffic flows.
+  void enable_sharding(sim::ShardedEngine* sharded) { sharded_ = sharded; }
+  [[nodiscard]] sim::ShardedEngine* sharded() const { return sharded_; }
 
   /// Stream-table misses that paid the BEER penalty so far.
   [[nodiscard]] std::uint64_t stream_misses() const {
     return stream_misses_;
   }
 
-  /// (src,dst) pairs whose dimension-order link list has been memoized
-  /// (0 when the network is too large for the route cache).
+  /// Route memoizations performed (direct-mapped slot fills, including
+  /// collision rebuilds).
   [[nodiscard]] std::uint64_t routes_cached() const {
     return routes_cached_;
+  }
+
+  /// Slots in the direct-mapped route cache (bounded; see RouteSlot).
+  [[nodiscard]] std::size_t route_cache_slots() const {
+    return route_cache_.size();
   }
 
   /// Torus hop distance between the slots hosting two nodes.
@@ -112,17 +165,25 @@ class Network {
   // so the link list of a (src,dst) node pair never changes; caching it
   // replaces the per-send coordinate walk (two slot_coords
   // de-linearizations plus per-dim ring deltas) with a flat array scan
-  // in the exact same link order. Enabled only while the N^2 entry table
-  // stays small (kRouteCacheMaxNodes).
-  struct RouteEntry {
-    std::uint32_t off = 0;   ///< start index into route_links_
-    std::uint16_t len = 0;   ///< links on the route
-    bool built = false;
+  // in the exact same link order.
+  //
+  // The cache is a direct-mapped, bounded table rather than a dense N^2
+  // array: at 262k nodes a dense table would need 64G entries, while
+  // real traffic touches a tiny, heavily skewed subset of pairs
+  // (hot-spot figures concentrate on one victim; neighbor exchanges on
+  // O(N) pairs). Slots scale with the node count but are hard-capped;
+  // a colliding pair simply recomputes the route and overwrites the
+  // slot, reusing the slot's link storage, so memory stays bounded at
+  // every scale and hits stay allocation-free.
+  struct RouteSlot {
+    std::uint64_t tag = 0;  ///< 0 = empty, else ((src << 32) | dst) + 1
+    std::vector<std::int32_t> links;
   };
-  static constexpr std::int64_t kRouteCacheMaxNodes = 512;
+  static constexpr std::size_t kRouteCacheMinSlots = 1024;
+  static constexpr std::size_t kRouteCacheMaxSlots = 131072;
 
-  /// Memoize src->dst (inter-node pairs only) and return its entry.
-  const RouteEntry& cache_route(core::NodeId src, core::NodeId dst);
+  /// Memoize src->dst (inter-node pairs only) and return its slot.
+  const RouteSlot& cache_route(core::NodeId src, core::NodeId dst);
 
   struct EdgeFault {
     core::NodeId src = 0;
@@ -134,14 +195,14 @@ class Network {
                                             core::NodeId dst) const;
 
   sim::Engine* eng_;
+  sim::ShardedEngine* sharded_ = nullptr;
   NetworkParams params_;
   TorusGeometry torus_;
   std::vector<EdgeFault> edge_faults_;  ///< tiny; linear scan
   std::vector<std::int64_t> slot_of_node_;
   std::vector<sim::TimeNs> link_free_;
   std::vector<StreamLru> streams_;
-  std::vector<RouteEntry> route_cache_;   ///< N^2; empty => disabled
-  std::vector<std::int32_t> route_links_; ///< concatenated cached links
+  std::vector<RouteSlot> route_cache_;  ///< direct-mapped, power-of-two
   std::uint64_t routes_cached_ = 0;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_total_ = 0;

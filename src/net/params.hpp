@@ -44,6 +44,16 @@ struct NetworkParams {
   /// not from a handful of neighbor CHTs (MFCG/CFCG).
   int stream_table_size = 128;
   sim::TimeNs stream_miss_penalty = sim::us(6.0);
+
+  /// Minimum latency of any inter-node message under these parameters:
+  /// fixed software overheads plus one injection and one route hop, with
+  /// serialization, queueing, ejection cost, and faults only ever adding
+  /// time. This is the sharded engine's lookahead — no event executed in
+  /// a window [T, T + L) can make another node observable before T + L.
+  [[nodiscard]] sim::TimeNs min_remote_latency() const {
+    return send_overhead + 2 * hop_latency + nic_message_overhead +
+           recv_overhead;
+  }
 };
 
 /// How simulated nodes are laid out on the physical torus.

@@ -38,6 +38,21 @@
 
 namespace vtopo::sim {
 
+/// Routing seam for the sharded engine (sim/sharded_engine.hpp). When a
+/// hook is installed the Engine becomes a *facade*: schedules are
+/// forwarded to the hook (which owns the real per-shard event
+/// structures) and the Engine's own ring/heap stay empty. A null hook —
+/// the default — leaves every code path bit-identical to the historical
+/// single-threaded engine.
+class ShardHook {
+ public:
+  virtual ~ShardHook() = default;
+  /// Schedule on the simulated node currently executing (TLS context).
+  virtual void hook_schedule(TimeNs t, InlineFn fn) = 0;
+  /// Schedule on an explicit simulated node (possibly on another shard).
+  virtual void hook_schedule_on_node(int node, TimeNs t, InlineFn fn) = 0;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -49,6 +64,10 @@ class Engine {
 
   /// Schedule `fn` at absolute simulated time `t` (>= now()).
   void schedule_at(TimeNs t, InlineFn fn) {
+    if (hook_ != nullptr) {
+      hook_->hook_schedule(t, std::move(fn));
+      return;
+    }
     assert(t >= now_ && "cannot schedule into the simulated past");
     if (t == now_) {
       ring_push(std::move(fn));
@@ -61,6 +80,32 @@ class Engine {
   /// Schedule `fn` after a relative delay (>= 0).
   void schedule_after(TimeNs delay, InlineFn fn) {
     schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` on simulated node `node` at time `t`. In the legacy
+  /// single-threaded engine every node shares this queue, so this is
+  /// schedule_at; under a shard hook it routes to the shard owning
+  /// `node` (clamped to the current window boundary when crossing
+  /// shards — see sharded_engine.hpp).
+  void schedule_on_node(int node, TimeNs t, InlineFn fn) {
+    if (hook_ != nullptr) {
+      hook_->hook_schedule_on_node(node, t, std::move(fn));
+      return;
+    }
+    schedule_at(t, std::move(fn));
+  }
+
+  /// Install (or clear) the shard routing hook. Sharded-engine internal.
+  void install_hook(ShardHook* hook) { hook_ = hook; }
+  [[nodiscard]] bool hooked() const { return hook_ != nullptr; }
+
+  /// Force the clock. Sharded-engine internal: facades mirror their
+  /// shard's window clock instead of advancing via step().
+  void set_now(TimeNs t) { now_ = t; }
+
+  /// Slot-pool high-water mark (memory accounting).
+  [[nodiscard]] std::size_t heap_slot_capacity() const {
+    return slots_.size();
   }
 
   /// Run until the event queue drains. Returns the final simulated time.
@@ -202,6 +247,7 @@ class Engine {
     fn();
   }
 
+  ShardHook* hook_ = nullptr;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "sim/sharded_engine.hpp"
+
 namespace vtopo::sim {
 
 const char* to_string(FaultKind k) {
@@ -263,7 +265,48 @@ void FaultInjector::arm(Handler handler) {
   }
 }
 
+void FaultInjector::shard_streams(int num_nodes) {
+  node_streams_.resize(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    node_streams_[static_cast<std::size_t>(n)].rng = Rng(derive_seed(
+        plan_.seed, 0xfa'418 + static_cast<std::uint64_t>(n)));
+  }
+}
+
+std::uint64_t FaultInjector::dropped() const {
+  std::uint64_t n = dropped_;
+  for (const NodeStream& s : node_streams_) n += s.dropped;
+  return n;
+}
+
+std::uint64_t FaultInjector::duplicated() const {
+  std::uint64_t n = duplicated_;
+  for (const NodeStream& s : node_streams_) n += s.duplicated;
+  return n;
+}
+
+std::uint64_t FaultInjector::delayed() const {
+  std::uint64_t n = delayed_;
+  for (const NodeStream& s : node_streams_) n += s.delayed;
+  return n;
+}
+
 FaultInjector::MsgFault FaultInjector::sample_message(MsgClass cls) {
+  Rng* rng = &rng_;
+  std::uint64_t* dropped = &dropped_;
+  std::uint64_t* duplicated = &duplicated_;
+  std::uint64_t* delayed = &delayed_;
+  if (!node_streams_.empty()) {
+    const int node = current_node();
+    if (node >= 0 &&
+        node < static_cast<int>(node_streams_.size())) {
+      NodeStream& s = node_streams_[static_cast<std::size_t>(node)];
+      rng = &s.rng;
+      dropped = &s.dropped;
+      duplicated = &s.duplicated;
+      delayed = &s.delayed;
+    }
+  }
   MsgFault f;
   double drop_rate = 0.0;
   switch (cls) {
@@ -277,21 +320,21 @@ FaultInjector::MsgFault FaultInjector::sample_message(MsgClass cls) {
       drop_rate = plan_.drop_responses;
       break;
   }
-  if (drop_rate > 0 && rng_.chance(drop_rate)) {
+  if (drop_rate > 0 && rng->chance(drop_rate)) {
     f.drop = true;
-    ++dropped_;
+    ++*dropped;
     return f;
   }
   if (cls == MsgClass::kRequest && plan_.duplicate_rate > 0 &&
-      rng_.chance(plan_.duplicate_rate)) {
+      rng->chance(plan_.duplicate_rate)) {
     f.duplicate = true;
-    ++duplicated_;
+    ++*duplicated;
   }
-  if (plan_.delay_rate > 0 && rng_.chance(plan_.delay_rate)) {
-    f.delay = 1 + static_cast<TimeNs>(rng_.uniform(
+  if (plan_.delay_rate > 0 && rng->chance(plan_.delay_rate)) {
+    f.delay = 1 + static_cast<TimeNs>(rng->uniform(
                       static_cast<std::uint64_t>(
                           std::max<TimeNs>(plan_.delay_max, 1))));
-    ++delayed_;
+    ++*delayed;
   }
   return f;
 }

@@ -138,18 +138,39 @@ class FaultInjector {
 
   /// Sample the fate of one eligible message (consumes RNG draws; call
   /// only while the plan is armed and only for fault-eligible traffic).
+  /// With sharded streams (shard_streams()) the draw comes from the
+  /// stream of the simulated node currently executing.
   [[nodiscard]] MsgFault sample_message(MsgClass cls);
 
-  // Cumulative sampling outcomes (diagnostics / benches).
-  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
-  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
-  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+  /// Switch to one independent RNG stream (and counter set) per
+  /// simulated node, each derived from (plan seed, node). Under the
+  /// sharded engine a single stream would be drawn from concurrently
+  /// and in host-dependent order; per-node streams make every draw a
+  /// function of the drawing node's own deterministic history, so the
+  /// sampled fault sequence is byte-identical at every shard count.
+  void shard_streams(int num_nodes);
+
+  // Cumulative sampling outcomes (diagnostics / benches). Sum across
+  // node streams; call from the main thread only.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t duplicated() const;
+  [[nodiscard]] std::uint64_t delayed() const;
 
  private:
+  /// Per-node sampling stream, cache-line separated: nodes on different
+  /// shards draw concurrently during the parallel phase.
+  struct alignas(64) NodeStream {
+    Rng rng{0};
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayed = 0;
+  };
+
   Engine* eng_;
   FaultPlan plan_;
   Rng rng_;
   Handler handler_;
+  std::vector<NodeStream> node_streams_;  ///< empty in legacy mode
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
   std::uint64_t delayed_ = 0;

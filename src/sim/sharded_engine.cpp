@@ -1,0 +1,460 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vtopo::sim {
+
+namespace {
+
+thread_local ShardContext g_shard_context;
+
+[[nodiscard]] bool earlier_key(TimeNs at, std::uint64_t as, TimeNs bt,
+                               std::uint64_t bs) {
+  if (at != bt) return at < bt;
+  return as < bs;
+}
+
+}  // namespace
+
+ShardContext& shard_context() noexcept { return g_shard_context; }
+
+NodeScope::NodeScope(ShardedEngine& eng, int node) noexcept
+    : saved_(shard_context()) {
+  shard_context() = ShardContext{&eng, -1, node, false};
+}
+
+NodeScope::~NodeScope() { shard_context() = saved_; }
+
+ShardedEngine::ShardedEngine(int num_nodes, int num_shards, TimeNs lookahead,
+                             ThreadMode mode)
+    : num_nodes_(num_nodes),
+      num_shards_(std::clamp(num_shards, 1, std::max(num_nodes, 1))),
+      lookahead_(std::max<TimeNs>(lookahead, 1)),
+      use_threads_(num_shards_ > 1 &&
+                   (mode == ThreadMode::kThreads ||
+                    (mode == ThreadMode::kAuto &&
+                     std::thread::hardware_concurrency() >= 2))),
+      cores_(static_cast<std::size_t>(num_shards_)),
+      cseq_(static_cast<std::size_t>(num_nodes_) + 1, 0),
+      start_barrier_(num_shards_),
+      done_barrier_(num_shards_) {
+  assert(num_nodes_ >= 1);
+  for (int s = 0; s < num_shards_; ++s) {
+    Core& c = cores_[static_cast<std::size_t>(s)];
+    // First node whose shard_of() maps to s: smallest n with
+    // n * S / N == s, i.e. ceil(s * N / S).
+    const std::int64_t n64 = num_nodes_;
+    c.first_node = static_cast<std::int32_t>((s * n64 + num_shards_ - 1) /
+                                             num_shards_);
+    const std::int32_t next = static_cast<std::int32_t>(
+        ((s + 1) * n64 + num_shards_ - 1) / num_shards_);
+    c.node_count = next - c.first_node;
+    c.facade.install_hook(this);
+    c.outbox.resize(static_cast<std::size_t>(num_shards_));
+  }
+  gcore_.facade.install_hook(this);
+  gcore_.outbox.resize(static_cast<std::size_t>(num_shards_));
+  // The constructing (main) thread operates in global context until a
+  // NodeScope or window execution says otherwise.
+  shard_context() = ShardContext{this, -1, num_nodes_, false};
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (shard_context().eng == this) shard_context() = ShardContext{};
+}
+
+Engine& ShardedEngine::context_engine() {
+  const ShardContext& ctx = shard_context();
+  if (ctx.shard >= 0) {
+    return cores_[static_cast<std::size_t>(ctx.shard)].facade;
+  }
+  // NodeScope / serial-post contexts resolve to the facade of the
+  // node's owning shard, so components constructed (or run) there
+  // capture an engine whose clock tracks that shard's window.
+  if (ctx.node >= 0 && ctx.node < num_nodes_) {
+    return engine_for_node(ctx.node);
+  }
+  return gcore_.facade;
+}
+
+TimeNs ShardedEngine::context_now() { return context_engine().now(); }
+
+void ShardedEngine::core_heap_insert(Core& c, TimeNs t, std::uint64_t stamp,
+                                     int node, InlineFn fn) {
+  std::uint32_t slot;
+  if (!c.free_slots.empty()) {
+    slot = c.free_slots.back();
+    c.free_slots.pop_back();
+    c.slots[slot].fn = std::move(fn);
+    c.slots[slot].node = static_cast<std::int32_t>(node);
+  } else {
+    assert(c.slots.size() < UINT32_MAX);
+    c.slots.push_back(Entry{std::move(fn), static_cast<std::int32_t>(node)});
+    slot = static_cast<std::uint32_t>(c.slots.size() - 1);
+  }
+  c.heap.push_back(HKey{t, stamp, slot});
+  // 4-ary sift-up over (time, stamp) keys.
+  std::size_t i = c.heap.size() - 1;
+  const HKey k = c.heap[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    const HKey& p = c.heap[parent];
+    if (!earlier_key(k.time, k.stamp, p.time, p.stamp)) break;
+    c.heap[i] = c.heap[parent];
+    i = parent;
+  }
+  c.heap[i] = k;
+  if (c.heap.size() > c.heap_peak) c.heap_peak = c.heap.size();
+}
+
+void ShardedEngine::core_ring_push(Core& c, std::uint64_t stamp, int node,
+                                   InlineFn fn) {
+  // The ring is kept stamp-ascending so the pop rule can treat its front
+  // as the ring minimum. Same-time pushes arrive in execution order,
+  // which is stamp order (see header), so the fallback almost never
+  // fires — but if an out-of-order stamp does appear, the heap gives the
+  // same total order at ring speed cost only for that event.
+  if (c.ring_count > 0) {
+    const std::size_t mask = c.ring.size() - 1;
+    const RingEv& last = c.ring[(c.ring_head + c.ring_count - 1) & mask];
+    if (stamp < last.stamp) {
+      core_heap_insert(c, c.cur, stamp, node, std::move(fn));
+      return;
+    }
+  }
+  if (c.ring_count == c.ring.size()) {
+    const std::size_t old_cap = c.ring.size();
+    std::vector<RingEv> grown(old_cap == 0 ? 16 : old_cap * 2);
+    for (std::size_t i = 0; i < c.ring_count; ++i) {
+      grown[i] = std::move(c.ring[(c.ring_head + i) & (old_cap - 1)]);
+    }
+    c.ring = std::move(grown);
+    c.ring_head = 0;
+  }
+  const std::size_t mask = c.ring.size() - 1;
+  c.ring[(c.ring_head + c.ring_count) & mask] =
+      RingEv{stamp, static_cast<std::int32_t>(node), std::move(fn)};
+  ++c.ring_count;
+}
+
+TimeNs ShardedEngine::core_next_time(const Core& c) {
+  if (c.ring_count > 0) return c.cur;
+  if (c.heap.empty()) return kInfTime;
+  return c.heap.front().time;
+}
+
+void ShardedEngine::run_core_window(Core& c, TimeNs end) {
+  ShardContext& ctx = shard_context();
+  for (;;) {
+    bool use_ring = false;
+    if (c.ring_count > 0) {
+      if (c.heap.empty()) {
+        use_ring = true;
+      } else {
+        const HKey& top = c.heap.front();
+        use_ring = top.time > c.cur ||
+                   (top.time == c.cur &&
+                    c.ring[c.ring_head].stamp < top.stamp);
+      }
+    }
+    if (use_ring) {
+      RingEv ev = std::move(c.ring[c.ring_head]);
+      c.ring_head = (c.ring_head + 1) & (c.ring.size() - 1);
+      --c.ring_count;
+      c.facade.set_now(c.cur);
+      ctx.node = ev.node;
+      ++c.executed;
+      InlineFn fn = std::move(ev.fn);
+      fn();
+      continue;
+    }
+    if (c.heap.empty()) break;
+    const HKey top = c.heap.front();
+    if (top.time >= end) break;
+    const HKey tail = c.heap.back();
+    c.heap.pop_back();
+    if (!c.heap.empty()) {
+      // 4-ary sift-down of the old tail from the root.
+      std::size_t i = 0;
+      const std::size_t n = c.heap.size();
+      for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = first + 4 < n ? first + 4 : n;
+        for (std::size_t ch = first + 1; ch < last; ++ch) {
+          if (earlier_key(c.heap[ch].time, c.heap[ch].stamp,
+                          c.heap[best].time, c.heap[best].stamp)) {
+            best = ch;
+          }
+        }
+        if (!earlier_key(c.heap[best].time, c.heap[best].stamp,
+                         tail.time, tail.stamp)) {
+          break;
+        }
+        c.heap[i] = c.heap[best];
+        i = best;
+      }
+      c.heap[i] = tail;
+    }
+    c.cur = top.time;
+    c.facade.set_now(top.time);
+    Entry& slot = c.slots[top.slot];
+    ctx.node = slot.node;
+    InlineFn fn = std::move(slot.fn);
+    c.free_slots.push_back(top.slot);
+    ++c.executed;
+    fn();
+  }
+  assert(c.ring_count == 0 && "same-time ring must drain within a window");
+}
+
+void ShardedEngine::set_all_now(TimeNs t) {
+  for (Core& c : cores_) c.facade.set_now(t);
+  gcore_.facade.set_now(t);
+}
+
+void ShardedEngine::hook_schedule(TimeNs t, InlineFn fn) {
+  const int node = shard_context().node;
+  assert(node >= 0 && "facade schedule outside any node/global context");
+  hook_schedule_on_node(node, t, std::move(fn));
+}
+
+void ShardedEngine::hook_schedule_on_node(int node, TimeNs t, InlineFn fn) {
+  ShardContext& ctx = shard_context();
+  assert(ctx.eng == this || ctx.eng == nullptr);
+  const int creator = ctx.node >= 0 ? ctx.node : num_nodes_;
+  const std::uint64_t stamp = next_stamp(creator);
+  const int dst_shard = shard_of(node);
+  if (ctx.parallel) {
+    assert(dst_shard >= 0 && "global-context schedule from parallel phase");
+    Core& self = cores_[static_cast<std::size_t>(ctx.shard)];
+    // Same-node schedules, and cross-node schedules at or beyond the
+    // window boundary (which every network-routed effect satisfies, by
+    // the lookahead), insert at their exact time. A cross-NODE schedule
+    // below the boundary — a zero-delay completion hand-off, say — must
+    // behave identically whether or not the two nodes happen to share a
+    // shard, so it always goes through the mailbox quantized to the
+    // boundary: the window grid depends only on (T, Tg, L), making the
+    // quantization shard-count-invariant.
+    if (node == ctx.node ||
+        (dst_shard == ctx.shard && t >= window_end_)) {
+      assert(t >= self.facade.now());
+      if (t == self.facade.now()) {
+        core_ring_push(self, stamp, node, std::move(fn));
+      } else {
+        core_heap_insert(self, t, stamp, node, std::move(fn));
+      }
+      return;
+    }
+    const TimeNs tc = t < window_end_ ? window_end_ : t;
+    auto& box = self.outbox[static_cast<std::size_t>(dst_shard)];
+    box.push_back(Mail{ShardKey{tc, stamp}, static_cast<std::int32_t>(node),
+                       std::move(fn)});
+    return;
+  }
+  // Serial / setup / global context: direct insert, main thread.
+  Core& dst = dst_shard < 0 ? gcore_ : cores_[static_cast<std::size_t>(dst_shard)];
+  const TimeNs now = dst.facade.now();
+  core_heap_insert(dst, t < now ? now : t, stamp, node, std::move(fn));
+}
+
+void ShardedEngine::schedule_global_at(TimeNs t, InlineFn fn) {
+  ShardContext& ctx = shard_context();
+  assert(!ctx.parallel && "global events must be scheduled outside windows");
+  const int creator = ctx.node >= 0 ? ctx.node : num_nodes_;
+  const TimeNs now = gcore_.facade.now();
+  core_heap_insert(gcore_, t < now ? now : t, next_stamp(creator),
+                   num_nodes_, std::move(fn));
+}
+
+void ShardedEngine::post_serial(InlineFn fn) {
+  ShardContext& ctx = shard_context();
+  if (!ctx.parallel) {
+    // Setup, serial, and global contexts are already exclusive and in
+    // key order; running now *is* the merged order.
+    fn();
+    return;
+  }
+  Core& c = cores_[static_cast<std::size_t>(ctx.shard)];
+  c.posts.push_back(SerialPost{ShardKey{c.cur, next_stamp(ctx.node)},
+                               static_cast<std::int32_t>(ctx.node),
+                               std::move(fn)});
+  if (c.posts.size() > c.posts_peak) c.posts_peak = c.posts.size();
+}
+
+void ShardedEngine::apply_serial_posts() {
+  post_scratch_.clear();
+  for (Core& c : cores_) {
+    for (SerialPost& p : c.posts) post_scratch_.push_back(std::move(p));
+    c.posts.clear();
+  }
+  if (post_scratch_.empty()) return;
+  std::sort(post_scratch_.begin(), post_scratch_.end(),
+            [](const SerialPost& a, const SerialPost& b) {
+              return a.key < b.key;
+            });
+  const ShardContext saved = shard_context();
+  for (SerialPost& p : post_scratch_) {
+    shard_context() = ShardContext{this, -1, p.node, false};
+    InlineFn fn = std::move(p.fn);
+    fn();
+  }
+  shard_context() = saved;
+  post_scratch_.clear();
+}
+
+void ShardedEngine::drain_mailboxes() {
+  // The destination heap orders by (time, stamp), so entries can be
+  // inserted in any order; the merge the protocol requires is exactly
+  // the heap's comparator.
+  for (int dstidx = 0; dstidx < num_shards_; ++dstidx) {
+    Core& dst = cores_[static_cast<std::size_t>(dstidx)];
+    std::size_t drained = 0;
+    for (Core& src : cores_) {
+      auto& box = src.outbox[static_cast<std::size_t>(dstidx)];
+      drained += box.size();
+      for (Mail& m : box) {
+        core_heap_insert(dst, m.key.time, m.key.stamp, m.node,
+                         std::move(m.fn));
+      }
+      box.clear();
+    }
+    if (drained > dst.mailbox_peak) dst.mailbox_peak = drained;
+  }
+}
+
+void ShardedEngine::worker_main(int shard) {
+  shard_context() = ShardContext{this, shard, -1, false};
+  Core& c = cores_[static_cast<std::size_t>(shard)];
+  for (;;) {
+    start_barrier_.arrive_and_wait();
+    if (stop_.load(std::memory_order_acquire)) break;
+    shard_context().parallel = true;
+    run_core_window(c, window_end_);
+    shard_context().parallel = false;
+    shard_context().node = -1;
+    done_barrier_.arrive_and_wait();
+  }
+  shard_context() = ShardContext{};
+}
+
+bool ShardedEngine::drive(TimeNs deadline) {
+  assert(!shard_context().parallel);
+  if (use_threads_ && threads_.empty()) {
+    threads_.reserve(static_cast<std::size_t>(num_shards_ - 1));
+    for (int s = 1; s < num_shards_; ++s) {
+      threads_.emplace_back([this, s] { worker_main(s); });
+    }
+  }
+  for (;;) {
+    TimeNs tn = kInfTime;
+    for (const Core& c : cores_) {
+      const TimeNs t = core_next_time(c);
+      if (t < tn) tn = t;
+    }
+    const TimeNs tg = core_next_time(gcore_);
+    if (tn == kInfTime && tg == kInfTime) return true;
+    if (std::min(tn, tg) > deadline) return false;
+    if (tg <= tn) {
+      // Global events run serially, alone, at exactly their timestamp.
+      set_all_now(tg);
+      gcore_.cur = tg;
+      const ShardContext saved = shard_context();
+      shard_context() = ShardContext{this, -1, num_nodes_, false};
+      run_core_window(gcore_, tg + 1);
+      shard_context() = saved;
+      continue;
+    }
+    TimeNs e = tn + lookahead_;
+    if (tg != kInfTime && tg < e) e = tg;
+    if (deadline != kInfTime && deadline + 1 < e) e = deadline + 1;
+    window_end_ = e;
+    const ShardContext saved = shard_context();
+    if (!use_threads_) {
+      // Host-serial multiplexing: same window grid, same per-shard
+      // execution order, so byte-identical to the threaded run.
+      for (int s = 0; s < num_shards_; ++s) {
+        shard_context() = ShardContext{this, s, -1, true};
+        run_core_window(cores_[static_cast<std::size_t>(s)], e);
+      }
+    } else {
+      start_barrier_.arrive_and_wait();
+      shard_context() = ShardContext{this, 0, -1, true};
+      run_core_window(cores_[0], e);
+      shard_context().parallel = false;
+      done_barrier_.arrive_and_wait();
+    }
+    shard_context() = saved;
+    set_all_now(e);
+    apply_serial_posts();
+    drain_mailboxes();
+  }
+}
+
+void ShardedEngine::join_workers() {
+  if (threads_.empty()) return;
+  stop_.store(true, std::memory_order_release);
+  start_barrier_.arrive_and_wait();
+  for (std::thread& th : threads_) th.join();
+  threads_.clear();
+  stop_.store(false, std::memory_order_relaxed);
+}
+
+TimeNs ShardedEngine::run() {
+  drive(kInfTime);
+  join_workers();
+  // Report the time of the last executed event (not the final window
+  // boundary), matching the legacy engine's notion of "final time".
+  TimeNs last = gcore_.cur;
+  for (const Core& c : cores_) last = std::max(last, c.cur);
+  set_all_now(last);
+  return last;
+}
+
+bool ShardedEngine::run_until(TimeNs deadline) {
+  const bool drained = drive(deadline);
+  join_workers();
+  if (drained) {
+    TimeNs last = gcore_.cur;
+    for (const Core& c : cores_) last = std::max(last, c.cur);
+    set_all_now(last);
+  } else {
+    // Every pending event is strictly past the deadline (windows were
+    // capped at deadline + 1), so parking the clocks there is monotonic.
+    set_all_now(deadline);
+  }
+  return drained;
+}
+
+bool ShardedEngine::idle() const {
+  auto empty = [](const Core& c) {
+    return c.ring_count == 0 && c.heap.empty();
+  };
+  if (!empty(gcore_)) return false;
+  for (const Core& c : cores_) {
+    if (!empty(c)) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardedEngine::events_executed() const {
+  std::uint64_t n = gcore_.executed;
+  for (const Core& c : cores_) n += c.executed;
+  return n;
+}
+
+ShardedEngine::ShardMem ShardedEngine::shard_mem(int shard) const {
+  const Core& c = cores_[static_cast<std::size_t>(shard)];
+  ShardMem m;
+  m.heap_slots = c.slots.size();
+  m.heap_peak = c.heap_peak;
+  m.ring_capacity = c.ring.size();
+  m.mailbox_peak = c.mailbox_peak;
+  m.serial_posts_peak = c.posts_peak;
+  m.executed = c.executed;
+  return m;
+}
+
+}  // namespace vtopo::sim

@@ -1,0 +1,325 @@
+// Sharded deterministic parallel event engine (conservative PDES).
+//
+// Partitions the simulated node space into contiguous shards, each with
+// its own 4-ary event heap, same-time FIFO ring, and slot pool, driven
+// by one host thread per shard. Shards synchronize with conservative
+// time windows: the window [T, E) has E = min(T + L, Tg) where T is the
+// globally earliest pending event, L is the lookahead (the minimum
+// cross-node network latency, so no event executed inside the window
+// can affect another shard before E), and Tg is the next global-context
+// event (reconfiguration, fault injection, barrier fulfilment), which
+// always runs serially between windows.
+//
+// Determinism contract: output is byte-identical for every shard count,
+// including 1. Three mechanisms carry it:
+//
+//  * Every event has a key (time, stamp) with
+//    stamp = creator_node << kSeqBits | per-node sequence counter.
+//    Per-node counters are only ever advanced by the node's owning
+//    shard, so stamps are unique and assigned identically at any shard
+//    count as long as each node executes its events in key order —
+//    which each shard guarantees by popping in key order.
+//  * Cross-shard effects never execute in the parallel phase. They are
+//    either (a) serial posts — closures recorded with the creator's key
+//    and run between windows in merged key order (used for shared-state
+//    mutation such as network link occupancy), or (b) cross-shard
+//    schedules — routed through per-(src,dst)-shard mailboxes, drained
+//    between windows, sorted by key, and inserted into the target heap.
+//    Cross-shard schedule times are clamped to the window boundary E;
+//    because the window grid depends only on (T, Tg, L), the clamp is
+//    itself shard-count-invariant.
+//  * Global-context events run on the main thread between windows, in
+//    key order, with every shard quiescent.
+//
+// The per-shard `Engine` facades keep the legacy single-threaded API:
+// components constructed under a NodeScope capture their shard's facade
+// and schedule through it; a ShardHook routes those calls into the
+// sharded structures using the thread-local execution context.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::sim {
+
+class ShardedEngine;
+
+/// Thread-local execution context: which sharded engine (if any) the
+/// current thread is working for, which shard, and which simulated node
+/// the currently executing event belongs to.
+struct ShardContext {
+  ShardedEngine* eng = nullptr;
+  int shard = -1;  ///< -1 = main / serial / setup / global context
+  int node = -1;   ///< simulated node; engine num_nodes() = global; -1 = legacy
+  bool parallel = false;  ///< true only inside a worker's window execution
+};
+
+[[nodiscard]] ShardContext& shard_context() noexcept;
+
+/// Simulated node of the currently executing event, or -1 outside any
+/// sharded engine (legacy single-threaded runs).
+[[nodiscard]] inline int current_node() noexcept {
+  return shard_context().node;
+}
+
+/// Attribute main-thread setup/teardown work (component construction,
+/// initial coroutine segments) to a simulated node, so the events and
+/// sequence stamps it creates land on the node's owning shard exactly
+/// as they would had the node created them itself.
+class NodeScope {
+ public:
+  NodeScope(ShardedEngine& eng, int node) noexcept;
+  ~NodeScope();
+  NodeScope(const NodeScope&) = delete;
+  NodeScope& operator=(const NodeScope&) = delete;
+
+ private:
+  ShardContext saved_;
+};
+
+/// Total order over events: (time, stamp) lexicographic; stamps are
+/// globally unique so the order is strict.
+struct ShardKey {
+  TimeNs time = 0;
+  std::uint64_t stamp = 0;
+  friend bool operator<(const ShardKey& a, const ShardKey& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.stamp < b.stamp;
+  }
+};
+
+/// Sense-reversing spin barrier; acquire/release on every transition so
+/// the window protocol is a full happens-before chain (TSan-clean).
+/// Spins briefly then yields, so oversubscribed hosts (shards > cores)
+/// degrade to scheduler hand-offs instead of burning whole timeslices.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+  void arrive_and_wait() {
+    const std::uint32_t gen = gen_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) == parties_ - 1) {
+      count_.store(0, std::memory_order_relaxed);
+      gen_.store(gen + 1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (gen_.load(std::memory_order_acquire) == gen) {
+        if (++spins > 256) std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> count_{0};
+  std::atomic<std::uint32_t> gen_{0};
+};
+
+/// How the parallel phase is driven. Output is identical in all modes —
+/// the window grid and every event order depend only on (shards,
+/// lookahead, program) — so this is purely a host-execution choice.
+enum class ThreadMode {
+  kAuto,    ///< threads when the host has >= 2 cores, else serialized
+  kThreads, ///< always one host thread per shard (TSan battery, tests)
+  kSerial,  ///< always multiplex shards on the calling thread
+};
+
+class ShardedEngine final : public ShardHook {
+ public:
+  /// Low bits of a stamp hold the per-node sequence counter; high bits
+  /// the creator node. 2^24 nodes x 2^40 events per node.
+  static constexpr int kSeqBits = 40;
+  static constexpr TimeNs kInfTime = INT64_MAX;
+
+  /// `lookahead` must be > 0 and no larger than the minimum cross-node
+  /// delivery latency of the model being simulated.
+  ShardedEngine(int num_nodes, int num_shards, TimeNs lookahead,
+                ThreadMode mode = ThreadMode::kAuto);
+  ~ShardedEngine() override;
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] int num_shards() const { return num_shards_; }
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] TimeNs lookahead() const { return lookahead_; }
+  /// Pseudo-node owning global-context events (reconfig, faults,
+  /// barrier fulfilment); sorts after every real node at equal time.
+  [[nodiscard]] int global_node() const { return num_nodes_; }
+
+  [[nodiscard]] int shard_of(int node) const {
+    assert(node >= 0 && node <= num_nodes_);
+    if (node >= num_nodes_) return -1;  // global context
+    return static_cast<int>((static_cast<std::int64_t>(node) * num_shards_) /
+                            num_nodes_);
+  }
+
+  /// Facade engine of the shard owning `node` (global facade for the
+  /// global pseudo-node). Components capture this at construction.
+  [[nodiscard]] Engine& engine_for_node(int node) {
+    const int s = shard_of(node);
+    return s < 0 ? gcore_.facade : cores_[static_cast<std::size_t>(s)].facade;
+  }
+  [[nodiscard]] Engine& shard_engine(int shard) {
+    return cores_[static_cast<std::size_t>(shard)].facade;
+  }
+  [[nodiscard]] Engine& global_engine() { return gcore_.facade; }
+
+  /// Facade of the current TLS context (worker: its shard; main/serial/
+  /// global: the global facade).
+  [[nodiscard]] Engine& context_engine();
+  [[nodiscard]] TimeNs context_now();
+
+  /// Record a closure to run on the main thread between windows, merged
+  /// across shards in (time, stamp) key order. Outside the parallel
+  /// phase (setup, serial, global context) it runs immediately — which
+  /// is the same thing, since those contexts are already serial and in
+  /// key order.
+  void post_serial(InlineFn fn);
+
+  /// Schedule on an explicit node. Worker context: same shard inserts
+  /// locally, cross-shard goes through the mailbox with the time
+  /// clamped to the window boundary. Serial/global/setup context:
+  /// direct insert.
+  void schedule_on_node(int node, TimeNs t, InlineFn fn) {
+    hook_schedule_on_node(node, t, std::move(fn));
+  }
+
+  /// Schedule a global-context event (runs between windows, main
+  /// thread). Callable only outside the parallel phase.
+  void schedule_global_at(TimeNs t, InlineFn fn);
+
+  /// Current window boundary E (valid during parallel + serial phase).
+  [[nodiscard]] TimeNs window_end() const { return window_end_; }
+
+  /// Global clock: the last window boundary reached (== every facade's
+  /// now() between windows).
+  [[nodiscard]] TimeNs now() const { return gcore_.facade.now(); }
+
+  /// Drive windows until every heap (shard + global) drains. Returns
+  /// the final simulated time. Main thread only.
+  TimeNs run();
+
+  /// Drive windows until the heaps drain or simulated time would exceed
+  /// `deadline`. Returns true if everything drained. Windows are capped
+  /// at deadline + 1, so no event past the deadline executes; the cap is
+  /// shard-count-invariant, so determinism is preserved.
+  bool run_until(TimeNs deadline);
+
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+  /// Per-shard memory/high-water accounting (for RuntimeStats and the
+  /// bench per-shard lines).
+  struct ShardMem {
+    std::size_t heap_slots = 0;     ///< slot-pool high-water (events)
+    std::size_t heap_peak = 0;      ///< max simultaneous heap entries
+    std::size_t ring_capacity = 0;  ///< same-time ring capacity
+    std::size_t mailbox_peak = 0;   ///< max entries in one drain
+    std::size_t serial_posts_peak = 0;
+    std::uint64_t executed = 0;
+  };
+  [[nodiscard]] ShardMem shard_mem(int shard) const;
+
+  // ShardHook: facade Engine::schedule_at / schedule_on_node land here.
+  void hook_schedule(TimeNs t, InlineFn fn) override;
+  void hook_schedule_on_node(int node, TimeNs t, InlineFn fn) override;
+
+ private:
+  struct Entry {
+    InlineFn fn;
+    std::int32_t node = -1;
+  };
+  struct HKey {
+    TimeNs time;
+    std::uint64_t stamp;
+    std::uint32_t slot;
+  };
+  struct RingEv {
+    std::uint64_t stamp = 0;
+    std::int32_t node = -1;
+    InlineFn fn;
+  };
+  struct Mail {
+    ShardKey key;
+    std::int32_t node = -1;
+    InlineFn fn;
+  };
+  struct SerialPost {
+    ShardKey key;
+    std::int32_t node = -1;
+    InlineFn fn;
+  };
+
+  /// One shard's event structures. Written by its owning thread during
+  /// the parallel phase and by the main thread between windows; the
+  /// window barriers order the two.
+  struct alignas(64) Core {
+    Engine facade;
+    std::int32_t first_node = 0;
+    std::int32_t node_count = 0;
+    TimeNs cur = 0;  ///< time of the last executed event
+    std::uint64_t executed = 0;
+    std::vector<HKey> heap;
+    std::vector<Entry> slots;
+    std::vector<std::uint32_t> free_slots;
+    std::vector<RingEv> ring;  ///< power-of-two capacity FIFO
+    std::size_t ring_head = 0;
+    std::size_t ring_count = 0;
+    std::vector<std::vector<Mail>> outbox;  ///< one per destination shard
+    std::vector<SerialPost> posts;
+    std::size_t heap_peak = 0;
+    std::size_t mailbox_peak = 0;
+    std::size_t posts_peak = 0;
+  };
+
+  [[nodiscard]] std::uint64_t next_stamp(int node) {
+    assert(node >= 0 && node <= num_nodes_);
+    const std::uint64_t seq = cseq_[static_cast<std::size_t>(node)]++;
+    assert(seq < (std::uint64_t{1} << kSeqBits));
+    return (static_cast<std::uint64_t>(node) << kSeqBits) | seq;
+  }
+
+  [[nodiscard]] Core& core_for_node(int node) {
+    const int s = shard_of(node);
+    return s < 0 ? gcore_ : cores_[static_cast<std::size_t>(s)];
+  }
+
+  static void core_heap_insert(Core& c, TimeNs t, std::uint64_t stamp,
+                               int node, InlineFn fn);
+  void core_ring_push(Core& c, std::uint64_t stamp, int node, InlineFn fn);
+  [[nodiscard]] static TimeNs core_next_time(const Core& c);
+  /// Execute all of `c`'s events with key.time < end (ring merged by
+  /// stamp). The caller's TLS context selects parallel vs serial rules.
+  void run_core_window(Core& c, TimeNs end);
+
+  void set_all_now(TimeNs t);
+  void apply_serial_posts();
+  void drain_mailboxes();
+  void worker_main(int shard);
+  /// Shared loop behind run() / run_until(). Returns true if drained.
+  bool drive(TimeNs deadline);
+  void join_workers();
+
+  const int num_nodes_;
+  const int num_shards_;
+  const TimeNs lookahead_;
+  const bool use_threads_;
+  Core gcore_;  ///< global-context events; its facade is the global engine
+  std::vector<Core> cores_;
+  std::vector<std::uint64_t> cseq_;  ///< per-node sequence counters
+  TimeNs window_end_ = 0;
+  SpinBarrier start_barrier_;
+  SpinBarrier done_barrier_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+  std::vector<SerialPost> post_scratch_;
+  std::vector<Mail> mail_scratch_;
+};
+
+}  // namespace vtopo::sim

@@ -1,6 +1,7 @@
 // Measurement containers used by benches and tests.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -35,6 +36,15 @@ class Series {
  public:
   void add(double x) { samples_.push_back(x); }
   void reserve(std::size_t n) { samples_.reserve(n); }
+  /// Append another series' samples (sharded-tracer fold).
+  void append(const Series& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  /// Sort samples ascending: a canonical order independent of which
+  /// shard recorded which sample, so folded series compare bytewise
+  /// across shard counts.
+  void sort_samples() { std::sort(samples_.begin(), samples_.end()); }
   [[nodiscard]] std::size_t size() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] const std::vector<double>& samples() const {

@@ -25,6 +25,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/frame_pool.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/time.hpp"
 
 namespace vtopo::sim {
@@ -212,13 +213,16 @@ class Future {
       : st_(std::allocate_shared<State>(RecycleAlloc<State>{}, &eng)) {}
 
   /// Fulfil the future. Resumes the waiter (if any) via the event queue at
-  /// the current simulated time. Must be called exactly once.
+  /// the current simulated time. Must be called exactly once. The resume
+  /// lands on the node that created the future (its owner), so under the
+  /// sharded engine a completion observed on another shard routes home
+  /// instead of resuming the waiter on the wrong shard.
   void set(T v) {
     assert(!st_->value.has_value() && "future set twice");
     st_->value.emplace(std::move(v));
     if (st_->waiter) {
       auto st = st_;
-      st_->eng->schedule_after(0, [st] {
+      st_->eng->schedule_on_node(st->owner_node, st->eng->now(), [st] {
         auto h = std::exchange(st->waiter, nullptr);
         h.resume();
       });
@@ -246,8 +250,9 @@ class Future {
 
  private:
   struct State {
-    explicit State(Engine* e) : eng(e) {}
+    explicit State(Engine* e) : eng(e), owner_node(current_node()) {}
     Engine* eng;
+    int owner_node;  ///< -1 in legacy runs: schedule_on_node == schedule_at
     std::optional<T> value;
     std::coroutine_handle<> waiter;
   };

@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "armci/runtime.hpp"
 #include "core/topology.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/task.hpp"
 
 namespace vtopo::work {
@@ -39,6 +41,13 @@ struct ClusterConfig {
   /// plus the self-healing request path. Disarmed/unset plans change
   /// nothing (byte-identical runs).
   std::optional<sim::FaultPlan> faults;
+  /// 0 = legacy single-threaded engine (byte-compatible with the
+  /// original goldens). >= 1 = sharded engine with that many shards;
+  /// sharded output is byte-identical across shard counts (including 1)
+  /// but quantizes cross-node timing to the conservative window grid,
+  /// so it is a distinct golden family from shards == 0.
+  int shards = 0;
+  sim::ThreadMode thread_mode = sim::ThreadMode::kAuto;
 
   [[nodiscard]] std::int64_t num_procs() const {
     return num_nodes * procs_per_node;
@@ -56,9 +65,22 @@ struct ClusterConfig {
     cfg.segment_bytes = segment_bytes;
     cfg.seed = seed;
     cfg.faults = faults;
+    cfg.shards = shards > 0 ? shards : 1;
+    cfg.thread_mode = thread_mode;
     return cfg;
   }
 };
+
+/// Build the runtime this cluster asks for: the caller-owned legacy
+/// engine when shards == 0, the self-hosted sharded engine otherwise.
+/// `eng` is ignored in the sharded case; read time via rt->engine().
+inline std::unique_ptr<armci::Runtime> make_runtime(
+    sim::Engine& eng, const ClusterConfig& cl) {
+  if (cl.shards > 0) {
+    return std::make_unique<armci::Runtime>(cl.runtime_config());
+  }
+  return std::make_unique<armci::Runtime>(eng, cl.runtime_config());
+}
 
 /// Result of one application run.
 struct AppResult {

@@ -91,7 +91,15 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
       }
       st->result_us[static_cast<std::size_t>(p.id())] =
           sim::to_us(eng.now() - t0) / cfg.iterations;
-      st->turn_done[turn] = 1;
+      // Contenders on other shards poll this flag; under the sharded
+      // engine the write must land in the serial phase (workers
+      // quiescent) so the poll is race-free and the flip is pinned to
+      // the window grid — identical at every shard count.
+      if (sim::ShardedEngine* sh = p.runtime().sharded()) {
+        sh->post_serial([st, turn] { st->turn_done[turn] = 1; });
+      } else {
+        st->turn_done[turn] = 1;
+      }
     } else if (contender) {
       while (!st->turn_done[turn]) {
         co_await do_op(p, cfg, st->counter_off, st->region_off, scratch);
@@ -106,7 +114,8 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 ContentionResult run_contention(const ClusterConfig& cluster,
                                 const ContentionConfig& cfg) {
   sim::Engine eng;
-  armci::Runtime rt(eng, cluster.runtime_config());
+  std::unique_ptr<armci::Runtime> rt_owner = make_runtime(eng, cluster);
+  armci::Runtime& rt = *rt_owner;
   arm_reconfigure(rt, cluster);
 
   auto st = std::make_shared<Shared>();
@@ -127,7 +136,7 @@ ContentionResult run_contention(const ClusterConfig& cluster,
   ContentionResult out;
   out.op_time_us = std::move(st->result_us);
   out.stats = rt.stats();
-  out.total_sim_sec = sim::to_sec(eng.now());
+  out.total_sim_sec = sim::to_sec(rt.engine().now());
   return out;
 }
 

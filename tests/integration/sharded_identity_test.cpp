@@ -1,0 +1,222 @@
+// Byte-identity guard for the sharded engine across shard counts.
+//
+// The determinism contract of sim::ShardedEngine is that a workload's
+// observable output — every simulated timestamp, every protocol
+// counter — is byte-identical at any shard count (1/2/4/8) and in any
+// ThreadMode. Cross-node timing is quantized to the conservative window
+// grid, which depends only on (lookahead, program), never on the shard
+// partition or on host thread interleaving.
+//
+// Note the sharded family is a *distinct* golden family from the legacy
+// single-threaded engine (shards == 0 in work::ClusterConfig): the
+// window quantization shifts cross-node timestamps, so these hashes
+// intentionally differ from fig_identity_test's. Figure 5 is pure
+// memory-model arithmetic (no engine), so its golden is shared with the
+// legacy family and re-checked here only to pin the full fig 5/6/7 set.
+//
+// On mismatch the test dumps the canonical string. To regenerate after
+// an intentional model change, run with VTOPO_PRINT_GOLDEN=1.
+#include <gtest/gtest.h>
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/memory_model.hpp"
+#include "core/topology.hpp"
+#include "sim/sharded_engine.hpp"
+#include "workloads/common.hpp"
+#include "workloads/contention.hpp"
+
+namespace vtopo {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Canonical render of one sharded contention run: every measured
+/// rank's mean op time in integer nanoseconds plus the protocol counter
+/// set. Pool created/reused counters are deliberately excluded — remote
+/// frees are deferred to the serial phase, so freelist hit rates vary
+/// with the shard partition even though the simulation does not.
+std::string render_contention(core::TopologyKind kind,
+                              work::ContentionConfig::Op op, int stride,
+                              int shards, sim::ThreadMode mode) {
+  work::ClusterConfig cluster;
+  cluster.num_nodes = 8;
+  cluster.procs_per_node = 2;
+  cluster.topology = kind;
+  cluster.shards = shards;
+  cluster.thread_mode = mode;
+
+  work::ContentionConfig cfg;
+  cfg.op = op;
+  cfg.iterations = 2;
+  cfg.contender_stride = stride;
+  cfg.vec_segments = 4;
+  cfg.seg_bytes = 256;
+
+  const auto res = work::run_contention(cluster, cfg);
+
+  std::string out;
+  append(out, "topo=%s op=%d stride=%d\n", core::to_string(kind),
+         static_cast<int>(op), stride);
+  for (std::size_t r = 0; r < res.op_time_us.size(); ++r) {
+    if (res.op_time_us[r] < 0) continue;
+    append(out, "rank=%zu ns=%lld\n", r,
+           static_cast<long long>(res.op_time_us[r] * 1e3));
+  }
+  const auto& s = res.stats;
+  append(out,
+         "sim_ns=%lld req=%llu fwd=%llu ack=%llu resp=%llu direct=%llu "
+         "wake=%llu lockq=%llu credit_ns=%lld\n",
+         static_cast<long long>(res.total_sim_sec * 1e9),
+         static_cast<unsigned long long>(s.requests),
+         static_cast<unsigned long long>(s.forwards),
+         static_cast<unsigned long long>(s.acks),
+         static_cast<unsigned long long>(s.responses),
+         static_cast<unsigned long long>(s.direct_ops),
+         static_cast<unsigned long long>(s.cht_wakeups),
+         static_cast<unsigned long long>(s.lock_queue_max),
+         static_cast<long long>(s.credit_blocked_ns));
+  return out;
+}
+
+std::string render_fig5() {
+  core::MemoryParams mp;
+  std::string out;
+  for (const std::int64_t procs : {768LL, 6144LL, 12288LL}) {
+    const std::int64_t nodes = procs / mp.procs_per_node;
+    append(out, "procs=%lld", static_cast<long long>(procs));
+    for (const auto kind : core::all_topology_kinds()) {
+      const auto topo = core::VirtualTopology::make(kind, nodes);
+      append(out, " %s=%.17g", core::to_string(kind),
+             core::master_process_rss_mb(topo, 0, mp));
+    }
+    append(out, "\n");
+  }
+  return out;
+}
+
+struct Golden {
+  const char* name;
+  std::uint64_t hash;
+};
+
+void check(const Golden& g, const std::string& canonical) {
+  const std::uint64_t h = fnv1a(canonical);
+  if (std::getenv("VTOPO_PRINT_GOLDEN") != nullptr) {
+    std::printf("GOLDEN {\"%s\", 0x%016llxULL},\n", g.name,
+                static_cast<unsigned long long>(h));
+    return;
+  }
+  EXPECT_EQ(h, g.hash) << g.name << " diverged; canonical output:\n"
+                       << canonical;
+}
+
+constexpr core::TopologyKind kKinds[] = {
+    core::TopologyKind::kFcg, core::TopologyKind::kMfcg,
+    core::TopologyKind::kCfcg, core::TopologyKind::kHypercube};
+
+// Every simulated byte must match the shards=1 run at 2/4/8 shards.
+TEST(ShardedIdentity, Fig6VectorPutShardCountInvariant) {
+  for (const auto kind : kKinds) {
+    const std::string base = render_contention(
+        kind, work::ContentionConfig::Op::kVectorPut, 9, 1,
+        sim::ThreadMode::kSerial);
+    for (const int shards : {2, 4, 8}) {
+      EXPECT_EQ(base,
+                render_contention(kind,
+                                  work::ContentionConfig::Op::kVectorPut,
+                                  9, shards, sim::ThreadMode::kSerial))
+          << core::to_string(kind) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedIdentity, Fig7FetchAddShardCountInvariant) {
+  for (const auto kind : kKinds) {
+    const std::string base = render_contention(
+        kind, work::ContentionConfig::Op::kFetchAdd, 5, 1,
+        sim::ThreadMode::kSerial);
+    for (const int shards : {2, 4, 8}) {
+      EXPECT_EQ(base,
+                render_contention(kind,
+                                  work::ContentionConfig::Op::kFetchAdd,
+                                  5, shards, sim::ThreadMode::kSerial))
+          << core::to_string(kind) << " shards=" << shards;
+    }
+  }
+}
+
+// Real host threads must produce the same bytes as the multiplexed
+// serial driver (the window protocol, not scheduling luck, carries the
+// determinism).
+TEST(ShardedIdentity, ThreadModeInvariant) {
+  for (const auto op : {work::ContentionConfig::Op::kVectorGet,
+                        work::ContentionConfig::Op::kFetchAdd}) {
+    const std::string serial = render_contention(
+        core::TopologyKind::kMfcg, op, 3, 4, sim::ThreadMode::kSerial);
+    const std::string threads = render_contention(
+        core::TopologyKind::kMfcg, op, 3, 4, sim::ThreadMode::kThreads);
+    EXPECT_EQ(serial, threads) << "op=" << static_cast<int>(op);
+  }
+}
+
+// Golden hashes for the sharded family, captured at shards=1/kSerial
+// (the shard-count tests above tie 2/4/8 to the same bytes).
+constexpr Golden kFig5 = {"sharded_fig5", 0x4e17b7502864bb19ULL};
+
+constexpr Golden kFig6[] = {
+    {"sharded_fig6_fcg_9", 0x045a7309bb843e3eULL},
+    {"sharded_fig6_mfcg_9", 0x1be42c4b1f4ac128ULL},
+    {"sharded_fig6_cfcg_9", 0x62b4e0de3fe665dbULL},
+    {"sharded_fig6_hc_9", 0xf52c27366a27dc4bULL},
+};
+
+constexpr Golden kFig7[] = {
+    {"sharded_fig7_fcg_5", 0xd2b2fab1e89d5c47ULL},
+    {"sharded_fig7_mfcg_5", 0xc5dee40453c5c420ULL},
+    {"sharded_fig7_cfcg_5", 0x5d837da975cfcfa2ULL},
+    {"sharded_fig7_hc_5", 0xb4e186a25ccbe4d2ULL},
+};
+
+TEST(ShardedIdentity, Fig5MemoryCurves) { check(kFig5, render_fig5()); }
+
+TEST(ShardedIdentity, Fig6Goldens) {
+  int i = 0;
+  for (const auto kind : kKinds) {
+    check(kFig6[i++],
+          render_contention(kind, work::ContentionConfig::Op::kVectorPut,
+                            9, 1, sim::ThreadMode::kSerial));
+  }
+}
+
+TEST(ShardedIdentity, Fig7Goldens) {
+  int i = 0;
+  for (const auto kind : kKinds) {
+    check(kFig7[i++],
+          render_contention(kind, work::ContentionConfig::Op::kFetchAdd,
+                            5, 1, sim::ThreadMode::kSerial));
+  }
+}
+
+}  // namespace
+}  // namespace vtopo

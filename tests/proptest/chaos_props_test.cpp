@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "armci/runtime.hpp"
 #include "proptest.hpp"
 #include "sim/rng.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace vtopo {
 namespace {
@@ -46,7 +48,9 @@ struct ChaosRun {
 /// random mix of accumulates, +1 fetch-adds on one shared counter, and
 /// CHT-path reads, all against node 0 (spared by FaultPlan::random so
 /// shared state survives crashes), under the spec's fault plan.
-ChaosRun run_chaos(const CaseSpec& spec) {
+/// `shards` == 0 runs the legacy single-threaded engine; >= 1 runs the
+/// sharded engine with that many shards.
+ChaosRun run_chaos(const CaseSpec& spec, int shards = 0) {
   sim::Engine eng;
   armci::Runtime::Config cfg;
   cfg.num_nodes = spec.nodes;
@@ -55,12 +59,27 @@ ChaosRun run_chaos(const CaseSpec& spec) {
   cfg.seed = spec.seed;
   cfg.armci.buffers_per_process = spec.buffers_per_process;
   cfg.faults = spec.fault_plan();
-  armci::Runtime rt(eng, cfg);
+  cfg.shards = std::max(shards, 1);
+  std::unique_ptr<armci::Runtime> rt_owner =
+      shards > 0 ? std::make_unique<armci::Runtime>(cfg)
+                 : std::make_unique<armci::Runtime>(eng, cfg);
+  armci::Runtime& rt = *rt_owner;
 
   const auto acc_cell = rt.memory().alloc_all(8);
   const auto counter = rt.memory().alloc_all(8);
 
   ChaosRun out;
+  // Test-harness writes to the shared record: under the sharded engine
+  // they land in the serial phase in (time, stamp) key order, so the
+  // record — including the fetch_add value *order* — is race-free and
+  // identical at every shard count.
+  auto record = [&rt](auto fn) {
+    if (sim::ShardedEngine* sh = rt.sharded()) {
+      sh->post_serial(std::move(fn));
+    } else {
+      fn();
+    }
+  };
   rt.spawn_all([&](Proc& p) -> sim::Co<void> {
     sim::Rng rng(sim::derive_seed(spec.seed ^ 0xc0ffee, p.id()));
     for (int i = 0; i < spec.ops_per_proc; ++i) {
@@ -68,15 +87,15 @@ ChaosRun run_chaos(const CaseSpec& spec) {
         case 0: {  // accumulate into the shared cell
           const double x = static_cast<double>(rng.uniform(50));
           const std::vector<double> vals{x};
-          out.expected_acc += 1.5 * x;
+          record([&out, x] { out.expected_acc += 1.5 * x; });
           co_await p.acc_f64(GAddr{0, acc_cell}, vals, 1.5);
           break;
         }
         case 1: {  // +1 fetch-add: exactly-once shows in the values
-          ++out.expected_counter;
+          record([&out] { ++out.expected_counter; });
           const std::int64_t old =
               co_await p.fetch_add(GAddr{0, counter}, 1);
-          out.fa_values.push_back(old);
+          record([&out, old] { out.fa_values.push_back(old); });
           break;
         }
         case 2: {  // CHT-path read of the shared cell
@@ -98,7 +117,7 @@ ChaosRun run_chaos(const CaseSpec& spec) {
   out.final_counter = rt.memory().read_i64(GAddr{0, counter});
   out.final_acc = rt.memory().read_f64(GAddr{0, acc_cell});
   out.stats = rt.stats();
-  out.end_time = eng.now();
+  out.end_time = rt.engine().now();
   for (core::NodeId node = 0; node < rt.num_nodes(); ++node) {
     const armci::CreditBank& bank = rt.credits(node);
     out.banks_conserved = out.banks_conserved && bank.conserved();
@@ -179,12 +198,13 @@ PropResult forwards_bounded(const CaseSpec& spec) {
   return PropResult::pass();
 }
 
-PropResult replay_identical(const CaseSpec& spec) {
-  const ChaosRun a = run_chaos(spec);
-  const ChaosRun b = run_chaos(spec);
-  auto diff = [](const char* what, auto x, auto y) {
+/// Field-by-field comparison of two chaos records; `how` labels the
+/// divergence ("replay" vs "shards=4").
+PropResult compare_runs(const char* how, const ChaosRun& a,
+                        const ChaosRun& b) {
+  auto diff = [how](const char* what, auto x, auto y) {
     std::ostringstream os;
-    os << "replay diverged: " << what << " " << x << " vs " << y;
+    os << how << " diverged: " << what << " " << x << " vs " << y;
     return PropResult::fail(os.str());
   };
   if (a.end_time != b.end_time) return diff("end_time", a.end_time, b.end_time);
@@ -193,7 +213,8 @@ PropResult replay_identical(const CaseSpec& spec) {
   }
   if (a.final_acc != b.final_acc) return diff("acc", a.final_acc, b.final_acc);
   if (a.fa_values != b.fa_values) {
-    return PropResult::fail("replay diverged: fetch_add value order");
+    return PropResult::fail(std::string(how) +
+                            " diverged: fetch_add value order");
   }
   if (a.stats.requests != b.stats.requests) {
     return diff("requests", a.stats.requests, b.stats.requests);
@@ -213,6 +234,28 @@ PropResult replay_identical(const CaseSpec& spec) {
   }
   if (a.stats.heals != b.stats.heals) {
     return diff("heals", a.stats.heals, b.stats.heals);
+  }
+  return PropResult::pass();
+}
+
+PropResult replay_identical(const CaseSpec& spec) {
+  const ChaosRun a = run_chaos(spec);
+  const ChaosRun b = run_chaos(spec);
+  return compare_runs("replay", a, b);
+}
+
+/// The full chaos machinery — fault injection, drops, duplicates,
+/// watchdog retries, heal-around — must be byte-invariant across shard
+/// counts of the sharded engine.
+PropResult shard_invariant(const CaseSpec& spec) {
+  const ChaosRun base = run_chaos(spec, 1);
+  for (const int shards : {2, 4, 8}) {
+    const ChaosRun b = run_chaos(spec, shards);
+    const char* how = shards == 2   ? "shards=2"
+                      : shards == 4 ? "shards=4"
+                                    : "shards=8";
+    const PropResult r = compare_runs(how, base, b);
+    if (!r.ok) return r;
   }
   return PropResult::pass();
 }
@@ -241,6 +284,13 @@ TEST(ChaosProps, SameSeedReplaysByteIdentically) {
   CheckOptions opts;
   opts.cases = 6;  // each case runs the simulation twice
   const auto out = proptest::check("replay_identical", replay_identical, opts);
+  EXPECT_TRUE(out.ok) << out.repro;
+}
+
+TEST(ChaosProps, ShardCountInvariantUnderFaults) {
+  CheckOptions opts;
+  opts.cases = 4;  // each case runs the simulation four times (1/2/4/8)
+  const auto out = proptest::check("shard_invariant", shard_invariant, opts);
   EXPECT_TRUE(out.ok) << out.repro;
 }
 

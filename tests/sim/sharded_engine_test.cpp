@@ -1,0 +1,202 @@
+// ShardedEngine determinism tests: the same event program must produce
+// byte-identical per-node execution traces — and an identical merged
+// serial-post stream — at every shard count, including adversarial
+// bursts of same-timestamp events from many creator nodes.
+#include "sim/sharded_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace vtopo::sim {
+namespace {
+
+constexpr TimeNs kLookahead = 100;
+
+std::uint64_t mix(std::uint64_t x) { return splitmix64(x); }
+
+struct Harness {
+  int nodes;
+  ShardedEngine eng;
+  /// Per-node execution trace: (time, tag) pairs, appended only by the
+  /// node's own events (so only its owning shard writes it).
+  std::vector<std::vector<std::uint64_t>> logs;
+  /// Serial-post stream, appended only between windows on main.
+  std::vector<std::uint64_t> serial_log;
+
+  Harness(int nodes_in, int shards, ThreadMode mode)
+      : nodes(nodes_in), eng(nodes_in, shards, kLookahead, mode), logs(
+            static_cast<std::size_t>(nodes_in)) {}
+
+  void record(int node, std::uint64_t tag) {
+    logs[static_cast<std::size_t>(node)].push_back(
+        (static_cast<std::uint64_t>(eng.context_now()) << 20) ^ tag);
+  }
+};
+
+/// Self-perpetuating event chain: records, hops to a pseudo-random node
+/// (cross-node hops are >= lookahead away, same-node hops may be 0ns —
+/// exercising the same-time ring), and posts every third step to the
+/// serial stream.
+void chain(Harness* h, int node, int hops, std::uint64_t state) {
+  h->record(node, state & 0xfffff);
+  if (hops <= 0) return;
+  const std::uint64_t r = mix(state);
+  const int dst = static_cast<int>(r % static_cast<std::uint64_t>(h->nodes));
+  const TimeNs now = h->eng.context_now();
+  TimeNs delay = static_cast<TimeNs>(r % 50);
+  if (dst != node) delay += kLookahead;
+  if (hops % 3 == 0) {
+    const std::uint64_t tag = state & 0xfffff;
+    h->eng.post_serial([h, tag] { h->serial_log.push_back(tag); });
+  }
+  h->eng.schedule_on_node(dst, now + delay, [h, dst, hops, state] {
+    chain(h, dst, hops - 1, mix(state) ^ static_cast<std::uint64_t>(hops));
+  });
+}
+
+struct RunResult {
+  std::vector<std::vector<std::uint64_t>> logs;
+  std::vector<std::uint64_t> serial_log;
+  TimeNs final_time = 0;
+  std::uint64_t executed = 0;
+};
+
+RunResult run_program(int nodes, int shards, bool burst,
+                      ThreadMode mode = ThreadMode::kAuto) {
+  Harness h(nodes, shards, mode);
+  // Seed one chain per node, attributed to the node itself via
+  // NodeScope, exactly as runtime setup does.
+  for (int n = 0; n < nodes; ++n) {
+    NodeScope scope(h.eng, n);
+    Harness* hp = &h;
+    const std::uint64_t seed = derive_seed(0x5eed, static_cast<std::uint64_t>(n));
+    h.eng.engine_for_node(n).schedule_at(
+        static_cast<TimeNs>(n % 7), [hp, n, seed] { chain(hp, n, 24, seed); });
+    if (burst) {
+      // Adversarial same-time burst: every node targets time 1000 on a
+      // strided peer, so many creator nodes land events on the same
+      // (node, timestamp) and only the stamp breaks the tie.
+      for (int k = 0; k < 8; ++k) {
+        const int dst = (n * 3 + k * 5) % nodes;
+        const std::uint64_t tag =
+            static_cast<std::uint64_t>(n) * 131 + static_cast<std::uint64_t>(k);
+        h.eng.schedule_on_node(dst, 1000, [hp, dst, tag] {
+          hp->record(dst, tag);
+          // Same-time follow-on on the node itself: ring path.
+          hp->eng.schedule_on_node(dst, hp->eng.context_now(),
+                                   [hp, dst, tag] { hp->record(dst, tag ^ 1); });
+        });
+      }
+    }
+  }
+  RunResult r;
+  r.final_time = h.eng.run();
+  r.executed = h.eng.events_executed();
+  r.logs = std::move(h.logs);
+  r.serial_log = std::move(h.serial_log);
+  return r;
+}
+
+TEST(ShardedEngine, TraceInvariantAcrossShardCounts) {
+  const RunResult base = run_program(16, 1, /*burst=*/false);
+  EXPECT_GT(base.executed, 100u);
+  for (const int shards : {2, 4, 8}) {
+    const RunResult r = run_program(16, shards, /*burst=*/false);
+    EXPECT_EQ(r.final_time, base.final_time) << "shards=" << shards;
+    EXPECT_EQ(r.executed, base.executed) << "shards=" << shards;
+    EXPECT_EQ(r.logs, base.logs) << "shards=" << shards;
+    EXPECT_EQ(r.serial_log, base.serial_log) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedEngine, SameTimeBurstMergeIsTotalOrderStable) {
+  const RunResult base = run_program(16, 1, /*burst=*/true);
+  for (const int shards : {2, 4, 8}) {
+    const RunResult r = run_program(16, shards, /*burst=*/true);
+    EXPECT_EQ(r.logs, base.logs) << "shards=" << shards;
+    EXPECT_EQ(r.serial_log, base.serial_log) << "shards=" << shards;
+    EXPECT_EQ(r.final_time, base.final_time) << "shards=" << shards;
+  }
+  // Same-(node, time) events must run in creator-stamp order: node 0
+  // receives burst events from creators n with (n*3 + 5k) % 16 == 0; the
+  // recorded tags at t=1000 must be sorted by (creator, k).
+  std::vector<std::uint64_t> expected;
+  for (int n = 0; n < 16; ++n) {
+    for (int k = 0; k < 8; ++k) {
+      if ((n * 3 + k * 5) % 16 == 0) {
+        expected.push_back(static_cast<std::uint64_t>(n) * 131 +
+                           static_cast<std::uint64_t>(k));
+      }
+    }
+  }
+  std::vector<std::uint64_t> got;
+  for (const std::uint64_t e : base.logs[0]) {
+    if ((e >> 20) == 1000) {
+      const std::uint64_t tag = e & 0xfffff;
+      if ((tag & 1) == 0 && tag < 16 * 131 + 8) got.push_back(tag);
+    }
+  }
+  // `got` may also contain chain records at t=1000 with colliding tag
+  // ranges; restrict the check to a subsequence match instead of strict
+  // equality.
+  std::size_t gi = 0;
+  for (const std::uint64_t want : expected) {
+    while (gi < got.size() && got[gi] != want) ++gi;
+    EXPECT_LT(gi, got.size()) << "burst tag " << want
+                              << " missing or out of order on node 0";
+    ++gi;
+  }
+}
+
+TEST(ShardedEngine, ThreadedAndSerialModesMatch) {
+  // Thread mode is a host-execution choice only; traces, serial stream,
+  // and clocks must not depend on it.
+  for (const int shards : {2, 4}) {
+    const RunResult serial =
+        run_program(16, shards, /*burst=*/true, ThreadMode::kSerial);
+    const RunResult threaded =
+        run_program(16, shards, /*burst=*/true, ThreadMode::kThreads);
+    EXPECT_EQ(serial.logs, threaded.logs) << "shards=" << shards;
+    EXPECT_EQ(serial.serial_log, threaded.serial_log) << "shards=" << shards;
+    EXPECT_EQ(serial.final_time, threaded.final_time) << "shards=" << shards;
+    EXPECT_EQ(serial.executed, threaded.executed) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedEngine, GlobalEventsInterleaveDeterministically) {
+  // Global-context events (epoch bumps, fault draws) must land at the
+  // same point of the stream for every shard count.
+  auto run = [](int shards) {
+    Harness h(8, shards, ThreadMode::kAuto);
+    Harness* hp = &h;
+    for (int n = 0; n < 8; ++n) {
+      NodeScope scope(h.eng, n);
+      const std::uint64_t seed = derive_seed(7, static_cast<std::uint64_t>(n));
+      h.eng.engine_for_node(n).schedule_at(
+          0, [hp, n, seed] { chain(hp, n, 18, seed); });
+    }
+    for (TimeNs t = 50; t < 2000; t += 300) {
+      h.eng.schedule_global_at(t, [hp, t] {
+        hp->serial_log.push_back(0x90000ULL + static_cast<std::uint64_t>(t));
+      });
+    }
+    h.eng.run();
+    RunResult r;
+    r.logs = std::move(h.logs);
+    r.serial_log = std::move(h.serial_log);
+    return r;
+  };
+  const RunResult base = run(1);
+  for (const int shards : {2, 4, 8}) {
+    const RunResult r = run(shards);
+    EXPECT_EQ(r.logs, base.logs) << "shards=" << shards;
+    EXPECT_EQ(r.serial_log, base.serial_log) << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace vtopo::sim

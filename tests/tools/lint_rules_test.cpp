@@ -193,6 +193,57 @@ TEST(LintC1, ValueCapturingCoroutineLambdaIsClean) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(LintS1, FiresOnDirectFacadeSchedule) {
+  const auto diags = lint_one(
+      "src/armci/handoff.cpp",
+      "#include \"sim/sharded_engine.hpp\"\n"
+      "void f(sim::ShardedEngine& sh, int node, sim::Time t) {\n"
+      "  sh.engine_for_node(node).schedule_at(t, [] {});\n"
+      "  sh.shard_engine(0).schedule_after(t, [] {});\n"
+      "  sh.global_engine().schedule_at(t, [] {});\n"
+      "}\n");
+  EXPECT_EQ(diags.size(), 3u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "S1");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintS1, MailboxApiIsClean) {
+  const auto diags = lint_one(
+      "src/armci/handoff.cpp",
+      "#include \"sim/sharded_engine.hpp\"\n"
+      "void f(sim::ShardedEngine& sh, int node, sim::Time t) {\n"
+      "  sh.schedule_on_node(node, t, [] {});\n"
+      "  sh.post_serial([] {});\n"
+      "  sh.schedule_global_at(t, [] {});\n"
+      "  sim::Engine& e = sh.engine_for_node(node);\n"  // read-only use
+      "  (void)sh.shard_engine(0).now();\n"
+      "  (void)e;\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintS1, AnnotationSuppresses) {
+  const auto diags = lint_one(
+      "src/armci/handoff.cpp",
+      "void f(sim::ShardedEngine& sh, sim::Time t) {\n"
+      "  // vtopo-lint: allow(cross-shard) -- serial phase, workers "
+      "quiescent\n"
+      "  sh.global_engine().schedule_at(t, [] {});\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintS1, ExemptInsideShardedEngine) {
+  // The engine's own window/mailbox machinery legitimately schedules on
+  // shard heaps directly.
+  const auto diags = lint_one(
+      "src/sim/sharded_engine.cpp",
+      "void drain(sim::ShardedEngine& sh, sim::Time t) {\n"
+      "  sh.shard_engine(1).schedule_at(t, [] {});\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 TEST(LintA0, MalformedAnnotationReported) {
   const auto diags = lint_one(
       "src/a.cpp",
@@ -238,6 +289,7 @@ TEST(LintMeta, AnnotationNameMapping) {
   EXPECT_EQ(annotation_name("D2"), "unordered-iter");
   EXPECT_EQ(annotation_name("D3"), "pointer-order");
   EXPECT_EQ(annotation_name("C1"), "coro-ref");
+  EXPECT_EQ(annotation_name("S1"), "cross-shard");
 }
 
 }  // namespace

@@ -37,8 +37,10 @@ tools/check_lint.sh
 
 echo "== figure identity =="
 # The golden guard compares figs 5/6/7 canonical output against FNV
-# hashes captured from the pre-pooling tree.
+# hashes captured from the pre-pooling tree; the sharded guard pins the
+# sharded-engine golden family and shard-count/thread-mode invariance.
 ./build/tests/fig_identity_test
+./build/tests/sharded_identity_test
 
 # Determinism at the byte level: each driver run twice must produce
 # identical bytes (quick/small configs keep this to seconds).

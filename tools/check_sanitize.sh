@@ -8,6 +8,10 @@
 #      harness and the hotpath bench worker threads, plus a byte-diff of
 #      --jobs 4 against --jobs 1 output — determinism under threads, not
 #      just race-freedom.
+#   3. TSan over the sharded engine with real worker threads: the
+#      sharded identity suite (byte-identity at shards 1/2/4/8 and
+#      kThreads vs kSerial) and the hotpath bench's --shards 4
+#      --shard-threads path (window barriers, mailboxes, remote frees).
 #
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all) and
 # fails the script.
@@ -45,7 +49,13 @@ diff -u "$tsan_out/fig5_serial.txt" "$tsan_out/fig5_jobs4.txt"
   --iters 2 --jobs 4 >"$tsan_out/fig7_jobs4.txt"
 diff -u "$tsan_out/fig7_serial.txt" "$tsan_out/fig7_jobs4.txt"
 
-# Thread-pool startup/teardown in the hotpath bench.
-./build-tsan/bench/hotpath_bench --quick >/dev/null
+# Thread-pool startup/teardown in the hotpath bench, plus the sharded
+# engine's one-thread-per-shard parallel phase.
+./build-tsan/bench/hotpath_bench --quick --shards 4 --shard-threads \
+  >/dev/null
 
-echo "sanitize: ASan+UBSan suites, TSan suites, and --jobs byte-diffs clean"
+# Sharded engine under real threads: byte-identity across shard counts
+# and thread modes with the race detector watching the window protocol.
+./build-tsan/tests/sharded_identity_test
+
+echo "sanitize: ASan+UBSan suites, TSan suites, --jobs byte-diffs, and sharded-engine battery clean"

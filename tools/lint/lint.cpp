@@ -18,6 +18,7 @@ constexpr std::pair<std::string_view, std::string_view> kRuleNames[] = {
     {"D2", "unordered-iter"},
     {"D3", "pointer-order"},
     {"C1", "coro-ref"},
+    {"S1", "cross-shard"},
 };
 
 // ---------------------------------------------------------------------
@@ -66,8 +67,8 @@ void parse_annotations(std::string_view comment, int line, Annotations& out) {
     if (!is_known_rule_name(rule)) {
       out.malformed.emplace_back(
           line, "unknown vtopo-lint rule name '" + rule +
-                    "' (want nondeterminism, unordered-iter, pointer-order "
-                    "or coro-ref)");
+                    "' (want nondeterminism, unordered-iter, pointer-order, "
+                    "coro-ref or cross-shard)");
       pos = close;
       continue;
     }
@@ -305,6 +306,7 @@ struct FileCtx {
   std::vector<Token> toks;
   Annotations ann;
   bool rng_exempt = false;  ///< path matches src/sim/rng.* (rule D1)
+  bool sharded_exempt = false;  ///< path matches sim/sharded_engine.* (S1)
 };
 
 class Sink {
@@ -667,6 +669,48 @@ void rule_c1_lambdas(const FileCtx& f, Sink& sink) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Rule S1: cross-shard mutation outside the mailbox API.
+// ---------------------------------------------------------------------
+
+bool is_shard_facade_accessor(std::string_view id) {
+  // Accessors on ShardedEngine that hand back a per-shard sim::Engine.
+  // Scheduling directly on one of those from another shard's context
+  // bypasses the mailbox/window clamp that makes output shard-count
+  // invariant.
+  return id == "shard_engine" || id == "engine_for_node" ||
+         id == "global_engine" || id == "context_engine";
+}
+
+void rule_s1(const FileCtx& f, Sink& sink) {
+  if (f.sharded_exempt) return;
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || !is_shard_facade_accessor(t[i].text)) {
+      continue;
+    }
+    if (!is(t[i + 1], "(")) continue;
+    const std::size_t after = skip_parens(t, i + 1);
+    if (after == std::string_view::npos || after + 2 >= t.size()) continue;
+    // shard_engine(s).schedule_at(...) — the facade is returned by
+    // reference, so the chain is always '.'.
+    if (!is(t[after], ".")) continue;
+    const std::string_view method = t[after + 1].text;
+    if (t[after + 1].kind != Token::kIdent ||
+        (method != "schedule_at" && method != "schedule_after")) {
+      continue;
+    }
+    if (!is(t[after + 2], "(")) continue;
+    sink.report(
+        "S1", t[i].line,
+        "'" + std::string(t[i].text) + "(...)." + std::string(method) +
+            "(...)' schedules directly on a shard facade, bypassing the "
+            "mailbox/window clamp that keeps output shard-count "
+            "invariant; use ShardedEngine::schedule_on_node / "
+            "post_serial / schedule_global_at");
+  }
+}
+
 }  // namespace
 
 std::string_view annotation_name(std::string_view rule_id) {
@@ -689,6 +733,8 @@ std::vector<Diagnostic> Linter::run() {
     ctx.path = f.path;
     ctx.blanked = blank_noncode(f.content, ctx.ann);
     ctx.rng_exempt = f.path.find("sim/rng.") != std::string::npos;
+    ctx.sharded_exempt =
+        f.path.find("sim/sharded_engine.") != std::string::npos;
     ctxs.push_back(std::move(ctx));
     // Tokenize after the move so Token::text views into storage that
     // lives as long as the context itself.
@@ -717,6 +763,7 @@ std::vector<Diagnostic> Linter::run() {
     rule_d3(ctx, sink);
     rule_c1_functions(ctx, sink);
     rule_c1_lambdas(ctx, sink);
+    rule_s1(ctx, sink);
   }
   std::sort(diags.begin(), diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
