@@ -1,6 +1,7 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
@@ -10,6 +11,52 @@
 #include <vector>
 
 namespace vtopo::bench {
+
+/// Tail-percentile summary of a sample set (p50/p99/p999 and friends).
+/// Accumulate with add()/add_all(), query with percentile(). Uses the
+/// exact linear-interpolation formula of sim::Series::percentile, so a
+/// bench that mixes Series-derived numbers with its own stays
+/// consistent: sort ascending, pos = p/100 * (n-1), interpolate between
+/// floor(pos) and the next sample. Empty set reports 0.
+class Percentiles {
+ public:
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void add_all(const std::vector<double>& xs) {
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    if (samples_.size() == 1) return samples_.front();
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    const double pos =
+        clamped / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+  }
+  [[nodiscard]] double p50() { return percentile(50.0); }
+  [[nodiscard]] double p99() { return percentile(99.0); }
+  [[nodiscard]] double p999() { return percentile(99.9); }
+  [[nodiscard]] double max() {
+    return samples_.empty() ? 0.0 : percentile(100.0);
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
 
 /// Minimal flag parser: --key value / --flag.
 class Args {

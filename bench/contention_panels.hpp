@@ -55,6 +55,16 @@ inline void run_contention_figure(const char* figure,
   cfg.iterations =
       static_cast<int>(args.get_int("--iters", args.has("--quick") ? 5 : 20));
 
+  // --qos: rerun the figure with the criticality-aware request path on
+  // (class-weighted CHT dequeue + reserved credit lane + congestion
+  // windows) and report per-class tail latency. A distinct golden
+  // family — the default output stays byte-identical.
+  const bool qos = args.has("--qos");
+  if (qos) {
+    cluster.armci.qos.enabled = true;
+    cfg.trace_classes = true;
+  }
+
   const auto jobs = static_cast<unsigned>(
       args.get_int("--jobs", default_jobs()));
 
@@ -76,6 +86,7 @@ inline void run_contention_figure(const char* figure,
     // so outputs from the two engines can never diff equal by accident.
     std::printf("# engine sharded (--shards %d)\n", cluster.shards);
   }
+  if (qos) std::printf("# qos enabled\n");
 
   struct PanelResult {
     std::string text;
@@ -107,6 +118,19 @@ inline void run_contention_figure(const char* figure,
         out.med = series.median();
         out.p95 = series.percentile(95);
         out.max = series.max();
+        if (qos) {
+          static const char* kClsName[] = {"bulk", "normal", "critical"};
+          append_format(out.text,
+                        "# class n p50_us p99_us p999_us (op latency)\n");
+          for (std::size_t c = 0; c < armci::kNumPriorities; ++c) {
+            Percentiles pct;
+            pct.add_all(res.class_lat_us[c]);
+            if (pct.count() == 0) continue;
+            append_format(out.text, "# %-8s %zu %.2f %.2f %.2f\n",
+                          kClsName[c], pct.count(), pct.p50(), pct.p99(),
+                          pct.p999());
+          }
+        }
         return out;
       });
 

@@ -31,6 +31,7 @@ struct RatePoint {
   double retained = 1.0;          ///< vs the fault-free baseline
   double median_us = 0.0;
   double p99_us = 0.0;
+  double p999_us = 0.0;
   double max_us = 0.0;            ///< worst single recovery
   std::uint64_t retries = 0;
   std::uint64_t dropped = 0;
@@ -84,6 +85,9 @@ RatePoint run_rate(double rate, bool quick) {
       static_cast<double>(expected) / sim::to_sec(last_done);
   pt.median_us = lat.median();
   pt.p99_us = lat.percentile(99);
+  bench::Percentiles pct;
+  pct.add_all(lat.samples());
+  pt.p999_us = pct.p999();
   pt.max_us = lat.max();
   pt.retries = rt.stats().retries;
   pt.dropped = rt.stats().msgs_dropped;
@@ -110,15 +114,15 @@ int main(int argc, char** argv) {
     pt.retained = pt.goodput_ops_per_sec / baseline;
   }
 
-  std::printf("%-8s %14s %9s %10s %10s %10s %8s %8s %6s\n", "rate",
-              "goodput_op_s", "retained", "median_us", "p99_us", "max_us",
-              "retries", "dropped", "heals");
+  std::printf("%-8s %14s %9s %10s %10s %10s %10s %8s %8s %6s\n", "rate",
+              "goodput_op_s", "retained", "median_us", "p99_us", "p999_us",
+              "max_us", "retries", "dropped", "heals");
   bool all_exactly_once = true;
   for (const RatePoint& pt : points) {
-    std::printf("%-8.2f %14.0f %9.3f %10.1f %10.1f %10.1f %8llu %8llu "
-                "%6llu%s\n",
+    std::printf("%-8.2f %14.0f %9.3f %10.1f %10.1f %10.1f %10.1f %8llu "
+                "%8llu %6llu%s\n",
                 pt.rate, pt.goodput_ops_per_sec, pt.retained, pt.median_us,
-                pt.p99_us, pt.max_us,
+                pt.p99_us, pt.p999_us, pt.max_us,
                 static_cast<unsigned long long>(pt.retries),
                 static_cast<unsigned long long>(pt.dropped),
                 static_cast<unsigned long long>(pt.heals),
@@ -139,11 +143,12 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"rate\": %.2f, \"goodput_ops_per_sec\": %.1f, "
                  "\"retained\": %.4f, \"median_us\": %.2f, "
-                 "\"p99_us\": %.2f, \"max_us\": %.2f, \"retries\": %llu, "
+                 "\"p99_us\": %.2f, \"p999_us\": %.2f, \"max_us\": %.2f, "
+                 "\"retries\": %llu, "
                  "\"dropped\": %llu, \"heals\": %llu, "
                  "\"exactly_once\": %s}%s\n",
                  pt.rate, pt.goodput_ops_per_sec, pt.retained, pt.median_us,
-                 pt.p99_us, pt.max_us,
+                 pt.p99_us, pt.p999_us, pt.max_us,
                  static_cast<unsigned long long>(pt.retries),
                  static_cast<unsigned long long>(pt.dropped),
                  static_cast<unsigned long long>(pt.heals),

@@ -35,6 +35,7 @@
 #include "bench_util.hpp"
 #include "armci/proc.hpp"
 #include "armci/runtime.hpp"
+#include "armci/trace.hpp"
 #include "core/topology.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -177,6 +178,47 @@ void print_point(const Point& pt) {
               static_cast<unsigned long long>(pt.requests), pt.rss_mb);
 }
 
+/// Criticality-aware QoS before/after on the CHT path: a contended
+/// mixed-class storm (bulk puts + critical fetch-&-adds at rank 0) with
+/// the class-aware path off and on, returning the critical p99 in
+/// simulated microseconds (deterministic, unlike the wall-clock rows).
+double measure_qos_critical_p99_us(bool qos) {
+  vtopo::sim::Engine eng;
+  Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 2;
+  cfg.topology = vtopo::core::TopologyKind::kMfcg;
+  // Slow CHT service makes the rank-0 queue (what QoS reorders) the
+  // bottleneck instead of the NIC wire.
+  cfg.armci.cht_service = vtopo::sim::us(5.0);
+  cfg.armci.qos.enabled = qos;
+  Runtime rt(eng, cfg);
+  rt.tracer().enable();
+  const auto off =
+      rt.memory().alloc_all(64 + 1024 * (rt.num_procs() + 1));
+  rt.spawn_all([off](Proc& p) -> vtopo::sim::Co<void> {
+    if (p.node() == 0) co_return;
+    if (p.id() % 4 == 0) {
+      for (int i = 0; i < 10; ++i) {
+        co_await p.fetch_add(GAddr{0, off}, 1);
+      }
+    } else {
+      const std::vector<std::uint8_t> buf(1024, 0x5a);
+      const vtopo::armci::PutSeg seg{buf, off + 64 + p.id() * 1024};
+      for (int i = 0; i < 25; ++i) {
+        co_await p.put_v(0, {&seg, 1});
+      }
+    }
+  });
+  rt.run_all();
+  vtopo::bench::Percentiles pct;
+  pct.add_all(rt.tracer()
+                  .series(vtopo::armci::class_latency_kind(
+                      vtopo::armci::Priority::kCritical))
+                  .samples());
+  return pct.p99();
+}
+
 void print_shard_mem(const Point& pt) {
   for (std::size_t s = 0; s < pt.shard_mem.size(); ++s) {
     const auto& m = pt.shard_mem[s];
@@ -218,9 +260,13 @@ int main(int argc, char** argv) {
 
   const double mps = measure_msgs_per_sec(msgs);
   const RuntimePath path = measure_runtime_path(path_ops);
+  const double qos_p99_before = measure_qos_critical_p99_us(false);
+  const double qos_p99_after = measure_qos_critical_p99_us(true);
   std::printf("host_cores            %u\n", host_cores);
   std::printf("msgs_per_sec          %.3e\n", mps);
   std::printf("fetchadd_ops_per_sec  %.3e\n", path.ops_per_sec);
+  std::printf("qos_critical_p99_us   %.1f -> %.1f (storm, fifo -> qos)\n",
+              qos_p99_before, qos_p99_after);
   std::printf("request_pool          created=%llu reused=%llu\n",
               static_cast<unsigned long long>(path.req_created),
               static_cast<unsigned long long>(path.req_reused));
@@ -340,11 +386,14 @@ int main(int argc, char** argv) {
       "  \"scale_ceiling\": {\"topology\": \"%s\", \"procs\": %lld, "
       "\"nodes\": %lld, \"ops\": %lld, \"shards\": %d, "
       "\"wallclock_ms\": %.3f, \"sim_ms\": %.3f, \"requests\": %llu, "
-      "\"peak_rss_mb\": %.1f, \"completed\": true}\n",
+      "\"peak_rss_mb\": %.1f, \"completed\": true},\n",
       big.topology.c_str(), static_cast<long long>(big.procs),
       static_cast<long long>(big.nodes), static_cast<long long>(big.ops),
       big.shards, big.wallclock_ms, big.sim_ms,
       static_cast<unsigned long long>(big.requests), big.rss_mb);
+  std::fprintf(f, "  \"qos_critical_p99_us\": "
+               "{\"before\": %.1f, \"after\": %.1f}\n",
+               qos_p99_before, qos_p99_after);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("# wrote %s\n", out_path.c_str());

@@ -22,6 +22,27 @@ AdaptiveController::AdaptiveController(Runtime& rt, AdaptiveConfig cfg)
   // Per-kind series are enough to measure skew; the bounded event log
   // stays off.
   if (!rt_->tracer().enabled()) rt_->tracer().enable();
+  // Establish the cold baseline so qos_hot_active_ matches the runtime
+  // from the first boundary on (ctor runs at setup — serial, safe).
+  if (cfg_.manage_qos) rt_->set_qos(cfg_.qos_cold);
+}
+
+void AdaptiveController::retune_qos(double skew,
+                                    std::ostringstream& decision) {
+  const bool hot = skew >= cfg_.qos_hotspot_threshold;
+  decision << " qos=" << (hot ? "hot" : "cold");
+  if (hot == qos_hot_active_) return;
+  qos_hot_active_ = hot;
+  ++qos_retunes_;
+  const QosParams q = hot ? cfg_.qos_hot : cfg_.qos_cold;
+  Runtime* rt = rt_;
+  // The knobs are read by every shard's queues/banks/windows; route the
+  // write through the serial phase so it lands between windows.
+  if (sim::ShardedEngine* sh = rt_->sharded()) {
+    sh->post_serial([rt, q] { rt->set_qos(q); });
+  } else {
+    rt->set_qos(q);
+  }
 }
 
 AdaptiveController::Sample AdaptiveController::take_sample() {
@@ -61,6 +82,14 @@ sim::Co<bool> AdaptiveController::maybe_reconfigure(
   // request path shows up in the boundary decision log.
   if (w.window_retries > 0) decision << " retries=" << w.window_retries;
   if (next_hotspot) decision << " hint=" << *next_hotspot;
+
+  // QoS tracks the upcoming phase's skew under the same trust rule as
+  // the topology choice: a hint always counts, a measured window only
+  // when it carried enough traffic.
+  if (cfg_.manage_qos &&
+      (next_hotspot || w.window_requests >= cfg_.min_window_requests)) {
+    retune_qos(next_hotspot.value_or(w.hotspot_fraction), decision);
+  }
 
   // A hint describes the *upcoming* phase, so the just-closed window's
   // traffic volume is not a reason to distrust it.

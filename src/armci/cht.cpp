@@ -11,16 +11,36 @@
 namespace vtopo::armci {
 
 Cht::Cht(Runtime& rt, core::NodeId node)
-    : rt_(&rt), node_(node), queue_(rt.engine()) {}
+    : rt_(&rt), node_(node), queue_(rt.engine(), &rt.params().qos) {}
 
 void Cht::start() { rt_->spawn_task(run_loop()); }
 
-void Cht::stop() { queue_.push(nullptr); }
+void Cht::stop() { queue_.poison(); }
+
+void Cht::submit(RequestPtr r) {
+  r->enqueued_ns = rt_->engine().now();
+  queue_.push(std::move(r));
+  RuntimeStats& stats = rt_->stats();
+  stats.max_backlog = std::max<std::uint64_t>(stats.max_backlog,
+                                              queue_.size());
+}
 
 sim::Co<void> Cht::run_loop() {
   for (;;) {
     RequestPtr r = co_await queue_.pop();
     if (!r) break;  // poison: shut down
+    if (rt_->tracer().enabled()) {
+      rt_->tracer().record(queue_wait_kind(r->cls), r->origin_proc,
+                           r->enqueued_ns,
+                           rt_->engine().now() - r->enqueued_ns);
+    }
+    // Aging promotions happen inside the queue's dequeue pick; sync the
+    // monotone counter into the (shard-local) stats slot here.
+    const std::uint64_t aged = queue_.aged_promotions();
+    if (aged != last_aged_) {
+      rt_->stats().aged_promotions += aged - last_aged_;
+      last_aged_ = aged;
+    }
     // Polling model: a CHT that went idle longer than the polling window
     // blocked in the network wait and pays a wake-up penalty; an actively
     // busy/forwarding CHT is already polling and reacts immediately.
@@ -84,7 +104,7 @@ sim::Co<void> Cht::forward(RequestPtr r) {
   // request still occupies this node's receive buffer (hold-and-wait).
   CreditBank& bank = rt_->credits(node_);
   const sim::TimeNs t0 = rt_->engine().now();
-  co_await bank.acquire(next);
+  co_await bank.acquire(next, r->cls);
   const sim::TimeNs blocked = rt_->engine().now() - t0;
   bank.add_blocked(blocked);
   rt_->stats().credit_blocked_ns += blocked;
@@ -116,7 +136,7 @@ sim::Co<void> Cht::forward(RequestPtr r) {
 
 void Cht::release_upstream(const Request& r) {
   if (!r.hop_credit_taken) return;  // intra-node delivery took no credit
-  rt_->send_ack_msg(node_, r.upstream_node);
+  rt_->send_ack_msg(node_, r.upstream_node, r.cls);
 }
 
 void Cht::execute(const RequestPtr& r) {
@@ -310,6 +330,10 @@ void Cht::execute(const RequestPtr& r) {
 
 void Cht::send_response(const RequestPtr& r, Response resp) {
   const ArmciParams& p = rt_->params();
+  // Piggyback this CHT's queue depth: the congestion feedback the
+  // origin's per-target AIMD window reacts to. Pure data on an existing
+  // message — populated whether or not QoS is on.
+  resp.queue_backlog = static_cast<std::int32_t>(backlog());
   const std::int64_t wire = p.response_header_bytes +
                             static_cast<std::int64_t>(resp.data.size());
   // Response rides inside the arrival callback by move (InlineFn holds

@@ -1,0 +1,158 @@
+// Endpoint congestion control for the CHT request path (the gemini
+// shmem_congestion scheme): each origin node keeps a per-target window
+// of outstanding CHT-mediated requests. Issuing a request toward a
+// target whose window is full parks the issuing coroutine FIFO; every
+// response piggybacks the servicing CHT's queue depth, and the window
+// reacts AIMD-style — multiplicative shrink when the reported backlog
+// is high (the target is a hot spot), +1 growth when it is low. The
+// effect is that origins collectively back off of a hammered endpoint
+// before its CHT queue grows unboundedly, which is what turns the p999
+// of *critical* ops around under a hot-spot storm.
+//
+// The controller is inert unless ArmciParams::qos.enabled &&
+// qos.congestion: acquire() never blocks and complete() never adjusts,
+// so the disabled path issues the exact same events as before.
+#pragma once
+
+#include <algorithm>
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "armci/params.hpp"
+#include "armci/request.hpp"
+#include "core/coords.hpp"
+#include "sim/engine.hpp"
+#include "sim/validate.hpp"
+
+namespace vtopo::armci {
+
+/// Per-origin-node AIMD windows, keyed by target node. Windows are
+/// created lazily on first send to a target (sorted-vector storage,
+/// binary-search probe — same idiom as CreditBank's pools).
+class CongestionControl {
+ public:
+  CongestionControl(sim::Engine& eng, const QosParams* qos)
+      : eng_(&eng), qos_(qos) {}
+
+  /// Whether the window gates this request at all. Critical requests
+  /// bypass by default — the window exists to keep bulk storms from
+  /// burying them, not to delay them too.
+  [[nodiscard]] bool gates(Priority cls) const {
+    if (qos_ == nullptr || !qos_->enabled || !qos_->congestion) return false;
+    return !(cls == Priority::kCritical && qos_->critical_bypasses_window);
+  }
+
+  struct [[nodiscard]] Acquire {
+    CongestionControl* cc;
+    core::NodeId target;
+    bool gated;
+    bool suspended = false;  ///< set when the window was full (stall stat)
+    bool await_ready() {
+      if (!gated) return true;
+      Win& w = cc->win(target);
+      if (w.outstanding < cc->window_of(w)) {
+        ++w.outstanding;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      suspended = true;
+      cc->win(target).waiters.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Charge one window slot toward `target`; suspends FIFO while the
+  /// window is full. Never suspends when `gates(cls)` is false.
+  [[nodiscard]] Acquire acquire(core::NodeId target, Priority cls) {
+    return Acquire{this, target, gates(cls)};
+  }
+
+  /// One gated request toward `target` completed with the servicing
+  /// CHT reporting `backlog` queued requests. Applies AIMD, frees the
+  /// slot, and wakes parked issuers the (possibly grown) window now
+  /// admits. Returns true when the window shrank.
+  bool complete(core::NodeId target, std::int32_t backlog) {
+    Win& w = win(target);
+    VTOPO_CHECK(w.outstanding > 0, "congestion slot freed but none taken");
+    bool shrank = false;
+    if (qos_ != nullptr) {
+      if (backlog >= qos_->backlog_high) {
+        const int was = window_of(w);
+        const int next =
+            static_cast<int>(static_cast<double>(was) * qos_->window_decrease);
+        w.window = std::max(std::max(1, qos_->window_min), next);
+        shrank = w.window < was;
+      } else if (backlog <= qos_->backlog_low) {
+        w.window = std::min(qos_->window_max, window_of(w) + 1);
+      }
+    }
+    --w.outstanding;
+    while (!w.waiters.empty() && w.outstanding < window_of(w)) {
+      ++w.outstanding;
+      const std::coroutine_handle<> h = w.waiters.front();
+      w.waiters.pop_front();
+      eng_->schedule_after(0, [h] { h.resume(); });
+    }
+    return shrank;
+  }
+
+  /// Current window toward `target` (window_init if never contacted).
+  [[nodiscard]] int window(core::NodeId target) const {
+    const auto it =
+        std::lower_bound(targets_.begin(), targets_.end(), target);
+    if (it == targets_.end() || *it != target) {
+      return qos_ != nullptr ? qos_->window_init : 0;
+    }
+    return window_of(wins_[static_cast<std::size_t>(it - targets_.begin())]);
+  }
+  [[nodiscard]] int outstanding(core::NodeId target) const {
+    const auto it =
+        std::lower_bound(targets_.begin(), targets_.end(), target);
+    if (it == targets_.end() || *it != target) return 0;
+    return wins_[static_cast<std::size_t>(it - targets_.begin())].outstanding;
+  }
+
+  /// Drain condition: no slot held, no issuer parked.
+  [[nodiscard]] bool idle() const {
+    for (const Win& w : wins_) {
+      if (w.outstanding != 0 || !w.waiters.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Win {
+    int window = -1;  ///< -1: not yet adjusted, use live window_init
+    int outstanding = 0;
+    std::deque<std::coroutine_handle<>> waiters;
+  };
+
+  /// The live window: qos.window_init until the first AIMD adjustment,
+  /// so retuning window_init mid-run affects untouched targets.
+  [[nodiscard]] int window_of(const Win& w) const {
+    if (w.window >= 0) return w.window;
+    return qos_ != nullptr ? std::max(1, qos_->window_init) : 1;
+  }
+
+  Win& win(core::NodeId target) {
+    const auto it =
+        std::lower_bound(targets_.begin(), targets_.end(), target);
+    const auto at = static_cast<std::size_t>(it - targets_.begin());
+    if (it != targets_.end() && *it == target) return wins_[at];
+    targets_.insert(it, target);
+    wins_.insert(wins_.begin() + static_cast<std::ptrdiff_t>(at), Win{});
+    return wins_[at];
+  }
+
+  sim::Engine* eng_;
+  const QosParams* qos_;
+  std::vector<core::NodeId> targets_;  ///< sorted, parallel to wins_
+  std::vector<Win> wins_;
+};
+
+}  // namespace vtopo::armci

@@ -133,6 +133,7 @@ RequestPtr Proc::make_request(OpCode op, ProcId target) {
   r->origin_node = node_;
   r->target_proc = target;
   r->target_node = rt_->node_of(target);
+  r->cls = cls_override_ ? *cls_override_ : default_priority(op);
   return r;
 }
 
@@ -154,6 +155,23 @@ sim::Co<void> Proc::issue_send(RequestPtr r) {
   sim::Engine& eng = rt_->engine();
   const ArmciParams& p = rt_->params();
   ++rt_->stats().requests;
+  // Endpoint congestion window: gated classes charge one slot toward
+  // the target before anything else is paid, so a full window delays
+  // the whole issue path (overhead, credits, wire). Intra-node ops
+  // never hit a CHT queue remotely and are exempt, like credits.
+  if (r->target_node != node_) {
+    CongestionControl& cc = rt_->congestion(node_);
+    if (cc.gates(r->cls)) {
+      r->window_slot_taken = true;
+      auto gate = cc.acquire(r->target_node, r->cls);
+      const sim::TimeNs w0 = eng.now();
+      co_await gate;
+      if (gate.suspended) {
+        ++rt_->stats().congestion_stalls;
+        rt_->stats().congestion_stall_ns += eng.now() - w0;
+      }
+    }
+  }
   // Self-healing request path: arm the per-request timeout/retry
   // watchdog before paying overhead or credits, so the timeout clock
   // covers the whole issue path. Locks are exempt (lock traffic is
@@ -181,7 +199,7 @@ sim::Co<void> Proc::issue_send(RequestPtr r) {
   const core::NodeId hop = rt_->next_hop_for(node_, r->target_node);
   CreditBank& bank = rt_->credits(node_);
   const sim::TimeNs t0 = eng.now();
-  co_await bank.acquire(hop);
+  co_await bank.acquire(hop, r->cls);
   const sim::TimeNs blocked = eng.now() - t0;
   bank.add_blocked(blocked);
   rt_->stats().credit_blocked_ns += blocked;
@@ -194,9 +212,13 @@ sim::Co<void> Proc::issue_send(RequestPtr r) {
 }
 
 sim::Co<Response> Proc::roundtrip(RequestPtr r) {
+  const Priority cls = r->cls;
+  const sim::TimeNs t0 = rt_->engine().now();
   sim::Future<Response> fut = make_future(r);
   co_await issue_send(std::move(r));
   Response resp = co_await fut;
+  rt_->tracer().record(class_latency_kind(cls), id_, t0,
+                       rt_->engine().now() - t0);
   co_return resp;
 }
 
@@ -289,12 +311,20 @@ std::vector<RequestPtr> Proc::chunk_get(ProcId target,
 sim::Co<void> Proc::vector_op(OpCode /*op*/, ProcId /*target*/,
                               std::vector<RequestPtr> reqs) {
   // Pipeline: issue every chunk (each taking its own buffer credit),
-  // then await all completions.
+  // then await all completions. The whole group shares one class, so
+  // one class-latency sample covers the call.
+  const Priority cls =
+      reqs.empty() ? Priority::kNormal : reqs.front()->cls;
+  const sim::TimeNs t0 = rt_->engine().now();
   std::vector<sim::Future<Response>> futs;
   futs.reserve(reqs.size());
   for (auto& r : reqs) futs.push_back(make_future(r));
   for (auto& r : reqs) co_await issue_send(std::move(r));
   for (auto& f : futs) co_await f;
+  if (!futs.empty()) {
+    rt_->tracer().record(class_latency_kind(cls), id_, t0,
+                         rt_->engine().now() - t0);
+  }
 }
 
 sim::Co<void> Proc::put_v(ProcId target, std::span<const PutSeg> segs) {
@@ -315,6 +345,9 @@ sim::Co<void> Proc::get_v(ProcId target, std::span<const GetSeg> segs) {
 
 sim::Co<void> Proc::scatter_get(ProcId target, std::vector<GetSeg> segs) {
   std::vector<RequestPtr> reqs = chunk_get(target, segs);
+  const Priority cls =
+      reqs.empty() ? Priority::kNormal : reqs.front()->cls;
+  const sim::TimeNs t0 = rt_->engine().now();
   // Remember local scatter layout: chunks partition the segment list in
   // order, so replay the same walk when responses arrive.
   std::vector<sim::Future<Response>> futs;
@@ -326,6 +359,10 @@ sim::Co<void> Proc::scatter_get(ProcId target, std::vector<GetSeg> segs) {
   std::vector<Response> resps;
   resps.reserve(futs.size());
   for (auto& f : futs) resps.push_back(co_await f);
+  if (!futs.empty()) {
+    rt_->tracer().record(class_latency_kind(cls), id_, t0,
+                         rt_->engine().now() - t0);
+  }
 
   std::size_t chunk = 0;
   std::size_t within = 0;  // byte offset within current response

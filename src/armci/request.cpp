@@ -26,6 +26,18 @@ const char* to_string(OpCode op) {
   return "?";
 }
 
+const char* to_string(Priority cls) {
+  switch (cls) {
+    case Priority::kBulk:
+      return "bulk";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kCritical:
+      return "critical";
+  }
+  return "?";
+}
+
 std::int64_t Request::response_data_bytes() const {
   switch (op) {
     case OpCode::kGetV: {

@@ -42,6 +42,40 @@ enum class OpCode : std::uint8_t {
 
 [[nodiscard]] const char* to_string(OpCode op);
 
+/// Criticality class of a request. Atomics (fetch-&-add, swap) and lock
+/// traffic default to kCritical — they gate a rank's next task — while
+/// bulk data movement defaults to kBulk; everything else is kNormal.
+/// With QoS disabled (ArmciParams::qos.enabled == false) the class is
+/// carried but never consulted, so the default path stays byte-identical
+/// to the pre-QoS FIFO.
+enum class Priority : std::uint8_t {
+  kBulk = 0,
+  kNormal = 1,
+  kCritical = 2,
+};
+inline constexpr int kNumPriorities = 3;
+
+[[nodiscard]] const char* to_string(Priority cls);
+
+/// Default class for an op when the caller does not override it.
+[[nodiscard]] constexpr Priority default_priority(OpCode op) {
+  switch (op) {
+    case OpCode::kFetchAdd:
+    case OpCode::kSwap:
+    case OpCode::kLock:
+    case OpCode::kUnlock:
+      return Priority::kCritical;
+    case OpCode::kPutV:
+    case OpCode::kGetV:
+    case OpCode::kPutS:
+    case OpCode::kGetS:
+      return Priority::kBulk;
+    case OpCode::kAcc:
+      return Priority::kNormal;
+  }
+  return Priority::kNormal;
+}
+
 /// One segment of a vectored transfer, target side. Data for puts rides
 /// in Request::data in segment order; data for gets rides back in
 /// Response::data.
@@ -75,6 +109,11 @@ struct StridedDesc {
 /// What the target sends back to the origin process.
 struct Response {
   std::int64_t value = 0;            ///< fetch-&-add / swap result
+  /// Servicing CHT's queue depth when the response left — the congestion
+  /// feedback the origin's per-target AIMD window shrinks on. Always
+  /// populated (pure data, no extra event), only acted on when
+  /// ArmciParams::qos.congestion is enabled.
+  std::int32_t queue_backlog = 0;
   std::vector<std::uint8_t> data;    ///< gathered data for kGetV
 };
 
@@ -111,6 +150,15 @@ struct Request {
   /// the n-th watchdog re-issue. All attempts share `id` — the sequence
   /// number the target CHT dedups on — and the origin's response future.
   int attempt = 0;
+  /// Criticality class; see default_priority(). Travels with the request
+  /// so every hop's CHT dequeues and every credit acquire lanes by it.
+  Priority cls = Priority::kNormal;
+  /// Simulated time this copy entered the current CHT queue (per-class
+  /// queue-wait accounting + aging). Reset on every submit.
+  std::int64_t enqueued_ns = 0;
+  /// True when the origin's per-target congestion window charged a slot
+  /// for this op; the (dedup-gated) completion returns exactly one slot.
+  bool window_slot_taken = false;
 
   GAddr addr{};                      ///< target address (atomic/acc/lock id base)
   AccType acc_type = AccType::kF64;  ///< accumulate element type
@@ -284,6 +332,9 @@ class RequestPool {
     r->hop_credit_taken = false;
     r->forwards = 0;
     r->attempt = 0;
+    r->cls = Priority::kNormal;
+    r->enqueued_ns = 0;
+    r->window_slot_taken = false;
     r->addr = GAddr{};
     r->acc_type = AccType::kF64;
     r->scale = 1.0;

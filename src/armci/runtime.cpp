@@ -61,6 +61,8 @@ void Runtime::init() {
   }
   chts_.reserve(nn);
   credit_banks_.reserve(nn);
+  congestion_.reserve(nn);
+  const QosParams* qos = &cfg_.armci.qos;
   for (core::NodeId n = 0; n < cfg_.num_nodes; ++n) {
     if (sharded_ != nullptr) {
       // Construct each node's actors under its own node context so the
@@ -70,11 +72,15 @@ void Runtime::init() {
       chts_.push_back(std::make_unique<Cht>(*this, n));
       credit_banks_.push_back(std::make_unique<CreditBank>(
           sharded_->engine_for_node(static_cast<int>(n)),
-          credits_per_edge(), topology().neighbors(n)));
+          credits_per_edge(), topology().neighbors(n), qos));
+      congestion_.push_back(std::make_unique<CongestionControl>(
+          sharded_->engine_for_node(static_cast<int>(n)), qos));
     } else {
       chts_.push_back(std::make_unique<Cht>(*this, n));
       credit_banks_.push_back(std::make_unique<CreditBank>(
-          *eng_, credits_per_edge(), topology().neighbors(n)));
+          *eng_, credits_per_edge(), topology().neighbors(n), qos));
+      congestion_.push_back(
+          std::make_unique<CongestionControl>(*eng_, qos));
     }
   }
   procs_.reserve(static_cast<std::size_t>(num_procs()));
@@ -144,6 +150,12 @@ void Runtime::run_engine() {
   } else {
     eng_->run();
   }
+  // Reserved-lane grants live as monotone counters inside the banks
+  // (they have no stats access); snapshot the total whenever a run
+  // settles so stats_ reads stay consistent with the other counters.
+  std::uint64_t grants = 0;
+  for (const auto& bank : credit_banks_) grants += bank->reserved_grants();
+  stats_.reserved_grants = grants;
 }
 
 void Runtime::sync_slot_tracers() {
@@ -163,7 +175,12 @@ void Runtime::fold_shard_state() {
     a.direct_ops += b.direct_ops;
     a.cht_wakeups += b.cht_wakeups;
     a.lock_queue_max = std::max(a.lock_queue_max, b.lock_queue_max);
+    a.max_backlog = std::max(a.max_backlog, b.max_backlog);
     a.credit_blocked_ns += b.credit_blocked_ns;
+    a.aged_promotions += b.aged_promotions;
+    a.congestion_stalls += b.congestion_stalls;
+    a.congestion_stall_ns += b.congestion_stall_ns;
+    a.window_shrinks += b.window_shrinks;
     a.reconfigurations += b.reconfigurations;
     a.reconfig_quiesce_ns += b.reconfig_quiesce_ns;
     a.reconfig_remap_ns += b.reconfig_remap_ns;
@@ -212,6 +229,11 @@ Cht& Runtime::cht(core::NodeId n) {
 CreditBank& Runtime::credits(core::NodeId n) {
   assert(n >= 0 && n < num_nodes());
   return *credit_banks_[static_cast<std::size_t>(n)];
+}
+
+CongestionControl& Runtime::congestion(core::NodeId n) {
+  assert(n >= 0 && n < num_nodes());
+  return *congestion_[static_cast<std::size_t>(n)];
 }
 
 void Runtime::spawn(ProcId p, std::function<sim::Co<void>(Proc&)> program) {
@@ -267,6 +289,10 @@ void Runtime::validate_quiescent() {
   }
   VTOPO_CHECK_ALWAYS(inflight_requests() == 0,
                      "issued request never completed at its origin");
+  for (const auto& cc : congestion_) {
+    VTOPO_CHECK_ALWAYS(cc->idle(),
+                       "congestion window slot held past shutdown");
+  }
   // Check the cumulative forwarding depth against the loosest bound of
   // any topology generation installed during the run: after a live
   // reconfiguration to a shallower topology, hops that were legal under
@@ -448,12 +474,13 @@ void Runtime::note_first_hop_ok(core::NodeId hop) {
   first_hop_timeouts_[static_cast<std::size_t>(hop)] = 0;
 }
 
-void Runtime::reclaim_lease(core::NodeId holder, core::NodeId receiver) {
+void Runtime::reclaim_lease(core::NodeId holder, core::NodeId receiver,
+                            Priority cls) {
   if (!cfg_.armci.lease_reclaim) return;  // chaos knob: leak instead
   CreditBank* bank = credit_banks_[static_cast<std::size_t>(holder)].get();
   Runtime* rt = this;
-  auto release = [rt, bank, receiver] {
-    bank->release(receiver);
+  auto release = [rt, bank, receiver, cls] {
+    bank->release(receiver, cls);
     ++rt->stats().credits_reclaimed;
   };
   if (sharded_ != nullptr) {
@@ -477,6 +504,10 @@ RequestPtr Runtime::clone_request(const Request& r) {
   c->target_proc = r.target_proc;
   c->target_node = r.target_node;
   c->attempt = r.attempt;
+  c->cls = r.cls;
+  // The flag marks "this logical op holds a window slot"; every copy
+  // carries it so whichever response completes first frees the slot.
+  c->window_slot_taken = r.window_slot_taken;
   c->addr = r.addr;
   c->acc_type = r.acc_type;
   c->scale = r.scale;
@@ -501,7 +532,7 @@ void Runtime::send_request_msg(RequestPtr r, core::NodeId src,
     RequestPtr rr = std::move(r);
     network_.deliver(src, dst, wire_bytes, stream,
                      [&cht_dst, rr]() mutable {
-      cht_dst.enqueue(std::move(rr));
+      cht_dst.submit(std::move(rr));
     });
     return;
   }
@@ -515,7 +546,7 @@ void Runtime::send_request_msg(RequestPtr r, core::NodeId src,
     // The hop's buffer-credit lease dies with the message; reclaim it so
     // flow control recovers. The op itself is recovered by the origin's
     // retry watchdog (its RequestPtr copy keeps the request alive).
-    if (r->hop_credit_taken) reclaim_lease(src, dst);
+    if (r->hop_credit_taken) reclaim_lease(src, dst, r->cls);
     return;
   }
   if (f.duplicate) {
@@ -528,25 +559,26 @@ void Runtime::send_request_msg(RequestPtr r, core::NodeId src,
     RequestPtr dd = std::move(dup);
     network_.deliver(src, dst, wire_bytes, stream,
                      [&cht_dst, dd]() mutable {
-      cht_dst.enqueue(std::move(dd));
+      cht_dst.submit(std::move(dd));
     });
   }
   if (f.delay > 0) ++stats().msgs_delayed;
   RequestPtr rr = std::move(r);
   network_.deliver_delayed(src, dst, wire_bytes, stream, f.delay,
                            [&cht_dst, rr]() mutable {
-    cht_dst.enqueue(std::move(rr));
+    cht_dst.submit(std::move(rr));
   });
 }
 
-void Runtime::send_ack_msg(core::NodeId from, core::NodeId upstream) {
+void Runtime::send_ack_msg(core::NodeId from, core::NodeId upstream,
+                           Priority cls) {
   const ArmciParams& p = cfg_.armci;
   CreditBank& bank = credits(upstream);
   const core::NodeId self = from;
   ++stats().acks;
   if (!faults_armed()) {
     network_.deliver(from, upstream, p.ack_bytes, cht_stream(from),
-                     [&bank, self] { bank.release(self); });
+                     [&bank, self, cls] { bank.release(self, cls); });
     return;
   }
   const bool forced =
@@ -559,12 +591,13 @@ void Runtime::send_ack_msg(core::NodeId from, core::NodeId upstream) {
     ++stats().msgs_dropped;
     // A lost ack strands the lease at the upstream holder; reclaim it
     // (or, with lease_reclaim off, leak it — the validate death test).
-    reclaim_lease(upstream, from);
+    reclaim_lease(upstream, from, cls);
     return;
   }
   if (f.delay > 0) ++stats().msgs_delayed;
   network_.deliver_delayed(from, upstream, p.ack_bytes, cht_stream(from),
-                           f.delay, [&bank, self] { bank.release(self); });
+                           f.delay,
+                           [&bank, self, cls] { bank.release(self, cls); });
 }
 
 void Runtime::send_response_msg(RequestPtr req, Response resp,
@@ -586,6 +619,15 @@ void Runtime::send_response_msg(RequestPtr req, Response resp,
       return;
     }
     rt->note_request_completed();
+    // Endpoint congestion: the logical op's window slot (taken at issue,
+    // carried by every retry/duplicate copy) frees exactly once, here at
+    // the first completion, feeding the piggybacked queue depth into the
+    // per-target AIMD window.
+    if (req->window_slot_taken &&
+        rt->congestion(req->origin_node)
+            .complete(req->target_node, resp.queue_backlog)) {
+      ++rt->stats().window_shrinks;
+    }
     req->response_future->set(std::move(resp));
   };
   if (!faults_armed() || from == dst || op == OpCode::kLock ||
@@ -659,12 +701,12 @@ sim::Co<void> Runtime::reissue(RequestPtr r) {
   const core::NodeId hop = next_hop_for(origin, r->target_node);
   CreditBank& bank = credits(origin);
   const sim::TimeNs t0 = engine().now();
-  co_await bank.acquire(hop);
+  co_await bank.acquire(hop, r->cls);
   const sim::TimeNs blocked = engine().now() - t0;
   bank.add_blocked(blocked);
   stats().credit_blocked_ns += blocked;
   if (r->response_future->ready()) {
-    bank.release(hop);  // raced with a late response: hand it back
+    bank.release(hop, r->cls);  // raced with a late response: hand it back
     co_return;
   }
   r->upstream_node = origin;

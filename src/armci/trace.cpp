@@ -30,6 +30,18 @@ const char* to_string(TraceKind k) {
       return "reconfigure";
     case TraceKind::kRetry:
       return "retry";
+    case TraceKind::kQueueWaitBulk:
+      return "queue_wait_bulk";
+    case TraceKind::kQueueWaitNormal:
+      return "queue_wait_normal";
+    case TraceKind::kQueueWaitCritical:
+      return "queue_wait_critical";
+    case TraceKind::kClassLatBulk:
+      return "class_lat_bulk";
+    case TraceKind::kClassLatNormal:
+      return "class_lat_normal";
+    case TraceKind::kClassLatCritical:
+      return "class_lat_critical";
   }
   return "?";
 }

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "armci/request.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
@@ -32,8 +33,27 @@ enum class TraceKind : std::uint8_t {
   kBarrier,      ///< barrier wait
   kReconfigure,  ///< live topology reconfiguration (quiesce + remap)
   kRetry,        ///< watchdog re-issue of a timed-out request
+  // Per-priority-class QoS series (see armci/request.hpp Priority).
+  kQueueWaitBulk,      ///< CHT queue wait of a kBulk request
+  kQueueWaitNormal,    ///< CHT queue wait of a kNormal request
+  kQueueWaitCritical,  ///< CHT queue wait of a kCritical request
+  kClassLatBulk,       ///< origin-observed latency, kBulk ops
+  kClassLatNormal,     ///< origin-observed latency, kNormal ops
+  kClassLatCritical,   ///< origin-observed latency, kCritical ops
 };
-inline constexpr std::size_t kNumTraceKinds = 12;
+inline constexpr std::size_t kNumTraceKinds = 18;
+
+/// The queue-wait / class-latency series slot for a priority class.
+[[nodiscard]] constexpr TraceKind queue_wait_kind(Priority cls) {
+  return static_cast<TraceKind>(
+      static_cast<std::size_t>(TraceKind::kQueueWaitBulk) +
+      static_cast<std::size_t>(cls));
+}
+[[nodiscard]] constexpr TraceKind class_latency_kind(Priority cls) {
+  return static_cast<TraceKind>(
+      static_cast<std::size_t>(TraceKind::kClassLatBulk) +
+      static_cast<std::size_t>(cls));
+}
 
 [[nodiscard]] const char* to_string(TraceKind k);
 

@@ -117,6 +117,7 @@ ContentionResult run_contention(const ClusterConfig& cluster,
   std::unique_ptr<armci::Runtime> rt_owner = make_runtime(eng, cluster);
   armci::Runtime& rt = *rt_owner;
   arm_reconfigure(rt, cluster);
+  if (cfg.trace_classes) rt.tracer().enable();
 
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;
@@ -137,6 +138,15 @@ ContentionResult run_contention(const ClusterConfig& cluster,
   out.op_time_us = std::move(st->result_us);
   out.stats = rt.stats();
   out.total_sim_sec = sim::to_sec(rt.engine().now());
+  if (cfg.trace_classes) {
+    for (std::size_t c = 0; c < armci::kNumPriorities; ++c) {
+      const auto cls = static_cast<armci::Priority>(c);
+      out.class_lat_us[c] =
+          rt.tracer().series(armci::class_latency_kind(cls)).samples();
+      out.queue_wait_us[c] =
+          rt.tracer().series(armci::queue_wait_kind(cls)).samples();
+    }
+  }
   return out;
 }
 

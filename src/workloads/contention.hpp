@@ -8,6 +8,7 @@
 // average operation time is the figure's y-value.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,9 @@ struct ContentionConfig {
   /// Vectored op: segments per op and bytes per segment.
   int vec_segments = 16;
   std::int64_t seg_bytes = 512;
+  /// Enable the OpTracer and export per-priority-class latency series
+  /// in the result (QoS benches; off for the golden-locked figures).
+  bool trace_classes = false;
 };
 
 struct ContentionResult {
@@ -37,6 +41,11 @@ struct ContentionResult {
   std::vector<double> op_time_us;
   armci::RuntimeStats stats{};
   double total_sim_sec = 0.0;
+  /// Per-class samples (us), indexed by armci::Priority; filled only
+  /// when ContentionConfig::trace_classes. Origin-observed op latency
+  /// and CHT queue wait respectively.
+  std::array<std::vector<double>, armci::kNumPriorities> class_lat_us{};
+  std::array<std::vector<double>, armci::kNumPriorities> queue_wait_us{};
 };
 
 /// Run the Sec. V-B experiment on a fresh simulated cluster.

@@ -91,8 +91,24 @@ TEST(Tracer, EventLogAndCsv) {
   });
   rt.run_all();
   const auto& events = rt.tracer().events();
-  EXPECT_EQ(events.size(),
-            static_cast<std::size_t>(rt.num_procs()) * 2);
+  // Per proc: one fetch_add and one barrier, plus the QoS series — one
+  // origin class-latency sample per op and one queue-wait sample per
+  // CHT hop the request visited (>= 1, forwarding adds more).
+  std::size_t fa = 0;
+  std::size_t bar = 0;
+  std::size_t cls = 0;
+  std::size_t qw = 0;
+  for (const auto& e : events) {
+    if (e.kind == TraceKind::kFetchAdd) ++fa;
+    if (e.kind == TraceKind::kBarrier) ++bar;
+    if (e.kind == TraceKind::kClassLatCritical) ++cls;
+    if (e.kind == TraceKind::kQueueWaitCritical) ++qw;
+  }
+  const auto n = static_cast<std::size_t>(rt.num_procs());
+  EXPECT_EQ(fa, n);
+  EXPECT_EQ(bar, n);
+  EXPECT_EQ(cls, n);
+  EXPECT_GE(qw, n);
   const std::string csv = rt.tracer().events_csv();
   EXPECT_NE(csv.find("kind,proc,start_ns,latency_ns"), std::string::npos);
   EXPECT_NE(csv.find("fetch_add,"), std::string::npos);

@@ -49,8 +49,11 @@ struct ChaosRun {
 /// CHT-path reads, all against node 0 (spared by FaultPlan::random so
 /// shared state survives crashes), under the spec's fault plan.
 /// `shards` == 0 runs the legacy single-threaded engine; >= 1 runs the
-/// sharded engine with that many shards.
-ChaosRun run_chaos(const CaseSpec& spec, int shards = 0) {
+/// sharded engine with that many shards. `qos` arms the criticality-
+/// aware request path (weighted CHT dequeue + aging, reserved credit
+/// lanes, congestion windows) — the workload already mixes the three
+/// classes (acc = normal, fetch_add = critical, get_v = bulk).
+ChaosRun run_chaos(const CaseSpec& spec, int shards = 0, bool qos = false) {
   sim::Engine eng;
   armci::Runtime::Config cfg;
   cfg.num_nodes = spec.nodes;
@@ -58,6 +61,7 @@ ChaosRun run_chaos(const CaseSpec& spec, int shards = 0) {
   cfg.topology = spec.kind;
   cfg.seed = spec.seed;
   cfg.armci.buffers_per_process = spec.buffers_per_process;
+  cfg.armci.qos.enabled = qos;
   cfg.faults = spec.fault_plan();
   cfg.shards = std::max(shards, 1);
   std::unique_ptr<armci::Runtime> rt_owner =
@@ -244,6 +248,62 @@ PropResult replay_identical(const CaseSpec& spec) {
   return compare_runs("replay", a, b);
 }
 
+// --- QoS-enabled properties ------------------------------------------
+// Same chaos machinery with the criticality-aware request path armed:
+// reserved lanes must not break per-class credit conservation, and the
+// weighted dequeue with aging must not starve any op out of completing.
+
+PropResult qos_credits_conserved(const CaseSpec& spec) {
+  const ChaosRun r = run_chaos(spec, 0, /*qos=*/true);
+  if (r.deadlocked) return PropResult::fail("deadlocked before check");
+  if (!r.banks_conserved) {
+    return PropResult::fail(
+        "per-class credit conservation lost with reserved lanes armed");
+  }
+  if (!r.banks_idle) {
+    return PropResult::fail(
+        "credit bank not idle at quiescence (leaked lane credit)");
+  }
+  if (r.inflight != 0 || r.pool_live != 0) {
+    return PropResult::fail(
+        "qos run drained but left inflight=" + std::to_string(r.inflight) +
+        " pool_live=" + std::to_string(r.pool_live));
+  }
+  return PropResult::pass();
+}
+
+PropResult qos_no_starvation(const CaseSpec& spec) {
+  const ChaosRun r = run_chaos(spec, 0, /*qos=*/true);
+  if (r.deadlocked) {
+    return PropResult::fail(
+        "deadlock with QoS scheduling: " + std::to_string(r.stranded) +
+        " task(s) stranded");
+  }
+  // Every issued op completed exactly once: the aging path keeps bulk
+  // draining under the weighted dequeue — a starved op would strand the
+  // counter short (its proc never reaches the final barrier).
+  if (r.final_counter != r.expected_counter) {
+    return PropResult::fail(
+        "counter=" + std::to_string(r.final_counter) + " expected " +
+        std::to_string(r.expected_counter) + " under QoS scheduling");
+  }
+  if (r.final_acc != r.expected_acc) {
+    return PropResult::fail("accumulate lost under QoS scheduling");
+  }
+  return PropResult::pass();
+}
+
+PropResult qos_shard_invariant(const CaseSpec& spec) {
+  const ChaosRun base = run_chaos(spec, 1, /*qos=*/true);
+  for (const int shards : {2, 4}) {
+    const ChaosRun b = run_chaos(spec, shards, /*qos=*/true);
+    const PropResult r =
+        compare_runs(shards == 2 ? "qos shards=2" : "qos shards=4", base, b);
+    if (!r.ok) return r;
+  }
+  return PropResult::pass();
+}
+
 /// The full chaos machinery — fault injection, drops, duplicates,
 /// watchdog retries, heal-around — must be byte-invariant across shard
 /// counts of the sharded engine.
@@ -291,6 +351,25 @@ TEST(ChaosProps, ShardCountInvariantUnderFaults) {
   CheckOptions opts;
   opts.cases = 4;  // each case runs the simulation four times (1/2/4/8)
   const auto out = proptest::check("shard_invariant", shard_invariant, opts);
+  EXPECT_TRUE(out.ok) << out.repro;
+}
+
+TEST(ChaosProps, QosCreditLanesConservedUnderFaults) {
+  const auto out =
+      proptest::check("qos_credits_conserved", qos_credits_conserved);
+  EXPECT_TRUE(out.ok) << out.repro;
+}
+
+TEST(ChaosProps, QosNoStarvationUnderAgingAndFaults) {
+  const auto out = proptest::check("qos_no_starvation", qos_no_starvation);
+  EXPECT_TRUE(out.ok) << out.repro;
+}
+
+TEST(ChaosProps, QosShardCountInvariant) {
+  CheckOptions opts;
+  opts.cases = 3;  // each case runs the simulation three times (1/2/4)
+  const auto out =
+      proptest::check("qos_shard_invariant", qos_shard_invariant, opts);
   EXPECT_TRUE(out.ok) << out.repro;
 }
 

@@ -244,6 +244,76 @@ TEST(LintS1, ExemptInsideShardedEngine) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(LintQ1, FiresOnDirectPushAcrossFiles) {
+  // Member declared QosQueue in a header, pushed into from a .cpp that
+  // is not the CHT itself.
+  Linter linter;
+  linter.add_file("src/armci/other.hpp",
+                  "#include \"armci/qos_queue.hpp\"\n"
+                  "struct Other { armci::QosQueue fast_path_; };\n");
+  linter.add_file("src/armci/other.cpp",
+                  "#include \"other.hpp\"\n"
+                  "void f(Other& o, armci::RequestPtr r) {\n"
+                  "  o.fast_path_.push(std::move(r));\n"
+                  "}\n");
+  const auto diags = linter.run();
+  ASSERT_TRUE(has_rule(diags, "Q1"));
+  EXPECT_EQ(diags[0].file, "src/armci/other.cpp");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintQ1, FiresOnEnqueueThroughPointer) {
+  const auto diags = lint_one(
+      "src/armci/shim.cpp",
+      "armci::QosQueue* stash;\n"
+      "void f(armci::RequestPtr r) { stash->enqueue(std::move(r)); }\n");
+  ASSERT_TRUE(has_rule(diags, "Q1"));
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintQ1, SubmitAndReadOnlyUsesAreClean) {
+  const auto diags = lint_one(
+      "src/armci/shim.cpp",
+      "#include \"armci/cht.hpp\"\n"
+      "struct H { armci::QosQueue inbox_; };\n"
+      "void f(armci::Cht& cht, H& h, armci::RequestPtr r) {\n"
+      "  cht.submit(std::move(r));\n"       // the sanctioned path
+      "  (void)h.inbox_.size();\n"          // read-only use
+      "  std::vector<int> other; other.push_back(1);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintQ1, ExemptInsideChtAndQosQueue) {
+  // The CHT and the queue itself are the sanctioned implementations.
+  const auto cht = lint_one(
+      "src/armci/cht.cpp",
+      "struct C { armci::QosQueue queue_; };\n"
+      "void C_submit(C& c, armci::RequestPtr r) {\n"
+      "  c.queue_.push(std::move(r));\n"
+      "}\n");
+  EXPECT_TRUE(cht.empty());
+  const auto qq = lint_one(
+      "src/armci/qos_queue.hpp",
+      "struct Q { armci::QosQueue inner_; };\n"
+      "void relay(Q& q, armci::RequestPtr r) {\n"
+      "  q.inner_.push(std::move(r));\n"
+      "}\n");
+  EXPECT_TRUE(qq.empty());
+}
+
+TEST(LintQ1, AnnotationSuppresses) {
+  const auto diags = lint_one(
+      "src/armci/shim.cpp",
+      "struct H { armci::QosQueue inbox_; };\n"
+      "void f(H& h, armci::RequestPtr r) {\n"
+      "  // vtopo-lint: allow(qos-submit) -- replay path, class already "
+      "stamped\n"
+      "  h.inbox_.push(std::move(r));\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
 TEST(LintA0, MalformedAnnotationReported) {
   const auto diags = lint_one(
       "src/a.cpp",
@@ -290,6 +360,7 @@ TEST(LintMeta, AnnotationNameMapping) {
   EXPECT_EQ(annotation_name("D3"), "pointer-order");
   EXPECT_EQ(annotation_name("C1"), "coro-ref");
   EXPECT_EQ(annotation_name("S1"), "cross-shard");
+  EXPECT_EQ(annotation_name("Q1"), "qos-submit");
 }
 
 }  // namespace

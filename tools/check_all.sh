@@ -10,7 +10,12 @@
 #   4. Chaos gate: the fault-injection and property-based suites
 #      (ctest -L "fault|proptest") plus the 30-second fault_bench
 #      smoke (goodput retained + recovery latency, exactly-once).
-#   5. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
+#   5. QoS gate: the criticality-aware request-path suites (ctest -L
+#      qos) plus byte-diffs of the QoS-ENABLED fig7 pipeline — the
+#      class-aware queue, reserved lanes and congestion windows must
+#      stay deterministic across --jobs and shard counts, not just in
+#      the disabled-identity configuration the goldens pin.
+#   6. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
 #      TSan over the threaded paths, --jobs byte-diffs.
 #
 # The sanitizer sweep is the slow half; skip it with --fast when
@@ -67,12 +72,34 @@ echo "== chaos (fault + proptest) =="
 ctest --test-dir build -L "fault|proptest" -j "$(nproc)" --output-on-failure
 ./build/bench/fault_bench --quick --out "$fig_out/BENCH_fault_smoke.json"
 
+echo "== qos =="
+ctest --test-dir build -L qos -j "$(nproc)" --output-on-failure
+
+# QoS-enabled determinism: with the class-aware queue, reserved lanes
+# and congestion windows live, fig7 must still be byte-identical across
+# the threaded --jobs sweep and across shard counts.
+./build/bench/fig7_fetchadd_contention --quick --qos --nodes 16 --ppn 2 \
+  --iters 2 --jobs 1 >"$fig_out/fig7_qos_j1.txt"
+./build/bench/fig7_fetchadd_contention --quick --qos --nodes 16 --ppn 2 \
+  --iters 2 --jobs 4 >"$fig_out/fig7_qos_j4.txt"
+diff -u "$fig_out/fig7_qos_j1.txt" "$fig_out/fig7_qos_j4.txt"
+
+# The "# engine sharded (--shards N)" header names the shard count, so
+# strip it: every data byte below it must be identical.
+./build/bench/fig7_fetchadd_contention --quick --qos --nodes 16 --ppn 2 \
+  --iters 2 --jobs 2 --shards 2 | grep -v '^# engine' \
+  >"$fig_out/fig7_qos_s2.txt"
+./build/bench/fig7_fetchadd_contention --quick --qos --nodes 16 --ppn 2 \
+  --iters 2 --jobs 2 --shards 4 | grep -v '^# engine' \
+  >"$fig_out/fig7_qos_s4.txt"
+diff -u "$fig_out/fig7_qos_s2.txt" "$fig_out/fig7_qos_s4.txt"
+
 if [[ "$fast" -eq 1 ]]; then
-  echo "check_all (--fast): build, ctest, lint, figure identity, chaos clean"
+  echo "check_all (--fast): build, ctest, lint, figure identity, chaos, qos clean"
   exit 0
 fi
 
 echo "== sanitizers =="
 tools/check_sanitize.sh
 
-echo "check_all: build, ctest, lint, figure identity, sanitizers clean"
+echo "check_all: build, ctest, lint, figure identity, chaos, qos, sanitizers clean"

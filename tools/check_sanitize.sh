@@ -12,6 +12,9 @@
 #      sharded identity suite (byte-identity at shards 1/2/4/8 and
 #      kThreads vs kSerial) and the hotpath bench's --shards 4
 #      --shard-threads path (window barriers, mailboxes, remote frees).
+#   4. TSan over the QoS battery (ctest -L qos): the class-aware queue,
+#      reserved credit lanes and congestion windows, including the
+#      sharded storm test, with the race detector watching.
 #
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all) and
 # fails the script.
@@ -58,4 +61,8 @@ diff -u "$tsan_out/fig7_serial.txt" "$tsan_out/fig7_jobs4.txt"
 # and thread modes with the race detector watching the window protocol.
 ./build-tsan/tests/sharded_identity_test
 
-echo "sanitize: ASan+UBSan suites, TSan suites, --jobs byte-diffs, and sharded-engine battery clean"
+# Criticality-aware QoS battery: queue scheduling, reserved lanes and
+# congestion windows (covers the sharded QoS storm invariance test).
+ctest --test-dir build-tsan -L qos -j "$(nproc)" --output-on-failure
+
+echo "sanitize: ASan+UBSan suites, TSan suites, --jobs byte-diffs, sharded-engine and qos batteries clean"

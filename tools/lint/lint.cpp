@@ -19,6 +19,7 @@ constexpr std::pair<std::string_view, std::string_view> kRuleNames[] = {
     {"D3", "pointer-order"},
     {"C1", "coro-ref"},
     {"S1", "cross-shard"},
+    {"Q1", "qos-submit"},
 };
 
 // ---------------------------------------------------------------------
@@ -68,7 +69,7 @@ void parse_annotations(std::string_view comment, int line, Annotations& out) {
       out.malformed.emplace_back(
           line, "unknown vtopo-lint rule name '" + rule +
                     "' (want nondeterminism, unordered-iter, pointer-order, "
-                    "coro-ref or cross-shard)");
+                    "coro-ref, cross-shard or qos-submit)");
       pos = close;
       continue;
     }
@@ -307,6 +308,8 @@ struct FileCtx {
   Annotations ann;
   bool rng_exempt = false;  ///< path matches src/sim/rng.* (rule D1)
   bool sharded_exempt = false;  ///< path matches sim/sharded_engine.* (S1)
+  bool cht_exempt = false;  ///< path matches armci/cht.* or
+                            ///< armci/qos_queue.* (rule Q1)
 };
 
 class Sink {
@@ -711,6 +714,73 @@ void rule_s1(const FileCtx& f, Sink& sink) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Rule Q1: direct pushes into the CHT's class-aware request queue.
+// ---------------------------------------------------------------------
+
+/// Collect names declared with the CHT queue type ("QosQueue name",
+/// optionally namespace-qualified or behind a "using Alias = QosQueue"),
+/// project-wide: the member lives in cht.hpp, pushes could appear in any
+/// .cpp.
+void collect_qos_queue_names(const std::vector<Token>& t,
+                             std::set<std::string, std::less<>>& names,
+                             std::set<std::string, std::less<>>& types) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    const bool queue_here =
+        t[i].text == "QosQueue" || types.count(t[i].text) != 0;
+    if (!queue_here) continue;
+    // "using Alias = [armci::]QosQueue" — look behind, skipping
+    // namespace qualification.
+    std::size_t b = i;
+    while (b >= 2 && is(t[b - 1], "::") && t[b - 2].kind == Token::kIdent) {
+      b -= 2;
+    }
+    if (b >= 3 && is(t[b - 1], "=") && t[b - 2].kind == Token::kIdent &&
+        is(t[b - 3], "using")) {
+      types.insert(std::string(t[b - 2].text));
+    }
+    // Skip declarator decorations, then expect the declared name (a
+    // following '(' is a constructor/temporary, not a declaration).
+    std::size_t j = i + 1;
+    while (j < t.size() && (is(t[j], "*") || is(t[j], "&") ||
+                            is(t[j], "&&") || is(t[j], "const"))) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == Token::kIdent &&
+        t[j].text != "operator") {
+      names.insert(std::string(t[j].text));
+    }
+  }
+}
+
+void rule_q1(const FileCtx& f,
+             const std::set<std::string, std::less<>>& qos_queue_names,
+             Sink& sink) {
+  if (f.cht_exempt) return;
+  const auto& t = f.toks;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent ||
+        qos_queue_names.count(t[i].text) == 0) {
+      continue;
+    }
+    if (!is(t[i + 1], ".") && !is(t[i + 1], "->")) continue;
+    const std::string_view method = t[i + 2].text;
+    if (t[i + 2].kind != Token::kIdent ||
+        (method != "push" && method != "enqueue")) {
+      continue;
+    }
+    if (!is(t[i + 3], "(")) continue;
+    sink.report(
+        "Q1", t[i].line,
+        "'" + std::string(t[i].text) + "." + std::string(method) +
+            "(...)' pushes into a CHT request queue directly, bypassing "
+            "the class-aware submit path (priority stamping, backlog "
+            "accounting, congestion feedback); route the request through "
+            "Cht::submit");
+  }
+}
+
 }  // namespace
 
 std::string_view annotation_name(std::string_view rule_id) {
@@ -735,6 +805,9 @@ std::vector<Diagnostic> Linter::run() {
     ctx.rng_exempt = f.path.find("sim/rng.") != std::string::npos;
     ctx.sharded_exempt =
         f.path.find("sim/sharded_engine.") != std::string::npos;
+    ctx.cht_exempt =
+        f.path.find("armci/cht.") != std::string::npos ||
+        f.path.find("armci/qos_queue.") != std::string::npos;
     ctxs.push_back(std::move(ctx));
     // Tokenize after the move so Token::text views into storage that
     // lives as long as the context itself.
@@ -745,9 +818,12 @@ std::vector<Diagnostic> Linter::run() {
   // header, iteration in a .cpp).
   std::set<std::string, std::less<>> unordered_names;
   std::set<std::string, std::less<>> unordered_types;
+  std::set<std::string, std::less<>> qos_queue_names;
+  std::set<std::string, std::less<>> qos_queue_types;
   for (int round = 0; round < 2; ++round) {  // 2 rounds: aliases settle
     for (const auto& ctx : ctxs) {
       collect_unordered_names(ctx.toks, unordered_names, unordered_types);
+      collect_qos_queue_names(ctx.toks, qos_queue_names, qos_queue_types);
     }
   }
 
@@ -764,6 +840,7 @@ std::vector<Diagnostic> Linter::run() {
     rule_c1_functions(ctx, sink);
     rule_c1_lambdas(ctx, sink);
     rule_s1(ctx, sink);
+    rule_q1(ctx, qos_queue_names, sink);
   }
   std::sort(diags.begin(), diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {

@@ -22,6 +22,11 @@
 //                        Detached functions with const-ref or rvalue-ref
 //                        parameters (can bind dead temporaries), and
 //                        coroutine lambdas capturing by reference
+//   Q1 qos-submit      — direct .push()/.enqueue() into a QosQueue-typed
+//                        name outside armci/cht.* / armci/qos_queue.*:
+//                        bypasses the class-aware Cht::submit path
+//                        (priority stamping, backlog accounting,
+//                        congestion feedback)
 //   A0 annotation      — malformed vtopo-lint annotation (missing
 //                        "-- reason", unknown rule name)
 //
@@ -30,7 +35,7 @@
 // or once per file (anywhere in the file):
 //   // vtopo-lint: allow-file(<rule>) -- <reason>
 // where <rule> is one of: nondeterminism, unordered-iter, pointer-order,
-// coro-ref.
+// coro-ref, cross-shard, qos-submit.
 #pragma once
 
 #include <string>
@@ -40,7 +45,7 @@
 namespace vtopo::lint {
 
 struct Diagnostic {
-  std::string rule;     ///< "D1", "D2", "D3", "C1", "A0"
+  std::string rule;     ///< "D1", "D2", "D3", "C1", "S1", "Q1", "A0"
   std::string file;
   int line = 0;
   std::string message;
