@@ -51,6 +51,7 @@ sim::Co<void> Proc::put(GAddr dst, std::span<const std::uint8_t> src) {
     sim::Future<int> done(eng);
     rt_->network().deliver_notify(
         node_, tnode, wire, rt_->proc_stream(id_),
+        // vtopo-lint: allow(suspension-lifetime) -- mem aliases the runtime-owned GlobalMemory, which outlives this frame
         [&mem, dst, data = std::move(data)]() mutable {
           mem.write(dst, data.view());
         },
@@ -60,6 +61,7 @@ sim::Co<void> Proc::put(GAddr dst, std::span<const std::uint8_t> src) {
     const sim::TimeNs arrival =
         rt_->network().send(node_, tnode, wire, rt_->proc_stream(id_));
     eng.schedule_at(arrival,
+                    // vtopo-lint: allow(suspension-lifetime) -- mem aliases the runtime-owned GlobalMemory, not a frame local
                     [&mem, dst, data = std::move(data)]() mutable {
       mem.write(dst, data.view());
     });

@@ -64,6 +64,7 @@ sim::Co<double> TreeReduce::allreduce_sum(armci::Proc& p, double value) {
     sum += unpack(m.payload);
   }
   // ...and child nodes along the topology tree.
+  // vtopo-lint: allow(suspension-lifetime) -- children_ is built once at construction and never mutated during a reduce
   const auto& kids = children_[static_cast<std::size_t>(my_node)];
   for (const core::NodeId child : kids) {
     const msg::Message m =

@@ -63,6 +63,7 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
     co_await p.barrier();
 
     TaskPool pool{GAddr{0, st->counter_off}, total_tasks, cfg.chunk};
+    // vtopo-lint: allow(suspension-lifetime) -- the closure only runs while this frame is suspended awaiting drain_task_pool
     co_await drain_task_pool(p, pool, [&](std::int64_t t) {
       return one_task(p, st, t);
     });

@@ -359,8 +359,413 @@ TEST(LintMeta, AnnotationNameMapping) {
   EXPECT_EQ(annotation_name("D2"), "unordered-iter");
   EXPECT_EQ(annotation_name("D3"), "pointer-order");
   EXPECT_EQ(annotation_name("C1"), "coro-ref");
+  EXPECT_EQ(annotation_name("C2"), "suspension-lifetime");
   EXPECT_EQ(annotation_name("S1"), "cross-shard");
   EXPECT_EQ(annotation_name("Q1"), "qos-submit");
+  EXPECT_EQ(annotation_name("R1"), "credit-lease-pairing");
+  EXPECT_EQ(annotation_name("L1"), "lock-order");
+}
+
+// ---------------------------------------------------------------------
+// R1: credit-lease pairing (path-sensitive acquire/release matching).
+// ---------------------------------------------------------------------
+
+bool trace_has_note(const Diagnostic& d, const std::string& needle) {
+  return std::any_of(d.trace.begin(), d.trace.end(), [&](const TraceStep& s) {
+    return s.note.find(needle) != std::string::npos;
+  });
+}
+
+TEST(LintR1, FiresOnLeaseLeakedByEarlyReturn) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> forward(CreditBank& bank, Req* r) {\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "  if (r->bad) {\n"
+      "    co_return;\n"
+      "  }\n"
+      "  bank.release(r->next, r->cls);\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R1");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_GT(diags[0].col, 1);
+  // The CFG path trace must name the acquire site, the branch the
+  // leaking path takes, and the early return that leaks.
+  ASSERT_GE(diags[0].trace.size(), 3u);
+  EXPECT_TRUE(trace_has_note(diags[0], "acquired here"));
+  EXPECT_TRUE(trace_has_note(diags[0], "takes this branch"));
+  EXPECT_TRUE(trace_has_note(diags[0], "early return"));
+  EXPECT_EQ(diags[0].trace.back().line, 4);
+}
+
+TEST(LintR1, FiresOnLeaseLeakedAtFunctionEnd) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> maybe(CreditBank& bank, Req* r) {\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "  if (r->ok) {\n"
+      "    bank.release(r->next, r->cls);\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R1");
+  EXPECT_TRUE(trace_has_note(diags[0], "leaked at end of 'maybe'"));
+}
+
+TEST(LintR1, ReleasedOnAllPathsIsClean) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> forward(CreditBank& bank, Req* r) {\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "  if (r->bad) {\n"
+      "    bank.release(r->next, r->cls);\n"
+      "    co_return;\n"
+      "  }\n"
+      "  bank.release(r->next, r->cls);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintR1, HopCreditTransferIsClean) {
+  // `r->hop_credit_taken = true` moves lease ownership onto the request;
+  // the downstream ack path releases it.
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> hop(CreditBank& bank, Req* r) {\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "  r->hop_credit_taken = true;\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintR1, TransferAnnotationIsClean) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> hand_off(CreditBank& bank, Req* r) {\n"
+      "  // vtopo-lint: transfer(credit-lease-pairing) -- ack path owns it\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintR1, CrossFileReleaserCallIsClean) {
+  // forward() never touches release directly; it calls a helper defined
+  // in another TU that does. The call graph must carry the summary.
+  Linter linter;
+  linter.add_file("src/armci/fwd.cpp",
+                  "void finish_hop(CreditBank& bank, Req* r);\n"
+                  "sim::Co<void> forward(CreditBank& bank, Req* r) {\n"
+                  "  co_await bank.acquire(r->next, r->cls);\n"
+                  "  finish_hop(bank, r);\n"
+                  "}\n");
+  linter.add_file("src/armci/ack.cpp",
+                  "void finish_hop(CreditBank& bank, Req* r) {\n"
+                  "  bank.release(r->next, r->cls);\n"
+                  "}\n");
+  EXPECT_TRUE(linter.run().empty());
+}
+
+TEST(LintR1, AccessorBoundAliasIsTracked) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> f(Runtime* rt_, Req* r) {\n"
+      "  auto& bank = rt_->credits(r->next);\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "  co_return;\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R1");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintR1, DroppedArenaChunkFires) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "void stage(Runtime* rt_, std::size_t n) {\n"
+      "  rt_->payload_arena().acquire(n);\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "R1");
+  EXPECT_NE(diags[0].message.find("immediately dropped"), std::string::npos);
+}
+
+TEST(LintR1, BoundArenaChunkIsClean) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "void stage(Runtime* rt_, std::size_t n) {\n"
+      "  PayloadArena::Ref data = rt_->payload_arena().acquire(n);\n"
+      "  use(data);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintR1, AllowSuppresses) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> forward(CreditBank& bank, Req* r) {\n"
+      "  // vtopo-lint: allow(credit-lease-pairing) -- intentional fixture\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------
+// C2: references and by-ref captures across coroutine suspension points.
+// ---------------------------------------------------------------------
+
+TEST(LintC2, FiresOnByRefCaptureAcrossCoAwait) {
+  const auto diags = lint_one(
+      "src/armci/x.cpp",
+      "sim::Co<void> f(sim::Engine& eng) {\n"
+      "  int local = 3;\n"
+      "  eng.post([&local]() { local++; });\n"
+      "  co_await sim::Sleep(eng, 5);\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "C2");
+  EXPECT_EQ(diags[0].line, 3);
+  ASSERT_EQ(diags[0].trace.size(), 2u);
+  EXPECT_TRUE(trace_has_note(diags[0], "escapes here"));
+  EXPECT_TRUE(trace_has_note(diags[0], "suspends here"));
+  EXPECT_EQ(diags[0].trace[1].line, 4);
+}
+
+TEST(LintC2, FiresOnElementRefAcrossCoAwait) {
+  const auto diags = lint_one(
+      "src/coll/x.cpp",
+      "sim::Co<void> f(Tree& t, int v) {\n"
+      "  const auto& kids = t.children[v];\n"
+      "  co_await t.barrier();\n"
+      "  use(kids.size());\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "C2");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_TRUE(trace_has_note(diags[0], "reference bound here"));
+  EXPECT_TRUE(trace_has_note(diags[0], "suspends here"));
+  EXPECT_TRUE(trace_has_note(diags[0], "after resumption"));
+}
+
+TEST(LintC2, ValueCaptureIsClean) {
+  const auto diags = lint_one(
+      "src/armci/x.cpp",
+      "sim::Co<void> f(sim::Engine& eng) {\n"
+      "  int local = 3;\n"
+      "  eng.post([local]() mutable { local++; });\n"
+      "  co_await sim::Sleep(eng, 5);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintC2, NonCoroutineIsClean) {
+  const auto diags = lint_one(
+      "src/armci/x.cpp",
+      "void f(sim::Engine& eng) {\n"
+      "  int local = 3;\n"
+      "  eng.post([&local]() { local++; });\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintC2, EscapeAfterLastSuspensionIsClean) {
+  // The closure cannot run across a suspension that already happened.
+  const auto diags = lint_one(
+      "src/armci/x.cpp",
+      "sim::Co<void> f(sim::Engine& eng) {\n"
+      "  co_await sim::Sleep(eng, 5);\n"
+      "  int local = 3;\n"
+      "  eng.post([&local]() { local++; });\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintC2, RefNotUsedAfterSuspensionIsClean) {
+  const auto diags = lint_one(
+      "src/coll/x.cpp",
+      "sim::Co<void> f(Tree& t, int v) {\n"
+      "  const auto& kids = t.children[v];\n"
+      "  use(kids.size());\n"
+      "  co_await t.barrier();\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintC2, AllowSuppresses) {
+  const auto diags = lint_one(
+      "src/armci/x.cpp",
+      "sim::Co<void> f(sim::Engine& eng) {\n"
+      "  int local = 3;\n"
+      "  // vtopo-lint: allow(suspension-lifetime) -- closure runs inline\n"
+      "  eng.post([&local]() { local++; });\n"
+      "  co_await sim::Sleep(eng, 5);\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------
+// L1: global lock-acquisition-order cycles.
+// ---------------------------------------------------------------------
+
+TEST(LintL1, FiresOnOppositeGuardOrder) {
+  const auto diags = lint_one(
+      "src/armci/locks.cpp",
+      "struct S {\n"
+      "  std::mutex a_mu;\n"
+      "  std::mutex b_mu;\n"
+      "  void f() { std::scoped_lock g1(a_mu); std::scoped_lock g2(b_mu); }\n"
+      "  void g() { std::scoped_lock g1(b_mu); std::scoped_lock g2(a_mu); }\n"
+      "};\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "L1");
+  EXPECT_NE(diags[0].message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'a_mu'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'b_mu'"), std::string::npos);
+  // The witness trace shows one edge per cycle arc.
+  ASSERT_EQ(diags[0].trace.size(), 2u);
+  EXPECT_TRUE(trace_has_note(diags[0], "while holding 'a_mu'"));
+  EXPECT_TRUE(trace_has_note(diags[0], "while holding 'b_mu'"));
+}
+
+TEST(LintL1, ConsistentOrderIsClean) {
+  const auto diags = lint_one(
+      "src/armci/locks.cpp",
+      "struct S {\n"
+      "  std::mutex a_mu;\n"
+      "  std::mutex b_mu;\n"
+      "  void f() { std::scoped_lock g1(a_mu); std::scoped_lock g2(b_mu); }\n"
+      "  void g() { std::scoped_lock g1(a_mu); std::scoped_lock g2(b_mu); }\n"
+      "};\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintL1, FiresOnManualLockUnlockOrder) {
+  const auto diags = lint_one(
+      "src/armci/locks.cpp",
+      "std::mutex a_mu;\n"
+      "std::mutex b_mu;\n"
+      "void f() { a_mu.lock(); b_mu.lock(); b_mu.unlock(); a_mu.unlock(); }\n"
+      "void g() { b_mu.lock(); a_mu.lock(); a_mu.unlock(); b_mu.unlock(); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "L1");
+}
+
+TEST(LintL1, InterproceduralCycleThroughCall) {
+  // f holds a_mu and calls h(), which takes b_mu; g takes them in the
+  // opposite order. The cycle only exists through the call graph.
+  Linter linter;
+  linter.add_file("src/armci/a.cpp",
+                  "std::mutex a_mu;\n"
+                  "std::mutex b_mu;\n"
+                  "void h();\n"
+                  "void f() { std::scoped_lock g1(a_mu); h(); }\n"
+                  "void g() { std::scoped_lock g1(b_mu);\n"
+                  "           std::scoped_lock g2(a_mu); }\n");
+  linter.add_file("src/armci/b.cpp",
+                  "void h() { std::scoped_lock g1(b_mu); }\n");
+  const auto diags = linter.run();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "L1");
+  EXPECT_TRUE(trace_has_note(diags[0], "via call to 'h'"));
+}
+
+TEST(LintL1, SequentialScopesAreClean) {
+  // Locks taken one after the other (each released before the next) do
+  // not order-constrain each other.
+  const auto diags = lint_one(
+      "src/armci/locks.cpp",
+      "std::mutex a_mu;\n"
+      "std::mutex b_mu;\n"
+      "void f() { { std::scoped_lock g(a_mu); } "
+      "{ std::scoped_lock g(b_mu); } }\n"
+      "void g() { { std::scoped_lock g(b_mu); } "
+      "{ std::scoped_lock g(a_mu); } }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintL1, SimulatedLockTableKeysByFirstArg) {
+  const auto diags = lint_one(
+      "src/armci/locks.cpp",
+      "void f(LockTable& lt) { lt.lock(k1); lt.lock(k2); }\n"
+      "void g(LockTable& lt) { lt.lock(k2); lt.lock(k1); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "L1");
+  EXPECT_NE(diags[0].message.find("'k1'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'k2'"), std::string::npos);
+}
+
+TEST(LintL1, AllowSuppresses) {
+  const auto diags = lint_one(
+      "src/armci/locks.cpp",
+      "std::mutex a_mu;\n"
+      "std::mutex b_mu;\n"
+      "// vtopo-lint: allow(lock-order) -- init path, single-threaded\n"
+      "void f() { std::scoped_lock g1(a_mu); std::scoped_lock g2(b_mu); }\n"
+      "void g() { std::scoped_lock g1(b_mu); std::scoped_lock g2(a_mu); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------
+// Output formats: columns, path traces, SARIF.
+// ---------------------------------------------------------------------
+
+TEST(LintOutput, JsonCarriesColumnsAndTrace) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> forward(CreditBank& bank, Req* r) {\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "  if (r->bad) { co_return; }\n"
+      "  bank.release(r->next, r->cls);\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string json = format_json(diags);
+  EXPECT_NE(json.find("\"col\": "), std::string::npos);
+  EXPECT_NE(json.find("\"trace\": ["), std::string::npos);
+  EXPECT_NE(json.find("acquired here"), std::string::npos);
+}
+
+TEST(LintOutput, TextRendersTraceSteps) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> forward(CreditBank& bank, Req* r) {\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "  if (r->bad) { co_return; }\n"
+      "  bank.release(r->next, r->cls);\n"
+      "}\n");
+  const std::string text = format_text(diags);
+  EXPECT_NE(text.find("acquired here"), std::string::npos);
+  EXPECT_NE(text.find("early return"), std::string::npos);
+}
+
+TEST(LintOutput, SarifShapeAndCodeFlows) {
+  const auto diags = lint_one(
+      "src/armci/fwd.cpp",
+      "sim::Co<void> forward(CreditBank& bank, Req* r) {\n"
+      "  co_await bank.acquire(r->next, r->cls);\n"
+      "  if (r->bad) { co_return; }\n"
+      "  bank.release(r->next, r->cls);\n"
+      "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  const std::string sarif = format_sarif(diags);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"R1\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"codeFlows\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/armci/fwd.cpp"), std::string::npos);
+}
+
+TEST(LintA0, UnknownRuleNameIsQuoted) {
+  const auto diags = lint_one(
+      "src/a.cpp", "// vtopo-lint: allow(no-such-rule) -- why\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "A0");
+  EXPECT_NE(diags[0].message.find("'no-such-rule'"), std::string::npos);
+}
+
+TEST(LintA0, TransferOnlyPairsWithCreditRule) {
+  const auto diags = lint_one(
+      "src/a.cpp", "// vtopo-lint: transfer(lock-order) -- nope\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "A0");
 }
 
 }  // namespace

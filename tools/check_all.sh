@@ -2,7 +2,9 @@
 # One-shot merge gate: everything the CI story requires, in order.
 #
 #   1. Default-preset build + the full ctest suite (tier-1).
-#   2. vtopo-lint over src/ and bench/ (tools/check_lint.sh).
+#   2. vtopo-lint over src/ and bench/ (tools/check_lint.sh): cached
+#      whole-tree run + SARIF artifact, then the cold-vs-cached timing
+#      gate (>= 5x, recorded in BENCH_lint.json).
 #   3. Figure 5/6/7 identity: the FNV-golden guard binary, plus a
 #      byte-diff of two independent runs of each figure driver — the
 #      pipelines must be deterministic at the output-byte level, not
@@ -39,6 +41,13 @@ ctest --preset default -j "$(nproc)" --output-on-failure
 
 echo "== lint =="
 tools/check_lint.sh
+# Cold-vs-cached lint timing: the incremental cache must keep whole-tree
+# re-lint at least 5x faster than a cold analysis (the CI budget the
+# gate relies on). Records the numbers in BENCH_lint.json.
+./build/tools/vtopo_lint --root . --bench \
+  --cache build/lint_cache.txt \
+  --bench-out BENCH_lint.json \
+  --assert-speedup 5 src bench
 
 echo "== figure identity =="
 # The golden guard compares figs 5/6/7 canonical output against FNV

@@ -1,0 +1,179 @@
+#include "lint/cache.hpp"
+
+#include <sstream>
+
+namespace vtopo::lint {
+
+namespace {
+
+constexpr std::string_view kMagic = "vtopo-lint-cache v2";
+
+void escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  out = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  std::uint64_t mag = 0;
+  if (!s.empty() && s[0] == '-') {
+    if (!parse_u64(s.substr(1), mag)) return false;
+    out = -static_cast<std::int64_t>(mag);
+    return true;
+  }
+  if (!parse_u64(s, mag)) return false;
+  out = static_cast<std::int64_t>(mag);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string serialize_cache(const CacheData& data) {
+  std::string out(kMagic);
+  out += "\n";
+  for (const auto& f : data.files) {
+    out += "F\t";
+    escape_into(out, f.path);
+    out += "\t" + std::to_string(f.size) + "\t" + std::to_string(f.mtime_ns) +
+           "\t" + std::to_string(f.hash) + "\n";
+  }
+  for (const auto& d : data.diags) {
+    out += "D\t" + d.rule + "\t";
+    escape_into(out, d.file);
+    out += "\t" + std::to_string(d.line) + "\t" + std::to_string(d.col) + "\t";
+    escape_into(out, d.message);
+    out += "\n";
+    for (const auto& s : d.trace) {
+      out += "T\t";
+      escape_into(out, s.file);
+      out += "\t" + std::to_string(s.line) + "\t" + std::to_string(s.col) +
+             "\t";
+      escape_into(out, s.note);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+bool parse_cache(const std::string& text, CacheData& out) {
+  out = CacheData{};
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cols = split_tabs(line);
+    if (cols[0] == "F") {
+      if (cols.size() != 5) return false;
+      CacheFileKey key;
+      key.path = unescape(cols[1]);
+      std::uint64_t size = 0;
+      std::int64_t mtime = 0;
+      std::uint64_t hash = 0;
+      if (!parse_u64(cols[2], size) || !parse_i64(cols[3], mtime) ||
+          !parse_u64(cols[4], hash)) {
+        return false;
+      }
+      key.size = size;
+      key.mtime_ns = mtime;
+      key.hash = hash;
+      out.files.push_back(std::move(key));
+    } else if (cols[0] == "D") {
+      if (cols.size() != 6) return false;
+      Diagnostic d;
+      d.rule = cols[1];
+      d.file = unescape(cols[2]);
+      std::int64_t ln = 0;
+      std::int64_t col = 0;
+      if (!parse_i64(cols[3], ln) || !parse_i64(cols[4], col)) return false;
+      d.line = static_cast<int>(ln);
+      d.col = static_cast<int>(col);
+      d.message = unescape(cols[5]);
+      out.diags.push_back(std::move(d));
+    } else if (cols[0] == "T") {
+      if (cols.size() != 5 || out.diags.empty()) return false;
+      TraceStep s;
+      s.file = unescape(cols[1]);
+      std::int64_t ln = 0;
+      std::int64_t col = 0;
+      if (!parse_i64(cols[2], ln) || !parse_i64(cols[3], col)) return false;
+      s.line = static_cast<int>(ln);
+      s.col = static_cast<int>(col);
+      s.note = unescape(cols[4]);
+      out.diags.back().trace.push_back(std::move(s));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vtopo::lint

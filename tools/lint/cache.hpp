@@ -1,0 +1,45 @@
+// Incremental whole-tree cache for vtopo-lint.
+//
+// Cross-file rules (D2/Q1 name collection, the call graph, L1's global
+// lock graph) make per-file diagnostic reuse unsound: an edit to one
+// header can change diagnostics in an untouched .cpp. So the cache is
+// honest about the unit of reuse — the whole tree. It stores a key per
+// file (size + mtime fast path, FNV-1a content hash slow path) plus the
+// full serialized diagnostic set; a re-lint where every key matches
+// replays the stored diagnostics without analyzing anything, and any
+// mismatch (content, file added/removed) falls back to a full run that
+// rewrites the cache. That is exactly the CI hot path: the tree rarely
+// changes between the lint gate and the test gates.
+#pragma once
+
+#include "lint/lint.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vtopo::lint {
+
+struct CacheFileKey {
+  std::string path;
+  std::uint64_t size = 0;
+  std::int64_t mtime_ns = 0;  ///< 0 when unknown (in-memory runs)
+  std::uint64_t hash = 0;     ///< FNV-1a of the file content
+};
+
+struct CacheData {
+  std::vector<CacheFileKey> files;  ///< sorted by path
+  std::vector<Diagnostic> diags;
+};
+
+[[nodiscard]] std::uint64_t fnv1a(std::string_view data);
+
+/// Tab-separated, backslash-escaped text format; versioned first line.
+[[nodiscard]] std::string serialize_cache(const CacheData& data);
+
+/// Parse a serialized cache. Returns false (and leaves `out` empty) on
+/// any malformed or version-mismatched input — a stale cache must never
+/// turn into wrong diagnostics.
+[[nodiscard]] bool parse_cache(const std::string& text, CacheData& out);
+
+}  // namespace vtopo::lint

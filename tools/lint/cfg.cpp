@@ -1,0 +1,585 @@
+#include "lint/cfg.hpp"
+
+#include <algorithm>
+
+namespace vtopo::lint {
+
+namespace {
+
+/// Keywords that can precede a '(' without being a function name.
+bool is_nonfunction_keyword(std::string_view s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "co_return" ||
+         s == "co_await" || s == "co_yield" || s == "sizeof" ||
+         s == "alignof" || s == "alignas" || s == "decltype" || s == "new" ||
+         s == "delete" || s == "operator" || s == "requires" ||
+         s == "static_assert" || s == "defined" || s == "throw" ||
+         s == "do" || s == "else" || s == "case" || s == "goto" ||
+         s == "typedef" || s == "using" || s == "noexcept";
+}
+
+/// From the token just past a parameter list's ')', walk qualifiers
+/// (const/noexcept/ref-qualifiers), a trailing return type, and a
+/// constructor initializer list. Returns the index of the body '{', or
+/// knpos when this is not a function definition.
+std::size_t find_body_brace(const std::vector<Token>& t, std::size_t k) {
+  const std::size_t n = t.size();
+  while (k < n && (is(t[k], "const") || is(t[k], "noexcept") ||
+                   is(t[k], "override") || is(t[k], "final") ||
+                   is(t[k], "mutable") || is(t[k], "&") || is(t[k], "&&"))) {
+    if (is(t[k], "noexcept") && k + 1 < n && is(t[k + 1], "(")) {
+      k = skip_parens(t, k + 1);
+      if (k == knpos) return knpos;
+      continue;
+    }
+    ++k;
+  }
+  if (k < n && is(t[k], "->")) {  // trailing return type
+    ++k;
+    while (k < n && !is(t[k], "{") && !is(t[k], ";")) {
+      if (is(t[k], "<")) {
+        const std::size_t past = skip_angles(t, k);
+        if (past == knpos) return knpos;
+        k = past;
+        continue;
+      }
+      if (t[k].kind != Token::kIdent && !is(t[k], "::") && !is(t[k], "&") &&
+          !is(t[k], "&&") && !is(t[k], "*") && !is(t[k], "const")) {
+        return knpos;
+      }
+      ++k;
+    }
+  }
+  if (k < n && is(t[k], ":")) {  // constructor initializer list
+    ++k;
+    while (k < n) {
+      if (t[k].kind != Token::kIdent) return knpos;
+      ++k;
+      while (k + 1 < n && is(t[k], "::") && t[k + 1].kind == Token::kIdent) {
+        k += 2;
+      }
+      if (k < n && is(t[k], "<")) {
+        const std::size_t past = skip_angles(t, k);
+        if (past == knpos) return knpos;
+        k = past;
+      }
+      if (k >= n) return knpos;
+      if (is(t[k], "(")) {
+        k = skip_parens(t, k);
+      } else if (is(t[k], "{")) {
+        k = skip_braces(t, k);
+      } else {
+        return knpos;
+      }
+      if (k == knpos) return knpos;
+      if (k < n && is(t[k], ",")) {
+        ++k;
+        continue;
+      }
+      break;
+    }
+  }
+  if (k < n && is(t[k], "{")) return k;
+  return knpos;
+}
+
+void find_lambdas(const std::vector<Token>& t, FunctionInfo& fn) {
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    if (!is(t[i], "[")) continue;
+    // Lambda-introducer heuristic: '[' not preceded by a value-ish token
+    // (identifier, ')', ']', number) — those are subscripts.
+    if (i > 0 && (t[i - 1].kind == Token::kIdent ||
+                  t[i - 1].kind == Token::kNumber || is(t[i - 1], ")") ||
+                  is(t[i - 1], "]"))) {
+      continue;
+    }
+    std::size_t close = knpos;
+    int depth = 0;
+    for (std::size_t k = i; k < fn.body_end; ++k) {
+      if (is(t[k], "[")) ++depth;
+      if (is(t[k], "]")) {
+        if (--depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      if (is(t[k], ";") || is(t[k], "{")) break;
+    }
+    if (close == knpos) continue;
+    bool by_ref = false;
+    for (std::size_t k = i + 1; k < close; ++k) {
+      if (is(t[k], "&") && (k + 1 == close || t[k + 1].kind == Token::kIdent ||
+                            is(t[k + 1], ","))) {
+        by_ref = true;
+        break;
+      }
+    }
+    std::size_t j = close + 1;
+    if (j >= fn.body_end ||
+        !(is(t[j], "(") || is(t[j], "{") || is(t[j], "->") ||
+          is(t[j], "mutable") || is(t[j], "noexcept"))) {
+      continue;
+    }
+    if (is(t[j], "(")) {
+      j = skip_parens(t, j);
+      if (j == knpos) continue;
+    }
+    bool bad = false;
+    while (j < fn.body_end && !is(t[j], "{")) {
+      if (is(t[j], ";") || is(t[j], ")")) {
+        bad = true;
+        break;
+      }
+      ++j;
+    }
+    if (bad || j >= fn.body_end || !is(t[j], "{")) continue;
+    const std::size_t bend = skip_braces(t, j);
+    if (bend == knpos || bend > fn.body_end) continue;
+    LambdaInfo li;
+    li.intro = i;
+    li.body_begin = j;
+    li.body_end = bend;
+    li.by_ref_capture = by_ref;
+    li.escapes_to_call = i > 0 && (is(t[i - 1], "(") || is(t[i - 1], ","));
+    li.line = t[i].line;
+    li.col = t[i].col;
+    fn.lambdas.push_back(li);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Statement-level CFG construction.
+// ---------------------------------------------------------------------
+
+class CfgBuilder {
+ public:
+  CfgBuilder(const std::vector<Token>& t, const FunctionInfo& fn)
+      : t_(t), fn_(fn) {}
+
+  Cfg build() {
+    cfg_.entry = add_node(CfgNode::kEntry, fn_.body_begin, fn_.body_begin);
+    cfg_.exit = add_node(CfgNode::kEnd, fn_.body_end, fn_.body_end);
+    Frontier fr{cfg_.entry};
+    if (fn_.body_begin + 1 < fn_.body_end) {
+      parse_seq(fn_.body_begin + 1, fn_.body_end - 1, fr);
+    }
+    link(fr, cfg_.exit);
+    for (auto& n : cfg_.nodes) {
+      std::sort(n.succs.begin(), n.succs.end());
+      n.succs.erase(std::unique(n.succs.begin(), n.succs.end()),
+                    n.succs.end());
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  using Frontier = std::vector<int>;
+  struct BreakCtx {
+    std::vector<int> breaks;
+    int continue_target = -1;  ///< -1 for switch contexts
+  };
+
+  int add_node(CfgNode::Kind k, std::size_t b, std::size_t e) {
+    CfgNode n;
+    n.kind = k;
+    n.tok_begin = b;
+    n.tok_end = e;
+    const std::size_t at = b < t_.size() ? b : (t_.empty() ? 0 : t_.size() - 1);
+    if (at < t_.size()) {
+      n.line = t_[at].line;
+      n.col = t_[at].col;
+    }
+    cfg_.nodes.push_back(std::move(n));
+    return static_cast<int>(cfg_.nodes.size() - 1);
+  }
+
+  void link(const Frontier& fr, int to) {
+    for (const int n : fr) cfg_.nodes[n].succs.push_back(to);
+  }
+
+  BreakCtx* innermost_loop() {
+    for (auto it = breakables_.rbegin(); it != breakables_.rend(); ++it) {
+      if ((*it)->continue_target >= 0) return *it;
+    }
+    return nullptr;
+  }
+
+  /// Index just past the statement starting at `i`: scans for ';' at
+  /// delimiter depth 0. An unmatched closer at depth 0 ends the
+  /// statement without being consumed.
+  std::size_t stmt_end(std::size_t i, std::size_t e) const {
+    int d = 0;
+    for (std::size_t k = i; k < e; ++k) {
+      if (is(t_[k], "(") || is(t_[k], "[") || is(t_[k], "{")) {
+        ++d;
+      } else if (is(t_[k], ")") || is(t_[k], "]") || is(t_[k], "}")) {
+        if (d == 0) return k;
+        --d;
+      } else if (d == 0 && is(t_[k], ";")) {
+        return k + 1;
+      }
+    }
+    return e;
+  }
+
+  void parse_seq(std::size_t b, std::size_t e, Frontier& fr) {
+    std::size_t i = b;
+    while (i < e) {
+      const std::size_t before = i;
+      parse_stmt(i, e, fr);
+      if (i == before) ++i;  // guaranteed progress on malformed input
+    }
+  }
+
+  void parse_plain(std::size_t& i, std::size_t e, Frontier& fr,
+                   CfgNode::Kind kind = CfgNode::kStmt) {
+    const std::size_t end = stmt_end(i, e);
+    const int n = add_node(kind, i, end);
+    link(fr, n);
+    fr.assign(1, n);
+    i = end;
+  }
+
+  void parse_stmt(std::size_t& i, std::size_t e, Frontier& fr) {
+    if (i >= e) return;
+    const Token& tk = t_[i];
+    if (is(tk, ";")) {
+      ++i;
+      return;
+    }
+    if (is(tk, "{")) {
+      const std::size_t close = skip_braces(t_, i);
+      if (close == knpos || close > e) {
+        i = e;
+        return;
+      }
+      parse_seq(i + 1, close - 1, fr);
+      i = close;
+      return;
+    }
+    if (is(tk, "if")) return parse_if(i, e, fr);
+    if (is(tk, "while")) return parse_while(i, e, fr);
+    if (is(tk, "for")) return parse_for(i, e, fr);
+    if (is(tk, "do")) return parse_do(i, e, fr);
+    if (is(tk, "switch")) return parse_switch(i, e, fr);
+    if (is(tk, "try")) return parse_try(i, e, fr);
+    if (is(tk, "else")) {  // dangling else: treat its statement inline
+      ++i;
+      return;
+    }
+    if (is(tk, "return") || is(tk, "co_return")) {
+      const std::size_t end = stmt_end(i, e);
+      const int n = add_node(CfgNode::kExit, i, end);
+      link(fr, n);
+      fr.clear();
+      cfg_.nodes[n].succs.push_back(cfg_.exit);
+      i = end;
+      return;
+    }
+    if (is(tk, "break")) {
+      const std::size_t end = stmt_end(i, e);
+      const int n = add_node(CfgNode::kStmt, i, end);
+      link(fr, n);
+      fr.clear();
+      if (!breakables_.empty()) {
+        breakables_.back()->breaks.push_back(n);
+      } else {
+        cfg_.nodes[n].succs.push_back(cfg_.exit);
+      }
+      i = end;
+      return;
+    }
+    if (is(tk, "continue")) {
+      const std::size_t end = stmt_end(i, e);
+      const int n = add_node(CfgNode::kStmt, i, end);
+      link(fr, n);
+      fr.clear();
+      BreakCtx* lc = innermost_loop();
+      cfg_.nodes[n].succs.push_back(lc != nullptr ? lc->continue_target
+                                                  : cfg_.exit);
+      i = end;
+      return;
+    }
+    parse_plain(i, e, fr);
+  }
+
+  void parse_if(std::size_t& i, std::size_t e, Frontier& fr) {
+    std::size_t j = i + 1;
+    if (j < e && is(t_[j], "constexpr")) ++j;
+    if (j >= e || !is(t_[j], "(")) return parse_plain(i, e, fr);
+    const std::size_t close = skip_parens(t_, j);
+    if (close == knpos || close > e) {
+      i = e;
+      return;
+    }
+    const int cond = add_node(CfgNode::kBranch, i, close);
+    link(fr, cond);
+    Frontier then_fr{cond};
+    i = close;
+    parse_stmt(i, e, then_fr);
+    Frontier out = std::move(then_fr);
+    if (i < e && is(t_[i], "else")) {
+      ++i;
+      Frontier else_fr{cond};
+      parse_stmt(i, e, else_fr);
+      out.insert(out.end(), else_fr.begin(), else_fr.end());
+    } else {
+      out.push_back(cond);  // the false edge falls through
+    }
+    fr = std::move(out);
+  }
+
+  void parse_while(std::size_t& i, std::size_t e, Frontier& fr) {
+    std::size_t j = i + 1;
+    if (j >= e || !is(t_[j], "(")) return parse_plain(i, e, fr);
+    const std::size_t close = skip_parens(t_, j);
+    if (close == knpos || close > e) {
+      i = e;
+      return;
+    }
+    const int cond = add_node(CfgNode::kBranch, i, close);
+    link(fr, cond);
+    BreakCtx ctx;
+    ctx.continue_target = cond;
+    breakables_.push_back(&ctx);
+    Frontier body{cond};
+    i = close;
+    parse_stmt(i, e, body);
+    link(body, cond);  // loop back edge
+    breakables_.pop_back();
+    fr.assign(1, cond);
+    fr.insert(fr.end(), ctx.breaks.begin(), ctx.breaks.end());
+  }
+
+  void parse_for(std::size_t& i, std::size_t e, Frontier& fr) {
+    std::size_t j = i + 1;
+    if (j >= e || !is(t_[j], "(")) return parse_plain(i, e, fr);
+    const std::size_t close = skip_parens(t_, j);
+    if (close == knpos || close > e) {
+      i = e;
+      return;
+    }
+    // Header node covers init/cond/increment (and the range expression
+    // of a range-for); events inside are processed on every traversal,
+    // which the fixpoint makes harmless.
+    const int head = add_node(CfgNode::kBranch, i, close);
+    link(fr, head);
+    BreakCtx ctx;
+    ctx.continue_target = head;
+    breakables_.push_back(&ctx);
+    Frontier body{head};
+    i = close;
+    parse_stmt(i, e, body);
+    link(body, head);  // loop back edge
+    breakables_.pop_back();
+    fr.assign(1, head);
+    fr.insert(fr.end(), ctx.breaks.begin(), ctx.breaks.end());
+  }
+
+  void parse_do(std::size_t& i, std::size_t e, Frontier& fr) {
+    ++i;
+    const int head = add_node(CfgNode::kStmt, i, i);  // loop-head marker
+    link(fr, head);
+    BreakCtx ctx;
+    ctx.continue_target = head;
+    breakables_.push_back(&ctx);
+    Frontier body{head};
+    parse_stmt(i, e, body);
+    int cond;
+    if (i < e && is(t_[i], "while") && i + 1 < e && is(t_[i + 1], "(")) {
+      const std::size_t close = skip_parens(t_, i + 1);
+      if (close == knpos || close > e) {
+        breakables_.pop_back();
+        i = e;
+        fr.assign(1, head);
+        return;
+      }
+      cond = add_node(CfgNode::kBranch, i, close);
+      i = close;
+      if (i < e && is(t_[i], ";")) ++i;
+    } else {
+      cond = add_node(CfgNode::kBranch, i, i);
+    }
+    link(body, cond);
+    cfg_.nodes[cond].succs.push_back(head);  // loop back edge
+    breakables_.pop_back();
+    fr.assign(1, cond);
+    fr.insert(fr.end(), ctx.breaks.begin(), ctx.breaks.end());
+  }
+
+  void parse_switch(std::size_t& i, std::size_t e, Frontier& fr) {
+    std::size_t j = i + 1;
+    if (j >= e || !is(t_[j], "(")) return parse_plain(i, e, fr);
+    const std::size_t close = skip_parens(t_, j);
+    if (close == knpos || close > e) {
+      i = e;
+      return;
+    }
+    const int head = add_node(CfgNode::kBranch, i, close);
+    link(fr, head);
+    i = close;
+    if (i >= e || !is(t_[i], "{")) {
+      fr.assign(1, head);
+      return;
+    }
+    const std::size_t bend = skip_braces(t_, i);
+    if (bend == knpos || bend > e) {
+      i = e;
+      fr.assign(1, head);
+      return;
+    }
+    BreakCtx ctx;  // continue_target stays -1: switch, not loop
+    breakables_.push_back(&ctx);
+    Frontier cur;  // falls through from the previous case group
+    std::size_t k = i + 1;
+    const std::size_t body_end = bend - 1;
+    while (k < body_end) {
+      if (is(t_[k], "case") || is(t_[k], "default")) {
+        std::size_t m = k;
+        int d = 0;
+        while (m < body_end) {
+          if (is(t_[m], "(") || is(t_[m], "[")) {
+            ++d;
+          } else if (is(t_[m], ")") || is(t_[m], "]")) {
+            --d;
+          } else if (d == 0 && is(t_[m], ":")) {
+            break;
+          }
+          ++m;
+        }
+        const int lbl = add_node(CfgNode::kStmt, k, m);
+        cfg_.nodes[head].succs.push_back(lbl);
+        link(cur, lbl);  // fallthrough from the previous group
+        cur.assign(1, lbl);
+        k = m < body_end ? m + 1 : m;
+        continue;
+      }
+      const std::size_t before = k;
+      parse_stmt(k, body_end, cur);
+      if (k == before) ++k;
+    }
+    breakables_.pop_back();
+    fr = std::move(cur);
+    fr.push_back(head);  // no-match / no-default path
+    fr.insert(fr.end(), ctx.breaks.begin(), ctx.breaks.end());
+    i = bend;
+  }
+
+  void parse_try(std::size_t& i, std::size_t e, Frontier& fr) {
+    ++i;
+    const Frontier entry = fr;
+    Frontier try_out = fr;
+    parse_stmt(i, e, try_out);
+    Frontier out = std::move(try_out);
+    while (i < e && is(t_[i], "catch")) {
+      ++i;
+      if (i < e && is(t_[i], "(")) {
+        const std::size_t c = skip_parens(t_, i);
+        if (c == knpos || c > e) {
+          i = e;
+          break;
+        }
+        i = c;
+      }
+      Frontier cf = entry;  // approximation: catch entered from try entry
+      parse_stmt(i, e, cf);
+      out.insert(out.end(), cf.begin(), cf.end());
+    }
+    fr = std::move(out);
+  }
+
+  const std::vector<Token>& t_;
+  const FunctionInfo& fn_;
+  Cfg cfg_;
+  std::vector<BreakCtx*> breakables_;
+};
+
+}  // namespace
+
+bool in_lambda(const FunctionInfo& fn, std::size_t i) {
+  for (const auto& l : fn.lambdas) {
+    if (i >= l.body_begin && i < l.body_end) return true;
+  }
+  return false;
+}
+
+std::vector<FunctionInfo> extract_functions(const std::vector<Token>& t) {
+  std::vector<FunctionInfo> fns;
+  std::size_t i = 0;
+  while (i < t.size()) {
+    if (!is(t[i], "(") || i == 0) {
+      ++i;
+      continue;
+    }
+    const Token& nm = t[i - 1];
+    if (nm.kind != Token::kIdent || is_nonfunction_keyword(nm.text)) {
+      ++i;
+      continue;
+    }
+    // Immediate class qualifier: "Cht :: forward (".
+    std::string qual;
+    if (i >= 3 && is(t[i - 2], "::") && t[i - 3].kind == Token::kIdent) {
+      qual = std::string(t[i - 3].text);
+    }
+    // Walk back over the whole qualified-name chain, then a destructor
+    // tilde, to find the token preceding the name.
+    std::size_t b = i - 1;
+    while (b >= 2 && is(t[b - 1], "::") && t[b - 2].kind == Token::kIdent) {
+      b -= 2;
+    }
+    if (b >= 1 && is(t[b - 1], "~")) --b;
+    if (b >= 1 && (is(t[b - 1], ".") || is(t[b - 1], "->"))) {
+      ++i;  // member-call expression, not a definition
+      continue;
+    }
+    const std::size_t params_end = skip_parens(t, i);
+    if (params_end == knpos) {
+      ++i;
+      continue;
+    }
+    const std::size_t body = find_body_brace(t, params_end);
+    if (body == knpos) {
+      ++i;
+      continue;
+    }
+    const std::size_t body_end = skip_braces(t, body);
+    if (body_end == knpos) {
+      ++i;
+      continue;
+    }
+    FunctionInfo fn;
+    fn.name = std::string(nm.text);
+    fn.qual = std::move(qual);
+    fn.line = nm.line;
+    fn.col = nm.col;
+    fn.params_begin = i;
+    fn.params_end = params_end;
+    fn.body_begin = body;
+    fn.body_end = body_end;
+    find_lambdas(t, fn);
+    for (std::size_t k = body; k < body_end; ++k) {
+      if (t[k].kind == Token::kIdent &&
+          (t[k].text == "co_await" || t[k].text == "co_return" ||
+           t[k].text == "co_yield") &&
+          !in_lambda(fn, k)) {
+        fn.is_coroutine = true;
+        break;
+      }
+    }
+    fn.cfg = CfgBuilder(t, fn).build();
+    fns.push_back(std::move(fn));
+    i = body_end;  // nested definitions (local structs) stay opaque
+  }
+  return fns;
+}
+
+ParsedSource parse_source(const std::string& src) {
+  ParsedSource out;
+  Annotations ann;  // discarded: callers needing annotations blank themselves
+  out.blanked = strip_preprocessor(blank_noncode(src, ann));
+  out.toks = tokenize(out.blanked);
+  out.functions = extract_functions(out.toks);
+  return out;
+}
+
+}  // namespace vtopo::lint

@@ -1,0 +1,91 @@
+// Per-function control-flow graphs over the vtopo-lint token stream.
+//
+// extract_functions() finds function definitions in a (preprocessor-
+// stripped) token stream — free functions, member functions defined
+// inline or out-of-line, constructors — and builds a statement-level
+// CFG for each body: branches (if/else, switch, ternaries stay inside
+// their statement node), loops with back edges (for/while/do), early
+// exits (return/co_return -> the synthetic exit node), break/continue,
+// and try/catch as alternative successors. Lambdas are treated as
+// opaque atoms inside their enclosing statement (their control flow is
+// not the enclosing function's) but are recorded with capture info so
+// rules can reason about them.
+//
+// The graph is deliberately lint-grade: token shapes, not semantics.
+// Anything the parser cannot shape-match degrades to a linear node or
+// is skipped, never a crash — every delimiter walk is bounds-checked.
+#pragma once
+
+#include "lint/token.hpp"
+
+#include <string>
+#include <vector>
+
+namespace vtopo::lint {
+
+struct CfgNode {
+  enum Kind {
+    kEntry,   ///< synthetic function entry
+    kStmt,    ///< one statement (or loop/switch header)
+    kBranch,  ///< an if/loop/switch header with >1 successor
+    kExit,    ///< a return / co_return statement
+    kEnd,     ///< synthetic function exit (all paths converge here)
+  };
+  Kind kind = kStmt;
+  std::size_t tok_begin = 0;  ///< [tok_begin, tok_end) into the file tokens
+  std::size_t tok_end = 0;
+  int line = 0;
+  int col = 0;
+  std::vector<int> succs;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = -1;
+  int exit = -1;  ///< the unique kEnd node
+};
+
+struct LambdaInfo {
+  std::size_t intro = 0;       ///< token index of '['
+  std::size_t body_begin = 0;  ///< token index of the body '{'
+  std::size_t body_end = 0;    ///< one past the matching '}'
+  bool by_ref_capture = false; ///< capture list contains '&' captures
+  bool escapes_to_call = false;///< introducer sits in a call argument list
+  int line = 0;
+  int col = 0;
+};
+
+struct FunctionInfo {
+  std::string name;  ///< bare name ("forward" for Cht::forward)
+  std::string qual;  ///< qualifier ("Cht"), empty for free functions
+  int line = 0;
+  int col = 0;
+  std::size_t params_begin = 0;  ///< token index of '('
+  std::size_t params_end = 0;    ///< one past the matching ')'
+  std::size_t body_begin = 0;    ///< token index of the body '{'
+  std::size_t body_end = 0;      ///< one past the matching '}'
+  bool is_coroutine = false;     ///< body contains co_await/co_return/co_yield
+                                 ///< outside lambda bodies
+  std::vector<LambdaInfo> lambdas;  ///< lambdas inside the body, in order
+  Cfg cfg;
+};
+
+/// True when token index `i` lies inside any lambda body of `fn`.
+[[nodiscard]] bool in_lambda(const FunctionInfo& fn, std::size_t i);
+
+/// Extract function definitions (with CFGs) from a preprocessor-
+/// stripped token stream.
+[[nodiscard]] std::vector<FunctionInfo> extract_functions(
+    const std::vector<Token>& toks);
+
+/// Convenience for tests and callers that start from raw source:
+/// blank -> strip preprocessor -> tokenize -> extract. The returned
+/// struct owns the storage every Token views into.
+struct ParsedSource {
+  std::string blanked;
+  std::vector<Token> toks;
+  std::vector<FunctionInfo> functions;
+};
+[[nodiscard]] ParsedSource parse_source(const std::string& src);
+
+}  // namespace vtopo::lint

@@ -1,300 +1,29 @@
 #include "lint/lint.hpp"
 
+#include "lint/cfg.hpp"
+#include "lint/flow_rules.hpp"
+
 #include <algorithm>
-#include <cctype>
+#include <functional>
 #include <set>
 #include <utility>
 
 namespace vtopo::lint {
 
+void Sink::report(std::string_view rule_id, int line, int col,
+                  std::string message, std::vector<TraceStep> trace) {
+  const std::string_view name = annotation_name(rule_id);
+  for (const auto& fa : ann_->file_allows) {
+    if (fa == name) return;
+  }
+  for (const auto& [aline, arule] : ann_->line_allows) {
+    if (arule == name && (aline == line || aline == line - 1)) return;
+  }
+  out_->push_back(Diagnostic{std::string(rule_id), path_, line, col,
+                             std::move(message), std::move(trace)});
+}
+
 namespace {
-
-// ---------------------------------------------------------------------
-// Annotation names.
-// ---------------------------------------------------------------------
-
-constexpr std::pair<std::string_view, std::string_view> kRuleNames[] = {
-    {"D1", "nondeterminism"},
-    {"D2", "unordered-iter"},
-    {"D3", "pointer-order"},
-    {"C1", "coro-ref"},
-    {"S1", "cross-shard"},
-    {"Q1", "qos-submit"},
-};
-
-// ---------------------------------------------------------------------
-// Phase 1: strip comments and literals, harvest annotations.
-// ---------------------------------------------------------------------
-
-struct Annotations {
-  /// allow(<rule>) annotations: (line, rule-name). An annotation covers
-  /// its own line and the line that follows it.
-  std::vector<std::pair<int, std::string>> line_allows;
-  /// allow-file(<rule>) annotations: rule names, whole-file scope.
-  std::vector<std::string> file_allows;
-  /// Malformed annotations (A0 diagnostics): (line, message).
-  std::vector<std::pair<int, std::string>> malformed;
-};
-
-bool is_known_rule_name(std::string_view name) {
-  for (const auto& [id, nm] : kRuleNames) {
-    if (nm == name) return true;
-  }
-  return false;
-}
-
-/// Parse "vtopo-lint:" directives out of one comment's text.
-void parse_annotations(std::string_view comment, int line, Annotations& out) {
-  std::size_t pos = 0;
-  while ((pos = comment.find("vtopo-lint:", pos)) != std::string_view::npos) {
-    std::size_t p = pos + std::string_view("vtopo-lint:").size();
-    while (p < comment.size() && comment[p] == ' ') ++p;
-    const bool file_scope =
-        comment.compare(p, 11, "allow-file(") == 0;
-    const bool line_scope = !file_scope && comment.compare(p, 6, "allow(") == 0;
-    if (!file_scope && !line_scope) {
-      out.malformed.emplace_back(
-          line, "vtopo-lint directive is not allow(...) or allow-file(...)");
-      pos = p;
-      continue;
-    }
-    p += file_scope ? 11 : 6;
-    const std::size_t close = comment.find(')', p);
-    if (close == std::string_view::npos) {
-      out.malformed.emplace_back(line, "unterminated vtopo-lint allow(");
-      return;
-    }
-    const std::string rule(comment.substr(p, close - p));
-    if (!is_known_rule_name(rule)) {
-      out.malformed.emplace_back(
-          line, "unknown vtopo-lint rule name '" + rule +
-                    "' (want nondeterminism, unordered-iter, pointer-order, "
-                    "coro-ref, cross-shard or qos-submit)");
-      pos = close;
-      continue;
-    }
-    // Require a justification: "-- <reason>".
-    std::size_t after = close + 1;
-    while (after < comment.size() && comment[after] == ' ') ++after;
-    const bool has_reason =
-        comment.compare(after, 2, "--") == 0 &&
-        comment.find_first_not_of(" -", after) != std::string_view::npos;
-    if (!has_reason) {
-      out.malformed.emplace_back(
-          line, "vtopo-lint allow(" + rule +
-                    ") needs a justification: \"-- <reason>\"");
-      pos = close;
-      continue;
-    }
-    if (file_scope) {
-      out.file_allows.push_back(rule);
-    } else {
-      out.line_allows.emplace_back(line, rule);
-    }
-    pos = close;
-  }
-}
-
-bool ident_char_raw(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Copy `src` with comments, string literals and char literals replaced
-/// by spaces (newlines preserved), collecting annotations from comments.
-std::string blank_noncode(const std::string& src, Annotations& ann) {
-  std::string out(src.size(), ' ');
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  auto copy_nl = [&](std::size_t at) {
-    if (src[at] == '\n') {
-      out[at] = '\n';
-      ++line;
-    }
-  };
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      copy_nl(i);
-      ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {  // line comment
-      const std::size_t start = i;
-      while (i < n && src[i] != '\n') ++i;
-      parse_annotations(std::string_view(src).substr(start, i - start), line,
-                        ann);
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {  // block comment
-      const std::size_t start = i;
-      const int start_line = line;
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        copy_nl(i);
-        ++i;
-      }
-      i = (i + 1 < n) ? i + 2 : n;
-      parse_annotations(std::string_view(src).substr(start, i - start),
-                        start_line, ann);
-      continue;
-    }
-    if (c == '\'' && i > 0 && ident_char_raw(src[i - 1])) {
-      // Digit separator (8'000'000) or a ud-literal suffix context, not
-      // a character literal.
-      out[i] = c;
-      ++i;
-      continue;
-    }
-    if (c == '"' || c == '\'') {  // string / char literal
-      // Raw string literal? R"delim( ... )delim"
-      if (c == '"' && i > 0 && src[i - 1] == 'R') {
-        std::size_t d = i + 1;
-        while (d < n && src[d] != '(') ++d;
-        const std::string delim =
-            ")" + src.substr(i + 1, d - i - 1) + "\"";
-        const std::size_t end = src.find(delim, d);
-        const std::size_t stop =
-            end == std::string::npos ? n : end + delim.size();
-        for (; i < stop; ++i) copy_nl(i);
-        continue;
-      }
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        copy_nl(i);
-        ++i;
-      }
-      if (i < n) ++i;  // closing quote
-      continue;
-    }
-    out[i] = c;
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------
-// Phase 2: tokenize the blanked code.
-// ---------------------------------------------------------------------
-
-struct Token {
-  enum Kind { kIdent, kNumber, kPunct };
-  Kind kind;
-  std::string_view text;  ///< view into the blanked buffer
-  int line;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-std::vector<Token> tokenize(const std::string& code) {
-  std::vector<Token> toks;
-  toks.reserve(code.size() / 4);
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = code.size();
-  while (i < n) {
-    const char c = code[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    if (ident_start(c)) {
-      const std::size_t start = i;
-      while (i < n && ident_char(code[i])) ++i;
-      toks.push_back({Token::kIdent,
-                      std::string_view(code).substr(start, i - start), line});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      const std::size_t start = i;
-      while (i < n && (ident_char(code[i]) || code[i] == '\'' ||
-                       ((code[i] == '+' || code[i] == '-') &&
-                        (code[i - 1] == 'e' || code[i - 1] == 'E')))) {
-        ++i;
-      }
-      toks.push_back({Token::kNumber,
-                      std::string_view(code).substr(start, i - start), line});
-      continue;
-    }
-    // Merge "::" and "->" so scope/member chains are easy to walk;
-    // everything else stays single-char (so ">>" closes two templates).
-    if (c == ':' && i + 1 < n && code[i + 1] == ':') {
-      toks.push_back({Token::kPunct, std::string_view(code).substr(i, 2),
-                      line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < n && code[i + 1] == '>') {
-      toks.push_back({Token::kPunct, std::string_view(code).substr(i, 2),
-                      line});
-      i += 2;
-      continue;
-    }
-    if (c == '&' && i + 1 < n && code[i + 1] == '&') {
-      toks.push_back({Token::kPunct, std::string_view(code).substr(i, 2),
-                      line});
-      i += 2;
-      continue;
-    }
-    toks.push_back({Token::kPunct, std::string_view(code).substr(i, 1),
-                    line});
-    ++i;
-  }
-  return toks;
-}
-
-bool is(const Token& t, std::string_view s) { return t.text == s; }
-
-/// Token index just past a balanced <...> starting at `open` (which must
-/// be '<'); npos when unbalanced. Walks nested <> only — good enough for
-/// template argument lists, which is the only place it is used.
-std::size_t skip_angles(const std::vector<Token>& t, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (is(t[i], "<")) ++depth;
-    if (is(t[i], ">")) {
-      if (--depth == 0) return i + 1;
-    }
-    // A ';' or '{' inside what we thought was a template argument list
-    // means it was a comparison after all; bail out.
-    if (is(t[i], ";") || is(t[i], "{")) return std::string_view::npos;
-  }
-  return std::string_view::npos;
-}
-
-std::size_t skip_parens(const std::vector<Token>& t, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (is(t[i], "(")) ++depth;
-    if (is(t[i], ")")) {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return std::string_view::npos;
-}
-
-std::size_t skip_braces(const std::vector<Token>& t, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (is(t[i], "{")) ++depth;
-    if (is(t[i], "}")) {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return std::string_view::npos;
-}
 
 // ---------------------------------------------------------------------
 // Rule engine plumbing.
@@ -302,36 +31,18 @@ std::size_t skip_braces(const std::vector<Token>& t, std::size_t open) {
 
 struct FileCtx {
   std::string path;
-  std::string blanked;      ///< comment/literal-stripped source (owns the
-                            ///< storage every Token::text views into)
-  std::vector<Token> toks;
+  std::string blanked;   ///< comment/literal-stripped source (owns the
+                         ///< storage every legacy Token::text views into)
+  std::string stripped;  ///< blanked + preprocessor lines removed (owns
+                         ///< the storage the CFG tokens view into)
+  std::vector<Token> toks;      ///< legacy stream (macros visible)
+  std::vector<Token> cfg_toks;  ///< structural stream (pp-stripped)
+  std::vector<FunctionInfo> functions;
   Annotations ann;
   bool rng_exempt = false;  ///< path matches src/sim/rng.* (rule D1)
   bool sharded_exempt = false;  ///< path matches sim/sharded_engine.* (S1)
   bool cht_exempt = false;  ///< path matches armci/cht.* or
                             ///< armci/qos_queue.* (rule Q1)
-};
-
-class Sink {
- public:
-  Sink(const FileCtx& ctx, std::vector<Diagnostic>& out)
-      : ctx_(&ctx), out_(&out) {}
-
-  void report(std::string_view rule_id, int line, std::string message) {
-    const std::string_view name = annotation_name(rule_id);
-    for (const auto& fa : ctx_->ann.file_allows) {
-      if (fa == name) return;
-    }
-    for (const auto& [aline, arule] : ctx_->ann.line_allows) {
-      if (arule == name && (aline == line || aline == line - 1)) return;
-    }
-    out_->push_back(Diagnostic{std::string(rule_id), ctx_->path, line,
-                               std::move(message)});
-  }
-
- private:
-  const FileCtx* ctx_;
-  std::vector<Diagnostic>* out_;
 };
 
 // ---------------------------------------------------------------------
@@ -347,14 +58,14 @@ void rule_d1(const FileCtx& f, Sink& sink) {
     const bool call_next = i + 1 < t.size() && is(t[i + 1], "(");
     if (id == "random_device" || id == "system_clock" ||
         id == "steady_clock" || id == "high_resolution_clock") {
-      sink.report("D1", t[i].line,
+      sink.report("D1", t[i].line, t[i].col,
                   "nondeterminism source '" + std::string(id) +
                       "' outside sim/rng (use sim::Rng / simulated time)");
       continue;
     }
     if (call_next && (id == "rand" || id == "srand" || id == "drand48" ||
                       id == "getenv" || id == "secure_getenv")) {
-      sink.report("D1", t[i].line,
+      sink.report("D1", t[i].line, t[i].col,
                   "nondeterministic call '" + std::string(id) +
                       "()' outside sim/rng (seed via explicit config, "
                       "not environment or libc rand)");
@@ -365,7 +76,7 @@ void rule_d1(const FileCtx& f, Sink& sink) {
         (is(t[i + 2], "nullptr") || is(t[i + 2], "0") ||
          is(t[i + 2], "NULL")) &&
         is(t[i + 3], ")")) {
-      sink.report("D1", t[i].line,
+      sink.report("D1", t[i].line, t[i].col,
                   "wall-clock read 'time(...)' outside sim/rng");
     }
   }
@@ -390,8 +101,7 @@ void collect_unordered_names(const std::vector<Token>& t,
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != Token::kIdent) continue;
     const bool unordered_here =
-        is_unordered_type_name(t[i].text) ||
-        types.count(t[i].text) != 0;
+        is_unordered_type_name(t[i].text) || types.count(t[i].text) != 0;
     if (!unordered_here) continue;
     // "using Alias = [std::]unordered_map<...>" — look behind, skipping
     // namespace qualification.
@@ -406,7 +116,7 @@ void collect_unordered_names(const std::vector<Token>& t,
     std::size_t j = i + 1;
     if (j < t.size() && is(t[j], "<")) {
       j = skip_angles(t, j);
-      if (j == std::string_view::npos) continue;
+      if (j == knpos) continue;
     } else if (is_unordered_type_name(t[i].text)) {
       continue;  // bare mention (e.g. inside a comment-ish context)
     }
@@ -432,7 +142,7 @@ void rule_d2(const FileCtx& f,
     //   for ( decl : expr )
     if (is(t[i], "for") && i + 1 < t.size() && is(t[i + 1], "(")) {
       const std::size_t close = skip_parens(t, i + 1);
-      if (close == std::string_view::npos) continue;
+      if (close == knpos) continue;
       // Find the range-for ':' at paren depth 1 (merged "::" is a
       // distinct token, so a bare ":" is unambiguous).
       std::size_t colon = 0;
@@ -450,7 +160,7 @@ void rule_d2(const FileCtx& f,
         if (t[k].kind == Token::kIdent &&
             unordered_names.count(t[k].text) != 0) {
           sink.report(
-              "D2", t[k].line,
+              "D2", t[k].line, t[k].col,
               "range-for over unordered container '" +
                   std::string(t[k].text) +
                   "': iteration order is not deterministic across "
@@ -466,7 +176,7 @@ void rule_d2(const FileCtx& f,
         (is(t[i + 2], "begin") || is(t[i + 2], "cbegin") ||
          is(t[i + 2], "rbegin") || is(t[i + 2], "crbegin")) &&
         is(t[i + 3], "(")) {
-      sink.report("D2", t[i].line,
+      sink.report("D2", t[i].line, t[i].col,
                   "iterator walk over unordered container '" +
                       std::string(t[i].text) +
                       "': iteration order is not deterministic");
@@ -491,7 +201,7 @@ void rule_d3(const FileCtx& f, Sink& sink) {
     // project template named set<...> is not miscounted.
     if (i < 1 || !is(t[i - 1], "::")) continue;
     const std::size_t end = skip_angles(t, i + 1);
-    if (end == std::string_view::npos) continue;
+    if (end == knpos) continue;
     // First template argument: tokens until ',' or the final '>' at
     // depth 1.
     int depth = 0;
@@ -512,7 +222,7 @@ void rule_d3(const FileCtx& f, Sink& sink) {
     }
     if (key_is_pointer) {
       sink.report(
-          "D3", t[i].line,
+          "D3", t[i].line, t[i].col,
           "'" + std::string(id) +
               "' keyed on a pointer type orders by address, which varies "
               "run to run; key on a stable id instead");
@@ -543,13 +253,13 @@ bool param_is_hazardous_ref(const std::vector<Token>& t, std::size_t begin,
 
 /// Is t[i] the start of a coroutine return type? Matches "Co <" with an
 /// optional "sim ::" prefix, and "Detached". Returns the index just past
-/// the full type (past the closing '>' for Co<T>), or npos.
+/// the full type (past the closing '>' for Co<T>), or knpos.
 std::size_t match_coro_return_type(const std::vector<Token>& t,
                                    std::size_t i) {
-  if (t[i].kind != Token::kIdent) return std::string_view::npos;
+  if (t[i].kind != Token::kIdent) return knpos;
   if (t[i].text == "Detached") return i + 1;
-  if (t[i].text != "Co") return std::string_view::npos;
-  if (i + 1 >= t.size() || !is(t[i + 1], "<")) return std::string_view::npos;
+  if (t[i].text != "Co") return knpos;
+  if (i + 1 >= t.size() || !is(t[i + 1], "<")) return knpos;
   return skip_angles(t, i + 1);
 }
 
@@ -557,7 +267,7 @@ void rule_c1_functions(const FileCtx& f, Sink& sink) {
   const auto& t = f.toks;
   for (std::size_t i = 0; i < t.size(); ++i) {
     const std::size_t after_type = match_coro_return_type(t, i);
-    if (after_type == std::string_view::npos) continue;
+    if (after_type == knpos) continue;
     // Expect: [ClassName ::]* name ( params )
     std::size_t j = after_type;
     while (j + 1 < t.size() && t[j].kind == Token::kIdent &&
@@ -571,19 +281,18 @@ void rule_c1_functions(const FileCtx& f, Sink& sink) {
     const std::string fn_name(t[j].text);
     const std::size_t open = j + 1;
     const std::size_t close = skip_parens(t, open);
-    if (close == std::string_view::npos) continue;
+    if (close == knpos) continue;
     // Split parameters at top-level commas and test each.
     int depth = 0;
     std::size_t param_start = open + 1;
     for (std::size_t k = open; k < close; ++k) {
       if (is(t[k], "<") || is(t[k], "(") || is(t[k], "[")) ++depth;
       if (is(t[k], ">") || is(t[k], ")") || is(t[k], "]")) --depth;
-      const bool at_split =
-          (depth == 1 && is(t[k], ",")) || k == close - 1;
+      const bool at_split = (depth == 1 && is(t[k], ",")) || k == close - 1;
       if (!at_split) continue;
       if (param_is_hazardous_ref(t, param_start, k)) {
         sink.report(
-            "C1", t[param_start].line,
+            "C1", t[param_start].line, t[param_start].col,
             "coroutine '" + fn_name +
                 "' takes a const-ref/rvalue-ref parameter: a temporary "
                 "bound to it dies while the frame may still be alive; "
@@ -607,7 +316,7 @@ void rule_c1_lambdas(const FileCtx& f, Sink& sink) {
       continue;
     }
     // Capture list: scan to matching ']'.
-    std::size_t close = std::string_view::npos;
+    std::size_t close = knpos;
     int depth = 0;
     for (std::size_t k = i; k < t.size(); ++k) {
       if (is(t[k], "[")) ++depth;
@@ -619,7 +328,7 @@ void rule_c1_lambdas(const FileCtx& f, Sink& sink) {
       }
       if (is(t[k], ";") || is(t[k], "{")) break;
     }
-    if (close == std::string_view::npos) continue;
+    if (close == knpos) continue;
     bool by_ref_capture = false;
     for (std::size_t k = i + 1; k < close; ++k) {
       if (is(t[k], "&") &&
@@ -641,9 +350,9 @@ void rule_c1_lambdas(const FileCtx& f, Sink& sink) {
     // Find the body '{', remembering a trailing return type if present.
     bool trailing_coro = false;
     if (j < t.size() && is(t[j], "(")) j = skip_parens(t, j);
-    if (j == std::string_view::npos) continue;
+    if (j == knpos) continue;
     while (j < t.size() && !is(t[j], "{")) {
-      if (match_coro_return_type(t, j) != std::string_view::npos) {
+      if (match_coro_return_type(t, j) != knpos) {
         trailing_coro = true;
       }
       if (is(t[j], ";") || is(t[j], ")")) break;  // not a lambda body
@@ -651,7 +360,7 @@ void rule_c1_lambdas(const FileCtx& f, Sink& sink) {
     }
     if (j >= t.size() || !is(t[j], "{")) continue;
     const std::size_t body_end = skip_braces(t, j);
-    if (body_end == std::string_view::npos) continue;
+    if (body_end == knpos) continue;
     bool body_coro = false;
     for (std::size_t k = j; k < body_end; ++k) {
       if (t[k].kind == Token::kIdent &&
@@ -663,7 +372,7 @@ void rule_c1_lambdas(const FileCtx& f, Sink& sink) {
     }
     if (trailing_coro || body_coro) {
       sink.report(
-          "C1", t[i].line,
+          "C1", t[i].line, t[i].col,
           "coroutine lambda captures by reference: captures live in the "
           "closure object, not the frame — if the closure dies before "
           "the coroutine finishes every by-ref capture dangles; capture "
@@ -694,7 +403,7 @@ void rule_s1(const FileCtx& f, Sink& sink) {
     }
     if (!is(t[i + 1], "(")) continue;
     const std::size_t after = skip_parens(t, i + 1);
-    if (after == std::string_view::npos || after + 2 >= t.size()) continue;
+    if (after == knpos || after + 2 >= t.size()) continue;
     // shard_engine(s).schedule_at(...) — the facade is returned by
     // reference, so the chain is always '.'.
     if (!is(t[after], ".")) continue;
@@ -705,7 +414,7 @@ void rule_s1(const FileCtx& f, Sink& sink) {
     }
     if (!is(t[after + 2], "(")) continue;
     sink.report(
-        "S1", t[i].line,
+        "S1", t[i].line, t[i].col,
         "'" + std::string(t[i].text) + "(...)." + std::string(method) +
             "(...)' schedules directly on a shard facade, bypassing the "
             "mailbox/window clamp that keeps output shard-count "
@@ -772,7 +481,7 @@ void rule_q1(const FileCtx& f,
     }
     if (!is(t[i + 3], "(")) continue;
     sink.report(
-        "Q1", t[i].line,
+        "Q1", t[i].line, t[i].col,
         "'" + std::string(t[i].text) + "." + std::string(method) +
             "(...)' pushes into a CHT request queue directly, bypassing "
             "the class-aware submit path (priority stamping, backlog "
@@ -783,35 +492,32 @@ void rule_q1(const FileCtx& f,
 
 }  // namespace
 
-std::string_view annotation_name(std::string_view rule_id) {
-  for (const auto& [id, name] : kRuleNames) {
-    if (id == rule_id) return name;
-  }
-  return "annotation";
-}
-
 void Linter::add_file(std::string path, std::string content) {
   files_.push_back(File{std::move(path), std::move(content)});
 }
 
 std::vector<Diagnostic> Linter::run() {
-  // Phase 1+2 per file.
+  // Lexing per file: the legacy token stream keeps macro bodies visible
+  // for the token-shape rules; the structural stream strips preprocessor
+  // lines so the CFG parser sees balanced braces.
   std::vector<FileCtx> ctxs;
   ctxs.reserve(files_.size());
   for (const auto& f : files_) {
     FileCtx ctx;
     ctx.path = f.path;
     ctx.blanked = blank_noncode(f.content, ctx.ann);
+    ctx.stripped = strip_preprocessor(ctx.blanked);
     ctx.rng_exempt = f.path.find("sim/rng.") != std::string::npos;
     ctx.sharded_exempt =
         f.path.find("sim/sharded_engine.") != std::string::npos;
-    ctx.cht_exempt =
-        f.path.find("armci/cht.") != std::string::npos ||
-        f.path.find("armci/qos_queue.") != std::string::npos;
+    ctx.cht_exempt = f.path.find("armci/cht.") != std::string::npos ||
+                     f.path.find("armci/qos_queue.") != std::string::npos;
     ctxs.push_back(std::move(ctx));
     // Tokenize after the move so Token::text views into storage that
     // lives as long as the context itself.
     ctxs.back().toks = tokenize(ctxs.back().blanked);
+    ctxs.back().cfg_toks = tokenize(ctxs.back().stripped);
+    ctxs.back().functions = extract_functions(ctxs.back().cfg_toks);
   }
 
   // Pass A: project-wide unordered names (declaration may live in a
@@ -827,12 +533,12 @@ std::vector<Diagnostic> Linter::run() {
     }
   }
 
-  // Pass B: rules.
+  // Pass B: token-shape rules.
   std::vector<Diagnostic> diags;
   for (const auto& ctx : ctxs) {
-    Sink sink(ctx, diags);
-    for (const auto& [line, msg] : ctx.ann.malformed) {
-      diags.push_back(Diagnostic{"A0", ctx.path, line, msg});
+    Sink sink(ctx.path, ctx.ann, diags);
+    for (const auto& m : ctx.ann.malformed) {
+      diags.push_back(Diagnostic{"A0", ctx.path, m.line, m.col, m.message, {}});
     }
     rule_d1(ctx, sink);
     rule_d2(ctx, unordered_names, sink);
@@ -842,11 +548,20 @@ std::vector<Diagnostic> Linter::run() {
     rule_s1(ctx, sink);
     rule_q1(ctx, qos_queue_names, sink);
   }
+
+  // Pass C: flow rules (CFG + call graph) — R1, C2, L1.
+  FlowAnalysis flow;
+  for (const auto& ctx : ctxs) {
+    flow.add_file(ctx.path, &ctx.cfg_toks, &ctx.functions, &ctx.ann);
+  }
+  flow.run(diags);
+
   std::sort(diags.begin(), diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.col < b.col;
             });
   return diags;
 }
@@ -854,13 +569,18 @@ std::vector<Diagnostic> Linter::run() {
 std::string format_text(const std::vector<Diagnostic>& diags) {
   std::string out;
   for (const auto& d : diags) {
-    out += d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
-           d.message;
+    out += d.file + ":" + std::to_string(d.line);
+    if (d.col > 0) out += ":" + std::to_string(d.col);
+    out += ": [" + d.rule + "] " + d.message;
     if (d.rule != "A0") {
       out += "  (suppress: // vtopo-lint: allow(" +
              std::string(annotation_name(d.rule)) + ") -- <reason>)";
     }
     out += "\n";
+    for (const auto& step : d.trace) {
+      out += "    " + step.file + ":" + std::to_string(step.line) + ":" +
+             std::to_string(step.col) + ": " + step.note + "\n";
+    }
   }
   return out;
 }
@@ -891,13 +611,85 @@ std::string format_json(const std::vector<Diagnostic>& diags) {
     const auto& d = diags[i];
     out += "  {\"rule\": \"" + d.rule + "\", \"file\": \"";
     json_escape_into(out, d.file);
-    out += "\", \"line\": " + std::to_string(d.line) + ", \"message\": \"";
+    out += "\", \"line\": " + std::to_string(d.line) +
+           ", \"col\": " + std::to_string(d.col) + ", \"message\": \"";
     json_escape_into(out, d.message);
-    out += "\"}";
+    out += "\", \"trace\": [";
+    for (std::size_t k = 0; k < d.trace.size(); ++k) {
+      const auto& step = d.trace[k];
+      if (k > 0) out += ", ";
+      out += "{\"file\": \"";
+      json_escape_into(out, step.file);
+      out += "\", \"line\": " + std::to_string(step.line) +
+             ", \"col\": " + std::to_string(step.col) + ", \"note\": \"";
+      json_escape_into(out, step.note);
+      out += "\"}";
+    }
+    out += "]}";
     if (i + 1 < diags.size()) out += ",";
     out += "\n";
   }
   out += "]\n";
+  return out;
+}
+
+std::string format_sarif(const std::vector<Diagnostic>& diags) {
+  // Minimal but valid SARIF 2.1.0: one run, one result per diagnostic,
+  // the CFG witness path as a codeFlow.
+  std::set<std::string> rule_ids;
+  for (const auto& d : diags) rule_ids.insert(d.rule);
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\"name\": \"vtopo-lint\", "
+      "\"rules\": [";
+  bool first = true;
+  for (const auto& id : rule_ids) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"id\": \"" + id + "\", \"name\": \"" +
+           std::string(annotation_name(id)) + "\"}";
+  }
+  out += "]}},\n    \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const auto& d = diags[i];
+    out += "      {\"ruleId\": \"" + d.rule +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"";
+    json_escape_into(out, d.message);
+    out +=
+        "\"}, \"locations\": [{\"physicalLocation\": "
+        "{\"artifactLocation\": {\"uri\": \"";
+    json_escape_into(out, d.file);
+    out += "\"}, \"region\": {\"startLine\": " + std::to_string(d.line) +
+           ", \"startColumn\": " + std::to_string(d.col > 0 ? d.col : 1) +
+           "}}}]";
+    if (!d.trace.empty()) {
+      out += ", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [";
+      for (std::size_t k = 0; k < d.trace.size(); ++k) {
+        const auto& step = d.trace[k];
+        if (k > 0) out += ", ";
+        out +=
+            "{\"location\": {\"physicalLocation\": {\"artifactLocation\": "
+            "{\"uri\": \"";
+        json_escape_into(out, step.file);
+        out += "\"}, \"region\": {\"startLine\": " +
+               std::to_string(step.line) +
+               ", \"startColumn\": " + std::to_string(step.col > 0 ? step.col : 1) +
+               "}}, \"message\": {\"text\": \"";
+        json_escape_into(out, step.note);
+        out += "\"}}}";
+      }
+      out += "]}]}]";
+    }
+    out += "}";
+    if (i + 1 < diags.size()) out += ",";
+    out += "\n";
+  }
+  out += "    ]\n  }]\n}\n";
   return out;
 }
 

@@ -1,42 +1,51 @@
-// vtopo-lint: project-specific determinism & coroutine-safety checks.
+// vtopo-lint: project-specific determinism, resource-pairing and
+// coroutine-safety checks.
 //
 // The reproduction's headline guarantee is bit-identical determinism:
 // figs 5/6/7 are locked behind FNV goldens and the --jobs sweep must be
 // byte-identical to a serial run. Nothing in the compiler stops a future
-// change from iterating an unordered_map into the event stream or
-// reading a wall clock inside the simulator — so this little analyzer
-// does. It is a tokenizer/AST-lite checker (no libclang): it blanks
-// comments and literals, tokenizes, and pattern-matches rule-specific
-// token shapes. That makes it fast, dependency-free, and deterministic,
-// at the cost of name-based (not type-based) resolution for rule D2 —
-// the annotation escape hatch covers the rare false positive.
+// change from iterating an unordered_map into the event stream, leaking
+// a CreditBank lease on an early-return path, or holding a reference
+// across a suspension point — so this analyzer does. It is a
+// tokenizer/AST-lite checker (no libclang): it blanks comments and
+// literals, tokenizes, pattern-matches token shapes, and — for the flow
+// rules — builds per-function control-flow graphs and a cross-TU call
+// graph (see cfg.hpp / callgraph.hpp / flow_rules.hpp).
 //
 // Rules (see docs/static_analysis.md for the full catalogue):
-//   D1 nondeterminism  — wall clocks, rand(), random_device, getenv
-//                        outside src/sim/rng.*
-//   D2 unordered-iter  — iteration over unordered_{map,set} (range-for
-//                        or .begin() family) anywhere in src/ or bench/
-//   D3 pointer-order   — ordering containers/comparators keyed on
-//                        pointer values (std::less<T*>, std::set<T*>, …)
-//   C1 coro-ref        — coroutine-frame lifetime hazards: Co<T>/
-//                        Detached functions with const-ref or rvalue-ref
-//                        parameters (can bind dead temporaries), and
-//                        coroutine lambdas capturing by reference
-//   Q1 qos-submit      — direct .push()/.enqueue() into a QosQueue-typed
-//                        name outside armci/cht.* / armci/qos_queue.*:
-//                        bypasses the class-aware Cht::submit path
-//                        (priority stamping, backlog accounting,
-//                        congestion feedback)
-//   A0 annotation      — malformed vtopo-lint annotation (missing
-//                        "-- reason", unknown rule name)
+//   D1 nondeterminism       — wall clocks, rand(), random_device, getenv
+//                             outside src/sim/rng.*
+//   D2 unordered-iter       — iteration over unordered_{map,set}
+//   D3 pointer-order        — ordering containers/comparators keyed on
+//                             pointer values
+//   C1 coro-ref             — coroutine signatures that can bind dead
+//                             temporaries; by-ref captures in coroutine
+//                             lambdas
+//   C2 suspension-lifetime  — element references and escaping by-ref
+//                             closures that live across a co_await
+//                             (flow-sensitive)
+//   S1 cross-shard          — scheduling directly on a shard facade
+//   Q1 qos-submit           — direct pushes into a QosQueue outside the
+//                             class-aware Cht::submit path
+//   R1 credit-lease-pairing — path-sensitive acquire/release matching
+//                             for CreditBank leases and RequestPool/
+//                             PayloadArena handles (static twin of the
+//                             VTOPO_VALIDATE conservation checks)
+//   L1 lock-order           — global lock-acquisition-order graph with
+//                             cycle detection and a witness cycle
+//   A0 annotation           — malformed vtopo-lint annotation
 //
 // Escape hatch, same line or the line directly above the violation:
 //   // vtopo-lint: allow(<rule>) -- <reason>
 // or once per file (anywhere in the file):
 //   // vtopo-lint: allow-file(<rule>) -- <reason>
-// where <rule> is one of: nondeterminism, unordered-iter, pointer-order,
-// coro-ref, cross-shard, qos-submit.
+// R1 additionally understands an ownership-transfer annotation:
+//   // vtopo-lint: transfer(credit-lease-pairing) -- <reason>
+// which marks the covered line as a point where lease ownership moves
+// to another holder (so the acquire is not a leak past that point).
 #pragma once
+
+#include "lint/token.hpp"
 
 #include <string>
 #include <string_view>
@@ -44,15 +53,41 @@
 
 namespace vtopo::lint {
 
-struct Diagnostic {
-  std::string rule;     ///< "D1", "D2", "D3", "C1", "S1", "Q1", "A0"
+/// One step of a CFG witness path attached to a diagnostic.
+struct TraceStep {
   std::string file;
   int line = 0;
-  std::string message;
+  int col = 0;
+  std::string note;
 };
 
-/// Stable rule-id -> annotation-name mapping ("D2" -> "unordered-iter").
-[[nodiscard]] std::string_view annotation_name(std::string_view rule_id);
+struct Diagnostic {
+  std::string rule;  ///< "D1".."Q1", "R1", "C2", "L1", "A0"
+  std::string file;
+  int line = 0;
+  int col = 0;  ///< 1-based; 0 when unknown
+  std::string message;
+  std::vector<TraceStep> trace;  ///< empty for the token-shape rules
+};
+
+/// Per-file diagnostic sink: applies allow()/allow-file() suppression
+/// (annotation on the violation line or the line directly above) before
+/// recording. Shared by the token-shape rules and the flow rules.
+class Sink {
+ public:
+  Sink(std::string path, const Annotations& ann, std::vector<Diagnostic>& out)
+      : path_(std::move(path)), ann_(&ann), out_(&out) {}
+
+  void report(std::string_view rule_id, int line, int col,
+              std::string message, std::vector<TraceStep> trace = {});
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  const Annotations* ann_;
+  std::vector<Diagnostic>* out_;
+};
 
 class Linter {
  public:
@@ -61,11 +96,11 @@ class Linter {
   /// of randomness — that is where determinism is implemented).
   void add_file(std::string path, std::string content);
 
-  /// Run all rules over every added file. Two passes: the first collects
-  /// the names of variables/members declared with unordered container
-  /// types across *all* files (declaration in a header, iteration in a
-  /// .cpp), the second pattern-matches the rules. Diagnostics are sorted
-  /// by (file, line) and therefore deterministic.
+  /// Run all rules over every added file. The token-shape rules get a
+  /// 2-round project-wide name collection (declaration in a header,
+  /// use in a .cpp); the flow rules additionally get per-function CFGs
+  /// and a cross-TU call graph. Diagnostics are sorted by (file, line,
+  /// rule) and therefore deterministic.
   [[nodiscard]] std::vector<Diagnostic> run();
 
  private:
@@ -76,10 +111,16 @@ class Linter {
   std::vector<File> files_;
 };
 
-/// Render diagnostics as compiler-style text lines ("file:line: [Dn] …").
+/// Render diagnostics as compiler-style text lines
+/// ("file:line:col: [Dn] …" plus indented trace lines).
 [[nodiscard]] std::string format_text(const std::vector<Diagnostic>& diags);
 
-/// Render diagnostics as a JSON array (machine-readable --json mode).
+/// Render diagnostics as a JSON array (machine-readable --json mode):
+/// rule/file/line/col/message plus a "trace" array of steps.
 [[nodiscard]] std::string format_json(const std::vector<Diagnostic>& diags);
+
+/// Render diagnostics as a SARIF 2.1.0 log (one run, one result per
+/// diagnostic, trace steps as codeFlows) for CI upload.
+[[nodiscard]] std::string format_sarif(const std::vector<Diagnostic>& diags);
 
 }  // namespace vtopo::lint
