@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
@@ -56,6 +57,41 @@ class Percentiles {
  private:
   std::vector<double> samples_;
   bool sorted_ = false;
+};
+
+/// Wall-clock section timer for real-execution benches (the threads
+/// backend runs in real time, so its latencies are measured with
+/// steady_clock rather than read off the simulated clock). lap()
+/// returns the nanoseconds since construction or the previous lap and
+/// feeds them into an optional Percentiles accumulator, so a bench can
+/// mix wall-clock laps with Series-derived numbers consistently.
+// vtopo-lint: allow-file(nondeterminism) -- wall-clock measurement is this helper's entire purpose; it never feeds simulated state
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()), last_(start_) {}
+
+  /// Nanoseconds since construction.
+  [[nodiscard]] double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] double elapsed_sec() const { return elapsed_ns() * 1e-9; }
+
+  /// Nanoseconds since the previous lap (or construction), optionally
+  /// recorded into `sink`.
+  double lap(Percentiles* sink = nullptr) {
+    const auto now = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(now - last_).count();
+    last_ = now;
+    if (sink != nullptr) sink->add(ns);
+    return ns;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_;
 };
 
 /// Minimal flag parser: --key value / --flag.

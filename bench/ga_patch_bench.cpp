@@ -21,7 +21,7 @@ struct Sample {
 
 Sample measure(core::TopologyKind kind, std::int64_t patch,
                int repeats) {
-  sim::Engine eng;
+  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
   armci::Runtime::Config cfg;
   cfg.num_nodes = 64;
   cfg.procs_per_node = 4;

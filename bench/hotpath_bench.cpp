@@ -132,7 +132,7 @@ double measure_events_per_sec(std::int64_t total_events, int timers) {
 }
 
 double measure_msgs_per_sec(std::int64_t total_msgs) {
-  vtopo::sim::Engine eng;
+  vtopo::sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
   vtopo::net::Network net(eng, 256);
   vtopo::sim::Rng rng(7);
   const auto start = std::chrono::steady_clock::now();
@@ -156,7 +156,7 @@ struct RuntimePath {
 };
 
 RuntimePath measure_runtime_path(std::int64_t total_ops) {
-  vtopo::sim::Engine eng;
+  vtopo::sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
   vtopo::armci::Runtime::Config cfg;
   cfg.num_nodes = 16;
   cfg.procs_per_node = 4;
@@ -225,12 +225,74 @@ ShardedPath measure_sharded_path(std::int64_t total_ops, int shards,
   return r;
 }
 
+/// Threads-backend section: the same fetch-&-add flood on the real
+/// std::thread transport (one worker per node, real MPSC queues, real
+/// shared-memory copies). Latency here is wall-clock end-to-end per op,
+/// collected per process and summarized with the shared Percentiles
+/// helper — these are REAL nanoseconds, not simulated ones, so they are
+/// host-dependent and not comparable to the sim sections above (see
+/// docs/performance.md).
+struct ThreadsPath {
+  std::int64_t nodes = 0;
+  std::int64_t procs = 0;
+  std::int64_t ops = 0;
+  double wall_sec = 0;
+  double ops_per_sec = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double p999_ns = 0;
+  double max_ns = 0;
+};
+
+ThreadsPath measure_threads_path(std::int64_t total_ops) {
+  vtopo::armci::Runtime::Config cfg;
+  cfg.num_nodes = 16;
+  cfg.procs_per_node = 4;
+  cfg.topology = vtopo::core::TopologyKind::kMfcg;
+  cfg.backend = vtopo::armci::Backend::kThreads;
+  vtopo::armci::Runtime rt(cfg);
+  const auto off = rt.memory().alloc_all(8);
+  const int per_proc = static_cast<int>(total_ops / rt.num_procs());
+  // Per-proc latency slots: each worker writes only its own vector, the
+  // driver reads them after run_all()'s join.
+  auto lat = std::make_shared<std::vector<std::vector<double>>>(
+      static_cast<std::size_t>(rt.num_procs()));
+  vtopo::bench::WallTimer run_timer;
+  rt.spawn_all([off, per_proc, lat](vtopo::armci::Proc& p)
+                   -> vtopo::sim::Co<void> {
+    (*lat)[static_cast<std::size_t>(p.id())].reserve(
+        static_cast<std::size_t>(per_proc));
+    for (int k = 0; k < per_proc; ++k) {
+      const auto t0 = std::chrono::steady_clock::now();
+      co_await p.fetch_add(vtopo::armci::GAddr{0, off}, 1);
+      (*lat)[static_cast<std::size_t>(p.id())].push_back(
+          std::chrono::duration<double, std::nano>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  });
+  rt.run_all();
+  ThreadsPath r;
+  r.nodes = rt.num_nodes();
+  r.procs = rt.num_procs();
+  r.ops = static_cast<std::int64_t>(per_proc) * rt.num_procs();
+  r.wall_sec = run_timer.elapsed_sec();
+  r.ops_per_sec = static_cast<double>(r.ops) / r.wall_sec;
+  vtopo::bench::Percentiles pct;
+  for (const auto& v : *lat) pct.add_all(v);
+  r.p50_ns = pct.p50();
+  r.p99_ns = pct.p99();
+  r.p999_ns = pct.p999();
+  r.max_ns = pct.max();
+  return r;
+}
+
 /// Criticality-aware QoS before/after on the CHT path: the same
 /// contended mixed-class storm with the class-aware path off and on,
 /// returning the critical fetch-&-add p99 in simulated microseconds
 /// (deterministic run to run, unlike the wall-clock sections above).
 double measure_qos_critical_p99_us(bool qos) {
-  vtopo::sim::Engine eng;
+  vtopo::sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
   vtopo::armci::Runtime::Config cfg;
   cfg.num_nodes = 16;
   cfg.procs_per_node = 2;
@@ -309,6 +371,7 @@ int main(int argc, char** argv) {
   const RuntimePath path = measure_runtime_path(path_ops);
   const ShardedPath spath =
       measure_sharded_path(path_ops, shards, shard_threads);
+  const ThreadsPath tpath = measure_threads_path(path_ops);
   const double fig7_ms = measure_fig7_wallclock_ms(quick);
   const double qos_p99_before = measure_qos_critical_p99_us(false);
   const double qos_p99_after = measure_qos_critical_p99_us(true);
@@ -329,6 +392,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(m.pool_created),
         static_cast<unsigned long long>(m.events));
   }
+  std::printf("threads_ops_per_sec   %.3e (%lld nodes, real wall-clock)\n",
+              tpath.ops_per_sec, static_cast<long long>(tpath.nodes));
+  std::printf(
+      "threads_latency_ns    p50=%.0f p99=%.0f p999=%.0f max=%.0f\n",
+      tpath.p50_ns, tpath.p99_ns, tpath.p999_ns, tpath.max_ns);
   std::printf("request_reuse_frac    %.4f\n", path.request_reuse_frac);
   std::printf("frame_reuse_frac      %.4f\n", path.frame_reuse_frac);
   std::printf("fig7_wallclock_ms     %.1f\n", fig7_ms);
@@ -361,5 +429,35 @@ int main(int argc, char** argv) {
                qos_p99_before, qos_p99_after);
   std::fclose(f);
   std::printf("# wrote %s\n", out_path.c_str());
+
+  const std::string realtime_path =
+      args.get_string("--realtime-out", "BENCH_realtime.json");
+  std::FILE* rf = std::fopen(realtime_path.c_str(), "w");
+  if (rf == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", realtime_path.c_str());
+    return 1;
+  }
+  std::fprintf(rf,
+               "{\n"
+               "  \"backend\": \"threads\",\n"
+               "  \"workload\": \"fetchadd_flood\",\n"
+               "  \"nodes\": %lld,\n"
+               "  \"procs\": %lld,\n"
+               "  \"ops\": %lld,\n"
+               "  \"wall_sec\": %.6f,\n"
+               "  \"ops_per_sec\": %.1f,\n"
+               "  \"latency_ns\": {\"p50\": %.0f, \"p99\": %.0f, "
+               "\"p999\": %.0f, \"max\": %.0f},\n"
+               "  \"note\": \"real wall-clock nanoseconds on the "
+               "std::thread backend; host-dependent, not comparable to "
+               "simulated-ns sections\"\n"
+               "}\n",
+               static_cast<long long>(tpath.nodes),
+               static_cast<long long>(tpath.procs),
+               static_cast<long long>(tpath.ops), tpath.wall_sec,
+               tpath.ops_per_sec, tpath.p50_ns, tpath.p99_ns, tpath.p999_ns,
+               tpath.max_ns);
+  std::fclose(rf);
+  std::printf("# wrote %s\n", realtime_path.c_str());
   return 0;
 }

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
               "allreduce_us");
 
   for (const auto kind : core::all_topology_kinds()) {
-    sim::Engine eng;
+    sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
     armci::Runtime::Config cfg;
     cfg.num_nodes = nodes;
     cfg.procs_per_node = 4;

@@ -21,6 +21,14 @@
 // overhead, so the JSON records host_cores alongside the ratios and
 // readers should interpret them together (see docs/performance.md).
 //
+// --backend threads runs the sweep on the real std::thread transport
+// instead of the simulator: one OS thread per node, wall-clock
+// latencies, sweep capped at 1024 processes (each node is a real
+// thread), shard sweep and scale ceiling skipped (the threads backend
+// has no shards), output to BENCH_realtime_scaling.json. The sim_ms
+// column then reports *real* elapsed milliseconds — host-dependent and
+// not comparable to simulated numbers (see docs/performance.md).
+//
 // vtopo-lint: allow-file(nondeterminism) -- wall-clock throughput timing only; never feeds simulated results
 #include <sys/resource.h>
 
@@ -78,18 +86,22 @@ struct Point {
 
 /// One sweep point: `procs` ranks flooding fetch-&-adds at rank 0.
 /// `shards` == 0 runs the legacy engine; >= 1 the sharded engine.
+/// `use_threads` runs the real std::thread transport backend instead
+/// (one worker thread per node; `shards` is ignored there).
 Point run_point(vtopo::core::TopologyKind kind, std::int64_t procs,
-                int ops_per_proc, int shards = 0) {
+                int ops_per_proc, int shards = 0,
+                bool use_threads = false) {
   const auto start = std::chrono::steady_clock::now();
-  vtopo::sim::Engine eng;
+  vtopo::sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
   Runtime::Config cfg;
   cfg.procs_per_node = 4;
   cfg.num_nodes = procs / cfg.procs_per_node;
   cfg.topology = kind;
   cfg.shards = shards > 0 ? shards : 1;
+  if (use_threads) cfg.backend = vtopo::armci::Backend::kThreads;
   std::unique_ptr<Runtime> rt_owner =
-      shards > 0 ? std::make_unique<Runtime>(cfg)
-                 : std::make_unique<Runtime>(eng, cfg);
+      (shards > 0 || use_threads) ? std::make_unique<Runtime>(cfg)
+                                  : std::make_unique<Runtime>(eng, cfg);
   Runtime& rt = *rt_owner;
   const auto off = rt.memory().alloc_all(8);
   rt.spawn_all([off, ops_per_proc](Proc& p) -> vtopo::sim::Co<void> {
@@ -106,7 +118,9 @@ Point run_point(vtopo::core::TopologyKind kind, std::int64_t procs,
   pt.ops = procs * ops_per_proc;
   pt.shards = shards;
   pt.wallclock_ms = seconds_since(start) * 1e3;
-  pt.sim_ms = static_cast<double>(rt.engine().now()) / 1e6;
+  // Via the transport seam: simulated ns on the sim backend, wall-clock
+  // ns since transport start on the threads backend.
+  pt.sim_ms = static_cast<double>(rt.now()) / 1e6;
   pt.requests = rt.stats().requests;
   pt.forwards = rt.stats().forwards;
   pt.msgs = rt.network().messages_sent();
@@ -118,7 +132,7 @@ Point run_point(vtopo::core::TopologyKind kind, std::int64_t procs,
 /// Network::send throughput — the same loop hotpath_bench measures, so
 /// the number is directly comparable against BENCH_hotpath.json.
 double measure_msgs_per_sec(std::int64_t total_msgs) {
-  vtopo::sim::Engine eng;
+  vtopo::sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
   vtopo::net::Network net(eng, 256);
   vtopo::sim::Rng rng(7);
   const auto start = std::chrono::steady_clock::now();
@@ -142,7 +156,7 @@ struct RuntimePath {
 /// cluster, with the pool hit counters that show the path running
 /// allocation-free once warm.
 RuntimePath measure_runtime_path(std::int64_t total_ops) {
-  vtopo::sim::Engine eng;
+  vtopo::sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
   Runtime::Config cfg;
   cfg.num_nodes = 16;
   cfg.procs_per_node = 4;
@@ -183,7 +197,7 @@ void print_point(const Point& pt) {
 /// the class-aware path off and on, returning the critical p99 in
 /// simulated microseconds (deterministic, unlike the wall-clock rows).
 double measure_qos_critical_p99_us(bool qos) {
-  vtopo::sim::Engine eng;
+  vtopo::sim::Engine eng; // vtopo-lint: allow(backend-seam) -- engine microbench measures the sim backend itself
   Runtime::Config cfg;
   cfg.num_nodes = 16;
   cfg.procs_per_node = 2;
@@ -250,13 +264,21 @@ int main(int argc, char** argv) {
       args.get_int("--big-procs", quick ? 16384 : 1048576);
   const int big_ops =
       static_cast<int>(args.get_int("--big-ops", quick ? 1 : 2));
-  const std::string out_path =
-      args.get_string("--out", "BENCH_runtime.json");
+  const std::string backend_name = args.get_string("--backend", "sim");
+  const bool threads = backend_name == "threads";
+  // The threads run must not clobber the simulator's golden-adjacent
+  // artifact, so it defaults to its own output file.
+  const std::string out_path = args.get_string(
+      "--out",
+      threads ? "BENCH_realtime_scaling.json" : "BENCH_runtime.json");
   const unsigned host_cores = std::thread::hardware_concurrency();
 
   vtopo::bench::print_header(
       "weak_scaling",
-      "hot-spot fetch-add flood, 1k -> 64k processes + sharded 1M");
+      threads
+          ? "hot-spot fetch-add flood on the std::thread backend "
+            "(real wall-clock, <= 1024 processes)"
+          : "hot-spot fetch-add flood, 1k -> 64k processes + sharded 1M");
 
   const double mps = measure_msgs_per_sec(msgs);
   const RuntimePath path = measure_runtime_path(path_ops);
@@ -282,11 +304,19 @@ int main(int argc, char** argv) {
       vtopo::core::TopologyKind::kCfcg,
       vtopo::core::TopologyKind::kHypercube};
   constexpr std::int64_t kFcgMaxProcs = 4096;
+  // One OS thread per node on the real backend: past 1024 processes
+  // (256 worker threads) the sweep measures the host scheduler, not the
+  // transport — mirror the FCG wall with an explicit marker.
+  constexpr std::int64_t kThreadsMaxProcs = 1024;
 
   std::vector<Point> points;
   std::printf("# %-5s %8s %7s %9s %12s %12s %10s %9s\n", "topo", "procs",
               "nodes", "ops", "wallclock_ms", "sim_ms", "requests",
               "rss_mb");
+  if (threads) {
+    std::printf("# backend=threads: sim_ms column is REAL elapsed ms "
+                "(host-dependent)\n");
+  }
   for (std::int64_t procs = 1024; procs <= max_procs; procs *= 4) {
     for (const auto kind : kinds) {
       if (kind == vtopo::core::TopologyKind::kFcg &&
@@ -297,36 +327,50 @@ int main(int argc, char** argv) {
                     static_cast<long long>(procs / 4));
         continue;
       }
-      points.push_back(run_point(kind, procs, ops_per_proc));
+      if (threads && procs > kThreadsMaxProcs) {
+        std::printf("%-7s %8lld %7lld  skipped (threads backend: one OS "
+                    "thread per node)\n",
+                    vtopo::core::to_string(kind),
+                    static_cast<long long>(procs),
+                    static_cast<long long>(procs / 4));
+        continue;
+      }
+      points.push_back(run_point(kind, procs, ops_per_proc, 0, threads));
       print_point(points.back());
     }
   }
 
-  // ---- Shard sweep: same flood, sharded engine, 1/2/4/8 shards ----
-  vtopo::bench::print_rule();
-  std::printf("# shard sweep: MFCG %lld procs, ThreadMode=auto "
-              "(host_cores=%u)\n",
-              static_cast<long long>(shard_procs), host_cores);
+  // ---- Shard sweep + scale ceiling: sim backend only (the threads
+  // backend has no shards — its parallelism IS the per-node threads) ----
   std::vector<Point> shard_points;
-  for (const int shards : {1, 2, 4, 8}) {
-    shard_points.push_back(run_point(vtopo::core::TopologyKind::kMfcg,
-                                     shard_procs, ops_per_proc, shards));
-    Point& pt = shard_points.back();
-    std::printf("# shards=%d wallclock_ms=%.1f sim_ms=%.3f rss_mb=%.1f "
-                "speedup=%.2f\n",
-                shards, pt.wallclock_ms, pt.sim_ms, pt.rss_mb,
-                shard_points.front().wallclock_ms / pt.wallclock_ms);
-    print_shard_mem(pt);
-  }
+  Point big;
+  if (!threads) {
+    vtopo::bench::print_rule();
+    std::printf("# shard sweep: MFCG %lld procs, ThreadMode=auto "
+                "(host_cores=%u)\n",
+                static_cast<long long>(shard_procs), host_cores);
+    for (const int shards : {1, 2, 4, 8}) {
+      shard_points.push_back(run_point(vtopo::core::TopologyKind::kMfcg,
+                                       shard_procs, ops_per_proc, shards));
+      Point& pt = shard_points.back();
+      std::printf("# shards=%d wallclock_ms=%.1f sim_ms=%.3f rss_mb=%.1f "
+                  "speedup=%.2f\n",
+                  shards, pt.wallclock_ms, pt.sim_ms, pt.rss_mb,
+                  shard_points.front().wallclock_ms / pt.wallclock_ms);
+      print_shard_mem(pt);
+    }
 
-  // ---- Scale ceiling: one completing sharded run at 1M+ processes ----
-  vtopo::bench::print_rule();
-  std::printf("# scale ceiling: MFCG %lld procs, 8 shards, %d ops/proc\n",
-              static_cast<long long>(big_procs), big_ops);
-  const Point big = run_point(vtopo::core::TopologyKind::kMfcg, big_procs,
-                              big_ops, 8);
-  print_point(big);
-  print_shard_mem(big);
+    vtopo::bench::print_rule();
+    std::printf("# scale ceiling: MFCG %lld procs, 8 shards, %d ops/proc\n",
+                static_cast<long long>(big_procs), big_ops);
+    big = run_point(vtopo::core::TopologyKind::kMfcg, big_procs, big_ops, 8);
+    print_point(big);
+    print_shard_mem(big);
+  } else {
+    vtopo::bench::print_rule();
+    std::printf("# shard sweep + scale ceiling skipped: threads backend "
+                "(one OS thread per node, no engine shards)\n");
+  }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -335,6 +379,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n"
+               "  \"backend\": \"%s\",\n"
                "  \"host_cores\": %u,\n"
                "  \"msgs_per_sec\": %.1f,\n"
                "  \"fetchadd_ops_per_sec\": %.1f,\n"
@@ -342,7 +387,7 @@ int main(int argc, char** argv) {
                "  \"frame_pool\": {\"created\": %llu, \"reused\": %llu},\n"
                "  \"fcg_skipped_above_procs\": %lld,\n"
                "  \"weak_scaling\": [\n",
-               host_cores, mps, path.ops_per_sec,
+               backend_name.c_str(), host_cores, mps, path.ops_per_sec,
                static_cast<unsigned long long>(path.req_created),
                static_cast<unsigned long long>(path.req_reused),
                static_cast<unsigned long long>(path.frames_created),
@@ -376,21 +421,33 @@ int main(int argc, char** argv) {
         shard_points.front().wallclock_ms / pt.wallclock_ms,
         i + 1 < shard_points.size() ? "," : "");
   }
-  std::fprintf(
-      f,
-      "  ],\n"
-      "  \"shard_sweep_note\": \"speedup is a host property: with "
-      "host_cores < shards the window machinery is pure overhead and "
-      "ratios near/below 1.0 are expected; >= 3x at 8 shards requires "
-      ">= 8 cores\",\n"
-      "  \"scale_ceiling\": {\"topology\": \"%s\", \"procs\": %lld, "
-      "\"nodes\": %lld, \"ops\": %lld, \"shards\": %d, "
-      "\"wallclock_ms\": %.3f, \"sim_ms\": %.3f, \"requests\": %llu, "
-      "\"peak_rss_mb\": %.1f, \"completed\": true},\n",
-      big.topology.c_str(), static_cast<long long>(big.procs),
-      static_cast<long long>(big.nodes), static_cast<long long>(big.ops),
-      big.shards, big.wallclock_ms, big.sim_ms,
-      static_cast<unsigned long long>(big.requests), big.rss_mb);
+  if (threads) {
+    std::fprintf(
+        f,
+        "  ],\n"
+        "  \"shard_sweep_note\": \"skipped: the threads backend has no "
+        "engine shards (one OS thread per node is its parallelism)\",\n"
+        "  \"threads_note\": \"sim_ms fields are REAL elapsed ms on the "
+        "std::thread backend — host-dependent, not comparable to "
+        "simulated numbers\",\n"
+        "  \"scale_ceiling\": null,\n");
+  } else {
+    std::fprintf(
+        f,
+        "  ],\n"
+        "  \"shard_sweep_note\": \"speedup is a host property: with "
+        "host_cores < shards the window machinery is pure overhead and "
+        "ratios near/below 1.0 are expected; >= 3x at 8 shards requires "
+        ">= 8 cores\",\n"
+        "  \"scale_ceiling\": {\"topology\": \"%s\", \"procs\": %lld, "
+        "\"nodes\": %lld, \"ops\": %lld, \"shards\": %d, "
+        "\"wallclock_ms\": %.3f, \"sim_ms\": %.3f, \"requests\": %llu, "
+        "\"peak_rss_mb\": %.1f, \"completed\": true},\n",
+        big.topology.c_str(), static_cast<long long>(big.procs),
+        static_cast<long long>(big.nodes), static_cast<long long>(big.ops),
+        big.shards, big.wallclock_ms, big.sim_ms,
+        static_cast<unsigned long long>(big.requests), big.rss_mb);
+  }
   std::fprintf(f, "  \"qos_critical_p99_us\": "
                "{\"before\": %.1f, \"after\": %.1f}\n",
                qos_p99_before, qos_p99_after);

@@ -1,0 +1,123 @@
+// vtopo-lint: allow-file(nondeterminism) -- wall-clock backend.
+#include "armci/backend_threads.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vtopo::armci {
+
+ThreadsTransport::ThreadsTransport(int num_nodes)
+    : num_nodes_(num_nodes), t0_(std::chrono::steady_clock::now()) {
+  assert(num_nodes > 0);
+  for (int n = 0; n <= num_nodes_; ++n) {
+    NodeExec& ex = execs_.emplace_back();
+    ex.hook.t = this;
+    ex.hook.self = n;
+    ex.facade.set_realtime(true);
+    ex.facade.install_hook(&ex.hook);
+  }
+}
+
+ThreadsTransport::~ThreadsTransport() {
+  stop_.store(true, std::memory_order_release);
+  for (NodeExec& ex : execs_) {
+    // The empty critical section pins the worker either inside wait()
+    // or before its next stop_ check, so the notify cannot be lost.
+    { std::lock_guard<std::mutex> g(ex.mu); }
+    ex.cv.notify_all();
+  }
+  for (std::thread& t : workers_) t.join();
+  // Undrained events (abnormal teardown only) are dropped with their
+  // captures when the heaps destruct.
+}
+
+sim::TimeNs ThreadsTransport::wall_now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+sim::Engine& ThreadsTransport::context_engine() {
+  const int node = sim::current_node();
+  if (node >= 0 && node <= num_nodes_) {
+    return execs_[static_cast<std::size_t>(node)].facade;
+  }
+  return execs_[static_cast<std::size_t>(num_nodes_)].facade;
+}
+
+sim::Engine& ThreadsTransport::engine_for_node(int node) {
+  assert(node >= 0 && node <= num_nodes_);
+  return execs_[static_cast<std::size_t>(node)].facade;
+}
+
+std::uint64_t ThreadsTransport::events_executed() const {
+  std::uint64_t total = 0;
+  for (const NodeExec& ex : execs_) total += ex.executed;
+  return total;
+}
+
+void ThreadsTransport::post_at(int node, sim::TimeNs due, sim::InlineFn fn) {
+  if (node < 0 || node > num_nodes_) node = num_nodes_;
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  NodeExec& ex = execs_[static_cast<std::size_t>(node)];
+  {
+    std::lock_guard<std::mutex> g(ex.mu);
+    ex.heap.push_back(TimedEv{due, ex.seq++, std::move(fn)});
+    std::push_heap(ex.heap.begin(), ex.heap.end(), ev_later);
+  }
+  ex.cv.notify_one();
+}
+
+void ThreadsTransport::worker_main(int node) {
+  ScopedNode scope(node);
+  NodeExec& ex = execs_[static_cast<std::size_t>(node)];
+  std::unique_lock<std::mutex> lk(ex.mu);
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (ex.heap.empty()) {
+      ex.cv.wait(lk);
+      continue;
+    }
+    const sim::TimeNs due = ex.heap.front().due;
+    if (due > wall_now()) {
+      ex.cv.wait_until(lk, t0_ + std::chrono::nanoseconds(due));
+      continue;
+    }
+    std::pop_heap(ex.heap.begin(), ex.heap.end(), ev_later);
+    TimedEv ev = std::move(ex.heap.back());
+    ex.heap.pop_back();
+    lk.unlock();
+    // The facade clock never runs backwards and never sits behind an
+    // event's due time, so schedule_after arithmetic stays sane.
+    ex.facade.set_now(std::max(wall_now(), ev.due));
+    ++ex.executed;
+    {
+      sim::InlineFn fn = std::move(ev.fn);
+      fn();
+    }  // captures die here, before the event counts as done
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> g(done_mu_);
+      done_cv_.notify_all();
+    }
+    lk.lock();
+  }
+}
+
+void ThreadsTransport::start_workers() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<std::size_t>(num_nodes_) + 1);
+  for (int n = 0; n <= num_nodes_; ++n) {
+    workers_.emplace_back([this, n] { worker_main(n); });
+  }
+}
+
+void ThreadsTransport::drive() {
+  start_workers();
+  std::unique_lock<std::mutex> lk(done_mu_);
+  done_cv_.wait(lk, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace vtopo::armci

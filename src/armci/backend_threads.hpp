@@ -1,0 +1,154 @@
+// vtopo-lint: allow-file(nondeterminism) -- wall-clock scheduling is the
+// point of this backend: event order is whatever the host threads make it.
+//
+// Threads backend: one real std::thread per simulated node.
+//
+// Each node owns a NodeExec — a mutex-guarded MPSC timed queue (any
+// thread posts, only the node's worker pops) plus a `sim::Engine`
+// *facade* in realtime mode. The facade's ShardHook routes every
+// schedule_at/schedule_on_node into the queues, so the whole protocol
+// stack (CHT service loops, QosQueue wakeups, CreditBank hand-offs,
+// congestion windows) runs unchanged on real threads. "Latency" is
+// wall-clock: a due time is nanoseconds since transport start measured
+// on steady_clock, and a worker sleeps on its condition variable until
+// the earliest due event matures. Payload movement is a real memcpy
+// between segments (see Proc::put/get threads branches).
+//
+// Memory confinement contract (what makes this TSan-clean):
+//  * a node's facade, CHT, CreditBank, congestion window, request-pool
+//    slot and memory segment are touched only by that node's worker —
+//    or by the driver thread while every worker is quiescent (the
+//    pending-count handshake in drive() orders the two);
+//  * cross-node effects travel exclusively as posted closures;
+//  * cross-thread completion (sim::Future) uses the realtime protocol,
+//    which posts resumes at due=0 and never reads a foreign clock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "armci/transport.hpp"
+#include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
+#include "sim/sharded_engine.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::armci {
+
+class ThreadsTransport final : public Transport {
+ public:
+  explicit ThreadsTransport(int num_nodes);
+  ~ThreadsTransport() override;
+  ThreadsTransport(const ThreadsTransport&) = delete;
+  ThreadsTransport& operator=(const ThreadsTransport&) = delete;
+
+  [[nodiscard]] Backend kind() const override { return Backend::kThreads; }
+  sim::Engine& context_engine() override;
+  sim::Engine& engine_for_node(int node) override;
+  sim::TimeNs now() override { return wall_now(); }
+  void post(int node, sim::InlineFn fn) override {
+    post_at(node, 0, std::move(fn));
+  }
+  void post_after(int node, sim::TimeNs delay, sim::InlineFn fn) override {
+    post_at(node, wall_now() + delay, std::move(fn));
+  }
+  /// Block until no posted work remains (queued or executing). Workers
+  /// are started lazily on the first call, so everything the driver
+  /// thread did before — component construction, initial coroutine
+  /// segments — is ordered before any worker by the std::thread ctor.
+  void drive() override;
+
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  /// Pseudo-node for driver-context tasks (reconfig monitors etc.);
+  /// owns the last facade + worker.
+  [[nodiscard]] int global_node() const { return num_nodes_; }
+  [[nodiscard]] sim::Engine& global_engine() {
+    return engine_for_node(num_nodes_);
+  }
+  /// Nanoseconds of steady_clock time since transport construction.
+  [[nodiscard]] sim::TimeNs wall_now() const;
+  /// Rendezvous guard for collective arrivals (Runtime barrier/reduce).
+  [[nodiscard]] std::mutex& coll_mu() { return coll_mu_; }
+  /// Total events run by all workers. Driver thread, quiescent only.
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+  /// RAII: attribute driver-thread work (construction, spawn segments)
+  /// to a node so engine()/current_node() resolve to it — the threads
+  /// analogue of sim::NodeScope, without a ShardedEngine.
+  class ScopedNode {
+   public:
+    explicit ScopedNode(int node) noexcept {
+      sim::ShardContext& c = sim::shard_context();
+      saved_ = c;
+      c = sim::ShardContext{nullptr, -1, node, false};
+    }
+    ~ScopedNode() { sim::shard_context() = saved_; }
+    ScopedNode(const ScopedNode&) = delete;
+    ScopedNode& operator=(const ScopedNode&) = delete;
+
+   private:
+    sim::ShardContext saved_;
+  };
+
+ private:
+  /// Routes facade schedules into the owning node's queue. Absolute
+  /// times arriving here were computed against the facade's clock by
+  /// its own worker (schedule_after) or are 0 (cross-thread posts).
+  struct NodeHook final : sim::ShardHook {
+    ThreadsTransport* t = nullptr;
+    int self = -1;
+    void hook_schedule(sim::TimeNs due, sim::InlineFn fn) override {
+      t->post_at(self, due, std::move(fn));
+    }
+    void hook_schedule_on_node(int node, sim::TimeNs due,
+                               sim::InlineFn fn) override {
+      t->post_at(node, due, std::move(fn));
+    }
+  };
+
+  struct TimedEv {
+    sim::TimeNs due = 0;
+    std::uint64_t seq = 0;
+    sim::InlineFn fn;
+  };
+
+  /// Later-than comparator: std::push_heap keeps the earliest
+  /// (due, seq) at the front.
+  static bool ev_later(const TimedEv& a, const TimedEv& b) {
+    if (a.due != b.due) return a.due > b.due;
+    return a.seq > b.seq;
+  }
+
+  struct alignas(64) NodeExec {
+    sim::Engine facade;
+    NodeHook hook;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<TimedEv> heap;
+    std::uint64_t seq = 0;
+    std::uint64_t executed = 0;
+  };
+
+  void post_at(int node, sim::TimeNs due, sim::InlineFn fn);
+  void worker_main(int node);
+  void start_workers();
+
+  const int num_nodes_;
+  const std::chrono::steady_clock::time_point t0_;
+  std::deque<NodeExec> execs_;  ///< num_nodes_ + 1 (global last)
+  std::atomic<std::int64_t> pending_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::mutex coll_mu_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;  ///< driver thread only
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vtopo::armci

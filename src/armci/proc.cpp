@@ -35,6 +35,25 @@ sim::Co<void> Proc::put(GAddr dst, std::span<const std::uint8_t> src) {
   co_await sim::Sleep(eng, p.proc_op_overhead);
 
   const core::NodeId tnode = rt_->node_of(dst.proc);
+  if (rt_->is_threads()) {
+    // Real shared-memory transfer: the target's worker copies straight
+    // out of the caller's buffer into its own segment (no staging, no
+    // modeled wire). The source span stays valid — and unmutated — while
+    // this frame is suspended on the completion future.
+    GlobalMemory& mem = rt_->memory();
+    const std::uint8_t* sp = src.data();
+    const std::size_t nbytes = src.size();
+    sim::Future<int> done(eng);
+    rt_->transport().post(static_cast<int>(tnode),
+                          // vtopo-lint: allow(suspension-lifetime) -- mem aliases the runtime-owned GlobalMemory; the frame stays suspended until done.set
+                          [&mem, dst, sp, nbytes, done]() mutable {
+      mem.write(dst, {sp, nbytes});
+      done.set(0);
+    });
+    co_await done;
+    rt_->tracer().record(TraceKind::kPut, id_, t0, eng.now() - t0);
+    co_return;
+  }
   // Data lands at the simulated arrival instant; the blocking call
   // conservatively returns at remote completion. The staging buffer is a
   // recycled arena chunk moved into the arrival event.
@@ -78,6 +97,24 @@ sim::Co<void> Proc::get(std::span<std::uint8_t> dst, GAddr src) {
   co_await sim::Sleep(eng, p.proc_op_overhead);
 
   const core::NodeId tnode = rt_->node_of(src.proc);
+  if (rt_->is_threads()) {
+    // Real shared-memory read: the owner's worker snapshots its segment
+    // into the caller's destination buffer, which no one else touches
+    // until this frame resumes.
+    GlobalMemory& mem = rt_->memory();
+    std::uint8_t* out = dst.data();
+    const std::size_t nbytes = dst.size();
+    sim::Future<int> done(eng);
+    rt_->transport().post(static_cast<int>(tnode),
+                          // vtopo-lint: allow(suspension-lifetime) -- mem aliases the runtime-owned GlobalMemory; the frame stays suspended until done.set
+                          [&mem, out, nbytes, src, done]() mutable {
+      mem.read({out, nbytes}, src);
+      done.set(0);
+    });
+    co_await done;
+    rt_->tracer().record(TraceKind::kGet, id_, t0, eng.now() - t0);
+    co_return;
+  }
   if (rt_->is_sharded()) {
     // Sharded RDMA read: the descriptor leg lands on the target node's
     // shard, which snapshots the bytes at the descriptor-arrival

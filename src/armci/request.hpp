@@ -261,6 +261,17 @@ class RequestPool {
     sharded_ = sharded;
     home_shard_ = home_shard;
   }
+
+  /// Declare this pool node-homed under the threads backend: a last
+  /// release observed on another node's worker posts the recycle back to
+  /// the home node's queue (at due 0, via the home facade's hook), so
+  /// the freelist is only ever touched by its owner. The driver thread
+  /// (node -1) recycles directly — it only drops references while every
+  /// worker is quiescent.
+  void bind_realtime(sim::Engine* home_eng, int home_node) {
+    home_eng_ = home_eng;
+    home_node_ = home_node;
+  }
   ~RequestPool() {
     Request* r = free_;
     while (r != nullptr) {
@@ -308,6 +319,16 @@ class RequestPool {
   friend class RequestPtr;
 
   void recycle(Request* r) noexcept {
+    if (home_eng_ != nullptr) {
+      const int node = sim::current_node();
+      if (node >= 0 && node != home_node_) {
+        home_eng_->schedule_on_node(home_node_, 0,
+                                    [this, r] { recycle_local(r); });
+        return;
+      }
+      recycle_local(r);
+      return;
+    }
     if (sharded_ != nullptr) {
       const sim::ShardContext& ctx = sim::shard_context();
       if (ctx.parallel && ctx.shard != home_shard_) {
@@ -355,6 +376,8 @@ class RequestPool {
   std::uint64_t reused_ = 0;
   sim::ShardedEngine* sharded_ = nullptr;
   int home_shard_ = -1;
+  sim::Engine* home_eng_ = nullptr;  ///< threads backend: home facade
+  int home_node_ = -1;
 };
 
 inline void RequestPtr::reset() noexcept {

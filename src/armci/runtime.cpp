@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <utility>
 
+#include "armci/backend_threads.hpp"
 #include "armci/cht.hpp"
 #include "armci/proc.hpp"
 #include "core/coords.hpp"
@@ -15,7 +16,8 @@
 namespace vtopo::armci {
 
 Runtime::Runtime(sim::Engine& eng, Config cfg)
-    : eng_(&eng),
+    : transport_(std::make_unique<SimTransport>(eng)),
+      eng_(&eng),
       cfg_(cfg),
       memory_(cfg.num_nodes * cfg.procs_per_node, cfg.segment_bytes),
       topo_mgr_(cfg.custom_shape
@@ -30,10 +32,24 @@ Runtime::Runtime(sim::Engine& eng, Config cfg)
 }
 
 Runtime::Runtime(Config cfg)
-    : sharded_(std::make_unique<sim::ShardedEngine>(
-          static_cast<int>(cfg.num_nodes), std::max(cfg.shards, 1),
-          cfg.net.min_remote_latency(), cfg.thread_mode)),
-      eng_(&sharded_->global_engine()),
+    : sharded_(cfg.backend == Backend::kThreads
+                   ? nullptr
+                   // vtopo-lint: allow(backend-seam) -- the Runtime ctor IS the seam: it owns the sim backend's engine
+                   : std::make_unique<sim::ShardedEngine>(
+                         static_cast<int>(cfg.num_nodes),
+                         std::max(cfg.shards, 1),
+                         cfg.net.min_remote_latency(), cfg.thread_mode)),
+      transport_(cfg.backend == Backend::kThreads
+                     ? std::unique_ptr<Transport>(
+                           std::make_unique<ThreadsTransport>(
+                               static_cast<int>(cfg.num_nodes)))
+                     : std::unique_ptr<Transport>(
+                           std::make_unique<SimTransport>(*sharded_))),
+      threads_(cfg.backend == Backend::kThreads
+                   ? static_cast<ThreadsTransport*>(transport_.get())
+                   : nullptr),
+      eng_(threads_ != nullptr ? &threads_->global_engine()
+                               : &sharded_->global_engine()),
       cfg_(cfg),
       memory_(cfg.num_nodes * cfg.procs_per_node, cfg.segment_bytes),
       topo_mgr_(cfg.custom_shape
@@ -43,9 +59,16 @@ Runtime::Runtime(Config cfg)
                     : core::VirtualTopology::make(cfg.topology,
                                                   cfg.num_nodes,
                                                   cfg.policy)),
-      network_(sharded_->global_engine(), cfg.num_nodes, cfg.net,
-               cfg.placement, cfg.seed) {
-  network_.enable_sharding(sharded_.get());
+      network_(*eng_, cfg.num_nodes, cfg.net, cfg.placement, cfg.seed) {
+  if (sharded_ != nullptr) {
+    network_.enable_sharding(sharded_.get());
+  } else if (cfg_.faults && cfg_.faults->armed()) {
+    // The fault/retry/heal machinery is deterministic-replay tooling
+    // (seeded draws, serial-phase overlays); on wall-clock threads it
+    // has no meaning. Refuse rather than silently ignore.
+    throw std::invalid_argument(
+        "threads backend does not support fault injection");
+  }
   init();
 }
 
@@ -56,6 +79,16 @@ void Runtime::init() {
       shard_slots_.emplace_back();
       shard_slots_.back().pool.bind_shard(sharded_.get(), s);
       shard_slots_.back().arena.bind_shard(sharded_.get(), s);
+    }
+    req_seq_.assign(nn, 0);
+  } else if (threads_ != nullptr) {
+    // One slot per node plus the global pseudo-node: each worker touches
+    // only its own slot; the driver folds them while workers are
+    // quiescent. Pools home foreign frees through the owner's queue.
+    for (int n = 0; n <= threads_->num_nodes(); ++n) {
+      shard_slots_.emplace_back();
+      shard_slots_.back().pool.bind_realtime(&threads_->engine_for_node(n),
+                                             n);
     }
     req_seq_.assign(nn, 0);
   }
@@ -75,6 +108,17 @@ void Runtime::init() {
           credits_per_edge(), topology().neighbors(n), qos));
       congestion_.push_back(std::make_unique<CongestionControl>(
           sharded_->engine_for_node(static_cast<int>(n)), qos));
+    } else if (threads_ != nullptr) {
+      // Same confinement rule on real threads: every engine reference
+      // these actors capture must be the owning node's wall-clock
+      // facade, and only that node's worker drives them afterwards.
+      ThreadsTransport::ScopedNode scope(static_cast<int>(n));
+      chts_.push_back(std::make_unique<Cht>(*this, n));
+      credit_banks_.push_back(std::make_unique<CreditBank>(
+          threads_->engine_for_node(static_cast<int>(n)),
+          credits_per_edge(), topology().neighbors(n), qos));
+      congestion_.push_back(std::make_unique<CongestionControl>(
+          threads_->engine_for_node(static_cast<int>(n)), qos));
     } else {
       chts_.push_back(std::make_unique<Cht>(*this, n));
       credit_banks_.push_back(std::make_unique<CreditBank>(
@@ -90,6 +134,12 @@ void Runtime::init() {
   for (core::NodeId n = 0; n < cfg_.num_nodes; ++n) {
     if (sharded_ != nullptr) {
       sim::NodeScope scope(*sharded_, static_cast<int>(n));
+      chts_[static_cast<std::size_t>(n)]->start();
+    } else if (threads_ != nullptr) {
+      // Workers have not started yet: the service loop's first segment
+      // runs inline here and parks on its queue; the std::thread
+      // constructors in drive() order all of this before any worker.
+      ThreadsTransport::ScopedNode scope(static_cast<int>(n));
       chts_[static_cast<std::size_t>(n)]->start();
     } else {
       chts_[static_cast<std::size_t>(n)]->start();
@@ -134,6 +184,12 @@ void Runtime::stop_chts() {
       // that node's context.
       sim::NodeScope scope(*sharded_, static_cast<int>(n));
       chts_[static_cast<std::size_t>(n)]->stop();
+    } else if (threads_ != nullptr) {
+      // Workers are quiescent here (drive() settled); the poison push
+      // posts a wakeup through the node's queue, which re-orders the
+      // worker behind this write.
+      ThreadsTransport::ScopedNode scope(static_cast<int>(n));
+      chts_[static_cast<std::size_t>(n)]->stop();
     } else {
       chts_[static_cast<std::size_t>(n)]->stop();
     }
@@ -147,6 +203,10 @@ void Runtime::run_engine() {
     sync_slot_tracers();
     sharded_->run();
     fold_shard_state();
+  } else if (threads_ != nullptr) {
+    sync_slot_tracers();
+    transport_->drive();
+    fold_slot_counters();
   } else {
     eng_->run();
   }
@@ -162,7 +222,7 @@ void Runtime::sync_slot_tracers() {
   for (ShardSlot& s : shard_slots_) s.tracer.configure_from(tracer_);
 }
 
-void Runtime::fold_shard_state() {
+void Runtime::fold_slot_counters() {
   for (ShardSlot& s : shard_slots_) {
     RuntimeStats& a = stats_;
     const RuntimeStats& b = s.stats;
@@ -199,7 +259,10 @@ void Runtime::fold_shard_state() {
   // recorded which sample, so percentiles and float sums of the folded
   // series compare bytewise across shard counts.
   if (tracer_.enabled()) tracer_.canonicalize();
+}
 
+void Runtime::fold_shard_state() {
+  fold_slot_counters();
   stats_.shard_mem.assign(
       static_cast<std::size_t>(sharded_->num_shards()), ShardMemStats{});
   for (int sh = 0; sh < sharded_->num_shards(); ++sh) {
@@ -251,6 +314,16 @@ void Runtime::spawn(ProcId p, std::function<sim::Co<void>(Proc&)> program) {
                     .live);
     return;
   }
+  if (threads_ != nullptr) {
+    // The first segment runs inline on the driver (workers not yet, or
+    // no longer, running); once suspended, the coroutine only ever
+    // resumes on its node's worker, which owns the slot's live counter.
+    const int node = static_cast<int>(node_of(p));
+    ThreadsTransport::ScopedNode scope(node);
+    sim::spawn(programs_.back()(proc(p)),
+               &shard_slots_[static_cast<std::size_t>(node)].live);
+    return;
+  }
   sim::spawn(programs_.back()(proc(p)), &live_);
 }
 
@@ -264,6 +337,11 @@ void Runtime::spawn_task(sim::Co<void> task) {
     // drivers, monitors) live on the global pseudo-node: their events
     // run between windows, where cross-shard state is safe to touch.
     sim::NodeScope scope(*sharded_, sharded_->global_node());
+    sim::spawn(std::move(task), nullptr);
+    return;
+  }
+  if (threads_ != nullptr && sim::current_node() < 0) {
+    ThreadsTransport::ScopedNode scope(threads_->global_node());
     sim::spawn(std::move(task), nullptr);
     return;
   }
@@ -483,16 +561,13 @@ void Runtime::reclaim_lease(core::NodeId holder, core::NodeId receiver,
     bank->release(receiver, cls);
     ++rt->stats().credits_reclaimed;
   };
-  if (sharded_ != nullptr) {
-    // The bank belongs to `holder`, which may live on another shard
-    // than the caller: route the release to its node.
-    sharded_->schedule_on_node(
-        static_cast<int>(holder),
-        sharded_->context_now() + cfg_.armci.lease_reclaim_delay,
-        std::move(release));
-    return;
-  }
-  eng_->schedule_after(cfg_.armci.lease_reclaim_delay, std::move(release));
+  // The bank belongs to `holder`, which may live on another shard (or
+  // worker thread) than the caller: route the delayed release through
+  // the transport to its node. On the legacy engine this reduces to the
+  // plain schedule_after the code used before the seam existed.
+  transport_->post_after(static_cast<int>(holder),
+                         cfg_.armci.lease_reclaim_delay,
+                         std::move(release));
 }
 
 RequestPtr Runtime::clone_request(const Request& r) {
@@ -524,6 +599,16 @@ void Runtime::send_request_msg(RequestPtr r, core::NodeId src,
                                core::NodeId dst, std::int64_t wire_bytes,
                                net::Network::StreamKey stream) {
   Cht& cht_dst = cht(dst);
+  if (threads_ != nullptr) {
+    // Real thread hand-off: the request crosses as a posted closure and
+    // the target's worker submits it to its own CHT. Wire latency is
+    // whatever the host's queues make it (wall-clock, not modeled).
+    RequestPtr rr = std::move(r);
+    transport_->post(static_cast<int>(dst), [&cht_dst, rr]() mutable {
+      cht_dst.submit(std::move(rr));
+    });
+    return;
+  }
   // Locks are exempt from faults end to end (lock traffic is modeled
   // reliable: a replayed grant would corrupt the waiter queue), as are
   // intra-node deliveries (shared memory, not the wire).
@@ -576,6 +661,13 @@ void Runtime::send_ack_msg(core::NodeId from, core::NodeId upstream,
   CreditBank& bank = credits(upstream);
   const core::NodeId self = from;
   ++stats().acks;
+  if (threads_ != nullptr) {
+    // The credit returns on the upstream holder's own worker — the bank
+    // (and any parked acquire waiter it resumes) is confined there.
+    transport_->post(static_cast<int>(upstream),
+                     [&bank, self, cls] { bank.release(self, cls); });
+    return;
+  }
   if (!faults_armed()) {
     network_.deliver(from, upstream, p.ack_bytes, cht_stream(from),
                      [&bank, self, cls] { bank.release(self, cls); });
@@ -630,6 +722,12 @@ void Runtime::send_response_msg(RequestPtr req, Response resp,
     }
     req->response_future->set(std::move(resp));
   };
+  if (threads_ != nullptr) {
+    // Completion runs at the origin's worker: the future, congestion
+    // window, and in-flight counter it touches all live there.
+    transport_->post(static_cast<int>(dst), std::move(complete));
+    return;
+  }
   if (!faults_armed() || from == dst || op == OpCode::kLock ||
       op == OpCode::kUnlock) {
     network_.deliver(from, dst, wire_bytes, cht_stream(from),
@@ -723,6 +821,10 @@ sim::Co<bool> Runtime::reconfigure(core::TopologyKind to,
   // with spawn_task() from the main thread) — it mutates every node's
   // credit bank and the topology, which is only safe between windows.
   assert(sharded_ == nullptr || !sim::shard_context().parallel);
+  // The remap mutates every node's credit bank and the shared topology;
+  // on real threads there is no between-windows phase where that is
+  // safe. Refuse (same contract as an impossible target shape).
+  if (threads_ != nullptr) co_return false;
   if (to == topology().kind()) co_return false;
   // Refuse instead of throwing: Co promises terminate on an escaped
   // exception (sim actors have no one to rethrow to).
@@ -847,6 +949,12 @@ bool Runtime::run_for(sim::TimeNs deadline) {
     sync_slot_tracers();
     sharded_->run_until(deadline);
     fold_shard_state();
+  } else if (threads_ != nullptr) {
+    // Wall-clock workers have no replayable notion of "stop at t":
+    // drive to quiescence instead (deadline ignored by design).
+    sync_slot_tracers();
+    transport_->drive();
+    fold_slot_counters();
   } else {
     eng_->run_until(deadline);
   }
@@ -855,6 +963,32 @@ bool Runtime::run_for(sim::TimeNs deadline) {
 
 sim::Co<void> Runtime::barrier_wait() {
   const ArmciParams& p = cfg_.armci;
+  if (threads_ != nullptr) {
+    // Real-thread rendezvous: arrivals from every worker meet under one
+    // mutex; the last arrival fulfils all futures outside the lock (a
+    // realtime set() posts each resume to its awaiting node — including
+    // the last arrival's own, which it then consumes without
+    // suspending). No modeled tree latency: the barrier costs whatever
+    // the host threads cost.
+    sim::Future<int> fut(engine());
+    std::vector<sim::Future<int>> futs;
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> g(threads_->coll_mu());
+      barrier_futures_.push_back(fut);
+      if (++barrier_arrived_ == num_procs()) {
+        futs = std::move(barrier_futures_);
+        barrier_futures_.clear();
+        barrier_arrived_ = 0;
+        last = true;
+      }
+    }
+    if (last) {
+      for (auto& f : futs) f.set(0);
+    }
+    co_await fut;
+    co_return;
+  }
   if (sharded_ != nullptr) {
     // Sharded rendezvous: arrivals funnel through the serial phase in
     // (time, stamp) order; the last arrival computes the same
@@ -906,6 +1040,33 @@ sim::Co<void> Runtime::barrier_wait() {
 
 sim::Co<double> Runtime::allreduce_sum(double value) {
   const ArmciParams& p = cfg_.armci;
+  if (threads_ != nullptr) {
+    // Like barrier_wait; the summation order is arrival order, which is
+    // nondeterministic here — float totals can differ between runs by
+    // rounding (callers compare with a tolerance, not bytes).
+    sim::Future<double> fut(engine());
+    std::vector<sim::Future<double>> futs;
+    double total = 0.0;
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> g(threads_->coll_mu());
+      reduce_sum_ += value;
+      reduce_futures_.push_back(fut);
+      if (++reduce_arrived_ == num_procs()) {
+        total = reduce_sum_;
+        futs = std::move(reduce_futures_);
+        reduce_futures_.clear();
+        reduce_arrived_ = 0;
+        reduce_sum_ = 0.0;
+        last = true;
+      }
+    }
+    if (last) {
+      for (auto& f : futs) f.set(total);
+    }
+    const double res = co_await fut;
+    co_return res;
+  }
   if (sharded_ != nullptr) {
     // Like barrier_wait, but the serial-phase arrival order also fixes
     // the floating-point summation order — (time, stamp), independent

@@ -28,6 +28,7 @@
 #include "armci/request.hpp"
 #include "armci/topology_manager.hpp"
 #include "armci/trace.hpp"
+#include "armci/transport.hpp"
 #include "core/topology.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -39,6 +40,7 @@ namespace vtopo::armci {
 
 class Cht;
 class Proc;
+class ThreadsTransport;
 
 /// Per-shard memory accounting, snapshotted when a sharded run folds.
 /// Deliberately outside any byte-identity golden: freelist hit rates
@@ -166,6 +168,11 @@ class Runtime {
     int shards = 1;
     /// Host-thread policy for the sharded engine.
     sim::ThreadMode thread_mode = sim::ThreadMode::kAuto;
+    /// Executor backend (self-hosting constructor only). kSim builds the
+    /// sharded deterministic engine; kThreads runs each node's CHT on a
+    /// real std::thread with wall-clock latency (nondeterministic;
+    /// faults and reconfiguration unsupported — see backend_threads.hpp).
+    Backend backend = Backend::kSim;
   };
 
   /// Legacy: run on a caller-owned single-threaded engine.
@@ -181,12 +188,23 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   /// The engine of the calling context: on the sharded runtime a worker
-  /// gets its shard's facade and everything else the global facade, so
-  /// existing `rt.engine().now()` call sites stay correct unchanged.
+  /// gets its shard's facade, on the threads runtime its node's wall-
+  /// clock facade, and everything else the global facade, so existing
+  /// `rt.engine().now()` call sites stay correct unchanged.
   [[nodiscard]] sim::Engine& engine() {
+    if (threads_ != nullptr) return transport_->context_engine();
     return sharded_ != nullptr ? sharded_->context_engine() : *eng_;
   }
+  /// Current time of the calling context via the transport seam:
+  /// simulated ns on the sim backend (legacy or sharded — identical to
+  /// engine().now()), wall-clock ns since transport start on threads.
+  /// Workload code should prefer this over engine().now().
+  [[nodiscard]] sim::TimeNs now() { return transport_->now(); }
+  /// The executor seam the runtime schedules through.
+  [[nodiscard]] Transport& transport() { return *transport_; }
+  [[nodiscard]] Backend backend() const { return cfg_.backend; }
   [[nodiscard]] bool is_sharded() const { return sharded_ != nullptr; }
+  [[nodiscard]] bool is_threads() const { return threads_ != nullptr; }
   /// The sharded engine, or null on a legacy runtime.
   [[nodiscard]] sim::ShardedEngine* sharded() { return sharded_.get(); }
   [[nodiscard]] const Config& config() const { return cfg_; }
@@ -351,7 +369,7 @@ class Runtime {
   /// from its own (node-tagged) sequence — deterministic per node, no
   /// shared counter.
   [[nodiscard]] std::uint64_t next_request_id() {
-    if (sharded_ != nullptr) {
+    if (sharded_ != nullptr || threads_ != nullptr) {
       const int node = sim::current_node();
       if (node >= 0 && node < cfg_.num_nodes) {
         return (static_cast<std::uint64_t>(node + 1) << 40) |
@@ -448,7 +466,16 @@ class Runtime {
     std::int64_t inflight = 0;
   };
   /// The calling worker's slot, or null outside the parallel phase.
+  /// Threads backend: one slot per node (plus the global pseudo-node's),
+  /// selected by the worker's TLS node; the driver thread (node -1)
+  /// falls through to the folded main members, which it only touches
+  /// while every worker is quiescent.
   [[nodiscard]] ShardSlot* context_slot() {
+    if (threads_ != nullptr) {
+      const int node = sim::current_node();
+      if (node < 0) return nullptr;
+      return &shard_slots_[static_cast<std::size_t>(node)];
+    }
     if (sharded_ == nullptr) return nullptr;
     const sim::ShardContext& c = sim::shard_context();
     if (!c.parallel) return nullptr;
@@ -468,11 +495,14 @@ class Runtime {
   void park_at_fence(std::coroutine_handle<> h);
 
   void init();
-  /// Drive the underlying engine (sharded or legacy) until drained.
+  /// Drive the underlying engine (via the transport) until drained.
   void run_engine();
   /// Sum per-shard counters into the main stats/tracer and empty the
   /// slots. Main thread, engine idle.
   void fold_shard_state();
+  /// Counter/tracer part of the fold, shared with the threads backend
+  /// (which has per-node slots but no shard-memory accounting).
+  void fold_slot_counters();
   void sync_slot_tracers();
   void stop_chts();
   [[nodiscard]] bool request_path_quiescent() const;
@@ -508,8 +538,13 @@ class Runtime {
 
   // Declared first so the engine (and every facade captured from it)
   // outlives all other members during destruction. Null on the legacy
-  // external-engine runtime.
+  // external-engine runtime. At most one of sharded_/threads_ is set.
   std::unique_ptr<sim::ShardedEngine> sharded_;
+  std::unique_ptr<Transport> transport_;
+  /// Non-owning view of transport_ when it is the threads backend (its
+  /// dtor — worker join — runs when transport_ destructs, after every
+  /// actor holding a facade reference is gone).
+  ThreadsTransport* threads_ = nullptr;
   sim::Engine* eng_;
   Config cfg_;
   GlobalMemory memory_;

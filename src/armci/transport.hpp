@@ -1,0 +1,119 @@
+// Transport/executor seam between the ARMCI runtime and its backends.
+//
+// The runtime's protocol machinery (Proc issue paths, CHT actors,
+// CreditBank, QoS, congestion control) is written against two
+// primitives only:
+//
+//   * a per-node `sim::Engine` handle — the *executor facade* — that
+//     provides schedule_at/schedule_after/schedule_on_node/now for the
+//     node currently running, and
+//   * this `Transport` interface, which owns cross-node scheduling
+//     (post/post_after), the context-to-facade mapping, and the
+//     run-to-quiescence loop (drive).
+//
+// Two backends implement the pair today:
+//
+//   * SimTransport (this header): the deterministic simulators. The
+//     legacy single-threaded `sim::Engine` and the spatially sharded
+//     `sim::ShardedEngine` both slot in; every call forwards to the
+//     exact engine entry points the runtime used before the seam
+//     existed, so simulated output stays byte-identical.
+//   * ThreadsTransport (armci/backend_threads.hpp): one std::thread per
+//     node, wall-clock time, real shared-memory copies.
+//
+// Everything above the seam — request wire format, credit accounting,
+// retry/dedup, QoS classes — is backend-agnostic by construction.
+#pragma once
+
+#include "sim/engine.hpp"
+#include "sim/inline_fn.hpp"
+#include "sim/sharded_engine.hpp"
+#include "sim/time.hpp"
+
+namespace vtopo::armci {
+
+/// Which executor the runtime schedules on.
+enum class Backend {
+  kSim,      ///< deterministic simulated clock (legacy or sharded engine)
+  kThreads,  ///< one std::thread per node, steady_clock wall time
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual Backend kind() const = 0;
+
+  /// Executor facade for the calling context (TLS node under the sharded
+  /// and threads backends; the single global engine otherwise).
+  virtual sim::Engine& context_engine() = 0;
+
+  /// Executor facade owning simulated node `node`.
+  virtual sim::Engine& engine_for_node(int node) = 0;
+
+  /// Current time of the calling context: simulated ns for the sim
+  /// backend, wall-clock ns since transport start for threads.
+  virtual sim::TimeNs now() = 0;
+
+  /// Run `fn` on node `node` as soon as possible.
+  virtual void post(int node, sim::InlineFn fn) = 0;
+
+  /// Run `fn` on node `node` after `delay` ns (simulated or wall-clock,
+  /// per backend).
+  virtual void post_after(int node, sim::TimeNs delay, sim::InlineFn fn) = 0;
+
+  /// Run until no work is pending. Blocking; called from the driver
+  /// thread only.
+  virtual void drive() = 0;
+};
+
+/// Deterministic-simulation backend: wraps the legacy single-threaded
+/// engine or the sharded engine behind the Transport interface. Each
+/// override forwards to the same engine call the runtime made before
+/// the seam existed — the simulated event streams are unchanged.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(sim::Engine& eng) : eng_(&eng) {}
+  explicit SimTransport(sim::ShardedEngine& sharded) : sharded_(&sharded) {}
+
+  [[nodiscard]] Backend kind() const override { return Backend::kSim; }
+
+  sim::Engine& context_engine() override {
+    return sharded_ != nullptr ? sharded_->context_engine() : *eng_;
+  }
+
+  sim::Engine& engine_for_node(int node) override {
+    return sharded_ != nullptr ? sharded_->engine_for_node(node) : *eng_;
+  }
+
+  sim::TimeNs now() override {
+    return sharded_ != nullptr ? sharded_->context_now() : eng_->now();
+  }
+
+  void post(int node, sim::InlineFn fn) override {
+    post_after(node, 0, std::move(fn));
+  }
+
+  void post_after(int node, sim::TimeNs delay, sim::InlineFn fn) override {
+    if (sharded_ != nullptr) {
+      sharded_->schedule_on_node(node, sharded_->context_now() + delay,
+                                 std::move(fn));
+      return;
+    }
+    eng_->schedule_after(delay, std::move(fn));
+  }
+
+  void drive() override {
+    if (sharded_ != nullptr) {
+      sharded_->run();
+      return;
+    }
+    eng_->run();
+  }
+
+ private:
+  sim::Engine* eng_ = nullptr;
+  sim::ShardedEngine* sharded_ = nullptr;
+};
+
+}  // namespace vtopo::armci

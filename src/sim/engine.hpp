@@ -99,6 +99,14 @@ class Engine {
   void install_hook(ShardHook* hook) { hook_ = hook; }
   [[nodiscard]] bool hooked() const { return hook_ != nullptr; }
 
+  /// Mark this engine as a wall-clock (threads-backend) facade. Completion
+  /// sources that share state across real threads (sim::Future) switch to
+  /// their synchronized protocol when the flag is set. Off by default, and
+  /// never set for the deterministic engines, so the simulated paths stay
+  /// bit-identical.
+  void set_realtime(bool on) { realtime_ = on; }
+  [[nodiscard]] bool realtime() const { return realtime_; }
+
   /// Force the clock. Sharded-engine internal: facades mirror their
   /// shard's window clock instead of advancing via step().
   void set_now(TimeNs t) { now_ = t; }
@@ -248,6 +256,7 @@ class Engine {
   }
 
   ShardHook* hook_ = nullptr;
+  bool realtime_ = false;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

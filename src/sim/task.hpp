@@ -14,6 +14,7 @@
 // schedule resumption as engine events at the current simulated time.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
@@ -217,7 +218,26 @@ class Future {
   /// lands on the node that created the future (its owner), so under the
   /// sharded engine a completion observed on another shard routes home
   /// instead of resuming the waiter on the wrong shard.
+  ///
+  /// Under a realtime (threads-backend) engine the set/await race is real:
+  /// set() may run on a different std::thread than the awaiter. The state
+  /// then switches to a spinlock-guarded protocol, and the resume is
+  /// posted at time 0 — "as soon as possible" in wall-clock terms — to the
+  /// awaiting node's queue, never reading the foreign facade's clock.
   void set(T v) {
+    if (st_->realtime) {
+      auto st = st_;
+      st->lock();
+      assert(!st->value.has_value() && "future set twice");
+      st->value.emplace(std::move(v));
+      auto h = std::exchange(st->waiter, nullptr);
+      const int dest = st->waiter_node >= 0 ? st->waiter_node : st->owner_node;
+      st->unlock();
+      if (h) {
+        st->eng->schedule_on_node(dest, 0, [h] { h.resume(); });
+      }
+      return;
+    }
     assert(!st_->value.has_value() && "future set twice");
     st_->value.emplace(std::move(v));
     if (st_->waiter) {
@@ -229,7 +249,15 @@ class Future {
     }
   }
 
-  [[nodiscard]] bool ready() const { return st_->value.has_value(); }
+  [[nodiscard]] bool ready() const {
+    if (st_->realtime) {
+      st_->lock();
+      const bool r = st_->value.has_value();
+      st_->unlock();
+      return r;
+    }
+    return st_->value.has_value();
+  }
 
   /// Peek at the value (valid only when ready(); value must not have been
   /// consumed by a co_await).
@@ -238,10 +266,28 @@ class Future {
   auto operator co_await() {
     struct Awaiter {
       std::shared_ptr<State> st;
-      bool await_ready() const { return st->value.has_value(); }
-      void await_suspend(std::coroutine_handle<> h) {
+      bool await_ready() const {
+        // Realtime states route through await_suspend so the value check
+        // and waiter registration happen under one lock acquisition.
+        if (st->realtime) return false;
+        return st->value.has_value();
+      }
+      bool await_suspend(std::coroutine_handle<> h) {
+        if (st->realtime) {
+          st->lock();
+          if (st->value.has_value()) {
+            st->unlock();
+            return false;  // value raced in: resume immediately
+          }
+          assert(!st->waiter && "future awaited by two coroutines");
+          st->waiter = h;
+          st->waiter_node = current_node();
+          st->unlock();
+          return true;
+        }
         assert(!st->waiter && "future awaited by two coroutines");
         st->waiter = h;
+        return true;
       }
       T await_resume() { return std::move(*st->value); }
     };
@@ -250,11 +296,20 @@ class Future {
 
  private:
   struct State {
-    explicit State(Engine* e) : eng(e), owner_node(current_node()) {}
+    explicit State(Engine* e)
+        : eng(e), owner_node(current_node()), realtime(e->realtime()) {}
+    void lock() const {
+      while (lk.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    void unlock() const { lk.clear(std::memory_order_release); }
     Engine* eng;
     int owner_node;  ///< -1 in legacy runs: schedule_on_node == schedule_at
+    bool realtime;   ///< engine is a wall-clock facade: use the lock
+    int waiter_node = -1;  ///< node awaiting; resume routes there
     std::optional<T> value;
     std::coroutine_handle<> waiter;
+    mutable std::atomic_flag lk = ATOMIC_FLAG_INIT;
   };
   std::shared_ptr<State> st_;
 };

@@ -113,7 +113,7 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 ContentionResult run_contention(const ClusterConfig& cluster,
                                 const ContentionConfig& cfg) {
-  sim::Engine eng;
+  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
   std::unique_ptr<armci::Runtime> rt_owner = make_runtime(eng, cluster);
   armci::Runtime& rt = *rt_owner;
   arm_reconfigure(rt, cluster);

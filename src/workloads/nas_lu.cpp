@@ -108,8 +108,8 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 }  // namespace
 
 AppResult run_nas_lu(const ClusterConfig& cluster, const LuConfig& cfg) {
-  sim::Engine eng;
-  armci::Runtime rt(eng, cluster.runtime_config());
+  ClusterHandle handle(cluster);
+  armci::Runtime& rt = handle.rt();
   arm_reconfigure(rt, cluster);
 
   auto st = std::make_shared<Shared>();
@@ -133,14 +133,14 @@ AppResult run_nas_lu(const ClusterConfig& cluster, const LuConfig& cfg) {
        i < static_cast<std::size_t>(cfg.iterations) *
                static_cast<std::size_t>(rt.num_procs()) * 2;
        ++i) {
-    st->arrivals.emplace_back(eng);
+    st->arrivals.emplace_back(rt.engine());
   }
 
   rt.spawn_all([st](Proc& p) { return body(p, st); });
   rt.run_all();
 
   AppResult out;
-  out.exec_time_sec = sim::to_sec(eng.now());
+  out.exec_time_sec = handle.elapsed_sec();
   out.checksum = rt.memory().read_f64(armci::GAddr{0, st->residual_off});
   out.stats = rt.stats();
   return out;

@@ -67,7 +67,7 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 AppResult run_nwchem_ccsd(const ClusterConfig& cluster,
                           const CcsdConfig& cfg) {
-  sim::Engine eng;
+  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
   armci::Runtime rt(eng, cluster.runtime_config());
   arm_reconfigure(rt, cluster);
 

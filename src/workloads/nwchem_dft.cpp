@@ -79,8 +79,8 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 AppResult run_nwchem_dft(const ClusterConfig& cluster,
                          const DftConfig& cfg) {
-  sim::Engine eng;
-  armci::Runtime rt(eng, cluster.runtime_config());
+  ClusterHandle handle(cluster);
+  armci::Runtime& rt = handle.rt();
   arm_reconfigure(rt, cluster);
 
   auto st = std::make_shared<Shared>();
@@ -94,7 +94,7 @@ AppResult run_nwchem_dft(const ClusterConfig& cluster,
   rt.run_all();
 
   AppResult out;
-  out.exec_time_sec = sim::to_sec(eng.now());
+  out.exec_time_sec = handle.elapsed_sec();
   out.checksum = rt.memory().read_f64(armci::GAddr{0, st->energy_off});
   out.stats = rt.stats();
   return out;

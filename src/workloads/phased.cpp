@@ -51,7 +51,7 @@ sim::Co<void> boundary(Proc& p, std::shared_ptr<Shared> st,
   co_await p.barrier();
   if (p.id() == 0) {
     armci::Runtime& rt = p.runtime();
-    const sim::TimeNs now = rt.engine().now();
+    const sim::TimeNs now = rt.now();
     if (st->phase_start >= 0) {
       st->phase_ns.push_back(now - st->phase_start);
     }
@@ -77,7 +77,7 @@ sim::Co<void> boundary(Proc& p, std::shared_ptr<Shared> st,
           core::to_string(rt.topology().kind()));
       ++st->next_phase_index;
     }
-    st->phase_start = rt.engine().now();
+    st->phase_start = rt.now();
   }
   co_await p.barrier();
 }
@@ -131,8 +131,8 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 PhasedResult run_phased(const ClusterConfig& cluster,
                         const PhasedConfig& cfg) {
-  sim::Engine eng;
-  armci::Runtime rt(eng, cluster.runtime_config());
+  ClusterHandle handle(cluster);
+  armci::Runtime& rt = handle.rt();
   arm_reconfigure(rt, cluster);
 
   auto st = std::make_shared<Shared>();
@@ -151,7 +151,7 @@ PhasedResult run_phased(const ClusterConfig& cluster,
   rt.run_all();
 
   PhasedResult out;
-  out.app.exec_time_sec = sim::to_sec(eng.now());
+  out.app.exec_time_sec = handle.elapsed_sec();
   out.app.checksum =
       static_cast<double>(
           rt.memory().read_i64(GAddr{0, st->counter_off})) +

@@ -52,7 +52,7 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 AppResult run_synthetic(const ClusterConfig& cluster,
                         const SyntheticConfig& cfg) {
-  sim::Engine eng;
+  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
   armci::Runtime rt(eng, cluster.runtime_config());
   arm_reconfigure(rt, cluster);
   auto st = std::make_shared<Shared>();

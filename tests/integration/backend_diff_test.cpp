@@ -1,0 +1,203 @@
+// Differential oracle between the two transport backends.
+//
+// The sim backend is bit-deterministic and locked behind goldens; the
+// threads backend runs every node on a real std::thread with wall-clock
+// latency, so its timing is nondeterministic by design. What must still
+// match is everything the program — not the clock — determines: which
+// operations complete, how many CHT requests and responses they take,
+// the numeric results, and conservation of every credit and pool slot.
+// These tests run the same workloads on both backends and compare
+// exactly those quantities. (Timing-coupled counters — forwards, acks,
+// wakeups, backlogs — legitimately differ: request combining and
+// queue depths depend on what is in flight at the same instant.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "armci/proc.hpp"
+#include "armci/runtime.hpp"
+#include "workloads/nas_lu.hpp"
+#include "workloads/nwchem_dft.hpp"
+#include "workloads/phased.hpp"
+
+namespace vtopo {
+namespace {
+
+using work::ClusterConfig;
+
+ClusterConfig small_cluster(armci::Backend backend) {
+  ClusterConfig cl;
+  cl.num_nodes = 4;
+  cl.procs_per_node = 2;
+  cl.topology = core::TopologyKind::kMfcg;
+  cl.backend = backend;
+  return cl;
+}
+
+/// Program-determined counters: one request per CHT-mediated op, one
+/// response per request, one direct op per contiguous put/get. Unlike
+/// forwards/acks these cannot depend on arrival interleaving.
+void expect_same_completions(const armci::RuntimeStats& sim,
+                             const armci::RuntimeStats& thr) {
+  EXPECT_EQ(sim.requests, thr.requests);
+  EXPECT_EQ(sim.responses, thr.responses);
+  EXPECT_EQ(sim.direct_ops, thr.direct_ops);
+  // Exactly-once on the nondeterministic backend: every issued request
+  // completed, none twice.
+  EXPECT_EQ(thr.requests, thr.responses);
+  EXPECT_EQ(thr.retries, 0u);
+}
+
+TEST(BackendDiff, DftMatchesSimExactly) {
+  work::DftConfig dft;
+  dft.scf_iterations = 2;
+  dft.total_tasks = 96;
+  dft.compute_us_per_task = 20.0;
+  const work::AppResult sim =
+      run_nwchem_dft(small_cluster(armci::Backend::kSim), dft);
+  const work::AppResult thr =
+      run_nwchem_dft(small_cluster(armci::Backend::kThreads), dft);
+  expect_same_completions(sim.stats, thr.stats);
+  // The energy cell accumulates 0.25-steps: exact in binary floating
+  // point regardless of arrival order, so the checksums are identical.
+  EXPECT_EQ(sim.checksum, thr.checksum);
+}
+
+TEST(BackendDiff, LuMatchesSimWithinAccumulationOrder) {
+  work::LuConfig lu;
+  lu.iterations = 4;
+  lu.nx_global = 64;
+  const work::AppResult sim =
+      run_nas_lu(small_cluster(armci::Backend::kSim), lu);
+  const work::AppResult thr =
+      run_nas_lu(small_cluster(armci::Backend::kThreads), lu);
+  expect_same_completions(sim.stats, thr.stats);
+  // The residual sums 1/(rank+1) terms in completion order, so the
+  // threads backend may round differently in the last bits.
+  EXPECT_NEAR(sim.checksum, thr.checksum,
+              1e-9 * std::abs(sim.checksum));
+}
+
+TEST(BackendDiff, PhasedMatchesSimExactly) {
+  work::PhasedConfig ph;
+  ph.cycles = 1;
+  ph.hot_ops_per_proc = 8;
+  ph.bw_tiles_per_proc = 4;
+  const work::PhasedResult sim =
+      run_phased(small_cluster(armci::Backend::kSim), ph);
+  const work::PhasedResult thr =
+      run_phased(small_cluster(armci::Backend::kThreads), ph);
+  expect_same_completions(sim.app.stats, thr.app.stats);
+  // counter (integer fetch-&-adds) + 0.5-step accumulates: both exact.
+  EXPECT_EQ(sim.app.checksum, thr.app.checksum);
+}
+
+// ---------------------------------------------------------------------
+// Op-completion multiset at the tracer level: the same mixed program on
+// both backends must record the same number of completions of every
+// operation kind.
+// ---------------------------------------------------------------------
+
+armci::Runtime::Config direct_cfg(armci::Backend backend) {
+  armci::Runtime::Config cfg;
+  cfg.num_nodes = 8;
+  cfg.procs_per_node = 2;
+  cfg.topology = core::TopologyKind::kMfcg;
+  cfg.backend = backend;
+  return cfg;
+}
+
+/// Mixed program touching every major op family: direct puts/gets to a
+/// neighbor, forwarded fetch-&-adds and accumulates on rank 0.
+void run_mixed(armci::Runtime& rt, std::int64_t region) {
+  // vtopo-lint: allow(coro-ref) -- closure copied into Runtime::programs_; captured locals outlive run_all()
+  rt.spawn_all([region](armci::Proc& p) -> sim::Co<void> {
+    const std::vector<double> v(8, 0.25);
+    std::vector<std::uint8_t> buf(64, static_cast<std::uint8_t>(p.id()));
+    const armci::ProcId peer =
+        (p.id() + 1) % p.runtime().num_procs();
+    for (int i = 0; i < 3; ++i) {
+      co_await p.put(armci::GAddr{peer, region + 64}, buf);
+      co_await p.get(buf, armci::GAddr{peer, region + 64});
+      co_await p.fetch_add(armci::GAddr{0, region}, 1);
+      co_await p.acc_f64(armci::GAddr{0, region + 8}, v, 1.0);
+    }
+    co_await p.barrier();
+  });
+  rt.run_all();
+}
+
+std::vector<std::uint64_t> op_multiset(armci::Runtime& rt,
+                                       std::int64_t region) {
+  rt.tracer().enable();
+  run_mixed(rt, region);
+  std::vector<std::uint64_t> counts;
+  counts.reserve(armci::kNumTraceKinds);
+  for (std::size_t k = 0; k < armci::kNumTraceKinds; ++k) {
+    counts.push_back(
+        rt.tracer().series(static_cast<armci::TraceKind>(k)).size());
+  }
+  return counts;
+}
+
+TEST(BackendDiff, TracedOpMultisetMatches) {
+  sim::Engine eng;
+  armci::Runtime sim_rt(eng, direct_cfg(armci::Backend::kSim));
+  const auto sim_region = sim_rt.memory().alloc_all(256);
+  const auto sim_counts = op_multiset(sim_rt, sim_region);
+
+  armci::Runtime thr_rt(direct_cfg(armci::Backend::kThreads));
+  const auto thr_region = thr_rt.memory().alloc_all(256);
+  const auto thr_counts = op_multiset(thr_rt, thr_region);
+
+  EXPECT_EQ(sim_region, thr_region);
+  EXPECT_EQ(sim_counts, thr_counts);
+}
+
+// ---------------------------------------------------------------------
+// Threads-backend invariants: after a run that drains every credit
+// pool, the runtime must be quiescent and every resource conserved —
+// the same VTOPO_VALIDATE battery the sim backend passes, on real
+// threads.
+// ---------------------------------------------------------------------
+
+TEST(BackendThreads, QuiescentAndConservedAfterHotSpot) {
+  armci::Runtime rt(direct_cfg(armci::Backend::kThreads));
+  const auto region = rt.memory().alloc_all(256);
+  run_mixed(rt, region);
+  rt.validate_quiescent();
+  for (core::NodeId n = 0; n < rt.num_nodes(); ++n) {
+    EXPECT_TRUE(rt.credits(n).conserved()) << "node " << n;
+    rt.credits(n).check_quiescent("threads backend after clean run");
+  }
+  // The hot counter saw every fetch-&-add exactly once.
+  EXPECT_EQ(rt.memory().read_i64(armci::GAddr{0, region}),
+            3 * rt.num_procs());
+}
+
+TEST(BackendThreads, BackToBackRuntimesJoinCleanly) {
+  // Worker threads are joined in the Runtime destructor; three full
+  // construct/run/destroy cycles in one process prove the teardown
+  // neither hangs nor leaks runnable work into the next instance.
+  for (int round = 0; round < 3; ++round) {
+    armci::Runtime rt(direct_cfg(armci::Backend::kThreads));
+    const auto region = rt.memory().alloc_all(256);
+    run_mixed(rt, region);
+    rt.validate_quiescent();
+    EXPECT_EQ(rt.memory().read_i64(armci::GAddr{0, region}),
+              3 * rt.num_procs());
+  }
+}
+
+TEST(BackendThreads, FaultInjectionIsRejected) {
+  armci::Runtime::Config cfg = direct_cfg(armci::Backend::kThreads);
+  sim::FaultPlan plan;
+  plan.drop_requests = 0.05;
+  cfg.faults = plan;
+  EXPECT_THROW(armci::Runtime rt(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vtopo

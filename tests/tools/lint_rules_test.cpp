@@ -244,6 +244,57 @@ TEST(LintS1, ExemptInsideShardedEngine) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(LintB1, FiresOnDirectEngineConstruction) {
+  const auto diags = lint_one(
+      "src/workloads/adhoc.cpp",
+      "#include \"sim/engine.hpp\"\n"
+      "void f() {\n"
+      "  sim::Engine eng;\n"
+      "  sim::ShardedEngine sharded(4, 16);\n"
+      "  auto owned = std::make_unique<sim::Engine>();\n"
+      "  auto* raw = new sim::ShardedEngine(2, 8);\n"
+      "  (void)raw;\n"
+      "}\n");
+  EXPECT_EQ(diags.size(), 4u);
+  for (const auto& d : diags) EXPECT_EQ(d.rule, "B1");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintB1, ReferencesPointersAndTemplateArgsAreClean) {
+  const auto diags = lint_one(
+      "src/workloads/adhoc.cpp",
+      "void f(sim::Engine& eng, sim::ShardedEngine* sharded) {\n"
+      "  std::unique_ptr<sim::Engine> slot;\n"
+      "  sim::Engine& alias = eng;\n"
+      "  (void)alias; (void)sharded; (void)slot;\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintB1, AnnotationSuppresses) {
+  const auto diags = lint_one(
+      "src/workloads/adhoc.cpp",
+      "void f() {\n"
+      "  // vtopo-lint: allow(backend-seam) -- legacy golden harness\n"
+      "  sim::Engine eng;\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintB1, ExemptInsideSimAndBackendFiles) {
+  // The sim library and the transport/backend seam are the sanctioned
+  // construction sites.
+  const auto engine = lint_one("src/sim/sharded_engine.cpp",
+                               "void f() { sim::Engine eng; }\n");
+  EXPECT_TRUE(engine.empty());
+  const auto transport = lint_one("src/armci/transport.hpp",
+                                  "void f() { sim::Engine eng; }\n");
+  EXPECT_TRUE(transport.empty());
+  const auto backend = lint_one("src/armci/backend_threads.cpp",
+                                "void f() { sim::Engine eng; }\n");
+  EXPECT_TRUE(backend.empty());
+}
+
 TEST(LintQ1, FiresOnDirectPushAcrossFiles) {
   // Member declared QosQueue in a header, pushed into from a .cpp that
   // is not the CHT itself.

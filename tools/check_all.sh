@@ -17,8 +17,11 @@
 #      class-aware queue, reserved lanes and congestion windows must
 #      stay deterministic across --jobs and shard counts, not just in
 #      the disabled-identity configuration the goldens pin.
-#   6. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
-#      TSan over the threaded paths, --jobs byte-diffs.
+#   6. Threads-backend gate (ctest -L threads): the sim-vs-threads
+#      differential oracle and the real-thread quiescence battery.
+#   7. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
+#      TSan over the threaded paths (including the threads transport
+#      backend), --jobs byte-diffs.
 #
 # The sanitizer sweep is the slow half; skip it with --fast when
 # iterating (the full gate is what CI runs).
@@ -103,8 +106,16 @@ diff -u "$fig_out/fig7_qos_j1.txt" "$fig_out/fig7_qos_j4.txt"
   >"$fig_out/fig7_qos_s4.txt"
 diff -u "$fig_out/fig7_qos_s2.txt" "$fig_out/fig7_qos_s4.txt"
 
+echo "== threads backend =="
+# Real-thread transport: the differential oracle (sim vs threads
+# completion sets, checksums, credit conservation) plus the quiescence
+# battery. Timing is nondeterministic by design, so this gate checks
+# invariants, not bytes; the TSan pass over the same selection lives in
+# tools/check_sanitize.sh.
+ctest --test-dir build -L threads -j "$(nproc)" --output-on-failure
+
 if [[ "$fast" -eq 1 ]]; then
-  echo "check_all (--fast): build, ctest, lint, figure identity, chaos, qos clean"
+  echo "check_all (--fast): build, ctest, lint, figure identity, chaos, qos, threads clean"
   exit 0
 fi
 

@@ -15,6 +15,10 @@
 #   4. TSan over the QoS battery (ctest -L qos): the class-aware queue,
 #      reserved credit lanes and congestion windows, including the
 #      sharded storm test, with the race detector watching.
+#   5. TSan over the threads transport backend (ctest -L threads): one
+#      real worker thread per node, cross-thread request/ack/response
+#      posts, shared-memory payload copies and the realtime Future
+#      handshake — the differential oracle with the race detector on.
 #
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all) and
 # fails the script.
@@ -65,4 +69,10 @@ diff -u "$tsan_out/fig7_serial.txt" "$tsan_out/fig7_jobs4.txt"
 # congestion windows (covers the sharded QoS storm invariance test).
 ctest --test-dir build-tsan -L qos -j "$(nproc)" --output-on-failure
 
-echo "sanitize: ASan+UBSan suites, TSan suites, --jobs byte-diffs, sharded-engine and qos batteries clean"
+# Threads transport backend: per-node worker threads with real MPSC
+# queues and shared-memory copies. The differential oracle and the
+# quiescence battery run with the race detector watching every
+# cross-thread post and payload copy.
+ctest --test-dir build-tsan -L threads -j "$(nproc)" --output-on-failure
+
+echo "sanitize: ASan+UBSan suites, TSan suites, --jobs byte-diffs, sharded-engine, qos and threads-backend batteries clean"

@@ -43,6 +43,8 @@ struct FileCtx {
   bool sharded_exempt = false;  ///< path matches sim/sharded_engine.* (S1)
   bool cht_exempt = false;  ///< path matches armci/cht.* or
                             ///< armci/qos_queue.* (rule Q1)
+  bool backend_exempt = false;  ///< path under src/sim/ or matches the
+                                ///< transport/backend seam files (B1)
 };
 
 // ---------------------------------------------------------------------
@@ -424,6 +426,46 @@ void rule_s1(const FileCtx& f, Sink& sink) {
 }
 
 // ---------------------------------------------------------------------
+// Rule B1: direct engine construction outside the backend seam.
+// ---------------------------------------------------------------------
+
+void rule_b1(const FileCtx& f, Sink& sink) {
+  if (f.backend_exempt) return;
+  const auto& t = f.toks;
+  for (std::size_t i = 2; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent ||
+        (t[i].text != "Engine" && t[i].text != "ShardedEngine")) {
+      continue;
+    }
+    if (!is(t[i - 1], "::") || !is(t[i - 2], "sim")) continue;
+    const std::string_view type = t[i].text;
+    bool constructs = false;
+    // new sim::Engine(...)
+    if (i >= 3 && is(t[i - 3], "new")) constructs = true;
+    // make_unique<sim::Engine>(...) / make_shared<...>
+    if (!constructs && i >= 4 && is(t[i - 3], "<") &&
+        t[i - 4].kind == Token::kIdent &&
+        (t[i - 4].text == "make_unique" || t[i - 4].text == "make_shared")) {
+      constructs = true;
+    }
+    // Declaration with automatic/member storage: "sim::Engine name" —
+    // a following '&', '*' or '>' is a reference/pointer/template
+    // argument, not a construction.
+    if (!constructs && i + 1 < t.size() && t[i + 1].kind == Token::kIdent) {
+      constructs = true;
+    }
+    if (!constructs) continue;
+    sink.report(
+        "B1", t[i].line, t[i].col,
+        "direct construction of 'sim::" + std::string(type) +
+            "' outside the backend seam: engines are an implementation "
+            "detail of the sim backend — construct an armci::Runtime "
+            "with Config::backend (or go through armci::Transport) so "
+            "the code stays backend-agnostic");
+  }
+}
+
+// ---------------------------------------------------------------------
 // Rule Q1: direct pushes into the CHT's class-aware request queue.
 // ---------------------------------------------------------------------
 
@@ -512,6 +554,11 @@ std::vector<Diagnostic> Linter::run() {
         f.path.find("sim/sharded_engine.") != std::string::npos;
     ctx.cht_exempt = f.path.find("armci/cht.") != std::string::npos ||
                      f.path.find("armci/qos_queue.") != std::string::npos;
+    ctx.backend_exempt =
+        f.path.find("src/sim/") != std::string::npos ||
+        f.path.compare(0, 4, "sim/") == 0 ||
+        f.path.find("armci/transport.") != std::string::npos ||
+        f.path.find("armci/backend_") != std::string::npos;
     ctxs.push_back(std::move(ctx));
     // Tokenize after the move so Token::text views into storage that
     // lives as long as the context itself.
@@ -546,6 +593,7 @@ std::vector<Diagnostic> Linter::run() {
     rule_c1_functions(ctx, sink);
     rule_c1_lambdas(ctx, sink);
     rule_s1(ctx, sink);
+    rule_b1(ctx, sink);
     rule_q1(ctx, qos_queue_names, sink);
   }
 

@@ -27,6 +27,9 @@
 //   S1 cross-shard          — scheduling directly on a shard facade
 //   Q1 qos-submit           — direct pushes into a QosQueue outside the
 //                             class-aware Cht::submit path
+//   B1 backend-seam         — direct sim::Engine / sim::ShardedEngine
+//                             construction outside src/sim and the
+//                             armci transport/backend files
 //   R1 credit-lease-pairing — path-sensitive acquire/release matching
 //                             for CreditBank leases and RequestPool/
 //                             PayloadArena handles (static twin of the

@@ -14,14 +14,15 @@ constexpr std::pair<std::string_view, std::string_view> kRuleNames[] = {
     {"C2", "suspension-lifetime"},
     {"S1", "cross-shard"},
     {"Q1", "qos-submit"},
+    {"B1", "backend-seam"},
     {"R1", "credit-lease-pairing"},
     {"L1", "lock-order"},
 };
 
 constexpr std::string_view kRuleNameList =
     "nondeterminism, unordered-iter, pointer-order, coro-ref, "
-    "suspension-lifetime, cross-shard, qos-submit, credit-lease-pairing "
-    "or lock-order";
+    "suspension-lifetime, cross-shard, qos-submit, backend-seam, "
+    "credit-lease-pairing or lock-order";
 
 /// Parse "vtopo-lint:" directives out of one comment's text. `col0` is
 /// the 1-based column of the comment's first character (exact for line

@@ -197,6 +197,24 @@ int main(int argc, char** argv) {
                      : net::Placement::kLinear;
   const auto iters = static_cast<int>(args.num("iters", 5));
 
+  // backend=sim (default, deterministic) | threads (one std::thread per
+  // node, wall-clock latency, real shared-memory copies).
+  const std::string backend_str = args.str("backend", "sim");
+  if (backend_str == "threads") {
+    cl.backend = armci::Backend::kThreads;
+  } else if (backend_str != "sim") {
+    std::fprintf(stderr, "unknown backend '%s' (sim|threads)\n",
+                 backend_str.c_str());
+    return 2;
+  }
+  cl.shards = static_cast<int>(args.num("shards", cl.shards));
+  if (cl.backend == armci::Backend::kThreads && workload != "dft" &&
+      workload != "lu" && workload != "phased") {
+    std::fprintf(stderr,
+                 "backend=threads supports workload=dft|lu|phased only\n");
+    return 2;
+  }
+
   // Optional seeded fault plan, armed for every workload. `faults=` is
   // the full FaultPlan::parse syntax; the fault_* keys build a random
   // plan on top of it (or of an empty plan).
@@ -236,6 +254,11 @@ int main(int argc, char** argv) {
                          rnd.events.end());
     }
     if (plan.armed()) {
+      if (cl.backend == armci::Backend::kThreads) {
+        std::fprintf(stderr,
+                     "backend=threads does not support fault injection\n");
+        return 2;
+      }
       cl.faults = plan;
       std::printf("faults: %s\n", plan.describe().c_str());
     }
