@@ -15,6 +15,24 @@
 
 namespace vtopo::armci {
 
+namespace {
+
+/// Standalone private fabric (the historical path), or attachment to a
+/// shared machine fabric when Config::fabric is set (tenant mode).
+net::Network make_network(sim::Engine& eng, const Runtime::Config& cfg) {
+  if (cfg.fabric != nullptr) {
+    if (static_cast<std::int64_t>(cfg.fabric_slots.size()) !=
+        cfg.num_nodes) {
+      throw std::invalid_argument(
+          "Config::fabric_slots must have one machine slot per node");
+    }
+    return net::Network(eng, cfg.fabric, cfg.fabric_slots, cfg.net);
+  }
+  return net::Network(eng, cfg.num_nodes, cfg.net, cfg.placement, cfg.seed);
+}
+
+}  // namespace
+
 Runtime::Runtime(sim::Engine& eng, Config cfg)
     : transport_(std::make_unique<SimTransport>(eng)),
       eng_(&eng),
@@ -27,7 +45,7 @@ Runtime::Runtime(sim::Engine& eng, Config cfg)
                     : core::VirtualTopology::make(cfg.topology,
                                                   cfg.num_nodes,
                                                   cfg.policy)),
-      network_(eng, cfg.num_nodes, cfg.net, cfg.placement, cfg.seed) {
+      network_(make_network(eng, cfg)) {
   init();
 }
 
@@ -60,6 +78,15 @@ Runtime::Runtime(Config cfg)
                                                   cfg.num_nodes,
                                                   cfg.policy)),
       network_(*eng_, cfg.num_nodes, cfg.net, cfg.placement, cfg.seed) {
+  if (cfg_.fabric != nullptr) {
+    // Tenant coupling shares one link-occupancy horizon across
+    // runtimes, which only the single global engine serializes; the
+    // sharded windows and wall-clock threads have no cross-runtime
+    // ordering story. The cluster service uses the legacy constructor
+    // for coupled tenants.
+    throw std::invalid_argument(
+        "fabric attachment requires the caller-owned legacy engine");
+  }
   if (sharded_ != nullptr) {
     network_.enable_sharding(sharded_.get());
   } else if (cfg_.faults && cfg_.faults->armed()) {

@@ -168,6 +168,16 @@ class Runtime {
     int shards = 1;
     /// Host-thread policy for the sharded engine.
     sim::ThreadMode thread_mode = sim::ThreadMode::kAuto;
+    /// Multi-tenant attachment (legacy constructor only): when set, the
+    /// runtime's Network routes over this shared machine fabric, with
+    /// local node v living on machine torus slot fabric_slots[v]
+    /// (fabric_slots.size() must equal num_nodes). Link occupancy is
+    /// shared with every co-resident tenant on the fabric; all other
+    /// runtime state — topology epoch, CreditBank, QoS, stream tables,
+    /// route cache, faults, stats — stays per-tenant. `placement` and
+    /// the placement seed are ignored when attached.
+    std::shared_ptr<net::Fabric> fabric;
+    std::vector<std::int64_t> fabric_slots;
     /// Executor backend (self-hosting constructor only). kSim builds the
     /// sharded deterministic engine; kThreads runs each node's CHT on a
     /// real std::thread with wall-clock latency (nondeterministic;

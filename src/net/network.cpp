@@ -13,14 +13,16 @@ namespace vtopo::net {
 Network::Network(sim::Engine& eng, std::int64_t num_nodes,
                  NetworkParams params, Placement placement,
                  std::uint64_t placement_seed)
-    : eng_(&eng), params_(params), torus_(num_nodes) {
+    : eng_(&eng),
+      params_(params),
+      fabric_(std::make_shared<Fabric>(num_nodes)) {
   slot_of_node_.resize(static_cast<std::size_t>(num_nodes));
   std::iota(slot_of_node_.begin(), slot_of_node_.end(), 0);
   if (placement == Placement::kRandom) {
     // Choose num_nodes distinct slots out of the torus via a seeded
     // Fisher-Yates over all slots.
     std::vector<std::int64_t> slots(
-        static_cast<std::size_t>(torus_.num_slots()));
+        static_cast<std::size_t>(fabric_->torus.num_slots()));
     std::iota(slots.begin(), slots.end(), 0);
     sim::Rng rng(placement_seed);
     for (std::size_t i = slots.size(); i > 1; --i) {
@@ -31,7 +33,26 @@ Network::Network(sim::Engine& eng, std::int64_t num_nodes,
       slot_of_node_[v] = slots[v];
     }
   }
-  link_free_.assign(static_cast<std::size_t>(torus_.num_links()), 0);
+  init_tables();
+}
+
+Network::Network(sim::Engine& eng, std::shared_ptr<Fabric> fabric,
+                 std::vector<std::int64_t> slots, NetworkParams params)
+    : eng_(&eng),
+      params_(params),
+      fabric_(std::move(fabric)),
+      slot_of_node_(std::move(slots)) {
+  assert(fabric_ != nullptr);
+  for (const std::int64_t s : slot_of_node_) {
+    assert(s >= 0 && s < fabric_->torus.num_slots() &&
+           "tenant slot outside the machine torus");
+    (void)s;
+  }
+  init_tables();
+}
+
+void Network::init_tables() {
+  const std::int64_t num_nodes = this->num_nodes();
   streams_.resize(static_cast<std::size_t>(num_nodes));
   for (auto& table : streams_) table.set_capacity(params_.stream_table_size);
   // ~4 slots per node, rounded up to a power of two, hard-capped: the
@@ -56,7 +77,7 @@ const Network::RouteSlot& Network::cache_route(core::NodeId src,
   RouteSlot& e = route_cache_[idx];
   if (e.tag != tag) {
     e.links.clear();  // keeps capacity: collision rebuilds stay cheap
-    torus_.for_each_route_link(
+    fabric_->torus.for_each_route_link(
         slot_of_node_[static_cast<std::size_t>(src)],
         slot_of_node_[static_cast<std::size_t>(dst)], [&](LinkId link) {
           e.links.push_back(static_cast<std::int32_t>(link));
@@ -148,14 +169,16 @@ sim::TimeNs Network::send_at(sim::TimeNs start, core::NodeId src,
     }
   }
 
+  auto& link_free = fabric_->link_free;
   auto cross = [&](LinkId link, sim::TimeNs ser) {
-    auto& free_at = link_free_[static_cast<std::size_t>(link)];
+    auto& free_at = link_free[static_cast<std::size_t>(link)];
     t = std::max(t, free_at);
     free_at = t + ser;
     t += params_.hop_latency;
+    if (!census_.empty()) ++census_[static_cast<std::size_t>(link)];
   };
 
-  cross(torus_.injection_link(sslot), nic_ser);
+  cross(fabric_->torus.injection_link(sslot), nic_ser);
   {
     const RouteSlot& e = cache_route(src, dst);
     for (const std::int32_t link : e.links) cross(link, link_ser);
@@ -165,10 +188,11 @@ sim::TimeNs Network::send_at(sim::TimeNs start, core::NodeId src,
   // flow-control penalty to the NIC's occupancy.
   sim::TimeNs eject = nic_ser + params_.nic_message_overhead;
   if (stream_miss(dst, stream)) eject += params_.stream_miss_penalty;
-  auto& ej = link_free_[static_cast<std::size_t>(
-      torus_.ejection_link(dslot))];
+  const LinkId eject_link = fabric_->torus.ejection_link(dslot);
+  auto& ej = link_free[static_cast<std::size_t>(eject_link)];
   t = std::max(t, ej);
   ej = t + eject;
+  if (!census_.empty()) ++census_[static_cast<std::size_t>(eject_link)];
   return t + eject + params_.recv_overhead;
 }
 
@@ -260,8 +284,9 @@ Network::Transfer Network::transfer(core::NodeId src, core::NodeId dst,
 }
 
 int Network::hop_count(core::NodeId src, core::NodeId dst) const {
-  return torus_.hop_distance(slot_of_node_[static_cast<std::size_t>(src)],
-                             slot_of_node_[static_cast<std::size_t>(dst)]);
+  return fabric_->torus.hop_distance(
+      slot_of_node_[static_cast<std::size_t>(src)],
+      slot_of_node_[static_cast<std::size_t>(dst)]);
 }
 
 }  // namespace vtopo::net

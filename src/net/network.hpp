@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/coords.hpp"
@@ -21,15 +22,47 @@
 
 namespace vtopo::net {
 
+/// The physical machine a Network routes over: torus geometry plus the
+/// per-link occupancy horizon. A standalone Network owns a private
+/// Fabric (the historical single-tenant behavior, byte for byte); the
+/// multi-tenant cluster service builds one Fabric per machine and
+/// attaches every tenant's Network to it, so co-resident tenants
+/// contend for the same physical links while all per-tenant state
+/// (stream tables, route cache, edge faults, counters) stays private.
+struct Fabric {
+  /// Smallest near-cubic torus holding `min_slots` slots.
+  explicit Fabric(std::int64_t min_slots) : torus(min_slots) {
+    link_free.assign(static_cast<std::size_t>(torus.num_links()), 0);
+  }
+
+  TorusGeometry torus;
+  /// Absolute time each directed link is next free (shared occupancy).
+  std::vector<sim::TimeNs> link_free;
+};
+
 class Network {
  public:
   Network(sim::Engine& eng, std::int64_t num_nodes,
           NetworkParams params = {}, Placement placement = Placement::kLinear,
           std::uint64_t placement_seed = 0x9a17);
 
+  /// Tenant attachment: route this Network's `slots.size()` nodes over
+  /// the shared `fabric`, with local node v living on machine torus
+  /// slot slots[v]. Link occupancy is shared with every other Network
+  /// on the fabric; everything else stays per-tenant.
+  Network(sim::Engine& eng, std::shared_ptr<Fabric> fabric,
+          std::vector<std::int64_t> slots, NetworkParams params = {});
+
   [[nodiscard]] sim::Engine& engine() const { return *eng_; }
   [[nodiscard]] const NetworkParams& params() const { return params_; }
-  [[nodiscard]] const TorusGeometry& torus() const { return torus_; }
+  [[nodiscard]] const TorusGeometry& torus() const { return fabric_->torus; }
+  [[nodiscard]] const std::shared_ptr<Fabric>& fabric() const {
+    return fabric_;
+  }
+  /// Machine torus slot hosting local node `n`.
+  [[nodiscard]] std::int64_t slot_of(core::NodeId n) const {
+    return slot_of_node_[static_cast<std::size_t>(n)];
+  }
   [[nodiscard]] std::int64_t num_nodes() const {
     return static_cast<std::int64_t>(slot_of_node_.size());
   }
@@ -150,6 +183,25 @@ class Network {
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_total_; }
 
+  // ---- Per-link census (tenant-isolation oracle; off by default) ----
+  //
+  // When enabled, every link this Network's traffic crosses (injection,
+  // torus hops, ejection) increments a per-link counter, indexed by
+  // fabric LinkId. The counters are host-side observation only — no
+  // simulated timestamp depends on them — and they are per-Network, so
+  // a tenant's census attributes exactly its own messages. The
+  // isolation tests assert that a compact partition's census touches
+  // only links owned by the partition's own slots (LinkId / 8).
+
+  void enable_link_census() {
+    census_.assign(static_cast<std::size_t>(fabric_->torus.num_links()), 0);
+  }
+  [[nodiscard]] bool link_census_enabled() const { return !census_.empty(); }
+  /// Crossing counts per fabric LinkId (empty unless enabled).
+  [[nodiscard]] const std::vector<std::uint64_t>& link_census() const {
+    return census_;
+  }
+
  private:
   [[nodiscard]] sim::TimeNs serialize_ns(std::int64_t bytes,
                                          double bandwidth) const {
@@ -194,13 +246,16 @@ class Network {
   [[nodiscard]] const EdgeFault* find_fault(core::NodeId src,
                                             core::NodeId dst) const;
 
+  /// Shared construction tail: sized off slot_of_node_ and fabric_.
+  void init_tables();
+
   sim::Engine* eng_;
   sim::ShardedEngine* sharded_ = nullptr;
   NetworkParams params_;
-  TorusGeometry torus_;
+  std::shared_ptr<Fabric> fabric_;      ///< private unless attached
   std::vector<EdgeFault> edge_faults_;  ///< tiny; linear scan
   std::vector<std::int64_t> slot_of_node_;
-  std::vector<sim::TimeNs> link_free_;
+  std::vector<std::uint64_t> census_;   ///< per-link crossings (opt-in)
   std::vector<StreamLru> streams_;
   std::vector<RouteSlot> route_cache_;  ///< direct-mapped, power-of-two
   std::uint64_t routes_cached_ = 0;

@@ -1,0 +1,83 @@
+// Bounded admission queue: FIFO + priority + backpressure rejection.
+//
+// Pop order is max *effective* priority — the spec priority plus one
+// level per aging_quantum waited — with FIFO (lowest submission seq)
+// breaking ties. Aging makes starvation impossible: any queued job's
+// effective priority eventually exceeds every fixed spec priority, and
+// the service's strict head-of-line start rule (no backfill past a job
+// the machine cannot fit yet) means nothing overtakes it at the carve
+// stage either.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vtopo::svc {
+
+struct QueuedJob {
+  std::int64_t seq = 0;  ///< submission order (unique)
+  std::size_t spec_index = 0;
+  int priority = 0;
+  sim::TimeNs enqueued_at = 0;
+};
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue(std::size_t capacity, sim::TimeNs aging_quantum)
+      : capacity_(capacity),
+        aging_quantum_(aging_quantum > 0 ? aging_quantum : 1) {}
+
+  /// False = rejected (queue at capacity): admission backpressure.
+  bool push(const QueuedJob& job) {
+    if (q_.size() >= capacity_) {
+      ++rejected_;
+      return false;
+    }
+    q_.push_back(job);
+    return true;
+  }
+
+  /// Best candidate at `now` under priority + aging, FIFO tiebreak.
+  [[nodiscard]] std::optional<QueuedJob> peek(sim::TimeNs now) const {
+    const QueuedJob* best = nullptr;
+    std::int64_t best_eff = 0;
+    for (const QueuedJob& j : q_) {
+      const std::int64_t eff =
+          j.priority + (now - j.enqueued_at) / aging_quantum_;
+      if (best == nullptr || eff > best_eff ||
+          (eff == best_eff && j.seq < best->seq)) {
+        best = &j;
+        best_eff = eff;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  }
+
+  /// Remove the entry with submission seq `seq` (must be present).
+  void pop(std::int64_t seq) {
+    for (std::size_t i = 0; i < q_.size(); ++i) {
+      if (q_[i].seq == seq) {
+        q_.erase(q_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  std::size_t capacity_;
+  sim::TimeNs aging_quantum_;
+  std::vector<QueuedJob> q_;  ///< small; linear scans
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace vtopo::svc

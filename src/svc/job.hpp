@@ -1,0 +1,92 @@
+// Schedulable jobs for the multi-tenant cluster service.
+//
+// A JobSpec names a tenant, a workload kind, a node count, and the
+// per-tenant runtime knobs (topology, QoS, faults, reconfiguration).
+// The service carves a torus partition for it, builds a dedicated
+// armci::Runtime over that partition, and runs the workload's
+// JobProgram on it; the JobResult carries the queueing timeline plus
+// the tenant's own checksum/stats/census, which is what the isolation
+// oracles compare solo vs co-resident.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/common.hpp"
+
+namespace vtopo::svc {
+
+enum class JobKind {
+  kDft,        ///< NXTVAL-counter-bound SCF proxy (hot-spot victim)
+  kCcsd,       ///< bandwidth-bound strided tiles
+  kLu,         ///< neighbor wavefront
+  kPhased,     ///< alternating hot/bandwidth phases
+  kSynthetic,  ///< tunable hot-spot mix (chaos filler)
+  kStorm,      ///< fetch-add storm on the tenant's own rank 0 (aggressor)
+  kProbe,      ///< per-rank-latency contention probe (interference victim)
+};
+
+[[nodiscard]] std::string to_string(JobKind k);
+[[nodiscard]] std::optional<JobKind> parse_job_kind(const std::string& s);
+
+struct JobSpec {
+  std::string name;  ///< tenant label (report key; need not be unique)
+  JobKind kind = JobKind::kDft;
+  std::int64_t nodes = 8;
+  int procs_per_node = 2;
+  /// Admission priority; higher pops sooner (aging closes the gap — see
+  /// AdmissionQueue).
+  int priority = 0;
+  /// Arrival time on the machine timeline.
+  sim::TimeNs submit_at = 0;
+  /// Workload size knob, kind-specific units (tasks/tiles/iterations/
+  /// ops per proc); 0 picks a service-scaled default.
+  std::int64_t ops = 0;
+  core::TopologyKind topology = core::TopologyKind::kFcg;
+  core::ForwardingPolicy policy = core::ForwardingPolicy::kLowestDimFirst;
+  std::uint64_t seed = 42;
+  std::int64_t segment_bytes = std::int64_t{8} << 20;
+  /// Per-tenant runtime knobs: QoS lives in armci.qos, so a retune is a
+  /// tenant-local event by construction.
+  armci::ArmciParams armci{};
+  net::NetworkParams net{};
+  /// Per-tenant seeded chaos; outages act on the tenant's own Network
+  /// overlay and CHTs only.
+  std::optional<sim::FaultPlan> faults;
+  /// Per-tenant mid-run topology reconfiguration.
+  std::optional<work::ReconfigSpec> reconfigure;
+};
+
+struct JobResult {
+  std::string name;
+  JobKind kind = JobKind::kDft;
+  std::int64_t job_id = -1;  ///< submission index
+  bool rejected = false;     ///< admission backpressure (queue full)
+  sim::TimeNs submit_time = 0;
+  sim::TimeNs start_time = 0;   ///< partition carved, runtime built
+  sim::TimeNs finish_time = 0;  ///< last proc body completed
+  /// Workload checksum (bit-exact under co-residency for order-
+  /// independent workloads like dft — see make_nwchem_dft_job).
+  double checksum = 0.0;
+  armci::RuntimeStats stats{};
+  /// Per-rank op latencies in us for kProbe/kStorm (-1 = unmeasured).
+  std::vector<double> latencies;
+  /// The machine slots the tenant ran on (local node v -> slots[v]).
+  std::vector<std::int64_t> slots;
+  /// Per-fabric-link crossing counts for this tenant's own traffic
+  /// (coupled mode with ServiceConfig::link_census only).
+  std::vector<std::uint64_t> link_census;
+
+  [[nodiscard]] sim::TimeNs queue_wait() const {
+    return start_time - submit_time;
+  }
+};
+
+/// Allocate the spec's workload on a tenant runtime and return it as a
+/// ready-to-spawn program (the service-scaled configs live here).
+[[nodiscard]] work::JobProgram make_program(armci::Runtime& rt,
+                                            const JobSpec& spec);
+
+}  // namespace vtopo::svc

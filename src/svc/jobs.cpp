@@ -1,0 +1,117 @@
+#include "svc/job.hpp"
+
+#include "workloads/contention.hpp"
+#include "workloads/nas_lu.hpp"
+#include "workloads/nwchem_ccsd.hpp"
+#include "workloads/nwchem_dft.hpp"
+#include "workloads/phased.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace vtopo::svc {
+
+std::string to_string(JobKind k) {
+  switch (k) {
+    case JobKind::kDft:
+      return "dft";
+    case JobKind::kCcsd:
+      return "ccsd";
+    case JobKind::kLu:
+      return "lu";
+    case JobKind::kPhased:
+      return "phased";
+    case JobKind::kSynthetic:
+      return "synthetic";
+    case JobKind::kStorm:
+      return "storm";
+    case JobKind::kProbe:
+      return "probe";
+  }
+  return "?";
+}
+
+std::optional<JobKind> parse_job_kind(const std::string& s) {
+  if (s == "dft") return JobKind::kDft;
+  if (s == "ccsd") return JobKind::kCcsd;
+  if (s == "lu") return JobKind::kLu;
+  if (s == "phased") return JobKind::kPhased;
+  if (s == "synthetic") return JobKind::kSynthetic;
+  if (s == "storm") return JobKind::kStorm;
+  if (s == "probe") return JobKind::kProbe;
+  return std::nullopt;
+}
+
+work::JobProgram make_program(armci::Runtime& rt, const JobSpec& spec) {
+  // Service-scaled workload configs: the standalone drivers default to
+  // paper-sized problems (tens of thousands of tasks); a scheduled job
+  // is one of many on a shared machine, so the defaults here are two to
+  // three orders smaller. spec.ops overrides the kind's size knob.
+  switch (spec.kind) {
+    case JobKind::kDft: {
+      work::DftConfig cfg;
+      cfg.scf_iterations = 1;
+      cfg.total_tasks = spec.ops > 0 ? spec.ops : 192;
+      cfg.block_doubles = 48;
+      cfg.compute_us_per_task = 150.0;
+      cfg.chunk = 2;
+      return work::make_nwchem_dft_job(rt, cfg);
+    }
+    case JobKind::kCcsd: {
+      work::CcsdConfig cfg;
+      cfg.sweeps = 1;
+      cfg.total_tiles = spec.ops > 0 ? spec.ops : 128;
+      cfg.tile_rows = 8;
+      cfg.row_bytes = 256;
+      cfg.compute_us_per_tile = 40.0;
+      return work::make_nwchem_ccsd_job(rt, cfg);
+    }
+    case JobKind::kLu: {
+      work::LuConfig cfg;
+      cfg.iterations = spec.ops > 0 ? static_cast<int>(spec.ops) : 4;
+      cfg.nx_global = 96;
+      cfg.compute_us_per_cell = 0.4;
+      return work::make_nas_lu_job(rt, cfg);
+    }
+    case JobKind::kPhased: {
+      work::PhasedConfig cfg;
+      cfg.cycles = spec.ops > 0 ? static_cast<int>(spec.ops) : 1;
+      cfg.hot_ops_per_proc = 8;
+      cfg.bw_tiles_per_proc = 3;
+      return work::make_phased_job(rt, cfg);
+    }
+    case JobKind::kSynthetic: {
+      work::SyntheticConfig cfg;
+      cfg.ops_per_proc = spec.ops > 0 ? spec.ops : 16;
+      cfg.hotspot_fraction = 0.3;
+      cfg.op_bytes = 1024;
+      cfg.compute_us_per_op = 20.0;
+      return work::make_synthetic_job(rt, cfg);
+    }
+    case JobKind::kStorm: {
+      // Aggressor: every proc outside the tenant's node 0 spams its own
+      // rank 0 with fetch-add tickets + puts, saturating the tenant's
+      // injection/ejection links and — on interleaved partitions — the
+      // torus links it shares with neighbors.
+      work::SyntheticConfig cfg;
+      cfg.ops_per_proc = spec.ops > 0 ? spec.ops : 64;
+      cfg.hotspot_fraction = 1.0;
+      cfg.op_bytes = 32768;  // long link occupancy per transfer
+      cfg.compute_us_per_op = 0.5;
+      return work::make_synthetic_job(rt, cfg);
+    }
+    case JobKind::kProbe: {
+      // Victim: the fig-7 measurement protocol — each off-node rank
+      // takes a turn timing fetch-adds against rank 0. The per-rank
+      // latencies are the interference index's raw signal.
+      work::ContentionConfig cfg;
+      cfg.op = work::ContentionConfig::Op::kFetchAdd;
+      cfg.iterations = spec.ops > 0 ? static_cast<int>(spec.ops) : 10;
+      cfg.contender_stride = 0;
+      cfg.vec_segments = 4;
+      cfg.seg_bytes = 256;
+      return work::make_contention_job(rt, cfg);
+    }
+  }
+  return {};
+}
+
+}  // namespace vtopo::svc

@@ -1,0 +1,98 @@
+// svc::ClusterService — a long-lived multi-tenant job service over one
+// simulated machine.
+//
+// The service multiplexes queued jobs (JobSpec) onto a shared torus:
+// admission through a bounded priority+aging queue (AdmissionQueue),
+// placement through core::TorusPartitioner under a pluggable policy,
+// and execution on a dedicated per-tenant armci::Runtime — its own
+// TopologyManager epoch, CreditBank budget, QoS config, fault plan and
+// stats — so reconfigurations, fault injection, and QoS retunes are
+// tenant-local events by construction.
+//
+// Two execution modes, selected by ServiceConfig::shards:
+//
+//   Coupled (shards == 0): every co-resident tenant runtime shares ONE
+//   legacy sim::Engine and ONE net::Fabric, so tenants contend for the
+//   same physical links with exact event-level interleaving. This is
+//   the mode the isolation oracles run in: a compact partition's routes
+//   never leave its own box, so a victim's event stream is bit-identical
+//   solo vs co-resident, while striped partitions show true link
+//   contention. Scheduling is event-driven on the machine engine;
+//   tenant teardown (CHT poison + quiescence validation) is deferred
+//   until the machine drains, then performed in start order.
+//
+//   Uncoupled (shards >= 1): each job runs on a private self-hosted
+//   sharded runtime (durations shard-invariant, PR 6) and the service
+//   advances a host-side deterministic timeline (completions before
+//   arrivals at equal times, FIFO within each). No cross-tenant link
+//   coupling — this mode trades interference fidelity for host
+//   parallelism: host_jobs > 1 simulates co-resident jobs on parallel
+//   host threads with byte-identical output.
+//
+// With one tenant submitted at t=0 on a machine sized to the job, the
+// coupled path is byte-identical to the standalone workload drivers
+// (the fig-family goldens lock this).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "svc/admission.hpp"
+#include "svc/job.hpp"
+
+namespace vtopo::svc {
+
+struct ServiceConfig {
+  /// Machine torus size: the smallest near-cubic torus holding this
+  /// many slots (same shaping rule as a standalone Network).
+  std::int64_t machine_slots = 64;
+  core::PartitionPolicy policy = core::PartitionPolicy::kCompactBlock;
+  /// Admission bound; arrivals beyond it are rejected (backpressure).
+  std::size_t queue_capacity = 256;
+  /// One effective-priority level per this much queue wait (starvation
+  /// freedom; see AdmissionQueue).
+  sim::TimeNs aging_quantum = 1000000;
+  /// 0 = coupled single-engine mode; >= 1 = uncoupled per-job sharded
+  /// runtimes with this shard count.
+  int shards = 0;
+  /// Uncoupled mode: > 1 simulates co-resident jobs on parallel host
+  /// threads (one per running job); output is byte-identical to 1.
+  int host_jobs = 1;
+  sim::ThreadMode thread_mode = sim::ThreadMode::kAuto;
+  /// Coupled mode: record each tenant's per-fabric-link crossings
+  /// (JobResult::link_census) for the isolation tests.
+  bool link_census = false;
+};
+
+struct ServiceReport {
+  /// One entry per submitted spec, submission order.
+  std::vector<JobResult> results;
+  std::array<std::int32_t, 3> machine_dims{};
+  sim::TimeNs total_sim_ns = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+
+  /// Deterministic textual render: the byte-diff surface for the
+  /// `--jobs`/`--shards` invariance gates (and the golden input for the
+  /// single-tenant identity lock).
+  [[nodiscard]] std::string canonical() const;
+};
+
+class ClusterService {
+ public:
+  explicit ClusterService(ServiceConfig cfg) : cfg_(cfg) {}
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+  /// Run a job mix to completion and report per-job results. The same
+  /// config + specs always produce the same report, byte for byte
+  /// (within one mode; coupled and uncoupled are distinct families).
+  [[nodiscard]] ServiceReport run(const std::vector<JobSpec>& specs);
+
+ private:
+  ServiceConfig cfg_;
+};
+
+}  // namespace vtopo::svc

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "armci/runtime.hpp"
 #include "core/topology.hpp"
@@ -115,6 +117,23 @@ class ClusterHandle {
  private:
   std::unique_ptr<sim::Engine> eng_;  ///< legacy backend only
   std::unique_ptr<armci::Runtime> rt_;
+};
+
+/// A fully allocated workload instance bound to a runtime, ready to
+/// spawn — the schedulable unit of the multi-tenant cluster service.
+/// Each workload's make_*_job factory performs exactly the allocations
+/// and shared-state setup its run_* driver performs before spawn_all,
+/// so driving a program by hand (spawn_all(body) + run_all + checksum)
+/// is byte-identical to the standalone driver.
+struct JobProgram {
+  /// Per-proc coroutine body; pass to Runtime::spawn_all.
+  std::function<sim::Co<void>(armci::Proc&)> body;
+  /// Reads the workload checksum out of runtime memory (valid at
+  /// quiescence).
+  std::function<double()> checksum;
+  /// Per-measured-rank op latencies in microseconds (null unless the
+  /// workload measures per-op timing; -1 entries mark unmeasured ranks).
+  std::function<std::vector<double>()> op_latencies_us;
 };
 
 /// Result of one application run.

@@ -111,14 +111,8 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 }  // namespace
 
-ContentionResult run_contention(const ClusterConfig& cluster,
-                                const ContentionConfig& cfg) {
-  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
-  std::unique_ptr<armci::Runtime> rt_owner = make_runtime(eng, cluster);
-  armci::Runtime& rt = *rt_owner;
-  arm_reconfigure(rt, cluster);
-  if (cfg.trace_classes) rt.tracer().enable();
-
+JobProgram make_contention_job(armci::Runtime& rt,
+                               const ContentionConfig& cfg) {
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;
   st->counter_off = rt.memory().alloc_all(64);
@@ -131,11 +125,31 @@ ContentionResult run_contention(const ClusterConfig& cluster,
   st->turn_done.assign(st->measured.size(), 0);
   st->result_us.assign(static_cast<std::size_t>(rt.num_procs()), -1.0);
 
-  rt.spawn_all([st](Proc& p) { return body(p, st); });
+  JobProgram prog;
+  prog.body = [st](Proc& p) { return body(p, st); };
+  armci::Runtime* rtp = &rt;
+  prog.checksum = [rtp, st] {
+    return static_cast<double>(
+        rtp->memory().read_i64(GAddr{0, st->counter_off}));
+  };
+  prog.op_latencies_us = [st] { return st->result_us; };
+  return prog;
+}
+
+ContentionResult run_contention(const ClusterConfig& cluster,
+                                const ContentionConfig& cfg) {
+  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
+  std::unique_ptr<armci::Runtime> rt_owner = make_runtime(eng, cluster);
+  armci::Runtime& rt = *rt_owner;
+  arm_reconfigure(rt, cluster);
+  if (cfg.trace_classes) rt.tracer().enable();
+
+  JobProgram prog = make_contention_job(rt, cfg);
+  rt.spawn_all(prog.body);
   rt.run_all();
 
   ContentionResult out;
-  out.op_time_us = std::move(st->result_us);
+  out.op_time_us = prog.op_latencies_us();
   out.stats = rt.stats();
   out.total_sim_sec = sim::to_sec(rt.engine().now());
   if (cfg.trace_classes) {

@@ -52,4 +52,11 @@ struct ContentionResult {
 [[nodiscard]] ContentionResult run_contention(const ClusterConfig& cluster,
                                               const ContentionConfig& cfg);
 
+/// Allocate the experiment on an existing runtime and return it as a
+/// schedulable job. checksum() reads the fetch-add counter;
+/// op_latencies_us() returns the per-rank mean op time (-1 for
+/// unmeasured ranks), exactly ContentionResult::op_time_us.
+[[nodiscard]] JobProgram make_contention_job(armci::Runtime& rt,
+                                             const ContentionConfig& cfg);
+
 }  // namespace vtopo::work

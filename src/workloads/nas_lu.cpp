@@ -107,11 +107,7 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 }  // namespace
 
-AppResult run_nas_lu(const ClusterConfig& cluster, const LuConfig& cfg) {
-  ClusterHandle handle(cluster);
-  armci::Runtime& rt = handle.rt();
-  arm_reconfigure(rt, cluster);
-
+JobProgram make_nas_lu_job(armci::Runtime& rt, const LuConfig& cfg) {
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;
   const core::Shape grid = core::mesh_shape_for(rt.num_procs());
@@ -136,12 +132,27 @@ AppResult run_nas_lu(const ClusterConfig& cluster, const LuConfig& cfg) {
     st->arrivals.emplace_back(rt.engine());
   }
 
-  rt.spawn_all([st](Proc& p) { return body(p, st); });
+  JobProgram prog;
+  prog.body = [st](Proc& p) { return body(p, st); };
+  armci::Runtime* rtp = &rt;
+  prog.checksum = [rtp, st] {
+    return rtp->memory().read_f64(GAddr{0, st->residual_off});
+  };
+  return prog;
+}
+
+AppResult run_nas_lu(const ClusterConfig& cluster, const LuConfig& cfg) {
+  ClusterHandle handle(cluster);
+  armci::Runtime& rt = handle.rt();
+  arm_reconfigure(rt, cluster);
+
+  JobProgram prog = make_nas_lu_job(rt, cfg);
+  rt.spawn_all(prog.body);
   rt.run_all();
 
   AppResult out;
   out.exec_time_sec = handle.elapsed_sec();
-  out.checksum = rt.memory().read_f64(armci::GAddr{0, st->residual_off});
+  out.checksum = prog.checksum();
   out.stats = rt.stats();
   return out;
 }

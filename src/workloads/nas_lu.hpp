@@ -25,4 +25,9 @@ struct LuConfig {
 [[nodiscard]] AppResult run_nas_lu(const ClusterConfig& cluster,
                                    const LuConfig& cfg);
 
+/// Allocate the LU proxy on an existing runtime as a schedulable job
+/// (checksum = rank 0's residual cell).
+[[nodiscard]] JobProgram make_nas_lu_job(armci::Runtime& rt,
+                                         const LuConfig& cfg);
+
 }  // namespace vtopo::work

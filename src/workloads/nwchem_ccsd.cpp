@@ -65,12 +65,7 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 }  // namespace
 
-AppResult run_nwchem_ccsd(const ClusterConfig& cluster,
-                          const CcsdConfig& cfg) {
-  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
-  armci::Runtime rt(eng, cluster.runtime_config());
-  arm_reconfigure(rt, cluster);
-
+JobProgram make_nwchem_ccsd_job(armci::Runtime& rt, const CcsdConfig& cfg) {
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;
   st->nprocs = rt.num_procs();
@@ -78,12 +73,28 @@ AppResult run_nwchem_ccsd(const ClusterConfig& cluster,
   st->tile_off =
       rt.memory().alloc_all(2 * cfg.tile_rows * cfg.row_bytes + 64);
 
-  rt.spawn_all([st](Proc& p) { return body(p, st); });
+  JobProgram prog;
+  prog.body = [st](Proc& p) { return body(p, st); };
+  armci::Runtime* rtp = &rt;
+  prog.checksum = [rtp, st] {
+    return rtp->memory().read_f64(GAddr{0, st->tile_off});
+  };
+  return prog;
+}
+
+AppResult run_nwchem_ccsd(const ClusterConfig& cluster,
+                          const CcsdConfig& cfg) {
+  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
+  armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
+
+  JobProgram prog = make_nwchem_ccsd_job(rt, cfg);
+  rt.spawn_all(prog.body);
   rt.run_all();
 
   AppResult out;
   out.exec_time_sec = sim::to_sec(eng.now());
-  out.checksum = rt.memory().read_f64(armci::GAddr{0, st->tile_off});
+  out.checksum = prog.checksum();
   out.stats = rt.stats();
   return out;
 }

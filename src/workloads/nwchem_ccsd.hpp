@@ -24,4 +24,9 @@ struct CcsdConfig {
 [[nodiscard]] AppResult run_nwchem_ccsd(const ClusterConfig& cluster,
                                         const CcsdConfig& cfg);
 
+/// Allocate the CCSD(T) proxy on an existing runtime as a schedulable
+/// job (checksum = rank 0's result-tile cell).
+[[nodiscard]] JobProgram make_nwchem_ccsd_job(armci::Runtime& rt,
+                                              const CcsdConfig& cfg);
+
 }  // namespace vtopo::work

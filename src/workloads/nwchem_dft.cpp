@@ -77,12 +77,7 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 }  // namespace
 
-AppResult run_nwchem_dft(const ClusterConfig& cluster,
-                         const DftConfig& cfg) {
-  ClusterHandle handle(cluster);
-  armci::Runtime& rt = handle.rt();
-  arm_reconfigure(rt, cluster);
-
+JobProgram make_nwchem_dft_job(armci::Runtime& rt, const DftConfig& cfg) {
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;
   st->nprocs = rt.num_procs();
@@ -90,12 +85,28 @@ AppResult run_nwchem_dft(const ClusterConfig& cluster,
   st->matrix_off = rt.memory().alloc_all(cfg.block_doubles * 8);
   st->energy_off = rt.memory().alloc_all(64);
 
-  rt.spawn_all([st](Proc& p) { return body(p, st); });
+  JobProgram prog;
+  prog.body = [st](Proc& p) { return body(p, st); };
+  armci::Runtime* rtp = &rt;
+  prog.checksum = [rtp, st] {
+    return rtp->memory().read_f64(GAddr{0, st->energy_off});
+  };
+  return prog;
+}
+
+AppResult run_nwchem_dft(const ClusterConfig& cluster,
+                         const DftConfig& cfg) {
+  ClusterHandle handle(cluster);
+  armci::Runtime& rt = handle.rt();
+  arm_reconfigure(rt, cluster);
+
+  JobProgram prog = make_nwchem_dft_job(rt, cfg);
+  rt.spawn_all(prog.body);
   rt.run_all();
 
   AppResult out;
   out.exec_time_sec = handle.elapsed_sec();
-  out.checksum = rt.memory().read_f64(armci::GAddr{0, st->energy_off});
+  out.checksum = prog.checksum();
   out.stats = rt.stats();
   return out;
 }

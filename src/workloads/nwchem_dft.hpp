@@ -24,4 +24,11 @@ struct DftConfig {
 [[nodiscard]] AppResult run_nwchem_dft(const ClusterConfig& cluster,
                                        const DftConfig& cfg);
 
+/// Allocate the DFT proxy on an existing runtime as a schedulable job.
+/// The checksum (the energy cell) accumulates only exactly-representable
+/// 0.25-valued contributions, so it is bit-exact regardless of arrival
+/// order — the tenant-isolation differential oracle relies on this.
+[[nodiscard]] JobProgram make_nwchem_dft_job(armci::Runtime& rt,
+                                             const DftConfig& cfg);
+
 }  // namespace vtopo::work

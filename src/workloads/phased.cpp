@@ -127,14 +127,8 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
   co_await boundary(p, st, /*opens_phase=*/false);
 }
 
-}  // namespace
-
-PhasedResult run_phased(const ClusterConfig& cluster,
-                        const PhasedConfig& cfg) {
-  ClusterHandle handle(cluster);
-  armci::Runtime& rt = handle.rt();
-  arm_reconfigure(rt, cluster);
-
+std::shared_ptr<Shared> detail_make_phased_shared(armci::Runtime& rt,
+                                                  const PhasedConfig& cfg) {
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;
   st->nprocs = rt.num_procs();
@@ -146,6 +140,31 @@ PhasedResult run_phased(const ClusterConfig& cluster,
     st->ctrl =
         std::make_unique<armci::AdaptiveController>(rt, cfg.adaptive_cfg);
   }
+  return st;
+}
+
+}  // namespace
+
+JobProgram make_phased_job(armci::Runtime& rt, const PhasedConfig& cfg) {
+  auto st = detail_make_phased_shared(rt, cfg);
+  JobProgram prog;
+  prog.body = [st](Proc& p) { return body(p, st); };
+  armci::Runtime* rtp = &rt;
+  prog.checksum = [rtp, st] {
+    return static_cast<double>(
+               rtp->memory().read_i64(GAddr{0, st->counter_off})) +
+           rtp->memory().read_f64(GAddr{0, st->acc_off});
+  };
+  return prog;
+}
+
+PhasedResult run_phased(const ClusterConfig& cluster,
+                        const PhasedConfig& cfg) {
+  ClusterHandle handle(cluster);
+  armci::Runtime& rt = handle.rt();
+  arm_reconfigure(rt, cluster);
+
+  auto st = detail_make_phased_shared(rt, cfg);
 
   rt.spawn_all([st](Proc& p) { return body(p, st); });
   rt.run_all();

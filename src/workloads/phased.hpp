@@ -53,4 +53,11 @@ struct PhasedResult {
 [[nodiscard]] PhasedResult run_phased(const ClusterConfig& cluster,
                                       const PhasedConfig& cfg);
 
+/// Allocate the phased workload on an existing runtime as a schedulable
+/// job (checksum = ticket counter + hot accumulate cell). Per-phase
+/// timing/decision extraction stays with run_phased; a service job
+/// reports the checksum and runtime stats only.
+[[nodiscard]] JobProgram make_phased_job(armci::Runtime& rt,
+                                         const PhasedConfig& cfg);
+
 }  // namespace vtopo::work

@@ -50,23 +50,35 @@ sim::Co<void> body(Proc& p, std::shared_ptr<Shared> st) {
 
 }  // namespace
 
-AppResult run_synthetic(const ClusterConfig& cluster,
-                        const SyntheticConfig& cfg) {
-  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
-  armci::Runtime rt(eng, cluster.runtime_config());
-  arm_reconfigure(rt, cluster);
+JobProgram make_synthetic_job(armci::Runtime& rt,
+                              const SyntheticConfig& cfg) {
   auto st = std::make_shared<Shared>();
   st->cfg = cfg;
   st->counter_off = rt.memory().alloc_all(64);
   st->region_off = rt.memory().alloc_all(cfg.op_bytes * 32);
 
-  rt.spawn_all([st](Proc& p) { return body(p, st); });
+  JobProgram prog;
+  prog.body = [st](Proc& p) { return body(p, st); };
+  armci::Runtime* rtp = &rt;
+  prog.checksum = [rtp, st] {
+    return static_cast<double>(
+        rtp->memory().read_i64(GAddr{0, st->counter_off}));
+  };
+  return prog;
+}
+
+AppResult run_synthetic(const ClusterConfig& cluster,
+                        const SyntheticConfig& cfg) {
+  sim::Engine eng; // vtopo-lint: allow(backend-seam) -- legacy-engine golden family
+  armci::Runtime rt(eng, cluster.runtime_config());
+  arm_reconfigure(rt, cluster);
+  JobProgram prog = make_synthetic_job(rt, cfg);
+  rt.spawn_all(prog.body);
   rt.run_all();
 
   AppResult out;
   out.exec_time_sec = sim::to_sec(eng.now());
-  out.checksum = static_cast<double>(
-      rt.memory().read_i64(armci::GAddr{0, st->counter_off}));
+  out.checksum = prog.checksum();
   out.stats = rt.stats();
   return out;
 }

@@ -24,4 +24,9 @@ struct SyntheticConfig {
 [[nodiscard]] AppResult run_synthetic(const ClusterConfig& cluster,
                                       const SyntheticConfig& cfg);
 
+/// Allocate the synthetic workload on an existing runtime as a
+/// schedulable job (checksum = the hot-spot ticket counter).
+[[nodiscard]] JobProgram make_synthetic_job(armci::Runtime& rt,
+                                            const SyntheticConfig& cfg);
+
 }  // namespace vtopo::work

@@ -22,8 +22,10 @@
 
 #include "core/memory_model.hpp"
 #include "core/topology.hpp"
+#include "svc/service.hpp"
 #include "workloads/common.hpp"
 #include "workloads/contention.hpp"
+#include "workloads/nwchem_dft.hpp"
 
 namespace vtopo {
 namespace {
@@ -145,6 +147,65 @@ constexpr Golden kFig7[] = {
     {"fig7_cfcg_5", 0x07ceb41443ddc2c4ULL},
     {"fig7_hc_5", 0x5686ac8ee1748674ULL},
 };
+
+// One dft tenant submitted at t=0 on a machine sized to the job: the
+// coupled service path must be byte-identical to the standalone
+// workload driver (same engine family, same Network construction via
+// the shared-Fabric attach seam). Locked two ways: a differential
+// against run_nwchem_dft and an FNV golden over the full canonical
+// report render.
+constexpr Golden kServiceSingleTenant = {"service_1tenant",
+                                         0xdfff9b3573c6d66cULL};
+
+svc::JobSpec service_dft_spec() {
+  svc::JobSpec job;
+  job.name = "dft";
+  job.kind = svc::JobKind::kDft;
+  job.nodes = 8;
+  job.procs_per_node = 2;
+  return job;
+}
+
+TEST(FigIdentity, ServiceSingleTenantMatchesStandaloneDriver) {
+  // The service-scaled dft defaults from svc::make_program, spelled out
+  // so a drift in either place breaks the identity visibly.
+  work::ClusterConfig cluster;
+  cluster.num_nodes = 8;
+  cluster.procs_per_node = 2;
+  work::DftConfig dft;
+  dft.scf_iterations = 1;
+  dft.total_tasks = 192;
+  dft.block_doubles = 48;
+  dft.compute_us_per_task = 150.0;
+  dft.chunk = 2;
+  const work::AppResult standalone = work::run_nwchem_dft(cluster, dft);
+
+  svc::ServiceConfig cfg;
+  cfg.machine_slots = 8;  // machine == job: the carve is the whole torus
+  cfg.shards = 0;
+  const svc::ServiceReport rep =
+      svc::ClusterService(cfg).run({service_dft_spec()});
+  ASSERT_EQ(rep.completed, 1);
+  const svc::JobResult& r = rep.results[0];
+  EXPECT_EQ(r.start_time, 0);
+  EXPECT_EQ(r.finish_time,
+            static_cast<sim::TimeNs>(standalone.exec_time_sec * 1e9 + 0.5));
+  EXPECT_EQ(r.checksum, standalone.checksum);
+  EXPECT_EQ(r.stats.requests, standalone.stats.requests);
+  EXPECT_EQ(r.stats.forwards, standalone.stats.forwards);
+  EXPECT_EQ(r.stats.acks, standalone.stats.acks);
+  EXPECT_EQ(r.stats.responses, standalone.stats.responses);
+  EXPECT_EQ(r.stats.direct_ops, standalone.stats.direct_ops);
+  EXPECT_EQ(r.stats.cht_wakeups, standalone.stats.cht_wakeups);
+}
+
+TEST(FigIdentity, ServiceSingleTenantCanonicalReport) {
+  svc::ServiceConfig cfg;
+  cfg.machine_slots = 8;
+  cfg.shards = 0;
+  check(kServiceSingleTenant,
+        svc::ClusterService(cfg).run({service_dft_spec()}).canonical());
+}
 
 TEST(FigIdentity, Fig5MemoryCurves) { check(kFig5, render_fig5()); }
 

@@ -1,0 +1,163 @@
+// Tenant-isolation differential oracle, end to end through the
+// ClusterService coupled path: a victim dft job runs solo, then
+// co-resident with a fetch-add storm aggressor, under each partition
+// policy. Compact (route-contained) partitions must leave the victim's
+// entire observable record — checksum, protocol counters, finish time —
+// bit-identical, and the per-link census must show ZERO victim traffic
+// on any link owned by an aggressor slot (and vice versa). Striped
+// partitions keep the victim's *work* identical (same checksum, same
+// op counts — contention slows jobs, never corrupts them) while the
+// census proves the tenants genuinely share links, so the zero-overlap
+// compact result is a property of the partition shape, not of the
+// harness looking away.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/torus.hpp"
+#include "svc/service.hpp"
+
+namespace vtopo {
+namespace {
+
+using core::PartitionPolicy;
+using svc::ClusterService;
+using svc::JobKind;
+using svc::JobResult;
+using svc::JobSpec;
+using svc::ServiceConfig;
+using svc::ServiceReport;
+
+JobSpec victim_spec() {
+  JobSpec s;
+  s.name = "victim";
+  s.kind = JobKind::kDft;
+  s.nodes = 8;  // exact 2x2x2 box on the 4x4x4 machine: reserved == slots
+  s.procs_per_node = 2;
+  s.ops = 96;
+  s.submit_at = 0;
+  return s;
+}
+
+JobSpec aggressor_spec() {
+  JobSpec s;
+  s.name = "aggressor";
+  s.kind = JobKind::kStorm;
+  s.nodes = 8;
+  s.procs_per_node = 2;
+  s.ops = 256;
+  s.submit_at = 0;
+  s.seed = 99;
+  return s;
+}
+
+ServiceConfig coupled_cfg(PartitionPolicy policy) {
+  ServiceConfig cfg;
+  cfg.machine_slots = 64;
+  cfg.policy = policy;
+  cfg.shards = 0;  // coupled: one engine, one fabric, real contention
+  cfg.link_census = true;
+  return cfg;
+}
+
+/// Victim's census crossings on links owned by the other tenant's
+/// slots. Link ownership is positional: link / kLinksPerSlot is the
+/// owning machine slot (6 directions + injection + ejection each).
+std::uint64_t crossings_on_foreign_links(const JobResult& mine,
+                                         const JobResult& other) {
+  const std::unordered_set<std::int64_t> foreign(other.slots.begin(),
+                                                 other.slots.end());
+  std::uint64_t total = 0;
+  for (std::size_t link = 0; link < mine.link_census.size(); ++link) {
+    const std::int64_t owner =
+        static_cast<std::int64_t>(link) / net::TorusGeometry::kLinksPerSlot;
+    if (foreign.count(owner) != 0) total += mine.link_census[link];
+  }
+  return total;
+}
+
+struct SoloVsCoResident {
+  JobResult solo;        ///< victim alone on the machine
+  JobResult victim;      ///< victim with the aggressor co-resident
+  JobResult aggressor;
+};
+
+SoloVsCoResident run_policy(PartitionPolicy policy) {
+  const ServiceReport solo =
+      ClusterService(coupled_cfg(policy)).run({victim_spec()});
+  const ServiceReport both = ClusterService(coupled_cfg(policy))
+                                 .run({victim_spec(), aggressor_spec()});
+  EXPECT_EQ(solo.completed, 1);
+  EXPECT_EQ(both.completed, 2);
+  SoloVsCoResident out;
+  out.solo = solo.results.at(0);
+  out.victim = both.results.at(0);
+  out.aggressor = both.results.at(1);
+  return out;
+}
+
+/// The work-integrity floor every policy must clear: co-residency may
+/// slow the victim but must never change what it computed.
+void expect_work_identical(const SoloVsCoResident& r) {
+  EXPECT_EQ(r.solo.checksum, r.victim.checksum);
+  EXPECT_EQ(r.solo.stats.requests, r.victim.stats.requests);
+  EXPECT_EQ(r.solo.stats.responses, r.victim.stats.responses);
+  EXPECT_EQ(r.solo.stats.direct_ops, r.victim.stats.direct_ops);
+  EXPECT_EQ(r.solo.stats.retries, r.victim.stats.retries);
+}
+
+TEST(TenantIsolation, CompactVictimIsBitIdenticalSoloVsCoResident) {
+  const SoloVsCoResident r = run_policy(PartitionPolicy::kCompactBlock);
+  expect_work_identical(r);
+  // Route containment makes isolation exact, not just statistical: the
+  // victim's whole event timeline is untouched by the storm next door.
+  EXPECT_EQ(r.solo.finish_time, r.victim.finish_time);
+  EXPECT_EQ(r.solo.stats.forwards, r.victim.stats.forwards);
+  EXPECT_EQ(r.solo.stats.acks, r.victim.stats.acks);
+  EXPECT_EQ(r.solo.stats.cht_wakeups, r.victim.stats.cht_wakeups);
+  EXPECT_EQ(r.solo.slots, r.victim.slots);
+  EXPECT_EQ(r.solo.link_census, r.victim.link_census);
+}
+
+TEST(TenantIsolation, CompactLinkCensusShowsZeroCrossTenantTraffic) {
+  const SoloVsCoResident r = run_policy(PartitionPolicy::kCompactBlock);
+  ASSERT_FALSE(r.victim.link_census.empty());
+  ASSERT_FALSE(r.aggressor.link_census.empty());
+  EXPECT_EQ(crossings_on_foreign_links(r.victim, r.aggressor), 0u)
+      << "victim traffic crossed aggressor-owned links on a compact box";
+  EXPECT_EQ(crossings_on_foreign_links(r.aggressor, r.victim), 0u)
+      << "aggressor traffic crossed victim-owned links on a compact box";
+  // Sanity: both tenants did cross links at all (the census is live).
+  std::uint64_t victim_total = 0;
+  for (const std::uint64_t c : r.victim.link_census) victim_total += c;
+  EXPECT_GT(victim_total, 0u);
+}
+
+TEST(TenantIsolation, BestFitVictimIsBitIdenticalSoloVsCoResident) {
+  // Best-fit places the same route-contained boxes as compact (only the
+  // packing differs), so the exactness guarantee carries over.
+  const SoloVsCoResident r = run_policy(PartitionPolicy::kBestFit);
+  expect_work_identical(r);
+  EXPECT_EQ(r.solo.finish_time, r.victim.finish_time);
+  EXPECT_EQ(crossings_on_foreign_links(r.victim, r.aggressor), 0u);
+  EXPECT_EQ(crossings_on_foreign_links(r.aggressor, r.victim), 0u);
+}
+
+TEST(TenantIsolation, StripedKeepsWorkIntactButSharesLinks) {
+  const SoloVsCoResident r = run_policy(PartitionPolicy::kStriped);
+  expect_work_identical(r);
+  // The differential control: interleaved slots genuinely share links
+  // (nonzero cross-tenant census), which is exactly what compact
+  // partitions are proven above to eliminate. Without this the zero
+  // counts could mean a dead census rather than real isolation.
+  EXPECT_GT(crossings_on_foreign_links(r.victim, r.aggressor), 0u)
+      << "striped tenants never shared a link; the census oracle is blind";
+  // And the contention is visible in time: the victim cannot finish
+  // earlier with a storm on its links.
+  EXPECT_GE(r.victim.finish_time, r.solo.finish_time);
+}
+
+}  // namespace
+}  // namespace vtopo

@@ -67,6 +67,9 @@ CaseSpec CaseSpec::from_seed(std::uint64_t case_seed) {
   c.delay = kDelays[rng.uniform(3)];
   c.severs = static_cast<int>(rng.uniform(3));
   c.crashes = static_cast<int>(rng.uniform(2));
+  // Drawn last so every pre-tenant field keeps its historical value for
+  // a given case seed (the --seed= repro lines stay stable).
+  c.tenants = 1 + static_cast<int>(rng.uniform(2));
   return c;
 }
 
@@ -78,6 +81,7 @@ std::string CaseSpec::to_string() const {
      << ";buf=" << buffers_per_process << ";seed=" << seed
      << ";drop=" << drop << ";dup=" << dup << ";delay=" << delay
      << ";severs=" << severs << ";crashes=" << crashes;
+  if (tenants != 1) os << ";tenants=" << tenants;
   return os.str();
 }
 
@@ -135,12 +139,14 @@ std::optional<CaseSpec> CaseSpec::parse(std::string_view spec,
       c.severs = static_cast<int>(num);
     } else if (key == "crashes") {
       c.crashes = static_cast<int>(num);
+    } else if (key == "tenants") {
+      c.tenants = static_cast<int>(num);
     } else {
       return fail("unknown key: " + std::string(key));
     }
   }
   if (c.nodes < 2 || c.ppn < 1 || c.ops_per_proc < 0 ||
-      c.buffers_per_process < 1) {
+      c.buffers_per_process < 1 || c.tenants < 1) {
     return fail("out-of-range spec: " + c.to_string());
   }
   return c;
@@ -178,6 +184,7 @@ std::pair<CaseSpec, int> shrink(const Property& prop, CaseSpec failing,
     with([](CaseSpec& c) { c.delay = 0.0; });
     with([](CaseSpec& c) { c.drop = 0.0; });
     with([](CaseSpec& c) { c.kind = core::TopologyKind::kFcg; });
+    with([](CaseSpec& c) { c.tenants = 1; });
     for (const CaseSpec& cand : candidates) {
       if (!prop(cand).ok) {
         failing = cand;

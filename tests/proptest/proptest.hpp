@@ -41,6 +41,13 @@ struct CaseSpec {
   double delay = 0.0;
   int severs = 0;
   int crashes = 0;
+  /// Co-resident tenants on one coupled fabric (1 = classic
+  /// single-tenant case). With 2, tenant A runs fault-free while an
+  /// equal-sized tenant B takes this spec's whole fault plan; the
+  /// tenant properties assert B's chaos never reaches A. Printed by
+  /// to_string() only when != 1, so single-tenant canonical specs (and
+  /// their locked goldens) are unchanged.
+  int tenants = 1;
 
   /// Generate the whole spec from one case seed (deterministic).
   [[nodiscard]] static CaseSpec from_seed(std::uint64_t case_seed);

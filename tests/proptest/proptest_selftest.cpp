@@ -113,6 +113,40 @@ TEST(ProptestShrink, GreedyShrinkIsDeterministicAndMinimal) {
   EXPECT_EQ(steps2, steps);
 }
 
+TEST(ProptestSpec, TenantDimensionRoundtripsAndStaysCanonical) {
+  // tenants=1 (the classic single-tenant case) is omitted from the
+  // canonical form, so every pre-tenant locked golden stays valid.
+  EXPECT_EQ(CaseSpec{}.tenants, 1);
+  EXPECT_EQ(CaseSpec{}.to_string().find("tenants"), std::string::npos);
+  CaseSpec two;
+  two.tenants = 2;
+  EXPECT_NE(two.to_string().find(";tenants=2"), std::string::npos);
+  const auto back = CaseSpec::parse(two.to_string());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, two);
+  EXPECT_FALSE(CaseSpec::parse("tenants=0").has_value());
+}
+
+TEST(ProptestShrink, TenantDimensionShrinksLikeEveryOtherKnob) {
+  CaseSpec start;
+  start.ops_per_proc = 8;
+  start.drop = 0.1;
+  start.tenants = 2;
+  // A property that doesn't depend on tenants: the shrinker drops the
+  // dimension back to the single-tenant default.
+  const auto [min_free, _] = proptest::shrink(needs_ops_and_drop, start);
+  EXPECT_EQ(min_free.tenants, 1);
+  // A property that only fails multi-tenant: the minimal counterexample
+  // keeps tenants=2 (the dimension is load-bearing, not noise).
+  const auto needs_tenants = [](const CaseSpec& c) {
+    return c.tenants >= 2 ? PropResult::fail("multi-tenant only")
+                          : PropResult::pass();
+  };
+  const auto [min_mt, steps] = proptest::shrink(needs_tenants, start);
+  EXPECT_EQ(min_mt.tenants, 2);
+  EXPECT_FALSE(needs_tenants(min_mt).ok);
+}
+
 TEST(ProptestCheck, FailingCaseEmitsSeedReproAndMinimal) {
   CheckOptions opts;
   opts.cases = 8;

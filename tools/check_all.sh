@@ -19,9 +19,15 @@
 #      the disabled-identity configuration the goldens pin.
 #   6. Threads-backend gate (ctest -L threads): the sim-vs-threads
 #      differential oracle and the real-thread quiescence battery.
-#   7. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
+#   7. Multi-tenant service gate (ctest -L svc): admission/partitioner
+#      units, the tenant-isolation differential oracle, the tenant
+#      property battery and the service_bench smoke (which itself gates
+#      on compact-vs-striped interference), plus byte-diffs of the
+#      service canonical report across host threads and shard counts.
+#   8. Sanitizer sweep (tools/check_sanitize.sh): ASan+UBSan suites,
 #      TSan over the threaded paths (including the threads transport
-#      backend), --jobs byte-diffs.
+#      backend and the service's host-parallel job runner), --jobs
+#      byte-diffs.
 #
 # The sanitizer sweep is the slow half; skip it with --fast when
 # iterating (the full gate is what CI runs).
@@ -114,12 +120,30 @@ echo "== threads backend =="
 # tools/check_sanitize.sh.
 ctest --test-dir build -L threads -j "$(nproc)" --output-on-failure
 
+echo "== multi-tenant service =="
+# Admission, partitioning, tenant isolation, tenant properties, and the
+# service_bench smoke (interference-index gates: compact == 1.0, striped
+# measurably above it).
+ctest --test-dir build -L svc -j "$(nproc)" --output-on-failure
+
+# Service determinism at the byte level: the uncoupled canonical report
+# must be identical across host job threads and across shard counts.
+svc_mix="dft:nodes=4,ops=24;synthetic:nodes=4,at=20000,ops=4;ccsd:nodes=8,at=40000,ops=16"
+./build/tools/vtopo_run service="$svc_mix" slots=16 shards=2 jobs=1 \
+  canonical=1 >"$fig_out/svc_j1.txt"
+./build/tools/vtopo_run service="$svc_mix" slots=16 shards=2 jobs=4 \
+  canonical=1 >"$fig_out/svc_j4.txt"
+diff -u "$fig_out/svc_j1.txt" "$fig_out/svc_j4.txt"
+./build/tools/vtopo_run service="$svc_mix" slots=16 shards=4 jobs=2 \
+  canonical=1 >"$fig_out/svc_s4.txt"
+diff -u "$fig_out/svc_j1.txt" "$fig_out/svc_s4.txt"
+
 if [[ "$fast" -eq 1 ]]; then
-  echo "check_all (--fast): build, ctest, lint, figure identity, chaos, qos, threads clean"
+  echo "check_all (--fast): build, ctest, lint, figure identity, chaos, qos, threads, svc clean"
   exit 0
 fi
 
 echo "== sanitizers =="
 tools/check_sanitize.sh
 
-echo "check_all: build, ctest, lint, figure identity, chaos, qos, sanitizers clean"
+echo "check_all: build, ctest, lint, figure identity, chaos, qos, threads, svc, sanitizers clean"

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Line-coverage gate for the fault-injection / self-healing request
-# path (documented in docs/testing.md).
+# path and the multi-tenant cluster service (documented in
+# docs/testing.md).
 #
 #   1. Build the `coverage` preset (Debug, --coverage -O0).
-#   2. Run the sim/armci/integration/proptest/fault test selection.
-#   3. Aggregate gcov line coverage over src/armci + src/sim (gcovr is
-#      used when installed; otherwise plain gcov output is parsed).
-#   4. Gate: the fault/retry code (src/sim/fault.cpp plus the fault
-#      sections compiled into src/armci) must be >= 80% covered.
+#   2. Run the sim/armci/integration/proptest/fault/svc test selection.
+#   3. Aggregate gcov line coverage over src/armci + src/sim + src/svc
+#      (gcovr is used when installed; otherwise plain gcov output is
+#      parsed).
+#   4. Gates: the fault/retry code (src/sim/fault.cpp plus the fault
+#      sections compiled into src/armci) must be >= 80% covered, and so
+#      must the service layer (src/svc).
 #
 # Usage: tools/check_coverage.sh [--skip-build]
 set -euo pipefail
@@ -28,10 +31,13 @@ if command -v gcovr >/dev/null 2>&1; then
   echo "== gcovr (src/armci + src/sim) =="
   gcovr -r "$repo" --filter 'src/(armci|sim)/' "$build" \
     --fail-under-line "$threshold"
+  echo "== gcovr (src/svc) =="
+  gcovr -r "$repo" --filter 'src/svc/' "$build" \
+    --fail-under-line "$threshold"
   exit 0
 fi
 
-echo "== gcov fallback (src/armci + src/sim) =="
+echo "== gcov fallback (src/armci + src/sim + src/svc) =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -51,7 +57,7 @@ awk -v repo="$repo/" -v threshold="$threshold" '
     next
   }
   /^Lines executed:/ {
-    if (file !~ /^src\/(armci|sim)\//) { file = ""; next }
+    if (file !~ /^src\/(armci|sim|svc)\//) { file = ""; next }
     split($0, m, /[:%]| of /)
     pct = m[2] + 0
     lines = $NF + 0
@@ -62,6 +68,7 @@ awk -v repo="$repo/" -v threshold="$threshold" '
   END {
     total = 0; covered = 0
     fault_total = 0; fault_covered = 0
+    svc_total = 0; svc_covered = 0
     for (f in seen) {
       total += nlines[f]
       covered += nlines[f] * best[f] / 100.0
@@ -70,9 +77,13 @@ awk -v repo="$repo/" -v threshold="$threshold" '
         fault_total += nlines[f]
         fault_covered += nlines[f] * best[f] / 100.0
       }
+      if (f ~ /^src\/svc\//) {
+        svc_total += nlines[f]
+        svc_covered += nlines[f] * best[f] / 100.0
+      }
     }
     if (total == 0) { print "no coverage data found" > "/dev/stderr"; exit 1 }
-    printf "overall src/armci+src/sim: %.2f%% of %d lines\n",
+    printf "overall src/armci+src/sim+src/svc: %.2f%% of %d lines\n",
            100.0 * covered / total, total
     if (fault_total == 0) {
       print "no fault-path coverage data found" > "/dev/stderr"; exit 1
@@ -83,7 +94,16 @@ awk -v repo="$repo/" -v threshold="$threshold" '
     if (fault_pct < threshold) {
       print "coverage gate FAILED" > "/dev/stderr"; exit 1
     }
+    if (svc_total == 0) {
+      print "no src/svc coverage data found" > "/dev/stderr"; exit 1
+    }
+    svc_pct = 100.0 * svc_covered / svc_total
+    printf "service layer (src/svc):   %.2f%% of %d lines (gate >= %d%%)\n",
+           svc_pct, svc_total, threshold
+    if (svc_pct < threshold) {
+      print "svc coverage gate FAILED" > "/dev/stderr"; exit 1
+    }
   }
 ' "$tmp/gcov.txt"
 
-echo "check_coverage: fault/retry coverage gate passed"
+echo "check_coverage: fault/retry and svc coverage gates passed"

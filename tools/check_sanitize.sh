@@ -19,6 +19,10 @@
 #      real worker thread per node, cross-thread request/ack/response
 #      posts, shared-memory payload copies and the realtime Future
 #      handshake — the differential oracle with the race detector on.
+#   6. TSan over the multi-tenant service battery (ctest -L svc): the
+#      uncoupled scheduler's one-host-thread-per-running-job path plus
+#      a byte-diff of the canonical report at jobs 4 vs 1 — the service
+#      must be race-free AND deterministic under host parallelism.
 #
 # Any sanitizer report aborts the run (-fno-sanitize-recover=all) and
 # fails the script.
@@ -75,4 +79,16 @@ ctest --test-dir build-tsan -L qos -j "$(nproc)" --output-on-failure
 # cross-thread post and payload copy.
 ctest --test-dir build-tsan -L threads -j "$(nproc)" --output-on-failure
 
-echo "sanitize: ASan+UBSan suites, TSan suites, --jobs byte-diffs, sharded-engine, qos and threads-backend batteries clean"
+# Multi-tenant service battery: admission/partitioner units, tenant
+# isolation, tenant properties and the service smoke, then the
+# host-parallel scheduler (one std::thread per running job) byte-diffed
+# against its serial run with the race detector watching.
+ctest --test-dir build-tsan -L svc -j "$(nproc)" --output-on-failure
+svc_mix="dft:nodes=4,ops=24;synthetic:nodes=4,at=20000,ops=4;ccsd:nodes=8,at=40000,ops=16"
+./build-tsan/tools/vtopo_run service="$svc_mix" slots=16 shards=2 \
+  jobs=1 canonical=1 >"$tsan_out/svc_j1.txt"
+./build-tsan/tools/vtopo_run service="$svc_mix" slots=16 shards=2 \
+  jobs=4 canonical=1 >"$tsan_out/svc_j4.txt"
+diff -u "$tsan_out/svc_j1.txt" "$tsan_out/svc_j4.txt"
+
+echo "sanitize: ASan+UBSan suites, TSan suites, --jobs byte-diffs, sharded-engine, qos, threads-backend and svc batteries clean"

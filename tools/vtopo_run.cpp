@@ -20,6 +20,10 @@
 //             docs/testing.md)
 //   vtopo_run workload=ccsd fault_drop=0.05 fault_severs=1
 //             fault_crashes=1 fault_seed=9   (random seeded plan)
+//   vtopo_run service="dft:nodes=8,ppn=2;storm:nodes=8,at=100000"
+//             slots=64 partition=compact     (multi-tenant cluster
+//             service: job mix scheduled onto one shared torus; see
+//             docs/service.md for the job-mix grammar)
 //
 // Unknown keys are rejected; every key has a sensible default.
 #include <algorithm>
@@ -37,6 +41,7 @@
 #include "net/profiles.hpp"
 #include "sim/fault.hpp"
 #include "sim/stats.hpp"
+#include "svc/service.hpp"
 #include "workloads/contention.hpp"
 #include "workloads/nas_lu.hpp"
 #include "workloads/nwchem_ccsd.hpp"
@@ -161,10 +166,131 @@ void resolve_auto_topology(work::ClusterConfig& cl, double budget_mb,
   std::printf("rationale: %s\n", rec.rationale.c_str());
 }
 
+/// Job-mix grammar for service= mode: jobs separated by ';', each
+/// `kind[:key=val[,key=val...]]` with keys nodes, ppn, prio, at (ns),
+/// ops, topo, seed, name. Example:
+///   "dft:nodes=8,ppn=2;storm:nodes=8,prio=1,at=100000"
+std::vector<svc::JobSpec> parse_job_mix(const std::string& mix) {
+  std::vector<svc::JobSpec> specs;
+  std::stringstream jobs(mix);
+  std::string job;
+  while (std::getline(jobs, job, ';')) {
+    if (job.empty()) continue;
+    const auto colon = job.find(':');
+    const std::string kind_str = job.substr(0, colon);
+    const auto kind = svc::parse_job_kind(kind_str);
+    if (!kind) {
+      std::fprintf(stderr, "unknown job kind '%s'\n", kind_str.c_str());
+      std::exit(2);
+    }
+    svc::JobSpec spec;
+    spec.kind = *kind;
+    spec.name = kind_str + std::to_string(specs.size());
+    if (colon != std::string::npos) {
+      std::stringstream kvs(job.substr(colon + 1));
+      std::string kv;
+      while (std::getline(kvs, kv, ',')) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) {
+          std::fprintf(stderr, "bad job key '%s' (expected key=val)\n",
+                       kv.c_str());
+          std::exit(2);
+        }
+        const std::string k = kv.substr(0, eq);
+        const std::string v = kv.substr(eq + 1);
+        if (k == "nodes") {
+          spec.nodes = std::stoll(v);
+        } else if (k == "ppn") {
+          spec.procs_per_node = static_cast<int>(std::stoll(v));
+        } else if (k == "prio") {
+          spec.priority = static_cast<int>(std::stoll(v));
+        } else if (k == "at") {
+          spec.submit_at = std::stoll(v);
+        } else if (k == "ops") {
+          spec.ops = std::stoll(v);
+        } else if (k == "topo") {
+          spec.topology = parse_topology(v);
+        } else if (k == "seed") {
+          spec.seed = static_cast<std::uint64_t>(std::stoll(v));
+        } else if (k == "name") {
+          spec.name = v;
+        } else {
+          std::fprintf(stderr, "unknown job key '%s'\n", k.c_str());
+          std::exit(2);
+        }
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    std::fprintf(stderr, "service= job mix is empty\n");
+    std::exit(2);
+  }
+  return specs;
+}
+
+int run_service(KvArgs& args, const std::string& mix) {
+  svc::ServiceConfig sc;
+  sc.machine_slots = args.num("slots", 64);
+  const std::string pol = args.str("partition", "compact");
+  const auto parsed = core::parse_partition_policy(pol);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "unknown partition '%s' (compact|striped|bestfit)\n",
+                 pol.c_str());
+    return 2;
+  }
+  sc.policy = *parsed;
+  sc.queue_capacity = static_cast<std::size_t>(args.num("queue", 256));
+  sc.aging_quantum = args.num("aging_ns", 1000000);
+  sc.shards = static_cast<int>(args.num("shards", 0));
+  sc.host_jobs = static_cast<int>(args.num("jobs", 1));
+  sc.link_census = args.num("census", 0) != 0;
+  const bool canonical = args.num("canonical", 0) != 0;
+  const auto specs = parse_job_mix(mix);
+  args.reject_unknown();
+
+  svc::ClusterService service(sc);
+  const svc::ServiceReport rep = service.run(specs);
+  if (canonical) {
+    // The byte-diff surface: tests compare this render across --jobs /
+    // --shards and against the single-tenant goldens.
+    std::fputs(rep.canonical().c_str(), stdout);
+    return 0;
+  }
+  std::printf("service %dx%dx%d partition=%s shards=%d: %lld jobs, "
+              "%lld completed, %lld rejected, %.3f ms simulated\n",
+              rep.machine_dims[0], rep.machine_dims[1],
+              rep.machine_dims[2], core::to_string(sc.policy).c_str(),
+              sc.shards, static_cast<long long>(rep.results.size()),
+              static_cast<long long>(rep.completed),
+              static_cast<long long>(rep.rejected),
+              static_cast<double>(rep.total_sim_ns) / 1e6);
+  for (const auto& r : rep.results) {
+    if (r.rejected) {
+      std::printf("  %-12s %-9s REJECTED (submit %.3f ms)\n",
+                  r.name.c_str(), svc::to_string(r.kind).c_str(),
+                  static_cast<double>(r.submit_time) / 1e6);
+      continue;
+    }
+    std::printf("  %-12s %-9s wait %8.3f ms  ran %8.3f ms  "
+                "checksum %.6g  req=%llu fwd=%llu\n",
+                r.name.c_str(), svc::to_string(r.kind).c_str(),
+                static_cast<double>(r.queue_wait()) / 1e6,
+                static_cast<double>(r.finish_time - r.start_time) / 1e6,
+                r.checksum,
+                static_cast<unsigned long long>(r.stats.requests),
+                static_cast<unsigned long long>(r.stats.forwards));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   KvArgs args(argc, argv);
+  const std::string service_mix = args.str("service", "");
+  if (!service_mix.empty()) return run_service(args, service_mix);
   const std::string workload = args.str("workload", "contention");
 
   if (workload == "recommend") {
